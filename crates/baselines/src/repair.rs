@@ -1,0 +1,237 @@
+//! Maximality-repair-only baseline: the quality floor.
+
+use dynamis_core::DynamicMis;
+use dynamis_graph::{DynamicGraph, Update};
+
+/// Maintains a *maximal* (not k-maximal) independent set: evicted or
+/// conflicted vertices are replaced greedily by any freed neighbor, and
+/// nothing else is ever attempted. Linear time, minimal memory, and the
+/// weakest quality — used in ablations to quantify what the swap
+/// machinery buys.
+#[derive(Debug)]
+pub struct MaximalOnly {
+    g: DynamicGraph,
+    status: Vec<bool>,
+    count: Vec<u32>,
+    size: usize,
+    repair: Vec<u32>,
+}
+
+impl MaximalOnly {
+    /// Builds the baseline from a graph and an initial independent set
+    /// (extended to maximality).
+    pub fn new(graph: DynamicGraph, initial: &[u32]) -> Self {
+        let cap = graph.capacity();
+        let mut b = MaximalOnly {
+            g: graph,
+            status: vec![false; cap],
+            count: vec![0; cap],
+            size: 0,
+            repair: Vec::new(),
+        };
+        for &v in initial {
+            b.status[v as usize] = true;
+            b.size += 1;
+        }
+        for v in 0..cap as u32 {
+            if b.g.is_alive(v) && !b.status[v as usize] {
+                b.count[v as usize] =
+                    b.g.neighbors(v).filter(|&u| b.status[u as usize]).count() as u32;
+                if b.count[v as usize] == 0 {
+                    b.repair.push(v);
+                }
+            }
+        }
+        b.process_repairs();
+        b
+    }
+
+    fn move_in(&mut self, v: u32) {
+        self.status[v as usize] = true;
+        self.size += 1;
+        let nbrs: Vec<u32> = self.g.neighbors(v).collect();
+        for u in nbrs {
+            self.count[u as usize] += 1;
+        }
+    }
+
+    fn process_repairs(&mut self) {
+        while let Some(u) = self.repair.pop() {
+            if self.g.is_alive(u) && !self.status[u as usize] && self.count[u as usize] == 0 {
+                self.move_in(u);
+            }
+        }
+    }
+
+    /// Test-only invariant check.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        for v in self.g.vertices() {
+            let c = self
+                .g
+                .neighbors(v)
+                .filter(|&u| self.status[u as usize])
+                .count();
+            if self.status[v as usize] && c != 0 {
+                return Err(format!("not independent at {v}"));
+            }
+            if !self.status[v as usize] && c == 0 {
+                return Err(format!("not maximal at {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl DynamicMis for MaximalOnly {
+    fn name(&self) -> &'static str {
+        "MaximalOnly"
+    }
+
+    fn graph(&self) -> &DynamicGraph {
+        &self.g
+    }
+
+    fn apply_update(&mut self, upd: &Update) {
+        match upd {
+            Update::InsertEdge(a, b) => {
+                if !self.g.insert_edge(*a, *b).expect("valid stream") {
+                    return;
+                }
+                match (self.status[*a as usize], self.status[*b as usize]) {
+                    (true, true) => {
+                        // Evict the higher-degree endpoint. The winner is
+                        // excluded from the decrement sweep: its edge to
+                        // the loser was never counted.
+                        let loser = if self.g.degree(*b) >= self.g.degree(*a) {
+                            *b
+                        } else {
+                            *a
+                        };
+                        let winner = if loser == *a { *b } else { *a };
+                        self.status[loser as usize] = false;
+                        self.size -= 1;
+                        let nbrs: Vec<u32> = self
+                            .g
+                            .neighbors(loser)
+                            .filter(|&w| w != winner)
+                            .collect();
+                        for u in nbrs {
+                            self.count[u as usize] -= 1;
+                            if self.count[u as usize] == 0 && !self.status[u as usize] {
+                                self.repair.push(u);
+                            }
+                        }
+                        self.count[loser as usize] = 1;
+                        self.process_repairs();
+                    }
+                    (true, false) => self.count[*b as usize] += 1,
+                    (false, true) => self.count[*a as usize] += 1,
+                    (false, false) => {}
+                }
+            }
+            Update::RemoveEdge(a, b) => {
+                if !self.g.remove_edge(*a, *b).expect("valid stream") {
+                    return;
+                }
+                if self.status[*a as usize] && !self.status[*b as usize] {
+                    self.count[*b as usize] -= 1;
+                    if self.count[*b as usize] == 0 {
+                        self.move_in(*b);
+                    }
+                } else if self.status[*b as usize] && !self.status[*a as usize] {
+                    self.count[*a as usize] -= 1;
+                    if self.count[*a as usize] == 0 {
+                        self.move_in(*a);
+                    }
+                }
+            }
+            Update::InsertVertex { id, neighbors } => {
+                let v = self.g.add_vertex();
+                debug_assert_eq!(v, *id);
+                let cap = self.g.capacity();
+                if self.status.len() < cap {
+                    self.status.resize(cap, false);
+                    self.count.resize(cap, 0);
+                }
+                for &n in neighbors {
+                    self.g.insert_edge(v, n).expect("valid stream");
+                }
+                self.count[v as usize] = neighbors
+                    .iter()
+                    .filter(|&&n| self.status[n as usize])
+                    .count() as u32;
+                if self.count[v as usize] == 0 {
+                    self.move_in(v);
+                }
+            }
+            Update::RemoveVertex(v) => {
+                let was_in = self.status[*v as usize];
+                self.status[*v as usize] = false;
+                if was_in {
+                    self.size -= 1;
+                }
+                self.count[*v as usize] = 0;
+                let former = self.g.remove_vertex(*v).expect("valid stream");
+                if was_in {
+                    for u in former {
+                        self.count[u as usize] -= 1;
+                        if self.count[u as usize] == 0 && !self.status[u as usize] {
+                            self.repair.push(u);
+                        }
+                    }
+                    self.process_repairs();
+                }
+            }
+        }
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn solution(&self) -> Vec<u32> {
+        (0..self.status.len() as u32)
+            .filter(|&v| self.status[v as usize])
+            .collect()
+    }
+
+    fn contains(&self, v: u32) -> bool {
+        self.status[v as usize]
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.g.heap_bytes() + self.status.capacity() + self.count.capacity() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_maximal_under_updates() {
+        let g = DynamicGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let mut b = MaximalOnly::new(g, &[]);
+        b.check_consistency().unwrap();
+        b.apply_update(&Update::RemoveEdge(1, 2));
+        b.check_consistency().unwrap();
+        b.apply_update(&Update::InsertEdge(0, 3));
+        b.check_consistency().unwrap();
+        b.apply_update(&Update::RemoveVertex(4));
+        b.check_consistency().unwrap();
+        b.apply_update(&Update::InsertVertex {
+            id: 4,
+            neighbors: vec![0, 5],
+        });
+        b.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn never_beats_one_swap_quality_on_star() {
+        // Star with center in the set: MaximalOnly keeps {center}, the
+        // swap engines would reach all leaves.
+        let g = DynamicGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let b = MaximalOnly::new(g, &[0]);
+        assert_eq!(b.size(), 1, "no swap machinery — stuck at the center");
+    }
+}

@@ -1,0 +1,94 @@
+//! Criterion microbenchmarks: per-update latency of every dynamic engine
+//! on a power-law graph (the workload shape of the paper's evaluation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynamis_bench::harness::AlgoKind;
+use dynamis_gen::{powerlaw::chung_lu, StreamConfig, UpdateStream};
+
+fn per_update_latency(c: &mut Criterion) {
+    let g = chung_lu(10_000, 2.4, 8.0, 77);
+    let ups = UpdateStream::new(&g, StreamConfig::default(), 78).take_updates(2_000);
+    let mut group = c.benchmark_group("per_update");
+    group.sample_size(10);
+    for kind in [
+        AlgoKind::MaximalOnly,
+        AlgoKind::DyArw,
+        AlgoKind::DyOneSwap,
+        AlgoKind::DyTwoSwap,
+        AlgoKind::DgOneDis,
+        AlgoKind::DgTwoDis,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut e = kind.build(&g, &[]);
+                    for u in &ups {
+                        e.apply_update(u);
+                    }
+                    e.size()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn update_mix_sensitivity(c: &mut Criterion) {
+    let g = chung_lu(10_000, 2.4, 8.0, 77);
+    let mut group = c.benchmark_group("update_mix");
+    group.sample_size(10);
+    for (label, cfg) in [
+        ("mixed", StreamConfig::default()),
+        ("edges_only", StreamConfig::edges_only()),
+        ("insert_only", StreamConfig::insert_only()),
+    ] {
+        let ups = UpdateStream::new(&g, cfg, 5).take_updates(2_000);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &ups, |b, ups| {
+            b.iter(|| {
+                let mut e = AlgoKind::DyTwoSwap.build(&g, &[]);
+                for u in ups {
+                    e.apply_update(u);
+                }
+                e.size()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn batch_vs_per_update(c: &mut Criterion) {
+    use dynamis_core::{DyTwoSwap, DynamicMis};
+    let g = chung_lu(10_000, 2.4, 8.0, 77);
+    let ups = UpdateStream::new(&g, StreamConfig::default(), 79).take_updates(2_000);
+    let mut group = c.benchmark_group("batching");
+    group.sample_size(10);
+    group.bench_function("per_update", |b| {
+        b.iter(|| {
+            let mut e = DyTwoSwap::new(g.clone(), &[]);
+            for u in &ups {
+                e.apply_update(u);
+            }
+            e.size()
+        });
+    });
+    group.bench_function("batch_256", |b| {
+        b.iter(|| {
+            let mut e = DyTwoSwap::new(g.clone(), &[]);
+            for chunk in ups.chunks(256) {
+                e.apply_batch(chunk);
+            }
+            e.size()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    per_update_latency,
+    update_mix_sensitivity,
+    batch_vs_per_update
+);
+criterion_main!(benches);

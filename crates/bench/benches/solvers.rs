@@ -1,0 +1,78 @@
+//! Criterion microbenchmarks for the static solvers: exact
+//! branch-and-reduce scaling, greedy, ARW, and reducing–peeling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynamis_gen::powerlaw::chung_lu;
+use dynamis_graph::CsrGraph;
+use dynamis_static::arw::{arw_local_search, ArwConfig};
+use dynamis_static::certify::certify_one_maximal;
+use dynamis_static::exact::{solve_exact, ExactConfig};
+use dynamis_static::{certify_one_maximal_par, greedy_mis, luby_mis, reducing_peeling};
+
+fn static_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static");
+    group.sample_size(10);
+    for n in [1_000usize, 4_000] {
+        let g = chung_lu(n, 2.5, 6.0, 9);
+        let csr = CsrGraph::from_dynamic(&g);
+        group.bench_with_input(BenchmarkId::new("greedy", n), &csr, |b, csr| {
+            b.iter(|| greedy_mis(csr).len());
+        });
+        group.bench_with_input(BenchmarkId::new("peeling", n), &csr, |b, csr| {
+            b.iter(|| reducing_peeling(csr).len());
+        });
+        group.bench_with_input(BenchmarkId::new("arw", n), &csr, |b, csr| {
+            b.iter(|| {
+                arw_local_search(
+                    csr,
+                    ArwConfig {
+                        perturbations: 5,
+                        seed: 1,
+                    },
+                )
+                .len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("exact", n), &csr, |b, csr| {
+            b.iter(|| {
+                solve_exact(
+                    csr,
+                    ExactConfig {
+                        node_budget: 5_000_000,
+                    },
+                )
+                .map(|r| r.alpha)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("luby", n), &csr, |b, csr| {
+            b.iter(|| luby_mis(csr, 1).solution.len());
+        });
+    }
+    group.finish();
+}
+
+fn certification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("certify");
+    group.sample_size(10);
+    let g = chung_lu(100_000, 2.4, 8.0, 13);
+    let solution = {
+        use dynamis_core::{DyOneSwap, DynamicMis};
+        DyOneSwap::new(g.clone(), &[]).solution()
+    };
+    group.bench_function("sequential", |b| {
+        b.iter(|| certify_one_maximal(&g, &solution).is_ok());
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| certify_one_maximal_par(&g, &solution, t).is_ok());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, static_solvers, certification);
+criterion_main!(benches);

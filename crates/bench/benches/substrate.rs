@@ -1,0 +1,58 @@
+//! Criterion microbenchmarks for the graph substrate: the O(1) edge
+//! update claims behind the framework's complexity analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynamis_gen::uniform::gnm;
+use dynamis_graph::collections::{IndexedBag, StampSet};
+use dynamis_graph::CsrGraph;
+
+fn edge_updates(c: &mut Criterion) {
+    let base = gnm(20_000, 100_000, 3);
+    let extra: Vec<(u32, u32)> = {
+        let g2 = gnm(20_000, 120_000, 4);
+        g2.edges().filter(|&(u, v)| !base.has_edge(u, v)).take(10_000).collect()
+    };
+    c.bench_function("graph/insert_delete_10k_edges", |b| {
+        b.iter(|| {
+            let mut g = base.clone();
+            for &(u, v) in &extra {
+                g.insert_edge(u, v).unwrap();
+            }
+            for &(u, v) in &extra {
+                g.remove_edge(u, v).unwrap();
+            }
+            g.num_edges()
+        });
+    });
+    c.bench_function("graph/csr_snapshot", |b| {
+        b.iter(|| CsrGraph::from_dynamic(&base).num_edges());
+    });
+}
+
+fn bucket_structures(c: &mut Criterion) {
+    c.bench_function("collections/indexed_bag_churn", |b| {
+        b.iter(|| {
+            let mut bag = IndexedBag::with_capacity(10_000);
+            for k in 0..10_000u32 {
+                bag.insert(k);
+            }
+            for k in (0..10_000u32).step_by(2) {
+                bag.remove(k);
+            }
+            bag.len()
+        });
+    });
+    c.bench_function("collections/stamp_set_marks", |b| {
+        let mut s = StampSet::with_capacity(10_000);
+        b.iter(|| {
+            s.clear();
+            for k in 0..10_000u32 {
+                s.mark(k);
+            }
+            (0..10_000u32).filter(|&k| s.is_marked(k)).count()
+        });
+    });
+}
+
+criterion_group!(benches, edge_updates, bucket_structures);
+criterion_main!(benches);

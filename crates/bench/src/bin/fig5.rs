@@ -1,0 +1,78 @@
+//! **Figure 5** — response time and memory on the easy graphs:
+//! (a) time for 100k-equivalent updates, (b) peak memory for the same
+//! runs, (c) time for 1M-equivalent updates on the last seven.
+//!
+//! Usage: `fig5 [a|b|c|all]` (default `all`).
+
+use dynamis_bench::alloc_track::{peak_bytes, reset_peak, TrackingAlloc};
+use dynamis_bench::harness::{dataset_workload, run, AlgoKind};
+use dynamis_bench::report::{fmt_duration, fmt_mb, Table};
+use dynamis_bench::{fast_mode, time_limit};
+use dynamis_gen::datasets::{self, DatasetSpec};
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+fn run_panel(specs: &[&DatasetSpec], paper_updates: u64, want_memory: bool, title: &str) {
+    let limit = time_limit();
+    let mut header = vec!["Graph".to_string()];
+    let kinds = AlgoKind::paper_lineup();
+    for k in kinds {
+        header.push(k.label());
+    }
+    let mut t = Table::new(header);
+    for spec in specs {
+        eprintln!("[fig5] {} ...", spec.name);
+        let (g, ups, init) = dataset_workload(spec, paper_updates);
+        let mut cells = vec![spec.name.to_string()];
+        for kind in kinds {
+            reset_peak();
+            let out = run(kind, &g, init.solution(), &ups, limit);
+            let peak = peak_bytes();
+            cells.push(if out.dnf {
+                "-".into()
+            } else if want_memory {
+                // Allocator peak covers the engine plus the shared
+                // workload; engine-reported bytes isolate the algorithm.
+                format!("{} ({})", fmt_mb(out.heap_bytes), fmt_mb(peak))
+            } else {
+                fmt_duration(out.elapsed)
+            });
+        }
+        t.row(cells);
+    }
+    println!("\n# {title}\n");
+    t.print();
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let easy: Vec<_> = datasets::easy().collect();
+    let easy = if fast_mode() { &easy[..4] } else { &easy[..] };
+    let large: Vec<_> = datasets::easy_large().collect();
+    let large = if fast_mode() { &large[..3] } else { &large[..] };
+    if which == "a" || which == "all" {
+        run_panel(
+            easy,
+            100_000,
+            false,
+            "Fig. 5(a) — response time, 100k-equivalent updates, easy graphs",
+        );
+    }
+    if which == "b" || which == "all" {
+        run_panel(
+            easy,
+            100_000,
+            true,
+            "Fig. 5(b) — memory usage (engine bytes (allocator peak)), easy graphs",
+        );
+    }
+    if which == "c" || which == "all" {
+        run_panel(
+            large,
+            1_000_000,
+            false,
+            "Fig. 5(c) — response time, 1M-equivalent updates, last seven easy graphs",
+        );
+    }
+}

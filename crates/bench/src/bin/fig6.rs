@@ -1,0 +1,60 @@
+//! **Figure 6** — response time (a) and memory usage (b) on the hard
+//! graphs under 1M-equivalent updates. The DG* baselines are expected to
+//! DNF on the last five graphs.
+
+use dynamis_bench::alloc_track::{peak_bytes, reset_peak, TrackingAlloc};
+use dynamis_bench::harness::{run, AlgoKind, InitialSolution};
+use dynamis_bench::report::{fmt_duration, fmt_mb, Table};
+use dynamis_bench::{fast_mode, time_limit};
+use dynamis_gen::{datasets, StreamConfig, UpdateStream};
+use dynamis_graph::CsrGraph;
+use dynamis_static::arw::{arw_local_search, ArwConfig};
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+fn main() {
+    let limit = time_limit();
+    let kinds = AlgoKind::paper_lineup();
+    let mut header = vec!["Graph".to_string()];
+    for k in kinds {
+        header.push(format!("{} time", k.label()));
+        header.push("mem".to_string());
+    }
+    let mut t = Table::new(header);
+    let specs: Vec<_> = datasets::hard().collect();
+    let specs = if fast_mode() { &specs[..3] } else { &specs[..] };
+    for spec in specs {
+        eprintln!("[fig6] {} ...", spec.name);
+        let g = spec.build();
+        let ups = UpdateStream::new(&g, StreamConfig::default(), spec.seed() ^ 0x75D0)
+            .take_updates(spec.scaled_updates(1_000_000));
+        let csr = CsrGraph::from_dynamic(&g);
+        let best = arw_local_search(
+            &csr,
+            ArwConfig {
+                perturbations: 10,
+                seed: 0xa1,
+            },
+        );
+        let init = InitialSolution::Best {
+            size: best.len(),
+            solution: best,
+        };
+        let mut cells = vec![spec.name.to_string()];
+        for kind in kinds {
+            reset_peak();
+            let out = run(kind, &g, init.solution(), &ups, limit);
+            if out.dnf {
+                cells.push("-".into());
+                cells.push("-".into());
+            } else {
+                cells.push(fmt_duration(out.elapsed));
+                cells.push(format!("{} ({})", fmt_mb(out.heap_bytes), fmt_mb(peak_bytes())));
+            }
+        }
+        t.row(cells);
+    }
+    println!("# Fig. 6 — response time & memory on hard graphs (1M-equivalent updates)\n");
+    t.print();
+}

@@ -1,0 +1,87 @@
+//! **Figure 7** — the §III-B optimization ablations:
+//! (a/b) lazy collection — response time and memory of the eager engines
+//! vs their lazy-collection counterparts (k = 1, 2);
+//! (c) perturbation — response-time overhead of the `gap*` variants;
+//! (d) lazy-vs-eager time ratio as k grows (eager exists for k ≤ 2; the
+//! generic lazy engine carries the sweep to k = 3, 4).
+
+use dynamis_bench::alloc_track::{peak_bytes, reset_peak, TrackingAlloc};
+use dynamis_bench::harness::{run, AlgoKind};
+use dynamis_bench::report::{fmt_duration, fmt_mb, Table};
+use dynamis_bench::time_limit;
+use dynamis_gen::{datasets, StreamConfig, UpdateStream};
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+fn main() {
+    let limit = time_limit();
+    let spec = datasets::by_name("com-dblp").expect("registry");
+    let g = spec.build();
+    let ups = UpdateStream::new(&g, StreamConfig::default(), 0xF16)
+        .take_updates(spec.scaled_updates(1_000_000).max(20_000));
+    eprintln!("[fig7] workload: {} n={} m={} updates={}", spec.name, g.num_vertices(), g.num_edges(), ups.len());
+
+    // (a) + (b): eager vs lazy, k = 1 and k = 2.
+    let mut ab = Table::new(vec!["variant", "time", "engine mem", "alloc peak", "|I|"]);
+    for (label, kind) in [
+        ("DyOneSwap (eager)", AlgoKind::DyOneSwap),
+        ("Lazy k=1", AlgoKind::Generic(1)),
+        ("DyTwoSwap (eager)", AlgoKind::DyTwoSwap),
+        ("Lazy k=2", AlgoKind::Generic(2)),
+    ] {
+        reset_peak();
+        let out = run(kind, &g, &[], &ups, limit);
+        ab.row(vec![
+            label.to_string(),
+            if out.dnf { "-".into() } else { fmt_duration(out.elapsed) },
+            fmt_mb(out.heap_bytes),
+            fmt_mb(peak_bytes()),
+            out.size.to_string(),
+        ]);
+    }
+    println!("\n# Fig. 7(a/b) — lazy collection: time & memory ({})\n", spec.name);
+    ab.print();
+
+    // (c): perturbation overhead.
+    let mut c = Table::new(vec!["variant", "time", "|I|"]);
+    for (label, kind) in [
+        ("DyOneSwap", AlgoKind::DyOneSwap),
+        ("DyOneSwap*", AlgoKind::DyOneSwapPerturb),
+        ("DyTwoSwap", AlgoKind::DyTwoSwap),
+        ("DyTwoSwap*", AlgoKind::DyTwoSwapPerturb),
+    ] {
+        let out = run(kind, &g, &[], &ups, limit);
+        c.row(vec![
+            label.to_string(),
+            if out.dnf { "-".into() } else { fmt_duration(out.elapsed) },
+            out.size.to_string(),
+        ]);
+    }
+    println!("\n# Fig. 7(c) — perturbation: response-time overhead\n");
+    c.print();
+
+    // (d): lazy cost as k grows.
+    let mut d = Table::new(vec!["k", "lazy time", "eager time", "lazy/eager"]);
+    for k in 1..=4usize {
+        let lazy = run(AlgoKind::Generic(k), &g, &[], &ups, limit);
+        let eager = match k {
+            1 => Some(run(AlgoKind::DyOneSwap, &g, &[], &ups, limit)),
+            2 => Some(run(AlgoKind::DyTwoSwap, &g, &[], &ups, limit)),
+            _ => None,
+        };
+        d.row(vec![
+            k.to_string(),
+            if lazy.dnf { "-".into() } else { fmt_duration(lazy.elapsed) },
+            eager
+                .as_ref()
+                .map(|e| fmt_duration(e.elapsed))
+                .unwrap_or_else(|| "n/a".into()),
+            eager
+                .map(|e| format!("{:.2}x", lazy.elapsed.as_secs_f64() / e.elapsed.as_secs_f64()))
+                .unwrap_or_else(|| "n/a".into()),
+        ]);
+    }
+    println!("\n# Fig. 7(d) — lazy-collection cost as k grows\n");
+    d.print();
+}

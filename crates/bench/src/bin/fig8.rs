@@ -1,0 +1,42 @@
+//! **Figure 8** — scalability in the number of updates on the hollywood
+//! and soc-LiveJournal stand-ins: response time (a, c) and gap/accuracy
+//! (b, d) as #updates sweeps from 100k- to 1M-equivalent.
+
+use dynamis_bench::harness::{dataset_workload, run, AlgoKind};
+use dynamis_bench::report::{fmt_acc, fmt_duration, fmt_gap, Table};
+use dynamis_bench::time_limit;
+
+fn main() {
+    let limit = time_limit();
+    for name in ["hollywood", "soc-LiveJournal"] {
+        let spec = dynamis_gen::datasets::by_name(name).expect("registry");
+        // Generate the largest schedule once; prefixes give the sweep.
+        let (g, ups, init) = dataset_workload(spec, 1_000_000);
+        let reference = init.reference();
+        eprintln!("[fig8] {name}: n={} m={} max updates={}", g.num_vertices(), g.num_edges(), ups.len());
+        let mut t = Table::new(vec![
+            "#updates", "algo", "time", "gap", "acc",
+        ]);
+        let steps = 5usize;
+        for i in 1..=steps {
+            let cut = ups.len() * i / steps;
+            for kind in AlgoKind::paper_lineup() {
+                let out = run(kind, &g, init.solution(), &ups[..cut], limit);
+                t.row(vec![
+                    cut.to_string(),
+                    kind.label(),
+                    if out.dnf { "-".into() } else { fmt_duration(out.elapsed) },
+                    if out.dnf { "-".into() } else { fmt_gap(out.size, reference) },
+                    if out.dnf { "-".into() } else { fmt_acc(out.size, reference) },
+                ]);
+            }
+        }
+        println!(
+            "\n# Fig. 8 — scalability in #updates on {name} (reference {} = {}{})\n",
+            if init.is_exact() { "α" } else { "ARW best" },
+            reference,
+            if init.is_exact() { "" } else { "†" }
+        );
+        t.print();
+    }
+}

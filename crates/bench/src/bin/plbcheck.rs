@@ -1,0 +1,46 @@
+//! **Theorem 4 / Lemma 2 ablation** — fits the power-law bounded
+//! parameters (Definition 2) of every dataset stand-in, evaluates the
+//! constant approximation-ratio bound of Theorem 4 and the expected
+//! `|¯I₂(v)|` bound of Lemma 2, and compares the bound with the measured
+//! accuracy of DyOneSwap.
+
+use dynamis_bench::report::Table;
+use dynamis_core::{DyOneSwap, DynamicMis};
+use dynamis_gen::plb::PlbFit;
+use dynamis_gen::DATASETS;
+use dynamis_graph::CsrGraph;
+
+fn main() {
+    let mut t = Table::new(vec![
+        "Graph", "β̂", "c1", "c2", "Thm4 bound", "Lemma2 E[|I2|]", "measured α/|I| ≤",
+    ]);
+    for spec in &DATASETS {
+        let g = spec.build();
+        let csr = CsrGraph::from_dynamic(&g);
+        let Some(est) = PlbFit::default().fit(&csr.degree_histogram()) else {
+            continue;
+        };
+        let engine = DyOneSwap::new(g, &[]);
+        // Upper bound on the true ratio: α ≤ n, so α/|I| ≤ n/|I| — and the
+        // Theorem 4 bound must dominate the TRUE ratio (≤ this only when
+        // bound ≥ true ratio; we report n/|I| as a conservative ceiling).
+        let ceiling = csr.num_vertices() as f64 / engine.size() as f64;
+        t.row(vec![
+            spec.name.to_string(),
+            format!("{:.2}", est.beta),
+            format!("{:.2}", est.c1),
+            format!("{:.3}", est.c2),
+            est.theorem4_ratio()
+                .map(|r| format!("{r:.1}"))
+                .unwrap_or_else(|| "β≤2".into()),
+            est.lemma2_expected_i2(csr.avg_degree())
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|| "β≤2.5".into()),
+            format!("{ceiling:.2}"),
+        ]);
+    }
+    println!("# Theorem 4 / Lemma 2 — PLB constants per dataset stand-in\n");
+    t.print();
+    println!("\n(Thm4 bound is the worst-case guarantee; the measured column is the");
+    println!(" trivial ceiling n/|I| — real accuracy is far better, see Table II.)");
+}

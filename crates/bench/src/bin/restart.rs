@@ -1,0 +1,70 @@
+//! Extension experiment: the amortized cost of recompute-from-scratch.
+//!
+//! The introduction dismisses static methods because they "need to
+//! recompute the solution from scratch after each update". This binary
+//! quantifies the claim: the `Restart` baseline is swept over its
+//! recompute interval and compared against `DyOneSwap`/`DyTwoSwap` on an
+//! identical schedule. Columns: total wall time, full solves performed,
+//! and the final solution size (higher is better).
+//!
+//! Expected shape: interval = 1 is orders of magnitude slower than the
+//! dynamic engines at equal-or-worse quality; large intervals approach
+//! the engines' speed but go stale between solves.
+
+use dynamis_baselines::{Restart, RestartSolver};
+use dynamis_bench::Table;
+use dynamis_core::{DyOneSwap, DyTwoSwap, DynamicMis};
+use dynamis_gen::{powerlaw::chung_lu, StreamConfig, UpdateStream};
+use std::time::Instant;
+
+fn main() {
+    let fast = dynamis_bench::fast_mode();
+    let n = if fast { 4_000 } else { 20_000 };
+    let updates = if fast { 4_000 } else { 20_000 };
+    let g = chung_lu(n, 2.3, 8.0, 41);
+    let ups = UpdateStream::new(&g, StreamConfig::default(), 42).take_updates(updates);
+
+    println!("# restart ablation — n = {n}, {updates} mixed updates, Chung-Lu beta = 2.3");
+    println!();
+    let mut table = Table::new(vec!["algorithm", "time (ms)", "solves", "final |I|"]);
+
+    for interval in [1usize, 10, 100, 1_000] {
+        let t0 = Instant::now();
+        let mut r = Restart::new(g.clone(), RestartSolver::Greedy, interval);
+        for u in &ups {
+            r.apply_update(u);
+        }
+        table.row(vec![
+            format!("Restart(Greedy, every {interval})"),
+            format!("{}", t0.elapsed().as_millis()),
+            format!("{}", r.recomputes),
+            format!("{}", r.size()),
+        ]);
+    }
+
+    let t0 = Instant::now();
+    let mut one = DyOneSwap::new(g.clone(), &[]);
+    for u in &ups {
+        one.apply_update(u);
+    }
+    table.row(vec![
+        "DyOneSwap".to_string(),
+        format!("{}", t0.elapsed().as_millis()),
+        "0".to_string(),
+        format!("{}", one.size()),
+    ]);
+
+    let t0 = Instant::now();
+    let mut two = DyTwoSwap::new(g.clone(), &[]);
+    for u in &ups {
+        two.apply_update(u);
+    }
+    table.row(vec![
+        "DyTwoSwap".to_string(),
+        format!("{}", t0.elapsed().as_millis()),
+        "0".to_string(),
+        format!("{}", two.size()),
+    ]);
+
+    table.print();
+}

@@ -1,0 +1,57 @@
+//! **Table II** — gap to the independence number and accuracy on the
+//! easy graphs after 100 000-equivalent updates, for DGOneDIS, DGTwoDIS,
+//! DyARW, DyOneSwap (gap/acc/gap*) and DyTwoSwap (gap/acc/gap*).
+
+use dynamis_bench::harness::{dataset_workload, run, AlgoKind};
+use dynamis_bench::report::{fmt_acc, fmt_gap, Table};
+use dynamis_bench::{fast_mode, time_limit};
+use dynamis_gen::datasets;
+
+fn main() {
+    let limit = time_limit();
+    let mut t = Table::new(vec![
+        "Graph", "ref(α)", "DGOne gap", "acc", "DGTwo gap", "acc", "DyARW gap", "acc",
+        "DyOne gap", "acc", "gap*", "DyTwo gap", "acc", "gap*",
+    ]);
+    let specs: Vec<_> = datasets::easy().collect();
+    let specs = if fast_mode() { &specs[..4] } else { &specs[..] };
+    for spec in specs {
+        eprintln!("[table2] {} ...", spec.name);
+        let (g, ups, init) = dataset_workload(spec, 100_000);
+        let reference = init.reference();
+        let mut cells = vec![
+            format!("{}{}", spec.name, if init.is_exact() { "" } else { "†" }),
+            reference.to_string(),
+        ];
+        for kind in [
+            AlgoKind::DgOneDis,
+            AlgoKind::DgTwoDis,
+            AlgoKind::DyArw,
+            AlgoKind::DyOneSwap,
+            AlgoKind::DyOneSwapPerturb,
+            AlgoKind::DyTwoSwap,
+            AlgoKind::DyTwoSwapPerturb,
+        ] {
+            let out = run(kind, &g, init.solution(), &ups, limit);
+            let is_star = matches!(
+                kind,
+                AlgoKind::DyOneSwapPerturb | AlgoKind::DyTwoSwapPerturb
+            );
+            if out.dnf {
+                cells.push("-".into());
+                if !is_star {
+                    cells.push("-".into());
+                }
+                continue;
+            }
+            cells.push(fmt_gap(out.size, reference));
+            if !is_star {
+                cells.push(fmt_acc(out.size, reference));
+            }
+        }
+        t.row(cells);
+    }
+    println!("# Table II — gap & accuracy on easy graphs (100k-equivalent updates)");
+    println!("# († = exact solver timed out; reference is the ARW best, as in Table IV)\n");
+    t.print();
+}

@@ -1,0 +1,56 @@
+//! **Table III** — gap & accuracy on the last seven easy graphs after
+//! 1 000 000-equivalent updates (the "huge number of updates" regime
+//! where the index-based baselines degrade).
+
+use dynamis_bench::harness::{dataset_workload, run, AlgoKind};
+use dynamis_bench::report::{fmt_acc, fmt_gap, Table};
+use dynamis_bench::{fast_mode, time_limit};
+use dynamis_gen::datasets;
+
+fn main() {
+    let limit = time_limit();
+    let mut t = Table::new(vec![
+        "Graph", "ref(α)", "DGOne gap", "acc", "DGTwo gap", "acc", "DyARW gap", "acc",
+        "DyOne gap", "acc", "gap*", "DyTwo gap", "acc", "gap*",
+    ]);
+    let specs: Vec<_> = datasets::easy_large().collect();
+    let specs = if fast_mode() { &specs[..3] } else { &specs[..] };
+    for spec in specs {
+        eprintln!("[table3] {} ...", spec.name);
+        let (g, ups, init) = dataset_workload(spec, 1_000_000);
+        let reference = init.reference();
+        let mut cells = vec![
+            format!("{}{}", spec.name, if init.is_exact() { "" } else { "†" }),
+            reference.to_string(),
+        ];
+        for kind in [
+            AlgoKind::DgOneDis,
+            AlgoKind::DgTwoDis,
+            AlgoKind::DyArw,
+            AlgoKind::DyOneSwap,
+            AlgoKind::DyOneSwapPerturb,
+            AlgoKind::DyTwoSwap,
+            AlgoKind::DyTwoSwapPerturb,
+        ] {
+            let out = run(kind, &g, init.solution(), &ups, limit);
+            let is_star = matches!(
+                kind,
+                AlgoKind::DyOneSwapPerturb | AlgoKind::DyTwoSwapPerturb
+            );
+            if out.dnf {
+                cells.push("-".into());
+                if !is_star {
+                    cells.push("-".into());
+                }
+                continue;
+            }
+            cells.push(fmt_gap(out.size, reference));
+            if !is_star {
+                cells.push(fmt_acc(out.size, reference));
+            }
+        }
+        t.row(cells);
+    }
+    println!("# Table III — gap & accuracy, last seven easy graphs (1M-equivalent updates)\n");
+    t.print();
+}

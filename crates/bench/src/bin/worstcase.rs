@@ -1,0 +1,64 @@
+//! **Theorem 3 ablation** — the worst-case families `K'_n` and `Q'_d`:
+//! the original vertices form a k-maximal independent set whose size is
+//! exactly `2/Δ` of the optimum, demonstrating the limit of all
+//! swap-based approaches.
+
+use dynamis_bench::report::Table;
+use dynamis_gen::structured::{k_prime, q_prime};
+use dynamis_graph::CsrGraph;
+use dynamis_static::exact::{solve_exact, ExactConfig};
+use dynamis_static::verify::is_k_maximal;
+
+fn main() {
+    let mut t = Table::new(vec![
+        "family", "n", "m", "Δ", "|I| (k-max)", "α", "ratio α/|I|", "Δ/2", "k-maximal up to",
+    ]);
+    for n in [4usize, 5, 6, 7] {
+        let g = k_prime(n);
+        let csr = CsrGraph::from_dynamic(&g);
+        let originals: Vec<u32> = (0..n as u32).collect();
+        let alpha = solve_exact(&csr, ExactConfig::default())
+            .map(|r| r.alpha)
+            .unwrap_or(0);
+        let kmax = (1..=3)
+            .take_while(|&k| is_k_maximal(&csr, &originals, k))
+            .last()
+            .unwrap_or(0);
+        t.row(vec![
+            format!("K'_{n}"),
+            csr.num_vertices().to_string(),
+            csr.num_edges().to_string(),
+            csr.max_degree().to_string(),
+            originals.len().to_string(),
+            alpha.to_string(),
+            format!("{:.2}", alpha as f64 / originals.len() as f64),
+            format!("{:.2}", csr.max_degree() as f64 / 2.0),
+            format!("k={kmax}"),
+        ]);
+    }
+    for d in [3usize, 4] {
+        let g = q_prime(d);
+        let csr = CsrGraph::from_dynamic(&g);
+        let originals: Vec<u32> = (0..(1u32 << d)).collect();
+        let alpha = solve_exact(&csr, ExactConfig::default())
+            .map(|r| r.alpha)
+            .unwrap_or(0);
+        let kmax = (1..=4)
+            .take_while(|&k| is_k_maximal(&csr, &originals, k))
+            .last()
+            .unwrap_or(0);
+        t.row(vec![
+            format!("Q'_{d}"),
+            csr.num_vertices().to_string(),
+            csr.num_edges().to_string(),
+            csr.max_degree().to_string(),
+            originals.len().to_string(),
+            alpha.to_string(),
+            format!("{:.2}", alpha as f64 / originals.len() as f64),
+            format!("{:.2}", csr.max_degree() as f64 / 2.0),
+            format!("k={kmax}"),
+        ]);
+    }
+    println!("# Theorem 3 — worst-case families: ratio approaches Δ/2 and no k helps\n");
+    t.print();
+}

@@ -1,0 +1,335 @@
+//! Workload runner: builds any algorithm, replays an update schedule
+//! under a wall-clock limit, and reports size/time/memory.
+
+use dynamis_baselines::{DgDis, DyArw, MaximalOnly};
+use dynamis_core::{DyOneSwap, DyTwoSwap, DynamicMis, EngineConfig, GenericKSwap};
+use dynamis_graph::{CsrGraph, DynamicGraph, Update};
+use dynamis_static::arw::{arw_local_search, ArwConfig};
+use dynamis_static::exact::{solve_exact, ExactConfig};
+use std::time::{Duration, Instant};
+
+/// Every dynamic algorithm the experiments compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgoKind {
+    /// Repair-only floor (ablation).
+    MaximalOnly,
+    /// Zheng et al. dependency index, degree-one reductions.
+    DgOneDis,
+    /// Zheng et al. dependency index, degree-one + degree-two.
+    DgTwoDis,
+    /// Dynamic ARW (sorted adjacency, 1-swaps).
+    DyArw,
+    /// This paper, k = 1.
+    DyOneSwap,
+    /// This paper, k = 1, with perturbation (the `gap*` columns).
+    DyOneSwapPerturb,
+    /// This paper, k = 2.
+    DyTwoSwap,
+    /// This paper, k = 2, with perturbation.
+    DyTwoSwapPerturb,
+    /// Generic lazy engine with the given k.
+    Generic(usize),
+}
+
+impl AlgoKind {
+    /// Table/figure label.
+    pub fn label(&self) -> String {
+        match self {
+            AlgoKind::MaximalOnly => "MaximalOnly".into(),
+            AlgoKind::DgOneDis => "DGOneDIS".into(),
+            AlgoKind::DgTwoDis => "DGTwoDIS".into(),
+            AlgoKind::DyArw => "DyARW".into(),
+            AlgoKind::DyOneSwap => "DyOneSwap".into(),
+            AlgoKind::DyOneSwapPerturb => "DyOneSwap*".into(),
+            AlgoKind::DyTwoSwap => "DyTwoSwap".into(),
+            AlgoKind::DyTwoSwapPerturb => "DyTwoSwap*".into(),
+            AlgoKind::Generic(k) => format!("Lazy(k={k})"),
+        }
+    }
+
+    /// The five-algorithm lineup of Tables II–IV.
+    pub fn paper_lineup() -> [AlgoKind; 5] {
+        [
+            AlgoKind::DgOneDis,
+            AlgoKind::DgTwoDis,
+            AlgoKind::DyArw,
+            AlgoKind::DyOneSwap,
+            AlgoKind::DyTwoSwap,
+        ]
+    }
+
+    /// Instantiates the engine over its own copy of the graph.
+    pub fn build(&self, g: &DynamicGraph, initial: &[u32]) -> Box<dyn DynamicMis> {
+        let g = g.clone();
+        let perturb = EngineConfig {
+            perturbation: true,
+            perturb_budget: 2,
+        };
+        match self {
+            AlgoKind::MaximalOnly => Box::new(MaximalOnly::new(g, initial)),
+            AlgoKind::DgOneDis => Box::new(DgDis::one_dis(g, initial)),
+            AlgoKind::DgTwoDis => Box::new(DgDis::two_dis(g, initial)),
+            AlgoKind::DyArw => Box::new(DyArw::new(g, initial)),
+            AlgoKind::DyOneSwap => Box::new(DyOneSwap::new(g, initial)),
+            AlgoKind::DyOneSwapPerturb => {
+                Box::new(DyOneSwap::with_config(g, initial, perturb))
+            }
+            AlgoKind::DyTwoSwap => Box::new(DyTwoSwap::new(g, initial)),
+            AlgoKind::DyTwoSwapPerturb => {
+                Box::new(DyTwoSwap::with_config(g, initial, perturb))
+            }
+            AlgoKind::Generic(k) => Box::new(GenericKSwap::new(g, initial, *k)),
+        }
+    }
+}
+
+/// Result of one (algorithm, workload) run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Algorithm label.
+    pub name: String,
+    /// Solution size after the last processed update.
+    pub size: usize,
+    /// Wall-clock time spent in the update loop.
+    pub elapsed: Duration,
+    /// Engine-reported heap footprint after the run.
+    pub heap_bytes: usize,
+    /// Number of updates actually processed.
+    pub processed: usize,
+    /// True when the time limit fired before the schedule finished
+    /// (printed as "-" in the tables, like the paper's five-hour DNFs).
+    pub dnf: bool,
+}
+
+/// Replays `updates` through algorithm `kind`, enforcing `limit` on the
+/// update loop (checked every 128 updates).
+pub fn run(
+    kind: AlgoKind,
+    g: &DynamicGraph,
+    initial: &[u32],
+    updates: &[Update],
+    limit: Duration,
+) -> RunOutcome {
+    let mut engine = kind.build(g, initial);
+    let start = Instant::now();
+    let mut processed = 0usize;
+    let mut dnf = false;
+    for chunk in updates.chunks(128) {
+        for u in chunk {
+            engine.apply_update(u);
+        }
+        processed += chunk.len();
+        if start.elapsed() > limit {
+            dnf = processed < updates.len();
+            break;
+        }
+    }
+    RunOutcome {
+        name: kind.label(),
+        size: engine.size(),
+        elapsed: start.elapsed(),
+        heap_bytes: engine.heap_bytes(),
+        processed,
+        dnf,
+    }
+}
+
+/// Ground truth for gap/accuracy columns.
+#[derive(Debug, Clone)]
+pub enum InitialSolution {
+    /// The exact solver finished: gaps are measured against true α
+    /// (the paper's "easy" regime, VCSolver).
+    Exact {
+        /// The independence number.
+        alpha: usize,
+        /// A maximum independent set, used as the initial solution.
+        solution: Vec<u32>,
+    },
+    /// Exact timed out: gaps are measured against the ARW local-search
+    /// best (the paper's "hard" regime).
+    Best {
+        /// Size of the best solution found.
+        size: usize,
+        /// The ARW solution, used as the initial solution.
+        solution: Vec<u32>,
+    },
+}
+
+impl InitialSolution {
+    /// Reference value the gap columns subtract from.
+    pub fn reference(&self) -> usize {
+        match self {
+            InitialSolution::Exact { alpha, .. } => *alpha,
+            InitialSolution::Best { size, .. } => *size,
+        }
+    }
+
+    /// The initial independent set handed to every engine.
+    pub fn solution(&self) -> &[u32] {
+        match self {
+            InitialSolution::Exact { solution, .. } => solution,
+            InitialSolution::Best { solution, .. } => solution,
+        }
+    }
+
+    /// Whether the exact regime applies.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, InitialSolution::Exact { .. })
+    }
+}
+
+/// The paper's §V-A initialization policy: "for easy graphs, we use a
+/// MaxIS computed by VCSolver as the initial independent set, and for
+/// hard graphs we treat the independent set returned by ARW as the input
+/// one".
+pub fn initial_solution(csr: &CsrGraph, exact_budget: u64) -> InitialSolution {
+    if let Some(r) = solve_exact(
+        csr,
+        ExactConfig {
+            node_budget: exact_budget,
+        },
+    ) {
+        InitialSolution::Exact {
+            alpha: r.alpha,
+            solution: r.solution,
+        }
+    } else {
+        let best = arw_local_search(
+            csr,
+            ArwConfig {
+                perturbations: 30,
+                seed: 0xa1,
+            },
+        );
+        InitialSolution::Best {
+            size: best.len(),
+            solution: best,
+        }
+    }
+}
+
+/// [`initial_solution`] with an additional wall-clock cap: the exact
+/// attempt runs on a helper thread and is abandoned (falling back to the
+/// ARW regime) if it exceeds `wall_limit`. This is the scaled analogue of
+/// the paper's five-hour VCSolver cutoff that defines Table I's
+/// easy/hard split.
+pub fn initial_solution_timed(
+    csr: &CsrGraph,
+    exact_budget: u64,
+    wall_limit: Duration,
+) -> InitialSolution {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let snapshot = csr.clone();
+    std::thread::spawn(move || {
+        let r = solve_exact(
+            &snapshot,
+            ExactConfig {
+                node_budget: exact_budget,
+            },
+        );
+        let _ = tx.send(r);
+    });
+    match rx.recv_timeout(wall_limit) {
+        Ok(Some(r)) => InitialSolution::Exact {
+            alpha: r.alpha,
+            solution: r.solution,
+        },
+        _ => {
+            let best = arw_local_search(
+                csr,
+                ArwConfig {
+                    perturbations: 30,
+                    seed: 0xa1,
+                },
+            );
+            InitialSolution::Best {
+                size: best.len(),
+                solution: best,
+            }
+        }
+    }
+}
+
+/// Builds the full workload for one dataset stand-in: the graph, the
+/// scaled update schedule, and the paper-policy initial solution.
+pub fn dataset_workload(
+    spec: &dynamis_gen::DatasetSpec,
+    paper_updates: u64,
+) -> (DynamicGraph, Vec<Update>, InitialSolution) {
+    let g = spec.build();
+    let count = spec.scaled_updates(paper_updates);
+    let ups = dynamis_gen::UpdateStream::new(
+        &g,
+        dynamis_gen::StreamConfig::default(),
+        spec.seed() ^ 0x75D0,
+    )
+    .take_updates(count);
+    let csr = CsrGraph::from_dynamic(&g);
+    let init = initial_solution_timed(&csr, 3_000_000, Duration::from_secs(20));
+    (g, ups, init)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamis_gen::{stream::StreamConfig, uniform::gnm, UpdateStream};
+
+    #[test]
+    fn run_executes_full_schedule_within_limit() {
+        let g = gnm(50, 100, 1);
+        let ups = UpdateStream::new(&g, StreamConfig::default(), 2).take_updates(200);
+        let out = run(
+            AlgoKind::DyOneSwap,
+            &g,
+            &[],
+            &ups,
+            Duration::from_secs(30),
+        );
+        assert!(!out.dnf);
+        assert_eq!(out.processed, 200);
+        assert!(out.size > 0);
+    }
+
+    #[test]
+    fn run_dnfs_on_zero_limit() {
+        let g = gnm(50, 100, 1);
+        let ups = UpdateStream::new(&g, StreamConfig::default(), 2).take_updates(5_000);
+        let out = run(AlgoKind::DyTwoSwap, &g, &[], &ups, Duration::from_nanos(1));
+        assert!(out.dnf);
+        assert!(out.processed < 5_000);
+    }
+
+    #[test]
+    fn initial_solution_policy() {
+        let g = gnm(30, 45, 3);
+        let csr = CsrGraph::from_dynamic(&g);
+        // Ample budget: exact regime.
+        assert!(initial_solution(&csr, 10_000_000).is_exact());
+        // Starved budget: ARW regime.
+        let dense = gnm(60, 900, 4);
+        let csr = CsrGraph::from_dynamic(&dense);
+        let init = initial_solution(&csr, 1);
+        assert!(!init.is_exact());
+        assert!(init.reference() > 0);
+    }
+
+    #[test]
+    fn every_kind_builds_and_runs() {
+        let g = gnm(20, 30, 9);
+        let ups = UpdateStream::new(&g, StreamConfig::default(), 5).take_updates(50);
+        for kind in [
+            AlgoKind::MaximalOnly,
+            AlgoKind::DgOneDis,
+            AlgoKind::DgTwoDis,
+            AlgoKind::DyArw,
+            AlgoKind::DyOneSwap,
+            AlgoKind::DyOneSwapPerturb,
+            AlgoKind::DyTwoSwap,
+            AlgoKind::DyTwoSwapPerturb,
+            AlgoKind::Generic(3),
+        ] {
+            let out = run(kind, &g, &[], &ups, Duration::from_secs(30));
+            assert_eq!(out.processed, 50, "{} failed", out.name);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Markdown table rendering for the experiment binaries.
+
+/// Column-aligned markdown table builder.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given header.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders aligned markdown.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {c:>w$} |", w = w));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders and prints.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a duration as engineering-style seconds/milliseconds.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let ms = d.as_secs_f64() * 1e3;
+    if ms >= 10_000.0 {
+        format!("{:.1}s", ms / 1e3)
+    } else {
+        format!("{ms:.1}ms")
+    }
+}
+
+/// Formats bytes as MB with one decimal.
+pub fn fmt_mb(bytes: usize) -> String {
+    format!("{:.1}MB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Accuracy as a percentage string (the paper's `acc` columns).
+pub fn fmt_acc(size: usize, reference: usize) -> String {
+    if reference == 0 {
+        "n/a".into()
+    } else {
+        format!("{:.2}%", 100.0 * size as f64 / reference as f64)
+    }
+}
+
+/// Gap with the paper's ↑ marker when the maintained solution *exceeds*
+/// the reference (possible in the hard regime, where the reference is a
+/// heuristic).
+pub fn fmt_gap(size: usize, reference: usize) -> String {
+    if size > reference {
+        format!("{}↑", size - reference)
+    } else {
+        format!("{}", reference - size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_markdown() {
+        let mut t = Table::new(vec!["graph", "gap"]);
+        t.row(vec!["Epinions", "12"]);
+        t.row(vec!["x", "10000"]);
+        let r = t.render();
+        assert!(r.contains("| Epinions |"));
+        assert!(r.lines().count() == 4);
+        let widths: Vec<usize> = r.lines().map(str::len).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "aligned: {r}");
+    }
+
+    #[test]
+    fn gap_marker() {
+        assert_eq!(fmt_gap(90, 100), "10");
+        assert_eq!(fmt_gap(105, 100), "5↑");
+        assert_eq!(fmt_acc(50, 100), "50.00%");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+}

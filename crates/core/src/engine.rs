@@ -1,0 +1,634 @@
+//! The maintenance engine implementing Algorithms 1–3.
+//!
+//! [`SwapEngine`] is the internal workhorse behind the public
+//! [`crate::DyOneSwap`] (k = 1) and [`crate::DyTwoSwap`] (k = 2) types.
+//! The two instantiations share all update plumbing; the `k2` flag
+//! enables the `¯I₂` tier, the `C₂` queue, and the FIND TWOSWAP
+//! procedure.
+//!
+//! ## Candidate discovery
+//!
+//! The paper enumerates, per update type, which vertices must be enqueued
+//! as candidates. We implement the same completeness contract through
+//! *count-transition hooks*: whenever `count(u)` transitions into 1 the
+//! pair `(I(u), u)` enters `C₁`, and whenever it transitions into 2 (from
+//! 3, or from 1 during a MoveIn — i.e. whenever `u` genuinely becomes a
+//! new member of some `¯I≤2(S)`) the pair enters `C₂`. The only update
+//! that changes bucket *adjacency* without changing any count is the
+//! deletion of an edge between two outsiders, which Algorithms 2/3 handle
+//! with explicit cases — reproduced verbatim in
+//! [`SwapEngine::outsider_edge_removed`]. Every entry is re-validated at
+//! pop time, so over-approximating the candidate set affects constant
+//! factors only, never correctness.
+
+use crate::queues::{C1Queue, C2Queue};
+use crate::state::{CountEvent, SwapState};
+use dynamis_graph::collections::StampSet;
+use dynamis_graph::{DynamicGraph, Update};
+
+/// Tuning knobs shared by the concrete engines.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Enable the §III-B perturbation: when a candidate yields no swap,
+    /// exchange it with its smallest-degree `¯I₁` neighbor if that
+    /// strictly decreases the degree (a plateau move that empirically
+    /// enlarges later solutions — the `gap*` columns of Tables II–IV).
+    pub perturbation: bool,
+    /// Maximum perturbation moves per update (termination guard).
+    pub perturb_budget: u32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            perturbation: false,
+            perturb_budget: 2,
+        }
+    }
+}
+
+/// Counters exposed for tests, examples, and the experiment harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Updates processed.
+    pub updates: u64,
+    /// 1-swaps performed.
+    pub one_swaps: u64,
+    /// 2-swaps performed.
+    pub two_swaps: u64,
+    /// Perturbation moves performed.
+    pub perturbations: u64,
+    /// Maximality repairs (MoveIn of a freed vertex).
+    pub repairs: u64,
+}
+
+/// Shared engine for k ∈ {1, 2}.
+#[derive(Debug)]
+pub(crate) struct SwapEngine {
+    pub st: SwapState,
+    k2: bool,
+    cfg: EngineConfig,
+    c1: C1Queue,
+    c2: C2Queue,
+    repair: Vec<u32>,
+    scratch: Vec<u32>,
+    stamp: StampSet,
+    stamp2: StampSet,
+    perturb_left: u32,
+    pub stats: EngineStats,
+}
+
+impl SwapEngine {
+    /// Builds the engine over `graph` starting from `initial` (must be an
+    /// independent set; it is extended to maximality and then driven to
+    /// k-maximality before the constructor returns).
+    pub fn new(graph: DynamicGraph, initial: &[u32], k2: bool, cfg: EngineConfig) -> Self {
+        let cap = graph.capacity();
+        let st = SwapState::new(graph, initial, k2);
+        let mut c1 = C1Queue::default();
+        c1.ensure_capacity(cap);
+        let mut eng = SwapEngine {
+            st,
+            k2,
+            cfg,
+            c1,
+            c2: C2Queue::default(),
+            repair: Vec::new(),
+            scratch: Vec::new(),
+            stamp: StampSet::with_capacity(cap),
+            stamp2: StampSet::with_capacity(cap),
+            perturb_left: 0,
+            stats: EngineStats::default(),
+        };
+        eng.bootstrap();
+        eng
+    }
+
+    /// Extends the initial set to maximality and drains all swaps so the
+    /// starting solution is k-maximal.
+    fn bootstrap(&mut self) {
+        let free: Vec<u32> = self
+            .st
+            .g
+            .vertices()
+            .filter(|&v| !self.st.in_solution(v) && self.st.count(v) == 0)
+            .collect();
+        for v in free {
+            if !self.st.in_solution(v) && self.st.count(v) == 0 {
+                self.move_in(v);
+            }
+        }
+        // Seed every bucket as "new" and drain.
+        let sols: Vec<u32> = self.st.solution();
+        for v in sols {
+            for u in self.st.bar1(v).to_vec() {
+                self.c1.push(v, u);
+            }
+            if self.k2 {
+                for u in self.st.bar2_by_parent(v).to_vec() {
+                    let (a, b) = self.st.parents2(u);
+                    self.c2.push(a, b, u);
+                }
+            }
+        }
+        self.perturb_left = 0; // no perturbation during bootstrap
+        self.drain();
+    }
+
+    #[inline]
+    fn handle_event(&mut self, u: u32, ev: CountEvent) {
+        match ev {
+            CountEvent::To0 => self.repair.push(u),
+            CountEvent::To1 { parent } => self.c1.push(parent, u),
+            CountEvent::To2 { a, b } => {
+                if self.k2 {
+                    self.c2.push(a, b, u);
+                }
+            }
+            CountEvent::Other => {}
+        }
+    }
+
+    /// MOVEIN(v): O(d(v)) plus hook work.
+    fn move_in(&mut self, v: u32) {
+        self.st.set_in(v);
+        self.scratch.clear();
+        let st = &self.st;
+        self.scratch.extend(st.g.neighbors(v));
+        for i in 0..self.scratch.len() {
+            let u = self.scratch[i];
+            let ev = self.st.inc_count(u, v);
+            self.handle_event(u, ev);
+        }
+    }
+
+    /// MOVEOUT(v): O(d(v)) plus hook work.
+    fn move_out(&mut self, v: u32) {
+        self.st.set_out(v);
+        self.scratch.clear();
+        let st = &self.st;
+        self.scratch.extend(st.g.neighbors(v));
+        for i in 0..self.scratch.len() {
+            let u = self.scratch[i];
+            let ev = self.st.dec_count(u, v);
+            self.handle_event(u, ev);
+        }
+    }
+
+    /// Inserts every freed vertex ("extends the solution to be maximal").
+    fn process_repairs(&mut self) {
+        while let Some(u) = self.repair.pop() {
+            if self.st.g.is_alive(u) && !self.st.in_solution(u) && self.st.count(u) == 0 {
+                self.stats.repairs += 1;
+                self.move_in(u);
+            }
+        }
+    }
+
+    /// The Algorithm 1 main loop: repairs first, then `C₁` bottom-up
+    /// before `C₂`. On return both candidate queues are empty — the
+    /// termination condition of Algorithm 1.
+    fn drain(&mut self) {
+        self.drain_inner();
+        debug_assert!(self.c1.is_empty(), "C1 not drained");
+        debug_assert!(self.c2.is_empty(), "C2 not drained");
+    }
+
+    fn drain_inner(&mut self) {
+        loop {
+            self.process_repairs();
+            if let Some((v, cands)) = self.c1.pop() {
+                self.find_one_swap(v, cands);
+            } else if self.k2 {
+                if let Some(((a, b), cands)) = self.c2.pop() {
+                    self.find_two_swap(a, b, cands);
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// FIND ONESWAP (Algorithm 2 lines 4–11 / Algorithm 3 lines 7–17).
+    fn find_one_swap(&mut self, v: u32, cands: Vec<u32>) {
+        if !self.st.in_solution(v) {
+            return; // stale candidate set
+        }
+        // Validate & dedup C(v): members must still be count-1 children
+        // of v.
+        self.stamp.clear();
+        let mut valid: Vec<u32> = Vec::with_capacity(cands.len());
+        for u in cands {
+            if self.st.g.is_alive(u)
+                && !self.st.in_solution(u)
+                && self.st.count(u) == 1
+                && self.st.parent1(u) == v
+                && !self.stamp.is_marked(u)
+            {
+                self.stamp.mark(u);
+                valid.push(u);
+            }
+        }
+        if valid.is_empty() {
+            return;
+        }
+        for &u in &valid {
+            // |N[u] ∩ ¯I₁(v)| < |¯I₁(v)| ⟺ G[¯I₁(v)] is no longer a clique
+            // around u. Membership is an O(1) test (count == 1 & parent).
+            let bar_len = self.st.bar1(v).len();
+            let mut inside = 1usize; // u itself (closed neighborhood)
+            for w in self.st.g.neighbors(u) {
+                if w != v
+                    && !self.st.in_solution(w)
+                    && self.st.count(w) == 1
+                    && self.st.parent1(w) == v
+                {
+                    inside += 1;
+                }
+            }
+            if inside < bar_len {
+                self.stats.one_swaps += 1;
+                self.move_out(v);
+                debug_assert_eq!(self.st.count(u), 0, "u's only parent was v");
+                self.move_in(u);
+                // The non-adjacent witness (and any other freed member of
+                // the old ¯I₁(v)) is inserted by the repair pass; all new
+                // candidates flow from the transition hooks.
+                self.process_repairs();
+                return;
+            }
+        }
+        // No 1-swap at v. Algorithm 3 lines 14–17: promote the survivors
+        // to C₂ — any u ∈ ¯I₂(v) non-adjacent to some c ∈ C(v) may now
+        // take part in a 2-swap.
+        if self.k2 {
+            self.stamp.clear();
+            for &c in &valid {
+                self.stamp.mark(c);
+            }
+            let promote: Vec<u32> = self
+                .st
+                .bar2_by_parent(v)
+                .iter()
+                .copied()
+                .filter(|&u| {
+                    let adj_c = self
+                        .st
+                        .g
+                        .neighbors(u)
+                        .filter(|&w| self.stamp.is_marked(w))
+                        .count();
+                    adj_c < valid.len()
+                })
+                .collect();
+            for u in promote {
+                let (a, b) = self.st.parents2(u);
+                self.c2.push(a, b, u);
+            }
+        }
+        if self.cfg.perturbation && self.perturb_left > 0 {
+            self.try_perturb(v);
+        }
+    }
+
+    /// FIND TWOSWAP (Algorithm 3 lines 18–28): for each count-2 pivot
+    /// `x ∈ C(S)`, search a triangle `(x, y, z)` in the complement of
+    /// `G[¯I≤2(S)]`.
+    fn find_two_swap(&mut self, a: u32, b: u32, cands: Vec<u32>) {
+        if !self.st.in_solution(a) || !self.st.in_solution(b) {
+            return;
+        }
+        self.stamp2.clear();
+        let mut pivots: Vec<u32> = Vec::with_capacity(cands.len());
+        for x in cands {
+            if self.st.g.is_alive(x)
+                && !self.st.in_solution(x)
+                && self.st.count(x) == 2
+                && self.st.parents2(x) == (a.min(b), a.max(b))
+                && !self.stamp2.is_marked(x)
+            {
+                self.stamp2.mark(x);
+                pivots.push(x);
+            }
+        }
+        for x in pivots {
+            // Cy = ¯I₁(a) ∪ ¯I₂(S) − N[x]; Cz = ¯I₁(b) ∪ ¯I₂(S) − N[x].
+            self.stamp.clear();
+            self.stamp.mark(x);
+            for w in self.st.g.neighbors(x) {
+                self.stamp.mark(w);
+            }
+            let cy: Vec<u32> = self
+                .st
+                .bar1(a)
+                .iter()
+                .chain(self.st.bar2(a, b).iter())
+                .copied()
+                .filter(|&y| !self.stamp.is_marked(y))
+                .collect();
+            if cy.is_empty() {
+                continue;
+            }
+            let cz: Vec<u32> = self
+                .st
+                .bar1(b)
+                .iter()
+                .chain(self.st.bar2(a, b).iter())
+                .copied()
+                .filter(|&z| !self.stamp.is_marked(z))
+                .collect();
+            if cz.is_empty() {
+                continue;
+            }
+            for &y in &cy {
+                // z must avoid N[y]; marking N[y] also rules out z == y.
+                self.stamp2.clear();
+                self.stamp2.mark(y);
+                for w in self.st.g.neighbors(y) {
+                    self.stamp2.mark(w);
+                }
+                if let Some(&z) = cz.iter().find(|&&z| !self.stamp2.is_marked(z)) {
+                    self.do_two_swap(a, b, x, y, z);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn do_two_swap(&mut self, a: u32, b: u32, x: u32, y: u32, z: u32) {
+        self.stats.two_swaps += 1;
+        self.move_out(a);
+        self.move_out(b);
+        for v in [x, y, z] {
+            debug_assert_eq!(self.st.count(v), 0, "swap-in vertex must be free");
+            if !self.st.in_solution(v) && self.st.count(v) == 0 {
+                self.move_in(v);
+            }
+        }
+        self.process_repairs();
+    }
+
+    /// §III-B optimization 2: plateau move toward low-degree vertices.
+    fn try_perturb(&mut self, v: u32) {
+        if !self.st.in_solution(v) {
+            return;
+        }
+        let Some(&u) = self
+            .st
+            .bar1(v)
+            .iter()
+            .min_by_key(|&&u| self.st.g.degree(u))
+        else {
+            return;
+        };
+        if self.st.g.degree(u) >= self.st.g.degree(v) {
+            return;
+        }
+        self.perturb_left -= 1;
+        self.stats.perturbations += 1;
+        self.move_out(v);
+        debug_assert_eq!(self.st.count(u), 0);
+        self.move_in(u);
+        self.process_repairs();
+    }
+
+    /// Applies one update and restores k-maximality (the framework's
+    /// per-update entry point).
+    pub fn apply_update(&mut self, upd: &Update) {
+        self.stats.updates += 1;
+        self.perturb_left = self.cfg.perturb_budget;
+        match upd {
+            Update::InsertEdge(a, b) => self.insert_edge(*a, *b),
+            Update::RemoveEdge(a, b) => self.remove_edge(*a, *b),
+            Update::InsertVertex { id, neighbors } => self.insert_vertex(*id, neighbors),
+            Update::RemoveVertex(v) => self.remove_vertex(*v),
+        }
+        self.drain();
+    }
+
+    /// Batch mode (extension beyond the paper, cf. its closing remark on
+    /// further optimization strategies): applies a whole burst of updates
+    /// — maintaining counts, buckets, maximality, and collecting
+    /// candidates throughout — but runs the swap-finding drain only
+    /// **once**, at the end. The result is identically k-maximal (the
+    /// invariant is a property of the final state, restored by the final
+    /// drain over the accumulated candidate queues), but cascades caused
+    /// by intermediate states are skipped, which pays off on bursty
+    /// streams that touch overlapping regions.
+    pub fn apply_batch(&mut self, updates: &[Update]) {
+        self.perturb_left = self.cfg.perturb_budget;
+        for upd in updates {
+            self.stats.updates += 1;
+            match upd {
+                Update::InsertEdge(a, b) => self.insert_edge(*a, *b),
+                Update::RemoveEdge(a, b) => self.remove_edge(*a, *b),
+                Update::InsertVertex { id, neighbors } => self.insert_vertex(*id, neighbors),
+                Update::RemoveVertex(v) => self.remove_vertex(*v),
+            }
+            // Maximality must hold before the next op's case analysis
+            // (the framework's invariants assume it); swap search waits.
+            self.process_repairs();
+        }
+        self.drain();
+    }
+
+    fn insert_edge(&mut self, a: u32, b: u32) {
+        let inserted = self
+            .st
+            .g
+            .insert_edge(a, b)
+            .expect("update stream must be valid");
+        if !inserted {
+            return;
+        }
+        match (self.st.in_solution(a), self.st.in_solution(b)) {
+            (false, false) => {} // counts unchanged; no new swap can appear
+            (true, false) => {
+                // b moves a layer down; no set ¯I≤k(S) gains a member, so
+                // no candidate is needed (see module docs).
+                let _ = self.st.inc_count(b, a);
+            }
+            (false, true) => {
+                let _ = self.st.inc_count(a, b);
+            }
+            (true, true) => self.solution_edge_inserted(a, b),
+        }
+    }
+
+    /// Edge inserted between two solution vertices: one must leave.
+    /// Paper rule: prefer the endpoint whose `¯I₁` is non-empty (its
+    /// departure frees a replacement, keeping |I| unchanged); otherwise
+    /// drop the higher-degree endpoint.
+    fn solution_edge_inserted(&mut self, a: u32, b: u32) {
+        let loser = if !self.st.bar1(b).is_empty() {
+            b
+        } else if !self.st.bar1(a).is_empty() {
+            a
+        } else if self.st.g.degree(b) >= self.st.g.degree(a) {
+            b
+        } else {
+            a
+        };
+        let winner = if loser == a { b } else { a };
+        // Demote `loser`: its non-winner neighbors lose a solution
+        // neighbor; it gains `winner` as its own (count 0 → 1 fires the
+        // C₁ candidate the paper collects for N[v]).
+        self.st.set_out(loser);
+        self.scratch.clear();
+        let st = &self.st;
+        self.scratch.extend(st.g.neighbors(loser).filter(|&w| w != winner));
+        for i in 0..self.scratch.len() {
+            let u = self.scratch[i];
+            let ev = self.st.dec_count(u, loser);
+            self.handle_event(u, ev);
+        }
+        let ev = self.st.inc_count(loser, winner);
+        self.handle_event(loser, ev);
+        self.process_repairs();
+    }
+
+    fn remove_edge(&mut self, a: u32, b: u32) {
+        let removed = self
+            .st
+            .g
+            .remove_edge(a, b)
+            .expect("update stream must be valid");
+        if !removed {
+            return;
+        }
+        match (self.st.in_solution(a), self.st.in_solution(b)) {
+            (true, true) => unreachable!("solution vertices are never adjacent"),
+            (true, false) => {
+                let ev = self.st.dec_count(b, a);
+                self.handle_event(b, ev);
+                self.process_repairs();
+            }
+            (false, true) => {
+                let ev = self.st.dec_count(a, b);
+                self.handle_event(a, ev);
+                self.process_repairs();
+            }
+            (false, false) => self.outsider_edge_removed(a, b),
+        }
+    }
+
+    /// Deleting an edge between two outsiders changes adjacency *inside*
+    /// buckets without touching any count — the only case needing
+    /// explicit candidate logic (Algorithm 2 case ii / Algorithm 3 cases
+    /// ii-a/b/c).
+    fn outsider_edge_removed(&mut self, u: u32, v: u32) {
+        let cu = self.st.count(u);
+        let cv = self.st.count(v);
+        if cu == 1 && cv == 1 {
+            let pu = self.st.parent1(u);
+            let pv = self.st.parent1(v);
+            if pu == pv {
+                // Case a: u, v now witness that G[¯I₁(w)] is not a clique.
+                self.c1.push(pu, u);
+                self.c1.push(pu, v);
+            } else if self.k2 {
+                // Case b: direct scan of ¯I₂({x, y}) for a third vertex w
+                // non-adjacent to both.
+                let (x, y) = (pu.min(pv), pu.max(pv));
+                if let Some(w) = self
+                    .st
+                    .bar2(x, y)
+                    .iter()
+                    .copied()
+                    .find(|&w| !self.st.g.has_edge(u, w) && !self.st.g.has_edge(v, w))
+                {
+                    self.do_two_swap(x, y, u, v, w);
+                }
+            }
+            return;
+        }
+        if !self.k2 {
+            return;
+        }
+        // Case c: I(u) ⊆ I(v) = {x, y} (and symmetric) — the count-2
+        // endpoint becomes a viable 2-swap pivot.
+        if cv == 2 && cu >= 1 && cu <= 2 {
+            let (x, y) = self.st.parents2(v);
+            if self
+                .st
+                .sol_neighbors(u)
+                .iter()
+                .all(|&p| p == x || p == y)
+            {
+                self.c2.push(x, y, v);
+            }
+        }
+        if cu == 2 && cv >= 1 && cv <= 2 {
+            let (x, y) = self.st.parents2(u);
+            if self
+                .st
+                .sol_neighbors(v)
+                .iter()
+                .all(|&p| p == x || p == y)
+            {
+                self.c2.push(x, y, u);
+            }
+        }
+    }
+
+    fn insert_vertex(&mut self, id: u32, neighbors: &[u32]) {
+        let v = self.st.g.add_vertex();
+        debug_assert_eq!(v, id, "vertex id allocation diverged from stream");
+        let cap = self.st.g.capacity();
+        self.st.ensure_capacity(cap);
+        self.c1.ensure_capacity(cap);
+        for &n in neighbors {
+            self.st
+                .g
+                .insert_edge(v, n)
+                .expect("update stream must be valid");
+        }
+        // Register v's solution neighbors; every transition is a genuine
+        // new bucket membership (v itself is new).
+        for i in 0..neighbors.len() {
+            let n = neighbors[i];
+            if self.st.in_solution(n) {
+                let ev = self.st.inc_count(v, n);
+                self.handle_event(v, ev);
+            }
+        }
+        if self.st.count(v) == 0 {
+            self.move_in(v);
+        }
+        self.process_repairs();
+    }
+
+    fn remove_vertex(&mut self, v: u32) {
+        if self.st.in_solution(v) {
+            self.st.set_out(v);
+            let former = self
+                .st
+                .g
+                .remove_vertex(v)
+                .expect("update stream must be valid");
+            for u in former {
+                let ev = self.st.dec_count(u, v);
+                self.handle_event(u, ev);
+            }
+            self.process_repairs();
+        } else {
+            self.st.purge_outsider(v);
+            self.st
+                .g
+                .remove_vertex(v)
+                .expect("update stream must be valid");
+            // Outsider removal never breaks maximality and only shrinks
+            // buckets: no candidates, no repairs.
+        }
+    }
+
+    /// Approximate heap footprint (graph + framework + queues).
+    pub fn heap_bytes(&self) -> usize {
+        self.st.g.heap_bytes()
+            + self.st.heap_bytes()
+            + self.c1.heap_bytes()
+            + self.c2.heap_bytes()
+    }
+}

@@ -1,0 +1,575 @@
+//! `GenericKSwap` — Algorithm 1 for a user-specified `k`, in the
+//! §III-B *lazy collection* mode.
+//!
+//! Unlike the eager engines, only `status` and `count` are maintained
+//! ("the framework only maintains count for each vertex explicitly, and
+//! collects other information in real time if needed"). Candidate sets
+//! `S ⊆ I` are processed bottom-up: a set of size `j` that yields no
+//! j-swap is *promoted* to supersets of size `j + 1` exactly as Algorithm
+//! 1 lines 11–12 prescribe. This is both the lazy-collection ablation of
+//! Fig. 7 (k ∈ {1, 2}) and the only implementation for k ≥ 3 (Fig. 9) —
+//! the paper, too, instantiates eager structures only for k ≤ 2.
+//!
+//! As the paper notes, "the worst-case time complexity of an algorithm
+//! with such strategy can not be well bounded": swap search recollects
+//! pools by neighborhood scans, so updates cost more as k grows — the
+//! trade-off Fig. 7(d) reports.
+
+use crate::engine::EngineStats;
+use crate::DynamicMis;
+use dynamis_graph::hash::FxHashSet;
+use dynamis_graph::{DynamicGraph, Update};
+use std::collections::VecDeque;
+
+/// Dynamic k-maximal independent set maintenance with lazy collection.
+#[derive(Debug)]
+pub struct GenericKSwap {
+    g: DynamicGraph,
+    k: usize,
+    status: Vec<bool>,
+    count: Vec<u32>,
+    size: usize,
+    /// Outsiders whose count changed into `[1, k]` — seeds for candidate
+    /// sets.
+    dirty: VecDeque<u32>,
+    dirty_flag: Vec<bool>,
+    /// Promoted candidate sets (sorted solution-vertex lists).
+    sets: VecDeque<Vec<u32>>,
+    seen_sets: FxHashSet<Vec<u32>>,
+    repair: Vec<u32>,
+    /// Pool-size cap for the backtracking (j+1)-subset search; pools
+    /// larger than this are truncated (documented bounded search).
+    pub max_pool: usize,
+    stats: EngineStats,
+}
+
+impl GenericKSwap {
+    /// Builds the engine; `k ≥ 1`. The initial set is extended to
+    /// maximality and driven to k-maximality.
+    pub fn new(graph: DynamicGraph, initial: &[u32], k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        let cap = graph.capacity();
+        let mut e = GenericKSwap {
+            g: graph,
+            k,
+            status: vec![false; cap],
+            count: vec![0; cap],
+            size: 0,
+            dirty: VecDeque::new(),
+            dirty_flag: vec![false; cap],
+            sets: VecDeque::new(),
+            seen_sets: FxHashSet::default(),
+            repair: Vec::new(),
+            max_pool: 256,
+            stats: EngineStats::default(),
+        };
+        for &v in initial {
+            debug_assert!(e.g.is_alive(v));
+            e.status[v as usize] = true;
+            e.size += 1;
+        }
+        for v in 0..cap as u32 {
+            if e.g.is_alive(v) && !e.status[v as usize] {
+                e.count[v as usize] =
+                    e.g.neighbors(v).filter(|&u| e.status[u as usize]).count() as u32;
+            }
+        }
+        // Maximalize, then seed every low-count outsider.
+        let free: Vec<u32> = e
+            .g
+            .vertices()
+            .filter(|&v| !e.status[v as usize] && e.count[v as usize] == 0)
+            .collect();
+        for v in free {
+            if !e.status[v as usize] && e.count[v as usize] == 0 {
+                e.move_in(v);
+            }
+        }
+        for v in e.g.vertices().collect::<Vec<_>>() {
+            e.mark_dirty(v);
+        }
+        e.drain();
+        e
+    }
+
+    /// The engine's k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    fn ensure_capacity(&mut self) {
+        let cap = self.g.capacity();
+        if self.status.len() < cap {
+            self.status.resize(cap, false);
+            self.count.resize(cap, 0);
+            self.dirty_flag.resize(cap, false);
+        }
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, v: u32) {
+        if !self.status[v as usize]
+            && self.count[v as usize] >= 1
+            && self.count[v as usize] as usize <= self.k
+            && !self.dirty_flag[v as usize]
+        {
+            self.dirty_flag[v as usize] = true;
+            self.dirty.push_back(v);
+        }
+    }
+
+    fn move_in(&mut self, v: u32) {
+        debug_assert!(!self.status[v as usize] && self.count[v as usize] == 0);
+        self.status[v as usize] = true;
+        self.size += 1;
+        let nbrs: Vec<u32> = self.g.neighbors(v).collect();
+        for u in nbrs {
+            self.count[u as usize] += 1;
+            self.mark_dirty(u);
+        }
+    }
+
+    fn move_out(&mut self, v: u32) {
+        debug_assert!(self.status[v as usize]);
+        self.status[v as usize] = false;
+        self.size -= 1;
+        let nbrs: Vec<u32> = self.g.neighbors(v).collect();
+        for u in nbrs {
+            self.count[u as usize] -= 1;
+            if self.count[u as usize] == 0 && !self.status[u as usize] {
+                self.repair.push(u);
+            } else {
+                self.mark_dirty(u);
+            }
+        }
+    }
+
+    fn process_repairs(&mut self) {
+        while let Some(u) = self.repair.pop() {
+            if self.g.is_alive(u) && !self.status[u as usize] && self.count[u as usize] == 0 {
+                self.stats.repairs += 1;
+                self.move_in(u);
+            }
+        }
+    }
+
+    /// `I(u)` recomputed on demand (the lazy collection).
+    fn parents(&self, u: u32) -> Vec<u32> {
+        self.g
+            .neighbors(u)
+            .filter(|&p| self.status[p as usize])
+            .collect()
+    }
+
+    /// Candidate pool `¯I≤j(S)`: outsiders with count ≤ |S| and all
+    /// parents inside S, collected by scanning N(s) for s ∈ S.
+    fn pool_of(&self, set: &[u32]) -> Vec<u32> {
+        let j = set.len() as u32;
+        let mut pool = Vec::new();
+        let mut dedup = FxHashSet::default();
+        for &s in set {
+            for u in self.g.neighbors(s) {
+                if self.status[u as usize]
+                    || self.count[u as usize] > j
+                    || !dedup.insert(u)
+                {
+                    continue;
+                }
+                let ok = self
+                    .g
+                    .neighbors(u)
+                    .filter(|&p| self.status[p as usize])
+                    .all(|p| set.contains(&p));
+                if ok {
+                    pool.push(u);
+                    if pool.len() >= self.max_pool {
+                        return pool;
+                    }
+                }
+            }
+        }
+        pool
+    }
+
+    /// Backtracking search for `need` pairwise non-adjacent vertices in
+    /// `pool`.
+    fn independent_subset(&self, pool: &[u32], need: usize) -> Option<Vec<u32>> {
+        fn grow(
+            g: &DynamicGraph,
+            pool: &[u32],
+            start: usize,
+            picked: &mut Vec<u32>,
+            need: usize,
+        ) -> bool {
+            if picked.len() == need {
+                return true;
+            }
+            if pool.len() - start < need - picked.len() {
+                return false;
+            }
+            for i in start..pool.len() {
+                let v = pool[i];
+                if picked.iter().all(|&u| !g.has_edge(u, v)) {
+                    picked.push(v);
+                    if grow(g, pool, i + 1, picked, need) {
+                        return true;
+                    }
+                    picked.pop();
+                }
+            }
+            false
+        }
+        let mut picked = Vec::with_capacity(need);
+        grow(&self.g, pool, 0, &mut picked, need).then_some(picked)
+    }
+
+    /// Processes candidate set S: swap if possible, else promote
+    /// (Algorithm 1 lines 5–12).
+    fn process_set(&mut self, set: Vec<u32>) {
+        let j = set.len();
+        if j == 0 || j > self.k || set.iter().any(|&s| !self.status[s as usize]) {
+            return;
+        }
+        let pool = self.pool_of(&set);
+        if pool.len() > j {
+            if let Some(winners) = self.independent_subset(&pool, j + 1) {
+                match j {
+                    1 => self.stats.one_swaps += 1,
+                    2 => self.stats.two_swaps += 1,
+                    _ => {}
+                }
+                for &s in &set {
+                    self.move_out(s);
+                }
+                for w in winners {
+                    if !self.status[w as usize] && self.count[w as usize] == 0 {
+                        self.move_in(w);
+                    }
+                }
+                // Unlike the eager engines — whose swap pivot is adjacent
+                // to every removed vertex by construction — a generic
+                // swap-in set need not cover each s ∈ S: a removed vertex
+                // with no winner neighbor must re-enter via repair, and a
+                // covered one is a fresh pool member (candidate seed).
+                for &s in &set {
+                    if self.status[s as usize] {
+                        continue; // re-inserted by an inner repair pass
+                    }
+                    if self.count[s as usize] == 0 {
+                        self.repair.push(s);
+                    } else {
+                        self.mark_dirty(s);
+                    }
+                }
+                self.process_repairs();
+                self.seen_sets.clear(); // progress resets promotion dedup
+                return;
+            }
+        }
+        // Promote: S' = S ∪ {p} for parents p of nearby low-count
+        // outsiders (supersets that inherit S's candidates).
+        if j < self.k {
+            let mut promoted: Vec<Vec<u32>> = Vec::new();
+            for &s in &set {
+                for u in self.g.neighbors(s) {
+                    if self.status[u as usize] || self.count[u as usize] as usize > j + 1 {
+                        continue;
+                    }
+                    for p in self.parents(u) {
+                        if !set.contains(&p) {
+                            let mut sup = set.clone();
+                            sup.push(p);
+                            sup.sort_unstable();
+                            sup.dedup();
+                            if sup.len() == j + 1 {
+                                promoted.push(sup);
+                            }
+                        }
+                    }
+                }
+            }
+            for sup in promoted {
+                if self.seen_sets.insert(sup.clone()) {
+                    self.sets.push_back(sup);
+                }
+            }
+        }
+    }
+
+    /// Drains dirty vertices and promoted sets until k-maximality.
+    fn drain(&mut self) {
+        loop {
+            self.process_repairs();
+            if let Some(u) = self.dirty.pop_front() {
+                self.dirty_flag[u as usize] = false;
+                if !self.g.is_alive(u)
+                    || self.status[u as usize]
+                    || self.count[u as usize] == 0
+                    || self.count[u as usize] as usize > self.k
+                {
+                    continue;
+                }
+                let mut set = self.parents(u);
+                set.sort_unstable();
+                self.process_set(set);
+            } else if let Some(set) = self.sets.pop_front() {
+                self.process_set(set);
+            } else {
+                break;
+            }
+        }
+        self.seen_sets.clear();
+    }
+
+    /// Test-only invariant check: independence, maximality, counts.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        self.g.check_consistency()?;
+        let mut size = 0;
+        for v in self.g.vertices() {
+            if self.status[v as usize] {
+                size += 1;
+                if let Some(u) = self.g.neighbors(v).find(|&u| self.status[u as usize]) {
+                    return Err(format!("not independent: ({v},{u})"));
+                }
+            } else {
+                let c = self
+                    .g
+                    .neighbors(v)
+                    .filter(|&u| self.status[u as usize])
+                    .count();
+                if c == 0 {
+                    return Err(format!("not maximal at {v}"));
+                }
+                if c as u32 != self.count[v as usize] {
+                    return Err(format!("count({v}) stale"));
+                }
+            }
+        }
+        if size != self.size {
+            return Err("size counter stale".into());
+        }
+        Ok(())
+    }
+}
+
+impl DynamicMis for GenericKSwap {
+    fn name(&self) -> &'static str {
+        match self.k {
+            1 => "GenericKSwap(k=1)",
+            2 => "GenericKSwap(k=2)",
+            3 => "GenericKSwap(k=3)",
+            4 => "GenericKSwap(k=4)",
+            _ => "GenericKSwap(k>=5)",
+        }
+    }
+
+    fn graph(&self) -> &DynamicGraph {
+        &self.g
+    }
+
+    fn apply_update(&mut self, upd: &Update) {
+        self.stats.updates += 1;
+        match upd {
+            Update::InsertEdge(a, b) => {
+                if !self.g.insert_edge(*a, *b).expect("valid stream") {
+                    return;
+                }
+                match (self.status[*a as usize], self.status[*b as usize]) {
+                    (false, false) => {}
+                    (true, false) => {
+                        self.count[*b as usize] += 1;
+                        self.mark_dirty(*b);
+                    }
+                    (false, true) => {
+                        self.count[*a as usize] += 1;
+                        self.mark_dirty(*a);
+                    }
+                    (true, true) => {
+                        let loser = if self.g.degree(*b) >= self.g.degree(*a) {
+                            *b
+                        } else {
+                            *a
+                        };
+                        let winner = if loser == *a { *b } else { *a };
+                        // Demote loser; its count becomes 1 (the winner).
+                        self.status[loser as usize] = false;
+                        self.size -= 1;
+                        let nbrs: Vec<u32> = self
+                            .g
+                            .neighbors(loser)
+                            .filter(|&w| w != winner)
+                            .collect();
+                        for u in nbrs {
+                            self.count[u as usize] -= 1;
+                            if self.count[u as usize] == 0 && !self.status[u as usize] {
+                                self.repair.push(u);
+                            } else {
+                                self.mark_dirty(u);
+                            }
+                        }
+                        self.count[loser as usize] = 1;
+                        self.mark_dirty(loser);
+                        self.process_repairs();
+                    }
+                }
+            }
+            Update::RemoveEdge(a, b) => {
+                if !self.g.remove_edge(*a, *b).expect("valid stream") {
+                    return;
+                }
+                match (self.status[*a as usize], self.status[*b as usize]) {
+                    (true, true) => unreachable!("solution vertices never adjacent"),
+                    (true, false) => {
+                        self.count[*b as usize] -= 1;
+                        if self.count[*b as usize] == 0 {
+                            self.repair.push(*b);
+                            self.process_repairs();
+                        } else {
+                            self.mark_dirty(*b);
+                        }
+                    }
+                    (false, true) => {
+                        self.count[*a as usize] -= 1;
+                        if self.count[*a as usize] == 0 {
+                            self.repair.push(*a);
+                            self.process_repairs();
+                        } else {
+                            self.mark_dirty(*a);
+                        }
+                    }
+                    (false, false) => {
+                        self.mark_dirty(*a);
+                        self.mark_dirty(*b);
+                    }
+                }
+            }
+            Update::InsertVertex { id, neighbors } => {
+                let v = self.g.add_vertex();
+                debug_assert_eq!(v, *id);
+                self.ensure_capacity();
+                for &n in neighbors {
+                    self.g.insert_edge(v, n).expect("valid stream");
+                }
+                self.count[v as usize] = neighbors
+                    .iter()
+                    .filter(|&&n| self.status[n as usize])
+                    .count() as u32;
+                if self.count[v as usize] == 0 {
+                    self.move_in(v);
+                } else {
+                    self.mark_dirty(v);
+                }
+            }
+            Update::RemoveVertex(v) => {
+                let was_in = self.status[*v as usize];
+                if was_in {
+                    self.status[*v as usize] = false;
+                    self.size -= 1;
+                }
+                self.count[*v as usize] = 0;
+                self.dirty_flag[*v as usize] = false;
+                let former = self.g.remove_vertex(*v).expect("valid stream");
+                if was_in {
+                    for u in former {
+                        self.count[u as usize] -= 1;
+                        if self.count[u as usize] == 0 && !self.status[u as usize] {
+                            self.repair.push(u);
+                        } else {
+                            self.mark_dirty(u);
+                        }
+                    }
+                    self.process_repairs();
+                }
+            }
+        }
+        self.drain();
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn solution(&self) -> Vec<u32> {
+        (0..self.status.len() as u32)
+            .filter(|&v| self.status[v as usize])
+            .collect()
+    }
+
+    fn contains(&self, v: u32) -> bool {
+        self.status[v as usize]
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.g.heap_bytes()
+            + self.status.capacity()
+            + self.count.capacity() * 4
+            + self.dirty_flag.capacity()
+            + self.dirty.capacity() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression (found by proptest): a generic swap-in set need not
+    /// cover every removed vertex, so an uncovered s ∈ S must re-enter
+    /// through the repair queue or the solution loses maximality.
+    #[test]
+    fn swapped_out_vertex_without_winner_neighbor_is_repaired() {
+        use dynamis_gen::uniform::gnm;
+        let g = gnm(10, 20, 7718);
+        let e = GenericKSwap::new(g, &[], 3);
+        e.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn k1_fixes_star() {
+        let g = DynamicGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let e = GenericKSwap::new(g, &[0], 1);
+        assert_eq!(e.size(), 4);
+        e.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn k2_fixes_p5() {
+        let g = DynamicGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let e = GenericKSwap::new(g, &[1, 3], 2);
+        assert_eq!(e.size(), 3, "2-swap must upgrade {{1,3}} to {{0,2,4}}");
+        e.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn k3_beats_k1_on_triple_star_chain() {
+        // Three stars sharing a common structure where a 3-swap helps:
+        // P7 with I = {1, 3, 5} (1-maximal and 2-maximal is {0,2,4,6}).
+        let g = DynamicGraph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]);
+        let e1 = GenericKSwap::new(g.clone(), &[1, 3, 5], 1);
+        assert_eq!(e1.size(), 3, "P7 center set is 1-maximal");
+        let e3 = GenericKSwap::new(g, &[1, 3, 5], 3);
+        assert_eq!(e3.size(), 4, "3-swap reaches the optimum");
+        e3.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn updates_preserve_invariants() {
+        let g = DynamicGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let mut e = GenericKSwap::new(g, &[], 2);
+        e.apply_update(&Update::InsertEdge(0, 2));
+        e.check_consistency().unwrap();
+        e.apply_update(&Update::RemoveVertex(3));
+        e.check_consistency().unwrap();
+        e.apply_update(&Update::InsertVertex {
+            id: 3,
+            neighbors: vec![0, 5],
+        });
+        e.check_consistency().unwrap();
+        e.apply_update(&Update::RemoveEdge(0, 1));
+        e.check_consistency().unwrap();
+    }
+}

@@ -1,0 +1,113 @@
+//! # dynamis-core — dynamic approximate maximum independent set
+//!
+//! Rust implementation of the maintenance framework of *Dynamic
+//! Approximate Maximum Independent Set on Massive Graphs* (ICDE 2022):
+//! a `k`-maximal independent set — one admitting no j-swap for any
+//! `j ≤ k` — is maintained over a fully dynamic graph, guaranteeing a
+//! `(Δ/2 + 1)`-approximate maximum independent set at all times
+//! (Theorem 6), and a parameter-dependent **constant** approximation on
+//! power-law bounded graphs (Theorem 4).
+//!
+//! Three engines are provided:
+//!
+//! * [`DyOneSwap`] — k = 1 (Algorithm 2), worst-case linear time per
+//!   update sequence;
+//! * [`DyTwoSwap`] — k = 2 (Algorithm 3), near-linear expected time on
+//!   power-law bounded graphs, empirically larger solutions;
+//! * [`GenericKSwap`] — any k, in the §III-B lazy-collection mode (used
+//!   for the k-sweep and lazy-vs-eager experiments).
+//!
+//! All engines implement the [`DynamicMis`] trait, own their graph, and
+//! consume [`dynamis_graph::Update`] streams. [`Snapshot`] checkpoints a
+//! running engine and resumes it (or a different-k sibling) later.
+//!
+//! ```
+//! use dynamis_core::{DyTwoSwap, DynamicMis};
+//! use dynamis_graph::{DynamicGraph, Update};
+//!
+//! let g = DynamicGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+//! let mut engine = DyTwoSwap::new(g, &[]);
+//! let before = engine.size();
+//! engine.apply_update(&Update::RemoveEdge(2, 3));
+//! assert!(engine.size() >= before);
+//! ```
+
+mod engine;
+pub mod generic;
+pub mod one_swap;
+mod queues;
+pub mod snapshot;
+pub mod state;
+pub mod two_swap;
+
+pub use engine::{EngineConfig, EngineStats};
+pub use generic::GenericKSwap;
+pub use snapshot::Snapshot;
+pub use one_swap::DyOneSwap;
+pub use two_swap::DyTwoSwap;
+
+use dynamis_graph::{DynamicGraph, Update};
+
+/// Common interface of every dynamic MaxIS maintainer in this workspace
+/// (the two paper engines, the generic-k engine, and the baselines in
+/// `dynamis-baselines`).
+pub trait DynamicMis {
+    /// Algorithm name as printed in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// The maintained graph (engines own their copy).
+    fn graph(&self) -> &DynamicGraph;
+
+    /// Applies one update and restores the engine's invariant.
+    fn apply_update(&mut self, u: &Update);
+
+    /// Current solution size |I|.
+    fn size(&self) -> usize;
+
+    /// Materializes the solution (sorted vertex ids).
+    fn solution(&self) -> Vec<u32>;
+
+    /// O(1) membership test.
+    fn contains(&self, v: u32) -> bool;
+
+    /// Approximate heap footprint, for the memory experiments
+    /// (Fig. 5b / 6b / 7b).
+    fn heap_bytes(&self) -> usize;
+
+    /// Applies a whole update schedule in order.
+    fn apply_all(&mut self, updates: &[Update]) {
+        for u in updates {
+            self.apply_update(u);
+        }
+    }
+}
+
+/// The worst-case approximation guarantee of Theorem 6: any k-maximal
+/// independent set satisfies `α(G) ≤ (Δ/2 + 1) · |I|`.
+pub fn approximation_bound(max_degree: usize) -> f64 {
+    max_degree as f64 / 2.0 + 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_formula() {
+        assert_eq!(approximation_bound(0), 1.0);
+        assert_eq!(approximation_bound(4), 3.0);
+        assert_eq!(approximation_bound(7), 4.5);
+    }
+
+    #[test]
+    fn apply_all_runs_full_schedule() {
+        let g = DynamicGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut e = DyOneSwap::new(g, &[]);
+        e.apply_all(&[
+            Update::RemoveEdge(1, 2),
+            Update::InsertEdge(0, 2),
+            Update::InsertEdge(1, 3),
+        ]);
+        e.check_consistency().unwrap();
+    }
+}

@@ -1,0 +1,141 @@
+//! `DyOneSwap` — the dynamic (Δ/2 + 1)-approximation algorithm that
+//! maintains a **1-maximal** independent set (Algorithm 2).
+//!
+//! Worst-case O(m_t) per update; O((1 + t)·n_t) on power-law bounded
+//! graphs (§IV-A).
+
+use crate::engine::{EngineConfig, EngineStats, SwapEngine};
+use crate::DynamicMis;
+use dynamis_graph::{DynamicGraph, Update};
+
+/// Dynamic 1-maximal independent set maintenance.
+///
+/// # Example
+/// ```
+/// use dynamis_graph::{DynamicGraph, Update};
+/// use dynamis_core::{DyOneSwap, DynamicMis};
+///
+/// // A star: the greedy initial set {0} is improved to the leaves.
+/// let g = DynamicGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+/// let mut engine = DyOneSwap::new(g, &[0]);
+/// assert_eq!(engine.size(), 3); // 1-swap fixed the initial set
+/// engine.apply_update(&Update::RemoveEdge(0, 1));
+/// assert_eq!(engine.size(), 3);
+/// ```
+#[derive(Debug)]
+pub struct DyOneSwap {
+    inner: SwapEngine,
+}
+
+impl DyOneSwap {
+    /// Builds the engine from a graph and an initial independent set
+    /// (extended to maximality, then driven to 1-maximality).
+    pub fn new(graph: DynamicGraph, initial: &[u32]) -> Self {
+        Self::with_config(graph, initial, EngineConfig::default())
+    }
+
+    /// Builds with explicit tuning (perturbation on/off).
+    pub fn with_config(graph: DynamicGraph, initial: &[u32], cfg: EngineConfig) -> Self {
+        DyOneSwap {
+            inner: SwapEngine::new(graph, initial, false, cfg),
+        }
+    }
+
+    /// Engine statistics (swaps, repairs, perturbations).
+    pub fn stats(&self) -> EngineStats {
+        self.inner.stats
+    }
+
+    /// Applies a burst of updates with a single swap-search pass at the
+    /// end (see `SwapEngine::apply_batch`). The final solution is
+    /// 1-maximal, exactly as with per-update application.
+    pub fn apply_batch(&mut self, updates: &[dynamis_graph::Update]) {
+        self.inner.apply_batch(updates);
+    }
+
+    /// Full framework-invariant check (tests/debug only).
+    pub fn check_consistency(&self) -> Result<(), String> {
+        self.inner.st.check_consistency()
+    }
+}
+
+impl DynamicMis for DyOneSwap {
+    fn name(&self) -> &'static str {
+        "DyOneSwap"
+    }
+
+    fn graph(&self) -> &DynamicGraph {
+        &self.inner.st.g
+    }
+
+    fn apply_update(&mut self, u: &Update) {
+        self.inner.apply_update(u);
+    }
+
+    fn size(&self) -> usize {
+        self.inner.st.size()
+    }
+
+    fn solution(&self) -> Vec<u32> {
+        self.inner.st.solution()
+    }
+
+    fn contains(&self, v: u32) -> bool {
+        self.inner.st.in_solution(v)
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.inner.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_reaches_one_maximality_on_star() {
+        let g = DynamicGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let e = DyOneSwap::new(g, &[0]);
+        assert_eq!(e.size(), 4);
+        assert_eq!(e.stats().one_swaps, 1);
+        e.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn empty_initial_set_is_maximalized() {
+        let g = DynamicGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let e = DyOneSwap::new(g, &[]);
+        assert!(e.size() >= 2);
+        e.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn fig4_style_conflicting_insert_keeps_one_maximality() {
+        // Modeled on the running example of §IV-A (Fig. 4): an edge is
+        // inserted between two solution vertices; the engine evicts one
+        // endpoint and restores 1-maximality via swaps and repairs.
+        let edges = [
+            (1, 3),
+            (2, 3),
+            (2, 4),
+            (4, 5),
+            (5, 6),
+            (6, 8),
+            (3, 7),
+            (7, 9),
+            (9, 10),
+        ];
+        let e0: Vec<(u32, u32)> = edges.iter().map(|&(a, b)| (a - 1, b - 1)).collect();
+        let g = DynamicGraph::from_edges(10, &e0);
+        let mut e = DyOneSwap::new(g, &[2, 3, 5, 8]); // v3, v4, v6, v9
+        let before = e.size();
+        assert!(before >= 4);
+        e.apply_update(&Update::InsertEdge(2, 3));
+        assert!(e.size() >= before - 1, "at most the evicted endpoint lost");
+        e.check_consistency().unwrap();
+        // Behavioral contract: the result is 1-maximal.
+        let csr = dynamis_graph::CsrGraph::from_dynamic(e.graph());
+        assert!(dynamis_static::verify::is_k_maximal(&csr, &e.solution(), 1));
+    }
+}

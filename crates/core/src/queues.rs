@@ -1,0 +1,139 @@
+//! Candidate queues `C₁` and `C₂` (Algorithm 1, line 2).
+//!
+//! Each queue stores, per candidate set `S`, the list `C(S)` of vertices
+//! newly added to `¯I_{|S|}(S)`. Entries are validated lazily at pop time
+//! (membership can go stale while the queue drains), so pushes are
+//! unconditional O(1).
+
+use dynamis_graph::hash::{FxHashMap, FxHashSet};
+use std::collections::VecDeque;
+
+/// `C₁`: candidate solution vertices `v` with their newly added
+/// `¯I₁(v)` members.
+#[derive(Debug, Default)]
+pub(crate) struct C1Queue {
+    order: VecDeque<u32>,
+    queued: Vec<bool>,
+    cand: Vec<Vec<u32>>,
+}
+
+impl C1Queue {
+    pub fn ensure_capacity(&mut self, cap: usize) {
+        if self.queued.len() < cap {
+            self.queued.resize(cap, false);
+            self.cand.resize_with(cap, Vec::new);
+        }
+    }
+
+    /// Records `u` as a new member of `¯I₁(v)`.
+    pub fn push(&mut self, v: u32, u: u32) {
+        self.ensure_capacity(v as usize + 1);
+        self.cand[v as usize].push(u);
+        if !self.queued[v as usize] {
+            self.queued[v as usize] = true;
+            self.order.push_back(v);
+        }
+    }
+
+    /// Pops the next candidate pair `(v, C(v))`.
+    pub fn pop(&mut self) -> Option<(u32, Vec<u32>)> {
+        let v = self.order.pop_front()?;
+        self.queued[v as usize] = false;
+        Some((v, std::mem::take(&mut self.cand[v as usize])))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    pub fn heap_bytes(&self) -> usize {
+        self.order.capacity() * 4
+            + self.queued.capacity()
+            + self.cand.capacity() * std::mem::size_of::<Vec<u32>>()
+            + self.cand.iter().map(|c| c.capacity() * 4).sum::<usize>()
+    }
+}
+
+/// `C₂`: candidate solution pairs `S = {a, b}` with their newly added
+/// `¯I₂(S)` members.
+#[derive(Debug, Default)]
+pub(crate) struct C2Queue {
+    order: VecDeque<u64>,
+    queued: FxHashSet<u64>,
+    cand: FxHashMap<u64, Vec<u32>>,
+}
+
+impl C2Queue {
+    /// Records `x` as a new member of `¯I₂({a, b})`.
+    pub fn push(&mut self, a: u32, b: u32, x: u32) {
+        let key = crate::state::skey(a, b);
+        self.cand.entry(key).or_default().push(x);
+        if self.queued.insert(key) {
+            self.order.push_back(key);
+        }
+    }
+
+    /// Pops the next candidate pair `((a, b), C(S))`.
+    pub fn pop(&mut self) -> Option<((u32, u32), Vec<u32>)> {
+        let key = self.order.pop_front()?;
+        self.queued.remove(&key);
+        let list = self.cand.remove(&key).unwrap_or_default();
+        Some((dynamis_graph::hash::unpack_pair(key), list))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    pub fn heap_bytes(&self) -> usize {
+        self.order.capacity() * 8
+            + self.queued.capacity() * 8
+            + self
+                .cand
+                .values()
+                .map(|c| c.capacity() * 4 + 48)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c1_fifo_with_dedup_of_sets() {
+        let mut q = C1Queue::default();
+        q.push(3, 10);
+        q.push(5, 11);
+        q.push(3, 12); // same set, appended
+        let (v, c) = q.pop().unwrap();
+        assert_eq!(v, 3);
+        assert_eq!(c, vec![10, 12]);
+        let (v, c) = q.pop().unwrap();
+        assert_eq!(v, 5);
+        assert_eq!(c, vec![11]);
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn c1_requeue_after_pop() {
+        let mut q = C1Queue::default();
+        q.push(1, 2);
+        q.pop();
+        q.push(1, 3);
+        let (v, c) = q.pop().unwrap();
+        assert_eq!((v, c), (1, vec![3]));
+    }
+
+    #[test]
+    fn c2_pairs_are_order_invariant() {
+        let mut q = C2Queue::default();
+        q.push(7, 2, 100);
+        q.push(2, 7, 101); // same set
+        let ((a, b), c) = q.pop().unwrap();
+        assert_eq!((a, b), (2, 7));
+        assert_eq!(c, vec![100, 101]);
+        assert!(q.is_empty());
+    }
+}

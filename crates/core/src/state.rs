@@ -1,0 +1,620 @@
+//! Shared framework state (§III-B): solution membership, counters, the
+//! `I(u)` lists, and the hierarchical `¯I₁(v)` / `¯I₂(S)` buckets.
+//!
+//! Everything is maintained with O(1) amortized relocations, exactly as
+//! the paper prescribes: every bucket member stores its own index
+//! ("a constant-time update to the position of u if the index of u in
+//! ¯I_j(I(u)) is maintained explicitly in vertex u"), and `I(u)` removal
+//! is O(1) through a (vertex, solution-neighbor) → position map, the
+//! moral equivalent of the pointer the paper stores inside edge `(v, u)`.
+
+use dynamis_graph::hash::FxHashMap;
+use dynamis_graph::DynamicGraph;
+
+/// Directed key for (owner, member) position maps — unlike
+/// [`dynamis_graph::hash::pair_key`], order matters here.
+#[inline]
+fn dkey(a: u32, b: u32) -> u64 {
+    ((a as u64) << 32) | b as u64
+}
+
+/// Unordered key for a solution-vertex pair `S = {a, b}`.
+#[inline]
+pub(crate) fn skey(a: u32, b: u32) -> u64 {
+    dynamis_graph::hash::pair_key(a, b)
+}
+
+/// Count-transition event surfaced to the engine so it can enqueue
+/// candidates and maximality repairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CountEvent {
+    /// count(u) dropped to 0 — u is insertable (maximality repair).
+    To0,
+    /// count(u) became exactly 1 — u newly belongs to `¯I₁(parent)`.
+    To1 {
+        /// u's unique solution neighbor.
+        parent: u32,
+    },
+    /// count(u) became exactly 2 — u newly belongs to `¯I₂({a, b})`.
+    To2 {
+        /// Smaller parent.
+        a: u32,
+        /// Larger parent.
+        b: u32,
+    },
+    /// No bucket membership changed.
+    Other,
+}
+
+/// The `¯I₂` tier: buckets keyed by the solution pair, plus a per-parent
+/// index (`¯I₂(v)` in Algorithm 3's one-swap-failure promotion).
+#[derive(Debug, Default)]
+pub(crate) struct PairTier {
+    /// `S → ¯I₂(S)` members.
+    bucket: FxHashMap<u64, Vec<u32>>,
+    /// Index of `u` inside its bucket (valid only while count(u) = 2).
+    pos: Vec<u32>,
+    /// Cached bucket key of `u` (valid only while count(u) = 2).
+    key_of: Vec<u64>,
+    /// For each solution vertex `v`: count-2 vertices with `v` as a parent.
+    by_parent: Vec<Vec<u32>>,
+    /// dkey(parent, u) → index of u in `by_parent[parent]`.
+    bp_pos: FxHashMap<u64, u32>,
+}
+
+impl PairTier {
+    fn ensure(&mut self, cap: usize) {
+        if self.pos.len() < cap {
+            self.pos.resize(cap, 0);
+            self.key_of.resize(cap, 0);
+            self.by_parent.resize_with(cap, Vec::new);
+        }
+    }
+
+    fn add(&mut self, u: u32, a: u32, b: u32) {
+        let key = skey(a, b);
+        let list = self.bucket.entry(key).or_default();
+        self.pos[u as usize] = list.len() as u32;
+        self.key_of[u as usize] = key;
+        list.push(u);
+        for p in [a, b] {
+            let bl = &mut self.by_parent[p as usize];
+            self.bp_pos.insert(dkey(p, u), bl.len() as u32);
+            bl.push(u);
+        }
+    }
+
+    fn remove(&mut self, u: u32) {
+        let key = self.key_of[u as usize];
+        let list = self.bucket.get_mut(&key).expect("bucket must exist");
+        let p = self.pos[u as usize] as usize;
+        list.swap_remove(p);
+        if p < list.len() {
+            self.pos[list[p] as usize] = p as u32;
+        }
+        if list.is_empty() {
+            self.bucket.remove(&key);
+        }
+        let (a, b) = dynamis_graph::hash::unpack_pair(key);
+        for parent in [a, b] {
+            let i = self
+                .bp_pos
+                .remove(&dkey(parent, u))
+                .expect("by-parent entry must exist") as usize;
+            let bl = &mut self.by_parent[parent as usize];
+            bl.swap_remove(i);
+            if i < bl.len() {
+                self.bp_pos.insert(dkey(parent, bl[i]), i as u32);
+            }
+        }
+    }
+
+    fn members(&self, a: u32, b: u32) -> &[u32] {
+        self.bucket
+            .get(&skey(a, b))
+            .map_or(&[][..], Vec::as_slice)
+    }
+
+    fn heap_bytes(&self) -> usize {
+        let buckets: usize = self
+            .bucket
+            .values()
+            .map(|v| v.capacity() * 4 + 48)
+            .sum::<usize>();
+        let by_parent: usize = self.by_parent.iter().map(|v| v.capacity() * 4).sum();
+        buckets
+            + by_parent
+            + self.pos.capacity() * 4
+            + self.key_of.capacity() * 8
+            + self.by_parent.capacity() * std::mem::size_of::<Vec<u32>>()
+            + self.bp_pos.capacity() * 20
+    }
+}
+
+/// Framework state over an owned dynamic graph.
+#[derive(Debug)]
+pub struct SwapState {
+    /// The evolving graph (the engine owns its copy).
+    pub g: DynamicGraph,
+    status: Vec<bool>,
+    count: Vec<u32>,
+    /// `I(u)` — solution neighbors of `u` (empty while `u ∈ I`).
+    sol_list: Vec<Vec<u32>>,
+    /// dkey(u, v) → index of solution vertex v inside `sol_list[u]`.
+    sol_pos: FxHashMap<u64, u32>,
+    /// `¯I₁(v)` for `v ∈ I`.
+    bar1: Vec<Vec<u32>>,
+    /// dkey(v, u) → index of u inside `bar1[v]`.
+    bar1_pos: FxHashMap<u64, u32>,
+    pairs: Option<PairTier>,
+    size: usize,
+}
+
+impl SwapState {
+    /// Creates state over `g` with `initial` as the starting independent
+    /// set (independence is the caller's responsibility; engines
+    /// debug-assert it). `track_pairs` enables the `¯I₂` tier.
+    pub fn new(g: DynamicGraph, initial: &[u32], track_pairs: bool) -> Self {
+        let cap = g.capacity();
+        let mut st = SwapState {
+            g,
+            status: vec![false; cap],
+            count: vec![0; cap],
+            sol_list: vec![Vec::new(); cap],
+            sol_pos: FxHashMap::default(),
+            bar1: vec![Vec::new(); cap],
+            bar1_pos: FxHashMap::default(),
+            pairs: track_pairs.then(PairTier::default),
+            size: 0,
+        };
+        if let Some(p) = st.pairs.as_mut() {
+            p.ensure(cap);
+        }
+        for &v in initial {
+            debug_assert!(st.g.is_alive(v), "initial member {v} must be alive");
+            st.status[v as usize] = true;
+        }
+        st.size = initial.len();
+        // Bulk-build counters and bucket tiers in O(n + m).
+        for v in 0..cap as u32 {
+            if !st.g.is_alive(v) || st.status[v as usize] {
+                continue;
+            }
+            let sols: Vec<u32> = st
+                .g
+                .neighbors(v)
+                .filter(|&u| st.status[u as usize])
+                .collect();
+            st.count[v as usize] = sols.len() as u32;
+            for (i, &s) in sols.iter().enumerate() {
+                st.sol_pos.insert(dkey(v, s), i as u32);
+            }
+            match sols.len() {
+                1 => st.bar1_add(sols[0], v),
+                2 => {
+                    if let Some(p) = st.pairs.as_mut() {
+                        p.add(v, sols[0], sols[1]);
+                    }
+                }
+                _ => {}
+            }
+            st.sol_list[v as usize] = sols;
+        }
+        st
+    }
+
+    /// Grows all per-vertex tables to cover vertex ids `< cap`.
+    pub fn ensure_capacity(&mut self, cap: usize) {
+        if self.status.len() < cap {
+            self.status.resize(cap, false);
+            self.count.resize(cap, 0);
+            self.sol_list.resize_with(cap, Vec::new);
+            self.bar1.resize_with(cap, Vec::new);
+        }
+        if let Some(p) = self.pairs.as_mut() {
+            p.ensure(cap);
+        }
+    }
+
+    /// Whether `v` is in the maintained solution.
+    #[inline]
+    pub fn in_solution(&self, v: u32) -> bool {
+        self.status[v as usize]
+    }
+
+    /// `count(v) = |N(v) ∩ I|`.
+    #[inline]
+    pub fn count(&self, v: u32) -> u32 {
+        self.count[v as usize]
+    }
+
+    /// Current solution size |I|.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Collects the solution (paper line: "return all vertices whose
+    /// status is TRUE").
+    pub fn solution(&self) -> Vec<u32> {
+        (0..self.status.len() as u32)
+            .filter(|&v| self.status[v as usize])
+            .collect()
+    }
+
+    /// The unique solution neighbor of a count-1 vertex.
+    #[inline]
+    pub fn parent1(&self, u: u32) -> u32 {
+        debug_assert_eq!(self.count[u as usize], 1);
+        self.sol_list[u as usize][0]
+    }
+
+    /// The sorted solution-neighbor pair of a count-2 vertex.
+    #[inline]
+    pub fn parents2(&self, u: u32) -> (u32, u32) {
+        debug_assert_eq!(self.count[u as usize], 2);
+        let l = &self.sol_list[u as usize];
+        (l[0].min(l[1]), l[0].max(l[1]))
+    }
+
+    /// `I(u)` — all solution neighbors of u.
+    #[inline]
+    pub fn sol_neighbors(&self, u: u32) -> &[u32] {
+        &self.sol_list[u as usize]
+    }
+
+    /// `¯I₁(v)` for a solution vertex v.
+    #[inline]
+    pub fn bar1(&self, v: u32) -> &[u32] {
+        &self.bar1[v as usize]
+    }
+
+    /// `¯I₂(S)` for `S = {a, b}` (empty slice when the pair tier is off).
+    pub fn bar2(&self, a: u32, b: u32) -> &[u32] {
+        self.pairs.as_ref().map_or(&[], |p| p.members(a, b))
+    }
+
+    /// `¯I₂(v)` — count-2 vertices having solution vertex v as a parent.
+    pub fn bar2_by_parent(&self, v: u32) -> &[u32] {
+        self.pairs
+            .as_ref()
+            .map_or(&[], |p| &p.by_parent[v as usize])
+    }
+
+    fn bar1_add(&mut self, parent: u32, u: u32) {
+        let list = &mut self.bar1[parent as usize];
+        self.bar1_pos.insert(dkey(parent, u), list.len() as u32);
+        list.push(u);
+    }
+
+    fn bar1_remove(&mut self, parent: u32, u: u32) {
+        let i = self
+            .bar1_pos
+            .remove(&dkey(parent, u))
+            .expect("bar1 entry must exist") as usize;
+        let list = &mut self.bar1[parent as usize];
+        list.swap_remove(i);
+        if i < list.len() {
+            self.bar1_pos.insert(dkey(parent, list[i]), i as u32);
+        }
+    }
+
+    /// Registers solution vertex `v` as a new solution neighbor of `u`,
+    /// returning the bucket transition.
+    pub(crate) fn inc_count(&mut self, u: u32, v: u32) -> CountEvent {
+        let list = &mut self.sol_list[u as usize];
+        self.sol_pos.insert(dkey(u, v), list.len() as u32);
+        list.push(v);
+        self.count[u as usize] += 1;
+        match self.count[u as usize] {
+            1 => {
+                self.bar1_add(v, u);
+                CountEvent::To1 { parent: v }
+            }
+            2 => {
+                let old = self.sol_list[u as usize][0];
+                self.bar1_remove(old, u);
+                if let Some(p) = self.pairs.as_mut() {
+                    p.add(u, old, v);
+                }
+                CountEvent::To2 {
+                    a: old.min(v),
+                    b: old.max(v),
+                }
+            }
+            3 => {
+                if let Some(p) = self.pairs.as_mut() {
+                    p.remove(u);
+                }
+                CountEvent::Other
+            }
+            _ => CountEvent::Other,
+        }
+    }
+
+    /// Unregisters solution vertex `v` from `I(u)`, returning the bucket
+    /// transition. Handles bar-tier relocation, *including* the event of
+    /// `To1` being fired when count(u) drops from 1 to... — see match.
+    pub(crate) fn dec_count(&mut self, u: u32, v: u32) -> CountEvent {
+        let old_count = self.count[u as usize];
+        // Drop v from I(u) with the swap-remove + position-map trick.
+        let i = self
+            .sol_pos
+            .remove(&dkey(u, v))
+            .expect("sol entry must exist") as usize;
+        let list = &mut self.sol_list[u as usize];
+        list.swap_remove(i);
+        if i < list.len() {
+            self.sol_pos.insert(dkey(u, list[i]), i as u32);
+        }
+        self.count[u as usize] -= 1;
+        match old_count {
+            1 => {
+                self.bar1_remove(v, u);
+                CountEvent::To0
+            }
+            2 => {
+                if let Some(p) = self.pairs.as_mut() {
+                    p.remove(u);
+                }
+                let parent = self.sol_list[u as usize][0];
+                self.bar1_add(parent, u);
+                CountEvent::To1 { parent }
+            }
+            3 => {
+                let l = &self.sol_list[u as usize];
+                let (a, b) = (l[0].min(l[1]), l[0].max(l[1]));
+                if let Some(p) = self.pairs.as_mut() {
+                    p.add(u, a, b);
+                }
+                CountEvent::To2 { a, b }
+            }
+            _ => CountEvent::Other,
+        }
+    }
+
+    /// Flips `v` into the solution. The caller is responsible for first
+    /// checking count(v) == 0 and for running `inc_count` on v's
+    /// neighbors.
+    pub(crate) fn set_in(&mut self, v: u32) {
+        debug_assert!(!self.status[v as usize]);
+        debug_assert_eq!(self.count[v as usize], 0, "MoveIn needs count 0");
+        self.status[v as usize] = true;
+        self.size += 1;
+    }
+
+    /// Flips `v` out of the solution; the caller runs `dec_count` on v's
+    /// neighbors.
+    pub(crate) fn set_out(&mut self, v: u32) {
+        debug_assert!(self.status[v as usize]);
+        self.status[v as usize] = false;
+        self.size -= 1;
+    }
+
+    /// Clears every per-vertex record of a (just removed) vertex `v` that
+    /// was **not** in the solution: bar/bucket membership and `I(v)`.
+    pub(crate) fn purge_outsider(&mut self, v: u32) {
+        match self.count[v as usize] {
+            1 => {
+                let p = self.sol_list[v as usize][0];
+                self.bar1_remove(p, v);
+            }
+            2 => {
+                if let Some(p) = self.pairs.as_mut() {
+                    p.remove(v);
+                }
+            }
+            _ => {}
+        }
+        let sols = std::mem::take(&mut self.sol_list[v as usize]);
+        for s in sols {
+            self.sol_pos.remove(&dkey(v, s));
+        }
+        self.count[v as usize] = 0;
+    }
+
+    /// Approximate heap footprint of the framework bookkeeping (the
+    /// quantity Fig. 5b / 6b report, minus the graph itself which is
+    /// added by the caller).
+    pub fn heap_bytes(&self) -> usize {
+        let vecs: usize = self
+            .sol_list
+            .iter()
+            .chain(self.bar1.iter())
+            .map(|l| l.capacity() * 4)
+            .sum();
+        vecs + self.status.capacity()
+            + self.count.capacity() * 4
+            + (self.sol_list.capacity() + self.bar1.capacity()) * std::mem::size_of::<Vec<u32>>()
+            + (self.sol_pos.capacity() + self.bar1_pos.capacity()) * 20
+            + self.pairs.as_ref().map_or(0, PairTier::heap_bytes)
+    }
+
+    /// Exhaustive cross-check of every invariant against a from-scratch
+    /// rebuild. Test/debug only: O(n + m) plus hashing.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        self.g.check_consistency()?;
+        let mut size = 0usize;
+        for v in self.g.vertices() {
+            if self.status[v as usize] {
+                size += 1;
+                if let Some(u) = self.g.neighbors(v).find(|&u| self.status[u as usize]) {
+                    return Err(format!("solution not independent: edge ({v},{u})"));
+                }
+                if self.count[v as usize] != 0 {
+                    return Err(format!("solution vertex {v} has nonzero count"));
+                }
+            } else {
+                let sols: Vec<u32> = self
+                    .g
+                    .neighbors(v)
+                    .filter(|&u| self.status[u as usize])
+                    .collect();
+                if sols.is_empty() {
+                    return Err(format!("not maximal: vertex {v} is free"));
+                }
+                if self.count[v as usize] as usize != sols.len() {
+                    return Err(format!(
+                        "count({v}) = {} but |I({v})| = {}",
+                        self.count[v as usize],
+                        sols.len()
+                    ));
+                }
+                let mut have = self.sol_list[v as usize].clone();
+                let mut want = sols.clone();
+                have.sort_unstable();
+                want.sort_unstable();
+                if have != want {
+                    return Err(format!("I({v}) list mismatch"));
+                }
+                match sols.len() {
+                    1 => {
+                        if !self.bar1[sols[0] as usize].contains(&v) {
+                            return Err(format!("{v} missing from bar1({})", sols[0]));
+                        }
+                    }
+                    2 => {
+                        if let Some(p) = self.pairs.as_ref() {
+                            if !p.members(sols[0], sols[1]).contains(&v) {
+                                return Err(format!("{v} missing from bar2 bucket"));
+                            }
+                            for s in &sols {
+                                if !p.by_parent[*s as usize].contains(&v) {
+                                    return Err(format!("{v} missing from bar2_by_parent({s})"));
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if size != self.size {
+            return Err(format!("size counter {} != actual {size}", self.size));
+        }
+        // Reverse direction: no stale bucket members.
+        for v in self.g.vertices() {
+            for &u in &self.bar1[v as usize] {
+                if self.count[u as usize] != 1
+                    || self.sol_list[u as usize][0] != v
+                    || !self.status[v as usize]
+                {
+                    return Err(format!("stale bar1 member {u} under {v}"));
+                }
+            }
+        }
+        if let Some(p) = self.pairs.as_ref() {
+            for (key, members) in &p.bucket {
+                let (a, b) = dynamis_graph::hash::unpack_pair(*key);
+                for &u in members {
+                    if self.count[u as usize] != 2 {
+                        return Err(format!("stale bar2 member {u}"));
+                    }
+                    let (x, y) = self.parents2(u);
+                    if (x, y) != (a, b) {
+                        return Err(format!("bar2 member {u} in wrong bucket"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state_on_path() -> SwapState {
+        // P5: 0-1-2-3-4 with I = {0, 2, 4}.
+        let g = DynamicGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        SwapState::new(g, &[0, 2, 4], true)
+    }
+
+    #[test]
+    fn bulk_build_counts_and_buckets() {
+        let st = state_on_path();
+        assert_eq!(st.size(), 3);
+        assert_eq!(st.count(1), 2);
+        assert_eq!(st.count(3), 2);
+        assert_eq!(st.parents2(1), (0, 2));
+        assert_eq!(st.bar2(0, 2), &[1]);
+        assert_eq!(st.bar2(2, 4), &[3]);
+        assert_eq!(st.bar2_by_parent(2).len(), 2);
+        st.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn inc_dec_round_trip() {
+        let mut st = state_on_path();
+        // Remove 0 from 1's solution list: count 2 → 1, moves to bar1(2).
+        let ev = st.dec_count(1, 0);
+        assert_eq!(ev, CountEvent::To1 { parent: 2 });
+        assert_eq!(st.bar1(2), &[1]);
+        assert!(st.bar2(0, 2).is_empty());
+        // And back.
+        let ev = st.inc_count(1, 0);
+        assert!(matches!(ev, CountEvent::To2 { a: 0, b: 2 }));
+        assert_eq!(st.bar2(0, 2), &[1]);
+        assert!(st.bar1(2).is_empty());
+    }
+
+    #[test]
+    fn dec_to_zero_signals_repair() {
+        let g = DynamicGraph::from_edges(2, &[(0, 1)]);
+        let mut st = SwapState::new(g, &[0], true);
+        assert_eq!(st.dec_count(1, 0), CountEvent::To0);
+        assert_eq!(st.count(1), 0);
+    }
+
+    #[test]
+    fn three_plus_counts_leave_buckets() {
+        // Star center 3 with leaves in I.
+        let g = DynamicGraph::from_edges(4, &[(3, 0), (3, 1), (3, 2)]);
+        let mut st = SwapState::new(g, &[0, 1, 2], true);
+        assert_eq!(st.count(3), 3);
+        assert!(st.bar2_by_parent(0).is_empty());
+        // Drop to 2: enters bucket.
+        let ev = st.dec_count(3, 2);
+        assert!(matches!(ev, CountEvent::To2 { a: 0, b: 1 }));
+        assert_eq!(st.bar2(0, 1), &[3]);
+    }
+
+    #[test]
+    fn purge_outsider_cleans_everything() {
+        let mut st = state_on_path();
+        st.purge_outsider(1);
+        assert_eq!(st.count(1), 0);
+        assert!(st.bar2(0, 2).is_empty());
+        assert!(st.sol_neighbors(1).is_empty());
+    }
+
+    #[test]
+    fn pair_tier_swap_remove_fixups() {
+        // Two vertices in the same bucket; removing the first must keep
+        // the second's position valid.
+        let g = DynamicGraph::from_edges(4, &[(0, 2), (0, 3), (1, 2), (1, 3)]);
+        let mut st = SwapState::new(g, &[0, 1], true);
+        assert_eq!(st.bar2(0, 1).len(), 2);
+        st.purge_outsider(2);
+        assert_eq!(st.bar2(0, 1), &[3]);
+        st.purge_outsider(3);
+        assert!(st.bar2(0, 1).is_empty());
+    }
+
+    #[test]
+    fn pairs_tier_disabled_is_inert() {
+        let g = DynamicGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let st = SwapState::new(g, &[0, 2, 4], false);
+        assert!(st.bar2(0, 2).is_empty());
+        assert!(st.bar2_by_parent(2).is_empty());
+        st.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn consistency_detects_violations() {
+        let mut st = state_on_path();
+        st.status[1 as usize] = true; // corrupt: 1 adjacent to 0 ∈ I
+        assert!(st.check_consistency().is_err());
+    }
+}

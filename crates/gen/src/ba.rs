@@ -1,0 +1,84 @@
+//! Barabási–Albert preferential attachment.
+
+use dynamis_graph::DynamicGraph;
+use rand::Rng;
+
+/// Barabási–Albert graph: starts from a star on `m0 = m + 1` vertices and
+/// attaches each new vertex to `m` distinct existing vertices chosen
+/// proportionally to degree (implemented with the repeated-endpoint trick:
+/// sampling a uniform endpoint of a uniform edge is degree-proportional).
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> DynamicGraph {
+    assert!(m >= 1, "attachment count must be positive");
+    assert!(n > m, "need more vertices than the attachment count");
+    let mut rng = crate::rng(seed);
+    let mut g = DynamicGraph::with_capacity(n);
+    g.add_vertices(n);
+    // Endpoint pool: every half-edge contributes one entry.
+    let mut pool: Vec<u32> = Vec::with_capacity(2 * m * n);
+    for v in 1..=m as u32 {
+        g.insert_edge(0, v).unwrap();
+        pool.push(0);
+        pool.push(v);
+    }
+    for v in (m as u32 + 1)..n as u32 {
+        let mut chosen: Vec<u32> = Vec::with_capacity(m);
+        let mut guard = 0;
+        while chosen.len() < m {
+            let t = pool[rng.gen_range(0..pool.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+            guard += 1;
+            if guard > 64 * m {
+                // Degenerate early graphs: fall back to uniform choice.
+                let t = rng.gen_range(0..v);
+                if !chosen.contains(&t) {
+                    chosen.push(t);
+                }
+            }
+        }
+        for &t in &chosen {
+            g.insert_edge(v, t).unwrap();
+            pool.push(v);
+            pool.push(t);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ba_edge_count_is_exact() {
+        let g = barabasi_albert(500, 3, 2);
+        // star (3 edges) + 496 vertices * 3 edges
+        assert_eq!(g.num_edges(), 3 + (500 - 4) * 3);
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn ba_every_late_vertex_has_min_degree_m() {
+        let g = barabasi_albert(300, 4, 5);
+        for v in 5..300u32 {
+            assert!(g.degree(v) >= 4);
+        }
+    }
+
+    #[test]
+    fn ba_develops_hubs() {
+        let g = barabasi_albert(2000, 2, 7);
+        assert!(
+            g.max_degree() > 20,
+            "preferential attachment should concentrate degree; max = {}",
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need more vertices")]
+    fn ba_rejects_tiny_n() {
+        barabasi_albert(3, 3, 0);
+    }
+}

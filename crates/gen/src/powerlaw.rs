@@ -1,0 +1,201 @@
+//! Power-law graph generators.
+//!
+//! Two models are provided:
+//!
+//! * [`chung_lu`] — each vertex gets an expected degree `w_v ∝ v^{-1/(β-1)}`
+//!   (a power-law weight sequence with exponent `β`), and edge `(u, v)` is
+//!   included independently with probability `min(1, w_u w_v / W)`. This is
+//!   the stand-in for the NetworkX power-law random graphs of Fig. 10.
+//! * [`configuration_model_erased`] — the *erased configuration model* the
+//!   paper adopts for the expectation analysis of Lemma 2: stubs are
+//!   matched uniformly at random, then loops and parallel edges are erased.
+
+use dynamis_graph::DynamicGraph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Generates a power-law weight/degree sequence with exponent `beta`,
+/// scaled so the average is `avg_degree`, maximum clamped to `n - 1`.
+///
+/// Weights follow `w_i = c · (i + 1)^{-1/(β-1)}`, the standard Chung–Lu
+/// parameterization whose resulting degree distribution has tail exponent
+/// `β`.
+pub fn powerlaw_weights(n: usize, beta: f64, avg_degree: f64) -> Vec<f64> {
+    assert!(beta > 1.0, "power-law exponent must exceed 1");
+    assert!(n > 0);
+    let gamma = 1.0 / (beta - 1.0);
+    let mut w: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-gamma)).collect();
+    let sum: f64 = w.iter().sum();
+    let scale = avg_degree * n as f64 / sum;
+    let cap = (n - 1) as f64;
+    for x in &mut w {
+        *x = (*x * scale).min(cap);
+    }
+    w
+}
+
+/// Chung–Lu random graph with power-law expected degrees.
+///
+/// Implementation follows the efficient O(n + m) algorithm of Miller &
+/// Hagberg: vertices sorted by descending weight, each row samples skips
+/// geometrically with probability capped at `p = min(1, w_u w_v / W)`.
+pub fn chung_lu(n: usize, beta: f64, avg_degree: f64, seed: u64) -> DynamicGraph {
+    let w = powerlaw_weights(n, beta, avg_degree);
+    chung_lu_from_weights(&w, seed)
+}
+
+/// Chung–Lu sampling from an explicit weight sequence (must be
+/// non-increasing for the skip sampler to be exact; this holds for
+/// [`powerlaw_weights`]).
+pub fn chung_lu_from_weights(w: &[f64], seed: u64) -> DynamicGraph {
+    let n = w.len();
+    let total: f64 = w.iter().sum();
+    let mut g = DynamicGraph::with_capacity(n);
+    g.add_vertices(n);
+    if n < 2 || total <= 0.0 {
+        return g;
+    }
+    let mut rng = crate::rng(seed);
+    for u in 0..n - 1 {
+        let mut v = u + 1;
+        let mut p = (w[u] * w[v] / total).min(1.0);
+        while v < n && p > 0.0 {
+            if p < 1.0 {
+                let r: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let skip = (r.ln() / (1.0 - p).ln()).floor() as usize;
+                v += skip;
+            }
+            if v >= n {
+                break;
+            }
+            // Accept with the corrected probability q/p (q = true prob at v).
+            let q = (w[u] * w[v] / total).min(1.0);
+            if rng.gen::<f64>() < q / p {
+                g.insert_edge(u as u32, v as u32).unwrap();
+            }
+            p = q;
+            v += 1;
+        }
+    }
+    g
+}
+
+/// Erased configuration model: realizes a degree sequence by uniform stub
+/// matching, then removes self-loops and duplicate edges (so realized
+/// degrees can fall slightly short of requested ones).
+pub fn configuration_model_erased(degrees: &[usize], seed: u64) -> DynamicGraph {
+    let n = degrees.len();
+    let mut stubs: Vec<u32> = Vec::with_capacity(degrees.iter().sum());
+    for (v, &d) in degrees.iter().enumerate() {
+        stubs.extend(std::iter::repeat(v as u32).take(d));
+    }
+    let mut rng = crate::rng(seed);
+    stubs.shuffle(&mut rng);
+    let mut g = DynamicGraph::with_capacity(n);
+    g.add_vertices(n);
+    for pair in stubs.chunks_exact(2) {
+        if pair[0] != pair[1] {
+            let _ = g.insert_edge(pair[0], pair[1]);
+        }
+    }
+    g
+}
+
+/// Samples an integral power-law degree sequence with exponent `beta` and
+/// minimum degree `dmin`, truncated at `n - 1`, with an even stub total
+/// (required by the configuration model).
+pub fn powerlaw_degree_sequence(
+    n: usize,
+    beta: f64,
+    dmin: usize,
+    seed: u64,
+) -> Vec<usize> {
+    assert!(beta > 1.0);
+    assert!(dmin >= 1);
+    let mut rng = crate::rng(seed);
+    let dmax = (n.saturating_sub(1)).max(dmin);
+    // Inverse-CDF sampling of the continuous Pareto, rounded down.
+    let mut seq: Vec<usize> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let x = dmin as f64 * u.powf(-1.0 / (beta - 1.0));
+            (x.floor() as usize).clamp(dmin, dmax)
+        })
+        .collect();
+    if seq.iter().sum::<usize>() % 2 == 1 {
+        seq[0] += 1;
+    }
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_scale_to_average() {
+        let w = powerlaw_weights(1000, 2.5, 8.0);
+        let avg = w.iter().sum::<f64>() / w.len() as f64;
+        assert!((avg - 8.0).abs() < 0.5, "avg weight {avg}");
+        // Non-increasing (required by the skip sampler).
+        assert!(w.windows(2).all(|p| p[0] >= p[1]));
+    }
+
+    #[test]
+    fn chung_lu_degree_matches_expectation() {
+        let n = 3000;
+        let g = chung_lu(n, 2.3, 6.0, 11);
+        let avg = g.avg_degree();
+        assert!(
+            (avg - 6.0).abs() < 1.5,
+            "avg degree {avg} should approximate 6"
+        );
+        g.check_consistency().unwrap();
+        // Heavy tail exists: the max degree far exceeds the mean.
+        assert!(g.max_degree() > 3 * avg as usize);
+    }
+
+    #[test]
+    fn chung_lu_is_seed_deterministic() {
+        let g1 = chung_lu(200, 2.5, 4.0, 5);
+        let g2 = chung_lu(200, 2.5, 4.0, 5);
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        for (u, v) in g1.edges() {
+            assert!(g2.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn config_model_respects_sequence_approximately() {
+        let degs = vec![3usize; 100];
+        let g = configuration_model_erased(&degs, 3);
+        g.check_consistency().unwrap();
+        // Erasure removes a few edges; realized total must be close.
+        let realized: usize = g.vertices().map(|v| g.degree(v)).sum();
+        assert!(realized >= 260, "too many erased stubs: {realized}");
+        assert!(realized <= 300);
+        assert!(g.vertices().all(|v| g.degree(v) <= 3));
+    }
+
+    #[test]
+    fn degree_sequence_properties() {
+        let seq = powerlaw_degree_sequence(500, 2.5, 1, 9);
+        assert_eq!(seq.len(), 500);
+        assert_eq!(seq.iter().sum::<usize>() % 2, 0, "stub total must be even");
+        assert!(seq.iter().all(|&d| d >= 1 && d < 500));
+        // Most mass at the minimum degree for beta = 2.5.
+        let ones = seq.iter().filter(|&&d| d == 1).count();
+        assert!(ones > 200, "expected power-law mass at dmin, got {ones}");
+    }
+
+    #[test]
+    fn beta_controls_density() {
+        // Smaller beta ⇒ heavier tail ⇒ larger hubs.
+        let flat = chung_lu(2000, 2.9, 4.0, 1).max_degree();
+        let heavy = chung_lu(2000, 1.9, 4.0, 1).max_degree();
+        assert!(
+            heavy > flat,
+            "beta=1.9 max degree {heavy} should exceed beta=2.9 {flat}"
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! R-MAT (recursive matrix) graph generator.
+//!
+//! R-MAT (Chakrabarti, Zhan, Faloutsos, SDM 2004) drops each edge into a
+//! recursively partitioned adjacency matrix: at every level the edge
+//! chooses one of four quadrants with probabilities `(a, b, c, d)`. Skewed
+//! quadrant weights (the classic `a = 0.57, b = c = 0.19, d = 0.05`)
+//! produce heavy-tailed degree distributions and community-like structure —
+//! the model behind the Graph500 benchmark and a second, independent way
+//! (besides Chung–Lu) of producing the power-law workloads of §V.
+
+use dynamis_graph::hash::{pair_key, FxHashSet};
+use dynamis_graph::DynamicGraph;
+use rand::Rng;
+
+/// Quadrant probabilities of the recursive matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatConfig {
+    /// Top-left quadrant (both endpoints in the low half).
+    pub a: f64,
+    /// Top-right quadrant.
+    pub b: f64,
+    /// Bottom-left quadrant.
+    pub c: f64,
+    /// Bottom-right quadrant.
+    pub d: f64,
+    /// Per-level multiplicative noise on the quadrant weights, in
+    /// `[0, 1)`; Graph500 uses ~0.1 to smooth the degree staircase.
+    pub noise: f64,
+}
+
+impl Default for RmatConfig {
+    /// The classic skewed parameterization.
+    fn default() -> Self {
+        RmatConfig {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+            noise: 0.1,
+        }
+    }
+}
+
+impl RmatConfig {
+    /// A symmetric (Erdős–Rényi-like) parameterization, for contrast.
+    pub fn uniform() -> Self {
+        RmatConfig {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            d: 0.25,
+            noise: 0.0,
+        }
+    }
+
+    fn validate(&self) {
+        let sum = self.a + self.b + self.c + self.d;
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "quadrant probabilities must sum to 1, got {sum}"
+        );
+        assert!(
+            self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0,
+            "probabilities must be non-negative"
+        );
+        assert!((0.0..1.0).contains(&self.noise), "noise must be in [0, 1)");
+    }
+}
+
+/// Generates an R-MAT graph with `2^scale` vertices and (up to) `edges`
+/// distinct undirected edges. Self-loops and duplicates are redrawn a
+/// bounded number of times, so on very dense parameterizations the final
+/// edge count can fall slightly short.
+pub fn rmat(scale: u32, edges: usize, cfg: RmatConfig, seed: u64) -> DynamicGraph {
+    cfg.validate();
+    assert!(scale <= 30, "scale {scale} would overflow vertex ids");
+    let n = 1usize << scale;
+    let mut rng = crate::rng(seed);
+    let mut seen = FxHashSet::default();
+    seen.reserve(edges);
+    let mut list = Vec::with_capacity(edges);
+    let max_attempts = edges.saturating_mul(20).max(1000);
+    let mut attempts = 0usize;
+    while list.len() < edges && attempts < max_attempts {
+        attempts += 1;
+        let (u, v) = sample_cell(scale, &cfg, &mut rng);
+        if u == v {
+            continue;
+        }
+        if seen.insert(pair_key(u, v)) {
+            list.push((u, v));
+        }
+    }
+    DynamicGraph::from_edges(n, &list)
+}
+
+/// Draws one (row, column) cell of the recursive matrix.
+fn sample_cell<R: Rng>(scale: u32, cfg: &RmatConfig, rng: &mut R) -> (u32, u32) {
+    let (mut u, mut v) = (0u32, 0u32);
+    for level in 0..scale {
+        let bit = 1u32 << (scale - 1 - level);
+        // Multiplicative noise keeps the expected weights but breaks the
+        // deterministic staircase in the degree distribution.
+        let jitter = |p: f64, r: &mut R| {
+            if cfg.noise > 0.0 {
+                p * (1.0 - cfg.noise + 2.0 * cfg.noise * r.gen::<f64>())
+            } else {
+                p
+            }
+        };
+        let a = jitter(cfg.a, rng);
+        let b = jitter(cfg.b, rng);
+        let c = jitter(cfg.c, rng);
+        let d = jitter(cfg.d, rng);
+        let total = a + b + c + d;
+        let roll = rng.gen::<f64>() * total;
+        if roll < a {
+            // top-left: no bits set
+        } else if roll < a + b {
+            v |= bit;
+        } else if roll < a + b + c {
+            u |= bit;
+        } else {
+            u |= bit;
+            v |= bit;
+        }
+    }
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_size() {
+        let g = rmat(10, 3000, RmatConfig::default(), 7);
+        assert_eq!(g.capacity(), 1024);
+        // Dedup/self-loop redraws may lose a few edges but not many.
+        assert!(g.num_edges() > 2800, "got {}", g.num_edges());
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = rmat(8, 500, RmatConfig::default(), 42);
+        let b = rmat(8, 500, RmatConfig::default(), 42);
+        let mut ea: Vec<_> = a.edges().collect();
+        let mut eb: Vec<_> = b.edges().collect();
+        ea.sort_unstable();
+        eb.sort_unstable();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = rmat(8, 500, RmatConfig::default(), 1);
+        let b = rmat(8, 500, RmatConfig::default(), 2);
+        let ea: std::collections::BTreeSet<_> = a.edges().collect();
+        let eb: std::collections::BTreeSet<_> = b.edges().collect();
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn skewed_config_is_heavier_tailed_than_uniform() {
+        let skewed = rmat(11, 8000, RmatConfig::default(), 3);
+        let uniform = rmat(11, 8000, RmatConfig::uniform(), 3);
+        assert!(
+            skewed.max_degree() > 2 * uniform.max_degree(),
+            "skewed Δ = {} vs uniform Δ = {}",
+            skewed.max_degree(),
+            uniform.max_degree()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_probabilities_panic() {
+        rmat(4, 10, RmatConfig { a: 0.9, b: 0.3, c: 0.1, d: 0.1, noise: 0.0 }, 1);
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let g = rmat(6, 400, RmatConfig::default(), 11);
+        g.check_consistency().unwrap();
+        for (u, v) in g.edges() {
+            assert_ne!(u, v);
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Temporal workload models beyond the paper's uniform random updates.
+//!
+//! The paper motivates the dynamic setting with social networks whose
+//! "amounts of reads and comments on some hot topics may grow to more
+//! than a million in few minutes". Two structured workload shapes make
+//! that concrete:
+//!
+//! * [`sliding_window`] — the standard streaming-graph model: edges
+//!   arrive continuously and expire after a fixed window, so the graph is
+//!   a moving snapshot of the most recent `window` interactions;
+//! * [`burst`] — hot-topic cascades: a hub vertex suddenly acquires a
+//!   star of new edges, which later decays; repeated for several topics.
+//!
+//! Both return a [`Workload`], so every engine and experiment harness
+//! consumes them exactly like the uniform streams of
+//! [`stream`](crate::stream).
+
+use crate::stream::{Update, Workload};
+use dynamis_graph::hash::{pair_key, FxHashSet};
+use dynamis_graph::DynamicGraph;
+use rand::Rng;
+
+/// Configuration of the [`sliding_window`] workload.
+#[derive(Debug, Clone, Copy)]
+pub struct SlidingWindowConfig {
+    /// Number of vertices in the (fixed) vertex universe.
+    pub n: usize,
+    /// Maximum number of simultaneously live edges: once exceeded, the
+    /// oldest edge expires with every arrival.
+    pub window: usize,
+    /// Total number of edge *arrivals* to generate.
+    pub arrivals: usize,
+}
+
+/// Generates a sliding-window workload: every step inserts one fresh edge
+/// between uniform random endpoints; when more than `window` edges are
+/// live, the oldest is removed first, so each step past the warm-up emits
+/// a delete–insert pair.
+///
+/// The starting graph is empty; the window fills during the warm-up
+/// prefix. Panics if `n < 2` or the window cannot hold a single edge.
+pub fn sliding_window(cfg: SlidingWindowConfig, seed: u64) -> Workload {
+    assert!(cfg.n >= 2, "need at least two vertices");
+    assert!(cfg.window >= 1, "window must hold at least one edge");
+    let max_edges = cfg.n * (cfg.n - 1) / 2;
+    assert!(
+        cfg.window <= max_edges,
+        "window {} exceeds the {max_edges} possible edges",
+        cfg.window
+    );
+    let mut rng = crate::rng(seed);
+    let mut graph = DynamicGraph::new();
+    graph.add_vertices(cfg.n);
+    let start = graph.clone();
+
+    let mut live: FxHashSet<u64> = FxHashSet::default();
+    let mut fifo: std::collections::VecDeque<(u32, u32)> =
+        std::collections::VecDeque::with_capacity(cfg.window + 1);
+    let mut updates = Vec::with_capacity(cfg.arrivals * 2);
+    for _ in 0..cfg.arrivals {
+        // Expire the oldest edge first so the window never overflows.
+        if fifo.len() == cfg.window {
+            let (u, v) = fifo.pop_front().expect("window is non-empty");
+            live.remove(&pair_key(u, v));
+            updates.push(Update::RemoveEdge(u, v));
+        }
+        // Sample a fresh edge; bounded retries keep this O(1) expected
+        // while the window is far from the complete graph.
+        let mut found = None;
+        for _ in 0..64 {
+            let u = rng.gen_range(0..cfg.n as u32);
+            let v = rng.gen_range(0..cfg.n as u32);
+            if u != v && !live.contains(&pair_key(u, v)) {
+                found = Some((u.min(v), u.max(v)));
+                break;
+            }
+        }
+        let Some((u, v)) = found else {
+            // Window ≈ complete graph; skip this arrival.
+            continue;
+        };
+        live.insert(pair_key(u, v));
+        fifo.push_back((u, v));
+        updates.push(Update::InsertEdge(u, v));
+    }
+    Workload {
+        graph: start,
+        updates,
+    }
+}
+
+/// Configuration of the [`burst`] workload.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstConfig {
+    /// Number of bursts (hot topics).
+    pub bursts: usize,
+    /// Edges each burst attaches to its hub.
+    pub burst_size: usize,
+    /// Fraction of each burst's edges that is deleted again once the
+    /// topic cools down, in `[0, 1]`.
+    pub decay: f64,
+}
+
+impl Default for BurstConfig {
+    fn default() -> Self {
+        BurstConfig {
+            bursts: 8,
+            burst_size: 64,
+            decay: 0.75,
+        }
+    }
+}
+
+/// Generates a burst workload over `base`: for each of `cfg.bursts`
+/// topics, a uniformly chosen hub gains `burst_size` star edges to random
+/// non-neighbors (the spike), after which a `decay` fraction of them is
+/// removed in insertion order (the cool-down). Bursts are sequential, so
+/// the maintained solution is hammered around one vertex at a time —
+/// the adversarial locality pattern for swap-based maintenance.
+pub fn burst(base: DynamicGraph, cfg: BurstConfig, seed: u64) -> Workload {
+    assert!((0.0..=1.0).contains(&cfg.decay), "decay must be in [0, 1]");
+    let mut rng = crate::rng(seed);
+    let start = base.clone();
+    let mut shadow = base;
+    let live: Vec<u32> = shadow.vertices().collect();
+    assert!(live.len() >= 2, "need at least two vertices");
+    let mut updates = Vec::new();
+    for _ in 0..cfg.bursts {
+        let hub = live[rng.gen_range(0..live.len())];
+        let mut spike = Vec::with_capacity(cfg.burst_size);
+        let mut tries = 0usize;
+        while spike.len() < cfg.burst_size && tries < cfg.burst_size * 30 {
+            tries += 1;
+            let leaf = live[rng.gen_range(0..live.len())];
+            if leaf != hub && !shadow.has_edge(hub, leaf) {
+                shadow
+                    .insert_edge(hub, leaf)
+                    .expect("endpoints are live by construction");
+                spike.push(leaf);
+                updates.push(Update::InsertEdge(hub, leaf));
+            }
+        }
+        let cooled = (spike.len() as f64 * cfg.decay).round() as usize;
+        for &leaf in spike.iter().take(cooled) {
+            shadow
+                .remove_edge(hub, leaf)
+                .expect("spike edge exists until cooled");
+            updates.push(Update::RemoveEdge(hub, leaf));
+        }
+    }
+    Workload {
+        graph: start,
+        updates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::apply_update;
+    use crate::uniform::gnm;
+
+    #[test]
+    fn sliding_window_respects_capacity() {
+        let wl = sliding_window(
+            SlidingWindowConfig {
+                n: 50,
+                window: 40,
+                arrivals: 500,
+            },
+            1,
+        );
+        let mut g = wl.graph.clone();
+        let mut peak = 0;
+        for u in &wl.updates {
+            apply_update(&mut g, u).unwrap();
+            peak = peak.max(g.num_edges());
+        }
+        assert!(peak <= 40, "window overflowed to {peak}");
+        assert_eq!(g.num_edges(), 40, "steady state fills the window");
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn sliding_window_warmup_is_insert_only() {
+        let wl = sliding_window(
+            SlidingWindowConfig {
+                n: 30,
+                window: 20,
+                arrivals: 100,
+            },
+            2,
+        );
+        assert!(wl.updates[..20]
+            .iter()
+            .all(|u| matches!(u, Update::InsertEdge(..))));
+        // Past warm-up, deletes appear.
+        assert!(wl.updates[20..]
+            .iter()
+            .any(|u| matches!(u, Update::RemoveEdge(..))));
+    }
+
+    #[test]
+    fn sliding_window_deletes_oldest_first() {
+        let wl = sliding_window(
+            SlidingWindowConfig {
+                n: 40,
+                window: 5,
+                arrivals: 60,
+            },
+            3,
+        );
+        // The i-th delete must remove exactly the i-th inserted edge.
+        let inserts: Vec<(u32, u32)> = wl
+            .updates
+            .iter()
+            .filter_map(|u| match u {
+                Update::InsertEdge(a, b) => Some((*a, *b)),
+                _ => None,
+            })
+            .collect();
+        let deletes: Vec<(u32, u32)> = wl
+            .updates
+            .iter()
+            .filter_map(|u| match u {
+                Update::RemoveEdge(a, b) => Some((*a, *b)),
+                _ => None,
+            })
+            .collect();
+        for (i, d) in deletes.iter().enumerate() {
+            assert_eq!(d, &inserts[i], "delete {i} is not FIFO");
+        }
+    }
+
+    #[test]
+    fn sliding_window_deterministic() {
+        let cfg = SlidingWindowConfig {
+            n: 25,
+            window: 15,
+            arrivals: 200,
+        };
+        assert_eq!(sliding_window(cfg, 7).updates, sliding_window(cfg, 7).updates);
+        assert_ne!(sliding_window(cfg, 7).updates, sliding_window(cfg, 8).updates);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn oversized_window_panics() {
+        sliding_window(
+            SlidingWindowConfig {
+                n: 3,
+                window: 10,
+                arrivals: 5,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn burst_replays_cleanly_and_targets_hubs() {
+        let base = gnm(80, 120, 4);
+        let wl = burst(base, BurstConfig::default(), 5);
+        let end = wl.final_graph();
+        end.check_consistency().unwrap();
+        // Each burst inserts burst_size and deletes ~75%, so the graph
+        // should have grown by roughly bursts * burst_size * 0.25.
+        let grown = end.num_edges() as i64 - 120;
+        assert!(grown > 0, "bursts should leave residual edges");
+        assert!(grown <= (8 * 64) as i64);
+    }
+
+    #[test]
+    fn burst_decay_fraction_zero_and_one() {
+        let base = gnm(40, 0, 1);
+        let keep_all = burst(
+            base.clone(),
+            BurstConfig {
+                bursts: 2,
+                burst_size: 10,
+                decay: 0.0,
+            },
+            9,
+        );
+        assert!(keep_all
+            .updates
+            .iter()
+            .all(|u| matches!(u, Update::InsertEdge(..))));
+        let drop_all = burst(
+            base,
+            BurstConfig {
+                bursts: 2,
+                burst_size: 10,
+                decay: 1.0,
+            },
+            9,
+        );
+        let end = drop_all.final_graph();
+        assert_eq!(end.num_edges(), 0, "full decay returns to the base graph");
+    }
+
+    #[test]
+    fn burst_spike_is_star_shaped() {
+        let base = gnm(60, 0, 2);
+        let wl = burst(
+            base,
+            BurstConfig {
+                bursts: 1,
+                burst_size: 12,
+                decay: 0.0,
+            },
+            3,
+        );
+        // All inserts share one endpoint (the hub).
+        let mut endpoint_counts = std::collections::HashMap::new();
+        for u in &wl.updates {
+            if let Update::InsertEdge(a, b) = u {
+                *endpoint_counts.entry(*a).or_insert(0) += 1;
+                *endpoint_counts.entry(*b).or_insert(0) += 1;
+            }
+        }
+        let max = endpoint_counts.values().copied().max().unwrap();
+        assert_eq!(max, 12, "hub touches every spike edge");
+    }
+}

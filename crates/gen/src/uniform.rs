@@ -1,0 +1,176 @@
+//! Erdős–Rényi uniform random graphs.
+
+use dynamis_graph::hash::{pair_key, FxHashSet};
+use dynamis_graph::DynamicGraph;
+use rand::Rng;
+
+/// Samples `G(n, m)`: exactly `m` distinct edges chosen uniformly among all
+/// vertex pairs. Panics if `m` exceeds the number of possible pairs.
+pub fn gnm(n: usize, m: usize, seed: u64) -> DynamicGraph {
+    let max_m = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= max_m, "requested {m} edges but K_{n} has only {max_m}");
+    let mut rng = crate::rng(seed);
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
+    seen.reserve(m);
+    let mut edges = Vec::with_capacity(m);
+    // Dense fallback keeps rejection sampling from stalling near K_n.
+    if m * 3 > max_m * 2 {
+        let mut all: Vec<(u32, u32)> = Vec::with_capacity(max_m);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                all.push((u, v));
+            }
+        }
+        for i in 0..m {
+            let j = rng.gen_range(i..all.len());
+            all.swap(i, j);
+        }
+        all.truncate(m);
+        return DynamicGraph::from_edges(n, &all);
+    }
+    while edges.len() < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v && seen.insert(pair_key(u, v)) {
+            edges.push((u, v));
+        }
+    }
+    DynamicGraph::from_edges(n, &edges)
+}
+
+/// Samples `G(n, p)` by geometric edge skipping (O(n + m) expected).
+pub fn gnp(n: usize, p: f64, seed: u64) -> DynamicGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut g = DynamicGraph::with_capacity(n);
+    g.add_vertices(n);
+    if p == 0.0 || n < 2 {
+        return g;
+    }
+    let mut rng = crate::rng(seed);
+    if p >= 1.0 {
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                g.insert_edge(u, v).unwrap();
+            }
+        }
+        return g;
+    }
+    // Iterate pair ranks, jumping ahead by geometrically distributed gaps.
+    let lq = (1.0 - p).ln();
+    let total = n as u64 * (n as u64 - 1) / 2;
+    let mut rank: u64 = 0;
+    loop {
+        let r: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let skip = (r.ln() / lq).floor() as u64;
+        rank = rank.saturating_add(skip);
+        if rank >= total {
+            break;
+        }
+        let (u, v) = rank_to_pair(rank, n as u64);
+        g.insert_edge(u, v).unwrap();
+        rank += 1;
+    }
+    g
+}
+
+/// Maps a linear rank in `[0, n(n-1)/2)` to the pair `(u, v)`, `u < v`,
+/// in lexicographic order.
+fn rank_to_pair(rank: u64, n: u64) -> (u32, u32) {
+    // Row u starts at offset u*n - u*(u+1)/2 - u ... solve by scan-free math:
+    // find largest u with f(u) = u*(2n - u - 1)/2 <= rank.
+    let mut lo = 0u64;
+    let mut hi = n - 1;
+    while lo < hi {
+        let mid = (lo + hi + 1) / 2;
+        if mid * (2 * n - mid - 1) / 2 <= rank {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let u = lo;
+    let base = u * (2 * n - u - 1) / 2;
+    let v = u + 1 + (rank - base);
+    (u as u32, v as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_has_exact_edge_count() {
+        let g = gnm(50, 200, 1);
+        assert_eq!(g.num_vertices(), 50);
+        assert_eq!(g.num_edges(), 200);
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn gnm_is_deterministic_per_seed() {
+        let a: Vec<_> = {
+            let mut e: Vec<_> = gnm(30, 60, 7).edges().collect();
+            e.sort_unstable();
+            e
+        };
+        let b: Vec<_> = {
+            let mut e: Vec<_> = gnm(30, 60, 7).edges().collect();
+            e.sort_unstable();
+            e
+        };
+        let c: Vec<_> = {
+            let mut e: Vec<_> = gnm(30, 60, 8).edges().collect();
+            e.sort_unstable();
+            e
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnm_dense_fallback_reaches_complete_graph() {
+        let g = gnm(8, 28, 3);
+        assert_eq!(g.num_edges(), 28);
+        for u in 0..8 {
+            assert_eq!(g.degree(u), 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requested")]
+    fn gnm_rejects_impossible_m() {
+        gnm(4, 7, 0);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(20, 0.0, 0).num_edges(), 0);
+        assert_eq!(gnp(6, 1.0, 0).num_edges(), 15);
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let n = 400;
+        let p = 0.05;
+        let g = gnp(n, p, 42);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expected).abs() < 4.0 * expected.sqrt() + 20.0,
+            "expected ~{expected}, got {got}"
+        );
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn rank_to_pair_is_bijective_on_small_n() {
+        let n = 7u64;
+        let mut seen = std::collections::HashSet::new();
+        for rank in 0..(n * (n - 1) / 2) {
+            let (u, v) = rank_to_pair(rank, n);
+            assert!(u < v && (v as u64) < n);
+            assert!(seen.insert((u, v)));
+        }
+        assert_eq!(seen.len() as u64, n * (n - 1) / 2);
+    }
+}

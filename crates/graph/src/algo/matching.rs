@@ -1,0 +1,366 @@
+//! Matchings: greedy maximal matching and Hopcroft–Karp maximum matching
+//! on bipartite graphs.
+//!
+//! The greedy matching backs the classical vertex-cover 2-approximation;
+//! Hopcroft–Karp enables *exact* minimum vertex cover (and hence exact
+//! MaxIS) on bipartite graphs through König's theorem — a polynomial
+//! special case worth exposing next to the NP-hard general machinery.
+
+use super::stats::two_coloring;
+use crate::CsrGraph;
+
+/// A matching: `mate[v]` is `v`'s partner or `u32::MAX` if unmatched.
+#[derive(Debug, Clone)]
+pub struct Matching {
+    /// Partner per vertex (`u32::MAX` = unmatched).
+    pub mate: Vec<u32>,
+    /// Number of matched edges.
+    pub size: usize,
+}
+
+/// Sentinel for unmatched vertices.
+pub const UNMATCHED: u32 = u32::MAX;
+
+impl Matching {
+    /// Whether `v` is matched.
+    pub fn is_matched(&self, v: u32) -> bool {
+        self.mate[v as usize] != UNMATCHED
+    }
+
+    /// The matched edges as `(u, v)` pairs with `u < v`.
+    pub fn edges(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.size);
+        for (v, &m) in self.mate.iter().enumerate() {
+            if m != UNMATCHED && (v as u32) < m {
+                out.push((v as u32, m));
+            }
+        }
+        out
+    }
+
+    /// Test helper: every mate pointer is reciprocal and every matched
+    /// pair is an edge of `g`.
+    pub fn validate(&self, g: &CsrGraph) -> Result<(), String> {
+        let mut count = 0usize;
+        for v in 0..g.num_vertices() as u32 {
+            let m = self.mate[v as usize];
+            if m == UNMATCHED {
+                continue;
+            }
+            if self.mate[m as usize] != v {
+                return Err(format!("mate of {v} is {m} but not reciprocal"));
+            }
+            if !g.has_edge(v, m) {
+                return Err(format!("matched pair ({v}, {m}) is not an edge"));
+            }
+            count += 1;
+        }
+        if count != 2 * self.size {
+            return Err(format!("size {} != {}/2 matched endpoints", self.size, count));
+        }
+        Ok(())
+    }
+}
+
+/// Greedy maximal matching: scan edges once, match both endpoints when
+/// free. O(n + m); at least half the size of a maximum matching.
+pub fn greedy_matching(g: &CsrGraph) -> Matching {
+    let n = g.num_vertices();
+    let mut mate = vec![UNMATCHED; n];
+    let mut size = 0usize;
+    for u in 0..n as u32 {
+        if mate[u as usize] != UNMATCHED {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if mate[v as usize] == UNMATCHED {
+                mate[u as usize] = v;
+                mate[v as usize] = u;
+                size += 1;
+                break;
+            }
+        }
+    }
+    Matching { mate, size }
+}
+
+/// Hopcroft–Karp maximum matching on a **bipartite** graph.
+///
+/// Returns `None` if the graph is not bipartite. O(m·√n): BFS layers the
+/// graph from free left vertices, DFS extracts a maximal set of
+/// vertex-disjoint shortest augmenting paths, repeated O(√n) times.
+pub fn hopcroft_karp(g: &CsrGraph) -> Option<Matching> {
+    let n = g.num_vertices();
+    let color = two_coloring(g)?;
+    let left: Vec<u32> = (0..n as u32).filter(|&v| color[v as usize] == 0).collect();
+    let mut mate = vec![UNMATCHED; n];
+    let mut size = 0usize;
+
+    const INF: u32 = u32::MAX;
+    let mut dist = vec![INF; n];
+    let mut queue = std::collections::VecDeque::new();
+
+    loop {
+        // BFS from free left vertices, layering only left vertices.
+        queue.clear();
+        for &v in &left {
+            if mate[v as usize] == UNMATCHED {
+                dist[v as usize] = 0;
+                queue.push_back(v);
+            } else {
+                dist[v as usize] = INF;
+            }
+        }
+        let mut found_augmenting = false;
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                let w = mate[u as usize];
+                if w == UNMATCHED {
+                    found_augmenting = true;
+                } else if dist[w as usize] == INF {
+                    dist[w as usize] = dist[v as usize] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        if !found_augmenting {
+            break;
+        }
+        // DFS phase: vertex-disjoint augmenting paths along the layering.
+        fn try_augment(
+            v: u32,
+            g: &CsrGraph,
+            mate: &mut [u32],
+            dist: &mut [u32],
+        ) -> bool {
+            for i in 0..g.degree(v) {
+                let u = g.neighbors(v)[i];
+                let w = mate[u as usize];
+                let ok = if w == UNMATCHED {
+                    true
+                } else if dist[w as usize] == dist[v as usize] + 1 {
+                    try_augment(w, g, mate, dist)
+                } else {
+                    false
+                };
+                if ok {
+                    mate[v as usize] = u;
+                    mate[u as usize] = v;
+                    return true;
+                }
+            }
+            dist[v as usize] = u32::MAX; // dead end: prune for this phase
+            false
+        }
+        for &v in &left {
+            if mate[v as usize] == UNMATCHED && try_augment(v, g, &mut mate, &mut dist) {
+                size += 1;
+            }
+        }
+    }
+    Some(Matching { mate, size })
+}
+
+/// König's theorem: in a bipartite graph, minimum vertex cover size
+/// equals maximum matching size, and the cover is extracted from the
+/// alternating-reachability structure of a maximum matching.
+///
+/// Returns `None` if the graph is not bipartite. The cover is exact
+/// (hence `V \ cover` is a *maximum* independent set).
+pub fn koenig_vertex_cover(g: &CsrGraph) -> Option<Vec<u32>> {
+    let n = g.num_vertices();
+    let color = two_coloring(g)?;
+    let matching = hopcroft_karp(g)?;
+    // Alternating BFS from unmatched left vertices: visit left via
+    // non-matching edges, right via matching edges.
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    for v in 0..n as u32 {
+        if color[v as usize] == 0 && !matching.is_matched(v) {
+            visited[v as usize] = true;
+            queue.push_back(v);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        if color[v as usize] == 0 {
+            for &u in g.neighbors(v) {
+                // Left → right over non-matching edges.
+                if matching.mate[v as usize] != u && !visited[u as usize] {
+                    visited[u as usize] = true;
+                    queue.push_back(u);
+                }
+            }
+        } else {
+            let w = matching.mate[v as usize];
+            if w != UNMATCHED && !visited[w as usize] {
+                visited[w as usize] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    // Cover = (L \ visited) ∪ (R ∩ visited).
+    let cover: Vec<u32> = (0..n as u32)
+        .filter(|&v| {
+            if color[v as usize] == 0 {
+                !visited[v as usize]
+            } else {
+                visited[v as usize]
+            }
+        })
+        .collect();
+    debug_assert_eq!(cover.len(), matching.size, "König equality");
+    Some(cover)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: u32) -> CsrGraph {
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        CsrGraph::from_edges(n as usize, &edges)
+    }
+
+    fn complete_bipartite(a: u32, b: u32) -> CsrGraph {
+        let mut edges = Vec::new();
+        for u in 0..a {
+            for v in 0..b {
+                edges.push((u, a + v));
+            }
+        }
+        CsrGraph::from_edges((a + b) as usize, &edges)
+    }
+
+    #[test]
+    fn greedy_matching_is_valid_and_maximal() {
+        let g = cycle(7);
+        let m = greedy_matching(&g);
+        m.validate(&g).unwrap();
+        assert_eq!(m.size, 3, "C₇ maximal matchings have 3 edges");
+        // Maximality: no edge with both endpoints free.
+        for u in 0..7u32 {
+            for &v in g.neighbors(u) {
+                assert!(m.is_matched(u) || m.is_matched(v));
+            }
+        }
+    }
+
+    #[test]
+    fn hopcroft_karp_on_complete_bipartite() {
+        let g = complete_bipartite(4, 6);
+        let m = hopcroft_karp(&g).unwrap();
+        m.validate(&g).unwrap();
+        assert_eq!(m.size, 4, "K_{{4,6}} has a perfect left matching");
+    }
+
+    #[test]
+    fn hopcroft_karp_needs_augmenting_paths() {
+        // A "crown" where greedy can pick badly but max matching is 3:
+        // L = {0,1,2}, R = {3,4,5}; 0-3, 0-4, 1-3, 1-5, 2-4.
+        let g = CsrGraph::from_edges(6, &[(0, 3), (0, 4), (1, 3), (1, 5), (2, 4)]);
+        let m = hopcroft_karp(&g).unwrap();
+        m.validate(&g).unwrap();
+        assert_eq!(m.size, 3);
+    }
+
+    #[test]
+    fn hopcroft_karp_rejects_odd_cycles() {
+        assert!(hopcroft_karp(&cycle(5)).is_none());
+        assert!(koenig_vertex_cover(&cycle(9)).is_none());
+    }
+
+    #[test]
+    fn even_cycle_matching_and_cover() {
+        let g = cycle(8);
+        let m = hopcroft_karp(&g).unwrap();
+        assert_eq!(m.size, 4, "perfect matching");
+        let cover = koenig_vertex_cover(&g).unwrap();
+        assert_eq!(cover.len(), 4, "König: τ = ν");
+        // Verify covering.
+        let in_cover: std::collections::BTreeSet<u32> = cover.into_iter().collect();
+        for u in 0..8u32 {
+            for &v in g.neighbors(u) {
+                assert!(in_cover.contains(&u) || in_cover.contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn koenig_complement_is_maximum_independent_set() {
+        // P₆ has a perfect matching (ν = 3), so König gives τ = 3 and the
+        // complement is a maximum independent set of size α = 6 − 3 = 3.
+        let edges: Vec<(u32, u32)> = (0..5u32).map(|i| (i, i + 1)).collect();
+        let g = CsrGraph::from_edges(6, &edges);
+        let cover = koenig_vertex_cover(&g).unwrap();
+        assert_eq!(cover.len(), 3);
+        let mis: Vec<u32> = (0..6u32).filter(|v| !cover.contains(v)).collect();
+        assert_eq!(mis.len(), 3);
+        // MIS is independent.
+        for (i, &u) in mis.iter().enumerate() {
+            for &v in &mis[i + 1..] {
+                assert!(!g.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn matches_exhaustive_on_random_bipartite() {
+        // Cross-check Hopcroft–Karp size against an O(2^L) exhaustive
+        // matcher on small random bipartite graphs.
+        fn brute_max_matching(g: &CsrGraph, left: &[u32]) -> usize {
+            fn rec(g: &CsrGraph, left: &[u32], i: usize, used: &mut Vec<bool>) -> usize {
+                if i == left.len() {
+                    return 0;
+                }
+                // Skip left[i].
+                let mut best = rec(g, left, i + 1, used);
+                for &v in g.neighbors(left[i]) {
+                    if !used[v as usize] {
+                        used[v as usize] = true;
+                        best = best.max(1 + rec(g, left, i + 1, used));
+                        used[v as usize] = false;
+                    }
+                }
+                best
+            }
+            let mut used = vec![false; g.num_vertices()];
+            rec(g, left, 0, &mut used)
+        }
+        let mut state = 0xbead5eed_u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..20 {
+            let a = 3 + (rng() % 4) as u32;
+            let b = 3 + (rng() % 4) as u32;
+            let mut edges = Vec::new();
+            for u in 0..a {
+                for v in 0..b {
+                    if rng() % 2 == 0 {
+                        edges.push((u, a + v));
+                    }
+                }
+            }
+            let g = CsrGraph::from_edges((a + b) as usize, &edges);
+            let hk = hopcroft_karp(&g).unwrap();
+            hk.validate(&g).unwrap();
+            let left: Vec<u32> = (0..a).collect();
+            assert_eq!(hk.size, brute_max_matching(&g, &left), "round {round}");
+            let cover = koenig_vertex_cover(&g).unwrap();
+            assert_eq!(cover.len(), hk.size, "round {round}: König equality");
+        }
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_eq!(greedy_matching(&g).size, 0);
+        assert_eq!(hopcroft_karp(&g).unwrap().size, 0);
+        let g = CsrGraph::from_edges(4, &[]);
+        assert_eq!(hopcroft_karp(&g).unwrap().size, 0);
+        assert!(koenig_vertex_cover(&g).unwrap().is_empty());
+    }
+}

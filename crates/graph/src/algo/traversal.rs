@@ -1,0 +1,216 @@
+//! Breadth-first traversal, connected components, and the double-sweep
+//! diameter lower bound.
+
+use crate::CsrGraph;
+
+/// Distance value for vertices unreachable from the BFS source.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS distances from `source`. Unreachable vertices get [`UNREACHABLE`].
+///
+/// # Example
+/// ```
+/// use dynamis_graph::CsrGraph;
+/// use dynamis_graph::algo::bfs_distances;
+/// let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2)]);
+/// let d = bfs_distances(&g, 0);
+/// assert_eq!(d[2], 2);
+/// assert_eq!(d[3], u32::MAX); // isolated
+/// ```
+pub fn bfs_distances(g: &CsrGraph, source: u32) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut dist = vec![UNREACHABLE; n];
+    if (source as usize) >= n {
+        return dist;
+    }
+    let mut queue = std::collections::VecDeque::with_capacity(64);
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &u in g.neighbors(v) {
+            if dist[u as usize] == UNREACHABLE {
+                dist[u as usize] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// The connected components of a graph: a label per vertex plus the size of
+/// every component.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// `label[v]` = component id of `v`, in `0..count()`.
+    pub label: Vec<u32>,
+    /// `sizes[c]` = number of vertices in component `c`.
+    pub sizes: Vec<u32>,
+}
+
+impl Components {
+    /// Number of connected components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Id of the largest component (ties broken by smaller id); `None` on
+    /// the empty graph.
+    pub fn largest(&self) -> Option<u32> {
+        let (best, _) = self
+            .sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))?;
+        Some(best as u32)
+    }
+
+    /// Whether vertices `u` and `v` lie in the same component.
+    pub fn same(&self, u: u32, v: u32) -> bool {
+        self.label[u as usize] == self.label[v as usize]
+    }
+}
+
+/// Computes connected components with an iterative BFS sweep, O(n + m).
+pub fn connected_components(g: &CsrGraph) -> Components {
+    let n = g.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n as u32 {
+        if label[s as usize] != u32::MAX {
+            continue;
+        }
+        let c = sizes.len() as u32;
+        sizes.push(0u32);
+        label[s as usize] = c;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            sizes[c as usize] += 1;
+            for &u in g.neighbors(v) {
+                if label[u as usize] == u32::MAX {
+                    label[u as usize] = c;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    Components { label, sizes }
+}
+
+/// Returns the vertices of the largest connected component, sorted by id.
+pub fn largest_component(g: &CsrGraph) -> Vec<u32> {
+    let comps = connected_components(g);
+    let Some(target) = comps.largest() else {
+        return Vec::new();
+    };
+    (0..g.num_vertices() as u32)
+        .filter(|&v| comps.label[v as usize] == target)
+        .collect()
+}
+
+/// Double-sweep BFS lower bound on the diameter of the component containing
+/// `start`: run BFS from `start`, then from the farthest vertex found; the
+/// eccentricity of the second sweep is a lower bound on (and on many graph
+/// families equal to) the true diameter.
+pub fn diameter_lower_bound(g: &CsrGraph, start: u32) -> u32 {
+    let first = bfs_distances(g, start);
+    let Some((far, _)) = first
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != UNREACHABLE)
+        .max_by_key(|&(_, &d)| d)
+    else {
+        return 0;
+    };
+    let second = bfs_distances(g, far as u32);
+    second
+        .iter()
+        .filter(|&&d| d != UNREACHABLE)
+        .copied()
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> CsrGraph {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn bfs_on_path_counts_hops() {
+        let g = path(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        let d = bfs_distances(&g, 2);
+        assert_eq!(d, vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_out_of_range_source_is_all_unreachable() {
+        let g = path(3);
+        let d = bfs_distances(&g, 17);
+        assert!(d.iter().all(|&x| x == UNREACHABLE));
+    }
+
+    #[test]
+    fn components_of_disjoint_paths() {
+        // Two paths and an isolated vertex: 3 components.
+        let g = CsrGraph::from_edges(7, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 3);
+        assert!(c.same(0, 2));
+        assert!(c.same(3, 5));
+        assert!(!c.same(2, 3));
+        assert!(!c.same(6, 0));
+        let mut sizes = c.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 3, 3]);
+    }
+
+    #[test]
+    fn largest_component_prefers_bigger_then_smaller_id() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (2, 3), (3, 4)]);
+        let big = largest_component(&g);
+        assert_eq!(big, vec![2, 3, 4]);
+        // Tie: two components of size 2 → the one discovered first wins.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(largest_component(&g), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_graph_components() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.largest(), None);
+        assert!(largest_component(&g).is_empty());
+    }
+
+    #[test]
+    fn diameter_of_path_is_exact() {
+        let g = path(9);
+        // Start mid-path: first sweep reaches an end, second spans the path.
+        assert_eq!(diameter_lower_bound(&g, 4), 8);
+        assert_eq!(diameter_lower_bound(&g, 0), 8);
+    }
+
+    #[test]
+    fn diameter_of_cycle() {
+        let n = 10u32;
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = CsrGraph::from_edges(n as usize, &edges);
+        assert_eq!(diameter_lower_bound(&g, 0), 5);
+    }
+
+    #[test]
+    fn diameter_ignores_other_components() {
+        let g = CsrGraph::from_edges(8, &[(0, 1), (2, 3), (3, 4), (4, 5), (5, 6)]);
+        assert_eq!(diameter_lower_bound(&g, 0), 1);
+        assert_eq!(diameter_lower_bound(&g, 2), 4);
+    }
+}

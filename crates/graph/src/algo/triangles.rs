@@ -1,0 +1,201 @@
+//! Triangle counting and clustering coefficients.
+//!
+//! Uses the *forward* algorithm: orient every edge from the endpoint that
+//! appears earlier in a degeneracy ordering to the later one, then
+//! intersect out-neighborhoods. Runtime O(m · degeneracy), which is
+//! near-linear on the power-law bounded graphs this workspace targets
+//! (PLB graphs with β > 2 have bounded average degeneracy).
+
+use super::cores::core_decomposition;
+use crate::CsrGraph;
+
+/// Counts the triangles of `g` and returns `(total, per_vertex)` where
+/// `per_vertex[v]` is the number of triangles containing `v`.
+pub fn count_triangles(g: &CsrGraph) -> (u64, Vec<u64>) {
+    let n = g.num_vertices();
+    let mut per_vertex = vec![0u64; n];
+    if n == 0 {
+        return (0, per_vertex);
+    }
+    let pos = core_decomposition(g).positions();
+    // Forward adjacency: neighbors later in the degeneracy order.
+    let mut fwd: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for v in 0..n as u32 {
+        for &u in g.neighbors(v) {
+            if pos[u as usize] > pos[v as usize] {
+                fwd[v as usize].push(u);
+            }
+        }
+        fwd[v as usize].sort_unstable();
+    }
+    let mut total = 0u64;
+    for v in 0..n as u32 {
+        let fv = &fwd[v as usize];
+        for &u in fv {
+            // Merge-intersect fwd[v] and fwd[u]; every common w closes a
+            // triangle v-u-w counted exactly once.
+            let fu = &fwd[u as usize];
+            let (mut i, mut j) = (0, 0);
+            while i < fv.len() && j < fu.len() {
+                match fv[i].cmp(&fu[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        let w = fv[i];
+                        total += 1;
+                        per_vertex[v as usize] += 1;
+                        per_vertex[u as usize] += 1;
+                        per_vertex[w as usize] += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    (total, per_vertex)
+}
+
+/// Local clustering coefficient of every vertex:
+/// `2 · triangles(v) / (d(v) · (d(v) − 1))`, 0 for degree < 2.
+pub fn clustering_coefficients(g: &CsrGraph) -> Vec<f64> {
+    let (_, tri) = count_triangles(g);
+    (0..g.num_vertices() as u32)
+        .map(|v| {
+            let d = g.degree(v) as f64;
+            if d < 2.0 {
+                0.0
+            } else {
+                2.0 * tri[v as usize] as f64 / (d * (d - 1.0))
+            }
+        })
+        .collect()
+}
+
+/// Global clustering coefficient (transitivity):
+/// `3 · #triangles / #wedges`, 0 when the graph has no wedge.
+pub fn global_clustering(g: &CsrGraph) -> f64 {
+    let (tri, _) = count_triangles(g);
+    let wedges: u64 = (0..g.num_vertices() as u32)
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        0.0
+    } else {
+        3.0 * tri as f64 / wedges as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: u32) -> CsrGraph {
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in u + 1..n {
+                edges.push((u, v));
+            }
+        }
+        CsrGraph::from_edges(n as usize, &edges)
+    }
+
+    /// O(n³) reference count.
+    fn naive_triangles(g: &CsrGraph) -> u64 {
+        let n = g.num_vertices() as u32;
+        let mut t = 0;
+        for u in 0..n {
+            for v in u + 1..n {
+                if !g.has_edge(u, v) {
+                    continue;
+                }
+                for w in v + 1..n {
+                    if g.has_edge(u, w) && g.has_edge(v, w) {
+                        t += 1;
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn complete_graph_triangle_count() {
+        // K_n has C(n, 3) triangles, each vertex in C(n-1, 2) of them.
+        let g = complete(6);
+        let (total, per) = count_triangles(&g);
+        assert_eq!(total, 20);
+        assert!(per.iter().all(|&t| t == 10));
+    }
+
+    #[test]
+    fn triangle_free_graphs() {
+        let path = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(count_triangles(&path).0, 0);
+        let c4 = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(count_triangles(&c4).0, 0);
+        assert_eq!(global_clustering(&c4), 0.0);
+    }
+
+    #[test]
+    fn single_triangle_per_vertex_counts() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let (total, per) = count_triangles(&g);
+        assert_eq!(total, 1);
+        assert_eq!(per, vec![1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn matches_naive_on_random_graph() {
+        let mut state = 0x5deece66du64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let n = 40u32;
+        let mut edges = Vec::new();
+        for _ in 0..220 {
+            let (u, v) = ((rng() % n as u64) as u32, (rng() % n as u64) as u32);
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+        let g = CsrGraph::from_edges(n as usize, &edges);
+        assert_eq!(count_triangles(&g).0, naive_triangles(&g));
+    }
+
+    #[test]
+    fn clustering_of_complete_graph_is_one() {
+        let g = complete(5);
+        assert!(clustering_coefficients(&g).iter().all(|&c| c == 1.0));
+        assert!((global_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_of_paw_graph() {
+        // Triangle 0-1-2 with pendant 3 on vertex 2.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let cc = clustering_coefficients(&g);
+        assert_eq!(cc[0], 1.0);
+        assert_eq!(cc[1], 1.0);
+        assert!((cc[2] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cc[3], 0.0);
+        // 3 triangles-times-3 over wedges: wedges = 1 + 1 + 3 = 5.
+        assert!((global_clustering(&g) - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_trivial_graphs() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_eq!(count_triangles(&g).0, 0);
+        assert_eq!(global_clustering(&g), 0.0);
+        let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        assert_eq!(count_triangles(&g).0, 0);
+        assert_eq!(clustering_coefficients(&g), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Position-indexed collections used by the maintenance framework.
+//!
+//! The paper's hierarchical storage requires every bucket `¯I_j(S)` to
+//! support O(1) insert *and* O(1) removal of an arbitrary member: "the
+//! hierarchical storage strategy also allows a constant-time update to the
+//! position of u if the index of u in ¯I_j(I(u)) is maintained explicitly
+//! in vertex u". [`IndexedBag`] is exactly that structure. [`StampSet`]
+//! provides the O(1) transient membership marks used when intersecting a
+//! neighborhood with a bucket.
+
+/// A bag of `u32` keys with O(1) insert, remove, and membership, backed by
+/// a dense vector plus a position table (the "index maintained explicitly
+/// in the vertex").
+///
+/// All keys must be smaller than the capacity passed at construction; the
+/// bag grows its position table on demand.
+#[derive(Debug, Clone, Default)]
+pub struct IndexedBag {
+    items: Vec<u32>,
+    /// `pos[k]` = index of `k` in `items`, or `NONE`.
+    pos: Vec<u32>,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl IndexedBag {
+    /// Creates an empty bag able to hold keys `< capacity` without resizing.
+    pub fn with_capacity(capacity: usize) -> Self {
+        IndexedBag {
+            items: Vec::new(),
+            pos: vec![NONE; capacity],
+        }
+    }
+
+    fn ensure(&mut self, key: u32) {
+        if key as usize >= self.pos.len() {
+            self.pos.resize(key as usize + 1, NONE);
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the bag is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// O(1) membership test.
+    #[inline]
+    pub fn contains(&self, key: u32) -> bool {
+        self.pos.get(key as usize).is_some_and(|&p| p != NONE)
+    }
+
+    /// Inserts `key`; returns `false` if it was already present.
+    pub fn insert(&mut self, key: u32) -> bool {
+        self.ensure(key);
+        if self.pos[key as usize] != NONE {
+            return false;
+        }
+        self.pos[key as usize] = self.items.len() as u32;
+        self.items.push(key);
+        true
+    }
+
+    /// Removes `key` in O(1) via swap-remove; returns `false` if absent.
+    pub fn remove(&mut self, key: u32) -> bool {
+        let Some(&p) = self.pos.get(key as usize) else {
+            return false;
+        };
+        if p == NONE {
+            return false;
+        }
+        self.items.swap_remove(p as usize);
+        if (p as usize) < self.items.len() {
+            let moved = self.items[p as usize];
+            self.pos[moved as usize] = p;
+        }
+        self.pos[key as usize] = NONE;
+        true
+    }
+
+    /// Removes and returns an arbitrary element (the last inserted or moved).
+    pub fn pop(&mut self) -> Option<u32> {
+        let key = self.items.pop()?;
+        self.pos[key as usize] = NONE;
+        Some(key)
+    }
+
+    /// Slice view of the contents (unspecified order).
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.items
+    }
+
+    /// Iterates the contents (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.items.iter().copied()
+    }
+
+    /// Removes all elements in O(len).
+    pub fn clear(&mut self) {
+        for &k in &self.items {
+            self.pos[k as usize] = NONE;
+        }
+        self.items.clear();
+    }
+}
+
+/// Epoch-stamped set over keys `0..n`: `mark`/`is_marked` are O(1) and
+/// clearing the whole set is O(1) (bump the epoch). The workhorse for
+/// "count how many of N\[u\] lie inside this bucket" style intersections in
+/// the swap-finding inner loops.
+#[derive(Debug, Clone, Default)]
+pub struct StampSet {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl StampSet {
+    /// Creates a stamp set for keys `< capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        StampSet {
+            stamp: vec![0; capacity],
+            epoch: 0,
+        }
+    }
+
+    /// Starts a new generation, implicitly unmarking every key.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely rare wrap: reset storage to keep correctness.
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+    }
+
+    #[inline]
+    fn ensure(&mut self, key: u32) {
+        if key as usize >= self.stamp.len() {
+            self.stamp.resize(key as usize + 1, 0);
+        }
+    }
+
+    /// Marks `key` in the current generation.
+    #[inline]
+    pub fn mark(&mut self, key: u32) {
+        self.ensure(key);
+        self.stamp[key as usize] = self.epoch;
+    }
+
+    /// Unmarks `key`.
+    #[inline]
+    pub fn unmark(&mut self, key: u32) {
+        self.ensure(key);
+        self.stamp[key as usize] = self.epoch.wrapping_sub(1);
+    }
+
+    /// Whether `key` is marked in the current generation.
+    #[inline]
+    pub fn is_marked(&self, key: u32) -> bool {
+        self.stamp.get(key as usize) == Some(&self.epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bag_insert_remove_contains() {
+        let mut b = IndexedBag::with_capacity(10);
+        assert!(b.insert(3));
+        assert!(b.insert(7));
+        assert!(!b.insert(3), "duplicate insert is a no-op");
+        assert_eq!(b.len(), 2);
+        assert!(b.contains(3));
+        assert!(b.remove(3));
+        assert!(!b.remove(3));
+        assert!(!b.contains(3));
+        assert_eq!(b.len(), 1);
+        assert!(b.contains(7));
+    }
+
+    #[test]
+    fn bag_swap_remove_keeps_positions_valid() {
+        let mut b = IndexedBag::with_capacity(16);
+        for k in 0..10 {
+            b.insert(k);
+        }
+        b.remove(0); // forces last element into slot 0
+        for k in 1..10 {
+            assert!(b.contains(k), "key {k} lost after swap_remove");
+        }
+        // Remove the element that was just moved.
+        b.remove(9);
+        assert_eq!(b.len(), 8);
+        for k in 1..9 {
+            assert!(b.contains(k));
+        }
+    }
+
+    #[test]
+    fn bag_grows_beyond_initial_capacity() {
+        let mut b = IndexedBag::with_capacity(2);
+        assert!(b.insert(100));
+        assert!(b.contains(100));
+        assert!(!b.contains(50));
+    }
+
+    #[test]
+    fn bag_pop_and_clear() {
+        let mut b = IndexedBag::with_capacity(4);
+        b.insert(1);
+        b.insert(2);
+        let p = b.pop().unwrap();
+        assert!(!b.contains(p));
+        b.clear();
+        assert!(b.is_empty());
+        assert!(!b.contains(1));
+        assert!(b.pop().is_none());
+    }
+
+    #[test]
+    fn stamp_set_generations() {
+        let mut s = StampSet::with_capacity(5);
+        s.clear();
+        s.mark(2);
+        s.mark(4);
+        assert!(s.is_marked(2));
+        assert!(!s.is_marked(3));
+        s.clear();
+        assert!(!s.is_marked(2), "clear unmarks everything in O(1)");
+        s.mark(2);
+        s.unmark(2);
+        assert!(!s.is_marked(2));
+    }
+
+    #[test]
+    fn stamp_set_epoch_wrap_is_safe() {
+        let mut s = StampSet::with_capacity(2);
+        s.epoch = u32::MAX - 1;
+        s.clear();
+        s.mark(0);
+        s.clear(); // wraps to 0 then resets to 1
+        assert!(!s.is_marked(0));
+        s.mark(1);
+        assert!(s.is_marked(1));
+    }
+
+    #[test]
+    fn stamp_set_grows() {
+        let mut s = StampSet::with_capacity(1);
+        s.clear();
+        s.mark(1000);
+        assert!(s.is_marked(1000));
+    }
+}

@@ -1,0 +1,522 @@
+//! The fully dynamic graph: vertex/edge insertion and deletion in O(1)
+//! amortized time per edge update.
+//!
+//! Adjacency is stored as one `Vec<AdjEntry>` per vertex. Each half-edge
+//! records the position (`mirror`) of its reciprocal half-edge, so removing
+//! an edge is two `swap_remove` calls plus pointer fix-ups — no scanning.
+//! A global hash index (vertex pair → half-edge position) locates an
+//! arbitrary edge in O(1); this is the extra bookkeeping the paper accepts
+//! in exchange for constant-time updates ("a pointer to v ∈ I(u) is
+//! recorded in edge (v, u)").
+
+use crate::error::GraphError;
+use crate::hash::{pair_key, FxHashMap};
+use crate::Result;
+
+/// Dense vertex identifier. Ids of removed vertices are recycled.
+pub type VertexId = u32;
+
+/// One directed half of an undirected edge.
+#[derive(Debug, Clone, Copy)]
+struct AdjEntry {
+    /// The other endpoint.
+    neighbor: u32,
+    /// Index of the reciprocal half-edge inside `adj[neighbor]`.
+    mirror: u32,
+}
+
+/// An unweighted, undirected, simple graph under fully dynamic updates.
+///
+/// # Example
+/// ```
+/// use dynamis_graph::DynamicGraph;
+/// let mut g = DynamicGraph::new();
+/// let a = g.add_vertex();
+/// let b = g.add_vertex();
+/// let c = g.add_vertex();
+/// g.insert_edge(a, b).unwrap();
+/// g.insert_edge(b, c).unwrap();
+/// assert_eq!(g.degree(b), 2);
+/// g.remove_edge(a, b).unwrap();
+/// assert!(!g.has_edge(a, b));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DynamicGraph {
+    adj: Vec<Vec<AdjEntry>>,
+    alive: Vec<bool>,
+    free: Vec<u32>,
+    /// pair_key(u, v) → position of the half-edge stored in `adj[min(u, v)]`.
+    edges: FxHashMap<u64, u32>,
+    n_alive: usize,
+}
+
+impl DynamicGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with space reserved for `n` vertices.
+    pub fn with_capacity(n: usize) -> Self {
+        DynamicGraph {
+            adj: Vec::with_capacity(n),
+            alive: Vec::with_capacity(n),
+            free: Vec::new(),
+            edges: FxHashMap::default(),
+            n_alive: 0,
+        }
+    }
+
+    /// Builds a graph with vertices `0..n` and the given undirected edges.
+    /// Duplicate edges and self-loops are ignored.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut g = Self::with_capacity(n);
+        g.add_vertices(n);
+        for &(u, v) in edges {
+            if u != v {
+                let _ = g.insert_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// Number of live vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n_alive
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of vertex slots ever allocated (live ids are `< capacity`).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether `v` is a live vertex.
+    #[inline]
+    pub fn is_alive(&self, v: VertexId) -> bool {
+        (v as usize) < self.alive.len() && self.alive[v as usize]
+    }
+
+    #[inline]
+    fn check_alive(&self, v: VertexId) -> Result<()> {
+        if self.is_alive(v) {
+            Ok(())
+        } else {
+            Err(GraphError::VertexNotFound(v))
+        }
+    }
+
+    /// Adds a vertex, recycling a freed slot when possible.
+    pub fn add_vertex(&mut self) -> VertexId {
+        self.n_alive += 1;
+        if let Some(v) = self.free.pop() {
+            self.alive[v as usize] = true;
+            v
+        } else {
+            let v = self.adj.len() as u32;
+            self.adj.push(Vec::new());
+            self.alive.push(true);
+            v
+        }
+    }
+
+    /// Adds `count` vertices, returning the id of the first one added when
+    /// the graph had no freed slots (ids are then contiguous).
+    pub fn add_vertices(&mut self, count: usize) -> VertexId {
+        let first = if let Some(&f) = self.free.last() {
+            f
+        } else {
+            self.adj.len() as u32
+        };
+        for _ in 0..count {
+            self.add_vertex();
+        }
+        first
+    }
+
+    /// Ensures ids `0..=v` exist and that `v` is alive. Used by bulk loaders
+    /// that read explicit vertex ids.
+    pub fn ensure_vertex(&mut self, v: VertexId) {
+        while self.adj.len() <= v as usize {
+            self.adj.push(Vec::new());
+            self.alive.push(false);
+        }
+        if !self.alive[v as usize] {
+            self.alive[v as usize] = true;
+            self.n_alive += 1;
+            self.free.retain(|&f| f != v);
+        }
+    }
+
+    /// Removes `v` and all incident edges, returning its former neighbors.
+    pub fn remove_vertex(&mut self, v: VertexId) -> Result<Vec<VertexId>> {
+        self.check_alive(v)?;
+        let entries = std::mem::take(&mut self.adj[v as usize]);
+        let mut former = Vec::with_capacity(entries.len());
+        // Drop the reciprocal half of each incident edge. Positions recorded
+        // in `entries` stay valid because we only mutate other vertices'
+        // lists, and each list holds at most one edge to `v`.
+        for e in &entries {
+            former.push(e.neighbor);
+            self.edges.remove(&pair_key(v, e.neighbor));
+            self.remove_half(e.neighbor, e.mirror as usize);
+        }
+        self.alive[v as usize] = false;
+        self.free.push(v);
+        self.n_alive -= 1;
+        Ok(former)
+    }
+
+    /// Inserts the undirected edge `(u, v)`.
+    ///
+    /// Returns `Ok(true)` if the edge was new, `Ok(false)` if it already
+    /// existed.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> Result<bool> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        self.check_alive(u)?;
+        self.check_alive(v)?;
+        let key = pair_key(u, v);
+        if self.edges.contains_key(&key) {
+            return Ok(false);
+        }
+        let pu = self.adj[u as usize].len() as u32;
+        let pv = self.adj[v as usize].len() as u32;
+        self.adj[u as usize].push(AdjEntry {
+            neighbor: v,
+            mirror: pv,
+        });
+        self.adj[v as usize].push(AdjEntry {
+            neighbor: u,
+            mirror: pu,
+        });
+        let a_pos = if u < v { pu } else { pv };
+        self.edges.insert(key, a_pos);
+        Ok(true)
+    }
+
+    /// Removes the undirected edge `(u, v)`.
+    ///
+    /// Returns `Ok(true)` if the edge existed, `Ok(false)` otherwise.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Result<bool> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        self.check_alive(u)?;
+        self.check_alive(v)?;
+        let key = pair_key(u, v);
+        let Some(pos_a) = self.edges.remove(&key) else {
+            return Ok(false);
+        };
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let pos_b = self.adj[a as usize][pos_a as usize].mirror;
+        // A simple graph holds exactly one a–b edge, so the fix-up performed
+        // by the first removal can never touch the half-edge removed second.
+        self.remove_half(a, pos_a as usize);
+        self.remove_half(b, pos_b as usize);
+        Ok(true)
+    }
+
+    /// `swap_remove`s `adj[x][pos]`, repairing the mirror pointer and edge
+    /// index of whichever half-edge got moved into the hole.
+    fn remove_half(&mut self, x: VertexId, pos: usize) {
+        let list = &mut self.adj[x as usize];
+        list.swap_remove(pos);
+        if pos < list.len() {
+            let moved = list[pos];
+            self.adj[moved.neighbor as usize][moved.mirror as usize].mirror = pos as u32;
+            if x < moved.neighbor {
+                // The edge index references positions in the smaller
+                // endpoint's list only.
+                self.edges.insert(pair_key(x, moved.neighbor), pos as u32);
+            }
+        }
+    }
+
+    /// O(1) edge existence test.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        u != v && self.edges.contains_key(&pair_key(u, v))
+    }
+
+    /// Degree of `v` (0 for dead vertices).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj.get(v as usize).map_or(0, Vec::len)
+    }
+
+    /// Iterates the open neighborhood `N(v)`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.adj
+            .get(v as usize)
+            .into_iter()
+            .flatten()
+            .map(|e| e.neighbor)
+    }
+
+    /// Random access into the adjacency of `v` (hot-loop helper).
+    #[inline]
+    pub fn neighbor_at(&self, v: VertexId, i: usize) -> VertexId {
+        self.adj[v as usize][i].neighbor
+    }
+
+    /// Iterates all live vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Iterates all edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.edges.keys().map(|&k| crate::hash::unpack_pair(k))
+    }
+
+    /// Maximum degree Δ over live vertices (O(n) scan).
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Average degree d̄ = 2m / n.
+    pub fn avg_degree(&self) -> f64 {
+        if self.n_alive == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges() as f64 / self.n_alive as f64
+        }
+    }
+
+    /// Approximate heap footprint in bytes (adjacency + edge index).
+    pub fn heap_bytes(&self) -> usize {
+        let adj: usize = self
+            .adj
+            .iter()
+            .map(|l| l.capacity() * std::mem::size_of::<AdjEntry>())
+            .sum();
+        adj + self.adj.capacity() * std::mem::size_of::<Vec<AdjEntry>>()
+            + self.alive.capacity()
+            + self.edges.capacity() * (std::mem::size_of::<(u64, u32)>() + 8)
+    }
+
+    /// Exhaustive internal-consistency check. Test/debug use only: O(n + m).
+    ///
+    /// Verifies that mirror pointers are reciprocal, the edge index matches
+    /// the adjacency lists, dead vertices have no edges, and the half-edge
+    /// count is exactly `2m`.
+    pub fn check_consistency(&self) -> std::result::Result<(), String> {
+        let mut half_edges = 0usize;
+        for v in 0..self.adj.len() as u32 {
+            if !self.alive[v as usize] && !self.adj[v as usize].is_empty() {
+                return Err(format!("dead vertex {v} still has edges"));
+            }
+            for (i, e) in self.adj[v as usize].iter().enumerate() {
+                half_edges += 1;
+                let back = &self.adj[e.neighbor as usize]
+                    .get(e.mirror as usize)
+                    .ok_or_else(|| format!("mirror of ({v},{}) out of range", e.neighbor))?;
+                if back.neighbor != v || back.mirror as usize != i {
+                    return Err(format!("mirror mismatch on edge ({v},{})", e.neighbor));
+                }
+                let key = pair_key(v, e.neighbor);
+                let &pos = self
+                    .edges
+                    .get(&key)
+                    .ok_or_else(|| format!("edge ({v},{}) missing from index", e.neighbor))?;
+                let a = v.min(e.neighbor);
+                let stored = &self.adj[a as usize][pos as usize];
+                if stored.neighbor != v.max(e.neighbor) {
+                    return Err(format!("index position stale for ({v},{})", e.neighbor));
+                }
+            }
+        }
+        if half_edges != 2 * self.edges.len() {
+            return Err(format!(
+                "half-edge count {half_edges} != 2m = {}",
+                2 * self.edges.len()
+            ));
+        }
+        if self.alive.iter().filter(|&&a| a).count() != self.n_alive {
+            return Err("n_alive counter out of sync".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> DynamicGraph {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        DynamicGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DynamicGraph::new();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn insert_and_query_edges() {
+        let mut g = DynamicGraph::new();
+        g.add_vertices(4);
+        assert!(g.insert_edge(0, 1).unwrap());
+        assert!(!g.insert_edge(1, 0).unwrap(), "duplicate rejected");
+        assert!(g.insert_edge(1, 2).unwrap());
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 1));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(1), 2);
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = DynamicGraph::new();
+        g.add_vertex();
+        assert_eq!(g.insert_edge(0, 0), Err(GraphError::SelfLoop(0)));
+        assert_eq!(g.remove_edge(0, 0), Err(GraphError::SelfLoop(0)));
+    }
+
+    #[test]
+    fn dead_vertex_rejected() {
+        let mut g = DynamicGraph::new();
+        g.add_vertices(2);
+        assert_eq!(g.insert_edge(0, 5), Err(GraphError::VertexNotFound(5)));
+        g.remove_vertex(1).unwrap();
+        assert_eq!(g.insert_edge(0, 1), Err(GraphError::VertexNotFound(1)));
+    }
+
+    #[test]
+    fn remove_edge_fixes_mirrors() {
+        let mut g = DynamicGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)]);
+        assert!(g.remove_edge(0, 1).unwrap());
+        assert!(!g.remove_edge(0, 1).unwrap(), "already gone");
+        g.check_consistency().unwrap();
+        assert_eq!(g.degree(0), 3);
+        // Removing the first entry forces a swap_remove fix-up.
+        assert!(g.remove_edge(0, 2).unwrap());
+        g.check_consistency().unwrap();
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn remove_vertex_clears_incident_edges() {
+        let mut g = DynamicGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2)]);
+        let mut former = g.remove_vertex(0).unwrap();
+        former.sort_unstable();
+        assert_eq!(former, vec![1, 2, 3]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.num_vertices(), 3);
+        assert!(!g.is_alive(0));
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn vertex_ids_are_recycled() {
+        let mut g = DynamicGraph::new();
+        g.add_vertices(3);
+        g.remove_vertex(1).unwrap();
+        let v = g.add_vertex();
+        assert_eq!(v, 1, "freed slot is reused");
+        assert_eq!(g.num_vertices(), 3);
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn ensure_vertex_extends_and_revives() {
+        let mut g = DynamicGraph::new();
+        g.ensure_vertex(5);
+        assert!(g.is_alive(5));
+        assert!(!g.is_alive(3));
+        assert_eq!(g.num_vertices(), 1);
+        g.ensure_vertex(3);
+        assert_eq!(g.num_vertices(), 2);
+        g.insert_edge(3, 5).unwrap();
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn neighbors_iteration_matches_degree() {
+        let g = path(6);
+        for v in g.vertices() {
+            assert_eq!(g.neighbors(v).count(), g.degree(v));
+        }
+        let mid: Vec<u32> = g.neighbors(3).collect();
+        assert_eq!(mid.len(), 2);
+        assert!(mid.contains(&2) && mid.contains(&4));
+    }
+
+    #[test]
+    fn edges_iterator_is_canonical() {
+        let g = DynamicGraph::from_edges(4, &[(3, 1), (2, 0)]);
+        let mut es: Vec<_> = g.edges().collect();
+        es.sort_unstable();
+        assert_eq!(es, vec![(0, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn stats() {
+        let g = path(5);
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.avg_degree() - 1.6).abs() < 1e-9);
+        assert!(g.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn interleaved_update_stress() {
+        // Deterministic pseudo-random interleaving of all four op kinds,
+        // checked against full consistency after every batch.
+        let mut g = DynamicGraph::new();
+        g.add_vertices(40);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..2000u32 {
+            let op = rng() % 100;
+            let cap = g.capacity() as u64;
+            if op < 45 {
+                let (u, v) = ((rng() % cap) as u32, (rng() % cap) as u32);
+                if u != v && g.is_alive(u) && g.is_alive(v) {
+                    g.insert_edge(u, v).unwrap();
+                }
+            } else if op < 80 {
+                let (u, v) = ((rng() % cap) as u32, (rng() % cap) as u32);
+                if u != v && g.is_alive(u) && g.is_alive(v) {
+                    g.remove_edge(u, v).unwrap();
+                }
+            } else if op < 90 {
+                let v = (rng() % cap) as u32;
+                if g.is_alive(v) && g.num_vertices() > 2 {
+                    g.remove_vertex(v).unwrap();
+                }
+            } else {
+                g.add_vertex();
+            }
+            if round % 101 == 0 {
+                g.check_consistency().unwrap();
+            }
+        }
+        g.check_consistency().unwrap();
+    }
+}

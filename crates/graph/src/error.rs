@@ -1,0 +1,53 @@
+//! Error type shared by all graph operations.
+
+use std::fmt;
+
+/// Errors raised by [`crate::DynamicGraph`] mutations and by graph I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The vertex id does not refer to a live vertex.
+    VertexNotFound(u32),
+    /// Self-loops are not representable in a simple undirected graph.
+    SelfLoop(u32),
+    /// An edge-list line could not be parsed.
+    Parse { line: usize, message: String },
+    /// Underlying I/O failure (message-only so the error stays `Clone + Eq`).
+    Io(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexNotFound(v) => write!(f, "vertex {v} is not in the graph"),
+            GraphError::SelfLoop(v) => write!(f, "self-loop ({v}, {v}) is not allowed"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(GraphError::VertexNotFound(7).to_string().contains('7'));
+        assert!(GraphError::SelfLoop(3).to_string().contains("self-loop"));
+        let p = GraphError::Parse {
+            line: 12,
+            message: "bad token".into(),
+        };
+        assert!(p.to_string().contains("12"));
+    }
+}

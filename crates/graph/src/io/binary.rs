@@ -1,0 +1,207 @@
+//! Compact little-endian binary graph codec.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   4 bytes  "DYNG"
+//! version u16      currently 1
+//! slots   u32      number of vertex slots (capacity)
+//! alive   ⌈slots/8⌉ bytes, LSB-first bitmap of live vertices
+//! m       u64      edge count
+//! edges   m × (u32, u32) with u < v
+//! ```
+//!
+//! Unlike the text formats this codec is *exact*: dead vertex slots and
+//! therefore vertex ids survive a round trip, so an engine can resume a
+//! workload from a snapshot without id remapping.
+
+use crate::error::GraphError;
+use crate::{DynamicGraph, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"DYNG";
+const VERSION: u16 = 1;
+
+/// Serializes a graph into a fresh byte buffer.
+pub fn encode_graph(g: &DynamicGraph) -> Bytes {
+    let slots = g.capacity();
+    let bitmap_len = slots.div_ceil(8);
+    let mut buf = BytesMut::with_capacity(4 + 2 + 4 + bitmap_len + 8 + g.num_edges() * 8);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(slots as u32);
+    let mut bitmap = vec![0u8; bitmap_len];
+    for v in g.vertices() {
+        bitmap[(v / 8) as usize] |= 1 << (v % 8);
+    }
+    buf.put_slice(&bitmap);
+    let mut edges: Vec<_> = g.edges().collect();
+    edges.sort_unstable();
+    buf.put_u64_le(edges.len() as u64);
+    for (u, v) in edges {
+        buf.put_u32_le(u);
+        buf.put_u32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a graph from a byte slice produced by [`encode_graph`].
+pub fn decode_graph(mut data: &[u8]) -> Result<DynamicGraph> {
+    let corrupt = |message: &str| GraphError::Parse {
+        line: 0,
+        message: message.into(),
+    };
+    if data.remaining() < 10 {
+        return Err(corrupt("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(corrupt("bad magic (not a dynamis binary graph)"));
+    }
+    let version = data.get_u16_le();
+    if version != VERSION {
+        return Err(corrupt(&format!("unsupported version {version}")));
+    }
+    let slots = data.get_u32_le() as usize;
+    let bitmap_len = slots.div_ceil(8);
+    if data.remaining() < bitmap_len + 8 {
+        return Err(corrupt("truncated bitmap"));
+    }
+    let mut bitmap = vec![0u8; bitmap_len];
+    data.copy_to_slice(&mut bitmap);
+
+    let mut g = DynamicGraph::with_capacity(slots);
+    g.add_vertices(slots);
+    // Kill the dead slots after allocating all of them, so surviving ids
+    // match the encoder's exactly.
+    for v in 0..slots as u32 {
+        if bitmap[(v / 8) as usize] & (1 << (v % 8)) == 0 {
+            g.remove_vertex(v)
+                .expect("freshly added vertex is removable");
+        }
+    }
+    let m = data.get_u64_le() as usize;
+    if data.remaining() < m * 8 {
+        return Err(corrupt("truncated edge section"));
+    }
+    for _ in 0..m {
+        let u = data.get_u32_le();
+        let v = data.get_u32_le();
+        if u >= v {
+            return Err(corrupt("edge endpoints not strictly ordered"));
+        }
+        let inserted = g
+            .insert_edge(u, v)
+            .map_err(|e| corrupt(&format!("bad edge ({u},{v}): {e}")))?;
+        if !inserted {
+            return Err(corrupt("duplicate edge in binary stream"));
+        }
+    }
+    if data.has_remaining() {
+        return Err(corrupt("trailing bytes after edge section"));
+    }
+    Ok(g)
+}
+
+/// Writes a binary snapshot to a file.
+pub fn write_binary<P: AsRef<Path>>(g: &DynamicGraph, path: P) -> Result<()> {
+    let bytes = encode_graph(g);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Reads a binary snapshot from a file.
+pub fn read_binary<P: AsRef<Path>>(path: P) -> Result<DynamicGraph> {
+    let mut f = std::fs::File::open(path)?;
+    let mut data = Vec::new();
+    f.read_to_end(&mut data)?;
+    decode_graph(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let g = DynamicGraph::from_edges(7, &[(0, 6), (1, 2), (2, 3), (5, 6)]);
+        let bytes = encode_graph(&g);
+        let g2 = decode_graph(&bytes).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for (u, v) in g.edges() {
+            assert!(g2.has_edge(u, v));
+        }
+        g2.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn round_trip_preserves_dead_slots() {
+        let mut g = DynamicGraph::from_edges(5, &[(0, 1), (3, 4)]);
+        g.remove_vertex(2).unwrap();
+        let g2 = decode_graph(&encode_graph(&g)).unwrap();
+        assert!(!g2.is_alive(2));
+        assert!(g2.is_alive(4));
+        assert_eq!(g2.capacity(), 5);
+        assert_eq!(g2.num_vertices(), 4);
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = DynamicGraph::new();
+        let g2 = decode_graph(&encode_graph(&g)).unwrap();
+        assert_eq!(g2.num_vertices(), 0);
+        assert_eq!(g2.num_edges(), 0);
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected() {
+        assert!(decode_graph(b"").is_err(), "empty");
+        assert!(decode_graph(b"NOPE\x01\x00\x00\x00\x00\x00").is_err(), "magic");
+        let good = encode_graph(&DynamicGraph::from_edges(3, &[(0, 1)]));
+        assert!(decode_graph(&good[..good.len() - 1]).is_err(), "truncated");
+        let mut trailing = good.to_vec();
+        trailing.push(0);
+        assert!(decode_graph(&trailing).is_err(), "trailing bytes");
+        let mut bad_version = good.to_vec();
+        bad_version[4] = 9;
+        assert!(decode_graph(&bad_version).is_err(), "version");
+    }
+
+    #[test]
+    fn unordered_edge_is_rejected() {
+        // Hand-build a stream with (1, 0) instead of (0, 1).
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u32_le(2);
+        buf.put_u8(0b11);
+        buf.put_u64_le(1);
+        buf.put_u32_le(1);
+        buf.put_u32_le(0);
+        assert!(decode_graph(&buf).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("dynamis_binary_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.dyng");
+        let g = DynamicGraph::from_edges(4, &[(0, 2), (1, 3)]);
+        write_binary(&g, &path).unwrap();
+        let rd = read_binary(&path).unwrap();
+        assert_eq!(rd.num_edges(), 2);
+        assert!(rd.has_edge(1, 3));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let g = DynamicGraph::from_edges(10, &[(3, 7), (0, 9), (1, 2)]);
+        assert_eq!(encode_graph(&g), encode_graph(&g.clone()));
+    }
+}

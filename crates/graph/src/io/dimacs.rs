@@ -1,0 +1,193 @@
+//! DIMACS clique/coloring challenge format.
+//!
+//! ```text
+//! c an optional comment
+//! p edge <n> <m>
+//! e <u> <v>        (vertex ids are 1-based)
+//! ```
+//!
+//! This is the format of the classic MIS/max-clique benchmark instances
+//! (DIMACS second challenge, BHOSLIB). Ids are converted to this crate's
+//! 0-based convention on read and back to 1-based on write.
+
+use crate::error::GraphError;
+use crate::{DynamicGraph, Result};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Parses a DIMACS `p edge` document. Returns `(n, edges)` with 0-based
+/// vertex ids.
+pub fn parse_dimacs<R: Read>(reader: R) -> Result<(usize, Vec<(u32, u32)>)> {
+    let mut r = BufReader::new(reader);
+    let mut buf = String::new();
+    let mut n: Option<usize> = None;
+    let mut declared_m = 0usize;
+    let mut edges = Vec::new();
+    let mut line_no = 0usize;
+    loop {
+        buf.clear();
+        if r.read_line(&mut buf)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = buf.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let err = |message: String| GraphError::Parse {
+            line: line_no,
+            message,
+        };
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("p") => {
+                if n.is_some() {
+                    return Err(err("duplicate problem line".into()));
+                }
+                let kind = it.next().ok_or_else(|| err("missing format".into()))?;
+                if kind != "edge" && kind != "col" {
+                    return Err(err(format!("unsupported DIMACS format `{kind}`")));
+                }
+                let nv: usize = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("bad vertex count".into()))?;
+                declared_m = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("bad edge count".into()))?;
+                edges.reserve(declared_m);
+                n = Some(nv);
+            }
+            Some("e") => {
+                let nv = n.ok_or_else(|| err("edge before problem line".into()))?;
+                let mut vertex = || -> Result<u32> {
+                    let id: u64 = it
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("bad vertex id".into()))?;
+                    if id == 0 || id > nv as u64 {
+                        return Err(err(format!("vertex id {id} outside 1..={nv}")));
+                    }
+                    Ok((id - 1) as u32)
+                };
+                let u = vertex()?;
+                let v = vertex()?;
+                edges.push((u, v));
+            }
+            Some(other) => {
+                return Err(err(format!("unknown record `{other}`")));
+            }
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+    let n = n.ok_or(GraphError::Parse {
+        line: line_no,
+        message: "missing `p edge n m` line".into(),
+    })?;
+    // Benchmark files sometimes list each edge twice; only warn-level
+    // validation is possible without a second pass, so accept any count
+    // between m and 2m.
+    if edges.len() != declared_m && edges.len() != 2 * declared_m {
+        return Err(GraphError::Parse {
+            line: line_no,
+            message: format!("expected {declared_m} edges, found {}", edges.len()),
+        });
+    }
+    Ok((n, edges))
+}
+
+/// Reads a DIMACS file into a [`DynamicGraph`].
+pub fn read_dimacs<P: AsRef<Path>>(path: P) -> Result<DynamicGraph> {
+    let file = std::fs::File::open(path)?;
+    let (n, edges) = parse_dimacs(file)?;
+    Ok(DynamicGraph::from_edges(n, &edges))
+}
+
+/// Writes a graph in DIMACS `p edge` format (1-based ids, each edge once).
+pub fn write_dimacs<W: Write>(g: &DynamicGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "c dynamis export")?;
+    // DIMACS ids must cover every live vertex; dead slots are emitted as
+    // isolated vertices, which DIMACS tools tolerate.
+    writeln!(w, "p edge {} {}", g.capacity(), g.num_edges())?;
+    let mut edges: Vec<_> = g.edges().collect();
+    edges.sort_unstable();
+    for (u, v) in edges {
+        writeln!(w, "e {} {}", u + 1, v + 1)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_minimal_instance() {
+        let text = "c tiny\np edge 4 3\ne 1 2\ne 2 3\ne 3 4\n";
+        let (n, edges) = parse_dimacs(text.as_bytes()).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn parse_accepts_col_format_and_doubled_edges() {
+        let text = "p col 3 2\ne 1 2\ne 2 1\ne 2 3\ne 3 2\n";
+        let (n, edges) = parse_dimacs(text.as_bytes()).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(edges.len(), 4);
+        let g = DynamicGraph::from_edges(n, &edges);
+        assert_eq!(g.num_edges(), 2, "duplicates collapse");
+    }
+
+    #[test]
+    fn parse_rejects_edge_before_header() {
+        let err = parse_dimacs("e 1 2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range_ids() {
+        let err = parse_dimacs("p edge 3 1\ne 1 4\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("outside"));
+        let err = parse_dimacs("p edge 3 1\ne 0 2\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("outside"));
+    }
+
+    #[test]
+    fn parse_rejects_bad_counts_and_unknown_records() {
+        assert!(parse_dimacs("p edge 3 5\ne 1 2\n".as_bytes()).is_err());
+        assert!(parse_dimacs("p edge 3 1\nx 1 2\n".as_bytes()).is_err());
+        assert!(parse_dimacs("p matrix 3 1\n".as_bytes()).is_err());
+        assert!(parse_dimacs("".as_bytes()).is_err(), "missing header");
+        assert!(parse_dimacs("p edge 2 0\np edge 2 0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = DynamicGraph::from_edges(5, &[(0, 1), (1, 4), (2, 3)]);
+        let mut buf = Vec::new();
+        write_dimacs(&g, &mut buf).unwrap();
+        let (n, edges) = parse_dimacs(buf.as_slice()).unwrap();
+        let g2 = DynamicGraph::from_edges(n, &edges);
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for (u, v) in g.edges() {
+            assert!(g2.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("dynamis_dimacs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.col");
+        let g = DynamicGraph::from_edges(4, &[(0, 3), (1, 2)]);
+        write_dimacs(&g, std::fs::File::create(&path).unwrap()).unwrap();
+        let rd = read_dimacs(&path).unwrap();
+        assert_eq!(rd.num_edges(), 2);
+        assert!(rd.has_edge(0, 3));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,134 @@
+//! Plain-text edge-list I/O in the SNAP style: one `u v` pair per line,
+//! `#`-prefixed comment lines ignored, whitespace-separated.
+
+use crate::error::GraphError;
+use crate::{CsrGraph, DynamicGraph, Result};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Parses an edge list from a reader. Returns `(n, edges)` where `n` is one
+/// more than the largest vertex id seen (0 for an empty input).
+pub fn parse_edge_list<R: Read>(reader: R) -> Result<(usize, Vec<(u32, u32)>)> {
+    let mut edges = Vec::new();
+    let mut max_id: Option<u32> = None;
+    let mut buf = String::new();
+    let mut r = BufReader::new(reader);
+    let mut line_no = 0usize;
+    loop {
+        buf.clear();
+        if r.read_line(&mut buf)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = buf.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<u32> {
+            tok.ok_or_else(|| GraphError::Parse {
+                line: line_no,
+                message: "expected two vertex ids".into(),
+            })?
+            .parse::<u32>()
+            .map_err(|e| GraphError::Parse {
+                line: line_no,
+                message: e.to_string(),
+            })
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        max_id = Some(max_id.map_or(u.max(v), |m| m.max(u).max(v)));
+        edges.push((u, v));
+    }
+    Ok((max_id.map_or(0, |m| m as usize + 1), edges))
+}
+
+/// Reads an edge-list file into a [`DynamicGraph`].
+pub fn read_dynamic<P: AsRef<Path>>(path: P) -> Result<DynamicGraph> {
+    let file = std::fs::File::open(path)?;
+    let (n, edges) = parse_edge_list(file)?;
+    Ok(DynamicGraph::from_edges(n, &edges))
+}
+
+/// Reads an edge-list file into a [`CsrGraph`].
+pub fn read_csr<P: AsRef<Path>>(path: P) -> Result<CsrGraph> {
+    let file = std::fs::File::open(path)?;
+    let (n, edges) = parse_edge_list(file)?;
+    Ok(CsrGraph::from_edges(n, &edges))
+}
+
+/// Writes a graph as an edge list with a statistics header comment.
+pub fn write_edge_list<W: Write>(g: &DynamicGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# dynamis edge list: n={} m={}", g.num_vertices(), g.num_edges())?;
+    let mut edges: Vec<_> = g.edges().collect();
+    edges.sort_unstable();
+    for (u, v) in edges {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a graph to a file path.
+pub fn write_edge_list_path<P: AsRef<Path>>(g: &DynamicGraph, path: P) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(g, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_with_comments() {
+        let text = "# comment\n0 1\n1 2\n\n% another comment\n2 0\n";
+        let (n, edges) = parse_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let err = parse_edge_list("0 x\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = parse_edge_list("42\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn parse_empty_input() {
+        let (n, edges) = parse_edge_list("".as_bytes()).unwrap();
+        assert_eq!(n, 0);
+        assert!(edges.is_empty());
+    }
+
+    #[test]
+    fn round_trip_through_bytes() {
+        let g = DynamicGraph::from_edges(5, &[(0, 4), (1, 3), (2, 4)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let (n, edges) = parse_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(n, 5);
+        let g2 = DynamicGraph::from_edges(n, &edges);
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for (u, v) in g.edges() {
+            assert!(g2.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("dynamis_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        let g = DynamicGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        write_edge_list_path(&g, &path).unwrap();
+        let rd = read_dynamic(&path).unwrap();
+        assert_eq!(rd.num_edges(), 2);
+        let rc = read_csr(&path).unwrap();
+        assert_eq!(rc.num_edges(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

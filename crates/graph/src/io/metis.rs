@@ -1,0 +1,231 @@
+//! METIS / KaHIP adjacency format.
+//!
+//! ```text
+//! % comment
+//! <n> <m> [fmt]
+//! <neighbors of vertex 1, 1-based, space separated>
+//! <neighbors of vertex 2>
+//! ...
+//! ```
+//!
+//! Every undirected edge appears in both endpoint lines. Only the
+//! unweighted variant (`fmt` absent or `0`/`00`/`000`) is supported —
+//! the KaMIS tool family reads exactly this flavor.
+
+use crate::error::GraphError;
+use crate::{CsrGraph, DynamicGraph, Result};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Parses a METIS document. Returns `(n, edges)` with 0-based ids and each
+/// undirected edge listed once.
+pub fn parse_metis<R: Read>(reader: R) -> Result<(usize, Vec<(u32, u32)>)> {
+    let mut r = BufReader::new(reader);
+    let mut buf = String::new();
+    let mut line_no = 0usize;
+
+    // Header: first non-comment line.
+    let (n, declared_m) = loop {
+        buf.clear();
+        if r.read_line(&mut buf)? == 0 {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: "missing METIS header".into(),
+            });
+        }
+        line_no += 1;
+        let line = buf.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let err = |message: String| GraphError::Parse {
+            line: line_no,
+            message,
+        };
+        let n: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| err("bad vertex count".into()))?;
+        let m: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| err("bad edge count".into()))?;
+        if let Some(fmt) = it.next() {
+            if fmt.chars().any(|c| c != '0') {
+                return Err(err(format!("weighted METIS format `{fmt}` unsupported")));
+            }
+        }
+        break (n, m);
+    };
+
+    let mut edges = Vec::with_capacity(declared_m);
+    let mut vertex = 0u32; // 0-based id of the line being read
+    while vertex < n as u32 {
+        buf.clear();
+        if r.read_line(&mut buf)? == 0 {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: format!("expected {n} adjacency lines, got {vertex}"),
+            });
+        }
+        line_no += 1;
+        let line = buf.trim();
+        if line.starts_with('%') {
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let id: u64 = tok.parse().map_err(|_| GraphError::Parse {
+                line: line_no,
+                message: format!("bad neighbor id `{tok}`"),
+            })?;
+            if id == 0 || id > n as u64 {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    message: format!("neighbor id {id} outside 1..={n}"),
+                });
+            }
+            let u = vertex;
+            let v = (id - 1) as u32;
+            if u < v {
+                // Each edge appears on both lines; record it from the
+                // smaller endpoint only.
+                edges.push((u, v));
+            }
+        }
+        vertex += 1;
+    }
+    if edges.len() != declared_m {
+        return Err(GraphError::Parse {
+            line: line_no,
+            message: format!("header declares {declared_m} edges, found {}", edges.len()),
+        });
+    }
+    Ok((n, edges))
+}
+
+/// Reads a METIS file into a [`DynamicGraph`].
+pub fn read_metis<P: AsRef<Path>>(path: P) -> Result<DynamicGraph> {
+    let file = std::fs::File::open(path)?;
+    let (n, edges) = parse_metis(file)?;
+    Ok(DynamicGraph::from_edges(n, &edges))
+}
+
+/// Writes a graph in METIS format. Vertex ids are compacted to `1..=n`
+/// over live vertices.
+pub fn write_metis<W: Write>(g: &DynamicGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    // Compact live ids to a dense 1-based range.
+    let live: Vec<u32> = g.vertices().collect();
+    let mut rank = vec![0u32; g.capacity()];
+    for (i, &v) in live.iter().enumerate() {
+        rank[v as usize] = i as u32 + 1;
+    }
+    writeln!(w, "% dynamis export")?;
+    writeln!(w, "{} {}", live.len(), g.num_edges())?;
+    let mut neigh = Vec::new();
+    for &v in &live {
+        neigh.clear();
+        neigh.extend(g.neighbors(v).map(|u| rank[u as usize]));
+        neigh.sort_unstable();
+        let mut first = true;
+        for &r in &neigh {
+            if first {
+                write!(w, "{r}")?;
+                first = false;
+            } else {
+                write!(w, " {r}")?;
+            }
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Convenience: parse into a CSR snapshot directly.
+pub fn read_metis_csr<P: AsRef<Path>>(path: P) -> Result<CsrGraph> {
+    let file = std::fs::File::open(path)?;
+    let (n, edges) = parse_metis(file)?;
+    Ok(CsrGraph::from_edges(n, &edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_small_instance() {
+        // Path 1-2-3 in METIS terms.
+        let text = "% tiny\n3 2\n2\n1 3\n2\n";
+        let (n, edges) = parse_metis(text.as_bytes()).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn parse_accepts_isolated_vertices_and_fmt_zero() {
+        let text = "4 1 0\n2\n1\n\n\n";
+        let (n, edges) = parse_metis(text.as_bytes()).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn parse_rejects_weighted_and_malformed() {
+        assert!(parse_metis("3 2 011\n".as_bytes()).is_err(), "weighted");
+        assert!(parse_metis("".as_bytes()).is_err(), "no header");
+        assert!(parse_metis("3 2\n2\n1\n".as_bytes()).is_err(), "short file");
+        assert!(
+            parse_metis("2 1\n5\n1\n".as_bytes()).is_err(),
+            "id out of range"
+        );
+        assert!(
+            parse_metis("2 1\nx\n1\n".as_bytes()).is_err(),
+            "garbage token"
+        );
+        assert!(
+            parse_metis("3 5\n2\n1 3\n2\n".as_bytes()).is_err(),
+            "edge count mismatch"
+        );
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = DynamicGraph::from_edges(6, &[(0, 1), (0, 5), (2, 4), (3, 4), (4, 5)]);
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        let (n, edges) = parse_metis(buf.as_slice()).unwrap();
+        let g2 = DynamicGraph::from_edges(n, &edges);
+        assert_eq!(g2.num_vertices(), 6);
+        assert_eq!(g2.num_edges(), 5);
+        for (u, v) in g.edges() {
+            assert!(g2.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn write_compacts_dead_vertex_ids() {
+        let mut g = DynamicGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        g.remove_vertex(1).unwrap();
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        let (n, edges) = parse_metis(buf.as_slice()).unwrap();
+        assert_eq!(n, 3, "live vertices only");
+        assert_eq!(edges.len(), 1);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("dynamis_metis_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.graph");
+        let g = DynamicGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        write_metis(&g, std::fs::File::create(&path).unwrap()).unwrap();
+        let rd = read_metis(&path).unwrap();
+        assert_eq!(rd.num_edges(), 2);
+        let rc = read_metis_csr(&path).unwrap();
+        assert_eq!(rc.num_edges(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,44 @@
+//! # dynamis-graph — dynamic graph substrate
+//!
+//! This crate provides the graph layer that every algorithm in the `dynamis`
+//! workspace builds on:
+//!
+//! * [`DynamicGraph`] — an unweighted, undirected graph supporting
+//!   vertex/edge insertion and deletion in O(1) amortized time per edge
+//!   update. Edge deletion is constant-time thanks to *mirror-indexed*
+//!   adjacency lists (each half-edge stores the position of its reciprocal
+//!   half-edge) combined with a global edge index hashed with [`FxHasher`].
+//! * [`CsrGraph`] — an immutable compressed-sparse-row snapshot used by the
+//!   static algorithms (exact solver, local search) and as a fast bulk-load
+//!   format.
+//! * [`collections`] — the small auxiliary structures that the paper's
+//!   hierarchical bucket storage requires: [`collections::IndexedBag`] (a
+//!   bag with O(1) membership, insert, and remove via position
+//!   back-pointers) and [`collections::StampSet`] (an epoch-marked set for
+//!   O(1) transient membership tests without clearing).
+//! * [`io`] — graph readers and writers (SNAP edge lists, DIMACS, METIS,
+//!   and a compact binary codec).
+//! * [`algo`] — linear-time classics used by the dataset statistics and
+//!   the static solvers: BFS/components, k-core decomposition, triangle
+//!   counting, degree summaries.
+//!
+//! The terminology follows the paper: for a graph `G_t = (V_t, E_t)` we
+//! write `N_t(v)` for the open neighborhood and `d_t(v)` for the degree.
+
+pub mod algo;
+pub mod collections;
+pub mod csr;
+pub mod dynamic;
+pub mod error;
+pub mod hash;
+pub mod io;
+pub mod update;
+
+pub use csr::CsrGraph;
+pub use dynamic::{DynamicGraph, VertexId};
+pub use error::GraphError;
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use update::{apply_update, Update};
+
+/// Convenience result alias for fallible graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,77 @@
+//! The dynamic-graph update vocabulary shared by engines and workload
+//! generators: the paper's four operations (§II) — insert/delete a vertex
+//! or an edge.
+
+use crate::{DynamicGraph, Result};
+
+/// A single graph update, in the paper's four-operation model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Update {
+    /// Insert edge `(u, v)`; both endpoints already exist.
+    InsertEdge(u32, u32),
+    /// Remove existing edge `(u, v)`.
+    RemoveEdge(u32, u32),
+    /// Insert a fresh vertex together with its initial incident edges.
+    /// `id` is the slot a consumer's [`DynamicGraph`] will assign when the
+    /// operations are replayed in order (vertex slots are recycled
+    /// deterministically).
+    InsertVertex {
+        /// The vertex id the consumer graph will allocate.
+        id: u32,
+        /// Initial neighbors of the inserted vertex.
+        neighbors: Vec<u32>,
+    },
+    /// Remove vertex `v` and all incident edges.
+    RemoveVertex(u32),
+}
+
+/// Applies one update to a graph. The update must be valid for `g`
+/// (guaranteed when replaying a generated stream in order onto the
+/// stream's starting graph).
+pub fn apply_update(g: &mut DynamicGraph, u: &Update) -> Result<()> {
+    match u {
+        Update::InsertEdge(a, b) => {
+            g.insert_edge(*a, *b)?;
+        }
+        Update::RemoveEdge(a, b) => {
+            g.remove_edge(*a, *b)?;
+        }
+        Update::InsertVertex { id, neighbors } => {
+            let got = g.add_vertex();
+            debug_assert_eq!(got, *id, "vertex id allocation diverged");
+            for &n in neighbors {
+                g.insert_edge(got, n)?;
+            }
+        }
+        Update::RemoveVertex(v) => {
+            g.remove_vertex(*v)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_all_four_ops() {
+        let mut g = DynamicGraph::from_edges(3, &[(0, 1)]);
+        apply_update(&mut g, &Update::InsertEdge(1, 2)).unwrap();
+        assert!(g.has_edge(1, 2));
+        apply_update(&mut g, &Update::RemoveEdge(0, 1)).unwrap();
+        assert!(!g.has_edge(0, 1));
+        apply_update(
+            &mut g,
+            &Update::InsertVertex {
+                id: 3,
+                neighbors: vec![0, 2],
+            },
+        )
+        .unwrap();
+        assert_eq!(g.degree(3), 2);
+        apply_update(&mut g, &Update::RemoveVertex(1)).unwrap();
+        assert!(!g.is_alive(1));
+        g.check_consistency().unwrap();
+    }
+}

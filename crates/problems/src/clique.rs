@@ -1,0 +1,196 @@
+//! Maximum clique via MaxIS on the complement graph.
+//!
+//! A clique of `G` is an independent set of the complement `Ḡ`, so the
+//! workspace's exact branch-and-reduce solver doubles as an exact clique
+//! solver on graphs small enough to complement explicitly (the
+//! complement has `n(n−1)/2 − m` edges, so this route is for
+//! n ≲ a few thousand). At scale, [`greedy_clique`] grows a clique
+//! through highest-degree candidate intersection.
+
+use dynamis_graph::CsrGraph;
+use dynamis_static::{solve_exact, ExactConfig};
+
+/// Builds the complement graph `Ḡ`. Quadratic in `n` by necessity;
+/// panics if `n` exceeds `limit` to protect callers from accidental
+/// O(n²) blow-ups (pass `usize::MAX` to opt out).
+pub fn complement_graph(g: &CsrGraph, limit: usize) -> CsrGraph {
+    let n = g.num_vertices();
+    assert!(
+        n <= limit,
+        "complement of an {n}-vertex graph exceeds the requested limit {limit}"
+    );
+    let mut edges = Vec::with_capacity(n * (n.saturating_sub(1)) / 2 - g.num_edges());
+    for u in 0..n as u32 {
+        // Merge-walk the sorted neighbor list against 0..n.
+        let mut next = u + 1;
+        for &v in g.neighbors(u).iter().filter(|&&v| v > u) {
+            while next < v {
+                edges.push((u, next));
+                next += 1;
+            }
+            next = v + 1;
+        }
+        while (next as usize) < n {
+            edges.push((u, next));
+            next += 1;
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Exact maximum clique through the complement reduction. Returns `None`
+/// when the exact solver exhausts its node budget.
+pub fn max_clique_exact(g: &CsrGraph, cfg: ExactConfig) -> Option<Vec<u32>> {
+    let co = complement_graph(g, 20_000);
+    solve_exact(&co, cfg).map(|r| r.solution)
+}
+
+/// Greedy clique: repeatedly add the candidate with the most neighbors
+/// still in the candidate set, starting from a highest-degree seed.
+/// No approximation guarantee (none is possible in polynomial time),
+/// but a standard strong baseline.
+pub fn greedy_clique(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let seed = (0..n as u32).max_by_key(|&v| g.degree(v)).expect("n > 0");
+    let mut clique = vec![seed];
+    let mut candidates: Vec<u32> = g.neighbors(seed).to_vec();
+    while !candidates.is_empty() {
+        // Pick the candidate with the largest intersection of its
+        // neighborhood with the remaining candidates.
+        let (best_idx, _) = candidates
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| {
+                g.neighbors(c)
+                    .iter()
+                    .filter(|&&w| candidates.binary_search(&w).is_ok())
+                    .count()
+            })
+            .expect("candidates is non-empty");
+        let chosen = candidates[best_idx];
+        clique.push(chosen);
+        // Shrink candidates to the chosen vertex's neighborhood.
+        let mut next = Vec::with_capacity(candidates.len());
+        for &w in g.neighbors(chosen) {
+            if candidates.binary_search(&w).is_ok() {
+                next.push(w);
+            }
+        }
+        candidates = next;
+    }
+    clique.sort_unstable();
+    clique
+}
+
+/// Whether `set` induces a clique in `g`.
+pub fn is_clique(g: &CsrGraph, set: &[u32]) -> bool {
+    for (i, &u) in set.iter().enumerate() {
+        for &v in &set[i + 1..] {
+            if !g.has_edge(u, v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: u32) -> CsrGraph {
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in u + 1..n {
+                edges.push((u, v));
+            }
+        }
+        CsrGraph::from_edges(n as usize, &edges)
+    }
+
+    #[test]
+    fn complement_of_complete_is_empty_and_back() {
+        let g = complete(6);
+        let co = complement_graph(&g, 100);
+        assert_eq!(co.num_edges(), 0);
+        let coco = complement_graph(&co, 100);
+        assert_eq!(coco.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn complement_edge_count_identity() {
+        let g = CsrGraph::from_edges(7, &[(0, 1), (2, 5), (3, 6), (1, 4)]);
+        let co = complement_graph(&g, 100);
+        assert_eq!(co.num_edges() + g.num_edges(), 7 * 6 / 2);
+        for u in 0..7u32 {
+            for v in u + 1..7 {
+                assert_ne!(g.has_edge(u, v), co.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "limit")]
+    fn complement_respects_limit() {
+        complement_graph(&complete(10), 5);
+    }
+
+    #[test]
+    fn exact_clique_of_known_graphs() {
+        // K₅ plus a pendant: ω = 5.
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in u + 1..5 {
+                edges.push((u, v));
+            }
+        }
+        edges.push((4, 5));
+        let g = CsrGraph::from_edges(6, &edges);
+        let clique = max_clique_exact(&g, ExactConfig::default()).unwrap();
+        assert_eq!(clique.len(), 5);
+        assert!(is_clique(&g, &clique));
+        // Triangle-free graph: ω = 2.
+        let c5 = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(max_clique_exact(&c5, ExactConfig::default()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn greedy_clique_is_a_clique_and_maximal() {
+        let g = CsrGraph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (0, 3), // K₄ on {0,1,2,3}
+                (4, 5),
+                (5, 6),
+                (6, 7),
+            ],
+        );
+        let c = greedy_clique(&g);
+        assert!(is_clique(&g, &c));
+        assert_eq!(c, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn greedy_on_trivial_graphs() {
+        assert!(greedy_clique(&CsrGraph::from_edges(0, &[])).is_empty());
+        assert_eq!(greedy_clique(&CsrGraph::from_edges(3, &[])).len(), 1);
+        assert_eq!(greedy_clique(&complete(4)).len(), 4);
+    }
+
+    #[test]
+    fn is_clique_detects_missing_edge() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (0, 2)]);
+        assert!(is_clique(&g, &[0, 1, 2]));
+        assert!(!is_clique(&g, &[0, 1, 3]));
+        assert!(is_clique(&g, &[2]));
+        assert!(is_clique(&g, &[]));
+    }
+}

@@ -1,0 +1,177 @@
+//! Collusion detection in voting pools — the paper's application \[4\].
+//!
+//! Voters submit ballots over a set of items; pairs whose ballots agree
+//! suspiciously often are joined by an edge in the *agreement graph*.
+//! A maximum independent set of that graph is a largest set of voters
+//! with no suspicious pairwise agreement — the pool of plausibly honest,
+//! mutually independent participants. New ballots arriving over time
+//! add edges, making this a dynamic MaxIS workload.
+
+use dynamis_graph::{CsrGraph, DynamicGraph};
+
+/// One voter's ballot: a verdict per item (e.g. approve/reject codes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ballot {
+    /// Verdicts, one per item; all ballots must have equal length.
+    pub verdicts: Vec<u8>,
+}
+
+impl Ballot {
+    /// Creates a ballot.
+    pub fn new(verdicts: Vec<u8>) -> Self {
+        Ballot { verdicts }
+    }
+
+    /// Fraction of items on which two ballots agree, in `[0, 1]`.
+    /// Panics if lengths differ or ballots are empty.
+    pub fn agreement(&self, other: &Ballot) -> f64 {
+        assert_eq!(
+            self.verdicts.len(),
+            other.verdicts.len(),
+            "ballots must cover the same items"
+        );
+        assert!(!self.verdicts.is_empty(), "empty ballots have no agreement");
+        let same = self
+            .verdicts
+            .iter()
+            .zip(&other.verdicts)
+            .filter(|(a, b)| a == b)
+            .count();
+        same as f64 / self.verdicts.len() as f64
+    }
+}
+
+/// Builds the agreement graph: voters `i`, `j` are joined when their
+/// ballots agree on at least `threshold` (fraction) of the items.
+/// Pairwise comparison, O(n² · items).
+pub fn agreement_graph(ballots: &[Ballot], threshold: f64) -> CsrGraph {
+    assert!(
+        (0.0..=1.0).contains(&threshold),
+        "threshold must be a fraction"
+    );
+    let n = ballots.len();
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            if ballots[i].agreement(&ballots[j]) >= threshold {
+                edges.push((i as u32, j as u32));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Dynamic form of [`agreement_graph`], for engine-driven monitoring.
+pub fn agreement_dynamic(ballots: &[Ballot], threshold: f64) -> DynamicGraph {
+    let csr = agreement_graph(ballots, threshold);
+    let mut edges = Vec::with_capacity(csr.num_edges());
+    for u in 0..csr.num_vertices() as u32 {
+        for &v in csr.neighbors(u) {
+            if v > u {
+                edges.push((u, v));
+            }
+        }
+    }
+    DynamicGraph::from_edges(ballots.len(), &edges)
+}
+
+/// Upper bound on the honest pool: an independent set of size `s` in the
+/// agreement graph certifies that at most `n − s` voters *must* be
+/// involved in any collusion explanation. Returns `n − s`.
+pub fn honest_majority_bound(num_voters: usize, independent_set_size: usize) -> usize {
+    num_voters.saturating_sub(independent_set_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamis_static::verify::is_independent;
+    use dynamis_static::{solve_exact, ExactConfig};
+
+    fn ballot(bits: &[u8]) -> Ballot {
+        Ballot::new(bits.to_vec())
+    }
+
+    #[test]
+    fn agreement_fraction() {
+        let a = ballot(&[1, 0, 1, 1]);
+        let b = ballot(&[1, 1, 1, 0]);
+        assert!((a.agreement(&b) - 0.5).abs() < 1e-12);
+        assert_eq!(a.agreement(&a), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same items")]
+    fn mismatched_ballots_panic() {
+        ballot(&[1]).agreement(&ballot(&[1, 0]));
+    }
+
+    #[test]
+    fn colluders_form_a_clique() {
+        // Three identical ballots (the colluders) + two independents.
+        let ballots = vec![
+            ballot(&[1, 1, 1, 1, 0, 0]),
+            ballot(&[1, 1, 1, 1, 0, 0]),
+            ballot(&[1, 1, 1, 1, 0, 0]),
+            ballot(&[0, 1, 0, 1, 1, 0]),
+            ballot(&[1, 0, 0, 0, 1, 1]),
+        ];
+        let g = agreement_graph(&ballots, 0.9);
+        assert!(g.has_edge(0, 1) && g.has_edge(0, 2) && g.has_edge(1, 2));
+        // The independents agree with nobody at the 0.9 bar.
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.degree(4), 0);
+        // MaxIS keeps one colluder plus both independents.
+        let mis = solve_exact(&g, ExactConfig::default()).unwrap();
+        assert_eq!(mis.alpha, 3);
+        assert!(is_independent(&g, &mis.solution));
+        assert_eq!(honest_majority_bound(5, mis.alpha), 2);
+    }
+
+    #[test]
+    fn threshold_monotonicity() {
+        let ballots: Vec<Ballot> = (0..6u8)
+            .map(|i| ballot(&[i & 1, (i >> 1) & 1, (i >> 2) & 1, 1, 1]))
+            .collect();
+        let strict = agreement_graph(&ballots, 0.9);
+        let loose = agreement_graph(&ballots, 0.5);
+        assert!(strict.num_edges() <= loose.num_edges());
+        // Every strict edge survives loosening.
+        for u in 0..6u32 {
+            for &v in strict.neighbors(u) {
+                assert!(loose.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_zero_is_complete_graph() {
+        let ballots = vec![ballot(&[0, 1]), ballot(&[1, 0]), ballot(&[1, 1])];
+        let g = agreement_graph(&ballots, 0.0);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn out_of_range_threshold_panics() {
+        agreement_graph(&[ballot(&[1])], 1.5);
+    }
+
+    #[test]
+    fn dynamic_form_agrees() {
+        let ballots = vec![
+            ballot(&[1, 1, 0]),
+            ballot(&[1, 1, 0]),
+            ballot(&[0, 0, 1]),
+        ];
+        let csr = agreement_graph(&ballots, 0.66);
+        let dy = agreement_dynamic(&ballots, 0.66);
+        assert_eq!(csr.num_edges(), dy.num_edges());
+    }
+
+    #[test]
+    fn bound_saturates() {
+        assert_eq!(honest_majority_bound(3, 5), 0);
+        assert_eq!(honest_majority_bound(10, 4), 6);
+    }
+}

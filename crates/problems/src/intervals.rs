@@ -1,0 +1,180 @@
+//! Interval scheduling: a graph class where MaxIS is exactly solvable.
+//!
+//! Intervals conflict when they overlap; non-overlapping selections are
+//! independent sets of the *interval graph*, and the classic
+//! earliest-finish greedy computes a true MaxIS in `O(n log n)`. That
+//! makes interval workloads the one setting where the dynamic engines'
+//! solutions can be compared against α(G) at any scale — no exact solver
+//! budget involved — which the approximation tests exploit.
+
+use dynamis_graph::{CsrGraph, DynamicGraph};
+
+/// A half-open interval `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Interval {
+    /// Inclusive start.
+    pub start: i64,
+    /// Exclusive end; must satisfy `end > start`.
+    pub end: i64,
+}
+
+impl Interval {
+    /// Creates an interval, panicking on `end ≤ start`.
+    pub fn new(start: i64, end: i64) -> Self {
+        assert!(end > start, "empty interval [{start}, {end})");
+        Interval { start, end }
+    }
+
+    /// Whether two half-open intervals overlap.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// Builds the conflict graph: vertex `i` is interval `i`, edges join
+/// overlapping pairs. Sweep-line construction, O(n log n + output).
+pub fn interval_conflict_graph(intervals: &[Interval]) -> CsrGraph {
+    let n = intervals.len();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by_key(|&i| intervals[i as usize].start);
+    let mut edges = Vec::new();
+    // Active set of intervals whose end is past the sweep point. A simple
+    // Vec is fine: each element is scanned once per overlap (output-bound).
+    let mut active: Vec<u32> = Vec::new();
+    for &i in &order {
+        let iv = intervals[i as usize];
+        active.retain(|&j| intervals[j as usize].end > iv.start);
+        for &j in &active {
+            edges.push((i.min(j), i.max(j)));
+        }
+        active.push(i);
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Same conflict graph as a [`DynamicGraph`], for feeding the dynamic
+/// engines.
+pub fn interval_conflict_dynamic(intervals: &[Interval]) -> DynamicGraph {
+    let csr = interval_conflict_graph(intervals);
+    let mut edges = Vec::with_capacity(csr.num_edges());
+    for u in 0..csr.num_vertices() as u32 {
+        for &v in csr.neighbors(u) {
+            if v > u {
+                edges.push((u, v));
+            }
+        }
+    }
+    DynamicGraph::from_edges(intervals.len(), &edges)
+}
+
+/// Exact maximum non-overlapping selection by the earliest-finish greedy.
+/// Returns interval indices; the size equals α of the conflict graph.
+pub fn max_non_overlapping(intervals: &[Interval]) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..intervals.len() as u32).collect();
+    order.sort_unstable_by_key(|&i| intervals[i as usize].end);
+    let mut chosen = Vec::new();
+    let mut frontier = i64::MIN;
+    for &i in &order {
+        let iv = intervals[i as usize];
+        if iv.start >= frontier {
+            chosen.push(i);
+            frontier = iv.end;
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamis_static::verify::{brute_force_alpha, is_independent};
+
+    fn ivs(pairs: &[(i64, i64)]) -> Vec<Interval> {
+        pairs.iter().map(|&(s, e)| Interval::new(s, e)).collect()
+    }
+
+    #[test]
+    fn overlap_semantics_are_half_open() {
+        let a = Interval::new(0, 5);
+        let b = Interval::new(5, 9);
+        assert!(!a.overlaps(&b), "touching intervals do not overlap");
+        assert!(a.overlaps(&Interval::new(4, 6)));
+        assert!(a.overlaps(&Interval::new(-3, 1)));
+        assert!(a.overlaps(&Interval::new(1, 2)), "containment overlaps");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interval")]
+    fn degenerate_interval_panics() {
+        Interval::new(3, 3);
+    }
+
+    #[test]
+    fn conflict_graph_edges_match_pairwise_overlaps() {
+        let intervals = ivs(&[(0, 4), (2, 6), (5, 8), (7, 9), (0, 9)]);
+        let g = interval_conflict_graph(&intervals);
+        for i in 0..intervals.len() as u32 {
+            for j in i + 1..intervals.len() as u32 {
+                assert_eq!(
+                    g.has_edge(i, j),
+                    intervals[i as usize].overlaps(&intervals[j as usize]),
+                    "pair ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_selection_is_independent_and_optimal() {
+        let intervals = ivs(&[(0, 3), (2, 5), (4, 7), (6, 9), (8, 11), (1, 10)]);
+        let chosen = max_non_overlapping(&intervals);
+        let g = interval_conflict_graph(&intervals);
+        assert!(is_independent(&g, &chosen));
+        assert_eq!(chosen.len(), brute_force_alpha(&g));
+    }
+
+    #[test]
+    fn greedy_matches_brute_force_on_random_instances() {
+        let mut state = 0x2545f4914f6cdd1du64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..30 {
+            let n = 4 + (rng() % 12) as usize;
+            let intervals: Vec<Interval> = (0..n)
+                .map(|_| {
+                    let s = (rng() % 50) as i64;
+                    let len = 1 + (rng() % 10) as i64;
+                    Interval::new(s, s + len)
+                })
+                .collect();
+            let g = interval_conflict_graph(&intervals);
+            let greedy = max_non_overlapping(&intervals);
+            assert!(is_independent(&g, &greedy), "round {round}");
+            assert_eq!(greedy.len(), brute_force_alpha(&g), "round {round}");
+        }
+    }
+
+    #[test]
+    fn dynamic_and_csr_conflict_graphs_agree() {
+        let intervals = ivs(&[(0, 4), (3, 6), (5, 9), (1, 2)]);
+        let csr = interval_conflict_graph(&intervals);
+        let dy = interval_conflict_dynamic(&intervals);
+        assert_eq!(csr.num_edges(), dy.num_edges());
+        for (u, v) in dy.edges() {
+            assert!(csr.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(max_non_overlapping(&[]).is_empty());
+        let one = ivs(&[(1, 2)]);
+        assert_eq!(max_non_overlapping(&one), vec![0]);
+        assert_eq!(interval_conflict_graph(&one).num_edges(), 0);
+    }
+}

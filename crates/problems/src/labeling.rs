@@ -1,0 +1,207 @@
+//! Automated map labeling — the paper's application \[7\].
+//!
+//! Each feature on a map offers one or more rectangular label
+//! *candidates*; two candidates conflict when their rectangles overlap or
+//! when they label the same feature. A maximum independent set of the
+//! conflict graph is a maximum set of simultaneously displayable labels.
+//! As the viewport pans and zooms, candidates appear and disappear —
+//! a naturally dynamic MaxIS workload.
+
+use dynamis_graph::{CsrGraph, DynamicGraph};
+
+/// An axis-aligned label rectangle attached to a map feature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelBox {
+    /// Feature id; candidates of the same feature always conflict.
+    pub feature: u32,
+    /// Left edge.
+    pub x: f64,
+    /// Bottom edge.
+    pub y: f64,
+    /// Width (> 0).
+    pub w: f64,
+    /// Height (> 0).
+    pub h: f64,
+}
+
+impl LabelBox {
+    /// Creates a box, panicking on non-positive extent.
+    pub fn new(feature: u32, x: f64, y: f64, w: f64, h: f64) -> Self {
+        assert!(w > 0.0 && h > 0.0, "label box must have positive extent");
+        LabelBox { feature, x, y, w, h }
+    }
+
+    /// Whether two boxes overlap with positive area (shared edges do not
+    /// conflict).
+    pub fn overlaps(&self, other: &LabelBox) -> bool {
+        self.x < other.x + other.w
+            && other.x < self.x + self.w
+            && self.y < other.y + other.h
+            && other.y < self.y + self.h
+    }
+
+    /// Whether two candidates conflict: geometric overlap or same feature.
+    pub fn conflicts(&self, other: &LabelBox) -> bool {
+        self.feature == other.feature || self.overlaps(other)
+    }
+}
+
+/// Builds the label conflict graph with a sweep over the x-axis:
+/// candidates are sorted by left edge and compared only against boxes
+/// whose x-range is still open, so runtime is O(n log n + conflicts)
+/// plus the same-feature cliques.
+pub fn label_conflict_graph(labels: &[LabelBox]) -> CsrGraph {
+    let n = labels.len();
+    let mut edges = Vec::new();
+    // Same-feature cliques.
+    let mut by_feature: std::collections::BTreeMap<u32, Vec<u32>> = Default::default();
+    for (i, l) in labels.iter().enumerate() {
+        by_feature.entry(l.feature).or_default().push(i as u32);
+    }
+    for group in by_feature.values() {
+        for (i, &a) in group.iter().enumerate() {
+            for &b in &group[i + 1..] {
+                edges.push((a.min(b), a.max(b)));
+            }
+        }
+    }
+    // Geometric overlaps by x-sweep.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        labels[a as usize]
+            .x
+            .partial_cmp(&labels[b as usize].x)
+            .expect("label coordinates must not be NaN")
+    });
+    let mut active: Vec<u32> = Vec::new();
+    for &i in &order {
+        let li = labels[i as usize];
+        active.retain(|&j| {
+            let lj = labels[j as usize];
+            lj.x + lj.w > li.x
+        });
+        for &j in &active {
+            if li.overlaps(&labels[j as usize]) {
+                edges.push((i.min(j), i.max(j)));
+            }
+        }
+        active.push(i);
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Selects a maximal conflict-free label set with the min-degree greedy
+/// (a strong static baseline; feed the conflict graph to a dynamic engine
+/// for the evolving-viewport setting). Returns candidate indices.
+pub fn select_labels(labels: &[LabelBox]) -> Vec<u32> {
+    dynamis_static::greedy_mis(&label_conflict_graph(labels))
+}
+
+/// The conflict graph in dynamic form, for engine-driven selection.
+pub fn label_conflict_dynamic(labels: &[LabelBox]) -> DynamicGraph {
+    let csr = label_conflict_graph(labels);
+    let mut edges = Vec::with_capacity(csr.num_edges());
+    for u in 0..csr.num_vertices() as u32 {
+        for &v in csr.neighbors(u) {
+            if v > u {
+                edges.push((u, v));
+            }
+        }
+    }
+    DynamicGraph::from_edges(labels.len(), &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamis_static::verify::is_independent;
+
+    #[test]
+    fn overlap_geometry() {
+        let a = LabelBox::new(0, 0.0, 0.0, 2.0, 1.0);
+        assert!(a.overlaps(&LabelBox::new(1, 1.0, 0.5, 2.0, 1.0)));
+        assert!(!a.overlaps(&LabelBox::new(1, 2.0, 0.0, 1.0, 1.0)), "edge touch");
+        assert!(!a.overlaps(&LabelBox::new(1, 0.0, 1.0, 2.0, 1.0)), "top touch");
+        assert!(!a.overlaps(&LabelBox::new(1, 5.0, 5.0, 1.0, 1.0)));
+        assert!(a.overlaps(&LabelBox::new(1, 0.5, 0.25, 0.5, 0.5)), "contained");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive extent")]
+    fn zero_width_box_panics() {
+        LabelBox::new(0, 0.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn same_feature_candidates_conflict_without_overlap() {
+        let a = LabelBox::new(7, 0.0, 0.0, 1.0, 1.0);
+        let b = LabelBox::new(7, 10.0, 10.0, 1.0, 1.0);
+        assert!(!a.overlaps(&b));
+        assert!(a.conflicts(&b));
+        let g = label_conflict_graph(&[a, b]);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn conflict_graph_matches_pairwise_predicate() {
+        let labels = vec![
+            LabelBox::new(0, 0.0, 0.0, 2.0, 1.0),
+            LabelBox::new(0, 2.5, 0.0, 2.0, 1.0),
+            LabelBox::new(1, 1.0, 0.5, 2.0, 1.0),
+            LabelBox::new(2, 8.0, 8.0, 1.0, 1.0),
+            LabelBox::new(3, 1.5, -0.5, 1.0, 2.0),
+        ];
+        let g = label_conflict_graph(&labels);
+        for i in 0..labels.len() as u32 {
+            for j in i + 1..labels.len() as u32 {
+                assert_eq!(
+                    g.has_edge(i, j),
+                    labels[i as usize].conflicts(&labels[j as usize]),
+                    "pair ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selection_is_conflict_free_and_one_per_feature() {
+        // Three features, two candidates each, laid out so one choice per
+        // feature fits.
+        let labels = vec![
+            LabelBox::new(0, 0.0, 0.0, 2.0, 1.0),
+            LabelBox::new(0, 0.0, 1.5, 2.0, 1.0),
+            LabelBox::new(1, 3.0, 0.0, 2.0, 1.0),
+            LabelBox::new(1, 3.0, 1.5, 2.0, 1.0),
+            LabelBox::new(2, 6.0, 0.0, 2.0, 1.0),
+            LabelBox::new(2, 6.0, 1.5, 2.0, 1.0),
+        ];
+        let g = label_conflict_graph(&labels);
+        let picked = select_labels(&labels);
+        assert!(is_independent(&g, &picked));
+        assert_eq!(picked.len(), 3, "one label per feature");
+        let mut feats: Vec<u32> = picked.iter().map(|&i| labels[i as usize].feature).collect();
+        feats.sort_unstable();
+        assert_eq!(feats, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dynamic_form_agrees_with_csr() {
+        let labels = vec![
+            LabelBox::new(0, 0.0, 0.0, 1.5, 1.0),
+            LabelBox::new(1, 1.0, 0.0, 1.5, 1.0),
+            LabelBox::new(2, 2.0, 0.0, 1.5, 1.0),
+        ];
+        let csr = label_conflict_graph(&labels);
+        let dy = label_conflict_dynamic(&labels);
+        assert_eq!(csr.num_edges(), dy.num_edges());
+        for (u, v) in dy.edges() {
+            assert!(csr.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(select_labels(&[]).is_empty());
+        assert_eq!(label_conflict_graph(&[]).num_vertices(), 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # dynamis-problems — problems that reduce to (dynamic) MaxIS
+//!
+//! The paper's introduction motivates MaxIS through its classic companion
+//! problems and applications. This crate builds each of them on top of the
+//! workspace's MIS machinery:
+//!
+//! * [`vertex_cover`] — minimum vertex cover as the complement of an
+//!   independent set, maintained dynamically by any [`DynamicMis`] engine,
+//!   the classical matching-based static 2-approximation, and exact
+//!   MaxIS/MVC on bipartite graphs via König's theorem;
+//! * [`clique`] — maximum clique via MaxIS on the complement graph
+//!   (exact for small graphs, greedy at scale);
+//! * [`coloring`] — greedy coloring in degeneracy order (a
+//!   `degeneracy + 1` guarantee) and the iterated-MIS coloring that
+//!   peels one independent color class at a time;
+//! * [`labeling`] — automated map labeling \[7\]: maximize the number of
+//!   non-overlapping labels by solving MaxIS on the label conflict graph;
+//! * [`collusion`] — collusion detection in voting pools \[4\]: the
+//!   largest mutually-independent voter set is a MaxIS of the suspicious
+//!   agreement graph;
+//! * [`intervals`] — interval scheduling, where MaxIS is solvable exactly
+//!   in `O(n log n)`; used as ground truth for approximation-quality
+//!   tests on a graph class with known α.
+//!
+//! [`DynamicMis`]: dynamis_core::DynamicMis
+
+pub mod clique;
+pub mod collusion;
+pub mod coloring;
+pub mod intervals;
+pub mod labeling;
+pub mod vertex_cover;
+
+pub use clique::{complement_graph, greedy_clique, max_clique_exact};
+pub use collusion::{agreement_graph, honest_majority_bound, Ballot};
+pub use coloring::{greedy_coloring, is_proper_coloring, mis_coloring, Coloring};
+pub use intervals::{interval_conflict_graph, max_non_overlapping, Interval};
+pub use labeling::{label_conflict_graph, select_labels, LabelBox};
+pub use vertex_cover::{
+    bipartite_max_independent_set, is_vertex_cover, matching_vertex_cover, DynamicVertexCover,
+};

@@ -1,0 +1,249 @@
+//! Minimum vertex cover via independent-set complementation.
+//!
+//! `C` is a vertex cover iff `V \ C` is an independent set, so any
+//! maintained independent set yields a maintained cover `V \ I`, and a
+//! *larger* independent set means a *smaller* cover. The MaxIS
+//! approximation ratio does **not** transfer to the cover (the two
+//! objectives invert), so the classical matching-based 2-approximation is
+//! provided as the yardstick the dynamic cover is measured against.
+
+use dynamis_core::DynamicMis;
+use dynamis_graph::{CsrGraph, DynamicGraph, Update};
+
+/// Whether `cover` covers every edge of `g`.
+pub fn is_vertex_cover(g: &DynamicGraph, cover: &[u32]) -> bool {
+    let mut in_cover = vec![false; g.capacity()];
+    for &v in cover {
+        if (v as usize) < in_cover.len() {
+            in_cover[v as usize] = true;
+        }
+    }
+    g.edges()
+        .all(|(u, v)| in_cover[u as usize] || in_cover[v as usize])
+}
+
+/// Exact maximum independent set on a **bipartite** graph in polynomial
+/// time: König's theorem gives an exact minimum vertex cover from a
+/// Hopcroft–Karp maximum matching, and the complement is a maximum
+/// independent set. Returns `None` when `g` is not bipartite.
+pub fn bipartite_max_independent_set(g: &CsrGraph) -> Option<Vec<u32>> {
+    let cover = dynamis_graph::algo::koenig_vertex_cover(g)?;
+    let mut in_cover = vec![false; g.num_vertices()];
+    for &v in &cover {
+        in_cover[v as usize] = true;
+    }
+    Some(
+        (0..g.num_vertices() as u32)
+            .filter(|&v| !in_cover[v as usize])
+            .collect(),
+    )
+}
+
+/// The classical static 2-approximation: greedily pick a maximal matching
+/// and take both endpoints of every matched edge. `|C| ≤ 2 · OPT` because
+/// any cover contains at least one endpoint of each matching edge.
+pub fn matching_vertex_cover(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut matched = vec![false; n];
+    let mut cover = Vec::new();
+    for u in 0..n as u32 {
+        if matched[u as usize] {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if !matched[v as usize] {
+                matched[u as usize] = true;
+                matched[v as usize] = true;
+                cover.push(u);
+                cover.push(v);
+                break;
+            }
+        }
+    }
+    cover
+}
+
+/// A dynamically maintained vertex cover: the complement of the
+/// independent set maintained by any [`DynamicMis`] engine.
+///
+/// # Example
+/// ```
+/// use dynamis_core::DyOneSwap;
+/// use dynamis_graph::{DynamicGraph, Update};
+/// use dynamis_problems::DynamicVertexCover;
+///
+/// let g = DynamicGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+/// let mut vc = DynamicVertexCover::new(DyOneSwap::new(g, &[]));
+/// assert!(vc.size() <= 2);
+/// vc.apply_update(&Update::InsertEdge(0, 3));
+/// assert!(vc.verify());
+/// ```
+#[derive(Debug)]
+pub struct DynamicVertexCover<E: DynamicMis> {
+    engine: E,
+}
+
+impl<E: DynamicMis> DynamicVertexCover<E> {
+    /// Wraps a MaxIS engine; the cover is the complement of its solution.
+    pub fn new(engine: E) -> Self {
+        DynamicVertexCover { engine }
+    }
+
+    /// Applies one graph update.
+    pub fn apply_update(&mut self, u: &Update) {
+        self.engine.apply_update(u);
+    }
+
+    /// Cover size `|V| − |I|`.
+    pub fn size(&self) -> usize {
+        self.engine.graph().num_vertices() - self.engine.size()
+    }
+
+    /// Materializes the cover (sorted live vertices outside the
+    /// independent set).
+    pub fn cover(&self) -> Vec<u32> {
+        self.engine
+            .graph()
+            .vertices()
+            .filter(|&v| !self.engine.contains(v))
+            .collect()
+    }
+
+    /// O(1) membership test.
+    pub fn contains(&self, v: u32) -> bool {
+        self.engine.graph().is_alive(v) && !self.engine.contains(v)
+    }
+
+    /// Re-checks the covering property edge by edge (test/debug; O(n + m)).
+    pub fn verify(&self) -> bool {
+        is_vertex_cover(self.engine.graph(), &self.cover())
+    }
+
+    /// The wrapped engine, for inspecting the underlying independent set.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamis_core::{DyOneSwap, DyTwoSwap};
+    use dynamis_static::verify::compact_live;
+
+    #[test]
+    fn complement_of_mis_covers_path() {
+        let g = DynamicGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let vc = DynamicVertexCover::new(DyOneSwap::new(g, &[]));
+        assert!(vc.verify());
+        // α(P₅) = 3 ⇒ optimal cover is 2; a 1-maximal IS has ≥ 2 vertices,
+        // so the cover has ≤ 3.
+        assert!(vc.size() <= 3);
+    }
+
+    #[test]
+    fn cover_tracks_updates() {
+        let g = DynamicGraph::from_edges(6, &[(0, 1), (2, 3), (4, 5)]);
+        let mut vc = DynamicVertexCover::new(DyTwoSwap::new(g, &[]));
+        assert_eq!(vc.size(), 3, "perfect matching needs one endpoint each");
+        for upd in [
+            Update::InsertEdge(1, 2),
+            Update::InsertEdge(3, 4),
+            Update::InsertEdge(5, 0),
+            Update::RemoveEdge(2, 3),
+        ] {
+            vc.apply_update(&upd);
+            assert!(vc.verify(), "cover broken after {upd:?}");
+        }
+    }
+
+    #[test]
+    fn membership_is_complementary() {
+        let g = DynamicGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let vc = DynamicVertexCover::new(DyOneSwap::new(g, &[]));
+        for v in 0..4 {
+            assert_ne!(vc.contains(v), vc.engine().contains(v));
+        }
+    }
+
+    #[test]
+    fn matching_cover_is_valid_and_within_twice_optimal() {
+        // C₆: optimal cover 3; matching bound allows ≤ 6.
+        let edges: Vec<(u32, u32)> = (0..6u32).map(|i| (i, (i + 1) % 6)).collect();
+        let g = DynamicGraph::from_edges(6, &edges);
+        let (csr, _) = compact_live(&g);
+        let cover = matching_vertex_cover(&csr);
+        assert!(is_vertex_cover(&g, &cover));
+        assert!(cover.len() <= 6);
+        assert!(cover.len() >= 3);
+    }
+
+    #[test]
+    fn matching_cover_on_star_takes_two_vertices() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let cover = matching_vertex_cover(&g);
+        // One matching edge (0, x) → both endpoints.
+        assert_eq!(cover.len(), 2);
+        assert!(cover.contains(&0));
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let g = DynamicGraph::from_edges(3, &[]);
+        let vc = DynamicVertexCover::new(DyOneSwap::new(g, &[]));
+        assert_eq!(vc.size(), 0);
+        assert!(vc.cover().is_empty());
+        assert!(vc.verify());
+        assert!(is_vertex_cover(&DynamicGraph::new(), &[]));
+    }
+
+    #[test]
+    fn bipartite_mis_matches_exact_solver() {
+        use dynamis_static::{solve_exact, ExactConfig};
+        // Random bipartite instances: König's route must equal α exactly.
+        let mut state = 0x7f4a7c15_u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..10 {
+            let a = 4 + (rng() % 5) as u32;
+            let b = 4 + (rng() % 5) as u32;
+            let mut edges = Vec::new();
+            for u in 0..a {
+                for v in 0..b {
+                    if rng() % 3 == 0 {
+                        edges.push((u, a + v));
+                    }
+                }
+            }
+            let g = CsrGraph::from_edges((a + b) as usize, &edges);
+            let koenig = bipartite_max_independent_set(&g).unwrap();
+            let exact = solve_exact(&g, ExactConfig::default()).unwrap();
+            assert_eq!(koenig.len(), exact.alpha, "round {round}");
+            // And it is independent.
+            for (i, &u) in koenig.iter().enumerate() {
+                for &v in &koenig[i + 1..] {
+                    assert!(!g.has_edge(u, v), "round {round}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bipartite_mis_rejects_odd_cycles() {
+        let c5: Vec<(u32, u32)> = (0..5u32).map(|i| (i, (i + 1) % 5)).collect();
+        let g = CsrGraph::from_edges(5, &c5);
+        assert!(bipartite_max_independent_set(&g).is_none());
+    }
+
+    #[test]
+    fn is_vertex_cover_rejects_uncovered_edge() {
+        let g = DynamicGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(!is_vertex_cover(&g, &[0]));
+        assert!(is_vertex_cover(&g, &[1]));
+        assert!(!is_vertex_cover(&g, &[42]), "out-of-range ids ignored");
+    }
+}

@@ -1,0 +1,285 @@
+//! ARW iterated local search — Andrade, Resende & Werneck, *Fast local
+//! search for the maximum independent set problem* (reference \[14\]).
+//!
+//! The search alternates two phases:
+//!
+//! 1. **(1,2)-swaps to local optimality** — for every solution vertex `v`,
+//!    if two of its 1-tight neighbors (outside vertices whose only
+//!    solution neighbor is `v`) are non-adjacent, replace `v` with that
+//!    pair. This is exactly the paper's 1-swap, so an ARW-converged
+//!    solution is 1-maximal.
+//! 2. **perturbation** — force a random outside vertex into the solution,
+//!    evict its solution neighbors, re-maximalize, and continue; the best
+//!    solution ever seen is retained.
+
+use dynamis_graph::collections::StampSet;
+use dynamis_graph::CsrGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Iteration budget for [`arw_local_search`].
+#[derive(Debug, Clone, Copy)]
+pub struct ArwConfig {
+    /// Number of perturbation rounds (0 = plain local search).
+    pub perturbations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ArwConfig {
+    fn default() -> Self {
+        ArwConfig {
+            perturbations: 40,
+            seed: 0x5eed,
+        }
+    }
+}
+
+struct LocalSearch<'a> {
+    g: &'a CsrGraph,
+    in_sol: Vec<bool>,
+    /// Number of solution neighbors for every vertex.
+    tight: Vec<u32>,
+    size: usize,
+    stamp: StampSet,
+}
+
+impl<'a> LocalSearch<'a> {
+    fn new(g: &'a CsrGraph, initial: &[u32]) -> Self {
+        let n = g.num_vertices();
+        let mut s = LocalSearch {
+            g,
+            in_sol: vec![false; n],
+            tight: vec![0; n],
+            size: 0,
+            stamp: StampSet::with_capacity(n),
+        };
+        for &v in initial {
+            s.insert(v);
+        }
+        s
+    }
+
+    fn insert(&mut self, v: u32) {
+        debug_assert!(!self.in_sol[v as usize]);
+        self.in_sol[v as usize] = true;
+        self.size += 1;
+        for &u in self.g.neighbors(v) {
+            self.tight[u as usize] += 1;
+        }
+    }
+
+    fn remove(&mut self, v: u32) {
+        debug_assert!(self.in_sol[v as usize]);
+        self.in_sol[v as usize] = false;
+        self.size -= 1;
+        for &u in self.g.neighbors(v) {
+            self.tight[u as usize] -= 1;
+        }
+    }
+
+    /// Inserts every free vertex (tight = 0, not in solution), scanning
+    /// only the given candidates.
+    fn maximalize_over(&mut self, candidates: &[u32]) {
+        for &v in candidates {
+            if !self.in_sol[v as usize] && self.tight[v as usize] == 0 {
+                self.insert(v);
+            }
+        }
+    }
+
+    /// Tries to 2-improve around `v`; returns true if a swap happened.
+    fn try_two_improvement(&mut self, v: u32) -> bool {
+        if !self.in_sol[v as usize] {
+            return false;
+        }
+        // 1-tight neighbors of v.
+        let one_tight: Vec<u32> = self
+            .g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| self.tight[u as usize] == 1)
+            .collect();
+        if one_tight.len() < 2 {
+            return false;
+        }
+        self.stamp.clear();
+        for &u in &one_tight {
+            self.stamp.mark(u);
+        }
+        // Find u whose neighborhood misses some other 1-tight vertex.
+        for &u in &one_tight {
+            let adjacent_inside = self
+                .g
+                .neighbors(u)
+                .iter()
+                .filter(|&&w| self.stamp.is_marked(w))
+                .count();
+            if adjacent_inside + 1 < one_tight.len() {
+                // Locate a concrete non-neighbor w.
+                self.stamp.clear();
+                for &w in self.g.neighbors(u) {
+                    self.stamp.mark(w);
+                }
+                let w = one_tight
+                    .iter()
+                    .copied()
+                    .find(|&w| w != u && !self.stamp.is_marked(w))
+                    .expect("counting proved a non-neighbor exists");
+                self.remove(v);
+                self.insert(u);
+                self.insert(w);
+                // Freed vertices adjacent to v may now be insertable.
+                let freed: Vec<u32> = self.g.neighbors(v).to_vec();
+                self.maximalize_over(&freed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Runs (1,2)-swaps until the solution is 1-maximal.
+    fn to_local_optimum(&mut self) {
+        let mut queue: Vec<u32> = (0..self.g.num_vertices() as u32)
+            .filter(|&v| self.in_sol[v as usize])
+            .collect();
+        while let Some(v) = queue.pop() {
+            if self.try_two_improvement(v) {
+                // Re-examine solution vertices near the change.
+                for &u in self.g.neighbors(v) {
+                    for &w in self.g.neighbors(u) {
+                        if self.in_sol[w as usize] {
+                            queue.push(w);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn solution(&self) -> Vec<u32> {
+        (0..self.g.num_vertices() as u32)
+            .filter(|&v| self.in_sol[v as usize])
+            .collect()
+    }
+
+    /// Force `x` into the solution, evicting its solution neighbors.
+    fn force(&mut self, x: u32) {
+        if self.in_sol[x as usize] {
+            return;
+        }
+        let evict: Vec<u32> = self
+            .g
+            .neighbors(x)
+            .iter()
+            .copied()
+            .filter(|&u| self.in_sol[u as usize])
+            .collect();
+        for u in evict.iter().copied() {
+            self.remove(u);
+        }
+        self.insert(x);
+        for u in evict {
+            let freed: Vec<u32> = self.g.neighbors(u).to_vec();
+            self.maximalize_over(&freed);
+            if !self.in_sol[u as usize] && self.tight[u as usize] == 0 {
+                self.insert(u);
+            }
+        }
+    }
+}
+
+/// Runs ARW iterated local search starting from the min-degree greedy
+/// solution. Returns the best (largest) solution found, sorted.
+pub fn arw_local_search(g: &CsrGraph, cfg: ArwConfig) -> Vec<u32> {
+    let initial = crate::greedy::greedy_mis(g);
+    arw_from(g, &initial, cfg)
+}
+
+/// ARW starting from a caller-supplied independent set.
+pub fn arw_from(g: &CsrGraph, initial: &[u32], cfg: ArwConfig) -> Vec<u32> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut ls = LocalSearch::new(g, initial);
+    ls.to_local_optimum();
+    let mut best = ls.solution();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    for _ in 0..cfg.perturbations {
+        let x = rng.gen_range(0..n as u32);
+        ls.force(x);
+        ls.to_local_optimum();
+        if ls.size > best.len() {
+            best = ls.solution();
+        }
+    }
+    best.sort_unstable();
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{brute_force_alpha, is_independent, is_k_maximal};
+
+    #[test]
+    fn arw_reaches_one_maximality() {
+        let g = CsrGraph::from_edges(
+            8,
+            &[(0, 1), (1, 2), (1, 5), (2, 3), (2, 5), (3, 4), (3, 6), (4, 6), (5, 6), (6, 7)],
+        );
+        let s = arw_local_search(&g, ArwConfig::default());
+        assert!(is_independent(&g, &s));
+        assert!(is_k_maximal(&g, &s, 1), "ARW output must be 1-maximal");
+    }
+
+    #[test]
+    fn arw_escapes_star_trap() {
+        // Start from the center of a star: a single 2-improvement fixes it.
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let s = arw_from(&g, &[0], ArwConfig { perturbations: 0, seed: 1 });
+        assert_eq!(s, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn arw_matches_optimum_on_small_random_graphs() {
+        use dynamis_graph::DynamicGraph;
+        let mut s = 0xfeed_5eedu64;
+        for _ in 0..8 {
+            let n = 14;
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    if s % 4 == 0 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = CsrGraph::from_dynamic(&DynamicGraph::from_edges(n, &edges));
+            let found = arw_local_search(
+                &g,
+                ArwConfig {
+                    perturbations: 60,
+                    seed: s,
+                },
+            )
+            .len();
+            let opt = brute_force_alpha(&g);
+            assert!(
+                found >= opt - 1,
+                "ARW found {found}, optimum {opt} — should be near-optimal with perturbation"
+            );
+        }
+    }
+
+    #[test]
+    fn arw_on_empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert!(arw_local_search(&g, ArwConfig::default()).is_empty());
+    }
+}

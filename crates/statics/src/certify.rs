@@ -1,0 +1,261 @@
+//! Scalable solution certificates.
+//!
+//! The brute-force checkers in [`crate::verify`] enumerate candidate
+//! swaps and are only usable on test-sized graphs. This module certifies
+//! the same properties at full scale, recomputing everything from the
+//! graph (never trusting engine-internal state):
+//!
+//! * independence and maximality in O(n + m);
+//! * 1-maximality via the paper's criterion (proof of Lemma 1): `I` is
+//!   1-maximal iff for every `v ∈ I` the subgraph induced by
+//!   `¯I₁(v) = {u ∈ N(v) : count(u) = 1}` is a clique —
+//!   O(m + Σ_v |¯I₁(v)|²) with adjacency tests, near-linear on sparse
+//!   graphs;
+//! * when certification fails, a concrete *witness* (the violating edge,
+//!   uncovered vertex, or improving swap) is returned, which turns every
+//!   failed certificate into an actionable bug report.
+
+use dynamis_graph::DynamicGraph;
+
+/// Why a certificate was refused, with the witnessing structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two solution vertices are adjacent.
+    NotIndependent(u32, u32),
+    /// A vertex outside the solution has no solution neighbor.
+    NotMaximal(u32),
+    /// A 1-swap exists: remove `out`, insert the two vertices in `ins`.
+    OneSwap {
+        /// The solution vertex to remove.
+        out: u32,
+        /// Two non-adjacent neighbors of `out` with no other solution
+        /// neighbor.
+        ins: [u32; 2],
+    },
+    /// The solution contains a vertex the graph does not.
+    DeadVertex(u32),
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::NotIndependent(u, v) => write!(f, "solution contains edge ({u}, {v})"),
+            Violation::NotMaximal(v) => write!(f, "vertex {v} could join the solution"),
+            Violation::OneSwap { out, ins } => {
+                write!(f, "1-swap: {out} out, {} and {} in", ins[0], ins[1])
+            }
+            Violation::DeadVertex(v) => write!(f, "solution vertex {v} is not in the graph"),
+        }
+    }
+}
+
+/// Recomputes `count(u) = |N(u) ∩ I|` for every vertex from scratch.
+fn recount(g: &DynamicGraph, in_sol: &[bool]) -> Vec<u32> {
+    let mut count = vec![0u32; g.capacity()];
+    for v in g.vertices() {
+        if in_sol[v as usize] {
+            for u in g.neighbors(v) {
+                count[u as usize] += 1;
+            }
+        }
+    }
+    count
+}
+
+fn solution_bitmap(g: &DynamicGraph, solution: &[u32]) -> Result<Vec<bool>, Violation> {
+    let mut in_sol = vec![false; g.capacity()];
+    for &v in solution {
+        if !g.is_alive(v) {
+            return Err(Violation::DeadVertex(v));
+        }
+        in_sol[v as usize] = true;
+    }
+    Ok(in_sol)
+}
+
+/// Certifies that `solution` is an independent set of `g`. O(n + m).
+pub fn certify_independent(g: &DynamicGraph, solution: &[u32]) -> Result<(), Violation> {
+    let in_sol = solution_bitmap(g, solution)?;
+    for &v in solution {
+        for u in g.neighbors(v) {
+            if in_sol[u as usize] {
+                return Err(Violation::NotIndependent(v.min(u), v.max(u)));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Certifies independence + maximality. O(n + m).
+pub fn certify_maximal(g: &DynamicGraph, solution: &[u32]) -> Result<(), Violation> {
+    let in_sol = solution_bitmap(g, solution)?;
+    certify_independent(g, solution)?;
+    let count = recount(g, &in_sol);
+    for v in g.vertices() {
+        if !in_sol[v as usize] && count[v as usize] == 0 {
+            return Err(Violation::NotMaximal(v));
+        }
+    }
+    Ok(())
+}
+
+/// Certifies independence + maximality + 1-maximality at full scale.
+///
+/// Uses the clique criterion from the proof of Lemma 1: a 1-swap at
+/// `v ∈ I` exists iff two vertices of `¯I₁(v)` are non-adjacent. The
+/// returned witness is the concrete improving swap when one exists.
+pub fn certify_one_maximal(g: &DynamicGraph, solution: &[u32]) -> Result<(), Violation> {
+    let in_sol = solution_bitmap(g, solution)?;
+    certify_independent(g, solution)?;
+    let count = recount(g, &in_sol);
+    for v in g.vertices() {
+        if !in_sol[v as usize] && count[v as usize] == 0 {
+            return Err(Violation::NotMaximal(v));
+        }
+    }
+    // ¯I₁ members, grouped by their unique solution parent.
+    let mut bar1: Vec<Vec<u32>> = vec![Vec::new(); g.capacity()];
+    for u in g.vertices() {
+        if !in_sol[u as usize] && count[u as usize] == 1 {
+            let parent = g
+                .neighbors(u)
+                .find(|&w| in_sol[w as usize])
+                .expect("count == 1 guarantees a parent");
+            bar1[parent as usize].push(u);
+        }
+    }
+    for &v in solution {
+        let members = &bar1[v as usize];
+        for (i, &x) in members.iter().enumerate() {
+            for &y in &members[i + 1..] {
+                if !g.has_edge(x, y) {
+                    return Err(Violation::OneSwap { out: v, ins: [x, y] });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_one_maximal_solution() {
+        // P₅ with ends + middle: {0, 2, 4} is optimal, certainly 1-maximal.
+        let g = DynamicGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        certify_one_maximal(&g, &[0, 2, 4]).unwrap();
+        certify_maximal(&g, &[0, 2, 4]).unwrap();
+        certify_independent(&g, &[0, 2, 4]).unwrap();
+    }
+
+    #[test]
+    fn rejects_adjacent_solution_vertices() {
+        let g = DynamicGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(
+            certify_independent(&g, &[0, 1]),
+            Err(Violation::NotIndependent(0, 1))
+        );
+    }
+
+    #[test]
+    fn rejects_non_maximal_solution() {
+        let g = DynamicGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let err = certify_maximal(&g, &[0]).unwrap_err();
+        assert!(matches!(err, Violation::NotMaximal(v) if v == 2 || v == 3));
+    }
+
+    #[test]
+    fn finds_the_one_swap_witness_on_a_star() {
+        // Star center in the solution: leaves form an independent ¯I₁(0),
+        // so any two of them witness a 1-swap.
+        let g = DynamicGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let err = certify_one_maximal(&g, &[0]).unwrap_err();
+        match err {
+            Violation::OneSwap { out, ins } => {
+                assert_eq!(out, 0);
+                assert_ne!(ins[0], ins[1]);
+                assert!(!g.has_edge(ins[0], ins[1]));
+            }
+            other => panic!("expected OneSwap, got {other}"),
+        }
+    }
+
+    #[test]
+    fn clique_neighborhood_is_accepted() {
+        // v = 0 with ¯I₁(0) = {1, 2} forming an edge: no 1-swap.
+        let g = DynamicGraph::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+        certify_one_maximal(&g, &[0]).unwrap();
+    }
+
+    #[test]
+    fn count_two_vertices_do_not_trigger_swaps() {
+        // 1 and 3 both see two solution vertices {0, 4}: not in ¯I₁.
+        // Vertex 2 is isolated and must be in any maximal solution.
+        let g = DynamicGraph::from_edges(5, &[(0, 1), (1, 4), (0, 3), (3, 4)]);
+        certify_one_maximal(&g, &[0, 2, 4]).unwrap();
+    }
+
+    #[test]
+    fn rejects_dead_vertices() {
+        let mut g = DynamicGraph::from_edges(3, &[(0, 1)]);
+        g.remove_vertex(2).unwrap();
+        assert_eq!(
+            certify_independent(&g, &[2]),
+            Err(Violation::DeadVertex(2))
+        );
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_graphs() {
+        use crate::verify::is_k_maximal_dynamic;
+        use dynamis_graph::DynamicGraph;
+        let mut state = 0x1234_5678_u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..40 {
+            let n = 6 + (rng() % 10) as usize;
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in u + 1..n as u32 {
+                    if rng() % 3 == 0 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = DynamicGraph::from_edges(n, &edges);
+            // Greedy maximal set by ascending id.
+            let mut taken = vec![false; n];
+            let mut blocked = vec![false; n];
+            let mut solution = Vec::new();
+            for v in 0..n as u32 {
+                if !blocked[v as usize] {
+                    taken[v as usize] = true;
+                    solution.push(v);
+                    for u in g.neighbors(v) {
+                        blocked[u as usize] = true;
+                    }
+                    blocked[v as usize] = true;
+                }
+            }
+            let fast = certify_one_maximal(&g, &solution).is_ok();
+            let brute = is_k_maximal_dynamic(&g, &solution, 1);
+            assert_eq!(fast, brute, "round {round}: certifiers disagree");
+        }
+    }
+
+    #[test]
+    fn display_messages_name_the_witness() {
+        assert!(Violation::NotIndependent(3, 7).to_string().contains('7'));
+        assert!(Violation::NotMaximal(9).to_string().contains('9'));
+        assert!(Violation::OneSwap { out: 1, ins: [2, 3] }
+            .to_string()
+            .contains("1-swap"));
+        assert!(Violation::DeadVertex(5).to_string().contains('5'));
+    }
+}

@@ -1,0 +1,214 @@
+//! Exact MaxIS by branch-and-reduce — the VCSolver \[29\] stand-in.
+//!
+//! The solver kernelizes with the reductions of [`crate::kernel`], then
+//! branches on a maximum-degree vertex (include / exclude), re-reducing in
+//! every branch and pruning with the matching-based upper bound
+//! `α ≤ n − |M|`. A node budget turns "did not finish in five hours" into
+//! a deterministic, testable outcome: `solve_exact` returns `None` when
+//! the budget is exhausted, which is how the harness decides the
+//! easy/hard split of Table I.
+
+use crate::kernel::Kernel;
+use dynamis_graph::CsrGraph;
+
+/// Budget knobs for the exact solver.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactConfig {
+    /// Maximum number of branch-and-bound nodes to explore.
+    pub node_budget: u64,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        ExactConfig {
+            node_budget: 2_000_000,
+        }
+    }
+}
+
+/// A proven-optimal solution.
+#[derive(Debug, Clone)]
+pub struct ExactResult {
+    /// The independence number α(G).
+    pub alpha: usize,
+    /// One maximum independent set (sorted vertex ids).
+    pub solution: Vec<u32>,
+    /// Branch-and-bound nodes explored.
+    pub nodes: u64,
+}
+
+struct Search {
+    best_size: usize,
+    best_solution: Vec<u32>,
+    nodes: u64,
+    budget: u64,
+}
+
+impl Search {
+    /// Returns `false` when the budget ran out somewhere below.
+    fn branch(&mut self, kernel: &mut Kernel) -> bool {
+        self.nodes += 1;
+        if self.nodes > self.budget {
+            return false;
+        }
+        kernel.reduce();
+        if kernel.n_alive() == 0 {
+            if kernel.score() > self.best_size {
+                self.best_size = kernel.score();
+                self.best_solution = kernel.reconstruct(&[]);
+            }
+            return true;
+        }
+        if kernel.score() + kernel.alpha_upper_bound() <= self.best_size {
+            return true; // pruned
+        }
+        let v = kernel
+            .max_degree_vertex()
+            .expect("non-empty kernel has a max-degree vertex");
+        // Include branch first: taking a high-degree vertex shrinks the
+        // graph fastest and tends to find good incumbents early.
+        let mut include = kernel.clone();
+        include.take(v);
+        if !self.branch(&mut include) {
+            return false;
+        }
+        kernel.exclude(v);
+        self.branch(kernel)
+    }
+}
+
+/// Solves MaxIS exactly, or returns `None` if the node budget is exceeded.
+pub fn solve_exact(g: &CsrGraph, cfg: ExactConfig) -> Option<ExactResult> {
+    let mut kernel = Kernel::from_csr(g);
+    let mut search = Search {
+        best_size: 0,
+        best_solution: Vec::new(),
+        nodes: 0,
+        budget: cfg.node_budget,
+    };
+    if !search.branch(&mut kernel) {
+        return None;
+    }
+    debug_assert!(crate::verify::is_independent(g, &search.best_solution));
+    Some(ExactResult {
+        alpha: search.best_size,
+        solution: search.best_solution,
+        nodes: search.nodes,
+    })
+}
+
+/// Convenience wrapper returning only α(G).
+pub fn alpha(g: &CsrGraph, cfg: ExactConfig) -> Option<usize> {
+    solve_exact(g, cfg).map(|r| r.alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{brute_force_alpha, is_independent, is_maximal};
+
+    fn assert_optimal(g: &CsrGraph) {
+        let r = solve_exact(g, ExactConfig::default()).expect("budget ample");
+        assert_eq!(r.alpha, brute_force_alpha(g), "alpha mismatch");
+        assert_eq!(r.solution.len(), r.alpha);
+        assert!(is_independent(g, &r.solution));
+        let all: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        assert!(is_maximal(g, &r.solution, &all));
+    }
+
+    #[test]
+    fn solves_small_named_graphs() {
+        assert_optimal(&CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]));
+        assert_optimal(&CsrGraph::from_edges(
+            4,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        ));
+        // Petersen graph, alpha = 4.
+        let petersen = CsrGraph::from_edges(
+            10,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 0),
+                (5, 7),
+                (7, 9),
+                (9, 6),
+                (6, 8),
+                (8, 5),
+                (0, 5),
+                (1, 6),
+                (2, 7),
+                (3, 8),
+                (4, 9),
+            ],
+        );
+        let r = solve_exact(&petersen, ExactConfig::default()).unwrap();
+        assert_eq!(r.alpha, 4);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        use dynamis_graph::DynamicGraph;
+        let mut s = 0x243f_6a88_85a3_08d3u64;
+        for _ in 0..12 {
+            let n = 16 + (s % 8) as usize;
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    if s % 4 == 0 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = CsrGraph::from_dynamic(&DynamicGraph::from_edges(n, &edges));
+            assert_optimal(&g);
+        }
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_eq!(solve_exact(&g, ExactConfig::default()).unwrap().alpha, 0);
+        let g = CsrGraph::from_edges(9, &[]);
+        assert_eq!(solve_exact(&g, ExactConfig::default()).unwrap().alpha, 9);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        // A dense-ish random graph with a 1-node budget cannot finish.
+        let mut edges = Vec::new();
+        for u in 0..30u32 {
+            for v in (u + 1)..30u32 {
+                if (u * 31 + v) % 3 == 0 {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = CsrGraph::from_edges(30, &edges);
+        assert!(solve_exact(&g, ExactConfig { node_budget: 1 }).is_none());
+    }
+
+    #[test]
+    fn worst_case_family_k_prime() {
+        // alpha(K'_n) = n(n-1)/2 per Theorem 3.
+        for n in 4..7usize {
+            let mut edges = Vec::new();
+            let mut next = n as u32;
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    edges.push((u, next));
+                    edges.push((next, v));
+                    next += 1;
+                }
+            }
+            let g = CsrGraph::from_edges(next as usize, &edges);
+            let r = solve_exact(&g, ExactConfig::default()).unwrap();
+            assert_eq!(r.alpha, n * (n - 1) / 2);
+        }
+    }
+}

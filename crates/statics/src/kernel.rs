@@ -1,0 +1,345 @@
+//! Reduction kernel shared by the exact branch-and-reduce solver and the
+//! reducing–peeling heuristic.
+//!
+//! Implements the classic MaxIS-preserving reductions (as in VCSolver
+//! \[29\] and the reducing–peeling framework \[15\]):
+//!
+//! * **degree-0 / degree-1** — isolated and pendant vertices are always in
+//!   some maximum independent set;
+//! * **degree-2 triangle** — a degree-2 vertex with adjacent neighbors is
+//!   in some MaxIS;
+//! * **degree-2 folding** — a degree-2 vertex with non-adjacent neighbors
+//!   `u, w` is contracted: the merged vertex stands for "take both u and
+//!   w", contributing `+1` to α either way;
+//! * **domination** — if `N[u] ⊆ N[v]` for an edge `(u, v)`, some MaxIS
+//!   avoids `v`, so `v` is excluded.
+//!
+//! The kernel records a fold log so the final solution can be mapped back
+//! to original vertex ids.
+
+use dynamis_graph::hash::FxHashSet;
+use dynamis_graph::CsrGraph;
+use std::collections::VecDeque;
+
+/// One degree-2 fold: `v` was contracted with non-adjacent neighbors
+/// `u, w` into a merged vertex reusing slot `v`.
+#[derive(Debug, Clone, Copy)]
+pub struct Fold {
+    pub v: u32,
+    pub u: u32,
+    pub w: u32,
+}
+
+/// Mutable reduction state over (a copy of) a graph.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    adj: Vec<FxHashSet<u32>>,
+    alive: Vec<bool>,
+    n_alive: usize,
+    /// Vertices decided IN (kernel-level ids; folds may remap them later).
+    pub taken: Vec<u32>,
+    /// Fold log in application order.
+    pub folds: Vec<Fold>,
+    queue: VecDeque<u32>,
+    in_queue: Vec<bool>,
+}
+
+impl Kernel {
+    pub fn from_csr(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let mut adj = Vec::with_capacity(n);
+        for v in 0..n as u32 {
+            adj.push(g.neighbors(v).iter().copied().collect::<FxHashSet<u32>>());
+        }
+        Kernel {
+            adj,
+            alive: vec![true; n],
+            n_alive: n,
+            taken: Vec::new(),
+            folds: Vec::new(),
+            queue: VecDeque::new(),
+            in_queue: vec![false; n],
+        }
+    }
+
+    #[inline]
+    pub fn n_alive(&self) -> usize {
+        self.n_alive
+    }
+
+    #[inline]
+    pub fn is_alive(&self, v: u32) -> bool {
+        self.alive[v as usize]
+    }
+
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// α contribution already locked in: every taken vertex plus one per
+    /// fold.
+    #[inline]
+    pub fn score(&self) -> usize {
+        self.taken.len() + self.folds.len()
+    }
+
+    /// Alive vertices (O(capacity) scan).
+    pub fn alive_vertices(&self) -> impl Iterator<Item = u32> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| i as u32)
+    }
+
+    fn touch(&mut self, v: u32) {
+        if self.alive[v as usize] && !self.in_queue[v as usize] {
+            self.in_queue[v as usize] = true;
+            self.queue.push_back(v);
+        }
+    }
+
+    /// Removes `v` from the graph (decides it OUT unless called from
+    /// `take`).
+    pub fn exclude(&mut self, v: u32) {
+        debug_assert!(self.alive[v as usize]);
+        let nbrs = std::mem::take(&mut self.adj[v as usize]);
+        for &u in &nbrs {
+            self.adj[u as usize].remove(&v);
+            self.touch(u);
+        }
+        self.alive[v as usize] = false;
+        self.n_alive -= 1;
+    }
+
+    /// Decides `v` IN: removes its whole closed neighborhood.
+    pub fn take(&mut self, v: u32) {
+        debug_assert!(self.alive[v as usize]);
+        self.taken.push(v);
+        let nbrs: Vec<u32> = self.adj[v as usize].iter().copied().collect();
+        self.exclude(v);
+        for u in nbrs {
+            if self.alive[u as usize] {
+                self.exclude(u);
+            }
+        }
+    }
+
+    /// Degree-2 fold of `v` with non-adjacent neighbors `u, w`; the merged
+    /// vertex reuses slot `v`.
+    fn fold(&mut self, v: u32, u: u32, w: u32) {
+        debug_assert!(!self.adj[u as usize].contains(&w));
+        self.folds.push(Fold { v, u, w });
+        let mut merged: FxHashSet<u32> = FxHashSet::default();
+        for &x in self.adj[u as usize].iter().chain(self.adj[w as usize].iter()) {
+            if x != v {
+                merged.insert(x);
+            }
+        }
+        // Detach u and w entirely.
+        for side in [u, w] {
+            let nbrs = std::mem::take(&mut self.adj[side as usize]);
+            for &x in &nbrs {
+                self.adj[x as usize].remove(&side);
+            }
+            self.alive[side as usize] = false;
+            self.n_alive -= 1;
+        }
+        // Rewire slot v as the merged vertex.
+        self.adj[v as usize].clear();
+        for &x in &merged {
+            self.adj[x as usize].insert(v);
+            self.adj[v as usize].insert(x);
+            self.touch(x);
+        }
+        self.touch(v);
+    }
+
+    /// Whether some neighbor `u` of `v` satisfies `N[u] ⊆ N[v]`
+    /// (domination ⇒ `v` can be excluded).
+    fn is_dominated(&self, v: u32) -> bool {
+        let dv = self.adj[v as usize].len();
+        for &u in &self.adj[v as usize] {
+            if self.adj[u as usize].len() > dv {
+                continue;
+            }
+            if self.adj[u as usize]
+                .iter()
+                .all(|&x| x == v || self.adj[v as usize].contains(&x))
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Applies all reductions to a fixed point.
+    pub fn reduce(&mut self) {
+        // Seed with every alive vertex on first call / after branching.
+        let seeds: Vec<u32> = self.alive_vertices().collect();
+        for v in seeds {
+            self.touch(v);
+        }
+        while let Some(v) = self.queue.pop_front() {
+            self.in_queue[v as usize] = false;
+            if !self.alive[v as usize] {
+                continue;
+            }
+            match self.adj[v as usize].len() {
+                0 | 1 => {
+                    self.take(v);
+                    continue;
+                }
+                2 => {
+                    let mut it = self.adj[v as usize].iter();
+                    let u = *it.next().unwrap();
+                    let w = *it.next().unwrap();
+                    if self.adj[u as usize].contains(&w) {
+                        self.take(v);
+                    } else {
+                        self.fold(v, u, w);
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+            if self.is_dominated(v) {
+                self.exclude(v);
+            }
+        }
+    }
+
+    /// Maps a set of kernel-level choices back to original vertex ids by
+    /// unwinding the fold log.
+    pub fn reconstruct(&self, kernel_choice: &[u32]) -> Vec<u32> {
+        let mut chosen: FxHashSet<u32> = self.taken.iter().copied().collect();
+        chosen.extend(kernel_choice.iter().copied());
+        for f in self.folds.iter().rev() {
+            if chosen.remove(&f.v) {
+                chosen.insert(f.u);
+                chosen.insert(f.w);
+            } else {
+                chosen.insert(f.v);
+            }
+        }
+        let mut out: Vec<u32> = chosen.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Upper bound on α of the remaining kernel: `n_alive − |M|` for a
+    /// greedy maximal matching `M` (every matched edge kills one vertex).
+    pub fn alpha_upper_bound(&self) -> usize {
+        let mut matched = vec![false; self.adj.len()];
+        let mut pairs = 0usize;
+        for v in self.alive_vertices() {
+            if matched[v as usize] {
+                continue;
+            }
+            if let Some(&u) = self.adj[v as usize]
+                .iter()
+                .find(|&&u| !matched[u as usize])
+            {
+                matched[v as usize] = true;
+                matched[u as usize] = true;
+                pairs += 1;
+            }
+        }
+        self.n_alive - pairs
+    }
+
+    /// The alive vertex of maximum degree, if any.
+    pub fn max_degree_vertex(&self) -> Option<u32> {
+        self.alive_vertices()
+            .max_by_key(|&v| self.adj[v as usize].len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{brute_force_alpha, is_independent};
+
+    #[test]
+    fn pendant_chain_fully_reduces() {
+        // Path P6: reductions alone solve it (alpha = 3).
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let mut k = Kernel::from_csr(&g);
+        k.reduce();
+        assert_eq!(k.n_alive(), 0, "paths reduce completely");
+        let sol = k.reconstruct(&[]);
+        assert_eq!(sol.len(), 3);
+        assert!(is_independent(&g, &sol));
+        assert_eq!(sol.len(), brute_force_alpha(&g));
+    }
+
+    #[test]
+    fn triangle_rule() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let mut k = Kernel::from_csr(&g);
+        k.reduce();
+        assert_eq!(k.n_alive(), 0);
+        assert_eq!(k.reconstruct(&[]).len(), 1);
+    }
+
+    #[test]
+    fn folding_preserves_alpha_on_c5() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let mut k = Kernel::from_csr(&g);
+        k.reduce();
+        assert_eq!(k.n_alive(), 0, "C5 reduces by folding");
+        let sol = k.reconstruct(&[]);
+        assert!(is_independent(&g, &sol));
+        assert_eq!(sol.len(), 2);
+    }
+
+    #[test]
+    fn domination_fires_on_dominated_vertex() {
+        // v=0 adjacent to u=1 where N[1] ⊆ N[0]: 0—1, 0—2, 1—2 plus 0—3.
+        // Vertex 0 dominates 1 (N[1]={0,1,2} ⊆ N[0]={0,1,2,3}) ⇒ 0 excluded.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (0, 3)]);
+        let mut k = Kernel::from_csr(&g);
+        k.reduce();
+        let sol = k.reconstruct(&[]);
+        assert!(is_independent(&g, &sol));
+        assert_eq!(sol.len(), brute_force_alpha(&g)); // == 2 ({3, 1} or {3, 2})
+    }
+
+    #[test]
+    fn upper_bound_is_valid_on_random_graphs() {
+        use dynamis_graph::DynamicGraph;
+        for seed in 0..5u64 {
+            let n = 18;
+            // light deterministic random graph
+            let mut edges = Vec::new();
+            let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    if s % 5 == 0 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let dg = DynamicGraph::from_edges(n, &edges);
+            let g = CsrGraph::from_dynamic(&dg);
+            let alpha = brute_force_alpha(&g);
+            let k = Kernel::from_csr(&g);
+            assert!(
+                k.alpha_upper_bound() >= alpha,
+                "matching bound must be an upper bound"
+            );
+        }
+    }
+
+    #[test]
+    fn score_equals_reconstruction_size() {
+        let g = CsrGraph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]);
+        let mut k = Kernel::from_csr(&g);
+        k.reduce();
+        assert_eq!(k.score(), k.reconstruct(&[]).len());
+    }
+}

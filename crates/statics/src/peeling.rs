@@ -1,0 +1,89 @@
+//! Reducing–peeling — Chang, Li & Zhang, *Computing a near-maximum
+//! independent set in linear time by reducing–peeling* (reference \[15\]).
+//!
+//! The algorithm alternates **exact** reductions (degree-0/1, degree-2,
+//! domination — all MaxIS-preserving) with an **inexact** peel: when no
+//! reduction applies, the highest-degree vertex is discarded on the
+//! heuristic that hubs rarely belong to a maximum independent set. A final
+//! pass re-inserts any peeled vertex that ended up with no chosen
+//! neighbor, so the result is always maximal.
+
+use crate::kernel::Kernel;
+use dynamis_graph::CsrGraph;
+
+/// Runs reducing–peeling, returning a maximal independent set (sorted).
+pub fn reducing_peeling(g: &CsrGraph) -> Vec<u32> {
+    let mut kernel = Kernel::from_csr(g);
+    loop {
+        kernel.reduce();
+        match kernel.max_degree_vertex() {
+            Some(v) => kernel.exclude(v), // inexact peel
+            None => break,
+        }
+    }
+    let mut solution = kernel.reconstruct(&[]);
+    // Maximality repair: peeled vertices may be insertable.
+    let mut member = vec![false; g.num_vertices()];
+    for &v in &solution {
+        member[v as usize] = true;
+    }
+    for v in 0..g.num_vertices() as u32 {
+        if !member[v as usize] && g.neighbors(v).iter().all(|&u| !member[u as usize]) {
+            member[v as usize] = true;
+            solution.push(v);
+        }
+    }
+    solution.sort_unstable();
+    solution
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{brute_force_alpha, is_independent, is_maximal};
+
+    #[test]
+    fn peeling_is_maximal_independent() {
+        let g = CsrGraph::from_edges(
+            8,
+            &[(0, 1), (1, 2), (1, 5), (2, 3), (2, 5), (3, 4), (3, 6), (4, 6), (5, 6), (6, 7)],
+        );
+        let s = reducing_peeling(&g);
+        assert!(is_independent(&g, &s));
+        let all: Vec<u32> = (0..8).collect();
+        assert!(is_maximal(&g, &s, &all));
+    }
+
+    #[test]
+    fn peeling_solves_trees_exactly() {
+        // Trees reduce fully: no peel is ever needed.
+        let g = CsrGraph::from_edges(7, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]);
+        let s = reducing_peeling(&g);
+        assert_eq!(s.len(), brute_force_alpha(&g));
+    }
+
+    #[test]
+    fn peeling_is_near_optimal_on_random_graphs() {
+        use dynamis_graph::DynamicGraph;
+        let mut st = 0xabcd_1234u64;
+        for _ in 0..6 {
+            let n = 18;
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    st ^= st << 13;
+                    st ^= st >> 7;
+                    st ^= st << 17;
+                    if st % 4 == 0 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = CsrGraph::from_dynamic(&DynamicGraph::from_edges(n, &edges));
+            let s = reducing_peeling(&g);
+            assert!(is_independent(&g, &s));
+            let opt = brute_force_alpha(&g);
+            assert!(s.len() + 2 >= opt, "peeling {} vs optimum {opt}", s.len());
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Head-to-head tour of every dynamic algorithm in the workspace on one
+//! workload — a miniature of the paper's Table II.
+//!
+//! ```sh
+//! cargo run --release --example algorithm_tour
+//! ```
+
+use dynamis::gen::{powerlaw::chung_lu, stream::StreamConfig, UpdateStream};
+use dynamis::statics::exact::{solve_exact, ExactConfig};
+use dynamis::statics::verify::compact_live;
+use dynamis::{
+    DgDis, DyArw, DyOneSwap, DyTwoSwap, DynamicMis, GenericKSwap, MaximalOnly, Restart,
+    RestartSolver,
+};
+use std::time::Instant;
+
+fn main() {
+    let n = 2_000;
+    let g = chung_lu(n, 2.5, 6.0, 21);
+    let updates = UpdateStream::new(&g, StreamConfig::default(), 4).take_updates(4_000);
+    println!(
+        "workload: n = {n}, m = {}, {} mixed updates\n",
+        g.num_edges(),
+        updates.len()
+    );
+
+    let engines: Vec<Box<dyn DynamicMis>> = vec![
+        Box::new(MaximalOnly::new(g.clone(), &[])),
+        Box::new(DgDis::one_dis(g.clone(), &[])),
+        Box::new(DgDis::two_dis(g.clone(), &[])),
+        Box::new(DyArw::new(g.clone(), &[])),
+        Box::new(DyOneSwap::new(g.clone(), &[])),
+        Box::new(DyTwoSwap::new(g.clone(), &[])),
+        Box::new(GenericKSwap::new(g.clone(), &[], 3)),
+        Box::new(Restart::new(g.clone(), RestartSolver::Greedy, 64)),
+    ];
+
+    println!(
+        "{:<22} {:>8} {:>12} {:>12} {:>10}",
+        "algorithm", "|I|", "time", "µs/update", "heap(MB)"
+    );
+    let mut final_graph = None;
+    for mut e in engines {
+        let t = Instant::now();
+        for u in &updates {
+            e.apply_update(u);
+        }
+        let dt = t.elapsed();
+        println!(
+            "{:<22} {:>8} {:>12?} {:>12.1} {:>10.1}",
+            e.name(),
+            e.size(),
+            dt,
+            dt.as_micros() as f64 / updates.len() as f64,
+            e.heap_bytes() as f64 / (1024.0 * 1024.0)
+        );
+        final_graph = Some(e.graph().clone());
+    }
+
+    // Ground truth on the final graph, if the exact solver finishes.
+    if let Some(gf) = final_graph {
+        let (csr, _) = compact_live(&gf);
+        if let Some(r) = solve_exact(
+            &csr,
+            ExactConfig {
+                node_budget: 1_000_000,
+            },
+        ) {
+            println!("\nexact α(G_final) = {} ({} B&B nodes)", r.alpha, r.nodes);
+        } else {
+            println!("\nexact solver exceeded its node budget (graph is 'hard')");
+        }
+    }
+}

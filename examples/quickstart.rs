@@ -1,0 +1,56 @@
+//! Quickstart: maintain an approximate maximum independent set while a
+//! graph changes.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dynamis::core::approximation_bound;
+use dynamis::graph::{DynamicGraph, Update};
+use dynamis::{DyTwoSwap, DynamicMis};
+
+fn main() {
+    // A tiny collaboration network: 8 researchers, co-authorship edges.
+    let g = DynamicGraph::from_edges(
+        8,
+        &[(0, 1), (1, 2), (1, 5), (2, 3), (2, 5), (3, 4), (3, 6), (4, 6), (5, 6), (6, 7)],
+    );
+
+    // The engine maintains a 2-maximal independent set: a conflict-free
+    // committee that no exchange of ≤ 2 members can enlarge.
+    let mut engine = DyTwoSwap::new(g, &[]);
+    println!(
+        "initial committee ({} members): {:?}",
+        engine.size(),
+        engine.solution()
+    );
+    println!(
+        "guarantee: optimum ≤ {:.1} × committee size",
+        approximation_bound(engine.graph().max_degree())
+    );
+
+    // The network evolves.
+    let updates = [
+        Update::InsertEdge(0, 7), // new collaboration
+        Update::RemoveEdge(2, 5), // a paper is retracted
+        Update::InsertVertex {
+            id: 8,
+            neighbors: vec![0, 4],
+        }, // new hire
+        Update::RemoveVertex(6), // someone leaves
+    ];
+    for u in &updates {
+        engine.apply_update(u);
+        println!(
+            "after {u:?}: {} members {:?}",
+            engine.size(),
+            engine.solution()
+        );
+    }
+
+    let stats = engine.stats();
+    println!(
+        "\nwork done: {} updates, {} one-swaps, {} two-swaps, {} repairs",
+        stats.updates, stats.one_swaps, stats.two_swaps, stats.repairs
+    );
+}

@@ -1,0 +1,77 @@
+//! Streaming-graph maintenance over a sliding window: interactions
+//! (edges) arrive continuously and expire after a fixed horizon, so every
+//! step past warm-up is a delete–insert pair — the steady-state churn the
+//! dynamic engines are built for.
+//!
+//! The engine's solution is sampled along the stream and compared against
+//! a fresh static greedy on snapshots, showing the maintained set staying
+//! within a few vertices of the recomputed one at a tiny fraction of the
+//! cost.
+//!
+//! ```sh
+//! cargo run --release --example sliding_window
+//! ```
+
+use dynamis::gen::temporal::{sliding_window, SlidingWindowConfig};
+use dynamis::statics::greedy_mis;
+use dynamis::statics::verify::compact_live;
+use dynamis::{DyTwoSwap, DynamicMis};
+use std::time::Instant;
+
+fn main() {
+    let n = 10_000;
+    let window = 40_000;
+    let arrivals = 120_000;
+    let wl = sliding_window(SlidingWindowConfig { n, window, arrivals }, 2026);
+    println!(
+        "stream: {} vertices, window {} edges, {} arrivals ({} operations)",
+        n,
+        window,
+        arrivals,
+        wl.updates.len()
+    );
+
+    let mut engine = DyTwoSwap::new(wl.graph.clone(), &[]);
+    let checkpoints = 6usize;
+    let chunk = wl.updates.len().div_ceil(checkpoints);
+    let mut maintained_time = std::time::Duration::ZERO;
+    let mut recompute_time = std::time::Duration::ZERO;
+    let mut processed = 0usize;
+    println!(
+        "{:>10} {:>10} {:>12} {:>14} {:>12}",
+        "ops", "live m", "dynamic |I|", "recompute |I|", "recompute t"
+    );
+    for part in wl.updates.chunks(chunk) {
+        let t = Instant::now();
+        for u in part {
+            engine.apply_update(u);
+        }
+        maintained_time += t.elapsed();
+        processed += part.len();
+
+        // Reference: static greedy from scratch on the current snapshot.
+        let (csr, _) = compact_live(engine.graph());
+        let t = Instant::now();
+        let fresh = greedy_mis(&csr);
+        let this_solve = t.elapsed();
+        recompute_time += this_solve;
+        println!(
+            "{:>10} {:>10} {:>12} {:>14} {:>12?}",
+            processed,
+            engine.graph().num_edges(),
+            engine.size(),
+            fresh.len(),
+            this_solve
+        );
+    }
+    let per_op = maintained_time.as_nanos() as f64 / wl.updates.len() as f64;
+    let per_solve = recompute_time.as_nanos() as f64 / checkpoints as f64;
+    println!(
+        "\nmaintained through {} ops in {:?} total ({:.2} µs/op); \
+         one greedy recompute ≈ {:.0} maintained updates",
+        wl.updates.len(),
+        maintained_time,
+        per_op / 1_000.0,
+        per_solve / per_op,
+    );
+}

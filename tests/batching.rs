@@ -1,0 +1,88 @@
+//! Batch-mode extension: `apply_batch` must preserve every invariant of
+//! per-update application (k-maximality, framework consistency) while
+//! skipping intermediate swap cascades.
+
+use dynamis::gen::{stream::StreamConfig, uniform::gnm, UpdateStream};
+use dynamis::statics::verify::is_k_maximal_dynamic;
+use dynamis::{DyOneSwap, DyTwoSwap, DynamicMis};
+
+#[test]
+fn batched_one_swap_is_one_maximal() {
+    for seed in 0..5u64 {
+        let g = gnm(30, 60, seed);
+        let ups = UpdateStream::new(&g, StreamConfig::default(), seed ^ 1).take_updates(300);
+        let mut e = DyOneSwap::new(g, &[]);
+        for chunk in ups.chunks(50) {
+            e.apply_batch(chunk);
+            e.check_consistency()
+                .unwrap_or_else(|err| panic!("seed {seed}: {err}"));
+            assert!(
+                is_k_maximal_dynamic(e.graph(), &e.solution(), 1),
+                "seed {seed}: batch left a 1-swap open"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_two_swap_is_two_maximal() {
+    for seed in 0..4u64 {
+        let g = gnm(22, 40, seed + 9);
+        let ups = UpdateStream::new(&g, StreamConfig::default(), seed ^ 3).take_updates(200);
+        let mut e = DyTwoSwap::new(g, &[]);
+        for chunk in ups.chunks(40) {
+            e.apply_batch(chunk);
+            e.check_consistency()
+                .unwrap_or_else(|err| panic!("seed {seed}: {err}"));
+            assert!(
+                is_k_maximal_dynamic(e.graph(), &e.solution(), 2),
+                "seed {seed}: batch left a ≤2-swap open"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_and_per_update_reach_same_graph() {
+    let g = gnm(40, 80, 17);
+    let ups = UpdateStream::new(&g, StreamConfig::default(), 18).take_updates(400);
+    let mut per = DyTwoSwap::new(g.clone(), &[]);
+    let mut bat = DyTwoSwap::new(g, &[]);
+    for u in &ups {
+        per.apply_update(u);
+    }
+    bat.apply_batch(&ups);
+    assert_eq!(per.graph().num_edges(), bat.graph().num_edges());
+    assert_eq!(per.graph().num_vertices(), bat.graph().num_vertices());
+    // Solutions may differ (both are valid 2-maximal sets), but both are
+    // bound by the same guarantee and neither may be trivially bad.
+    let floor = per.size().min(bat.size()) as f64;
+    let ceil = per.size().max(bat.size()) as f64;
+    assert!(ceil / floor < 1.25, "batch quality collapsed: {floor} vs {ceil}");
+}
+
+#[test]
+fn batch_skips_intermediate_swaps() {
+    // A burst that inserts and immediately deletes the same edge over and
+    // over: per-update mode churns swaps, batch mode sees a near-no-op.
+    let g = gnm(30, 60, 23);
+    let mut ups = Vec::new();
+    let stream_edges: Vec<(u32, u32)> = g.edges().take(10).collect();
+    for _ in 0..20 {
+        for &(u, v) in &stream_edges {
+            ups.push(dynamis::Update::RemoveEdge(u, v));
+            ups.push(dynamis::Update::InsertEdge(u, v));
+        }
+    }
+    let mut per = DyOneSwap::new(g.clone(), &[]);
+    let mut bat = DyOneSwap::new(g, &[]);
+    for u in &ups {
+        per.apply_update(u);
+    }
+    bat.apply_batch(&ups);
+    assert!(
+        bat.stats().one_swaps <= per.stats().one_swaps,
+        "batching should not create extra swap work"
+    );
+    bat.check_consistency().unwrap();
+}

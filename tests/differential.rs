@@ -1,0 +1,158 @@
+//! Differential tests: independent implementations of the same
+//! specification must agree on the invariant class they maintain, and
+//! where the specification pins the exact output (deterministic solver,
+//! fresh restart), outputs must match exactly.
+
+use dynamis::baselines::{Restart, RestartSolver};
+use dynamis::gen::{stream::StreamConfig, uniform::gnm, UpdateStream};
+use dynamis::statics::greedy_mis;
+use dynamis::statics::verify::{compact_live, is_independent_dynamic, is_k_maximal_dynamic};
+use dynamis::{DyArw, DyOneSwap, DyTwoSwap, DynamicMis, GenericKSwap};
+
+fn schedule(seed: u64, n: usize, m: usize, count: usize) -> (dynamis::DynamicGraph, Vec<dynamis::Update>) {
+    let g = gnm(n, m, seed);
+    let mut stream = UpdateStream::new(&g, StreamConfig::default(), seed.wrapping_mul(0x9e37));
+    let ups = stream.take_updates(count);
+    (g, ups)
+}
+
+/// The eager DyOneSwap and the lazy GenericKSwap(k = 1) are two
+/// implementations of Algorithm 1 with k = 1: after any schedule both are
+/// 1-maximal on the same final graph.
+#[test]
+fn eager_and_lazy_k1_agree_on_invariant() {
+    for seed in 0..8u64 {
+        let (g, ups) = schedule(seed, 22, 36, 140);
+        let mut eager = DyOneSwap::new(g.clone(), &[]);
+        let mut lazy = GenericKSwap::new(g, &[], 1);
+        for u in &ups {
+            eager.apply_update(u);
+            lazy.apply_update(u);
+        }
+        assert_eq!(
+            eager.graph().num_edges(),
+            lazy.graph().num_edges(),
+            "seed {seed}: graphs diverged"
+        );
+        for e in [&eager as &dyn DynamicMis, &lazy as &dyn DynamicMis] {
+            assert!(
+                is_k_maximal_dynamic(e.graph(), &e.solution(), 1),
+                "seed {seed}: {} not 1-maximal",
+                e.name()
+            );
+        }
+    }
+}
+
+/// Same for DyTwoSwap vs GenericKSwap(k = 2).
+#[test]
+fn eager_and_lazy_k2_agree_on_invariant() {
+    for seed in 0..6u64 {
+        let (g, ups) = schedule(seed, 18, 30, 90);
+        let mut eager = DyTwoSwap::new(g.clone(), &[]);
+        let mut lazy = GenericKSwap::new(g, &[], 2);
+        for u in &ups {
+            eager.apply_update(u);
+            lazy.apply_update(u);
+        }
+        for e in [&eager as &dyn DynamicMis, &lazy as &dyn DynamicMis] {
+            assert!(
+                is_k_maximal_dynamic(e.graph(), &e.solution(), 2),
+                "seed {seed}: {} not 2-maximal",
+                e.name()
+            );
+        }
+    }
+}
+
+/// DyARW maintains the same invariant class as DyOneSwap (both
+/// 1-maximal); their sizes may differ by tie-breaking but never by more
+/// than what 1-maximality allows on these tiny graphs.
+#[test]
+fn dyarw_matches_one_swap_class() {
+    for seed in 0..8u64 {
+        let (g, ups) = schedule(seed, 20, 34, 120);
+        let mut a = DyOneSwap::new(g.clone(), &[]);
+        let mut b = DyArw::new(g, &[]);
+        for u in &ups {
+            a.apply_update(u);
+            b.apply_update(u);
+        }
+        assert!(is_k_maximal_dynamic(a.graph(), &a.solution(), 1));
+        assert!(is_k_maximal_dynamic(b.graph(), &b.solution(), 1));
+        assert!(is_independent_dynamic(b.graph(), &b.solution()));
+    }
+}
+
+/// Restart(Greedy, interval = 1) right after an update must equal the
+/// static greedy on the final graph exactly — the baseline *is* the
+/// static solver, modulo the live-vertex compaction.
+#[test]
+fn restart_interval_one_equals_static_greedy() {
+    for seed in 0..6u64 {
+        let (g, ups) = schedule(seed, 24, 40, 60);
+        let mut r = Restart::new(g, RestartSolver::Greedy, 1);
+        for u in &ups {
+            r.apply_update(u);
+        }
+        let (csr, map) = compact_live(r.graph());
+        let want = greedy_mis(&csr);
+        let got: Vec<u32> = r
+            .solution()
+            .iter()
+            .map(|&v| map[v as usize])
+            .collect();
+        let mut got_sorted = got.clone();
+        got_sorted.sort_unstable();
+        let mut want_sorted = want.clone();
+        want_sorted.sort_unstable();
+        assert_eq!(got_sorted, want_sorted, "seed {seed}");
+    }
+}
+
+/// Quality ordering that must hold on every instance: any 2-maximal set
+/// is also 1-maximal, so DyTwoSwap's guarantee subsumes DyOneSwap's;
+/// and every engine dominates the largest independent set that a single
+/// vertex could represent.
+#[test]
+fn two_maximal_solutions_are_also_one_maximal() {
+    for seed in 0..6u64 {
+        let (g, ups) = schedule(seed, 18, 28, 80);
+        let mut e = DyTwoSwap::new(g, &[]);
+        for u in &ups {
+            e.apply_update(u);
+        }
+        assert!(is_k_maximal_dynamic(e.graph(), &e.solution(), 1));
+        assert!(is_k_maximal_dynamic(e.graph(), &e.solution(), 2));
+    }
+}
+
+/// All five maintainers applied to one identical schedule end with
+/// consistent internal state and valid solutions — the cross-engine
+/// smoke check the harness relies on.
+#[test]
+fn all_engines_survive_identical_schedule() {
+    let (g, ups) = schedule(99, 30, 55, 250);
+    let mut engines: Vec<Box<dyn DynamicMis>> = vec![
+        Box::new(DyOneSwap::new(g.clone(), &[])),
+        Box::new(DyTwoSwap::new(g.clone(), &[])),
+        Box::new(GenericKSwap::new(g.clone(), &[], 3)),
+        Box::new(DyArw::new(g.clone(), &[])),
+        Box::new(Restart::new(g, RestartSolver::Greedy, 16)),
+    ];
+    for u in &ups {
+        for e in engines.iter_mut() {
+            e.apply_update(u);
+        }
+    }
+    let edges = engines[0].graph().num_edges();
+    for e in &engines {
+        assert_eq!(e.graph().num_edges(), edges, "{} graph diverged", e.name());
+        assert!(
+            is_independent_dynamic(e.graph(), &e.solution()),
+            "{} solution not independent",
+            e.name()
+        );
+        assert!(e.size() > 0, "{} lost its whole solution", e.name());
+    }
+}

