@@ -189,7 +189,9 @@ impl DgDis {
                 1 => {
                     // Replace c's blocker with {c, rc} if the index holds a
                     // compatible sibling rc.
-                    let Some(blk) = self.parent_of(c) else { continue };
+                    let Some(blk) = self.parent_of(c) else {
+                        continue;
+                    };
                     let sibs: Vec<u32> = self.deps[blk as usize].clone();
                     for rc in sibs {
                         self.search_steps += 1;
@@ -289,11 +291,8 @@ impl DynamicMis for DgDis {
                         let winner = if loser == *a { *b } else { *a };
                         self.status[loser as usize] = false;
                         self.size -= 1;
-                        let nbrs: Vec<u32> = self
-                            .g
-                            .neighbors(loser)
-                            .filter(|&w| w != winner)
-                            .collect();
+                        let nbrs: Vec<u32> =
+                            self.g.neighbors(loser).filter(|&w| w != winner).collect();
                         for u in nbrs {
                             self.count[u as usize] -= 1;
                             if self.count[u as usize] == 0 && !self.status[u as usize] {

@@ -133,10 +133,8 @@ impl DyArw {
         for u in nbrs {
             self.count[u as usize] -= 1;
             match self.count[u as usize] {
-                0 => {
-                    if !self.status[u as usize] {
-                        self.repair.push(u);
-                    }
+                0 if !self.status[u as usize] => {
+                    self.repair.push(u);
                 }
                 1 => {
                     // u became 1-tight under its remaining parent.
@@ -247,18 +245,13 @@ impl DynamicMis for DyArw {
                         let winner = if loser == *a { *b } else { *a };
                         self.status[loser as usize] = false;
                         self.size -= 1;
-                        let nbrs: Vec<u32> = self
-                            .g
-                            .neighbors(loser)
-                            .filter(|&w| w != winner)
-                            .collect();
+                        let nbrs: Vec<u32> =
+                            self.g.neighbors(loser).filter(|&w| w != winner).collect();
                         for u in nbrs {
                             self.count[u as usize] -= 1;
                             match self.count[u as usize] {
-                                0 => {
-                                    if !self.status[u as usize] {
-                                        self.repair.push(u);
-                                    }
+                                0 if !self.status[u as usize] => {
+                                    self.repair.push(u);
                                 }
                                 1 => {
                                     if let Some(p) = self.parent_of(u) {
@@ -366,10 +359,8 @@ impl DynamicMis for DyArw {
                     for u in former {
                         self.count[u as usize] -= 1;
                         match self.count[u as usize] {
-                            0 => {
-                                if !self.status[u as usize] {
-                                    self.repair.push(u);
-                                }
+                            0 if !self.status[u as usize] => {
+                                self.repair.push(u);
                             }
                             1 => {
                                 if let Some(p) = self.parent_of(u) {
@@ -428,7 +419,16 @@ mod tests {
         use dynamis_static::verify::is_k_maximal_dynamic;
         let g = DynamicGraph::from_edges(
             8,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 0),
+            ],
         );
         let mut b = DyArw::new(g, &[]);
         let schedule = [

@@ -110,11 +110,8 @@ impl DynamicMis for MaximalOnly {
                         let winner = if loser == *a { *b } else { *a };
                         self.status[loser as usize] = false;
                         self.size -= 1;
-                        let nbrs: Vec<u32> = self
-                            .g
-                            .neighbors(loser)
-                            .filter(|&w| w != winner)
-                            .collect();
+                        let nbrs: Vec<u32> =
+                            self.g.neighbors(loser).filter(|&w| w != winner).collect();
                         for u in nbrs {
                             self.count[u as usize] -= 1;
                             if self.count[u as usize] == 0 && !self.status[u as usize] {

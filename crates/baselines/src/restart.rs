@@ -103,9 +103,7 @@ impl Restart {
     /// only guaranteed right after a solve).
     pub fn check_valid(&self) -> Result<(), String> {
         for v in self.g.vertices() {
-            if self.status[v as usize]
-                && self.g.neighbors(v).any(|u| self.status[u as usize])
-            {
+            if self.status[v as usize] && self.g.neighbors(v).any(|u| self.status[u as usize]) {
                 return Err(format!("solution not independent at {v}"));
             }
         }

@@ -14,19 +14,23 @@ fn perturbation_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("perturbation");
     group.sample_size(10);
     for (label, perturbation) in [("off", false), ("on", true)] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &perturbation, |b, &p| {
-            b.iter(|| {
-                let cfg = EngineConfig {
-                    perturbation: p,
-                    ..EngineConfig::default()
-                };
-                let mut e = DyOneSwap::with_config(g.clone(), &[], cfg);
-                for u in &ups {
-                    e.apply_update(u);
-                }
-                e.size()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &perturbation,
+            |b, &p| {
+                b.iter(|| {
+                    let cfg = EngineConfig {
+                        perturbation: p,
+                        ..EngineConfig::default()
+                    };
+                    let mut e = DyOneSwap::with_config(g.clone(), &[], cfg);
+                    for u in &ups {
+                        e.apply_update(u);
+                    }
+                    e.size()
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -105,5 +109,10 @@ fn workload_shapes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, perturbation_cost, restart_vs_dynamic, workload_shapes);
+criterion_group!(
+    benches,
+    perturbation_cost,
+    restart_vs_dynamic,
+    workload_shapes
+);
 criterion_main!(benches);

@@ -63,13 +63,9 @@ fn certification(c: &mut Criterion) {
         b.iter(|| certify_one_maximal(&g, &solution).is_ok());
     });
     for threads in [2usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("parallel", threads),
-            &threads,
-            |b, &t| {
-                b.iter(|| certify_one_maximal_par(&g, &solution, t).is_ok());
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| certify_one_maximal_par(&g, &solution, t).is_ok());
+        });
     }
     group.finish();
 }

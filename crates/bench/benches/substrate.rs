@@ -10,7 +10,10 @@ fn edge_updates(c: &mut Criterion) {
     let base = gnm(20_000, 100_000, 3);
     let extra: Vec<(u32, u32)> = {
         let g2 = gnm(20_000, 120_000, 4);
-        g2.edges().filter(|&(u, v)| !base.has_edge(u, v)).take(10_000).collect()
+        g2.edges()
+            .filter(|&(u, v)| !base.has_edge(u, v))
+            .take(10_000)
+            .collect()
     };
     c.bench_function("graph/insert_delete_10k_edges", |b| {
         b.iter(|| {

@@ -1,11 +1,16 @@
 //! Byte-accurate heap tracking, replacing the paper's `/usr/bin/time`
-//! methodology with an in-process global allocator wrapper.
+//! methodology with an in-process global allocator wrapper. Besides live
+//! and peak bytes, the wrapper counts allocator *calls* (alloc + growing
+//! realloc), which the `hotpath` bench divides by update count to report
+//! allocations/update — the steady-state number for a well-buffered
+//! engine should be near zero.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 static CURRENT: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
 /// Global allocator that tracks live and peak heap bytes. Register in a
 /// binary with:
@@ -20,6 +25,7 @@ unsafe impl GlobalAlloc for TrackingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
             let cur = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
             PEAK.fetch_max(cur, Ordering::Relaxed);
         }
@@ -34,10 +40,12 @@ unsafe impl GlobalAlloc for TrackingAlloc {
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let p = unsafe { System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
+            if new_size > layout.size() {
+                ALLOCS.fetch_add(1, Ordering::Relaxed);
+            }
             if new_size >= layout.size() {
-                let cur =
-                    CURRENT.fetch_add(new_size - layout.size(), Ordering::Relaxed) + new_size
-                        - layout.size();
+                let cur = CURRENT.fetch_add(new_size - layout.size(), Ordering::Relaxed) + new_size
+                    - layout.size();
                 PEAK.fetch_max(cur, Ordering::Relaxed);
             } else {
                 CURRENT.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
@@ -62,6 +70,11 @@ pub fn reset_peak() {
     PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
 }
 
+/// Allocator calls (alloc + growing realloc) since process start.
+pub fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,11 +85,13 @@ mod tests {
     fn counters_follow_alloc_dealloc_realloc() {
         reset_peak();
         let base = current_bytes();
+        let calls = alloc_count();
         let a = TrackingAlloc;
         let layout = Layout::from_size_align(1024, 8).unwrap();
         unsafe {
             let p = a.alloc(layout);
             assert!(!p.is_null());
+            assert!(alloc_count() > calls, "alloc call counted");
             assert_eq!(current_bytes(), base + 1024);
             assert!(peak_bytes() >= base + 1024);
 

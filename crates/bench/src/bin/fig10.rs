@@ -18,8 +18,7 @@ fn main() {
     let mut t = Table::new(vec!["β", "m", "algo", "time", "gap", "acc"]);
     for beta in betas {
         let g = chung_lu(n, beta, 8.0, 0xF10);
-        let ups = UpdateStream::new(&g, StreamConfig::default(), 0xF10 ^ 7)
-            .take_updates(updates);
+        let ups = UpdateStream::new(&g, StreamConfig::default(), 0xF10 ^ 7).take_updates(updates);
         let csr = CsrGraph::from_dynamic(&g);
         let init = initial_solution_timed(&csr, 3_000_000, Duration::from_secs(15));
         let reference = init.reference();
@@ -30,9 +29,21 @@ fn main() {
                 format!("{beta}"),
                 g.num_edges().to_string(),
                 kind.label(),
-                if out.dnf { "-".into() } else { fmt_duration(out.elapsed) },
-                if out.dnf { "-".into() } else { fmt_gap(out.size, reference) },
-                if out.dnf { "-".into() } else { fmt_acc(out.size, reference) },
+                if out.dnf {
+                    "-".into()
+                } else {
+                    fmt_duration(out.elapsed)
+                },
+                if out.dnf {
+                    "-".into()
+                } else {
+                    fmt_gap(out.size, reference)
+                },
+                if out.dnf {
+                    "-".into()
+                } else {
+                    fmt_acc(out.size, reference)
+                },
             ]);
         }
     }

@@ -50,7 +50,11 @@ fn main() {
                 cells.push("-".into());
             } else {
                 cells.push(fmt_duration(out.elapsed));
-                cells.push(format!("{} ({})", fmt_mb(out.heap_bytes), fmt_mb(peak_bytes())));
+                cells.push(format!(
+                    "{} ({})",
+                    fmt_mb(out.heap_bytes),
+                    fmt_mb(peak_bytes())
+                ));
             }
         }
         t.row(cells);

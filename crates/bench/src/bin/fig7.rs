@@ -20,7 +20,13 @@ fn main() {
     let g = spec.build();
     let ups = UpdateStream::new(&g, StreamConfig::default(), 0xF16)
         .take_updates(spec.scaled_updates(1_000_000).max(20_000));
-    eprintln!("[fig7] workload: {} n={} m={} updates={}", spec.name, g.num_vertices(), g.num_edges(), ups.len());
+    eprintln!(
+        "[fig7] workload: {} n={} m={} updates={}",
+        spec.name,
+        g.num_vertices(),
+        g.num_edges(),
+        ups.len()
+    );
 
     // (a) + (b): eager vs lazy, k = 1 and k = 2.
     let mut ab = Table::new(vec!["variant", "time", "engine mem", "alloc peak", "|I|"]);
@@ -34,13 +40,20 @@ fn main() {
         let out = run(kind, &g, &[], &ups, limit);
         ab.row(vec![
             label.to_string(),
-            if out.dnf { "-".into() } else { fmt_duration(out.elapsed) },
+            if out.dnf {
+                "-".into()
+            } else {
+                fmt_duration(out.elapsed)
+            },
             fmt_mb(out.heap_bytes),
             fmt_mb(peak_bytes()),
             out.size.to_string(),
         ]);
     }
-    println!("\n# Fig. 7(a/b) — lazy collection: time & memory ({})\n", spec.name);
+    println!(
+        "\n# Fig. 7(a/b) — lazy collection: time & memory ({})\n",
+        spec.name
+    );
     ab.print();
 
     // (c): perturbation overhead.
@@ -54,7 +67,11 @@ fn main() {
         let out = run(kind, &g, &[], &ups, limit);
         c.row(vec![
             label.to_string(),
-            if out.dnf { "-".into() } else { fmt_duration(out.elapsed) },
+            if out.dnf {
+                "-".into()
+            } else {
+                fmt_duration(out.elapsed)
+            },
             out.size.to_string(),
         ]);
     }
@@ -72,13 +89,22 @@ fn main() {
         };
         d.row(vec![
             k.to_string(),
-            if lazy.dnf { "-".into() } else { fmt_duration(lazy.elapsed) },
+            if lazy.dnf {
+                "-".into()
+            } else {
+                fmt_duration(lazy.elapsed)
+            },
             eager
                 .as_ref()
                 .map(|e| fmt_duration(e.elapsed))
                 .unwrap_or_else(|| "n/a".into()),
             eager
-                .map(|e| format!("{:.2}x", lazy.elapsed.as_secs_f64() / e.elapsed.as_secs_f64()))
+                .map(|e| {
+                    format!(
+                        "{:.2}x",
+                        lazy.elapsed.as_secs_f64() / e.elapsed.as_secs_f64()
+                    )
+                })
                 .unwrap_or_else(|| "n/a".into()),
         ]);
     }

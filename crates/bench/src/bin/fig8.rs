@@ -13,10 +13,13 @@ fn main() {
         // Generate the largest schedule once; prefixes give the sweep.
         let (g, ups, init) = dataset_workload(spec, 1_000_000);
         let reference = init.reference();
-        eprintln!("[fig8] {name}: n={} m={} max updates={}", g.num_vertices(), g.num_edges(), ups.len());
-        let mut t = Table::new(vec![
-            "#updates", "algo", "time", "gap", "acc",
-        ]);
+        eprintln!(
+            "[fig8] {name}: n={} m={} max updates={}",
+            g.num_vertices(),
+            g.num_edges(),
+            ups.len()
+        );
+        let mut t = Table::new(vec!["#updates", "algo", "time", "gap", "acc"]);
         let steps = 5usize;
         for i in 1..=steps {
             let cut = ups.len() * i / steps;
@@ -25,9 +28,21 @@ fn main() {
                 t.row(vec![
                     cut.to_string(),
                     kind.label(),
-                    if out.dnf { "-".into() } else { fmt_duration(out.elapsed) },
-                    if out.dnf { "-".into() } else { fmt_gap(out.size, reference) },
-                    if out.dnf { "-".into() } else { fmt_acc(out.size, reference) },
+                    if out.dnf {
+                        "-".into()
+                    } else {
+                        fmt_duration(out.elapsed)
+                    },
+                    if out.dnf {
+                        "-".into()
+                    } else {
+                        fmt_gap(out.size, reference)
+                    },
+                    if out.dnf {
+                        "-".into()
+                    } else {
+                        fmt_acc(out.size, reference)
+                    },
                 ]);
             }
         }

@@ -27,9 +27,21 @@ fn main() {
         t.row(vec![
             k.to_string(),
             kind.label(),
-            if out.dnf { "-".into() } else { fmt_duration(out.elapsed) },
-            if out.dnf { "-".into() } else { fmt_gap(out.size, reference) },
-            if out.dnf { "-".into() } else { fmt_acc(out.size, reference) },
+            if out.dnf {
+                "-".into()
+            } else {
+                fmt_duration(out.elapsed)
+            },
+            if out.dnf {
+                "-".into()
+            } else {
+                fmt_gap(out.size, reference)
+            },
+            if out.dnf {
+                "-".into()
+            } else {
+                fmt_acc(out.size, reference)
+            },
         ]);
     }
     println!(

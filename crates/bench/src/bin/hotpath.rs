@@ -1,0 +1,283 @@
+//! Hot-path throughput bench: intrusive half-edge handles vs. the
+//! hash-indexed baseline layout.
+//!
+//! Runs the paper's default power-law dynamic workload (Chung–Lu base
+//! graph + mixed insert/delete update stream) through the production
+//! engines (`DyOneSwap` / `DyTwoSwap`, intrusive layout) and through the
+//! preserved hash-indexed replicas
+//! ([`dynamis_bench::hash_baseline`]), reporting per engine:
+//!
+//! * updates/sec over the timed update loop,
+//! * allocator calls per update (via the tracking global allocator),
+//! * bookkeeping hash probes per update — **0 by construction** for the
+//!   intrusive layout, one-or-more per count transition for the baseline,
+//! * entry-point pair-index probes per update (intrusive engines only;
+//!   the baseline buries them inside `insert_edge`/`remove_edge`),
+//! * final solution size and approximate heap bytes.
+//!
+//! Writes `BENCH_PR1.json` (override with `DYNAMIS_BENCH_OUT`); honors
+//! `DYNAMIS_FAST=1` for a quick run.
+
+use dynamis_bench::alloc_track::{self, TrackingAlloc};
+use dynamis_bench::hash_baseline::{HashIndexedOneSwap, HashIndexedTwoSwap};
+use dynamis_core::{DyOneSwap, DyTwoSwap, DynamicMis};
+use dynamis_gen::powerlaw::chung_lu;
+use dynamis_gen::{StreamConfig, UpdateStream};
+use dynamis_graph::Update;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+struct EngineReport {
+    name: &'static str,
+    layout: &'static str,
+    updates_per_sec: f64,
+    allocs_per_update: f64,
+    hot_hash_probes: u64,
+    hot_probes_per_update: f64,
+    entry_probes_per_update: f64,
+    solution_size: usize,
+    heap_bytes: usize,
+    build_secs: f64,
+    run_secs: f64,
+}
+
+fn run_engine<E, B>(
+    name: &'static str,
+    layout: &'static str,
+    build: B,
+    ups: &[Update],
+) -> EngineReport
+where
+    E: DynamicMis,
+    B: FnOnce() -> E,
+    E: HotProbes,
+{
+    let t0 = Instant::now();
+    let mut e = build();
+    let build_secs = t0.elapsed().as_secs_f64();
+
+    let probes_before = e.hot_probes();
+    let allocs_before = alloc_track::alloc_count();
+    let t1 = Instant::now();
+    for u in ups {
+        e.apply_update(u);
+    }
+    let run_secs = t1.elapsed().as_secs_f64();
+    let allocs = alloc_track::alloc_count() - allocs_before;
+    let hot = e.hot_probes() - probes_before;
+    let n_ups = ups.len() as f64;
+
+    EngineReport {
+        name,
+        layout,
+        updates_per_sec: n_ups / run_secs,
+        allocs_per_update: allocs as f64 / n_ups,
+        hot_hash_probes: hot,
+        hot_probes_per_update: hot as f64 / n_ups,
+        entry_probes_per_update: e.entry_probes().map_or(f64::NAN, |p| p as f64 / n_ups),
+        solution_size: e.size(),
+        heap_bytes: e.heap_bytes(),
+        build_secs,
+        run_secs,
+    }
+}
+
+/// Uniform access to the probe counters across the two layouts.
+trait HotProbes: DynamicMis {
+    fn hot_probes(&self) -> u64;
+    fn entry_probes(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl HotProbes for DyOneSwap {
+    fn hot_probes(&self) -> u64 {
+        self.stats().hot_hash_probes
+    }
+    fn entry_probes(&self) -> Option<u64> {
+        Some(self.stats().entry_hash_probes)
+    }
+}
+
+impl HotProbes for DyTwoSwap {
+    fn hot_probes(&self) -> u64 {
+        self.stats().hot_hash_probes
+    }
+    fn entry_probes(&self) -> Option<u64> {
+        Some(self.stats().entry_hash_probes)
+    }
+}
+
+impl HotProbes for HashIndexedOneSwap {
+    fn hot_probes(&self) -> u64 {
+        self.hot_hash_probes()
+    }
+}
+
+impl HotProbes for HashIndexedTwoSwap {
+    fn hot_probes(&self) -> u64 {
+        self.hot_hash_probes()
+    }
+}
+
+fn main() {
+    let fast = dynamis_bench::fast_mode();
+    let (n, updates) = if fast {
+        (10_000, 20_000)
+    } else {
+        (100_000, 200_000)
+    };
+    let (beta, avg_degree, seed) = (2.4, 8.0, 77);
+
+    eprintln!("hotpath: building Chung-Lu base graph (n = {n}, beta = {beta}, d = {avg_degree})");
+    let base = chung_lu(n, beta, avg_degree, seed);
+    let ups =
+        UpdateStream::new(&base, StreamConfig::default(), seed ^ 0xfeed).take_updates(updates);
+    eprintln!(
+        "hotpath: m = {}, {} updates; running 4 engines",
+        base.num_edges(),
+        ups.len()
+    );
+
+    let reports = vec![
+        run_engine::<DyOneSwap, _>(
+            "DyOneSwap",
+            "intrusive",
+            || DyOneSwap::new(base.clone(), &[]),
+            &ups,
+        ),
+        run_engine::<HashIndexedOneSwap, _>(
+            "HashOneSwap",
+            "hash-indexed",
+            || HashIndexedOneSwap::new(base.clone(), &[]),
+            &ups,
+        ),
+        run_engine::<DyTwoSwap, _>(
+            "DyTwoSwap",
+            "intrusive",
+            || DyTwoSwap::new(base.clone(), &[]),
+            &ups,
+        ),
+        run_engine::<HashIndexedTwoSwap, _>(
+            "HashTwoSwap",
+            "hash-indexed",
+            || HashIndexedTwoSwap::new(base.clone(), &[]),
+            &ups,
+        ),
+    ];
+
+    // Human-readable table.
+    let mut table = dynamis_bench::Table::new(vec![
+        "engine",
+        "layout",
+        "updates/s",
+        "allocs/upd",
+        "hot probes/upd",
+        "entry probes/upd",
+        "|I|",
+        "heap MiB",
+    ]);
+    for r in &reports {
+        table.row(vec![
+            r.name.to_string(),
+            r.layout.to_string(),
+            format!("{:.0}", r.updates_per_sec),
+            format!("{:.3}", r.allocs_per_update),
+            format!("{:.2}", r.hot_probes_per_update),
+            if r.entry_probes_per_update.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{:.2}", r.entry_probes_per_update)
+            },
+            r.solution_size.to_string(),
+            format!("{:.1}", r.heap_bytes as f64 / (1024.0 * 1024.0)),
+        ]);
+    }
+    table.print();
+
+    // Hard claims of the PR, asserted at bench time.
+    for r in &reports {
+        if r.layout == "intrusive" {
+            assert_eq!(
+                r.hot_hash_probes, 0,
+                "{}: intrusive layout must not hash on the inner loop",
+                r.name
+            );
+        } else {
+            assert!(
+                r.hot_hash_probes > 0,
+                "{}: baseline replica must actually hash",
+                r.name
+            );
+        }
+    }
+
+    // JSON report.
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"hotpath\",").unwrap();
+    writeln!(
+        json,
+        "  \"workload\": {{\"model\": \"chung_lu\", \"n\": {n}, \"beta\": {beta}, \
+         \"avg_degree\": {avg_degree}, \"updates\": {}, \"seed\": {seed}, \"fast\": {fast}}},",
+        ups.len()
+    )
+    .unwrap();
+    writeln!(json, "  \"engines\": [").unwrap();
+    for (i, r) in reports.iter().enumerate() {
+        writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"layout\": \"{}\", \"updates_per_sec\": {:.1}, \
+             \"allocs_per_update\": {:.4}, \"hot_hash_probes\": {}, \
+             \"hot_probes_per_update\": {:.4}, \"entry_probes_per_update\": {}, \
+             \"solution_size\": {}, \"heap_bytes\": {}, \"build_secs\": {:.3}, \
+             \"run_secs\": {:.3}}}{}",
+            r.name,
+            r.layout,
+            r.updates_per_sec,
+            r.allocs_per_update,
+            r.hot_hash_probes,
+            r.hot_probes_per_update,
+            if r.entry_probes_per_update.is_nan() {
+                "null".to_string()
+            } else {
+                format!("{:.4}", r.entry_probes_per_update)
+            },
+            r.solution_size,
+            r.heap_bytes,
+            r.build_secs,
+            r.run_secs,
+            if i + 1 < reports.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    let out = std::env::var("DYNAMIS_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR1.json".to_string());
+    std::fs::write(&out, &json).expect("write bench report");
+    eprintln!("hotpath: wrote {out}");
+
+    // Headline comparison for the log.
+    let speedup = |a: &str, b: &str| {
+        let fa = reports
+            .iter()
+            .find(|r| r.name == a)
+            .unwrap()
+            .updates_per_sec;
+        let fb = reports
+            .iter()
+            .find(|r| r.name == b)
+            .unwrap()
+            .updates_per_sec;
+        fa / fb
+    };
+    eprintln!(
+        "hotpath: intrusive vs hash-indexed — k=1: {:.2}x, k=2: {:.2}x",
+        speedup("DyOneSwap", "HashOneSwap"),
+        speedup("DyTwoSwap", "HashTwoSwap"),
+    );
+}

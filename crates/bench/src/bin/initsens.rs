@@ -77,8 +77,8 @@ fn main() {
             }
             sizes.push(e.size());
         }
-        let spread = sizes.iter().max().expect("non-empty")
-            - sizes.iter().min().expect("non-empty");
+        let spread =
+            sizes.iter().max().expect("non-empty") - sizes.iter().min().expect("non-empty");
         let mut cells = vec![kind.label()];
         cells.extend(sizes.iter().map(|s| format!("{s}")));
         cells.push(format!("{spread}"));

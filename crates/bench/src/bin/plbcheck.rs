@@ -12,7 +12,13 @@ use dynamis_graph::CsrGraph;
 
 fn main() {
     let mut t = Table::new(vec![
-        "Graph", "β̂", "c1", "c2", "Thm4 bound", "Lemma2 E[|I2|]", "measured α/|I| ≤",
+        "Graph",
+        "β̂",
+        "c1",
+        "c2",
+        "Thm4 bound",
+        "Lemma2 E[|I2|]",
+        "measured α/|I| ≤",
     ]);
     for spec in &DATASETS {
         let g = spec.build();

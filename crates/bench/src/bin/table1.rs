@@ -6,7 +6,14 @@ use dynamis_gen::DATASETS;
 
 fn main() {
     let mut t = Table::new(vec![
-        "Graph", "paper n", "paper m", "paper d̄", "scaled n", "scaled m", "scaled d̄", "class",
+        "Graph",
+        "paper n",
+        "paper m",
+        "paper d̄",
+        "scaled n",
+        "scaled m",
+        "scaled d̄",
+        "class",
     ]);
     for spec in &DATASETS {
         let g = spec.build();

@@ -10,8 +10,20 @@ use dynamis_gen::datasets;
 fn main() {
     let limit = time_limit();
     let mut t = Table::new(vec![
-        "Graph", "ref(α)", "DGOne gap", "acc", "DGTwo gap", "acc", "DyARW gap", "acc",
-        "DyOne gap", "acc", "gap*", "DyTwo gap", "acc", "gap*",
+        "Graph",
+        "ref(α)",
+        "DGOne gap",
+        "acc",
+        "DGTwo gap",
+        "acc",
+        "DyARW gap",
+        "acc",
+        "DyOne gap",
+        "acc",
+        "gap*",
+        "DyTwo gap",
+        "acc",
+        "gap*",
     ]);
     let specs: Vec<_> = datasets::easy().collect();
     let specs = if fast_mode() { &specs[..4] } else { &specs[..] };

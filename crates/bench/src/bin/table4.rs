@@ -14,8 +14,15 @@ use dynamis_static::arw::{arw_local_search, ArwConfig};
 fn main() {
     let limit = time_limit();
     let mut t = Table::new(vec![
-        "Graph", "Best(ARW)", "DGOneDIS", "DGTwoDIS", "DyARW", "DyOneSwap", "(gap*)",
-        "DyTwoSwap", "(gap*)",
+        "Graph",
+        "Best(ARW)",
+        "DGOneDIS",
+        "DGTwoDIS",
+        "DyARW",
+        "DyOneSwap",
+        "(gap*)",
+        "DyTwoSwap",
+        "(gap*)",
     ]);
     let specs: Vec<_> = datasets::hard().collect();
     let specs = if fast_mode() { &specs[..3] } else { &specs[..] };

@@ -11,7 +11,15 @@ use dynamis_static::verify::is_k_maximal;
 
 fn main() {
     let mut t = Table::new(vec![
-        "family", "n", "m", "Δ", "|I| (k-max)", "α", "ratio α/|I|", "Δ/2", "k-maximal up to",
+        "family",
+        "n",
+        "m",
+        "Δ",
+        "|I| (k-max)",
+        "α",
+        "ratio α/|I|",
+        "Δ/2",
+        "k-maximal up to",
     ]);
     for n in [4usize, 5, 6, 7] {
         let g = k_prime(n);

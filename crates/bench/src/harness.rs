@@ -71,13 +71,9 @@ impl AlgoKind {
             AlgoKind::DgTwoDis => Box::new(DgDis::two_dis(g, initial)),
             AlgoKind::DyArw => Box::new(DyArw::new(g, initial)),
             AlgoKind::DyOneSwap => Box::new(DyOneSwap::new(g, initial)),
-            AlgoKind::DyOneSwapPerturb => {
-                Box::new(DyOneSwap::with_config(g, initial, perturb))
-            }
+            AlgoKind::DyOneSwapPerturb => Box::new(DyOneSwap::with_config(g, initial, perturb)),
             AlgoKind::DyTwoSwap => Box::new(DyTwoSwap::new(g, initial)),
-            AlgoKind::DyTwoSwapPerturb => {
-                Box::new(DyTwoSwap::with_config(g, initial, perturb))
-            }
+            AlgoKind::DyTwoSwapPerturb => Box::new(DyTwoSwap::with_config(g, initial, perturb)),
             AlgoKind::Generic(k) => Box::new(GenericKSwap::new(g, initial, *k)),
         }
     }
@@ -278,13 +274,7 @@ mod tests {
     fn run_executes_full_schedule_within_limit() {
         let g = gnm(50, 100, 1);
         let ups = UpdateStream::new(&g, StreamConfig::default(), 2).take_updates(200);
-        let out = run(
-            AlgoKind::DyOneSwap,
-            &g,
-            &[],
-            &ups,
-            Duration::from_secs(30),
-        );
+        let out = run(AlgoKind::DyOneSwap, &g, &[], &ups, Duration::from_secs(30));
         assert!(!out.dnf);
         assert_eq!(out.processed, 200);
         assert!(out.size > 0);

@@ -18,6 +18,11 @@
 //! | `worstcase` | Theorem 3 families |
 //! | `plbcheck`  | Theorem 4 / Lemma 2 constants on every dataset |
 //!
+//! Beyond the paper, `hotpath` measures the update-loop substrate itself:
+//! intrusive half-edge handles vs. the preserved [`hash_baseline`]
+//! layout, reporting updates/sec, allocations/update, and hash
+//! probes/update into `BENCH_PR1.json`.
+//!
 //! Environment knobs: `DYNAMIS_FAST=1` restricts each experiment to a
 //! representative subset of datasets; `DYNAMIS_TIME_LIMIT_SECS` overrides
 //! the per-run DNF limit (default 120 s — the scaled stand-in for the
@@ -25,6 +30,7 @@
 
 pub mod alloc_track;
 pub mod harness;
+pub mod hash_baseline;
 pub mod report;
 
 pub use harness::{initial_solution, run, AlgoKind, InitialSolution, RunOutcome};
@@ -32,7 +38,7 @@ pub use report::Table;
 
 /// Whether the fast-subset mode is enabled.
 pub fn fast_mode() -> bool {
-    std::env::var("DYNAMIS_FAST").map_or(false, |v| v != "0" && !v.is_empty())
+    std::env::var("DYNAMIS_FAST").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
 /// Per-run wall-clock limit standing in for the paper's five-hour cutoff.

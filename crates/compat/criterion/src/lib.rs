@@ -1,0 +1,276 @@
+//! Offline stand-in for `criterion` (the subset this workspace uses).
+//!
+//! Wall-clock benchmarking with median-of-samples reporting. Bench
+//! binaries built against this shim honor the libtest-style `--test`
+//! flag (run every benchmark exactly once, for `cargo test --benches`)
+//! and treat any other CLI argument as a substring filter on benchmark
+//! ids, so `cargo bench some/name` works as expected. No plots, no
+//! statistics beyond min/median/max. See `crates/compat/README.md`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How a run was invoked (parsed from CLI args by [`Criterion::default`]).
+#[derive(Debug, Clone)]
+struct RunMode {
+    /// Run each benchmark body exactly once (``--test``).
+    test_once: bool,
+    /// Substring filter over benchmark ids.
+    filter: Option<String>,
+}
+
+impl RunMode {
+    fn from_args() -> Self {
+        let mut test_once = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" | "--bench" => test_once |= arg == "--test",
+                a if a.starts_with("--") => {} // ignore harness flags
+                a => filter = Some(a.to_string()),
+            }
+        }
+        RunMode { test_once, filter }
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+    test_once: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_once {
+            black_box(routine());
+            return;
+        }
+        // One warm-up, then timed samples.
+        black_box(routine());
+        for _ in 0..self.sample_count {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_count: usize, mode: &RunMode, mut f: F) {
+    if !mode.selected(id) {
+        return;
+    }
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_count,
+        test_once: mode.test_once,
+    };
+    f(&mut b);
+    if mode.test_once {
+        println!("test {id} ... ok");
+        return;
+    }
+    b.samples.sort_unstable();
+    if b.samples.is_empty() {
+        println!("{id:<50} (no samples)");
+        return;
+    }
+    let min = b.samples[0];
+    let med = b.samples[b.samples.len() / 2];
+    let max = b.samples[b.samples.len() - 1];
+    println!("{id:<50} [{} {} {}]", human(min), human(med), human(max));
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    mode: &'a RunMode,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_count, self.mode, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `group_name/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.sample_count, self.mode, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report flushing is a no-op here).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_count: usize,
+    mode: RunMode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_count: 10,
+            mode: RunMode::from_args(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    /// Runs one free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.sample_count, &self.mode, f);
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_count: self.sample_count,
+            mode: &self.mode,
+        }
+    }
+
+    /// Runs registered group functions (used by [`criterion_main!`]).
+    pub fn final_summary(&self) {}
+}
+
+/// Declares a benchmark group: `criterion_group!(benches, f1, f2, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point: `criterion_main!(benches)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mode = RunMode {
+            test_once: false,
+            filter: None,
+        };
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_count: 4,
+            test_once: false,
+        };
+        let mut runs = 0u32;
+        b.iter(|| runs += 1);
+        assert_eq!(runs, 5, "warm-up + 4 samples");
+        assert_eq!(b.samples.len(), 4);
+        assert!(mode.selected("anything"));
+    }
+
+    #[test]
+    fn filter_matches_substrings() {
+        let mode = RunMode {
+            test_once: false,
+            filter: Some("insert".into()),
+        };
+        assert!(mode.selected("graph/insert_edges"));
+        assert!(!mode.selected("graph/remove_edges"));
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("greedy", 100).id, "greedy/100");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,248 @@
+//! Offline stand-in for `proptest` (the subset this workspace uses).
+//!
+//! Supports the `proptest!` macro with an optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` header, integer
+//! range strategies (`lo..hi`), `prop_assert!`, `prop_assert_eq!`, and
+//! `TestCaseError`. Sampling is uniform with a deterministic per-test
+//! seed; there is **no shrinking** — a failure report prints the sampled
+//! arguments instead. See `crates/compat/README.md`.
+
+use rand::rngs::SmallRng;
+pub use rand::Rng;
+use rand::SeedableRng;
+use std::ops::Range;
+
+/// Runner configuration (only `cases` is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property case (compatible with `proptest::test_runner`'s
+/// error in the `fail` + `?` usage pattern).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Builds a failure from any message.
+    pub fn fail<S: Into<String>>(message: S) -> Self {
+        TestCaseError(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Value generator bound to an argument position of a property.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: std::fmt::Debug;
+    /// Draws one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+/// Deterministic per-(test, case) seed: FNV-1a over the test path mixed
+/// with the case index, so every property walks its own stable sequence.
+pub fn case_seed(test_path: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h ^ ((case as u64) << 32 | case as u64)
+}
+
+/// Builds the RNG for one case.
+pub fn case_rng(test_path: &str, case: u32) -> SmallRng {
+    SmallRng::seed_from_u64(case_seed(test_path, case))
+}
+
+/// Everything the `use proptest::prelude::*;` idiom expects.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not
+/// panicking) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            let msg = format!($($fmt)+);
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{msg}: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// The property-test item wrapper: each `#[test] fn name(arg in strategy,
+/// ...)` becomes a plain `#[test]` running `cases` sampled executions.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal item muncher for [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr);) => {};
+    // `#[test]` is captured by the same attribute repetition as the doc
+    // comments and re-emitted verbatim onto the generated zero-argument
+    // wrapper (capturing it separately is ambiguous to the macro parser).
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let path = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..config.cases {
+                let mut rng = $crate::case_rng(path, case);
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {case} of {total} failed: {e}\n  inputs: {inputs}",
+                        case = case,
+                        total = config.cases,
+                        e = e,
+                        inputs = [$(format!("{} = {:?}", stringify!($arg), $arg)),*].join(", "),
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Sampled values respect their strategies.
+        #[test]
+        fn ranges_hold(a in 0u64..100, b in 5usize..9) {
+            prop_assert!(a < 100);
+            prop_assert!((5..9).contains(&b));
+            prop_assert_eq!(a, a);
+            prop_assert_ne!(b, b + 1);
+        }
+
+        /// The `?` operator propagates TestCaseError.
+        #[test]
+        fn question_mark_works(x in 1u32..10) {
+            let ok: Result<u32, String> = Ok(x);
+            let y = ok.map_err(TestCaseError::fail)?;
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(crate::case_seed("a::b", 3), crate::case_seed("a::b", 3));
+        assert_ne!(crate::case_seed("a::b", 3), crate::case_seed("a::b", 4));
+        assert_ne!(crate::case_seed("a::b", 3), crate::case_seed("a::c", 3));
+    }
+
+    #[test]
+    fn prop_assert_returns_err_not_panic() {
+        let failing = || -> Result<(), TestCaseError> {
+            prop_assert!(1 > 2, "one is not greater");
+            Ok(())
+        };
+        let e = failing().unwrap_err();
+        assert!(e.to_string().contains("one is not greater"));
+    }
+}

@@ -20,6 +20,20 @@
 //! [`SwapEngine::outsider_edge_removed`]. Every entry is re-validated at
 //! pop time, so over-approximating the candidate set affects constant
 //! factors only, never correctness.
+//!
+//! ## Hash discipline
+//!
+//! The per-neighbor inner loops speak half-edge positions
+//! ([`dynamis_graph::EdgeHandle`] and the `(neighbor, mirror)` pairs of
+//! [`DynamicGraph::half_edges`]): every count transition, bucket
+//! relocation, and swap-search membership test is a dense-vector or
+//! intrusive-slot operation. The pair-keyed edge index is touched only
+//! at update *entry points* — resolving the `(u, v)` named by the update
+//! to a handle, and keeping the index itself alive — which costs O(1)
+//! probes per edge update independent of vertex degrees.
+//! [`EngineStats::entry_hash_probes`] counts those;
+//! [`EngineStats::hot_hash_probes`] counts probes from the transition
+//! bookkeeping itself and stays 0 by construction.
 
 use crate::queues::{C1Queue, C2Queue};
 use crate::state::{CountEvent, SwapState};
@@ -60,6 +74,15 @@ pub struct EngineStats {
     pub perturbations: u64,
     /// Maximality repairs (MoveIn of a freed vertex).
     pub repairs: u64,
+    /// Pair-index probes at update entry points (resolving the `(u, v)`
+    /// an update names, and index upkeep): O(1) per edge update, one per
+    /// deleted edge on vertex removal.
+    pub entry_hash_probes: u64,
+    /// Hash probes issued by count-transition bookkeeping on the update
+    /// inner loop. The intrusive half-edge layout leaves no probe site,
+    /// so this is 0 by construction — reported so the `hotpath` bench
+    /// (and any regression test) can assert it.
+    pub hot_hash_probes: u64,
 }
 
 /// Shared engine for k ∈ {1, 2}.
@@ -71,7 +94,11 @@ pub(crate) struct SwapEngine {
     c1: C1Queue,
     c2: C2Queue,
     repair: Vec<u32>,
-    scratch: Vec<u32>,
+    /// Reusable `(neighbor, mirror)` snapshot of the vertex being moved.
+    scratch: Vec<(u32, u32)>,
+    /// Reusable candidate pools for FIND TWOSWAP.
+    cy_buf: Vec<u32>,
+    cz_buf: Vec<u32>,
     stamp: StampSet,
     stamp2: StampSet,
     perturb_left: u32,
@@ -95,6 +122,8 @@ impl SwapEngine {
             c2: C2Queue::default(),
             repair: Vec::new(),
             scratch: Vec::new(),
+            cy_buf: Vec::new(),
+            cz_buf: Vec::new(),
             stamp: StampSet::with_capacity(cap),
             stamp2: StampSet::with_capacity(cap),
             perturb_left: 0,
@@ -127,7 +156,11 @@ impl SwapEngine {
             if self.k2 {
                 for u in self.st.bar2_by_parent(v).to_vec() {
                     let (a, b) = self.st.parents2(u);
-                    self.c2.push(a, b, u);
+                    // u appears under both parents; enqueue it only from
+                    // the smaller one — the flat C2 FIFO does not dedup.
+                    if v == a {
+                        self.c2.push(a, b, u);
+                    }
                 }
             }
         }
@@ -149,15 +182,16 @@ impl SwapEngine {
         }
     }
 
-    /// MOVEIN(v): O(d(v)) plus hook work.
+    /// MOVEIN(v): O(d(v)) plus hook work. The `(neighbor, mirror)` pairs
+    /// of v's half-edges hand each neighbor's intrusive slot to
+    /// `inc_count` — no hashing.
     fn move_in(&mut self, v: u32) {
         self.st.set_in(v);
         self.scratch.clear();
-        let st = &self.st;
-        self.scratch.extend(st.g.neighbors(v));
+        self.scratch.extend(self.st.g.half_edges(v));
         for i in 0..self.scratch.len() {
-            let u = self.scratch[i];
-            let ev = self.st.inc_count(u, v);
+            let (u, pos) = self.scratch[i];
+            let ev = self.st.inc_count(u, pos, v);
             self.handle_event(u, ev);
         }
     }
@@ -166,11 +200,10 @@ impl SwapEngine {
     fn move_out(&mut self, v: u32) {
         self.st.set_out(v);
         self.scratch.clear();
-        let st = &self.st;
-        self.scratch.extend(st.g.neighbors(v));
+        self.scratch.extend(self.st.g.half_edges(v));
         for i in 0..self.scratch.len() {
-            let u = self.scratch[i];
-            let ev = self.st.dec_count(u, v);
+            let (u, pos) = self.scratch[i];
+            let ev = self.st.dec_count(u, pos, v);
             self.handle_event(u, ev);
         }
     }
@@ -192,6 +225,7 @@ impl SwapEngine {
         self.drain_inner();
         debug_assert!(self.c1.is_empty(), "C1 not drained");
         debug_assert!(self.c2.is_empty(), "C2 not drained");
+        self.stats.hot_hash_probes = self.st.hot_hash_probes;
     }
 
     fn drain_inner(&mut self) {
@@ -200,8 +234,8 @@ impl SwapEngine {
             if let Some((v, cands)) = self.c1.pop() {
                 self.find_one_swap(v, cands);
             } else if self.k2 {
-                if let Some(((a, b), cands)) = self.c2.pop() {
-                    self.find_two_swap(a, b, cands);
+                if let Some(((a, b), x)) = self.c2.pop() {
+                    self.find_two_swap(a, b, x);
                 } else {
                     break;
                 }
@@ -293,66 +327,66 @@ impl SwapEngine {
         }
     }
 
-    /// FIND TWOSWAP (Algorithm 3 lines 18–28): for each count-2 pivot
-    /// `x ∈ C(S)`, search a triangle `(x, y, z)` in the complement of
+    /// FIND TWOSWAP (Algorithm 3 lines 18–28) for one count-2 pivot
+    /// `x ∈ C(S)`: search a triangle `(x, y, z)` in the complement of
     /// `G[¯I≤2(S)]`.
-    fn find_two_swap(&mut self, a: u32, b: u32, cands: Vec<u32>) {
+    fn find_two_swap(&mut self, a: u32, b: u32, x: u32) {
         if !self.st.in_solution(a) || !self.st.in_solution(b) {
+            return; // stale candidate
+        }
+        if !(self.st.g.is_alive(x)
+            && !self.st.in_solution(x)
+            && self.st.count(x) == 2
+            && self.st.parents2(x) == (a.min(b), a.max(b)))
+        {
             return;
         }
-        self.stamp2.clear();
-        let mut pivots: Vec<u32> = Vec::with_capacity(cands.len());
-        for x in cands {
-            if self.st.g.is_alive(x)
-                && !self.st.in_solution(x)
-                && self.st.count(x) == 2
-                && self.st.parents2(x) == (a.min(b), a.max(b))
-                && !self.stamp2.is_marked(x)
-            {
-                self.stamp2.mark(x);
-                pivots.push(x);
+        // Cy = ¯I₁(a) ∪ ¯I₂(S) − N[x]; Cz = ¯I₁(b) ∪ ¯I₂(S) − N[x].
+        self.stamp.clear();
+        self.stamp.mark(x);
+        for w in self.st.g.neighbors(x) {
+            self.stamp.mark(w);
+        }
+        {
+            let (st, stamp) = (&self.st, &self.stamp);
+            let (cy, cz) = (&mut self.cy_buf, &mut self.cz_buf);
+            cy.clear();
+            cy.extend(st.bar1(a).iter().copied().filter(|&y| !stamp.is_marked(y)));
+            st.for_each_bar2(a, b, |y| {
+                if !stamp.is_marked(y) {
+                    cy.push(y);
+                }
+            });
+            if cy.is_empty() {
+                return;
+            }
+            cz.clear();
+            cz.extend(st.bar1(b).iter().copied().filter(|&z| !stamp.is_marked(z)));
+            st.for_each_bar2(a, b, |z| {
+                if !stamp.is_marked(z) {
+                    cz.push(z);
+                }
+            });
+            if cz.is_empty() {
+                return;
             }
         }
-        for x in pivots {
-            // Cy = ¯I₁(a) ∪ ¯I₂(S) − N[x]; Cz = ¯I₁(b) ∪ ¯I₂(S) − N[x].
-            self.stamp.clear();
-            self.stamp.mark(x);
-            for w in self.st.g.neighbors(x) {
-                self.stamp.mark(w);
+        for i in 0..self.cy_buf.len() {
+            let y = self.cy_buf[i];
+            // z must avoid N[y]; marking N[y] also rules out z == y.
+            self.stamp2.clear();
+            self.stamp2.mark(y);
+            for w in self.st.g.neighbors(y) {
+                self.stamp2.mark(w);
             }
-            let cy: Vec<u32> = self
-                .st
-                .bar1(a)
+            let z_found = self
+                .cz_buf
                 .iter()
-                .chain(self.st.bar2(a, b).iter())
                 .copied()
-                .filter(|&y| !self.stamp.is_marked(y))
-                .collect();
-            if cy.is_empty() {
-                continue;
-            }
-            let cz: Vec<u32> = self
-                .st
-                .bar1(b)
-                .iter()
-                .chain(self.st.bar2(a, b).iter())
-                .copied()
-                .filter(|&z| !self.stamp.is_marked(z))
-                .collect();
-            if cz.is_empty() {
-                continue;
-            }
-            for &y in &cy {
-                // z must avoid N[y]; marking N[y] also rules out z == y.
-                self.stamp2.clear();
-                self.stamp2.mark(y);
-                for w in self.st.g.neighbors(y) {
-                    self.stamp2.mark(w);
-                }
-                if let Some(&z) = cz.iter().find(|&&z| !self.stamp2.is_marked(z)) {
-                    self.do_two_swap(a, b, x, y, z);
-                    return;
-                }
+                .find(|&z| !self.stamp2.is_marked(z));
+            if let Some(z) = z_found {
+                self.do_two_swap(a, b, x, y, z);
+                return;
             }
         }
     }
@@ -375,12 +409,7 @@ impl SwapEngine {
         if !self.st.in_solution(v) {
             return;
         }
-        let Some(&u) = self
-            .st
-            .bar1(v)
-            .iter()
-            .min_by_key(|&&u| self.st.g.degree(u))
-        else {
+        let Some(&u) = self.st.bar1(v).iter().min_by_key(|&&u| self.st.g.degree(u)) else {
             return;
         };
         if self.st.g.degree(u) >= self.st.g.degree(v) {
@@ -435,25 +464,28 @@ impl SwapEngine {
     }
 
     fn insert_edge(&mut self, a: u32, b: u32) {
-        let inserted = self
+        // One existence probe + one index insert — the only hash work in
+        // this update.
+        self.stats.entry_hash_probes += 2;
+        let handle = self
             .st
             .g
-            .insert_edge(a, b)
+            .insert_edge_handle(a, b)
             .expect("update stream must be valid");
-        if !inserted {
-            return;
-        }
+        let Some(h) = handle else {
+            return; // edge already present
+        };
         match (self.st.in_solution(a), self.st.in_solution(b)) {
             (false, false) => {} // counts unchanged; no new swap can appear
             (true, false) => {
                 // b moves a layer down; no set ¯I≤k(S) gains a member, so
                 // no candidate is needed (see module docs).
-                let _ = self.st.inc_count(b, a);
+                let _ = self.st.inc_count(b, h.pos_v, a);
             }
             (false, true) => {
-                let _ = self.st.inc_count(a, b);
+                let _ = self.st.inc_count(a, h.pos_u, b);
             }
-            (true, true) => self.solution_edge_inserted(a, b),
+            (true, true) => self.solution_edge_inserted(a, b, h),
         }
     }
 
@@ -461,7 +493,7 @@ impl SwapEngine {
     /// Paper rule: prefer the endpoint whose `¯I₁` is non-empty (its
     /// departure frees a replacement, keeping |I| unchanged); otherwise
     /// drop the higher-degree endpoint.
-    fn solution_edge_inserted(&mut self, a: u32, b: u32) {
+    fn solution_edge_inserted(&mut self, a: u32, b: u32, h: dynamis_graph::EdgeHandle) {
         let loser = if !self.st.bar1(b).is_empty() {
             b
         } else if !self.st.bar1(a).is_empty() {
@@ -477,40 +509,46 @@ impl SwapEngine {
         // C₁ candidate the paper collects for N[v]).
         self.st.set_out(loser);
         self.scratch.clear();
-        let st = &self.st;
-        self.scratch.extend(st.g.neighbors(loser).filter(|&w| w != winner));
+        self.scratch
+            .extend(self.st.g.half_edges(loser).filter(|&(w, _)| w != winner));
         for i in 0..self.scratch.len() {
-            let u = self.scratch[i];
-            let ev = self.st.dec_count(u, loser);
+            let (u, pos) = self.scratch[i];
+            let ev = self.st.dec_count(u, pos, loser);
             self.handle_event(u, ev);
         }
-        let ev = self.st.inc_count(loser, winner);
+        // The freshly inserted edge's handle is still valid (insertion
+        // only appends); take the loser-side half-edge position from it.
+        let loser_pos = if loser == h.u { h.pos_u } else { h.pos_v };
+        let ev = self.st.inc_count(loser, loser_pos, winner);
         self.handle_event(loser, ev);
         self.process_repairs();
     }
 
     fn remove_edge(&mut self, a: u32, b: u32) {
-        let removed = self
-            .st
-            .g
-            .remove_edge(a, b)
-            .expect("update stream must be valid");
-        if !removed {
-            return;
-        }
+        // Resolve the named edge to half-edge positions: one probe, plus
+        // one for the index delete inside `remove_edge_at`.
+        self.stats.entry_hash_probes += 2;
+        let Some(h) = self.st.g.edge_handle(a, b) else {
+            return; // edge not present
+        };
         match (self.st.in_solution(a), self.st.in_solution(b)) {
             (true, true) => unreachable!("solution vertices are never adjacent"),
             (true, false) => {
-                let ev = self.st.dec_count(b, a);
+                let ev = self.st.dec_count(b, h.pos_v, a);
+                self.st.g.remove_edge_at(h);
                 self.handle_event(b, ev);
                 self.process_repairs();
             }
             (false, true) => {
-                let ev = self.st.dec_count(a, b);
+                let ev = self.st.dec_count(a, h.pos_u, b);
+                self.st.g.remove_edge_at(h);
                 self.handle_event(a, ev);
                 self.process_repairs();
             }
-            (false, false) => self.outsider_edge_removed(a, b),
+            (false, false) => {
+                self.st.g.remove_edge_at(h);
+                self.outsider_edge_removed(a, b);
+            }
         }
     }
 
@@ -530,15 +568,21 @@ impl SwapEngine {
                 self.c1.push(pu, v);
             } else if self.k2 {
                 // Case b: direct scan of ¯I₂({x, y}) for a third vertex w
-                // non-adjacent to both.
+                // non-adjacent to both — adjacency tested through stamps
+                // of N(u), N(v) instead of pair-index probes.
                 let (x, y) = (pu.min(pv), pu.max(pv));
-                if let Some(w) = self
-                    .st
-                    .bar2(x, y)
-                    .iter()
-                    .copied()
-                    .find(|&w| !self.st.g.has_edge(u, w) && !self.st.g.has_edge(v, w))
-                {
+                self.stamp.clear();
+                for w in self.st.g.neighbors(u) {
+                    self.stamp.mark(w);
+                }
+                self.stamp2.clear();
+                for w in self.st.g.neighbors(v) {
+                    self.stamp2.mark(w);
+                }
+                let found = self.st.bar2_find(x, y, |w| {
+                    !self.stamp.is_marked(w) && !self.stamp2.is_marked(w)
+                });
+                if let Some(w) = found {
                     self.do_two_swap(x, y, u, v, w);
                 }
             }
@@ -549,25 +593,15 @@ impl SwapEngine {
         }
         // Case c: I(u) ⊆ I(v) = {x, y} (and symmetric) — the count-2
         // endpoint becomes a viable 2-swap pivot.
-        if cv == 2 && cu >= 1 && cu <= 2 {
+        if cv == 2 && (1..=2).contains(&cu) {
             let (x, y) = self.st.parents2(v);
-            if self
-                .st
-                .sol_neighbors(u)
-                .iter()
-                .all(|&p| p == x || p == y)
-            {
+            if self.st.sol_neighbors(u).all(|p| p == x || p == y) {
                 self.c2.push(x, y, v);
             }
         }
-        if cu == 2 && cv >= 1 && cv <= 2 {
+        if cu == 2 && (1..=2).contains(&cv) {
             let (x, y) = self.st.parents2(u);
-            if self
-                .st
-                .sol_neighbors(v)
-                .iter()
-                .all(|&p| p == x || p == y)
-            {
+            if self.st.sol_neighbors(v).all(|p| p == x || p == y) {
                 self.c2.push(x, y, u);
             }
         }
@@ -580,17 +614,17 @@ impl SwapEngine {
         self.st.ensure_capacity(cap);
         self.c1.ensure_capacity(cap);
         for &n in neighbors {
-            self.st
+            self.stats.entry_hash_probes += 2;
+            let h = self
+                .st
                 .g
-                .insert_edge(v, n)
+                .insert_edge_handle(v, n)
                 .expect("update stream must be valid");
-        }
-        // Register v's solution neighbors; every transition is a genuine
-        // new bucket membership (v itself is new).
-        for i in 0..neighbors.len() {
-            let n = neighbors[i];
+            // Register v's solution neighbors as they arrive; every
+            // transition is a genuine new bucket membership (v is new).
             if self.st.in_solution(n) {
-                let ev = self.st.inc_count(v, n);
+                let h = h.expect("edge to a fresh vertex cannot pre-exist");
+                let ev = self.st.inc_count(v, h.pos_u, n);
                 self.handle_event(v, ev);
             }
         }
@@ -601,17 +635,24 @@ impl SwapEngine {
     }
 
     fn remove_vertex(&mut self, v: u32) {
+        // The graph deletes one pair-index entry per incident edge.
+        self.stats.entry_hash_probes += self.st.g.degree(v) as u64;
         if self.st.in_solution(v) {
             self.st.set_out(v);
-            let former = self
-                .st
+            // Unregister v from each neighbor's I(u) — through the mirror
+            // handles — *before* the physical removal, so the transitions
+            // are observed.
+            self.scratch.clear();
+            self.scratch.extend(self.st.g.half_edges(v));
+            for i in 0..self.scratch.len() {
+                let (u, pos) = self.scratch[i];
+                let ev = self.st.dec_count(u, pos, v);
+                self.handle_event(u, ev);
+            }
+            self.st
                 .g
                 .remove_vertex(v)
                 .expect("update stream must be valid");
-            for u in former {
-                let ev = self.st.dec_count(u, v);
-                self.handle_event(u, ev);
-            }
             self.process_repairs();
         } else {
             self.st.purge_outsider(v);
@@ -626,9 +667,6 @@ impl SwapEngine {
 
     /// Approximate heap footprint (graph + framework + queues).
     pub fn heap_bytes(&self) -> usize {
-        self.st.g.heap_bytes()
-            + self.st.heap_bytes()
-            + self.c1.heap_bytes()
-            + self.c2.heap_bytes()
+        self.st.g.heap_bytes() + self.st.heap_bytes() + self.c1.heap_bytes() + self.c2.heap_bytes()
     }
 }

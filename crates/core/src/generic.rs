@@ -75,11 +75,10 @@ impl GenericKSwap {
             }
         }
         // Maximalize, then seed every low-count outsider.
-        let free: Vec<u32> = e
-            .g
-            .vertices()
-            .filter(|&v| !e.status[v as usize] && e.count[v as usize] == 0)
-            .collect();
+        let free: Vec<u32> =
+            e.g.vertices()
+                .filter(|&v| !e.status[v as usize] && e.count[v as usize] == 0)
+                .collect();
         for v in free {
             if !e.status[v as usize] && e.count[v as usize] == 0 {
                 e.move_in(v);
@@ -174,10 +173,7 @@ impl GenericKSwap {
         let mut dedup = FxHashSet::default();
         for &s in set {
             for u in self.g.neighbors(s) {
-                if self.status[u as usize]
-                    || self.count[u as usize] > j
-                    || !dedup.insert(u)
-                {
+                if self.status[u as usize] || self.count[u as usize] > j || !dedup.insert(u) {
                     continue;
                 }
                 let ok = self
@@ -399,11 +395,8 @@ impl DynamicMis for GenericKSwap {
                         // Demote loser; its count becomes 1 (the winner).
                         self.status[loser as usize] = false;
                         self.size -= 1;
-                        let nbrs: Vec<u32> = self
-                            .g
-                            .neighbors(loser)
-                            .filter(|&w| w != winner)
-                            .collect();
+                        let nbrs: Vec<u32> =
+                            self.g.neighbors(loser).filter(|&w| w != winner).collect();
                         for u in nbrs {
                             self.count[u as usize] -= 1;
                             if self.count[u as usize] == 0 && !self.status[u as usize] {

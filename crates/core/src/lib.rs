@@ -42,8 +42,8 @@ pub mod two_swap;
 
 pub use engine::{EngineConfig, EngineStats};
 pub use generic::GenericKSwap;
-pub use snapshot::Snapshot;
 pub use one_swap::DyOneSwap;
+pub use snapshot::Snapshot;
 pub use two_swap::DyTwoSwap;
 
 use dynamis_graph::{DynamicGraph, Update};

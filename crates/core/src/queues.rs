@@ -1,11 +1,15 @@
 //! Candidate queues `C₁` and `C₂` (Algorithm 1, line 2).
 //!
-//! Each queue stores, per candidate set `S`, the list `C(S)` of vertices
-//! newly added to `¯I_{|S|}(S)`. Entries are validated lazily at pop time
-//! (membership can go stale while the queue drains), so pushes are
-//! unconditional O(1).
+//! `C₁` stores, per candidate solution vertex `v`, the list `C(v)` of
+//! vertices newly added to `¯I₁(v)` — dense vectors indexed by vertex id,
+//! no hashing. `C₂` is a flat FIFO of `(a, b, x)` triples: `x` newly
+//! entered `¯I₂({a, b})`. The seed grouped `C₂` by pair through a
+//! pair-keyed hash map, putting a probe on every count-2 transition of
+//! every update; the flat FIFO keeps pushes O(1) and hash-free, and the
+//! engine re-validates entries at pop time anyway (membership can go
+//! stale while the queue drains), so stale or duplicate triples cost
+//! constants only, never correctness.
 
-use dynamis_graph::hash::{FxHashMap, FxHashSet};
 use std::collections::VecDeque;
 
 /// `C₁`: candidate solution vertices `v` with their newly added
@@ -54,31 +58,23 @@ impl C1Queue {
     }
 }
 
-/// `C₂`: candidate solution pairs `S = {a, b}` with their newly added
-/// `¯I₂(S)` members.
+/// `C₂`: FIFO of candidate triples — `x` newly entered `¯I₂({a, b})`.
+/// Push and pop are O(1) with zero hash probes.
 #[derive(Debug, Default)]
 pub(crate) struct C2Queue {
-    order: VecDeque<u64>,
-    queued: FxHashSet<u64>,
-    cand: FxHashMap<u64, Vec<u32>>,
+    order: VecDeque<(u32, u32, u32)>,
 }
 
 impl C2Queue {
     /// Records `x` as a new member of `¯I₂({a, b})`.
     pub fn push(&mut self, a: u32, b: u32, x: u32) {
-        let key = crate::state::skey(a, b);
-        self.cand.entry(key).or_default().push(x);
-        if self.queued.insert(key) {
-            self.order.push_back(key);
-        }
+        self.order.push_back((a.min(b), a.max(b), x));
     }
 
-    /// Pops the next candidate pair `((a, b), C(S))`.
-    pub fn pop(&mut self) -> Option<((u32, u32), Vec<u32>)> {
-        let key = self.order.pop_front()?;
-        self.queued.remove(&key);
-        let list = self.cand.remove(&key).unwrap_or_default();
-        Some((dynamis_graph::hash::unpack_pair(key), list))
+    /// Pops the next candidate triple `((a, b), x)` with `a < b`.
+    pub fn pop(&mut self) -> Option<((u32, u32), u32)> {
+        let (a, b, x) = self.order.pop_front()?;
+        Some(((a, b), x))
     }
 
     pub fn is_empty(&self) -> bool {
@@ -86,13 +82,7 @@ impl C2Queue {
     }
 
     pub fn heap_bytes(&self) -> usize {
-        self.order.capacity() * 8
-            + self.queued.capacity() * 8
-            + self
-                .cand
-                .values()
-                .map(|c| c.capacity() * 4 + 48)
-                .sum::<usize>()
+        self.order.capacity() * std::mem::size_of::<(u32, u32, u32)>()
     }
 }
 
@@ -130,10 +120,13 @@ mod tests {
     fn c2_pairs_are_order_invariant() {
         let mut q = C2Queue::default();
         q.push(7, 2, 100);
-        q.push(2, 7, 101); // same set
-        let ((a, b), c) = q.pop().unwrap();
+        q.push(2, 7, 101); // same set, separate triple
+        let ((a, b), x) = q.pop().unwrap();
         assert_eq!((a, b), (2, 7));
-        assert_eq!(c, vec![100, 101]);
+        assert_eq!(x, 100);
+        let ((a, b), x) = q.pop().unwrap();
+        assert_eq!((a, b), (2, 7));
+        assert_eq!(x, 101);
         assert!(q.is_empty());
     }
 }

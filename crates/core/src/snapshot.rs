@@ -9,6 +9,11 @@
 //! restored engine continues with the same `k`-maximal invariant and the
 //! same vertex-id allocation behavior.
 //!
+//! Snapshots carry no framework bookkeeping: the intrusive half-edge
+//! marks that store `I(u)` inside the graph (and the bar-tier indices)
+//! are derived state, rebuilt in O(n + m) by the engine constructor —
+//! which also clears any marks a cloned live graph still carries.
+//!
 //! Layout after the binary graph section:
 //!
 //! ```text

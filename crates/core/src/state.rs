@@ -1,28 +1,22 @@
 //! Shared framework state (§III-B): solution membership, counters, the
 //! `I(u)` lists, and the hierarchical `¯I₁(v)` / `¯I₂(S)` buckets.
 //!
-//! Everything is maintained with O(1) amortized relocations, exactly as
-//! the paper prescribes: every bucket member stores its own index
-//! ("a constant-time update to the position of u if the index of u in
-//! ¯I_j(I(u)) is maintained explicitly in vertex u"), and `I(u)` removal
-//! is O(1) through a (vertex, solution-neighbor) → position map, the
-//! moral equivalent of the pointer the paper stores inside edge `(v, u)`.
+//! Everything is maintained with O(1) relocations and **zero hash-map
+//! probes**, exactly as the paper prescribes: "a pointer to v ∈ I(u) is
+//! recorded in edge (v, u)" — the `I(u)` lists live *inside the graph's
+//! half-edges* as intrusive payload slots (see
+//! [`dynamis_graph::DynamicGraph::mark_neighbor`]), and every bucket
+//! member stores its own index ("a constant-time update to the position
+//! of u if the index of u in ¯I_j(I(u)) is maintained explicitly in
+//! vertex u") in a dense per-vertex slot.
+//!
+//! The update hot path therefore touches only vectors indexed by vertex
+//! id or adjacency position. [`SwapState::hot_hash_probes`] counts
+//! hash-map probes issued by this bookkeeping; with the intrusive layout
+//! there is no probe site left, so it stays 0 (asserted by tests and
+//! reported by the `hotpath` bench).
 
-use dynamis_graph::hash::FxHashMap;
 use dynamis_graph::DynamicGraph;
-
-/// Directed key for (owner, member) position maps — unlike
-/// [`dynamis_graph::hash::pair_key`], order matters here.
-#[inline]
-fn dkey(a: u32, b: u32) -> u64 {
-    ((a as u64) << 32) | b as u64
-}
-
-/// Unordered key for a solution-vertex pair `S = {a, b}`.
-#[inline]
-pub(crate) fn skey(a: u32, b: u32) -> u64 {
-    dynamis_graph::hash::pair_key(a, b)
-}
 
 /// Count-transition event surfaced to the engine so it can enqueue
 /// candidates and maximality repairs.
@@ -46,126 +40,79 @@ pub(crate) enum CountEvent {
     Other,
 }
 
-/// The `¯I₂` tier: buckets keyed by the solution pair, plus a per-parent
-/// index (`¯I₂(v)` in Algorithm 3's one-swap-failure promotion).
+/// The `¯I₂` tier, fully intrusive: for each solution vertex `v`,
+/// `by_parent[v]` holds the count-2 vertices having `v` as a parent
+/// (`¯I₂(v)` in Algorithm 3's promotion step), and each member `u`
+/// stores its two positions — one per parent, smaller parent first — in
+/// `bp_idx[u]`. The pair bucket `¯I₂({a, b})` is recovered on demand by
+/// filtering the shorter of the two parent lists; that trades the seed's
+/// pair-keyed hash map (a probe on every count-2 transition) for a scan
+/// that only runs inside swap *search*, never on the update hot path.
 #[derive(Debug, Default)]
 pub(crate) struct PairTier {
-    /// `S → ¯I₂(S)` members.
-    bucket: FxHashMap<u64, Vec<u32>>,
-    /// Index of `u` inside its bucket (valid only while count(u) = 2).
-    pos: Vec<u32>,
-    /// Cached bucket key of `u` (valid only while count(u) = 2).
-    key_of: Vec<u64>,
     /// For each solution vertex `v`: count-2 vertices with `v` as a parent.
     by_parent: Vec<Vec<u32>>,
-    /// dkey(parent, u) → index of u in `by_parent[parent]`.
-    bp_pos: FxHashMap<u64, u32>,
+    /// `bp_idx[u]` = u's index in `by_parent[a]` and `by_parent[b]`,
+    /// where `(a, b)` are u's sorted parents (valid while count(u) = 2).
+    bp_idx: Vec<[u32; 2]>,
 }
 
 impl PairTier {
     fn ensure(&mut self, cap: usize) {
-        if self.pos.len() < cap {
-            self.pos.resize(cap, 0);
-            self.key_of.resize(cap, 0);
+        if self.by_parent.len() < cap {
             self.by_parent.resize_with(cap, Vec::new);
+            self.bp_idx.resize(cap, [0, 0]);
         }
-    }
-
-    fn add(&mut self, u: u32, a: u32, b: u32) {
-        let key = skey(a, b);
-        let list = self.bucket.entry(key).or_default();
-        self.pos[u as usize] = list.len() as u32;
-        self.key_of[u as usize] = key;
-        list.push(u);
-        for p in [a, b] {
-            let bl = &mut self.by_parent[p as usize];
-            self.bp_pos.insert(dkey(p, u), bl.len() as u32);
-            bl.push(u);
-        }
-    }
-
-    fn remove(&mut self, u: u32) {
-        let key = self.key_of[u as usize];
-        let list = self.bucket.get_mut(&key).expect("bucket must exist");
-        let p = self.pos[u as usize] as usize;
-        list.swap_remove(p);
-        if p < list.len() {
-            self.pos[list[p] as usize] = p as u32;
-        }
-        if list.is_empty() {
-            self.bucket.remove(&key);
-        }
-        let (a, b) = dynamis_graph::hash::unpack_pair(key);
-        for parent in [a, b] {
-            let i = self
-                .bp_pos
-                .remove(&dkey(parent, u))
-                .expect("by-parent entry must exist") as usize;
-            let bl = &mut self.by_parent[parent as usize];
-            bl.swap_remove(i);
-            if i < bl.len() {
-                self.bp_pos.insert(dkey(parent, bl[i]), i as u32);
-            }
-        }
-    }
-
-    fn members(&self, a: u32, b: u32) -> &[u32] {
-        self.bucket
-            .get(&skey(a, b))
-            .map_or(&[][..], Vec::as_slice)
     }
 
     fn heap_bytes(&self) -> usize {
-        let buckets: usize = self
-            .bucket
-            .values()
-            .map(|v| v.capacity() * 4 + 48)
-            .sum::<usize>();
         let by_parent: usize = self.by_parent.iter().map(|v| v.capacity() * 4).sum();
-        buckets
-            + by_parent
-            + self.pos.capacity() * 4
-            + self.key_of.capacity() * 8
+        by_parent
             + self.by_parent.capacity() * std::mem::size_of::<Vec<u32>>()
-            + self.bp_pos.capacity() * 20
+            + self.bp_idx.capacity() * std::mem::size_of::<[u32; 2]>()
     }
 }
 
 /// Framework state over an owned dynamic graph.
 #[derive(Debug)]
 pub struct SwapState {
-    /// The evolving graph (the engine owns its copy).
+    /// The evolving graph (the engine owns its copy). `I(u)` is stored
+    /// intrusively in its half-edge payload slots.
     pub g: DynamicGraph,
     status: Vec<bool>,
     count: Vec<u32>,
-    /// `I(u)` — solution neighbors of `u` (empty while `u ∈ I`).
-    sol_list: Vec<Vec<u32>>,
-    /// dkey(u, v) → index of solution vertex v inside `sol_list[u]`.
-    sol_pos: FxHashMap<u64, u32>,
     /// `¯I₁(v)` for `v ∈ I`.
     bar1: Vec<Vec<u32>>,
-    /// dkey(v, u) → index of u inside `bar1[v]`.
-    bar1_pos: FxHashMap<u64, u32>,
+    /// `bar1_idx[u]` = index of u inside `bar1[parent1(u)]`
+    /// (valid while count(u) = 1).
+    bar1_idx: Vec<u32>,
     pairs: Option<PairTier>,
     size: usize,
+    /// Hash-map probes issued by count-transition bookkeeping. The
+    /// intrusive layout has no probe site, so this stays 0 — the field
+    /// exists so any future regression has a place to be counted and
+    /// caught (see the `hotpath` bench and the state tests).
+    pub hot_hash_probes: u64,
 }
 
 impl SwapState {
     /// Creates state over `g` with `initial` as the starting independent
     /// set (independence is the caller's responsibility; engines
     /// debug-assert it). `track_pairs` enables the `¯I₂` tier.
-    pub fn new(g: DynamicGraph, initial: &[u32], track_pairs: bool) -> Self {
+    pub fn new(mut g: DynamicGraph, initial: &[u32], track_pairs: bool) -> Self {
+        // The graph may arrive with marks from a previous owner (e.g. a
+        // cloned snapshot of a running engine) — reset before rebuilding.
+        g.clear_marks();
         let cap = g.capacity();
         let mut st = SwapState {
             g,
             status: vec![false; cap],
             count: vec![0; cap],
-            sol_list: vec![Vec::new(); cap],
-            sol_pos: FxHashMap::default(),
             bar1: vec![Vec::new(); cap],
-            bar1_pos: FxHashMap::default(),
+            bar1_idx: vec![0; cap],
             pairs: track_pairs.then(PairTier::default),
             size: 0,
+            hot_hash_probes: 0,
         };
         if let Some(p) = st.pairs.as_mut() {
             p.ensure(cap);
@@ -175,30 +122,27 @@ impl SwapState {
             st.status[v as usize] = true;
         }
         st.size = initial.len();
-        // Bulk-build counters and bucket tiers in O(n + m).
+        // Bulk-build counters, intrusive I(u) marks, and bucket tiers in
+        // O(n + m).
         for v in 0..cap as u32 {
             if !st.g.is_alive(v) || st.status[v as usize] {
                 continue;
             }
-            let sols: Vec<u32> = st
-                .g
-                .neighbors(v)
-                .filter(|&u| st.status[u as usize])
-                .collect();
-            st.count[v as usize] = sols.len() as u32;
-            for (i, &s) in sols.iter().enumerate() {
-                st.sol_pos.insert(dkey(v, s), i as u32);
+            for i in 0..st.g.degree(v) {
+                if st.status[st.g.neighbor_at(v, i) as usize] {
+                    st.g.mark_neighbor(v, i as u32);
+                }
             }
-            match sols.len() {
-                1 => st.bar1_add(sols[0], v),
+            let c = st.g.marked_count(v) as u32;
+            st.count[v as usize] = c;
+            match c {
+                1 => st.bar1_add(st.g.marked_neighbor(v, 0), v),
                 2 => {
-                    if let Some(p) = st.pairs.as_mut() {
-                        p.add(v, sols[0], sols[1]);
-                    }
+                    let (a, b) = st.parents2(v);
+                    st.pair_add(v, a, b);
                 }
                 _ => {}
             }
-            st.sol_list[v as usize] = sols;
         }
         st
     }
@@ -208,8 +152,8 @@ impl SwapState {
         if self.status.len() < cap {
             self.status.resize(cap, false);
             self.count.resize(cap, 0);
-            self.sol_list.resize_with(cap, Vec::new);
             self.bar1.resize_with(cap, Vec::new);
+            self.bar1_idx.resize(cap, 0);
         }
         if let Some(p) = self.pairs.as_mut() {
             p.ensure(cap);
@@ -242,25 +186,28 @@ impl SwapState {
             .collect()
     }
 
-    /// The unique solution neighbor of a count-1 vertex.
+    /// The unique solution neighbor of a count-1 vertex — read straight
+    /// from the intrusive mark, no hashing.
     #[inline]
     pub fn parent1(&self, u: u32) -> u32 {
         debug_assert_eq!(self.count[u as usize], 1);
-        self.sol_list[u as usize][0]
+        self.g.marked_neighbor(u, 0)
     }
 
     /// The sorted solution-neighbor pair of a count-2 vertex.
     #[inline]
     pub fn parents2(&self, u: u32) -> (u32, u32) {
         debug_assert_eq!(self.count[u as usize], 2);
-        let l = &self.sol_list[u as usize];
-        (l[0].min(l[1]), l[0].max(l[1]))
+        let a = self.g.marked_neighbor(u, 0);
+        let b = self.g.marked_neighbor(u, 1);
+        (a.min(b), a.max(b))
     }
 
-    /// `I(u)` — all solution neighbors of u.
+    /// `I(u)` — all solution neighbors of u, read from the intrusive
+    /// marks.
     #[inline]
-    pub fn sol_neighbors(&self, u: u32) -> &[u32] {
-        &self.sol_list[u as usize]
+    pub fn sol_neighbors(&self, u: u32) -> impl Iterator<Item = u32> + '_ {
+        self.g.marked_neighbors(u)
     }
 
     /// `¯I₁(v)` for a solution vertex v.
@@ -269,9 +216,46 @@ impl SwapState {
         &self.bar1[v as usize]
     }
 
-    /// `¯I₂(S)` for `S = {a, b}` (empty slice when the pair tier is off).
-    pub fn bar2(&self, a: u32, b: u32) -> &[u32] {
-        self.pairs.as_ref().map_or(&[], |p| p.members(a, b))
+    /// `¯I₂(S)` for `S = {a, b}`, collected by filtering the shorter
+    /// parent list (empty when the pair tier is off). Allocates — test
+    /// and report use; the engine's swap search streams via
+    /// [`SwapState::for_each_bar2`] instead.
+    pub fn bar2(&self, a: u32, b: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.for_each_bar2(a, b, |u| out.push(u));
+        out
+    }
+
+    /// Streams the members of `¯I₂({a, b})` without allocating.
+    pub fn for_each_bar2<F: FnMut(u32)>(&self, a: u32, b: u32, mut f: F) {
+        let Some(p) = self.pairs.as_ref() else { return };
+        let (a, b) = (a.min(b), a.max(b));
+        let scan = if p.by_parent[a as usize].len() <= p.by_parent[b as usize].len() {
+            a
+        } else {
+            b
+        };
+        let other = if scan == a { b } else { a };
+        for &u in &p.by_parent[scan as usize] {
+            // u has exactly two marked (solution) neighbors; membership in
+            // the {a, b} bucket is a two-read check, no hashing.
+            let x = self.g.marked_neighbor(u, 0);
+            let y = self.g.marked_neighbor(u, 1);
+            if x == other || y == other {
+                f(u);
+            }
+        }
+    }
+
+    /// First member of `¯I₂({a, b})` satisfying `pred`.
+    pub fn bar2_find<F: FnMut(u32) -> bool>(&self, a: u32, b: u32, mut pred: F) -> Option<u32> {
+        let mut found = None;
+        self.for_each_bar2(a, b, |u| {
+            if found.is_none() && pred(u) {
+                found = Some(u);
+            }
+        });
+        found
     }
 
     /// `¯I₂(v)` — count-2 vertices having solution vertex v as a parent.
@@ -283,90 +267,113 @@ impl SwapState {
 
     fn bar1_add(&mut self, parent: u32, u: u32) {
         let list = &mut self.bar1[parent as usize];
-        self.bar1_pos.insert(dkey(parent, u), list.len() as u32);
+        self.bar1_idx[u as usize] = list.len() as u32;
         list.push(u);
     }
 
     fn bar1_remove(&mut self, parent: u32, u: u32) {
-        let i = self
-            .bar1_pos
-            .remove(&dkey(parent, u))
-            .expect("bar1 entry must exist") as usize;
+        let i = self.bar1_idx[u as usize] as usize;
         let list = &mut self.bar1[parent as usize];
+        debug_assert_eq!(list[i], u, "bar1 back-pointer must be fresh");
         list.swap_remove(i);
         if i < list.len() {
-            self.bar1_pos.insert(dkey(parent, list[i]), i as u32);
+            self.bar1_idx[list[i] as usize] = i as u32;
+        }
+    }
+
+    /// Inserts `u` into the pair tier under sorted parents `(a, b)`.
+    fn pair_add(&mut self, u: u32, a: u32, b: u32) {
+        debug_assert!(a < b);
+        let Some(p) = self.pairs.as_mut() else { return };
+        for (side, parent) in [a, b].into_iter().enumerate() {
+            let list = &mut p.by_parent[parent as usize];
+            p.bp_idx[u as usize][side] = list.len() as u32;
+            list.push(u);
+        }
+    }
+
+    /// Removes `u` from the pair tier; `(a, b)` are its sorted parents at
+    /// insertion time. The swap-remove fix-up reads the moved member's
+    /// parents from its intrusive marks — O(1), no hashing.
+    fn pair_remove(&mut self, u: u32, a: u32, b: u32) {
+        debug_assert!(a < b);
+        let g = &self.g;
+        let Some(p) = self.pairs.as_mut() else { return };
+        for (side, parent) in [a, b].into_iter().enumerate() {
+            let i = p.bp_idx[u as usize][side] as usize;
+            let list = &mut p.by_parent[parent as usize];
+            debug_assert_eq!(list[i], u, "bp back-pointer must be fresh");
+            list.swap_remove(i);
+            if i < list.len() {
+                let moved = list[i];
+                // Which of `moved`'s two slots points at this parent list?
+                let m0 = g.marked_neighbor(moved, 0);
+                let m1 = g.marked_neighbor(moved, 1);
+                debug_assert!(parent == m0 || parent == m1);
+                let moved_side = usize::from(parent == m0.max(m1));
+                p.bp_idx[moved as usize][moved_side] = i as u32;
+            }
         }
     }
 
     /// Registers solution vertex `v` as a new solution neighbor of `u`,
-    /// returning the bucket transition.
-    pub(crate) fn inc_count(&mut self, u: u32, v: u32) -> CountEvent {
-        let list = &mut self.sol_list[u as usize];
-        self.sol_pos.insert(dkey(u, v), list.len() as u32);
-        list.push(v);
-        self.count[u as usize] += 1;
-        match self.count[u as usize] {
-            1 => {
+    /// via the half-edge `adj[u][pos]` (which must point at `v`),
+    /// returning the bucket transition. Zero hash probes.
+    pub(crate) fn inc_count(&mut self, u: u32, pos: u32, v: u32) -> CountEvent {
+        debug_assert_eq!(self.g.neighbor_at(u, pos as usize), v);
+        let old = self.count[u as usize];
+        self.count[u as usize] = old + 1;
+        match old {
+            0 => {
+                self.g.mark_neighbor(u, pos);
                 self.bar1_add(v, u);
                 CountEvent::To1 { parent: v }
             }
-            2 => {
-                let old = self.sol_list[u as usize][0];
-                self.bar1_remove(old, u);
-                if let Some(p) = self.pairs.as_mut() {
-                    p.add(u, old, v);
-                }
+            1 => {
+                let prev = self.g.marked_neighbor(u, 0);
+                self.g.mark_neighbor(u, pos);
+                self.bar1_remove(prev, u);
+                self.pair_add(u, prev.min(v), prev.max(v));
                 CountEvent::To2 {
-                    a: old.min(v),
-                    b: old.max(v),
+                    a: prev.min(v),
+                    b: prev.max(v),
                 }
             }
-            3 => {
-                if let Some(p) = self.pairs.as_mut() {
-                    p.remove(u);
-                }
+            2 => {
+                let a = self.g.marked_neighbor(u, 0);
+                let b = self.g.marked_neighbor(u, 1);
+                self.g.mark_neighbor(u, pos);
+                self.pair_remove(u, a.min(b), a.max(b));
                 CountEvent::Other
             }
-            _ => CountEvent::Other,
+            _ => {
+                self.g.mark_neighbor(u, pos);
+                CountEvent::Other
+            }
         }
     }
 
-    /// Unregisters solution vertex `v` from `I(u)`, returning the bucket
-    /// transition. Handles bar-tier relocation, *including* the event of
-    /// `To1` being fired when count(u) drops from 1 to... — see match.
-    pub(crate) fn dec_count(&mut self, u: u32, v: u32) -> CountEvent {
-        let old_count = self.count[u as usize];
-        // Drop v from I(u) with the swap-remove + position-map trick.
-        let i = self
-            .sol_pos
-            .remove(&dkey(u, v))
-            .expect("sol entry must exist") as usize;
-        let list = &mut self.sol_list[u as usize];
-        list.swap_remove(i);
-        if i < list.len() {
-            self.sol_pos.insert(dkey(u, list[i]), i as u32);
-        }
-        self.count[u as usize] -= 1;
-        match old_count {
+    /// Unregisters solution vertex `v` from `I(u)` via the half-edge
+    /// `adj[u][pos]`, returning the bucket transition. Zero hash probes.
+    pub(crate) fn dec_count(&mut self, u: u32, pos: u32, v: u32) -> CountEvent {
+        debug_assert_eq!(self.g.neighbor_at(u, pos as usize), v);
+        let old = self.count[u as usize];
+        self.g.unmark_neighbor(u, pos);
+        self.count[u as usize] = old - 1;
+        match old {
             1 => {
                 self.bar1_remove(v, u);
                 CountEvent::To0
             }
             2 => {
-                if let Some(p) = self.pairs.as_mut() {
-                    p.remove(u);
-                }
-                let parent = self.sol_list[u as usize][0];
-                self.bar1_add(parent, u);
-                CountEvent::To1 { parent }
+                let rem = self.g.marked_neighbor(u, 0);
+                self.pair_remove(u, v.min(rem), v.max(rem));
+                self.bar1_add(rem, u);
+                CountEvent::To1 { parent: rem }
             }
             3 => {
-                let l = &self.sol_list[u as usize];
-                let (a, b) = (l[0].min(l[1]), l[0].max(l[1]));
-                if let Some(p) = self.pairs.as_mut() {
-                    p.add(u, a, b);
-                }
+                let (a, b) = self.parents2(u);
+                self.pair_add(u, a, b);
                 CountEvent::To2 { a, b }
             }
             _ => CountEvent::Other,
@@ -379,6 +386,7 @@ impl SwapState {
     pub(crate) fn set_in(&mut self, v: u32) {
         debug_assert!(!self.status[v as usize]);
         debug_assert_eq!(self.count[v as usize], 0, "MoveIn needs count 0");
+        debug_assert_eq!(self.g.marked_count(v), 0, "I(v) must be empty");
         self.status[v as usize] = true;
         self.size += 1;
     }
@@ -392,41 +400,37 @@ impl SwapState {
     }
 
     /// Clears every per-vertex record of a (just removed) vertex `v` that
-    /// was **not** in the solution: bar/bucket membership and `I(v)`.
+    /// was **not** in the solution: bar/bucket membership and the
+    /// intrusive `I(v)` marks.
     pub(crate) fn purge_outsider(&mut self, v: u32) {
         match self.count[v as usize] {
             1 => {
-                let p = self.sol_list[v as usize][0];
+                let p = self.parent1(v);
                 self.bar1_remove(p, v);
             }
             2 => {
-                if let Some(p) = self.pairs.as_mut() {
-                    p.remove(v);
-                }
+                let (a, b) = self.parents2(v);
+                self.pair_remove(v, a, b);
             }
             _ => {}
         }
-        let sols = std::mem::take(&mut self.sol_list[v as usize]);
-        for s in sols {
-            self.sol_pos.remove(&dkey(v, s));
-        }
+        self.g.clear_vertex_marks(v);
         self.count[v as usize] = 0;
     }
 
     /// Approximate heap footprint of the framework bookkeeping (the
     /// quantity Fig. 5b / 6b report, minus the graph itself which is
-    /// added by the caller).
+    /// added by the caller). The intrusive `I(u)` storage lives inside
+    /// [`DynamicGraph::heap_bytes`] (payload slots + marked lists); what
+    /// remains here is pure dense-vector bookkeeping — the seed's
+    /// `sol_pos` / `bar1_pos` / `bp_pos` hash-map terms are gone because
+    /// the maps themselves are gone.
     pub fn heap_bytes(&self) -> usize {
-        let vecs: usize = self
-            .sol_list
-            .iter()
-            .chain(self.bar1.iter())
-            .map(|l| l.capacity() * 4)
-            .sum();
-        vecs + self.status.capacity()
+        let bar1: usize = self.bar1.iter().map(|l| l.capacity() * 4).sum();
+        bar1 + self.status.capacity()
             + self.count.capacity() * 4
-            + (self.sol_list.capacity() + self.bar1.capacity()) * std::mem::size_of::<Vec<u32>>()
-            + (self.sol_pos.capacity() + self.bar1_pos.capacity()) * 20
+            + self.bar1_idx.capacity() * 4
+            + self.bar1.capacity() * std::mem::size_of::<Vec<u32>>()
             + self.pairs.as_ref().map_or(0, PairTier::heap_bytes)
     }
 
@@ -444,6 +448,9 @@ impl SwapState {
                 if self.count[v as usize] != 0 {
                     return Err(format!("solution vertex {v} has nonzero count"));
                 }
+                if self.g.marked_count(v) != 0 {
+                    return Err(format!("solution vertex {v} has marked neighbors"));
+                }
             } else {
                 let sols: Vec<u32> = self
                     .g
@@ -460,28 +467,33 @@ impl SwapState {
                         sols.len()
                     ));
                 }
-                let mut have = self.sol_list[v as usize].clone();
+                let mut have: Vec<u32> = self.g.marked_neighbors(v).collect();
                 let mut want = sols.clone();
                 have.sort_unstable();
                 want.sort_unstable();
                 if have != want {
-                    return Err(format!("I({v}) list mismatch"));
+                    return Err(format!("intrusive I({v}) marks mismatch"));
                 }
                 match sols.len() {
                     1 => {
-                        if !self.bar1[sols[0] as usize].contains(&v) {
-                            return Err(format!("{v} missing from bar1({})", sols[0]));
+                        let i = self.bar1_idx[v as usize] as usize;
+                        if self.bar1[sols[0] as usize].get(i) != Some(&v) {
+                            return Err(format!("{v} bar1 back-pointer broken ({})", sols[0]));
                         }
                     }
                     2 => {
                         if let Some(p) = self.pairs.as_ref() {
-                            if !p.members(sols[0], sols[1]).contains(&v) {
-                                return Err(format!("{v} missing from bar2 bucket"));
-                            }
-                            for s in &sols {
-                                if !p.by_parent[*s as usize].contains(&v) {
-                                    return Err(format!("{v} missing from bar2_by_parent({s})"));
+                            let (a, b) = self.parents2(v);
+                            for (side, parent) in [a, b].into_iter().enumerate() {
+                                let i = p.bp_idx[v as usize][side] as usize;
+                                if p.by_parent[parent as usize].get(i) != Some(&v) {
+                                    return Err(format!(
+                                        "{v} bar2 back-pointer broken under {parent}"
+                                    ));
                                 }
+                            }
+                            if !self.bar2(sols[0], sols[1]).contains(&v) {
+                                return Err(format!("{v} missing from bar2 bucket"));
                             }
                         }
                     }
@@ -495,27 +507,29 @@ impl SwapState {
         // Reverse direction: no stale bucket members.
         for v in self.g.vertices() {
             for &u in &self.bar1[v as usize] {
-                if self.count[u as usize] != 1
-                    || self.sol_list[u as usize][0] != v
-                    || !self.status[v as usize]
-                {
+                if self.count[u as usize] != 1 || self.parent1(u) != v || !self.status[v as usize] {
                     return Err(format!("stale bar1 member {u} under {v}"));
                 }
             }
         }
         if let Some(p) = self.pairs.as_ref() {
-            for (key, members) in &p.bucket {
-                let (a, b) = dynamis_graph::hash::unpack_pair(*key);
-                for &u in members {
+            for v in self.g.vertices() {
+                for &u in &p.by_parent[v as usize] {
                     if self.count[u as usize] != 2 {
-                        return Err(format!("stale bar2 member {u}"));
+                        return Err(format!("stale bar2 member {u} under {v}"));
                     }
-                    let (x, y) = self.parents2(u);
-                    if (x, y) != (a, b) {
-                        return Err(format!("bar2 member {u} in wrong bucket"));
+                    let (a, b) = self.parents2(u);
+                    if v != a && v != b {
+                        return Err(format!("bar2 member {u} under non-parent {v}"));
                     }
                 }
             }
+        }
+        if self.hot_hash_probes != 0 {
+            return Err(format!(
+                "hot path issued {} hash probes (must be 0 with the intrusive layout)",
+                self.hot_hash_probes
+            ));
         }
         Ok(())
     }
@@ -524,6 +538,12 @@ impl SwapState {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Adjacency position of `v` inside `adj[u]` — test helper standing in
+    /// for the handle the engine gets from iteration/insertion.
+    fn pos_of(st: &SwapState, u: u32, v: u32) -> u32 {
+        st.g.edge_handle(u, v).expect("edge must exist").pos_u
+    }
 
     fn state_on_path() -> SwapState {
         // P5: 0-1-2-3-4 with I = {0, 2, 4}.
@@ -548,22 +568,26 @@ mod tests {
     fn inc_dec_round_trip() {
         let mut st = state_on_path();
         // Remove 0 from 1's solution list: count 2 → 1, moves to bar1(2).
-        let ev = st.dec_count(1, 0);
+        let p = pos_of(&st, 1, 0);
+        let ev = st.dec_count(1, p, 0);
         assert_eq!(ev, CountEvent::To1 { parent: 2 });
         assert_eq!(st.bar1(2), &[1]);
         assert!(st.bar2(0, 2).is_empty());
         // And back.
-        let ev = st.inc_count(1, 0);
+        let p = pos_of(&st, 1, 0);
+        let ev = st.inc_count(1, p, 0);
         assert!(matches!(ev, CountEvent::To2 { a: 0, b: 2 }));
         assert_eq!(st.bar2(0, 2), &[1]);
         assert!(st.bar1(2).is_empty());
+        assert_eq!(st.hot_hash_probes, 0, "bookkeeping must not hash");
     }
 
     #[test]
     fn dec_to_zero_signals_repair() {
         let g = DynamicGraph::from_edges(2, &[(0, 1)]);
         let mut st = SwapState::new(g, &[0], true);
-        assert_eq!(st.dec_count(1, 0), CountEvent::To0);
+        let p = pos_of(&st, 1, 0);
+        assert_eq!(st.dec_count(1, p, 0), CountEvent::To0);
         assert_eq!(st.count(1), 0);
     }
 
@@ -575,7 +599,8 @@ mod tests {
         assert_eq!(st.count(3), 3);
         assert!(st.bar2_by_parent(0).is_empty());
         // Drop to 2: enters bucket.
-        let ev = st.dec_count(3, 2);
+        let p = pos_of(&st, 3, 2);
+        let ev = st.dec_count(3, p, 2);
         assert!(matches!(ev, CountEvent::To2 { a: 0, b: 1 }));
         assert_eq!(st.bar2(0, 1), &[3]);
     }
@@ -586,7 +611,7 @@ mod tests {
         st.purge_outsider(1);
         assert_eq!(st.count(1), 0);
         assert!(st.bar2(0, 2).is_empty());
-        assert!(st.sol_neighbors(1).is_empty());
+        assert_eq!(st.sol_neighbors(1).count(), 0);
     }
 
     #[test]
@@ -603,6 +628,22 @@ mod tests {
     }
 
     #[test]
+    fn pair_tier_mixed_buckets_by_parent() {
+        // Parent 0 shared by two different pairs: {0,1} and {0,2}.
+        // by_parent[0] holds both; bucket filtering separates them.
+        let g = DynamicGraph::from_edges(5, &[(0, 3), (1, 3), (0, 4), (2, 4)]);
+        let mut st = SwapState::new(g, &[0, 1, 2], true);
+        assert_eq!(st.bar2_by_parent(0).len(), 2);
+        assert_eq!(st.bar2(0, 1), &[3]);
+        assert_eq!(st.bar2(0, 2), &[4]);
+        assert!(st.bar2(1, 2).is_empty());
+        // Swap-remove fix-up across mixed parent lists.
+        st.purge_outsider(3);
+        assert_eq!(st.bar2(0, 2), &[4]);
+        assert!(st.bar2(0, 1).is_empty());
+    }
+
+    #[test]
     fn pairs_tier_disabled_is_inert() {
         let g = DynamicGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
         let st = SwapState::new(g, &[0, 2, 4], false);
@@ -612,9 +653,20 @@ mod tests {
     }
 
     #[test]
+    fn rebuild_clears_stale_marks() {
+        // A graph inheriting marks from a previous engine must not
+        // double-mark during the bulk build.
+        let st1 = state_on_path();
+        let g = st1.g.clone(); // carries st1's intrusive marks
+        let st2 = SwapState::new(g, &[0, 2, 4], true);
+        st2.check_consistency().unwrap();
+        assert_eq!(st2.count(1), 2);
+    }
+
+    #[test]
     fn consistency_detects_violations() {
         let mut st = state_on_path();
-        st.status[1 as usize] = true; // corrupt: 1 adjacent to 0 ∈ I
+        st.status[1_usize] = true; // corrupt: 1 adjacent to 0 ∈ I
         assert!(st.check_consistency().is_err());
     }
 }

@@ -129,7 +129,11 @@ mod tests {
         assert!(e2.size() >= e1.size(), "k = 2 dominates k = 1");
         e2.check_consistency().unwrap();
         let csr = dynamis_graph::CsrGraph::from_dynamic(e2.graph());
-        assert!(dynamis_static::verify::is_k_maximal(&csr, &e2.solution(), 2));
+        assert!(dynamis_static::verify::is_k_maximal(
+            &csr,
+            &e2.solution(),
+            2
+        ));
     }
 
     #[test]

@@ -53,11 +53,9 @@ pub struct DatasetSpec {
 impl DatasetSpec {
     /// Deterministic generator seed derived from the dataset name.
     pub fn seed(&self) -> u64 {
-        self.name
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
-            })
+        self.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        })
     }
 
     /// Builds the scaled stand-in graph.
@@ -77,6 +75,7 @@ impl DatasetSpec {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // flat row-literal builder for the table below
 const fn spec(
     name: &'static str,
     paper_n: u64,
@@ -110,28 +109,226 @@ const fn spec(
 
 /// All 22 Table I rows, in the paper's order (easy first).
 pub const DATASETS: [DatasetSpec; 22] = [
-    spec("Epinions", 75_879, 405_740, 10.69, 2.3, Category::Easy, false, false),
-    spec("Slashdot", 82_168, 504_230, 12.27, 2.3, Category::Easy, false, false),
-    spec("Email", 265_214, 364_481, 2.75, 2.6, Category::Easy, false, false),
-    spec("com-dblp", 317_080, 1_049_866, 6.62, 2.5, Category::Easy, false, false),
-    spec("com-amazon", 334_863, 925_872, 5.53, 2.8, Category::Easy, false, false),
-    spec("web-Google", 875_713, 4_322_051, 9.87, 2.2, Category::Easy, false, false),
-    spec("web-BerkStan", 685_230, 6_649_470, 19.41, 2.1, Category::Easy, true, false),
-    spec("in-2004", 1_382_870, 13_591_473, 19.66, 2.1, Category::Easy, true, false),
-    spec("as-skitter", 1_696_415, 11_095_298, 13.08, 2.3, Category::Easy, true, false),
-    spec("hollywood", 1_985_306, 114_492_816, 115.34, 2.2, Category::Easy, true, false),
-    spec("WikiTalk", 2_394_385, 4_659_565, 3.89, 2.4, Category::Easy, true, false),
-    spec("com-lj", 3_997_962, 34_681_189, 17.35, 2.4, Category::Easy, true, false),
-    spec("soc-LiveJournal", 4_847_571, 42_851_237, 17.68, 2.4, Category::Easy, true, false),
-    spec("soc-pokec", 1_632_803, 22_301_964, 27.32, 2.4, Category::Hard, false, false),
-    spec("wiki-topcats", 1_791_489, 25_444_207, 28.41, 2.3, Category::Hard, false, false),
-    spec("com-orkut", 3_072_441, 117_185_083, 76.28, 2.3, Category::Hard, false, false),
-    spec("cit-Patents", 3_774_768, 16_518_947, 8.75, 2.7, Category::Hard, false, false),
-    spec("uk-2005", 39_454_746, 783_027_125, 39.70, 2.1, Category::Hard, false, true),
-    spec("it-2004", 41_290_682, 1_027_474_947, 49.77, 2.1, Category::Hard, false, true),
-    spec("twitter-2010", 41_652_230, 1_468_365_182, 70.51, 2.2, Category::Hard, false, true),
-    spec("Friendster", 65_608_366, 1_806_067_135, 55.06, 2.3, Category::Hard, false, true),
-    spec("uk-2007", 109_499_800, 3_448_528_200, 62.99, 2.1, Category::Hard, false, true),
+    spec(
+        "Epinions",
+        75_879,
+        405_740,
+        10.69,
+        2.3,
+        Category::Easy,
+        false,
+        false,
+    ),
+    spec(
+        "Slashdot",
+        82_168,
+        504_230,
+        12.27,
+        2.3,
+        Category::Easy,
+        false,
+        false,
+    ),
+    spec(
+        "Email",
+        265_214,
+        364_481,
+        2.75,
+        2.6,
+        Category::Easy,
+        false,
+        false,
+    ),
+    spec(
+        "com-dblp",
+        317_080,
+        1_049_866,
+        6.62,
+        2.5,
+        Category::Easy,
+        false,
+        false,
+    ),
+    spec(
+        "com-amazon",
+        334_863,
+        925_872,
+        5.53,
+        2.8,
+        Category::Easy,
+        false,
+        false,
+    ),
+    spec(
+        "web-Google",
+        875_713,
+        4_322_051,
+        9.87,
+        2.2,
+        Category::Easy,
+        false,
+        false,
+    ),
+    spec(
+        "web-BerkStan",
+        685_230,
+        6_649_470,
+        19.41,
+        2.1,
+        Category::Easy,
+        true,
+        false,
+    ),
+    spec(
+        "in-2004",
+        1_382_870,
+        13_591_473,
+        19.66,
+        2.1,
+        Category::Easy,
+        true,
+        false,
+    ),
+    spec(
+        "as-skitter",
+        1_696_415,
+        11_095_298,
+        13.08,
+        2.3,
+        Category::Easy,
+        true,
+        false,
+    ),
+    spec(
+        "hollywood",
+        1_985_306,
+        114_492_816,
+        115.34,
+        2.2,
+        Category::Easy,
+        true,
+        false,
+    ),
+    spec(
+        "WikiTalk",
+        2_394_385,
+        4_659_565,
+        3.89,
+        2.4,
+        Category::Easy,
+        true,
+        false,
+    ),
+    spec(
+        "com-lj",
+        3_997_962,
+        34_681_189,
+        17.35,
+        2.4,
+        Category::Easy,
+        true,
+        false,
+    ),
+    spec(
+        "soc-LiveJournal",
+        4_847_571,
+        42_851_237,
+        17.68,
+        2.4,
+        Category::Easy,
+        true,
+        false,
+    ),
+    spec(
+        "soc-pokec",
+        1_632_803,
+        22_301_964,
+        27.32,
+        2.4,
+        Category::Hard,
+        false,
+        false,
+    ),
+    spec(
+        "wiki-topcats",
+        1_791_489,
+        25_444_207,
+        28.41,
+        2.3,
+        Category::Hard,
+        false,
+        false,
+    ),
+    spec(
+        "com-orkut",
+        3_072_441,
+        117_185_083,
+        76.28,
+        2.3,
+        Category::Hard,
+        false,
+        false,
+    ),
+    spec(
+        "cit-Patents",
+        3_774_768,
+        16_518_947,
+        8.75,
+        2.7,
+        Category::Hard,
+        false,
+        false,
+    ),
+    spec(
+        "uk-2005",
+        39_454_746,
+        783_027_125,
+        39.70,
+        2.1,
+        Category::Hard,
+        false,
+        true,
+    ),
+    spec(
+        "it-2004",
+        41_290_682,
+        1_027_474_947,
+        49.77,
+        2.1,
+        Category::Hard,
+        false,
+        true,
+    ),
+    spec(
+        "twitter-2010",
+        41_652_230,
+        1_468_365_182,
+        70.51,
+        2.2,
+        Category::Hard,
+        false,
+        true,
+    ),
+    spec(
+        "Friendster",
+        65_608_366,
+        1_806_067_135,
+        55.06,
+        2.3,
+        Category::Hard,
+        false,
+        true,
+    ),
+    spec(
+        "uk-2007",
+        109_499_800,
+        3_448_528_200,
+        62.99,
+        2.1,
+        Category::Hard,
+        false,
+        true,
+    ),
 ];
 
 /// The thirteen easy graphs (Tables II, Fig. 5a/5b).

@@ -120,10 +120,7 @@ impl PlbEstimate {
             return None;
         }
         let z = zeta(2.0 * self.beta - 4.0);
-        Some(
-            self.c1 * (self.t + 1.0).powf(self.beta) / (2.0 * self.c2)
-                * (z * avg_degree).sqrt(),
-        )
+        Some(self.c1 * (self.t + 1.0).powf(self.beta) / (2.0 * self.c2) * (z * avg_degree).sqrt())
     }
 }
 
@@ -187,9 +184,7 @@ impl PlbFit {
         for d in d_lo..=d_hi {
             let lo = 1usize << d;
             let hi = 1usize << (d + 1);
-            let actual: usize = (lo..hi.min(histogram.len()))
-                .map(|i| histogram[i])
-                .sum();
+            let actual: usize = (lo..hi.min(histogram.len())).map(|i| histogram[i]).sum();
             let expect = reference(lo, hi);
             if expect <= 0.0 {
                 continue;
@@ -236,8 +231,8 @@ mod tests {
     fn beta_mle_recovers_synthetic_exponent() {
         // Build an exact power-law histogram n_d = round(C d^{-2.5}).
         let mut hist = vec![0usize; 200];
-        for d in 1..200usize {
-            hist[d] = (1e6 * (d as f64).powf(-2.5)).round() as usize;
+        for (d, slot) in hist.iter_mut().enumerate().skip(1) {
+            *slot = (1e6 * (d as f64).powf(-2.5)).round() as usize;
         }
         let beta = estimate_beta_mle(&hist, 1).unwrap();
         assert!(

@@ -87,7 +87,7 @@ pub fn configuration_model_erased(degrees: &[usize], seed: u64) -> DynamicGraph 
     let n = degrees.len();
     let mut stubs: Vec<u32> = Vec::with_capacity(degrees.iter().sum());
     for (v, &d) in degrees.iter().enumerate() {
-        stubs.extend(std::iter::repeat(v as u32).take(d));
+        stubs.extend(std::iter::repeat_n(v as u32, d));
     }
     let mut rng = crate::rng(seed);
     stubs.shuffle(&mut rng);
@@ -104,12 +104,7 @@ pub fn configuration_model_erased(degrees: &[usize], seed: u64) -> DynamicGraph 
 /// Samples an integral power-law degree sequence with exponent `beta` and
 /// minimum degree `dmin`, truncated at `n - 1`, with an even stub total
 /// (required by the configuration model).
-pub fn powerlaw_degree_sequence(
-    n: usize,
-    beta: f64,
-    dmin: usize,
-    seed: u64,
-) -> Vec<usize> {
+pub fn powerlaw_degree_sequence(n: usize, beta: f64, dmin: usize, seed: u64) -> Vec<usize> {
     assert!(beta > 1.0);
     assert!(dmin >= 1);
     let mut rng = crate::rng(seed);
@@ -182,7 +177,7 @@ mod tests {
         let seq = powerlaw_degree_sequence(500, 2.5, 1, 9);
         assert_eq!(seq.len(), 500);
         assert_eq!(seq.iter().sum::<usize>() % 2, 0, "stub total must be even");
-        assert!(seq.iter().all(|&d| d >= 1 && d < 500));
+        assert!(seq.iter().all(|&d| (1..500).contains(&d)));
         // Most mass at the minimum degree for beta = 2.5.
         let ones = seq.iter().filter(|&&d| d == 1).count();
         assert!(ones > 200, "expected power-law mass at dmin, got {ones}");

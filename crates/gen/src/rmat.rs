@@ -176,7 +176,18 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn bad_probabilities_panic() {
-        rmat(4, 10, RmatConfig { a: 0.9, b: 0.3, c: 0.1, d: 0.1, noise: 0.0 }, 1);
+        rmat(
+            4,
+            10,
+            RmatConfig {
+                a: 0.9,
+                b: 0.3,
+                c: 0.1,
+                d: 0.1,
+                noise: 0.0,
+            },
+            1,
+        );
     }
 
     #[test]

@@ -243,7 +243,8 @@ impl UpdateStream {
             }
         }
         // Unreachable in practice: vertex insertion always succeeds.
-        self.try_vertex_insert().expect("vertex insertion cannot fail")
+        self.try_vertex_insert()
+            .expect("vertex insertion cannot fail")
     }
 
     /// Emits `count` updates.
@@ -329,10 +330,10 @@ mod tests {
         let wl = Workload::generate(g.clone(), 1000, StreamConfig::edges_only(), 6);
         let end = wl.final_graph();
         assert_eq!(end.num_vertices(), 25);
-        assert!(wl.updates.iter().all(|u| matches!(
-            u,
-            Update::InsertEdge(..) | Update::RemoveEdge(..)
-        )));
+        assert!(wl
+            .updates
+            .iter()
+            .all(|u| matches!(u, Update::InsertEdge(..) | Update::RemoveEdge(..))));
     }
 
     #[test]

@@ -239,8 +239,14 @@ mod tests {
             window: 15,
             arrivals: 200,
         };
-        assert_eq!(sliding_window(cfg, 7).updates, sliding_window(cfg, 7).updates);
-        assert_ne!(sliding_window(cfg, 7).updates, sliding_window(cfg, 8).updates);
+        assert_eq!(
+            sliding_window(cfg, 7).updates,
+            sliding_window(cfg, 7).updates
+        );
+        assert_ne!(
+            sliding_window(cfg, 7).updates,
+            sliding_window(cfg, 8).updates
+        );
     }
 
     #[test]

@@ -191,10 +191,7 @@ mod tests {
         let back = read_trace(buf.as_slice()).unwrap();
         assert_same_workload(&wl, &back);
         // The replayed final graphs agree too.
-        assert_eq!(
-            wl.final_graph().num_edges(),
-            back.final_graph().num_edges()
-        );
+        assert_eq!(wl.final_graph().num_edges(), back.final_graph().num_edges());
     }
 
     #[test]

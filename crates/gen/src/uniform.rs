@@ -81,7 +81,7 @@ fn rank_to_pair(rank: u64, n: u64) -> (u32, u32) {
     let mut lo = 0u64;
     let mut hi = n - 1;
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         if mid * (2 * n - mid - 1) / 2 <= rank {
             lo = mid;
         } else {

@@ -56,7 +56,10 @@ impl Matching {
             count += 1;
         }
         if count != 2 * self.size {
-            return Err(format!("size {} != {}/2 matched endpoints", self.size, count));
+            return Err(format!(
+                "size {} != {}/2 matched endpoints",
+                self.size, count
+            ));
         }
         Ok(())
     }
@@ -127,12 +130,7 @@ pub fn hopcroft_karp(g: &CsrGraph) -> Option<Matching> {
             break;
         }
         // DFS phase: vertex-disjoint augmenting paths along the layering.
-        fn try_augment(
-            v: u32,
-            g: &CsrGraph,
-            mate: &mut [u32],
-            dist: &mut [u32],
-        ) -> bool {
+        fn try_augment(v: u32, g: &CsrGraph, mate: &mut [u32], dist: &mut [u32]) -> bool {
             for i in 0..g.degree(v) {
                 let u = g.neighbors(v)[i];
                 let w = mate[u as usize];

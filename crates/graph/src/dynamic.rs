@@ -4,10 +4,24 @@
 //! Adjacency is stored as one `Vec<AdjEntry>` per vertex. Each half-edge
 //! records the position (`mirror`) of its reciprocal half-edge, so removing
 //! an edge is two `swap_remove` calls plus pointer fix-ups — no scanning.
-//! A global hash index (vertex pair → half-edge position) locates an
-//! arbitrary edge in O(1); this is the extra bookkeeping the paper accepts
-//! in exchange for constant-time updates ("a pointer to v ∈ I(u) is
-//! recorded in edge (v, u)").
+//!
+//! ## Intrusive payload slots
+//!
+//! Beyond `mirror`, every half-edge carries one intrusive `payload` slot
+//! implementing the paper's "a pointer to v ∈ I(u) is recorded in edge
+//! (v, u)": a vertex `u` may *mark* some of its half-edges, and the graph
+//! maintains, per vertex, the dense list of marked adjacency positions
+//! (`marked[u]`) together with each marked half-edge's index inside that
+//! list (the payload). Both directions are repaired through the same
+//! `swap_remove` fix-ups that keep `mirror` pointers valid, so the
+//! maintenance framework gets O(1) insert/remove/iterate over `I(u)` —
+//! the set of solution neighbors of `u` — with **zero hash-map probes**.
+//!
+//! A global hash index (vertex pair → half-edge position) still locates an
+//! arbitrary edge in O(1), but it is consulted only by the *entry points*
+//! that receive an edge as a vertex pair ([`DynamicGraph::has_edge`],
+//! [`DynamicGraph::remove_edge`], [`DynamicGraph::edge_handle`]) — never
+//! by the per-neighbor inner loops, which speak [`EdgeHandle`] positions.
 
 use crate::error::GraphError;
 use crate::hash::{pair_key, FxHashMap};
@@ -16,6 +30,9 @@ use crate::Result;
 /// Dense vertex identifier. Ids of removed vertices are recycled.
 pub type VertexId = u32;
 
+/// Sentinel for "this half-edge is not marked".
+const NO_PAYLOAD: u32 = u32::MAX;
+
 /// One directed half of an undirected edge.
 #[derive(Debug, Clone, Copy)]
 struct AdjEntry {
@@ -23,6 +40,29 @@ struct AdjEntry {
     neighbor: u32,
     /// Index of the reciprocal half-edge inside `adj[neighbor]`.
     mirror: u32,
+    /// Index of this half-edge inside `marked[owner]`, or [`NO_PAYLOAD`].
+    /// This is the intrusive slot the maintenance framework uses to keep
+    /// the position of `neighbor ∈ I(owner)` — "recorded in the edge".
+    payload: u32,
+}
+
+/// Resolved positions of one undirected edge `(u, v)`: the index of the
+/// `u → v` half-edge inside `adj[u]` and of `v → u` inside `adj[v]`.
+///
+/// Handles are obtained from [`DynamicGraph::edge_handle`] (one hash
+/// probe) or [`DynamicGraph::insert_edge_handle`] (no extra probe beyond
+/// the insertion itself) and stay valid until the next *removal* touching
+/// either endpoint's adjacency list (insertions only append).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeHandle {
+    /// First endpoint (as passed to the resolving call).
+    pub u: VertexId,
+    /// Second endpoint.
+    pub v: VertexId,
+    /// Position of the `u → v` half-edge in `adj[u]`.
+    pub pos_u: u32,
+    /// Position of the `v → u` half-edge in `adj[v]`.
+    pub pos_v: u32,
 }
 
 /// An unweighted, undirected, simple graph under fully dynamic updates.
@@ -43,9 +83,13 @@ struct AdjEntry {
 #[derive(Debug, Clone, Default)]
 pub struct DynamicGraph {
     adj: Vec<Vec<AdjEntry>>,
+    /// `marked[u]` — adjacency positions of u's marked half-edges, in
+    /// arbitrary order. The payload slot of `adj[u][marked[u][j]]` is `j`.
+    marked: Vec<Vec<u32>>,
     alive: Vec<bool>,
     free: Vec<u32>,
     /// pair_key(u, v) → position of the half-edge stored in `adj[min(u, v)]`.
+    /// Entry-point index only; the update inner loops never consult it.
     edges: FxHashMap<u64, u32>,
     n_alive: usize,
 }
@@ -60,6 +104,7 @@ impl DynamicGraph {
     pub fn with_capacity(n: usize) -> Self {
         DynamicGraph {
             adj: Vec::with_capacity(n),
+            marked: Vec::with_capacity(n),
             alive: Vec::with_capacity(n),
             free: Vec::new(),
             edges: FxHashMap::default(),
@@ -68,13 +113,19 @@ impl DynamicGraph {
     }
 
     /// Builds a graph with vertices `0..n` and the given undirected edges.
-    /// Duplicate edges and self-loops are ignored.
+    /// Duplicate edges and self-loops are skipped (documented tolerance);
+    /// any *other* insertion failure — e.g. an endpoint `≥ n` — is a bug
+    /// in the caller and trips a debug assertion.
     pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
         let mut g = Self::with_capacity(n);
         g.add_vertices(n);
         for &(u, v) in edges {
-            if u != v {
-                let _ = g.insert_edge(u, v);
+            if u == v {
+                continue; // self-loop: documented skip
+            }
+            match g.insert_edge(u, v) {
+                Ok(_) => {} // Ok(false) = duplicate: documented skip
+                Err(e) => debug_assert!(false, "from_edges(({u}, {v})): {e}"),
             }
         }
         g
@@ -122,6 +173,7 @@ impl DynamicGraph {
         } else {
             let v = self.adj.len() as u32;
             self.adj.push(Vec::new());
+            self.marked.push(Vec::new());
             self.alive.push(true);
             v
         }
@@ -146,6 +198,7 @@ impl DynamicGraph {
     pub fn ensure_vertex(&mut self, v: VertexId) {
         while self.adj.len() <= v as usize {
             self.adj.push(Vec::new());
+            self.marked.push(Vec::new());
             self.alive.push(false);
         }
         if !self.alive[v as usize] {
@@ -156,9 +209,13 @@ impl DynamicGraph {
     }
 
     /// Removes `v` and all incident edges, returning its former neighbors.
+    ///
+    /// Any marks involving `v` — marks `v` held on its own half-edges and
+    /// marks its neighbors held on their half-edges to `v` — are dropped.
     pub fn remove_vertex(&mut self, v: VertexId) -> Result<Vec<VertexId>> {
         self.check_alive(v)?;
         let entries = std::mem::take(&mut self.adj[v as usize]);
+        self.marked[v as usize].clear();
         let mut former = Vec::with_capacity(entries.len());
         // Drop the reciprocal half of each incident edge. Positions recorded
         // in `entries` stay valid because we only mutate other vertices'
@@ -179,6 +236,15 @@ impl DynamicGraph {
     /// Returns `Ok(true)` if the edge was new, `Ok(false)` if it already
     /// existed.
     pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> Result<bool> {
+        self.insert_edge_handle(u, v).map(|h| h.is_some())
+    }
+
+    /// Inserts the undirected edge `(u, v)`, returning the handle of the
+    /// freshly inserted edge — `None` if the edge already existed.
+    ///
+    /// This is the hot-path insertion entry point: the caller gets the
+    /// half-edge positions without a second index probe.
+    pub fn insert_edge_handle(&mut self, u: VertexId, v: VertexId) -> Result<Option<EdgeHandle>> {
         if u == v {
             return Err(GraphError::SelfLoop(u));
         }
@@ -186,21 +252,46 @@ impl DynamicGraph {
         self.check_alive(v)?;
         let key = pair_key(u, v);
         if self.edges.contains_key(&key) {
-            return Ok(false);
+            return Ok(None);
         }
         let pu = self.adj[u as usize].len() as u32;
         let pv = self.adj[v as usize].len() as u32;
         self.adj[u as usize].push(AdjEntry {
             neighbor: v,
             mirror: pv,
+            payload: NO_PAYLOAD,
         });
         self.adj[v as usize].push(AdjEntry {
             neighbor: u,
             mirror: pu,
+            payload: NO_PAYLOAD,
         });
         let a_pos = if u < v { pu } else { pv };
         self.edges.insert(key, a_pos);
-        Ok(true)
+        Ok(Some(EdgeHandle {
+            u,
+            v,
+            pos_u: pu,
+            pos_v: pv,
+        }))
+    }
+
+    /// Resolves the edge `(u, v)` to its half-edge positions with a single
+    /// index probe. `None` if the edge does not exist (or `u == v`).
+    pub fn edge_handle(&self, u: VertexId, v: VertexId) -> Option<EdgeHandle> {
+        if u == v {
+            return None;
+        }
+        let &pos_a = self.edges.get(&pair_key(u, v))?;
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let pos_b = self.adj[a as usize][pos_a as usize].mirror;
+        debug_assert_eq!(self.adj[a as usize][pos_a as usize].neighbor, b);
+        let (pos_u, pos_v) = if u < v {
+            (pos_a, pos_b)
+        } else {
+            (pos_b, pos_a)
+        };
+        Some(EdgeHandle { u, v, pos_u, pos_v })
     }
 
     /// Removes the undirected edge `(u, v)`.
@@ -212,27 +303,45 @@ impl DynamicGraph {
         }
         self.check_alive(u)?;
         self.check_alive(v)?;
-        let key = pair_key(u, v);
-        let Some(pos_a) = self.edges.remove(&key) else {
+        let Some(h) = self.edge_handle(u, v) else {
             return Ok(false);
         };
-        let (a, b) = if u < v { (u, v) } else { (v, u) };
-        let pos_b = self.adj[a as usize][pos_a as usize].mirror;
-        // A simple graph holds exactly one a–b edge, so the fix-up performed
-        // by the first removal can never touch the half-edge removed second.
-        self.remove_half(a, pos_a as usize);
-        self.remove_half(b, pos_b as usize);
+        self.remove_edge_at(h);
         Ok(true)
     }
 
-    /// `swap_remove`s `adj[x][pos]`, repairing the mirror pointer and edge
-    /// index of whichever half-edge got moved into the hole.
+    /// Removes the edge a previously resolved handle points at. The handle
+    /// must be *fresh*: obtained after the last removal touching either
+    /// endpoint (checked in debug builds).
+    ///
+    /// Any marks on the two half-edges are dropped.
+    pub fn remove_edge_at(&mut self, h: EdgeHandle) {
+        debug_assert_eq!(self.adj[h.u as usize][h.pos_u as usize].neighbor, h.v);
+        debug_assert_eq!(self.adj[h.v as usize][h.pos_v as usize].neighbor, h.u);
+        self.edges.remove(&pair_key(h.u, h.v));
+        // A simple graph holds exactly one u–v edge, so the fix-up performed
+        // by the first removal can never touch the half-edge removed second.
+        self.remove_half(h.u, h.pos_u as usize);
+        self.remove_half(h.v, h.pos_v as usize);
+    }
+
+    /// `swap_remove`s `adj[x][pos]`, repairing the mirror pointer, payload
+    /// slot, and edge index of whichever half-edge got moved into the hole.
+    /// A mark on the removed half-edge itself is dropped first.
     fn remove_half(&mut self, x: VertexId, pos: usize) {
+        if self.adj[x as usize][pos].payload != NO_PAYLOAD {
+            self.unmark_neighbor(x, pos as u32);
+        }
         let list = &mut self.adj[x as usize];
         list.swap_remove(pos);
         if pos < list.len() {
             let moved = list[pos];
             self.adj[moved.neighbor as usize][moved.mirror as usize].mirror = pos as u32;
+            if moved.payload != NO_PAYLOAD {
+                // Keep the intrusive back-pointer fresh: the moved
+                // half-edge's record in marked[x] must follow it.
+                self.marked[x as usize][moved.payload as usize] = pos as u32;
+            }
             if x < moved.neighbor {
                 // The edge index references positions in the smaller
                 // endpoint's list only.
@@ -241,7 +350,79 @@ impl DynamicGraph {
         }
     }
 
-    /// O(1) edge existence test.
+    /// Marks the half-edge `adj[u][pos]`, registering its neighbor in
+    /// `marked(u)` — O(1), no hashing. The half-edge must be unmarked.
+    #[inline]
+    pub fn mark_neighbor(&mut self, u: VertexId, pos: u32) {
+        let entry = &mut self.adj[u as usize][pos as usize];
+        debug_assert_eq!(entry.payload, NO_PAYLOAD, "half-edge already marked");
+        entry.payload = self.marked[u as usize].len() as u32;
+        self.marked[u as usize].push(pos);
+    }
+
+    /// Unmarks the half-edge `adj[u][pos]` — O(1), no hashing. The
+    /// half-edge must be marked.
+    #[inline]
+    pub fn unmark_neighbor(&mut self, u: VertexId, pos: u32) {
+        let entry = &mut self.adj[u as usize][pos as usize];
+        let j = entry.payload as usize;
+        debug_assert_ne!(entry.payload, NO_PAYLOAD, "half-edge not marked");
+        entry.payload = NO_PAYLOAD;
+        let list = &mut self.marked[u as usize];
+        list.swap_remove(j);
+        if j < list.len() {
+            let moved_pos = list[j];
+            self.adj[u as usize][moved_pos as usize].payload = j as u32;
+        }
+    }
+
+    /// Whether the half-edge `adj[u][pos]` is marked.
+    #[inline]
+    pub fn is_marked(&self, u: VertexId, pos: u32) -> bool {
+        self.adj[u as usize][pos as usize].payload != NO_PAYLOAD
+    }
+
+    /// Number of marked neighbors of `u` — `|I(u)|` in framework terms.
+    #[inline]
+    pub fn marked_count(&self, u: VertexId) -> usize {
+        self.marked[u as usize].len()
+    }
+
+    /// The `j`-th marked neighbor of `u` (arbitrary but stable order
+    /// between mutations).
+    #[inline]
+    pub fn marked_neighbor(&self, u: VertexId, j: usize) -> VertexId {
+        let pos = self.marked[u as usize][j];
+        self.adj[u as usize][pos as usize].neighbor
+    }
+
+    /// Iterates the marked neighbors of `u`.
+    #[inline]
+    pub fn marked_neighbors(&self, u: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.marked[u as usize]
+            .iter()
+            .map(move |&pos| self.adj[u as usize][pos as usize].neighbor)
+    }
+
+    /// Clears every mark `u` holds (O(marked_count(u)), allocation kept).
+    pub fn clear_vertex_marks(&mut self, u: VertexId) {
+        let (adj, marked) = (&mut self.adj[u as usize], &mut self.marked[u as usize]);
+        for &pos in marked.iter() {
+            adj[pos as usize].payload = NO_PAYLOAD;
+        }
+        marked.clear();
+    }
+
+    /// Clears every mark in the graph (O(total marks)). Engines call this
+    /// before adopting a graph whose previous owner left marks behind
+    /// (e.g. a cloned snapshot).
+    pub fn clear_marks(&mut self) {
+        for u in 0..self.adj.len() as u32 {
+            self.clear_vertex_marks(u);
+        }
+    }
+
+    /// O(1) edge existence test (one index probe).
     #[inline]
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
         u != v && self.edges.contains_key(&pair_key(u, v))
@@ -261,6 +442,20 @@ impl DynamicGraph {
             .into_iter()
             .flatten()
             .map(|e| e.neighbor)
+    }
+
+    /// Iterates `(neighbor, mirror)` pairs of `v`'s half-edges: `mirror`
+    /// is the position of the reciprocal half-edge inside
+    /// `adj[neighbor]` — i.e. a ready-made half-edge handle on the
+    /// neighbor's side. This is the hot-loop iterator engines use to
+    /// reach each neighbor's intrusive slot without hashing.
+    #[inline]
+    pub fn half_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, u32)> + '_ {
+        self.adj
+            .get(v as usize)
+            .into_iter()
+            .flatten()
+            .map(|e| (e.neighbor, e.mirror))
     }
 
     /// Random access into the adjacency of `v` (hot-loop helper).
@@ -297,28 +492,37 @@ impl DynamicGraph {
         }
     }
 
-    /// Approximate heap footprint in bytes (adjacency + edge index).
+    /// Approximate heap footprint in bytes (adjacency — including the
+    /// intrusive payload slots — plus marked lists and the edge index).
     pub fn heap_bytes(&self) -> usize {
         let adj: usize = self
             .adj
             .iter()
             .map(|l| l.capacity() * std::mem::size_of::<AdjEntry>())
             .sum();
-        adj + self.adj.capacity() * std::mem::size_of::<Vec<AdjEntry>>()
+        let marked: usize = self.marked.iter().map(|l| l.capacity() * 4).sum();
+        adj + marked
+            + self.adj.capacity() * std::mem::size_of::<Vec<AdjEntry>>()
+            + self.marked.capacity() * std::mem::size_of::<Vec<u32>>()
             + self.alive.capacity()
             + self.edges.capacity() * (std::mem::size_of::<(u64, u32)>() + 8)
     }
 
     /// Exhaustive internal-consistency check. Test/debug use only: O(n + m).
     ///
-    /// Verifies that mirror pointers are reciprocal, the edge index matches
-    /// the adjacency lists, dead vertices have no edges, and the half-edge
+    /// Verifies that mirror pointers are reciprocal, payload slots and
+    /// marked lists are mutually consistent, the edge index matches the
+    /// adjacency lists, dead vertices have no edges, and the half-edge
     /// count is exactly `2m`.
     pub fn check_consistency(&self) -> std::result::Result<(), String> {
         let mut half_edges = 0usize;
+        let mut marks = 0usize;
         for v in 0..self.adj.len() as u32 {
             if !self.alive[v as usize] && !self.adj[v as usize].is_empty() {
                 return Err(format!("dead vertex {v} still has edges"));
+            }
+            if !self.alive[v as usize] && !self.marked[v as usize].is_empty() {
+                return Err(format!("dead vertex {v} still has marks"));
             }
             for (i, e) in self.adj[v as usize].iter().enumerate() {
                 half_edges += 1;
@@ -327,6 +531,17 @@ impl DynamicGraph {
                     .ok_or_else(|| format!("mirror of ({v},{}) out of range", e.neighbor))?;
                 if back.neighbor != v || back.mirror as usize != i {
                     return Err(format!("mirror mismatch on edge ({v},{})", e.neighbor));
+                }
+                if e.payload != NO_PAYLOAD {
+                    marks += 1;
+                    let slot = self.marked[v as usize].get(e.payload as usize);
+                    if slot != Some(&(i as u32)) {
+                        return Err(format!(
+                            "payload of half-edge ({v},{}) does not point back: \
+                             payload {} vs marked {:?}",
+                            e.neighbor, e.payload, slot
+                        ));
+                    }
                 }
                 let key = pair_key(v, e.neighbor);
                 let &pos = self
@@ -339,11 +554,28 @@ impl DynamicGraph {
                     return Err(format!("index position stale for ({v},{})", e.neighbor));
                 }
             }
+            for (j, &pos) in self.marked[v as usize].iter().enumerate() {
+                let entry = self.adj[v as usize]
+                    .get(pos as usize)
+                    .ok_or_else(|| format!("marked[{v}][{j}] = {pos} out of adjacency range"))?;
+                if entry.payload as usize != j {
+                    return Err(format!(
+                        "marked[{v}][{j}] -> pos {pos} whose payload is {}",
+                        entry.payload
+                    ));
+                }
+            }
         }
         if half_edges != 2 * self.edges.len() {
             return Err(format!(
                 "half-edge count {half_edges} != 2m = {}",
                 2 * self.edges.len()
+            ));
+        }
+        let marked_total: usize = self.marked.iter().map(Vec::len).sum();
+        if marks != marked_total {
+            return Err(format!(
+                "payload mark count {marks} != marked-list total {marked_total}"
             ));
         }
         if self.alive.iter().filter(|&&a| a).count() != self.n_alive {
@@ -480,9 +712,123 @@ mod tests {
     }
 
     #[test]
+    fn edge_handles_resolve_both_sides() {
+        let mut g = DynamicGraph::new();
+        g.add_vertices(3);
+        let h = g.insert_edge_handle(2, 0).unwrap().unwrap();
+        assert_eq!((h.u, h.v), (2, 0));
+        assert_eq!(g.neighbor_at(2, h.pos_u as usize), 0);
+        assert_eq!(g.neighbor_at(0, h.pos_v as usize), 2);
+        assert!(g.insert_edge_handle(0, 2).unwrap().is_none(), "duplicate");
+        let r = g.edge_handle(0, 2).unwrap();
+        assert_eq!((r.u, r.v), (0, 2));
+        assert_eq!(g.neighbor_at(0, r.pos_u as usize), 2);
+        assert_eq!(g.neighbor_at(2, r.pos_v as usize), 0);
+        assert!(g.edge_handle(0, 1).is_none());
+        assert!(g.edge_handle(1, 1).is_none());
+    }
+
+    #[test]
+    fn remove_edge_at_handle() {
+        let mut g = DynamicGraph::from_edges(4, &[(0, 1), (0, 2), (1, 2)]);
+        let h = g.edge_handle(0, 1).unwrap();
+        g.remove_edge_at(h);
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.num_edges(), 2);
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn marks_survive_unrelated_removals() {
+        // Mark 0's half-edges to 2 and 4, then delete other edges of 0,
+        // forcing swap_remove relocations through the marked entries.
+        let mut g = DynamicGraph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let h2 = g.edge_handle(0, 2).unwrap();
+        let h4 = g.edge_handle(0, 4).unwrap();
+        g.mark_neighbor(0, h2.pos_u);
+        g.mark_neighbor(0, h4.pos_u);
+        assert_eq!(g.marked_count(0), 2);
+        g.check_consistency().unwrap();
+        g.remove_edge(0, 1).unwrap(); // relocates (0,5) into slot 0
+        g.remove_edge(0, 3).unwrap(); // relocates a marked entry
+        g.check_consistency().unwrap();
+        let mut ms: Vec<u32> = g.marked_neighbors(0).collect();
+        ms.sort_unstable();
+        assert_eq!(ms, vec![2, 4], "marks follow relocated half-edges");
+    }
+
+    #[test]
+    fn removing_marked_edge_drops_the_mark() {
+        let mut g = DynamicGraph::from_edges(3, &[(0, 1), (0, 2)]);
+        let h = g.edge_handle(0, 1).unwrap();
+        g.mark_neighbor(0, h.pos_u);
+        g.remove_edge(0, 1).unwrap();
+        assert_eq!(g.marked_count(0), 0);
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn remove_vertex_drops_reciprocal_marks() {
+        // 1 marks its edge to 0; removing 0 must unmark it.
+        let mut g = DynamicGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let h = g.edge_handle(1, 0).unwrap();
+        g.mark_neighbor(1, h.pos_u);
+        let h2 = g.edge_handle(0, 1).unwrap();
+        g.mark_neighbor(0, h2.pos_u); // 0's own mark dies with it
+        g.remove_vertex(0).unwrap();
+        assert_eq!(g.marked_count(1), 0);
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn mark_unmark_round_trip_keeps_payload_dense() {
+        let mut g = DynamicGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        for v in [1u32, 2, 3, 4] {
+            let h = g.edge_handle(0, v).unwrap();
+            g.mark_neighbor(0, h.pos_u);
+        }
+        assert_eq!(g.marked_count(0), 4);
+        // Unmark the middle one: swap_remove must repair the moved slot.
+        let h = g.edge_handle(0, 2).unwrap();
+        g.unmark_neighbor(0, h.pos_u);
+        assert!(!g.is_marked(0, h.pos_u));
+        g.check_consistency().unwrap();
+        let mut ms: Vec<u32> = g.marked_neighbors(0).collect();
+        ms.sort_unstable();
+        assert_eq!(ms, vec![1, 3, 4]);
+        assert_eq!(g.marked_neighbor(0, 0), {
+            let pos = g.marked[0][0];
+            g.neighbor_at(0, pos as usize)
+        });
+    }
+
+    #[test]
+    fn clear_marks_resets_everything() {
+        let mut g = DynamicGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let h = g.edge_handle(1, 0).unwrap();
+        g.mark_neighbor(1, h.pos_u);
+        let h = g.edge_handle(2, 3).unwrap();
+        g.mark_neighbor(2, h.pos_u);
+        g.clear_marks();
+        assert_eq!(g.marked_count(1) + g.marked_count(2), 0);
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn half_edges_yield_valid_reciprocal_handles() {
+        let g = DynamicGraph::from_edges(5, &[(0, 1), (0, 2), (2, 3), (2, 4)]);
+        for v in g.vertices() {
+            for (n, mirror) in g.half_edges(v) {
+                assert_eq!(g.neighbor_at(n, mirror as usize), v);
+            }
+        }
+    }
+
+    #[test]
     fn interleaved_update_stress() {
-        // Deterministic pseudo-random interleaving of all four op kinds,
-        // checked against full consistency after every batch.
+        // Deterministic pseudo-random interleaving of all four op kinds
+        // plus mark/unmark churn, checked against full consistency after
+        // every batch.
         let mut g = DynamicGraph::new();
         g.add_vertices(40);
         let mut state = 0x9e3779b97f4a7c15u64;
@@ -495,20 +841,31 @@ mod tests {
         for round in 0..2000u32 {
             let op = rng() % 100;
             let cap = g.capacity() as u64;
-            if op < 45 {
+            if op < 40 {
                 let (u, v) = ((rng() % cap) as u32, (rng() % cap) as u32);
                 if u != v && g.is_alive(u) && g.is_alive(v) {
                     g.insert_edge(u, v).unwrap();
                 }
-            } else if op < 80 {
+            } else if op < 70 {
                 let (u, v) = ((rng() % cap) as u32, (rng() % cap) as u32);
                 if u != v && g.is_alive(u) && g.is_alive(v) {
                     g.remove_edge(u, v).unwrap();
                 }
-            } else if op < 90 {
+            } else if op < 80 {
                 let v = (rng() % cap) as u32;
                 if g.is_alive(v) && g.num_vertices() > 2 {
                     g.remove_vertex(v).unwrap();
+                }
+            } else if op < 90 {
+                // Toggle the mark on a random half-edge.
+                let v = (rng() % cap) as u32;
+                if g.is_alive(v) && g.degree(v) > 0 {
+                    let pos = (rng() % g.degree(v) as u64) as u32;
+                    if g.is_marked(v, pos) {
+                        g.unmark_neighbor(v, pos);
+                    } else {
+                        g.mark_neighbor(v, pos);
+                    }
                 }
             } else {
                 g.add_vertex();

@@ -17,48 +17,76 @@
 
 use crate::error::GraphError;
 use crate::{DynamicGraph, Result};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::io::{Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"DYNG";
 const VERSION: u16 = 1;
 
+/// Little-endian reader over a byte slice (std-only stand-in for the
+/// `bytes::Buf` cursor this module originally used).
+struct Reader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let (head, tail) = self.data.split_at(n);
+        self.data = tail;
+        head
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take(2).try_into().expect("length checked"))
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("length checked"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("length checked"))
+    }
+}
+
 /// Serializes a graph into a fresh byte buffer.
-pub fn encode_graph(g: &DynamicGraph) -> Bytes {
+pub fn encode_graph(g: &DynamicGraph) -> Vec<u8> {
     let slots = g.capacity();
     let bitmap_len = slots.div_ceil(8);
-    let mut buf = BytesMut::with_capacity(4 + 2 + 4 + bitmap_len + 8 + g.num_edges() * 8);
-    buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
-    buf.put_u32_le(slots as u32);
+    let mut buf = Vec::with_capacity(4 + 2 + 4 + bitmap_len + 8 + g.num_edges() * 8);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(slots as u32).to_le_bytes());
     let mut bitmap = vec![0u8; bitmap_len];
     for v in g.vertices() {
         bitmap[(v / 8) as usize] |= 1 << (v % 8);
     }
-    buf.put_slice(&bitmap);
+    buf.extend_from_slice(&bitmap);
     let mut edges: Vec<_> = g.edges().collect();
     edges.sort_unstable();
-    buf.put_u64_le(edges.len() as u64);
+    buf.extend_from_slice(&(edges.len() as u64).to_le_bytes());
     for (u, v) in edges {
-        buf.put_u32_le(u);
-        buf.put_u32_le(v);
+        buf.extend_from_slice(&u.to_le_bytes());
+        buf.extend_from_slice(&v.to_le_bytes());
     }
-    buf.freeze()
+    buf
 }
 
 /// Deserializes a graph from a byte slice produced by [`encode_graph`].
-pub fn decode_graph(mut data: &[u8]) -> Result<DynamicGraph> {
+pub fn decode_graph(data: &[u8]) -> Result<DynamicGraph> {
     let corrupt = |message: &str| GraphError::Parse {
         line: 0,
         message: message.into(),
     };
+    let mut data = Reader { data };
     if data.remaining() < 10 {
         return Err(corrupt("truncated header"));
     }
-    let mut magic = [0u8; 4];
-    data.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    if data.take(4) != MAGIC {
         return Err(corrupt("bad magic (not a dynamis binary graph)"));
     }
     let version = data.get_u16_le();
@@ -70,8 +98,7 @@ pub fn decode_graph(mut data: &[u8]) -> Result<DynamicGraph> {
     if data.remaining() < bitmap_len + 8 {
         return Err(corrupt("truncated bitmap"));
     }
-    let mut bitmap = vec![0u8; bitmap_len];
-    data.copy_to_slice(&mut bitmap);
+    let bitmap = data.take(bitmap_len);
 
     let mut g = DynamicGraph::with_capacity(slots);
     g.add_vertices(slots);
@@ -84,7 +111,12 @@ pub fn decode_graph(mut data: &[u8]) -> Result<DynamicGraph> {
         }
     }
     let m = data.get_u64_le() as usize;
-    if data.remaining() < m * 8 {
+    // checked_mul: a crafted edge count must yield Err, not an overflow
+    // wrap that lets the read run past the slice and panic.
+    let edge_bytes = m
+        .checked_mul(8)
+        .ok_or_else(|| corrupt("edge count overflows"))?;
+    if data.remaining() < edge_bytes {
         return Err(corrupt("truncated edge section"));
     }
     for _ in 0..m {
@@ -100,7 +132,7 @@ pub fn decode_graph(mut data: &[u8]) -> Result<DynamicGraph> {
             return Err(corrupt("duplicate edge in binary stream"));
         }
     }
-    if data.has_remaining() {
+    if data.remaining() > 0 {
         return Err(corrupt("trailing bytes after edge section"));
     }
     Ok(g)
@@ -161,7 +193,10 @@ mod tests {
     #[test]
     fn corrupt_inputs_are_rejected() {
         assert!(decode_graph(b"").is_err(), "empty");
-        assert!(decode_graph(b"NOPE\x01\x00\x00\x00\x00\x00").is_err(), "magic");
+        assert!(
+            decode_graph(b"NOPE\x01\x00\x00\x00\x00\x00").is_err(),
+            "magic"
+        );
         let good = encode_graph(&DynamicGraph::from_edges(3, &[(0, 1)]));
         assert!(decode_graph(&good[..good.len() - 1]).is_err(), "truncated");
         let mut trailing = good.to_vec();
@@ -170,19 +205,27 @@ mod tests {
         let mut bad_version = good.to_vec();
         bad_version[4] = 9;
         assert!(decode_graph(&bad_version).is_err(), "version");
+        // Overflowing edge count must be a clean Err, not a panic.
+        let mut huge_m = Vec::new();
+        huge_m.extend_from_slice(MAGIC);
+        huge_m.extend_from_slice(&VERSION.to_le_bytes());
+        huge_m.extend_from_slice(&0u32.to_le_bytes());
+        huge_m.extend_from_slice(&(u64::MAX / 4).to_le_bytes());
+        huge_m.extend_from_slice(&[0u8; 8]);
+        assert!(decode_graph(&huge_m).is_err(), "overflowing edge count");
     }
 
     #[test]
     fn unordered_edge_is_rejected() {
         // Hand-build a stream with (1, 0) instead of (0, 1).
-        let mut buf = BytesMut::new();
-        buf.put_slice(MAGIC);
-        buf.put_u16_le(VERSION);
-        buf.put_u32_le(2);
-        buf.put_u8(0b11);
-        buf.put_u64_le(1);
-        buf.put_u32_le(1);
-        buf.put_u32_le(0);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.push(0b11);
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
         assert!(decode_graph(&buf).is_err());
     }
 

@@ -61,7 +61,12 @@ pub fn read_csr<P: AsRef<Path>>(path: P) -> Result<CsrGraph> {
 /// Writes a graph as an edge list with a statistics header comment.
 pub fn write_edge_list<W: Write>(g: &DynamicGraph, writer: W) -> Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# dynamis edge list: n={} m={}", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# dynamis edge list: n={} m={}",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     let mut edges: Vec<_> = g.edges().collect();
     edges.sort_unstable();
     for (u, v) in edges {

@@ -7,7 +7,13 @@
 //!   vertex/edge insertion and deletion in O(1) amortized time per edge
 //!   update. Edge deletion is constant-time thanks to *mirror-indexed*
 //!   adjacency lists (each half-edge stores the position of its reciprocal
-//!   half-edge) combined with a global edge index hashed with [`FxHasher`].
+//!   half-edge). Every half-edge additionally carries an intrusive
+//!   *payload slot* — the paper's "pointer to v ∈ I(u) recorded in edge
+//!   (v, u)" — giving maintenance frameworks O(1), hash-free membership
+//!   lists over each vertex's neighborhood (`mark_neighbor` /
+//!   `unmark_neighbor` / `marked_neighbors`). A global pair index hashed
+//!   with [`FxHasher`] resolves `(u, v)` entry points to [`EdgeHandle`]
+//!   positions; the per-neighbor inner loops never touch it.
 //! * [`CsrGraph`] — an immutable compressed-sparse-row snapshot used by the
 //!   static algorithms (exact solver, local search) and as a fast bulk-load
 //!   format.
@@ -35,7 +41,7 @@ pub mod io;
 pub mod update;
 
 pub use csr::CsrGraph;
-pub use dynamic::{DynamicGraph, VertexId};
+pub use dynamic::{DynamicGraph, EdgeHandle, VertexId};
 pub use error::GraphError;
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use update::{apply_update, Update};

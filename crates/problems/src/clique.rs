@@ -154,7 +154,10 @@ mod tests {
         assert!(is_clique(&g, &clique));
         // Triangle-free graph: ω = 2.
         let c5 = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
-        assert_eq!(max_clique_exact(&c5, ExactConfig::default()).unwrap().len(), 2);
+        assert_eq!(
+            max_clique_exact(&c5, ExactConfig::default()).unwrap().len(),
+            2
+        );
     }
 
     #[test]

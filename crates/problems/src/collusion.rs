@@ -159,11 +159,7 @@ mod tests {
 
     #[test]
     fn dynamic_form_agrees() {
-        let ballots = vec![
-            ballot(&[1, 1, 0]),
-            ballot(&[1, 1, 0]),
-            ballot(&[0, 0, 1]),
-        ];
+        let ballots = vec![ballot(&[1, 1, 0]), ballot(&[1, 1, 0]), ballot(&[0, 0, 1])];
         let csr = agreement_graph(&ballots, 0.66);
         let dy = agreement_dynamic(&ballots, 0.66);
         assert_eq!(csr.num_edges(), dy.num_edges());

@@ -28,7 +28,13 @@ impl LabelBox {
     /// Creates a box, panicking on non-positive extent.
     pub fn new(feature: u32, x: f64, y: f64, w: f64, h: f64) -> Self {
         assert!(w > 0.0 && h > 0.0, "label box must have positive extent");
-        LabelBox { feature, x, y, w, h }
+        LabelBox {
+            feature,
+            x,
+            y,
+            w,
+            h,
+        }
     }
 
     /// Whether two boxes overlap with positive area (shared edges do not
@@ -120,10 +126,19 @@ mod tests {
     fn overlap_geometry() {
         let a = LabelBox::new(0, 0.0, 0.0, 2.0, 1.0);
         assert!(a.overlaps(&LabelBox::new(1, 1.0, 0.5, 2.0, 1.0)));
-        assert!(!a.overlaps(&LabelBox::new(1, 2.0, 0.0, 1.0, 1.0)), "edge touch");
-        assert!(!a.overlaps(&LabelBox::new(1, 0.0, 1.0, 2.0, 1.0)), "top touch");
+        assert!(
+            !a.overlaps(&LabelBox::new(1, 2.0, 0.0, 1.0, 1.0)),
+            "edge touch"
+        );
+        assert!(
+            !a.overlaps(&LabelBox::new(1, 0.0, 1.0, 2.0, 1.0)),
+            "top touch"
+        );
         assert!(!a.overlaps(&LabelBox::new(1, 5.0, 5.0, 1.0, 1.0)));
-        assert!(a.overlaps(&LabelBox::new(1, 0.5, 0.25, 0.5, 0.5)), "contained");
+        assert!(
+            a.overlaps(&LabelBox::new(1, 0.5, 0.25, 0.5, 0.5)),
+            "contained"
+        );
     }
 
     #[test]

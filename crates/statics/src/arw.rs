@@ -140,7 +140,7 @@ impl<'a> LocalSearch<'a> {
     }
 
     /// Runs (1,2)-swaps until the solution is 1-maximal.
-    fn to_local_optimum(&mut self) {
+    fn descend_to_local_optimum(&mut self) {
         let mut queue: Vec<u32> = (0..self.g.num_vertices() as u32)
             .filter(|&v| self.in_sol[v as usize])
             .collect();
@@ -204,13 +204,13 @@ pub fn arw_from(g: &CsrGraph, initial: &[u32], cfg: ArwConfig) -> Vec<u32> {
         return Vec::new();
     }
     let mut ls = LocalSearch::new(g, initial);
-    ls.to_local_optimum();
+    ls.descend_to_local_optimum();
     let mut best = ls.solution();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     for _ in 0..cfg.perturbations {
         let x = rng.gen_range(0..n as u32);
         ls.force(x);
-        ls.to_local_optimum();
+        ls.descend_to_local_optimum();
         if ls.size > best.len() {
             best = ls.solution();
         }
@@ -228,7 +228,18 @@ mod tests {
     fn arw_reaches_one_maximality() {
         let g = CsrGraph::from_edges(
             8,
-            &[(0, 1), (1, 2), (1, 5), (2, 3), (2, 5), (3, 4), (3, 6), (4, 6), (5, 6), (6, 7)],
+            &[
+                (0, 1),
+                (1, 2),
+                (1, 5),
+                (2, 3),
+                (2, 5),
+                (3, 4),
+                (3, 6),
+                (4, 6),
+                (5, 6),
+                (6, 7),
+            ],
         );
         let s = arw_local_search(&g, ArwConfig::default());
         assert!(is_independent(&g, &s));
@@ -239,7 +250,14 @@ mod tests {
     fn arw_escapes_star_trap() {
         // Start from the center of a star: a single 2-improvement fixes it.
         let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
-        let s = arw_from(&g, &[0], ArwConfig { perturbations: 0, seed: 1 });
+        let s = arw_from(
+            &g,
+            &[0],
+            ArwConfig {
+                perturbations: 0,
+                seed: 1,
+            },
+        );
         assert_eq!(s, vec![1, 2, 3, 4]);
     }
 
@@ -255,7 +273,7 @@ mod tests {
                     s ^= s << 13;
                     s ^= s >> 7;
                     s ^= s << 17;
-                    if s % 4 == 0 {
+                    if s.is_multiple_of(4) {
                         edges.push((u, v));
                     }
                 }

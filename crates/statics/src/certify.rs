@@ -129,7 +129,10 @@ pub fn certify_one_maximal(g: &DynamicGraph, solution: &[u32]) -> Result<(), Vio
         for (i, &x) in members.iter().enumerate() {
             for &y in &members[i + 1..] {
                 if !g.has_edge(x, y) {
-                    return Err(Violation::OneSwap { out: v, ins: [x, y] });
+                    return Err(Violation::OneSwap {
+                        out: v,
+                        ins: [x, y],
+                    });
                 }
             }
         }
@@ -201,10 +204,7 @@ mod tests {
     fn rejects_dead_vertices() {
         let mut g = DynamicGraph::from_edges(3, &[(0, 1)]);
         g.remove_vertex(2).unwrap();
-        assert_eq!(
-            certify_independent(&g, &[2]),
-            Err(Violation::DeadVertex(2))
-        );
+        assert_eq!(certify_independent(&g, &[2]), Err(Violation::DeadVertex(2)));
     }
 
     #[test]
@@ -253,9 +253,12 @@ mod tests {
     fn display_messages_name_the_witness() {
         assert!(Violation::NotIndependent(3, 7).to_string().contains('7'));
         assert!(Violation::NotMaximal(9).to_string().contains('9'));
-        assert!(Violation::OneSwap { out: 1, ins: [2, 3] }
-            .to_string()
-            .contains("1-swap"));
+        assert!(Violation::OneSwap {
+            out: 1,
+            ins: [2, 3]
+        }
+        .to_string()
+        .contains("1-swap"));
         assert!(Violation::DeadVertex(5).to_string().contains('5'));
     }
 }

@@ -118,7 +118,10 @@ mod tests {
 
     #[test]
     fn solves_small_named_graphs() {
-        assert_optimal(&CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]));
+        assert_optimal(&CsrGraph::from_edges(
+            5,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)],
+        ));
         assert_optimal(&CsrGraph::from_edges(
             4,
             &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
@@ -160,7 +163,7 @@ mod tests {
                     s ^= s << 13;
                     s ^= s >> 7;
                     s ^= s << 17;
-                    if s % 4 == 0 {
+                    if s.is_multiple_of(4) {
                         edges.push((u, v));
                     }
                 }

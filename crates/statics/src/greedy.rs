@@ -51,7 +51,18 @@ mod tests {
     fn greedy_output_is_maximal_independent() {
         let g = CsrGraph::from_edges(
             8,
-            &[(0, 1), (1, 2), (1, 5), (2, 3), (2, 5), (3, 4), (3, 6), (4, 6), (5, 6), (6, 7)],
+            &[
+                (0, 1),
+                (1, 2),
+                (1, 5),
+                (2, 3),
+                (2, 5),
+                (3, 4),
+                (3, 6),
+                (4, 6),
+                (5, 6),
+                (6, 7),
+            ],
         );
         let s = greedy_mis(&g);
         assert!(is_independent(&g, &s));
@@ -77,9 +88,7 @@ mod tests {
     #[test]
     fn greedy_scales_to_moderate_graphs() {
         // Quick sanity on a ring of 10k vertices: alpha = 5000.
-        let edges: Vec<(u32, u32)> = (0..10_000u32)
-            .map(|i| (i, (i + 1) % 10_000))
-            .collect();
+        let edges: Vec<(u32, u32)> = (0..10_000u32).map(|i| (i, (i + 1) % 10_000)).collect();
         let g = CsrGraph::from_edges(10_000, &edges);
         let s = greedy_mis(&g);
         assert!(is_independent(&g, &s));

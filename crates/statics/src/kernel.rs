@@ -132,7 +132,10 @@ impl Kernel {
         debug_assert!(!self.adj[u as usize].contains(&w));
         self.folds.push(Fold { v, u, w });
         let mut merged: FxHashSet<u32> = FxHashSet::default();
-        for &x in self.adj[u as usize].iter().chain(self.adj[w as usize].iter()) {
+        for &x in self.adj[u as usize]
+            .iter()
+            .chain(self.adj[w as usize].iter())
+        {
             if x != v {
                 merged.insert(x);
             }
@@ -237,10 +240,7 @@ impl Kernel {
             if matched[v as usize] {
                 continue;
             }
-            if let Some(&u) = self.adj[v as usize]
-                .iter()
-                .find(|&&u| !matched[u as usize])
-            {
+            if let Some(&u) = self.adj[v as usize].iter().find(|&&u| !matched[u as usize]) {
                 matched[v as usize] = true;
                 matched[u as usize] = true;
                 pairs += 1;

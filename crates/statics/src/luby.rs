@@ -41,9 +41,7 @@ pub fn luby_mis(g: &CsrGraph, seed: u64) -> LubyResult {
         let mut joined = Vec::new();
         'vert: for &v in &undecided {
             for &u in g.neighbors(v) {
-                if state[u as usize] == 0
-                    && (priority[u as usize], u) > (priority[v as usize], v)
-                {
+                if state[u as usize] == 0 && (priority[u as usize], u) > (priority[v as usize], v) {
                     continue 'vert;
                 }
             }

@@ -3,13 +3,12 @@
 //! The checks of [`crate::certify`] are embarrassingly parallel: each
 //! solution vertex (independence, clique criterion) or non-solution
 //! vertex (maximality) is examined against read-only shared state. This
-//! module splits the work across scoped crossbeam threads, reporting the
-//! first violation found — on multi-million-vertex graphs certification
+//! module splits the work across scoped `std::thread` workers, reporting
+//! the first violation found — on multi-million-vertex graphs certification
 //! drops from seconds to fractions of a second, making it cheap enough to
 //! run inside production monitoring loops.
 
 use crate::certify::Violation;
-use crossbeam::thread;
 use dynamis_graph::DynamicGraph;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -89,11 +88,11 @@ pub fn certify_one_maximal_par(
 
     let report = Report::new();
     let all: Vec<u32> = g.vertices().collect();
-    thread::scope(|s| {
+    std::thread::scope(|s| {
         // Independence + clique criterion over solution chunks.
         for chunk in solution.chunks(chunkify(solution.len(), threads)) {
             let (in_sol, bar1, report) = (&in_sol, &bar1, &report);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for &v in chunk {
                     if report.hit() {
                         return;
@@ -108,7 +107,10 @@ pub fn certify_one_maximal_par(
                     for (i, &x) in members.iter().enumerate() {
                         for &y in &members[i + 1..] {
                             if !g.has_edge(x, y) {
-                                report.submit(Violation::OneSwap { out: v, ins: [x, y] });
+                                report.submit(Violation::OneSwap {
+                                    out: v,
+                                    ins: [x, y],
+                                });
                                 return;
                             }
                         }
@@ -119,7 +121,7 @@ pub fn certify_one_maximal_par(
         // Maximality over all-vertex chunks.
         for chunk in all.chunks(chunkify(all.len(), threads)) {
             let (in_sol, count, report) = (&in_sol, &count, &report);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for &v in chunk {
                     if report.hit() {
                         return;
@@ -131,8 +133,7 @@ pub fn certify_one_maximal_par(
                 }
             });
         }
-    })
-    .expect("certification thread panicked");
+    });
     report.into_result()
 }
 

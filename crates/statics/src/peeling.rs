@@ -46,7 +46,18 @@ mod tests {
     fn peeling_is_maximal_independent() {
         let g = CsrGraph::from_edges(
             8,
-            &[(0, 1), (1, 2), (1, 5), (2, 3), (2, 5), (3, 4), (3, 6), (4, 6), (5, 6), (6, 7)],
+            &[
+                (0, 1),
+                (1, 2),
+                (1, 5),
+                (2, 3),
+                (2, 5),
+                (3, 4),
+                (3, 6),
+                (4, 6),
+                (5, 6),
+                (6, 7),
+            ],
         );
         let s = reducing_peeling(&g);
         assert!(is_independent(&g, &s));
@@ -74,7 +85,7 @@ mod tests {
                     st ^= st << 13;
                     st ^= st >> 7;
                     st ^= st << 17;
-                    if st % 4 == 0 {
+                    if st.is_multiple_of(4) {
                         edges.push((u, v));
                     }
                 }

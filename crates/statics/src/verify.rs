@@ -26,9 +26,9 @@ pub fn is_maximal(g: &CsrGraph, set: &[u32], universe: &[u32]) -> bool {
     for &v in set {
         member[v as usize] = true;
     }
-    universe.iter().all(|&v| {
-        member[v as usize] || g.neighbors(v).iter().any(|&u| member[u as usize])
-    })
+    universe
+        .iter()
+        .all(|&v| member[v as usize] || g.neighbors(v).iter().any(|&u| member[u as usize]))
 }
 
 /// Same checks against a [`DynamicGraph`] (live vertices only).
@@ -161,11 +161,7 @@ pub fn find_swap(g: &CsrGraph, set: &[u32], j: usize) -> Option<(Vec<u32>, Vec<u
 /// Whether `set` is a k-maximal independent set (brute force; small
 /// graphs only).
 pub fn is_k_maximal(g: &CsrGraph, set: &[u32], k: usize) -> bool {
-    if !is_maximal(
-        g,
-        set,
-        &(0..g.num_vertices() as u32).collect::<Vec<_>>(),
-    ) {
+    if !is_maximal(g, set, &(0..g.num_vertices() as u32).collect::<Vec<_>>()) {
         return false;
     }
     (1..=k).all(|j| find_swap(g, set, j).is_none())
@@ -194,7 +190,7 @@ pub fn compact_live(g: &DynamicGraph) -> (CsrGraph, Vec<u32>) {
 pub fn is_k_maximal_dynamic(g: &DynamicGraph, set: &[u32], k: usize) -> bool {
     let (csr, map) = compact_live(g);
     let mapped: Vec<u32> = set.iter().map(|&v| map[v as usize]).collect();
-    if mapped.iter().any(|&v| v == u32::MAX) {
+    if mapped.contains(&u32::MAX) {
         return false; // solution contains a dead vertex
     }
     is_k_maximal(&csr, &mapped, k)

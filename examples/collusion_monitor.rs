@@ -48,7 +48,10 @@ fn main() {
     };
     let mut monitor = DyTwoSwap::new(g, &[]);
     println!("pool: {voters} voters, {items} items, threshold {threshold}");
-    println!("initially every voter is independent: |I| = {}", monitor.size());
+    println!(
+        "initially every voter is independent: |I| = {}",
+        monitor.size()
+    );
     assert_eq!(monitor.size(), voters);
 
     // Phase 1: compare all honest pairs; at 64 items and a 0.90 bar,

@@ -56,7 +56,11 @@ fn main() {
         t.elapsed()
     );
     certify_one_maximal(engine.graph(), &engine.solution()).expect("1-maximal");
-    assert_eq!(engine.size(), (cols * rows) as usize, "one label per feature");
+    assert_eq!(
+        engine.size(),
+        (cols * rows) as usize,
+        "one label per feature"
+    );
 
     // Pan right: feature column fx = 0 scrolls out. Candidates of feature
     // f occupy vertex ids 3f, 3f+1, 3f+2 (insertion order above).

@@ -13,7 +13,18 @@ fn main() {
     // A tiny collaboration network: 8 researchers, co-authorship edges.
     let g = DynamicGraph::from_edges(
         8,
-        &[(0, 1), (1, 2), (1, 5), (2, 3), (2, 5), (3, 4), (3, 6), (4, 6), (5, 6), (6, 7)],
+        &[
+            (0, 1),
+            (1, 2),
+            (1, 5),
+            (2, 3),
+            (2, 5),
+            (3, 4),
+            (3, 6),
+            (4, 6),
+            (5, 6),
+            (6, 7),
+        ],
     );
 
     // The engine maintains a 2-maximal independent set: a conflict-free
@@ -37,7 +48,7 @@ fn main() {
             id: 8,
             neighbors: vec![0, 4],
         }, // new hire
-        Update::RemoveVertex(6), // someone leaves
+        Update::RemoveVertex(6),  // someone leaves
     ];
     for u in &updates {
         engine.apply_update(u);

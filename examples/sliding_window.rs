@@ -22,7 +22,14 @@ fn main() {
     let n = 10_000;
     let window = 40_000;
     let arrivals = 120_000;
-    let wl = sliding_window(SlidingWindowConfig { n, window, arrivals }, 2026);
+    let wl = sliding_window(
+        SlidingWindowConfig {
+            n,
+            window,
+            arrivals,
+        },
+        2026,
+    );
     println!(
         "stream: {} vertices, window {} edges, {} arrivals ({} operations)",
         n,

@@ -33,7 +33,10 @@ fn main() {
 
     // Dynamic maintenance.
     for (label, mut engine) in [
-        ("DyOneSwap", Box::new(DyOneSwap::new(g.clone(), &[])) as Box<dyn DynamicMis>),
+        (
+            "DyOneSwap",
+            Box::new(DyOneSwap::new(g.clone(), &[])) as Box<dyn DynamicMis>,
+        ),
         ("DyTwoSwap", Box::new(DyTwoSwap::new(g.clone(), &[]))),
     ] {
         let t = Instant::now();

@@ -30,7 +30,10 @@ fn main() {
     let mut stream = UpdateStream::new(&seed_graph, crawl, 11);
     let mut engine = DyOneSwap::new(seed_graph, &[]);
 
-    println!("{:>8} {:>8} {:>8} {:>8} {:>9}", "updates", "n", "m", "|I|", "accuracy");
+    println!(
+        "{:>8} {:>8} {:>8} {:>8} {:>9}",
+        "updates", "n", "m", "|I|", "accuracy"
+    );
     for batch in 0..10 {
         for u in stream.take_updates(500) {
             engine.apply_update(&u);

@@ -18,8 +18,8 @@ use dynamis::baselines::{DgDis, DyArw, MaximalOnly, Restart, RestartSolver};
 use dynamis::gen::trace::{read_trace_path, write_trace_path};
 use dynamis::gen::{datasets, StreamConfig, UpdateStream, Workload};
 use dynamis::graph::algo::{
-    connected_components, core_decomposition, count_triangles, degree_stats,
-    diameter_lower_bound, global_clustering, is_bipartite,
+    connected_components, core_decomposition, count_triangles, degree_stats, diameter_lower_bound,
+    global_clustering, is_bipartite,
 };
 use dynamis::graph::io;
 use dynamis::statics::{
@@ -70,7 +70,10 @@ fn dispatch(args: &[String]) -> Result<(), String> {
 
 /// Pulls `--flag value` out of an argument list; returns remaining
 /// positional arguments.
-fn parse_flags(args: &[String], flags: &mut [(&str, &mut Option<String>)]) -> Result<Vec<String>, String> {
+fn parse_flags(
+    args: &[String],
+    flags: &mut [(&str, &mut Option<String>)],
+) -> Result<Vec<String>, String> {
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -191,7 +194,13 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         "greedy" => ("greedy", greedy_mis(&csr)),
         "arw" => (
             "ARW",
-            arw_local_search(&csr, ArwConfig { perturbations: 20, seed: 1 }),
+            arw_local_search(
+                &csr,
+                ArwConfig {
+                    perturbations: 20,
+                    seed: 1,
+                },
+            ),
         ),
         "peel" => ("reducing-peeling", reducing_peeling(&csr)),
         "luby" => ("Luby", luby_mis(&csr, 1).solution),
@@ -224,7 +233,9 @@ fn build_engine(algo: &str, g: &DynamicGraph) -> Result<Box<dyn DynamicMis>, Str
                 let k: usize = k.parse().map_err(|_| format!("bad k in `{other}`"))?;
                 Box::new(GenericKSwap::new(g.clone(), &[], k))
             } else if let Some(iv) = other.strip_prefix("restart:") {
-                let iv: usize = iv.parse().map_err(|_| format!("bad interval in `{other}`"))?;
+                let iv: usize = iv
+                    .parse()
+                    .map_err(|_| format!("bad interval in `{other}`"))?;
                 Box::new(Restart::new(g.clone(), RestartSolver::Greedy, iv))
             } else {
                 return Err(format!("unknown dynamic algorithm `{other}`"));
@@ -233,10 +244,7 @@ fn build_engine(algo: &str, g: &DynamicGraph) -> Result<Box<dyn DynamicMis>, Str
     })
 }
 
-fn starting_graph(
-    dataset: Option<&str>,
-    graph: Option<&str>,
-) -> Result<DynamicGraph, String> {
+fn starting_graph(dataset: Option<&str>, graph: Option<&str>) -> Result<DynamicGraph, String> {
     match (dataset, graph) {
         (Some(name), None) => {
             let spec =
@@ -249,8 +257,7 @@ fn starting_graph(
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
-    let (mut dataset, mut graph, mut algo, mut updates, mut seed) =
-        (None, None, None, None, None);
+    let (mut dataset, mut graph, mut algo, mut updates, mut seed) = (None, None, None, None, None);
     let positional = parse_flags(
         args,
         &mut [
@@ -270,7 +277,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .unwrap_or("10000")
         .parse()
         .map_err(|_| "bad --updates")?;
-    let seed: u64 = seed.as_deref().unwrap_or("1").parse().map_err(|_| "bad --seed")?;
+    let seed: u64 = seed
+        .as_deref()
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad --seed")?;
     let ups = UpdateStream::new(&g, StreamConfig::default(), seed).take_updates(count);
     let mut engine = build_engine(algo.as_deref().unwrap_or("one"), &g)?;
     let initial = engine.size();
@@ -317,7 +328,11 @@ fn cmd_record(args: &[String]) -> Result<(), String> {
         .unwrap_or("10000")
         .parse()
         .map_err(|_| "bad --updates")?;
-    let seed: u64 = seed.as_deref().unwrap_or("1").parse().map_err(|_| "bad --seed")?;
+    let seed: u64 = seed
+        .as_deref()
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad --seed")?;
     let wl = Workload::generate(g, count, StreamConfig::default(), seed);
     write_trace_path(&wl, out).map_err(|e| e.to_string())?;
     println!("recorded {count} updates to {out}");
@@ -375,7 +390,16 @@ mod tests {
     #[test]
     fn engine_factory_knows_every_algorithm() {
         let g = DynamicGraph::from_edges(4, &[(0, 1), (2, 3)]);
-        for algo in ["one", "two", "arw", "dgone", "dgtwo", "maximal", "k:3", "restart:5"] {
+        for algo in [
+            "one",
+            "two",
+            "arw",
+            "dgone",
+            "dgtwo",
+            "maximal",
+            "k:3",
+            "restart:5",
+        ] {
             let e = build_engine(algo, &g).unwrap_or_else(|m| panic!("{algo}: {m}"));
             assert!(e.size() >= 2, "{algo} should find the obvious pairs");
         }

@@ -83,8 +83,13 @@ fn plb_constant_bound_respected() {
     let g = chung_lu(4000, 2.6, 5.0, 42);
     let csr = CsrGraph::from_dynamic(&g);
     let est = PlbFit::default().fit(&csr.degree_histogram()).unwrap();
-    let alpha = solve_exact(&csr, ExactConfig { node_budget: 5_000_000 })
-        .map(|r| r.alpha);
+    let alpha = solve_exact(
+        &csr,
+        ExactConfig {
+            node_budget: 5_000_000,
+        },
+    )
+    .map(|r| r.alpha);
     let e = DyTwoSwap::new(g, &[]);
     if let (Some(alpha), Some(bound)) = (alpha, est.theorem4_ratio()) {
         let measured = alpha as f64 / e.size() as f64;

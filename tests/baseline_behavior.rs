@@ -44,8 +44,14 @@ fn dg_variants_keep_maximal_solutions() {
             one.apply_update(u);
             two.apply_update(u);
         }
-        assert!(is_maximal_dynamic(one.graph(), &one.solution()), "seed {seed}");
-        assert!(is_maximal_dynamic(two.graph(), &two.solution()), "seed {seed}");
+        assert!(
+            is_maximal_dynamic(one.graph(), &one.solution()),
+            "seed {seed}"
+        );
+        assert!(
+            is_maximal_dynamic(two.graph(), &two.solution()),
+            "seed {seed}"
+        );
     }
 }
 

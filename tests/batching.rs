@@ -58,7 +58,10 @@ fn batch_and_per_update_reach_same_graph() {
     // bound by the same guarantee and neither may be trivially bad.
     let floor = per.size().min(bat.size()) as f64;
     let ceil = per.size().max(bat.size()) as f64;
-    assert!(ceil / floor < 1.25, "batch quality collapsed: {floor} vs {ceil}");
+    assert!(
+        ceil / floor < 1.25,
+        "batch quality collapsed: {floor} vs {ceil}"
+    );
 }
 
 #[test]

@@ -38,7 +38,9 @@ fn datasets_lists_all_22_standins() {
         assert!(text.contains(name), "missing {name} in:\n{text}");
     }
     assert_eq!(
-        text.lines().filter(|l| l.contains("Easy") || l.contains("Hard")).count(),
+        text.lines()
+            .filter(|l| l.contains("Easy") || l.contains("Hard"))
+            .count(),
         22,
         "one row per Table I graph"
     );
@@ -50,7 +52,10 @@ fn stats_convert_solve_pipeline() {
     let edge = dir.join("g.txt");
     std::fs::write(&edge, "# toy\n0 1\n1 2\n2 3\n3 0\n0 2\n").unwrap();
 
-    let out = cli().args(["stats", edge.to_str().unwrap()]).output().unwrap();
+    let out = cli()
+        .args(["stats", edge.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("vertices   : 4"));
@@ -97,7 +102,15 @@ fn stats_convert_solve_pipeline() {
 fn run_on_dataset_reports_rate() {
     let out = cli()
         .args([
-            "run", "--dataset", "Email", "--algo", "two", "--updates", "500", "--seed", "7",
+            "run",
+            "--dataset",
+            "Email",
+            "--algo",
+            "two",
+            "--updates",
+            "500",
+            "--seed",
+            "7",
         ])
         .output()
         .unwrap();
@@ -114,12 +127,22 @@ fn record_then_replay_are_consistent() {
     let trace = dir.join("wl.trace");
     let out = cli()
         .args([
-            "record", "--dataset", "Email", "--updates", "300", "--seed", "5",
+            "record",
+            "--dataset",
+            "Email",
+            "--updates",
+            "300",
+            "--seed",
+            "5",
             trace.to_str().unwrap(),
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // Replay twice with the same engine: byte-identical reports modulo
     // timing, so compare the |I| field.
@@ -127,8 +150,14 @@ fn record_then_replay_are_consistent() {
         let text = String::from_utf8_lossy(&out.stdout).to_string();
         text.split("|I| = ").nth(1).map(|s| s.trim().to_string())
     };
-    let a = cli().args(["replay", trace.to_str().unwrap()]).output().unwrap();
-    let b = cli().args(["replay", trace.to_str().unwrap()]).output().unwrap();
+    let a = cli()
+        .args(["replay", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let b = cli()
+        .args(["replay", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(a.status.success() && b.status.success());
     assert_eq!(size(&a), size(&b), "replay is deterministic");
     std::fs::remove_dir_all(&dir).ok();
@@ -137,8 +166,8 @@ fn record_then_replay_are_consistent() {
 #[test]
 fn bad_flags_are_rejected() {
     for args in [
-        vec!["run"],                                   // neither dataset nor graph
-        vec!["run", "--dataset", "NoSuchGraph"],       // unknown dataset
+        vec!["run"],                             // neither dataset nor graph
+        vec!["run", "--dataset", "NoSuchGraph"], // unknown dataset
         vec!["run", "--dataset", "Email", "--algo", "bogus"],
         vec!["solve", "/nonexistent/file.txt"],
         vec!["replay", "/nonexistent/wl.trace"],

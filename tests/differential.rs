@@ -4,12 +4,19 @@
 //! fresh restart), outputs must match exactly.
 
 use dynamis::baselines::{Restart, RestartSolver};
+use dynamis::gen::powerlaw::chung_lu;
 use dynamis::gen::{stream::StreamConfig, uniform::gnm, UpdateStream};
 use dynamis::statics::greedy_mis;
 use dynamis::statics::verify::{compact_live, is_independent_dynamic, is_k_maximal_dynamic};
 use dynamis::{DyArw, DyOneSwap, DyTwoSwap, DynamicMis, GenericKSwap};
+use dynamis_bench::hash_baseline::{HashIndexedOneSwap, HashIndexedTwoSwap};
 
-fn schedule(seed: u64, n: usize, m: usize, count: usize) -> (dynamis::DynamicGraph, Vec<dynamis::Update>) {
+fn schedule(
+    seed: u64,
+    n: usize,
+    m: usize,
+    count: usize,
+) -> (dynamis::DynamicGraph, Vec<dynamis::Update>) {
     let g = gnm(n, m, seed);
     let mut stream = UpdateStream::new(&g, StreamConfig::default(), seed.wrapping_mul(0x9e37));
     let ups = stream.take_updates(count);
@@ -97,11 +104,7 @@ fn restart_interval_one_equals_static_greedy() {
         }
         let (csr, map) = compact_live(r.graph());
         let want = greedy_mis(&csr);
-        let got: Vec<u32> = r
-            .solution()
-            .iter()
-            .map(|&v| map[v as usize])
-            .collect();
+        let got: Vec<u32> = r.solution().iter().map(|&v| map[v as usize]).collect();
         let mut got_sorted = got.clone();
         got_sorted.sort_unstable();
         let mut want_sorted = want.clone();
@@ -126,6 +129,94 @@ fn two_maximal_solutions_are_also_one_maximal() {
         assert!(is_k_maximal_dynamic(e.graph(), &e.solution(), 2));
     }
 }
+
+/// The intrusive-handle engines against the preserved hash-indexed
+/// replica of the pre-rewrite layout (`dynamis_bench::hash_baseline`),
+/// on identical seeded streams.
+///
+/// For k = 1 the two layouts process candidates in the same order (the
+/// `C₁` queue is dense in both), so the *exact solutions* must match —
+/// the rewrite changed the data layout, not the algorithm. For k = 2 the
+/// `C₂` draining granularity differs (flat triples vs pair-grouped
+/// batches), so swap luck may differ: both must be 2-maximal and of
+/// near-identical size.
+#[test]
+fn intrusive_layout_matches_hash_indexed_reference() {
+    for seed in 0..6u64 {
+        let (g, ups) = schedule(seed, 40, 80, 300);
+        let mut new1 = DyOneSwap::new(g.clone(), &[]);
+        let mut old1 = HashIndexedOneSwap::new(g.clone(), &[]);
+        let mut new2 = DyTwoSwap::new(g.clone(), &[]);
+        let mut old2 = HashIndexedTwoSwap::new(g, &[]);
+        for u in &ups {
+            new1.apply_update(u);
+            old1.apply_update(u);
+            new2.apply_update(u);
+            old2.apply_update(u);
+        }
+        assert_eq!(
+            new1.solution(),
+            old1.solution(),
+            "seed {seed}: k = 1 solutions diverged across layouts"
+        );
+        new1.check_consistency().unwrap();
+        new2.check_consistency().unwrap();
+        assert!(is_k_maximal_dynamic(old2.graph(), &old2.solution(), 2));
+        assert!(is_k_maximal_dynamic(new2.graph(), &new2.solution(), 2));
+        let (s_new, s_old) = (new2.size() as i64, old2.size() as i64);
+        assert!(
+            (s_new - s_old).abs() <= 2,
+            "seed {seed}: k = 2 sizes drifted: intrusive {s_new} vs hash {s_old}"
+        );
+        assert_eq!(
+            new1.stats().hot_hash_probes,
+            0,
+            "seed {seed}: intrusive hot path hashed"
+        );
+        assert!(old1.hot_hash_probes() > 0, "replica must hash");
+    }
+}
+
+/// Golden pinning: the engines are deterministic, so a fixed seed must
+/// reproduce the exact same solution forever. The pinned values were
+/// produced by this implementation (intrusive half-edge layout); any
+/// future refactor that silently changes swap order will trip this.
+#[test]
+fn pinned_solutions_on_seeded_powerlaw_stream() {
+    fn fingerprint(sol: &[u32]) -> u64 {
+        // FNV-1a over the sorted id stream.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &v in sol {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        h
+    }
+    let base = chung_lu(2_000, 2.4, 6.0, 1234);
+    let ups = UpdateStream::new(&base, StreamConfig::default(), 5678).take_updates(4_000);
+
+    let mut e1 = DyOneSwap::new(base.clone(), &[]);
+    let mut e2 = DyTwoSwap::new(base, &[]);
+    for u in &ups {
+        e1.apply_update(u);
+        e2.apply_update(u);
+    }
+    // Re-running the same build twice must agree with itself...
+    assert_eq!((e1.size(), e2.size()), (GOLDEN_K1_SIZE, GOLDEN_K2_SIZE));
+    // ...and with the recorded fingerprints.
+    assert_eq!(fingerprint(&e1.solution()), GOLDEN_K1_FP);
+    assert_eq!(fingerprint(&e2.solution()), GOLDEN_K2_FP);
+}
+
+/// Golden values for `pinned_solutions_on_seeded_powerlaw_stream`.
+/// Regenerate by running the test with `GOLDEN=print` semantics: the
+/// assertion failure output contains the current values.
+const GOLDEN_K1_SIZE: usize = 951;
+const GOLDEN_K2_SIZE: usize = 957;
+const GOLDEN_K1_FP: u64 = 14512994648379547683;
+const GOLDEN_K2_FP: u64 = 420742237401555229;
 
 /// All five maintainers applied to one identical schedule end with
 /// consistent internal state and valid solutions — the cross-engine

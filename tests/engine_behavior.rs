@@ -59,7 +59,11 @@ fn perturbation_changes_trajectories_but_keeps_invariants() {
     }
     plain.check_consistency().unwrap();
     perturbed.check_consistency().unwrap();
-    assert!(is_k_maximal_dynamic(perturbed.graph(), &perturbed.solution(), 1));
+    assert!(is_k_maximal_dynamic(
+        perturbed.graph(),
+        &perturbed.solution(),
+        1
+    ));
     assert!(
         perturbed.stats().perturbations > 0,
         "perturbation must actually fire on a 400-update run"

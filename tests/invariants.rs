@@ -7,7 +7,12 @@ use dynamis::gen::{stream::StreamConfig, uniform::gnm, UpdateStream};
 use dynamis::statics::verify::{is_k_maximal_dynamic, is_maximal_dynamic};
 use dynamis::{DyArw, DyOneSwap, DyTwoSwap, DynamicMis, GenericKSwap, MaximalOnly};
 
-fn schedule(seed: u64, n: usize, m: usize, count: usize) -> (dynamis::DynamicGraph, Vec<dynamis::Update>) {
+fn schedule(
+    seed: u64,
+    n: usize,
+    m: usize,
+    count: usize,
+) -> (dynamis::DynamicGraph, Vec<dynamis::Update>) {
     let g = gnm(n, m, seed);
     let mut stream = UpdateStream::new(&g, StreamConfig::default(), seed ^ 0xabcd);
     let ups = stream.take_updates(count);
@@ -158,5 +163,8 @@ fn quality_ordering_holds_in_aggregate() {
         sum0 += e0.size();
     }
     assert!(sum2 >= sum1, "k=2 ({sum2}) must dominate k=1 ({sum1})");
-    assert!(sum1 >= sum0, "k=1 ({sum1}) must dominate repair-only ({sum0})");
+    assert!(
+        sum1 >= sum0,
+        "k=1 ({sum1}) must dominate repair-only ({sum0})"
+    );
 }

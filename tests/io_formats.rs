@@ -75,7 +75,7 @@ proptest! {
         let g = gnm(n, m, seed);
         let back = decode_graph(&encode_graph(&g)).unwrap();
         prop_assert!(same_graph(&g, &back));
-        back.check_consistency().map_err(|e| TestCaseError::fail(e))?;
+        back.check_consistency().map_err(TestCaseError::fail)?;
     }
 
     /// DIMACS writer output always re-parses to the same structure.

@@ -24,7 +24,7 @@ proptest! {
         for u in &ups {
             e.apply_update(u);
         }
-        e.check_consistency().map_err(|s| TestCaseError::fail(s))?;
+        e.check_consistency().map_err(TestCaseError::fail)?;
         prop_assert!(is_independent_dynamic(e.graph(), &e.solution()));
         prop_assert!(is_k_maximal_dynamic(e.graph(), &e.solution(), 1));
     }
@@ -40,7 +40,7 @@ proptest! {
         for u in &ups {
             e.apply_update(u);
         }
-        e.check_consistency().map_err(|s| TestCaseError::fail(s))?;
+        e.check_consistency().map_err(TestCaseError::fail)?;
         prop_assert!(is_k_maximal_dynamic(e.graph(), &e.solution(), 2));
     }
 

@@ -1,6 +1,6 @@
 //! Property-based tests for the extension modules: snapshots, certify,
-//! Restart, GenericKSwap at k = 3, temporal workloads, and the matching
-//! machinery.
+//! Restart, GenericKSwap at k = 3, temporal workloads, the matching
+//! machinery, and the intrusive half-edge payload layer.
 
 use dynamis::baselines::{Restart, RestartSolver};
 use dynamis::gen::temporal::{burst, BurstConfig};
@@ -135,5 +135,115 @@ proptest! {
             ind
         };
         prop_assert_eq!(ok, truly_independent);
+    }
+}
+
+/// Shadow-model property for the intrusive half-edge payload layer:
+/// a `DynamicGraph` driven through random insert/remove/mark/unmark
+/// interleavings must (a) pass the full mirror + payload consistency
+/// check and (b) report exactly the marked-neighbor sets an independent
+/// shadow model predicts.
+mod payload_slots {
+    use dynamis::DynamicGraph;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeSet;
+
+    /// One random interleaving step applied to both the graph and the
+    /// shadow set of marked (owner, neighbor) pairs.
+    fn step(g: &mut DynamicGraph, shadow: &mut BTreeSet<(u32, u32)>, rng: &mut SmallRng) {
+        let cap = g.capacity() as u32;
+        match rng.gen_range(0u32..100) {
+            // Insert a random edge.
+            0..=39 => {
+                let (u, v) = (rng.gen_range(0..cap), rng.gen_range(0..cap));
+                if u != v && g.is_alive(u) && g.is_alive(v) {
+                    g.insert_edge(u, v).unwrap();
+                }
+            }
+            // Remove a random edge: its marks die with it.
+            40..=64 => {
+                let (u, v) = (rng.gen_range(0..cap), rng.gen_range(0..cap));
+                if u != v && g.is_alive(u) && g.is_alive(v) && g.remove_edge(u, v).unwrap() {
+                    shadow.remove(&(u, v));
+                    shadow.remove(&(v, u));
+                }
+            }
+            // Toggle a mark on a random half-edge.
+            65..=89 => {
+                let u = rng.gen_range(0..cap);
+                if g.is_alive(u) && g.degree(u) > 0 {
+                    let pos = rng.gen_range(0..g.degree(u)) as u32;
+                    let n = g.neighbor_at(u, pos as usize);
+                    if g.is_marked(u, pos) {
+                        g.unmark_neighbor(u, pos);
+                        assert!(shadow.remove(&(u, n)), "shadow missing a mark");
+                    } else {
+                        g.mark_neighbor(u, pos);
+                        assert!(shadow.insert((u, n)), "shadow had a phantom mark");
+                    }
+                }
+            }
+            // Remove a vertex: marks it held and marks on edges to it die.
+            _ => {
+                let v = rng.gen_range(0..cap);
+                if g.is_alive(v) && g.num_vertices() > 2 {
+                    g.remove_vertex(v).unwrap();
+                    shadow.retain(|&(a, b)| a != v && b != v);
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Mirror/payload-slot consistency survives arbitrary
+        /// interleavings, and the marked sets match the shadow exactly.
+        #[test]
+        fn marks_track_shadow_model(seed in 0u64..100_000, n in 4usize..40, steps in 1usize..400) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut g = DynamicGraph::new();
+            g.add_vertices(n);
+            let mut shadow: BTreeSet<(u32, u32)> = BTreeSet::new();
+            for _ in 0..steps {
+                step(&mut g, &mut shadow, &mut rng);
+            }
+            g.check_consistency().map_err(TestCaseError::fail)?;
+            // The graph's marked sets must equal the shadow's, per vertex.
+            for v in 0..g.capacity() as u32 {
+                let mut got: Vec<u32> = if g.is_alive(v) {
+                    g.marked_neighbors(v).collect()
+                } else {
+                    Vec::new()
+                };
+                got.sort_unstable();
+                let want: Vec<u32> = shadow
+                    .range((v, 0)..=(v, u32::MAX))
+                    .map(|&(_, n)| n)
+                    .collect();
+                prop_assert_eq!(got, want, "marked set of vertex {} diverged", v);
+            }
+        }
+
+        /// Handles stay coherent: after arbitrary churn, every edge's
+        /// handle resolves to half-edges that point back at each other.
+        #[test]
+        fn edge_handles_stay_reciprocal(seed in 0u64..100_000, n in 4usize..30, steps in 1usize..250) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut g = DynamicGraph::new();
+            g.add_vertices(n);
+            let mut shadow = BTreeSet::new();
+            for _ in 0..steps {
+                step(&mut g, &mut shadow, &mut rng);
+            }
+            let edges: Vec<(u32, u32)> = g.edges().collect();
+            for (u, v) in edges {
+                let h = g.edge_handle(u, v).expect("listed edge must resolve");
+                prop_assert_eq!(g.neighbor_at(h.u, h.pos_u as usize), h.v);
+                prop_assert_eq!(g.neighbor_at(h.v, h.pos_v as usize), h.u);
+            }
+        }
     }
 }

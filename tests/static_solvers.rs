@@ -27,11 +27,15 @@ fn exact_on_closed_form_families() {
         assert_eq!(a.alpha, n / 2, "cycle C_{n}");
     }
     assert_eq!(
-        solve_exact(&csr(&complete(7)), ExactConfig::default()).unwrap().alpha,
+        solve_exact(&csr(&complete(7)), ExactConfig::default())
+            .unwrap()
+            .alpha,
         1
     );
     assert_eq!(
-        solve_exact(&csr(&star(9)), ExactConfig::default()).unwrap().alpha,
+        solve_exact(&csr(&star(9)), ExactConfig::default())
+            .unwrap()
+            .alpha,
         8
     );
     for d in [2usize, 3, 4] {

@@ -43,8 +43,14 @@ fn stream_mix_ratios_are_respected() {
     let total = ups.len() as f64;
     assert!((ei as f64 / total - 0.45).abs() < 0.05, "edge inserts {ei}");
     assert!((ed as f64 / total - 0.45).abs() < 0.05, "edge deletes {ed}");
-    assert!((vi as f64 / total - 0.05).abs() < 0.03, "vertex inserts {vi}");
-    assert!((vd as f64 / total - 0.05).abs() < 0.03, "vertex deletes {vd}");
+    assert!(
+        (vi as f64 / total - 0.05).abs() < 0.03,
+        "vertex inserts {vi}"
+    );
+    assert!(
+        (vd as f64 / total - 0.05).abs() < 0.03,
+        "vertex deletes {vd}"
+    );
 }
 
 #[test]
