@@ -22,7 +22,10 @@
 //! This is an emulation (the authors' code is not public); DESIGN.md
 //! records the substitution.
 
-use dynamis_core::DynamicMis;
+use dynamis_core::{
+    validate_update, BuildableEngine, DeltaFeed, DynamicMis, EngineBuilder, EngineError, Session,
+    SolutionDelta,
+};
 use dynamis_graph::{DynamicGraph, Update};
 
 /// Per-vertex cap on dependency-list length. The real system's index also
@@ -38,6 +41,7 @@ pub struct DgDis {
     status: Vec<bool>,
     count: Vec<u32>,
     size: usize,
+    feed: DeltaFeed,
     /// TwoDIS mode: degree-two dependencies and two-level search.
     two_hop: bool,
     /// Append-only dependency index: `deps[v]` = vertices recorded as
@@ -51,29 +55,32 @@ pub struct DgDis {
 
 impl DgDis {
     /// OneDIS: degree-one dependency index.
-    pub fn one_dis(graph: DynamicGraph, initial: &[u32]) -> Self {
-        Self::new(graph, initial, false)
+    pub fn one_dis(builder: EngineBuilder) -> Result<Self, EngineError> {
+        builder.into_session().map(|s| Self::from_session(s, false))
     }
 
     /// TwoDIS: degree-one + degree-two dependency index.
-    pub fn two_dis(graph: DynamicGraph, initial: &[u32]) -> Self {
-        Self::new(graph, initial, true)
+    pub fn two_dis(builder: EngineBuilder) -> Result<Self, EngineError> {
+        builder.into_session().map(|s| Self::from_session(s, true))
     }
 
-    fn new(graph: DynamicGraph, initial: &[u32], two_hop: bool) -> Self {
+    fn from_session(session: Session, two_hop: bool) -> Self {
+        let Session { graph, initial, .. } = session;
         let cap = graph.capacity();
         let mut b = DgDis {
             g: graph,
             status: vec![false; cap],
             count: vec![0; cap],
             size: 0,
+            feed: DeltaFeed::default(),
             two_hop,
             deps: vec![Vec::new(); cap],
             repair: Vec::new(),
             search_steps: 0,
         };
-        for &v in initial {
+        for &v in &initial {
             b.status[v as usize] = true;
+            b.feed.record_in(v);
             b.size += 1;
         }
         for v in 0..cap as u32 {
@@ -92,6 +99,7 @@ impl DgDis {
                 b.index_vertex(v);
             }
         }
+        let _ = b.feed.finish_update(); // close the bootstrap span
         b
     }
 
@@ -131,6 +139,7 @@ impl DgDis {
 
     fn move_in(&mut self, v: u32) {
         self.status[v as usize] = true;
+        self.feed.record_in(v);
         self.size += 1;
         let nbrs: Vec<u32> = self.g.neighbors(v).collect();
         for u in nbrs {
@@ -143,6 +152,7 @@ impl DgDis {
 
     fn move_out(&mut self, v: u32) {
         self.status[v as usize] = false;
+        self.feed.record_out(v);
         self.size -= 1;
         let nbrs: Vec<u32> = self.g.neighbors(v).collect();
         for u in nbrs {
@@ -262,6 +272,16 @@ impl DgDis {
     }
 }
 
+impl BuildableEngine for DgDis {
+    /// The builder's `k` selects the reduction depth: `k = 1` builds
+    /// OneDIS, `k ≥ 2` builds TwoDIS.
+    fn from_builder(builder: EngineBuilder) -> Result<Self, EngineError> {
+        let session = builder.into_session()?;
+        let two_hop = session.k >= 2;
+        Ok(Self::from_session(session, two_hop))
+    }
+}
+
 impl DynamicMis for DgDis {
     fn name(&self) -> &'static str {
         if self.two_hop {
@@ -275,11 +295,15 @@ impl DynamicMis for DgDis {
         &self.g
     }
 
-    fn apply_update(&mut self, upd: &Update) {
+    fn try_apply(&mut self, upd: &Update) -> Result<SolutionDelta, EngineError> {
+        // Edge ops fuse validation into the graph call (the graph checks
+        // self-loops and aliveness before mutating; the boolean return
+        // classifies duplicates/missing) — no duplicate hash probe. The
+        // rare vertex ops pre-validate with `validate_update`.
         match upd {
             Update::InsertEdge(a, b) => {
-                if !self.g.insert_edge(*a, *b).expect("valid stream") {
-                    return;
+                if !self.g.insert_edge(*a, *b)? {
+                    return Err(EngineError::DuplicateEdge(*a, *b));
                 }
                 match (self.status[*a as usize], self.status[*b as usize]) {
                     (true, true) => {
@@ -290,6 +314,7 @@ impl DynamicMis for DgDis {
                         };
                         let winner = if loser == *a { *b } else { *a };
                         self.status[loser as usize] = false;
+                        self.feed.record_out(loser);
                         self.size -= 1;
                         let nbrs: Vec<u32> =
                             self.g.neighbors(loser).filter(|&w| w != winner).collect();
@@ -319,8 +344,8 @@ impl DynamicMis for DgDis {
                 }
             }
             Update::RemoveEdge(a, b) => {
-                if !self.g.remove_edge(*a, *b).expect("valid stream") {
-                    return;
+                if !self.g.remove_edge(*a, *b)? {
+                    return Err(EngineError::MissingEdge(*a, *b));
                 }
                 for (x, y) in [(*a, *b), (*b, *a)] {
                     if self.status[y as usize] && !self.status[x as usize] {
@@ -334,9 +359,9 @@ impl DynamicMis for DgDis {
                     }
                 }
             }
-            Update::InsertVertex { id, neighbors } => {
+            Update::InsertVertex { id: _, neighbors } => {
+                validate_update(&self.g, upd)?;
                 let v = self.g.add_vertex();
-                debug_assert_eq!(v, *id);
                 let cap = self.g.capacity();
                 if self.status.len() < cap {
                     self.status.resize(cap, false);
@@ -344,7 +369,7 @@ impl DynamicMis for DgDis {
                     self.deps.resize_with(cap, Vec::new);
                 }
                 for &n in neighbors {
-                    self.g.insert_edge(v, n).expect("valid stream");
+                    self.g.insert_edge(v, n).expect("validated");
                 }
                 self.count[v as usize] = neighbors
                     .iter()
@@ -357,13 +382,15 @@ impl DynamicMis for DgDis {
                 }
             }
             Update::RemoveVertex(v) => {
+                validate_update(&self.g, upd)?;
                 let was_in = self.status[*v as usize];
                 self.status[*v as usize] = false;
                 if was_in {
+                    self.feed.record_out(*v);
                     self.size -= 1;
                 }
                 self.count[*v as usize] = 0;
-                let former = self.g.remove_vertex(*v).expect("valid stream");
+                let former = self.g.remove_vertex(*v).expect("validated");
                 if was_in {
                     for u in former {
                         self.count[u as usize] -= 1;
@@ -379,6 +406,13 @@ impl DynamicMis for DgDis {
                 self.deps[*v as usize].clear();
             }
         }
+        let mut delta = self.feed.finish_update();
+        delta.stats.updates = 1;
+        Ok(delta)
+    }
+
+    fn drain_delta(&mut self) -> SolutionDelta {
+        self.feed.drain()
     }
 
     fn size(&self) -> usize {
@@ -392,7 +426,7 @@ impl DynamicMis for DgDis {
     }
 
     fn contains(&self, v: u32) -> bool {
-        self.status[v as usize]
+        self.status.get(v as usize).copied().unwrap_or(false)
     }
 
     fn heap_bytes(&self) -> usize {
@@ -400,6 +434,7 @@ impl DynamicMis for DgDis {
             + self.status.capacity()
             + self.count.capacity() * 4
             + self.deps.iter().map(|d| d.capacity() * 4).sum::<usize>()
+            + self.feed.heap_bytes()
     }
 }
 
@@ -411,7 +446,7 @@ mod tests {
     #[test]
     fn maintains_maximal_solution() {
         let g = DynamicGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
-        let mut b = DgDis::one_dis(g, &[]);
+        let mut b = DgDis::one_dis(EngineBuilder::on(g)).unwrap();
         let schedule = [
             Update::RemoveEdge(2, 3),
             Update::InsertEdge(0, 3),
@@ -422,7 +457,7 @@ mod tests {
             },
         ];
         for u in &schedule {
-            b.apply_update(u);
+            b.try_apply(u).unwrap();
             assert!(
                 is_maximal_dynamic(b.graph(), &b.solution()),
                 "DGOneDIS must stay maximal after {u:?}"
@@ -435,9 +470,9 @@ mod tests {
         // Solution {0, 1}; insert (0, 1): the evicted vertex's dependents
         // should be recovered through the index.
         let g = DynamicGraph::from_edges(5, &[(0, 2), (0, 3), (1, 4)]);
-        let mut b = DgDis::two_dis(g, &[0, 1]);
+        let mut b = DgDis::two_dis(EngineBuilder::on(g).initial(&[0, 1])).unwrap();
         assert_eq!(b.size(), 2);
-        b.apply_update(&Update::InsertEdge(0, 1));
+        b.try_apply(&Update::InsertEdge(0, 1)).unwrap();
         // 0 or 1 evicted; dependents (2, 3 or 4) fill in.
         assert!(b.size() >= 2, "index search must recover the loss");
         assert!(is_maximal_dynamic(b.graph(), &b.solution()));
@@ -446,12 +481,13 @@ mod tests {
     #[test]
     fn search_steps_accumulate() {
         let g = DynamicGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
-        let mut b = DgDis::two_dis(g, &[0]);
-        b.apply_update(&Update::InsertVertex {
+        let mut b = DgDis::two_dis(EngineBuilder::on(g).initial(&[0])).unwrap();
+        b.try_apply(&Update::InsertVertex {
             id: 4,
             neighbors: vec![1, 2, 3],
-        });
-        b.apply_update(&Update::RemoveVertex(4));
+        })
+        .unwrap();
+        b.try_apply(&Update::RemoveVertex(4)).unwrap();
         assert!(b.search_steps > 0, "vertex loss must trigger index search");
     }
 }

@@ -11,11 +11,16 @@
 //! the ordered structure required by the double pointer scan
 //! implementation".
 
-use dynamis_core::DynamicMis;
+use dynamis_core::{
+    validate_update, BuildableEngine, DeltaFeed, DynamicMis, EngineBuilder, EngineError, Session,
+    SolutionDelta,
+};
 use dynamis_graph::{DynamicGraph, Update};
 use std::collections::VecDeque;
 
 /// Dynamic ARW: 1-maximal independent set over sorted adjacency.
+/// Constructed through the [`EngineBuilder`] session API (the builder's
+/// `k` and config are ignored — ARW is inherently a 1-swap method).
 #[derive(Debug)]
 pub struct DyArw {
     g: DynamicGraph,
@@ -24,6 +29,7 @@ pub struct DyArw {
     status: Vec<bool>,
     count: Vec<u32>,
     size: usize,
+    feed: DeltaFeed,
     /// Solution vertices to re-examine for 2-improvements.
     queue: VecDeque<u32>,
     queued: Vec<bool>,
@@ -31,8 +37,9 @@ pub struct DyArw {
 }
 
 impl DyArw {
-    /// Builds the baseline from a graph and an initial independent set.
-    pub fn new(graph: DynamicGraph, initial: &[u32]) -> Self {
+    /// Builds the baseline from a validated [`Session`].
+    fn from_session(session: Session) -> Self {
+        let Session { graph, initial, .. } = session;
         let cap = graph.capacity();
         let mut sorted_adj: Vec<Vec<u32>> = vec![Vec::new(); cap];
         for v in graph.vertices() {
@@ -46,12 +53,14 @@ impl DyArw {
             status: vec![false; cap],
             count: vec![0; cap],
             size: 0,
+            feed: DeltaFeed::default(),
             queue: VecDeque::new(),
             queued: vec![false; cap],
             repair: Vec::new(),
         };
-        for &v in initial {
+        for &v in &initial {
             b.status[v as usize] = true;
+            b.feed.record_in(v);
             b.size += 1;
         }
         for v in 0..cap as u32 {
@@ -70,6 +79,7 @@ impl DyArw {
             }
         }
         b.drain();
+        let _ = b.feed.finish_update(); // close the bootstrap span
         b
     }
 
@@ -113,6 +123,7 @@ impl DyArw {
 
     fn move_in(&mut self, v: u32) {
         self.status[v as usize] = true;
+        self.feed.record_in(v);
         self.size += 1;
         let nbrs: Vec<u32> = self.g.neighbors(v).collect();
         for u in nbrs {
@@ -128,6 +139,7 @@ impl DyArw {
 
     fn move_out(&mut self, v: u32) {
         self.status[v as usize] = false;
+        self.feed.record_out(v);
         self.size -= 1;
         let nbrs: Vec<u32> = self.g.neighbors(v).collect();
         for u in nbrs {
@@ -218,6 +230,12 @@ impl DyArw {
     }
 }
 
+impl BuildableEngine for DyArw {
+    fn from_builder(builder: EngineBuilder) -> Result<Self, EngineError> {
+        builder.into_session().map(Self::from_session)
+    }
+}
+
 impl DynamicMis for DyArw {
     fn name(&self) -> &'static str {
         "DyARW"
@@ -227,11 +245,15 @@ impl DynamicMis for DyArw {
         &self.g
     }
 
-    fn apply_update(&mut self, upd: &Update) {
+    fn try_apply(&mut self, upd: &Update) -> Result<SolutionDelta, EngineError> {
+        // Edge ops fuse validation into the graph call (the graph checks
+        // self-loops and aliveness before mutating; the boolean return
+        // classifies duplicates/missing) — no duplicate hash probe. The
+        // rare vertex ops pre-validate with `validate_update`.
         match upd {
             Update::InsertEdge(a, b) => {
-                if !self.g.insert_edge(*a, *b).expect("valid stream") {
-                    return;
+                if !self.g.insert_edge(*a, *b)? {
+                    return Err(EngineError::DuplicateEdge(*a, *b));
                 }
                 self.sorted_insert(*a, *b);
                 self.sorted_insert(*b, *a);
@@ -244,6 +266,7 @@ impl DynamicMis for DyArw {
                         };
                         let winner = if loser == *a { *b } else { *a };
                         self.status[loser as usize] = false;
+                        self.feed.record_out(loser);
                         self.size -= 1;
                         let nbrs: Vec<u32> =
                             self.g.neighbors(loser).filter(|&w| w != winner).collect();
@@ -271,8 +294,8 @@ impl DynamicMis for DyArw {
                 }
             }
             Update::RemoveEdge(a, b) => {
-                if !self.g.remove_edge(*a, *b).expect("valid stream") {
-                    return;
+                if !self.g.remove_edge(*a, *b)? {
+                    return Err(EngineError::MissingEdge(*a, *b));
                 }
                 self.sorted_remove(*a, *b);
                 self.sorted_remove(*b, *a);
@@ -319,12 +342,12 @@ impl DynamicMis for DyArw {
                     }
                 }
             }
-            Update::InsertVertex { id, neighbors } => {
+            Update::InsertVertex { id: _, neighbors } => {
+                validate_update(&self.g, upd)?;
                 let v = self.g.add_vertex();
-                debug_assert_eq!(v, *id);
                 self.ensure_capacity();
                 for &n in neighbors {
-                    self.g.insert_edge(v, n).expect("valid stream");
+                    self.g.insert_edge(v, n).expect("validated");
                     self.sorted_insert(v, n);
                     self.sorted_insert(n, v);
                 }
@@ -344,13 +367,15 @@ impl DynamicMis for DyArw {
                 }
             }
             Update::RemoveVertex(v) => {
+                validate_update(&self.g, upd)?;
                 let was_in = self.status[*v as usize];
                 self.status[*v as usize] = false;
                 if was_in {
+                    self.feed.record_out(*v);
                     self.size -= 1;
                 }
                 self.count[*v as usize] = 0;
-                let former = self.g.remove_vertex(*v).expect("valid stream");
+                let former = self.g.remove_vertex(*v).expect("validated");
                 for &u in &former {
                     self.sorted_remove(u, *v);
                 }
@@ -375,6 +400,13 @@ impl DynamicMis for DyArw {
             }
         }
         self.drain();
+        let mut delta = self.feed.finish_update();
+        delta.stats.updates = 1;
+        Ok(delta)
+    }
+
+    fn drain_delta(&mut self) -> SolutionDelta {
+        self.feed.drain()
     }
 
     fn size(&self) -> usize {
@@ -388,7 +420,7 @@ impl DynamicMis for DyArw {
     }
 
     fn contains(&self, v: u32) -> bool {
-        self.status[v as usize]
+        self.status.get(v as usize).copied().unwrap_or(false)
     }
 
     fn heap_bytes(&self) -> usize {
@@ -400,6 +432,7 @@ impl DynamicMis for DyArw {
                 .sum::<usize>()
             + self.status.capacity()
             + self.count.capacity() * 4
+            + self.feed.heap_bytes()
     }
 }
 
@@ -407,10 +440,14 @@ impl DynamicMis for DyArw {
 mod tests {
     use super::*;
 
+    fn build(g: DynamicGraph, initial: &[u32]) -> DyArw {
+        EngineBuilder::on(g).initial(initial).build_as().unwrap()
+    }
+
     #[test]
     fn fixes_star_like_one_swap() {
         let g = DynamicGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
-        let b = DyArw::new(g, &[0]);
+        let b = build(g, &[0]);
         assert_eq!(b.size(), 4);
     }
 
@@ -430,7 +467,7 @@ mod tests {
                 (7, 0),
             ],
         );
-        let mut b = DyArw::new(g, &[]);
+        let mut b = build(g, &[]);
         let schedule = [
             Update::RemoveEdge(1, 2),
             Update::InsertEdge(0, 4),
@@ -442,11 +479,28 @@ mod tests {
             Update::RemoveEdge(3, 4),
         ];
         for u in &schedule {
-            b.apply_update(u);
+            b.try_apply(u).unwrap();
             assert!(
                 is_k_maximal_dynamic(b.graph(), &b.solution(), 1),
                 "DyARW must stay 1-maximal after {u:?}"
             );
+        }
+    }
+
+    #[test]
+    fn invalid_updates_are_rejected_without_state_change() {
+        let g = DynamicGraph::from_edges(4, &[(0, 1), (1, 2)]);
+        let mut b = build(g, &[]);
+        let sol = b.solution();
+        let _ = b.drain_delta();
+        for bad in [
+            Update::InsertEdge(0, 1),
+            Update::RemoveEdge(0, 3),
+            Update::RemoveVertex(9),
+        ] {
+            assert!(b.try_apply(&bad).is_err());
+            assert_eq!(b.solution(), sol);
+            assert!(b.drain_delta().is_empty());
         }
     }
 }

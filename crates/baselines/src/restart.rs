@@ -12,7 +12,9 @@
 //! * larger intervals trade staleness (smaller solutions between solves)
 //!   for amortized cost, the knob the `restart` ablation sweeps.
 
-use dynamis_core::DynamicMis;
+use dynamis_core::{
+    validate_update, DeltaFeed, DynamicMis, EngineBuilder, EngineError, SolutionDelta,
+};
 use dynamis_graph::{DynamicGraph, Update};
 use dynamis_static::verify::compact_live;
 use dynamis_static::{arw_local_search, greedy_mis, ArwConfig};
@@ -35,30 +37,43 @@ pub struct Restart {
     since_solve: usize,
     status: Vec<bool>,
     size: usize,
+    feed: DeltaFeed,
     /// Full static solves performed (exposed for the ablation harness).
     pub recomputes: u64,
 }
 
 impl Restart {
-    /// Builds the baseline; solves once immediately. `interval` must be
-    /// at least 1.
-    pub fn new(graph: DynamicGraph, solver: RestartSolver, interval: usize) -> Self {
-        assert!(interval >= 1, "interval must be positive");
-        let cap = graph.capacity();
+    /// Builds the baseline from a builder-described session plus its
+    /// own knobs (which solver to rerun, and how often); solves once
+    /// immediately, so the session's initial set is superseded and
+    /// ignored. `interval` must be at least 1.
+    pub fn from_builder(
+        builder: EngineBuilder,
+        solver: RestartSolver,
+        interval: usize,
+    ) -> Result<Self, EngineError> {
+        if interval == 0 {
+            return Err(EngineError::BadParameter("restart interval must be ≥ 1"));
+        }
+        let session = builder.into_session()?;
+        let cap = session.graph.capacity();
         let mut b = Restart {
-            g: graph,
+            g: session.graph,
             solver,
             interval,
             since_solve: 0,
             status: vec![false; cap],
             size: 0,
+            feed: DeltaFeed::default(),
             recomputes: 0,
         };
         b.resolve();
-        b
+        let _ = b.feed.finish_update(); // close the bootstrap span
+        Ok(b)
     }
 
-    /// Runs the static solver on the current graph.
+    /// Runs the static solver on the current graph. The wholesale
+    /// status rewrite is recorded as a (large, honest) solution delta.
     fn resolve(&mut self) {
         self.recomputes += 1;
         self.since_solve = 0;
@@ -83,13 +98,20 @@ impl Restart {
                 inv[new as usize] = old as u32;
             }
         }
-        self.status.iter_mut().for_each(|s| *s = false);
-        self.size = 0;
+        let mut new_status = vec![false; self.status.len()];
         for &c in &compact_solution {
             let old = inv[c as usize];
-            self.status[old as usize] = true;
-            self.size += 1;
+            new_status[old as usize] = true;
         }
+        for (v, (&old, &new)) in self.status.iter().zip(new_status.iter()).enumerate() {
+            match (old, new) {
+                (false, true) => self.feed.record_in(v as u32),
+                (true, false) => self.feed.record_out(v as u32),
+                _ => {}
+            }
+        }
+        self.status = new_status;
+        self.size = compact_solution.len();
     }
 
     fn bump(&mut self) {
@@ -126,11 +148,15 @@ impl DynamicMis for Restart {
         &self.g
     }
 
-    fn apply_update(&mut self, upd: &Update) {
+    fn try_apply(&mut self, upd: &Update) -> Result<SolutionDelta, EngineError> {
+        // Edge ops fuse validation into the graph call (the graph checks
+        // self-loops and aliveness before mutating; the boolean return
+        // classifies duplicates/missing) — no duplicate hash probe. The
+        // rare vertex ops pre-validate with `validate_update`.
         match upd {
             Update::InsertEdge(a, b) => {
-                if !self.g.insert_edge(*a, *b).expect("valid stream") {
-                    return;
+                if !self.g.insert_edge(*a, *b)? {
+                    return Err(EngineError::DuplicateEdge(*a, *b));
                 }
                 if self.status[*a as usize] && self.status[*b as usize] {
                     // Evict the higher-degree endpoint; no repair until the
@@ -141,32 +167,44 @@ impl DynamicMis for Restart {
                         *a
                     };
                     self.status[loser as usize] = false;
+                    self.feed.record_out(loser);
                     self.size -= 1;
                 }
             }
             Update::RemoveEdge(a, b) => {
-                self.g.remove_edge(*a, *b).expect("valid stream");
+                if !self.g.remove_edge(*a, *b)? {
+                    return Err(EngineError::MissingEdge(*a, *b));
+                }
             }
-            Update::InsertVertex { id, neighbors } => {
+            Update::InsertVertex { id: _, neighbors } => {
+                validate_update(&self.g, upd)?;
                 let v = self.g.add_vertex();
-                debug_assert_eq!(v, *id);
                 if self.status.len() < self.g.capacity() {
                     self.status.resize(self.g.capacity(), false);
                 }
                 self.status[v as usize] = false;
                 for &n in neighbors {
-                    self.g.insert_edge(v, n).expect("valid stream");
+                    self.g.insert_edge(v, n).expect("validated");
                 }
             }
             Update::RemoveVertex(v) => {
+                validate_update(&self.g, upd)?;
                 if self.status[*v as usize] {
                     self.status[*v as usize] = false;
+                    self.feed.record_out(*v);
                     self.size -= 1;
                 }
-                self.g.remove_vertex(*v).expect("valid stream");
+                self.g.remove_vertex(*v).expect("validated");
             }
         }
         self.bump();
+        let mut delta = self.feed.finish_update();
+        delta.stats.updates = 1;
+        Ok(delta)
+    }
+
+    fn drain_delta(&mut self) -> SolutionDelta {
+        self.feed.drain()
     }
 
     fn size(&self) -> usize {
@@ -180,11 +218,11 @@ impl DynamicMis for Restart {
     }
 
     fn contains(&self, v: u32) -> bool {
-        (v as usize) < self.status.len() && self.status[v as usize]
+        self.status.get(v as usize).copied().unwrap_or(false)
     }
 
     fn heap_bytes(&self) -> usize {
-        self.g.heap_bytes() + self.status.capacity()
+        self.g.heap_bytes() + self.status.capacity() + self.feed.heap_bytes()
     }
 }
 
@@ -193,6 +231,10 @@ mod tests {
     use super::*;
     use dynamis_static::verify::is_maximal_dynamic;
 
+    fn build(g: DynamicGraph, solver: RestartSolver, interval: usize) -> Restart {
+        Restart::from_builder(EngineBuilder::on(g), solver, interval).unwrap()
+    }
+
     fn path(n: usize) -> DynamicGraph {
         let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
         DynamicGraph::from_edges(n, &edges)
@@ -200,14 +242,14 @@ mod tests {
 
     #[test]
     fn interval_one_is_always_fresh() {
-        let mut r = Restart::new(path(8), RestartSolver::Greedy, 1);
+        let mut r = build(path(8), RestartSolver::Greedy, 1);
         assert_eq!(r.recomputes, 1);
         for upd in [
             Update::RemoveEdge(3, 4),
             Update::InsertEdge(0, 7),
             Update::InsertEdge(2, 6),
         ] {
-            r.apply_update(&upd);
+            r.try_apply(&upd).unwrap();
             r.check_valid().unwrap();
             assert!(
                 is_maximal_dynamic(r.graph(), &r.solution()),
@@ -219,12 +261,12 @@ mod tests {
 
     #[test]
     fn large_interval_amortizes_but_goes_stale() {
-        let mut r = Restart::new(path(10), RestartSolver::Greedy, 100);
+        let mut r = build(path(10), RestartSolver::Greedy, 100);
         let initial = r.size();
         // Pile conflicts onto solution vertices; no repair happens.
         let sol = r.solution();
         let (a, b) = (sol[0], sol[1]);
-        r.apply_update(&Update::InsertEdge(a, b));
+        r.try_apply(&Update::InsertEdge(a, b)).unwrap();
         r.check_valid().unwrap();
         assert_eq!(r.size(), initial - 1, "eviction without repair");
         assert_eq!(r.recomputes, 1, "no re-solve before the interval");
@@ -232,7 +274,7 @@ mod tests {
 
     #[test]
     fn resolve_fires_exactly_on_interval() {
-        let mut r = Restart::new(path(12), RestartSolver::Greedy, 3);
+        let mut r = build(path(12), RestartSolver::Greedy, 3);
         for step in 1..=9usize {
             // Toggle one path edge out and back in: every op is valid.
             let e = ((step as u32 - 1) / 2) % 11;
@@ -241,7 +283,7 @@ mod tests {
             } else {
                 Update::InsertEdge(e, e + 1)
             };
-            r.apply_update(&upd);
+            r.try_apply(&upd).unwrap();
             assert_eq!(r.recomputes as usize, 1 + step / 3, "after step {step}");
         }
     }
@@ -254,30 +296,33 @@ mod tests {
         edges.push((0, 5));
         edges.push((3, 9));
         let g = DynamicGraph::from_edges(n as usize, &edges);
-        let greedy = Restart::new(g.clone(), RestartSolver::Greedy, 1);
-        let arw = Restart::new(g, RestartSolver::Arw, 1);
+        let greedy = build(g.clone(), RestartSolver::Greedy, 1);
+        let arw = build(g, RestartSolver::Arw, 1);
         assert!(arw.size() >= greedy.size());
         arw.check_valid().unwrap();
     }
 
     #[test]
     fn survives_vertex_churn() {
-        let mut r = Restart::new(path(6), RestartSolver::Greedy, 2);
-        r.apply_update(&Update::RemoveVertex(2));
+        let mut r = build(path(6), RestartSolver::Greedy, 2);
+        r.try_apply(&Update::RemoveVertex(2)).unwrap();
         r.check_valid().unwrap();
-        r.apply_update(&Update::InsertVertex {
+        r.try_apply(&Update::InsertVertex {
             id: 2,
             neighbors: vec![0, 5],
-        });
+        })
+        .unwrap();
         r.check_valid().unwrap();
-        r.apply_update(&Update::RemoveVertex(0));
+        r.try_apply(&Update::RemoveVertex(0)).unwrap();
         r.check_valid().unwrap();
         assert!(r.size() >= 2);
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn zero_interval_panics() {
-        Restart::new(path(3), RestartSolver::Greedy, 0);
+    fn zero_interval_is_rejected() {
+        let err = Restart::from_builder(EngineBuilder::on(path(3)), RestartSolver::Greedy, 0)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::BadParameter(_)));
     }
 }

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dynamis_baselines::{Restart, RestartSolver};
-use dynamis_core::{DyOneSwap, DyTwoSwap, DynamicMis, EngineConfig};
+use dynamis_core::{DyOneSwap, DyTwoSwap, DynamicMis, EngineBuilder, EngineConfig};
 use dynamis_gen::temporal::{burst, sliding_window, BurstConfig, SlidingWindowConfig};
 use dynamis_gen::{powerlaw::chung_lu, StreamConfig, UpdateStream, Workload};
 
@@ -23,9 +23,10 @@ fn perturbation_cost(c: &mut Criterion) {
                         perturbation: p,
                         ..EngineConfig::default()
                     };
-                    let mut e = DyOneSwap::with_config(g.clone(), &[], cfg);
+                    let mut e: DyOneSwap =
+                        EngineBuilder::on(g.clone()).config(cfg).build_as().unwrap();
                     for u in &ups {
-                        e.apply_update(u);
+                        e.try_apply(u).unwrap();
                     }
                     e.size()
                 });
@@ -42,18 +43,20 @@ fn restart_vs_dynamic(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("restart_every_50", |b| {
         b.iter(|| {
-            let mut e = Restart::new(g.clone(), RestartSolver::Greedy, 50);
+            let mut e =
+                Restart::from_builder(EngineBuilder::on(g.clone()), RestartSolver::Greedy, 50)
+                    .unwrap();
             for u in &ups {
-                e.apply_update(u);
+                e.try_apply(u).unwrap();
             }
             e.size()
         });
     });
     group.bench_function("dy_one_swap", |b| {
         b.iter(|| {
-            let mut e = DyOneSwap::new(g.clone(), &[]);
+            let mut e: DyOneSwap = EngineBuilder::on(g.clone()).build_as().unwrap();
             for u in &ups {
-                e.apply_update(u);
+                e.try_apply(u).unwrap();
             }
             e.size()
         });
@@ -98,9 +101,9 @@ fn workload_shapes(c: &mut Criterion) {
     for (label, wl) in &shapes {
         group.bench_with_input(BenchmarkId::from_parameter(*label), wl, |b, wl| {
             b.iter(|| {
-                let mut e = DyTwoSwap::new(wl.graph.clone(), &[]);
+                let mut e: DyTwoSwap = EngineBuilder::on(wl.graph.clone()).build_as().unwrap();
                 for u in &wl.updates {
-                    e.apply_update(u);
+                    e.try_apply(u).unwrap();
                 }
                 e.size()
             });

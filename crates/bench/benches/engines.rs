@@ -25,7 +25,7 @@ fn per_update_latency(c: &mut Criterion) {
                 b.iter(|| {
                     let mut e = kind.build(&g, &[]);
                     for u in &ups {
-                        e.apply_update(u);
+                        e.try_apply(u).unwrap();
                     }
                     e.size()
                 });
@@ -49,7 +49,7 @@ fn update_mix_sensitivity(c: &mut Criterion) {
             b.iter(|| {
                 let mut e = AlgoKind::DyTwoSwap.build(&g, &[]);
                 for u in ups {
-                    e.apply_update(u);
+                    e.try_apply(u).unwrap();
                 }
                 e.size()
             });
@@ -59,25 +59,25 @@ fn update_mix_sensitivity(c: &mut Criterion) {
 }
 
 fn batch_vs_per_update(c: &mut Criterion) {
-    use dynamis_core::{DyTwoSwap, DynamicMis};
+    use dynamis_core::{DyTwoSwap, DynamicMis, EngineBuilder};
     let g = chung_lu(10_000, 2.4, 8.0, 77);
     let ups = UpdateStream::new(&g, StreamConfig::default(), 79).take_updates(2_000);
     let mut group = c.benchmark_group("batching");
     group.sample_size(10);
     group.bench_function("per_update", |b| {
         b.iter(|| {
-            let mut e = DyTwoSwap::new(g.clone(), &[]);
+            let mut e: DyTwoSwap = EngineBuilder::on(g.clone()).build_as().unwrap();
             for u in &ups {
-                e.apply_update(u);
+                e.try_apply(u).unwrap();
             }
             e.size()
         });
     });
     group.bench_function("batch_256", |b| {
         b.iter(|| {
-            let mut e = DyTwoSwap::new(g.clone(), &[]);
+            let mut e: DyTwoSwap = EngineBuilder::on(g.clone()).build_as().unwrap();
             for chunk in ups.chunks(256) {
-                e.apply_batch(chunk);
+                e.try_apply_batch(chunk).unwrap();
             }
             e.size()
         });

@@ -56,8 +56,11 @@ fn certification(c: &mut Criterion) {
     group.sample_size(10);
     let g = chung_lu(100_000, 2.4, 8.0, 13);
     let solution = {
-        use dynamis_core::{DyOneSwap, DynamicMis};
-        DyOneSwap::new(g.clone(), &[]).solution()
+        use dynamis_core::{DyOneSwap, DynamicMis, EngineBuilder};
+        EngineBuilder::on(g.clone())
+            .build_as::<DyOneSwap>()
+            .unwrap()
+            .solution()
     };
     group.bench_function("sequential", |b| {
         b.iter(|| certify_one_maximal(&g, &solution).is_ok());

@@ -20,7 +20,7 @@
 
 use dynamis_bench::alloc_track::{self, TrackingAlloc};
 use dynamis_bench::hash_baseline::{HashIndexedOneSwap, HashIndexedTwoSwap};
-use dynamis_core::{DyOneSwap, DyTwoSwap, DynamicMis};
+use dynamis_core::{DyOneSwap, DyTwoSwap, DynamicMis, EngineBuilder};
 use dynamis_gen::powerlaw::chung_lu;
 use dynamis_gen::{StreamConfig, UpdateStream};
 use dynamis_graph::Update;
@@ -63,7 +63,7 @@ where
     let allocs_before = alloc_track::alloc_count();
     let t1 = Instant::now();
     for u in ups {
-        e.apply_update(u);
+        e.try_apply(u).expect("generated stream is valid");
     }
     let run_secs = t1.elapsed().as_secs_f64();
     let allocs = alloc_track::alloc_count() - allocs_before;
@@ -146,7 +146,7 @@ fn main() {
         run_engine::<DyOneSwap, _>(
             "DyOneSwap",
             "intrusive",
-            || DyOneSwap::new(base.clone(), &[]),
+            || EngineBuilder::on(base.clone()).build_as().unwrap(),
             &ups,
         ),
         run_engine::<HashIndexedOneSwap, _>(
@@ -158,7 +158,7 @@ fn main() {
         run_engine::<DyTwoSwap, _>(
             "DyTwoSwap",
             "intrusive",
-            || DyTwoSwap::new(base.clone(), &[]),
+            || EngineBuilder::on(base.clone()).build_as().unwrap(),
             &ups,
         ),
         run_engine::<HashIndexedTwoSwap, _>(

@@ -73,7 +73,7 @@ fn main() {
         for (_, initial) in &initials {
             let mut e = kind.build(&g, initial);
             for u in &ups {
-                e.apply_update(u);
+                e.try_apply(u).expect("generated stream is valid");
             }
             sizes.push(e.size());
         }

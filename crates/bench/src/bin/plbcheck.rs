@@ -5,7 +5,7 @@
 //! accuracy of DyOneSwap.
 
 use dynamis_bench::report::Table;
-use dynamis_core::{DyOneSwap, DynamicMis};
+use dynamis_core::{DyOneSwap, DynamicMis, EngineBuilder};
 use dynamis_gen::plb::PlbFit;
 use dynamis_gen::DATASETS;
 use dynamis_graph::CsrGraph;
@@ -26,7 +26,7 @@ fn main() {
         let Some(est) = PlbFit::default().fit(&csr.degree_histogram()) else {
             continue;
         };
-        let engine = DyOneSwap::new(g, &[]);
+        let engine: DyOneSwap = EngineBuilder::on(g).build_as().unwrap();
         // Upper bound on the true ratio: α ≤ n, so α/|I| ≤ n/|I| — and the
         // Theorem 4 bound must dominate the TRUE ratio (≤ this only when
         // bound ≥ true ratio; we report n/|I| as a conservative ceiling).

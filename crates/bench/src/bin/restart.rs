@@ -13,7 +13,7 @@
 
 use dynamis_baselines::{Restart, RestartSolver};
 use dynamis_bench::Table;
-use dynamis_core::{DyOneSwap, DyTwoSwap, DynamicMis};
+use dynamis_core::{DyOneSwap, DyTwoSwap, DynamicMis, EngineBuilder};
 use dynamis_gen::{powerlaw::chung_lu, StreamConfig, UpdateStream};
 use std::time::Instant;
 
@@ -30,9 +30,14 @@ fn main() {
 
     for interval in [1usize, 10, 100, 1_000] {
         let t0 = Instant::now();
-        let mut r = Restart::new(g.clone(), RestartSolver::Greedy, interval);
+        let mut r = Restart::from_builder(
+            EngineBuilder::on(g.clone()),
+            RestartSolver::Greedy,
+            interval,
+        )
+        .expect("valid session");
         for u in &ups {
-            r.apply_update(u);
+            r.try_apply(u).expect("generated stream is valid");
         }
         table.row(vec![
             format!("Restart(Greedy, every {interval})"),
@@ -43,9 +48,9 @@ fn main() {
     }
 
     let t0 = Instant::now();
-    let mut one = DyOneSwap::new(g.clone(), &[]);
+    let mut one: DyOneSwap = EngineBuilder::on(g.clone()).build_as().unwrap();
     for u in &ups {
-        one.apply_update(u);
+        one.try_apply(u).expect("generated stream is valid");
     }
     table.row(vec![
         "DyOneSwap".to_string(),
@@ -55,9 +60,9 @@ fn main() {
     ]);
 
     let t0 = Instant::now();
-    let mut two = DyTwoSwap::new(g.clone(), &[]);
+    let mut two: DyTwoSwap = EngineBuilder::on(g.clone()).build_as().unwrap();
     for u in &ups {
-        two.apply_update(u);
+        two.try_apply(u).expect("generated stream is valid");
     }
     table.row(vec![
         "DyTwoSwap".to_string(),

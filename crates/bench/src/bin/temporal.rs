@@ -62,7 +62,7 @@ fn main() {
             let t0 = Instant::now();
             let mut e = kind.build(&wl.graph, &[]);
             for u in &wl.updates {
-                e.apply_update(u);
+                e.try_apply(u).expect("recorded trace is valid");
             }
             cells.push(format!("{}", t0.elapsed().as_millis()));
             cells.push(format!("{}", e.size()));

@@ -2,7 +2,7 @@
 //! under a wall-clock limit, and reports size/time/memory.
 
 use dynamis_baselines::{DgDis, DyArw, MaximalOnly};
-use dynamis_core::{DyOneSwap, DyTwoSwap, DynamicMis, EngineConfig, GenericKSwap};
+use dynamis_core::{DyOneSwap, DyTwoSwap, DynamicMis, EngineBuilder, EngineConfig, GenericKSwap};
 use dynamis_graph::{CsrGraph, DynamicGraph, Update};
 use dynamis_static::arw::{arw_local_search, ArwConfig};
 use dynamis_static::exact::{solve_exact, ExactConfig};
@@ -58,24 +58,34 @@ impl AlgoKind {
         ]
     }
 
-    /// Instantiates the engine over its own copy of the graph.
+    /// Instantiates the engine over its own copy of the graph, through
+    /// the one construction path ([`EngineBuilder`]). Harness inputs are
+    /// trusted (generated graphs + solver-produced initial sets), so a
+    /// builder rejection here is a harness bug and panics.
     pub fn build(&self, g: &DynamicGraph, initial: &[u32]) -> Box<dyn DynamicMis> {
-        let g = g.clone();
+        let b = EngineBuilder::on(g.clone()).initial(initial);
         let perturb = EngineConfig {
             perturbation: true,
             perturb_budget: 2,
         };
-        match self {
-            AlgoKind::MaximalOnly => Box::new(MaximalOnly::new(g, initial)),
-            AlgoKind::DgOneDis => Box::new(DgDis::one_dis(g, initial)),
-            AlgoKind::DgTwoDis => Box::new(DgDis::two_dis(g, initial)),
-            AlgoKind::DyArw => Box::new(DyArw::new(g, initial)),
-            AlgoKind::DyOneSwap => Box::new(DyOneSwap::new(g, initial)),
-            AlgoKind::DyOneSwapPerturb => Box::new(DyOneSwap::with_config(g, initial, perturb)),
-            AlgoKind::DyTwoSwap => Box::new(DyTwoSwap::new(g, initial)),
-            AlgoKind::DyTwoSwapPerturb => Box::new(DyTwoSwap::with_config(g, initial, perturb)),
-            AlgoKind::Generic(k) => Box::new(GenericKSwap::new(g, initial, *k)),
-        }
+        let built: Result<Box<dyn DynamicMis>, _> = match self {
+            AlgoKind::MaximalOnly => b.build_as::<MaximalOnly>().map(|e| Box::new(e) as _),
+            AlgoKind::DgOneDis => DgDis::one_dis(b).map(|e| Box::new(e) as _),
+            AlgoKind::DgTwoDis => DgDis::two_dis(b).map(|e| Box::new(e) as _),
+            AlgoKind::DyArw => b.build_as::<DyArw>().map(|e| Box::new(e) as _),
+            AlgoKind::DyOneSwap => b.build_as::<DyOneSwap>().map(|e| Box::new(e) as _),
+            AlgoKind::DyOneSwapPerturb => b
+                .config(perturb)
+                .build_as::<DyOneSwap>()
+                .map(|e| Box::new(e) as _),
+            AlgoKind::DyTwoSwap => b.build_as::<DyTwoSwap>().map(|e| Box::new(e) as _),
+            AlgoKind::DyTwoSwapPerturb => b
+                .config(perturb)
+                .build_as::<DyTwoSwap>()
+                .map(|e| Box::new(e) as _),
+            AlgoKind::Generic(k) => b.k(*k).build_as::<GenericKSwap>().map(|e| Box::new(e) as _),
+        };
+        built.unwrap_or_else(|e| panic!("harness session for {} invalid: {e}", self.label()))
     }
 }
 
@@ -112,7 +122,9 @@ pub fn run(
     let mut dnf = false;
     for chunk in updates.chunks(128) {
         for u in chunk {
-            engine.apply_update(u);
+            engine
+                .try_apply(u)
+                .unwrap_or_else(|e| panic!("workload update {u:?} rejected: {e}"));
         }
         processed += chunk.len();
         if start.elapsed() > limit {

@@ -15,7 +15,7 @@
 //! Not used by any production path — benchmark and differential-test
 //! reference only.
 
-use dynamis_core::DynamicMis;
+use dynamis_core::{validate_update, DeltaFeed, DynamicMis, EngineError, SolutionDelta};
 use dynamis_graph::collections::StampSet;
 use dynamis_graph::hash::{pair_key, unpack_pair, FxHashMap};
 use dynamis_graph::{DynamicGraph, Update};
@@ -371,6 +371,7 @@ pub struct HashIndexedEngine {
     scratch: Vec<u32>,
     stamp: StampSet,
     stamp2: StampSet,
+    feed: DeltaFeed,
     /// Updates processed.
     pub updates: u64,
 }
@@ -390,9 +391,14 @@ impl HashIndexedEngine {
             scratch: Vec::new(),
             stamp: StampSet::with_capacity(cap),
             stamp2: StampSet::with_capacity(cap),
+            feed: DeltaFeed::default(),
             updates: 0,
         };
+        for &v in initial {
+            eng.feed.record_in(v);
+        }
         eng.bootstrap();
+        let _ = eng.feed.finish_update(); // close the bootstrap span
         eng
     }
 
@@ -452,6 +458,7 @@ impl HashIndexedEngine {
 
     fn move_in(&mut self, v: u32) {
         self.st.status[v as usize] = true;
+        self.feed.record_in(v);
         self.st.size += 1;
         self.scratch.clear();
         self.scratch.extend(self.st.g.neighbors(v));
@@ -464,6 +471,7 @@ impl HashIndexedEngine {
 
     fn move_out(&mut self, v: u32) {
         self.st.status[v as usize] = false;
+        self.feed.record_out(v);
         self.st.size -= 1;
         self.scratch.clear();
         self.scratch.extend(self.st.g.neighbors(v));
@@ -631,25 +639,24 @@ impl HashIndexedEngine {
         self.process_repairs();
     }
 
-    fn apply(&mut self, upd: &Update) {
-        self.updates += 1;
+    /// Same rejection surface as the production engines, with the same
+    /// fused edge-op validation (no extra probe beyond what the layout
+    /// itself pays) so the head-to-head numbers stay honest.
+    fn apply(&mut self, upd: &Update) -> Result<(), EngineError> {
         match upd {
-            Update::InsertEdge(a, b) => self.insert_edge(*a, *b),
-            Update::RemoveEdge(a, b) => self.remove_edge(*a, *b),
-            Update::InsertVertex { id, neighbors } => self.insert_vertex(*id, neighbors),
-            Update::RemoveVertex(v) => self.remove_vertex_upd(*v),
+            Update::InsertEdge(a, b) => self.insert_edge(*a, *b)?,
+            Update::RemoveEdge(a, b) => self.remove_edge(*a, *b)?,
+            Update::InsertVertex { id, neighbors } => self.insert_vertex(*id, neighbors)?,
+            Update::RemoveVertex(v) => self.remove_vertex_upd(*v)?,
         }
+        self.updates += 1;
         self.drain();
+        Ok(())
     }
 
-    fn insert_edge(&mut self, a: u32, b: u32) {
-        let inserted = self
-            .st
-            .g
-            .insert_edge(a, b)
-            .expect("update stream must be valid");
-        if !inserted {
-            return;
+    fn insert_edge(&mut self, a: u32, b: u32) -> Result<(), EngineError> {
+        if !self.st.g.insert_edge(a, b)? {
+            return Err(EngineError::DuplicateEdge(a, b));
         }
         match (self.st.in_solution(a), self.st.in_solution(b)) {
             (false, false) => {}
@@ -661,6 +668,7 @@ impl HashIndexedEngine {
             }
             (true, true) => self.solution_edge_inserted(a, b),
         }
+        Ok(())
     }
 
     fn solution_edge_inserted(&mut self, a: u32, b: u32) {
@@ -675,6 +683,7 @@ impl HashIndexedEngine {
         };
         let winner = if loser == a { b } else { a };
         self.st.status[loser as usize] = false;
+        self.feed.record_out(loser);
         self.st.size -= 1;
         self.scratch.clear();
         let st = &self.st;
@@ -690,14 +699,9 @@ impl HashIndexedEngine {
         self.process_repairs();
     }
 
-    fn remove_edge(&mut self, a: u32, b: u32) {
-        let removed = self
-            .st
-            .g
-            .remove_edge(a, b)
-            .expect("update stream must be valid");
-        if !removed {
-            return;
+    fn remove_edge(&mut self, a: u32, b: u32) -> Result<(), EngineError> {
+        if !self.st.g.remove_edge(a, b)? {
+            return Err(EngineError::MissingEdge(a, b));
         }
         match (self.st.in_solution(a), self.st.in_solution(b)) {
             (true, true) => unreachable!("solution vertices are never adjacent"),
@@ -713,6 +717,7 @@ impl HashIndexedEngine {
             }
             (false, false) => self.outsider_edge_removed(a, b),
         }
+        Ok(())
     }
 
     fn outsider_edge_removed(&mut self, u: u32, v: u32) {
@@ -761,17 +766,20 @@ impl HashIndexedEngine {
         }
     }
 
-    fn insert_vertex(&mut self, id: u32, neighbors: &[u32]) {
+    fn insert_vertex(&mut self, id: u32, neighbors: &[u32]) -> Result<(), EngineError> {
+        validate_update(
+            &self.st.g,
+            &Update::InsertVertex {
+                id,
+                neighbors: neighbors.to_vec(),
+            },
+        )?;
         let v = self.st.g.add_vertex();
-        debug_assert_eq!(v, id, "vertex id allocation diverged from stream");
         let cap = self.st.g.capacity();
         self.st.ensure_capacity(cap);
         self.c1.ensure_capacity(cap);
         for &n in neighbors {
-            self.st
-                .g
-                .insert_edge(v, n)
-                .expect("update stream must be valid");
+            self.st.g.insert_edge(v, n).expect("validated");
         }
         for &n in neighbors {
             if self.st.in_solution(n) {
@@ -783,17 +791,18 @@ impl HashIndexedEngine {
             self.move_in(v);
         }
         self.process_repairs();
+        Ok(())
     }
 
-    fn remove_vertex_upd(&mut self, v: u32) {
+    fn remove_vertex_upd(&mut self, v: u32) -> Result<(), EngineError> {
+        if !self.st.g.is_alive(v) {
+            return Err(dynamis_graph::GraphError::VertexNotFound(v).into());
+        }
         if self.st.in_solution(v) {
             self.st.status[v as usize] = false;
+            self.feed.record_out(v);
             self.st.size -= 1;
-            let former = self
-                .st
-                .g
-                .remove_vertex(v)
-                .expect("update stream must be valid");
+            let former = self.st.g.remove_vertex(v).expect("aliveness checked");
             for u in former {
                 let ev = self.st.dec_count(u, v);
                 self.handle_event(u, ev);
@@ -801,11 +810,9 @@ impl HashIndexedEngine {
             self.process_repairs();
         } else {
             self.st.purge_outsider(v);
-            self.st
-                .g
-                .remove_vertex(v)
-                .expect("update stream must be valid");
+            self.st.g.remove_vertex(v).expect("aliveness checked");
         }
+        Ok(())
     }
 
     fn heap_bytes_inner(&self) -> usize {
@@ -876,8 +883,15 @@ macro_rules! impl_dynamic_mis {
                 &self.0.st.g
             }
 
-            fn apply_update(&mut self, u: &Update) {
-                self.0.apply(u);
+            fn try_apply(&mut self, u: &Update) -> Result<SolutionDelta, EngineError> {
+                self.0.apply(u)?;
+                let mut delta = self.0.feed.finish_update();
+                delta.stats.updates = 1;
+                Ok(delta)
+            }
+
+            fn drain_delta(&mut self) -> SolutionDelta {
+                self.0.feed.drain()
             }
 
             fn size(&self) -> usize {
@@ -920,7 +934,7 @@ mod tests {
         let ups = UpdateStream::new(&g, StreamConfig::default(), 12).take_updates(300);
         let mut e = HashIndexedOneSwap::new(g, &[]);
         for u in &ups {
-            e.apply_update(u);
+            e.try_apply(u).unwrap();
         }
         assert!(dynamis_static::verify::is_independent_dynamic(
             e.graph(),
@@ -940,7 +954,7 @@ mod tests {
         let ups = UpdateStream::new(&g, StreamConfig::default(), 22).take_updates(200);
         let mut e = HashIndexedTwoSwap::new(g, &[]);
         for u in &ups {
-            e.apply_update(u);
+            e.try_apply(u).unwrap();
         }
         assert!(dynamis_static::verify::is_k_maximal_dynamic(
             e.graph(),

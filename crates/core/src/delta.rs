@@ -1,0 +1,347 @@
+//! Solution deltas: the per-update change to the maintained set.
+//!
+//! The framework's central empirical fact — each update changes the
+//! maintained independent set by only a few vertices (the *adjustment
+//! complexity* of Assadi et al., STOC 2018, which the paper's swap
+//! cascades keep small in practice) — deserves a first-class API:
+//! instead of rematerializing `solution()` (O(|I|)) after every update,
+//! consumers receive a [`SolutionDelta`] naming exactly the vertices
+//! that entered and left `I`, and can mirror the solution incrementally
+//! with a [`SolutionMirror`].
+//!
+//! Engines record membership flips into a [`DeltaFeed`] as they happen.
+//! The feed nets oscillations (a vertex swapped out and back in during
+//! one cascade contributes nothing) and serves two consumers at once:
+//! [`crate::DynamicMis::try_apply`] returns the per-update delta, while
+//! [`crate::DynamicMis::drain_delta`] drains everything accumulated
+//! since the last drain — including the construction-time bootstrap, so
+//! a mirror started *empty* before any drain reconstructs the solution
+//! exactly.
+//!
+//! Everything here is dense-vector work: recording is two `Vec` pushes
+//! per membership flip, netting is one sort over the (small) flip log —
+//! no hash probes are added to the update hot path.
+
+use crate::engine::EngineStats;
+use dynamis_graph::hash::FxHashSet;
+
+/// The net change one update (or one batch / one drain) made to the
+/// maintained independent set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SolutionDelta {
+    /// Vertices that entered `I` (sorted, duplicate-free).
+    pub entered: Vec<u32>,
+    /// Vertices that left `I` (sorted, duplicate-free, disjoint from
+    /// `entered`).
+    pub left: Vec<u32>,
+    /// Work-counter movement over the same span (zeroed for engines
+    /// that do not track [`EngineStats`]).
+    pub stats: EngineStats,
+}
+
+impl SolutionDelta {
+    /// True when the update changed nothing about the solution.
+    pub fn is_empty(&self) -> bool {
+        self.entered.is_empty() && self.left.is_empty()
+    }
+
+    /// Net size change `|entered| − |left|`.
+    pub fn net(&self) -> isize {
+        self.entered.len() as isize - self.left.len() as isize
+    }
+
+    /// Number of vertices touched — the adjustment complexity of the
+    /// span this delta covers.
+    pub fn adjusted(&self) -> usize {
+        self.entered.len() + self.left.len()
+    }
+
+    /// Folds `other` (a later delta) into `self`: enter-then-leave and
+    /// leave-then-enter cancel, so the result is the net change across
+    /// both spans.
+    pub fn merge(&mut self, other: SolutionDelta) {
+        if other.is_empty() {
+            self.stats.accumulate(&other.stats);
+            return;
+        }
+        let mut events: Vec<(u32, bool)> = Vec::with_capacity(self.adjusted() + other.adjusted());
+        for list in [(&self.entered, true), (&self.left, false)] {
+            events.extend(list.0.iter().map(|&v| (v, list.1)));
+        }
+        for list in [(&other.entered, true), (&other.left, false)] {
+            events.extend(list.0.iter().map(|&v| (v, list.1)));
+        }
+        let netted = net_events(&mut events);
+        self.entered = netted.0;
+        self.left = netted.1;
+        self.stats.accumulate(&other.stats);
+    }
+}
+
+/// Nets a flip log: sorts by vertex and keeps, per vertex, the surplus
+/// direction (membership flips alternate, so the surplus is −1, 0, or
+/// +1). Returns `(entered, left)` sorted. Drains `events`.
+fn net_events(events: &mut Vec<(u32, bool)>) -> (Vec<u32>, Vec<u32>) {
+    events.sort_unstable_by_key(|&(v, _)| v);
+    let mut entered = Vec::new();
+    let mut left = Vec::new();
+    let mut i = 0;
+    while i < events.len() {
+        let v = events[i].0;
+        let mut balance = 0i32;
+        while i < events.len() && events[i].0 == v {
+            balance += if events[i].1 { 1 } else { -1 };
+            i += 1;
+        }
+        debug_assert!((-1..=1).contains(&balance), "flips must alternate");
+        match balance {
+            1 => entered.push(v),
+            -1 => left.push(v),
+            _ => {}
+        }
+    }
+    events.clear();
+    (entered, left)
+}
+
+/// Per-engine recorder behind the delta API: every solution-membership
+/// flip is appended here, and the two read sides ([`DeltaFeed::finish_update`]
+/// for `try_apply`'s return value, [`DeltaFeed::drain`] for the feed)
+/// net the log on demand.
+#[derive(Debug, Default)]
+pub struct DeltaFeed {
+    /// Flips of the update in progress.
+    current: Vec<(u32, bool)>,
+    /// Net flips accumulated since the last [`DeltaFeed::drain`].
+    pending: Vec<(u32, bool)>,
+    /// Compaction threshold: `pending` is re-netted when it outgrows
+    /// this, bounding an undrained feed to O(solution size).
+    watermark: usize,
+}
+
+const MIN_WATERMARK: usize = 1024;
+
+impl DeltaFeed {
+    /// Records that `v` entered the solution.
+    #[inline]
+    pub fn record_in(&mut self, v: u32) {
+        self.current.push((v, true));
+    }
+
+    /// Records that `v` left the solution.
+    #[inline]
+    pub fn record_out(&mut self, v: u32) {
+        self.current.push((v, false));
+    }
+
+    /// Closes the update in progress: nets its flips, appends them to
+    /// the pending feed, and returns them as the update's delta
+    /// (`stats` left at default — the engine fills it in).
+    pub fn finish_update(&mut self) -> SolutionDelta {
+        let (entered, left) = net_events(&mut self.current);
+        self.pending.extend(entered.iter().map(|&v| (v, true)));
+        self.pending.extend(left.iter().map(|&v| (v, false)));
+        if self.pending.len() > self.watermark.max(MIN_WATERMARK) {
+            let (e, l) = net_events(&mut self.pending);
+            self.pending.extend(e.iter().map(|&v| (v, true)));
+            self.pending.extend(l.iter().map(|&v| (v, false)));
+            self.watermark = (2 * self.pending.len()).max(MIN_WATERMARK);
+        }
+        SolutionDelta {
+            entered,
+            left,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Drains everything recorded since the last drain (or since
+    /// construction) as one net delta.
+    pub fn drain(&mut self) -> SolutionDelta {
+        debug_assert!(self.current.is_empty(), "drain between updates only");
+        let (entered, left) = net_events(&mut self.pending);
+        self.watermark = 0;
+        SolutionDelta {
+            entered,
+            left,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Approximate heap footprint.
+    pub fn heap_bytes(&self) -> usize {
+        (self.current.capacity() + self.pending.capacity()) * std::mem::size_of::<(u32, bool)>()
+    }
+}
+
+/// A downstream copy of the maintained solution, kept in sync by
+/// applying [`SolutionDelta`]s — the read-side half of the session API
+/// (a cache layer, a replication target, a UI, …).
+#[derive(Debug, Clone, Default)]
+pub struct SolutionMirror {
+    in_set: FxHashSet<u32>,
+}
+
+impl SolutionMirror {
+    /// An empty mirror; replaying an engine's full feed into it
+    /// reconstructs the engine's solution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A mirror primed with an already-materialized solution.
+    pub fn from_solution(solution: &[u32]) -> Self {
+        SolutionMirror {
+            in_set: solution.iter().copied().collect(),
+        }
+    }
+
+    /// Applies one delta. Fails (mirror unchanged) when the delta is
+    /// inconsistent with the mirrored state — a vertex entering twice or
+    /// leaving while absent means a delta was dropped or misordered.
+    pub fn apply(&mut self, delta: &SolutionDelta) -> Result<(), String> {
+        for &v in &delta.entered {
+            if self.in_set.contains(&v) {
+                return Err(format!("delta enters {v} but the mirror already holds it"));
+            }
+        }
+        for &v in &delta.left {
+            if !self.in_set.contains(&v) {
+                return Err(format!("delta removes {v} but the mirror does not hold it"));
+            }
+        }
+        for &v in &delta.left {
+            self.in_set.remove(&v);
+        }
+        self.in_set.extend(delta.entered.iter().copied());
+        Ok(())
+    }
+
+    /// Mirrored solution size.
+    pub fn len(&self) -> usize {
+        self.in_set.len()
+    }
+
+    /// Whether the mirror is empty.
+    pub fn is_empty(&self) -> bool {
+        self.in_set.is_empty()
+    }
+
+    /// O(1) membership test.
+    pub fn contains(&self, v: u32) -> bool {
+        self.in_set.contains(&v)
+    }
+
+    /// Materializes the mirrored solution (sorted) — the same shape
+    /// [`crate::DynamicMis::solution`] returns.
+    pub fn solution(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = self.in_set.iter().copied().collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feed_nets_oscillations_within_one_update() {
+        let mut f = DeltaFeed::default();
+        f.record_in(3);
+        f.record_out(7);
+        f.record_out(3);
+        f.record_in(3); // 3: in, out, in → net in
+        let d = f.finish_update();
+        assert_eq!(d.entered, vec![3]);
+        assert_eq!(d.left, vec![7]);
+        assert_eq!(d.net(), 0);
+    }
+
+    #[test]
+    fn drain_nets_across_updates() {
+        let mut f = DeltaFeed::default();
+        f.record_in(5);
+        let d1 = f.finish_update();
+        assert_eq!(d1.entered, vec![5]);
+        f.record_out(5);
+        f.record_in(2);
+        let d2 = f.finish_update();
+        assert_eq!(d2.left, vec![5]);
+        let drained = f.drain();
+        assert_eq!(drained.entered, vec![2], "5's enter+leave cancels");
+        assert!(drained.left.is_empty());
+        assert!(f.drain().is_empty(), "drain clears the feed");
+    }
+
+    #[test]
+    fn merge_cancels_and_accumulates_stats() {
+        let mut a = SolutionDelta {
+            entered: vec![1, 2],
+            left: vec![9],
+            stats: EngineStats {
+                updates: 1,
+                one_swaps: 2,
+                ..EngineStats::default()
+            },
+        };
+        let b = SolutionDelta {
+            entered: vec![9],
+            left: vec![2],
+            stats: EngineStats {
+                updates: 1,
+                ..EngineStats::default()
+            },
+        };
+        a.merge(b);
+        assert_eq!(a.entered, vec![1]);
+        assert!(a.left.is_empty());
+        assert_eq!(a.stats.updates, 2);
+        assert_eq!(a.stats.one_swaps, 2);
+    }
+
+    #[test]
+    fn mirror_round_trip_and_error_detection() {
+        let mut m = SolutionMirror::new();
+        let d = SolutionDelta {
+            entered: vec![1, 4],
+            left: vec![],
+            stats: EngineStats::default(),
+        };
+        m.apply(&d).unwrap();
+        assert_eq!(m.solution(), vec![1, 4]);
+        assert!(m.contains(4) && !m.contains(2));
+        // Entering an existing member is rejected without mutation.
+        assert!(m.apply(&d).is_err());
+        assert_eq!(m.len(), 2);
+        let bad = SolutionDelta {
+            entered: vec![],
+            left: vec![8],
+            stats: EngineStats::default(),
+        };
+        assert!(m.apply(&bad).is_err());
+        let m2 = SolutionMirror::from_solution(&[4, 1]);
+        assert_eq!(m2.solution(), m.solution());
+    }
+
+    #[test]
+    fn undrained_feed_stays_bounded() {
+        let mut f = DeltaFeed::default();
+        // One vertex toggling forever: the pending log must compact to
+        // O(1) instead of growing linearly with updates.
+        for i in 0..100_000u32 {
+            if i % 2 == 0 {
+                f.record_in(7);
+            } else {
+                f.record_out(7);
+            }
+            let _ = f.finish_update();
+        }
+        assert!(
+            f.heap_bytes() < 64 * 1024,
+            "pending feed must auto-compact ({} bytes)",
+            f.heap_bytes()
+        );
+        let d = f.drain();
+        assert!(d.is_empty());
+    }
+}

@@ -35,10 +35,12 @@
 //! [`EngineStats::hot_hash_probes`] counts probes from the transition
 //! bookkeeping itself and stays 0 by construction.
 
+use crate::delta::SolutionDelta;
+use crate::error::EngineError;
 use crate::queues::{C1Queue, C2Queue};
 use crate::state::{CountEvent, SwapState};
 use dynamis_graph::collections::StampSet;
-use dynamis_graph::{DynamicGraph, Update};
+use dynamis_graph::{DynamicGraph, GraphError, Update};
 
 /// Tuning knobs shared by the concrete engines.
 #[derive(Debug, Clone, Copy)]
@@ -62,7 +64,7 @@ impl Default for EngineConfig {
 }
 
 /// Counters exposed for tests, examples, and the experiment harness.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Updates processed.
     pub updates: u64,
@@ -83,6 +85,35 @@ pub struct EngineStats {
     /// so this is 0 by construction — reported so the `hotpath` bench
     /// (and any regression test) can assert it.
     pub hot_hash_probes: u64,
+}
+
+impl EngineStats {
+    /// Field-wise `self − before`: the work done between two readings
+    /// (used to stamp [`SolutionDelta::stats`]).
+    pub fn diff_since(&self, before: &EngineStats) -> EngineStats {
+        EngineStats {
+            updates: self.updates.wrapping_sub(before.updates),
+            one_swaps: self.one_swaps.wrapping_sub(before.one_swaps),
+            two_swaps: self.two_swaps.wrapping_sub(before.two_swaps),
+            perturbations: self.perturbations.wrapping_sub(before.perturbations),
+            repairs: self.repairs.wrapping_sub(before.repairs),
+            entry_hash_probes: self
+                .entry_hash_probes
+                .wrapping_sub(before.entry_hash_probes),
+            hot_hash_probes: self.hot_hash_probes.wrapping_sub(before.hot_hash_probes),
+        }
+    }
+
+    /// Field-wise accumulation (used when merging deltas).
+    pub fn accumulate(&mut self, other: &EngineStats) {
+        self.updates += other.updates;
+        self.one_swaps += other.one_swaps;
+        self.two_swaps += other.two_swaps;
+        self.perturbations += other.perturbations;
+        self.repairs += other.repairs;
+        self.entry_hash_probes += other.entry_hash_probes;
+        self.hot_hash_probes += other.hot_hash_probes;
+    }
 }
 
 /// Shared engine for k ∈ {1, 2}.
@@ -130,6 +161,10 @@ impl SwapEngine {
             stats: EngineStats::default(),
         };
         eng.bootstrap();
+        // Close the bootstrap span so the first update's delta does not
+        // absorb it; the flips stay in the drainable feed, where the
+        // first drain replays the whole starting solution into a mirror.
+        let _ = eng.st.feed.finish_update();
         eng
     }
 
@@ -424,17 +459,29 @@ impl SwapEngine {
     }
 
     /// Applies one update and restores k-maximality (the framework's
-    /// per-update entry point).
-    pub fn apply_update(&mut self, upd: &Update) {
-        self.stats.updates += 1;
+    /// per-update entry point). An invalid update is rejected with the
+    /// engine untouched; an accepted one returns its [`SolutionDelta`].
+    pub fn try_apply(&mut self, upd: &Update) -> Result<SolutionDelta, EngineError> {
+        let before = self.stats;
         self.perturb_left = self.cfg.perturb_budget;
+        self.dispatch(upd)?;
+        self.stats.updates += 1;
+        self.drain();
+        let mut delta = self.st.feed.finish_update();
+        delta.stats = self.stats.diff_since(&before);
+        Ok(delta)
+    }
+
+    /// Routes one update to its fallible handler. Each handler validates
+    /// **before** its first mutation, so an `Err` return implies the
+    /// engine state is exactly as it was.
+    fn dispatch(&mut self, upd: &Update) -> Result<(), EngineError> {
         match upd {
             Update::InsertEdge(a, b) => self.insert_edge(*a, *b),
             Update::RemoveEdge(a, b) => self.remove_edge(*a, *b),
             Update::InsertVertex { id, neighbors } => self.insert_vertex(*id, neighbors),
             Update::RemoveVertex(v) => self.remove_vertex(*v),
         }
-        self.drain();
     }
 
     /// Batch mode (extension beyond the paper, cf. its closing remark on
@@ -446,35 +493,49 @@ impl SwapEngine {
     /// drain over the accumulated candidate queues), but cascades caused
     /// by intermediate states are skipped, which pays off on bursty
     /// streams that touch overlapping regions.
-    pub fn apply_batch(&mut self, updates: &[Update]) {
+    ///
+    /// On a rejected update the already-applied prefix stays applied,
+    /// the drain still runs (so the engine is k-maximal), and the error
+    /// carries the failing index; the prefix's delta remains in the
+    /// drainable feed.
+    pub fn try_apply_batch(&mut self, updates: &[Update]) -> Result<SolutionDelta, EngineError> {
+        let before = self.stats;
         self.perturb_left = self.cfg.perturb_budget;
-        for upd in updates {
-            self.stats.updates += 1;
-            match upd {
-                Update::InsertEdge(a, b) => self.insert_edge(*a, *b),
-                Update::RemoveEdge(a, b) => self.remove_edge(*a, *b),
-                Update::InsertVertex { id, neighbors } => self.insert_vertex(*id, neighbors),
-                Update::RemoveVertex(v) => self.remove_vertex(*v),
+        let mut failure: Option<(usize, EngineError)> = None;
+        for (index, upd) in updates.iter().enumerate() {
+            match self.dispatch(upd) {
+                Ok(()) => {
+                    self.stats.updates += 1;
+                    // Maximality must hold before the next op's case
+                    // analysis (the framework's invariants assume it);
+                    // swap search waits.
+                    self.process_repairs();
+                }
+                Err(cause) => {
+                    failure = Some((index, cause));
+                    break;
+                }
             }
-            // Maximality must hold before the next op's case analysis
-            // (the framework's invariants assume it); swap search waits.
-            self.process_repairs();
         }
         self.drain();
+        let mut delta = self.st.feed.finish_update();
+        delta.stats = self.stats.diff_since(&before);
+        match failure {
+            None => Ok(delta),
+            Some((index, cause)) => Err(cause.in_batch(index)),
+        }
     }
 
-    fn insert_edge(&mut self, a: u32, b: u32) {
+    fn insert_edge(&mut self, a: u32, b: u32) -> Result<(), EngineError> {
         // One existence probe + one index insert — the only hash work in
-        // this update.
-        self.stats.entry_hash_probes += 2;
-        let handle = self
-            .st
-            .g
-            .insert_edge_handle(a, b)
-            .expect("update stream must be valid");
+        // this update. Validation is fused into the insertion: the graph
+        // rejects self-loops and dead endpoints before mutating, and a
+        // `None` handle means the edge already existed.
+        let handle = self.st.g.insert_edge_handle(a, b)?;
         let Some(h) = handle else {
-            return; // edge already present
+            return Err(EngineError::DuplicateEdge(a, b));
         };
+        self.stats.entry_hash_probes += 2;
         match (self.st.in_solution(a), self.st.in_solution(b)) {
             (false, false) => {} // counts unchanged; no new swap can appear
             (true, false) => {
@@ -487,6 +548,7 @@ impl SwapEngine {
             }
             (true, true) => self.solution_edge_inserted(a, b, h),
         }
+        Ok(())
     }
 
     /// Edge inserted between two solution vertices: one must leave.
@@ -524,13 +586,21 @@ impl SwapEngine {
         self.process_repairs();
     }
 
-    fn remove_edge(&mut self, a: u32, b: u32) {
+    fn remove_edge(&mut self, a: u32, b: u32) -> Result<(), EngineError> {
         // Resolve the named edge to half-edge positions: one probe, plus
         // one for the index delete inside `remove_edge_at`.
-        self.stats.entry_hash_probes += 2;
         let Some(h) = self.st.g.edge_handle(a, b) else {
-            return; // edge not present
+            if a == b {
+                return Err(GraphError::SelfLoop(a).into());
+            }
+            for v in [a, b] {
+                if !self.st.g.is_alive(v) {
+                    return Err(GraphError::VertexNotFound(v).into());
+                }
+            }
+            return Err(EngineError::MissingEdge(a, b));
         };
+        self.stats.entry_hash_probes += 2;
         match (self.st.in_solution(a), self.st.in_solution(b)) {
             (true, true) => unreachable!("solution vertices are never adjacent"),
             (true, false) => {
@@ -550,6 +620,7 @@ impl SwapEngine {
                 self.outsider_edge_removed(a, b);
             }
         }
+        Ok(())
     }
 
     /// Deleting an edge between two outsiders changes adjacency *inside*
@@ -607,9 +678,29 @@ impl SwapEngine {
         }
     }
 
-    fn insert_vertex(&mut self, id: u32, neighbors: &[u32]) {
+    fn insert_vertex(&mut self, id: u32, neighbors: &[u32]) -> Result<(), EngineError> {
+        // Validate the whole operation before the first mutation: the
+        // stream's id must match the allocator, every named neighbor
+        // must be alive, and the neighbor list must be duplicate-free.
+        let next = self.st.g.next_vertex_id();
+        if next != id {
+            return Err(GraphError::IdMismatch {
+                expected: id,
+                got: next,
+            }
+            .into());
+        }
+        self.stamp.clear();
+        for &n in neighbors {
+            if !self.st.g.is_alive(n) {
+                return Err(GraphError::VertexNotFound(n).into());
+            }
+            if self.stamp.is_marked(n) {
+                return Err(EngineError::DuplicateEdge(id, n));
+            }
+            self.stamp.mark(n);
+        }
         let v = self.st.g.add_vertex();
-        debug_assert_eq!(v, id, "vertex id allocation diverged from stream");
         let cap = self.st.g.capacity();
         self.st.ensure_capacity(cap);
         self.c1.ensure_capacity(cap);
@@ -619,11 +710,11 @@ impl SwapEngine {
                 .st
                 .g
                 .insert_edge_handle(v, n)
-                .expect("update stream must be valid");
+                .expect("neighbors validated above")
+                .expect("edge to a fresh vertex cannot pre-exist");
             // Register v's solution neighbors as they arrive; every
             // transition is a genuine new bucket membership (v is new).
             if self.st.in_solution(n) {
-                let h = h.expect("edge to a fresh vertex cannot pre-exist");
                 let ev = self.st.inc_count(v, h.pos_u, n);
                 self.handle_event(v, ev);
             }
@@ -632,9 +723,13 @@ impl SwapEngine {
             self.move_in(v);
         }
         self.process_repairs();
+        Ok(())
     }
 
-    fn remove_vertex(&mut self, v: u32) {
+    fn remove_vertex(&mut self, v: u32) -> Result<(), EngineError> {
+        if !self.st.g.is_alive(v) {
+            return Err(GraphError::VertexNotFound(v).into());
+        }
         // The graph deletes one pair-index entry per incident edge.
         self.stats.entry_hash_probes += self.st.g.degree(v) as u64;
         if self.st.in_solution(v) {
@@ -649,20 +744,15 @@ impl SwapEngine {
                 let ev = self.st.dec_count(u, pos, v);
                 self.handle_event(u, ev);
             }
-            self.st
-                .g
-                .remove_vertex(v)
-                .expect("update stream must be valid");
+            self.st.g.remove_vertex(v).expect("aliveness checked above");
             self.process_repairs();
         } else {
             self.st.purge_outsider(v);
-            self.st
-                .g
-                .remove_vertex(v)
-                .expect("update stream must be valid");
+            self.st.g.remove_vertex(v).expect("aliveness checked above");
             // Outsider removal never breaks maximality and only shrinks
             // buckets: no candidates, no repairs.
         }
+        Ok(())
     }
 
     /// Approximate heap footprint (graph + framework + queues).

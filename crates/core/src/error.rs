@@ -1,0 +1,242 @@
+//! Errors surfaced by the session API.
+//!
+//! A production maintenance service cannot afford the replay-harness
+//! posture of panicking on a malformed update: streams arrive from
+//! clients, queues, and recovered logs, and an invalid operation must be
+//! *rejected* — engine state untouched — not turned into a crash. Every
+//! failure mode of [`crate::DynamicMis::try_apply`] and of
+//! [`crate::EngineBuilder`] is enumerated here.
+
+use dynamis_graph::GraphError;
+use std::fmt;
+
+/// Why an update or an engine construction was rejected. Rejection is
+/// total: the engine (or builder) is left exactly as it was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The underlying graph refused the operation (dead vertex,
+    /// self-loop, diverging vertex-id allocation, I/O).
+    Graph(GraphError),
+    /// An `InsertEdge` named an edge that already exists.
+    DuplicateEdge(u32, u32),
+    /// A `RemoveEdge` named an edge that does not exist.
+    MissingEdge(u32, u32),
+    /// The builder was finalized without a graph or snapshot.
+    MissingGraph,
+    /// The builder's initial set contains the named edge and therefore
+    /// is not an independent set.
+    NotIndependent(u32, u32),
+    /// The builder's initial set names a vertex that is not alive.
+    DeadInitial(u32),
+    /// The builder was configured with `k = 0` (a 0-maximal set is
+    /// meaningless — every engine requires `k ≥ 1`).
+    BadK(usize),
+    /// An engine-specific parameter was out of range (e.g. a restart
+    /// interval of 0).
+    BadParameter(&'static str),
+    /// A batch application failed at `updates[index]`; the valid prefix
+    /// `updates[..index]` **was** applied and the engine re-established
+    /// its invariant over it. The prefix's flips stay in the drainable
+    /// feed, so a mirror fed *exclusively* from `drain_delta` recovers
+    /// by draining as usual; a mirror fed from per-call return deltas
+    /// has already consumed earlier updates and must instead re-seed
+    /// with `SolutionMirror::from_solution(&engine.solution())` (a
+    /// drain would re-deliver those flips).
+    Batch {
+        /// Index of the first rejected update.
+        index: usize,
+        /// Why it was rejected.
+        cause: Box<EngineError>,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Graph(e) => write!(f, "graph rejected the operation: {e}"),
+            EngineError::DuplicateEdge(u, v) => {
+                write!(f, "edge ({u}, {v}) already exists")
+            }
+            EngineError::MissingEdge(u, v) => write!(f, "edge ({u}, {v}) does not exist"),
+            EngineError::MissingGraph => {
+                write!(f, "engine builder needs a graph or a snapshot to resume")
+            }
+            EngineError::NotIndependent(u, v) => {
+                write!(
+                    f,
+                    "initial set is not independent: it contains edge ({u}, {v})"
+                )
+            }
+            EngineError::DeadInitial(v) => {
+                write!(f, "initial set names vertex {v}, which is not in the graph")
+            }
+            EngineError::BadK(k) => write!(f, "k must be at least 1, got {k}"),
+            EngineError::BadParameter(what) => write!(f, "invalid engine parameter: {what}"),
+            EngineError::Batch { index, cause } => {
+                write!(f, "batch rejected at update {index}: {cause}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Graph(e) => Some(e),
+            EngineError::Batch { cause, .. } => Some(cause),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for EngineError {
+    fn from(e: GraphError) -> Self {
+        EngineError::Graph(e)
+    }
+}
+
+impl EngineError {
+    /// Wraps a per-update error as the failure of `updates[index]`.
+    pub fn in_batch(self, index: usize) -> Self {
+        EngineError::Batch {
+            index,
+            cause: Box::new(self),
+        }
+    }
+}
+
+/// Validates `u` against `g` without mutating anything: the shared
+/// entry-point check every engine runs (or fuses into its first graph
+/// operation) before touching state, so a rejected update provably
+/// leaves the engine unchanged.
+pub fn validate_update(
+    g: &dynamis_graph::DynamicGraph,
+    u: &dynamis_graph::Update,
+) -> Result<(), EngineError> {
+    use dynamis_graph::Update;
+    let alive = |v: u32| -> Result<(), EngineError> {
+        if g.is_alive(v) {
+            Ok(())
+        } else {
+            Err(GraphError::VertexNotFound(v).into())
+        }
+    };
+    match u {
+        Update::InsertEdge(a, b) => {
+            if a == b {
+                return Err(GraphError::SelfLoop(*a).into());
+            }
+            alive(*a)?;
+            alive(*b)?;
+            if g.has_edge(*a, *b) {
+                return Err(EngineError::DuplicateEdge(*a, *b));
+            }
+        }
+        Update::RemoveEdge(a, b) => {
+            if a == b {
+                return Err(GraphError::SelfLoop(*a).into());
+            }
+            alive(*a)?;
+            alive(*b)?;
+            if !g.has_edge(*a, *b) {
+                return Err(EngineError::MissingEdge(*a, *b));
+            }
+        }
+        Update::InsertVertex { id, neighbors } => {
+            let next = g.next_vertex_id();
+            if next != *id {
+                return Err(GraphError::IdMismatch {
+                    expected: *id,
+                    got: next,
+                }
+                .into());
+            }
+            for &n in neighbors {
+                alive(n)?; // also rules out n == id: id is not alive yet
+            }
+            if neighbors.len() > 1 {
+                let mut sorted = neighbors.clone();
+                sorted.sort_unstable();
+                for w in sorted.windows(2) {
+                    if w[0] == w[1] {
+                        return Err(EngineError::DuplicateEdge(*id, w[0]));
+                    }
+                }
+            }
+        }
+        Update::RemoveVertex(v) => alive(*v)?,
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamis_graph::{DynamicGraph, Update};
+
+    #[test]
+    fn display_is_informative() {
+        assert!(EngineError::DuplicateEdge(1, 2)
+            .to_string()
+            .contains("(1, 2)"));
+        assert!(EngineError::MissingEdge(3, 4).to_string().contains("not"));
+        assert!(EngineError::BadK(0).to_string().contains('0'));
+        let b = EngineError::DuplicateEdge(1, 2).in_batch(7);
+        assert!(b.to_string().contains('7'));
+        let g: EngineError = GraphError::VertexNotFound(9).into();
+        assert!(g.to_string().contains('9'));
+    }
+
+    #[test]
+    fn validate_covers_every_rejection_class() {
+        let mut g = DynamicGraph::from_edges(4, &[(0, 1)]);
+        g.remove_vertex(3).unwrap();
+        let cases: Vec<(Update, EngineError)> = vec![
+            (Update::InsertEdge(0, 1), EngineError::DuplicateEdge(0, 1)),
+            (
+                Update::InsertEdge(0, 3),
+                GraphError::VertexNotFound(3).into(),
+            ),
+            (Update::InsertEdge(2, 2), GraphError::SelfLoop(2).into()),
+            (Update::RemoveEdge(0, 2), EngineError::MissingEdge(0, 2)),
+            (
+                Update::RemoveEdge(1, 3),
+                GraphError::VertexNotFound(3).into(),
+            ),
+            (
+                Update::RemoveVertex(3),
+                GraphError::VertexNotFound(3).into(),
+            ),
+            (
+                Update::InsertVertex {
+                    id: 9,
+                    neighbors: vec![],
+                },
+                GraphError::IdMismatch {
+                    expected: 9,
+                    got: 3,
+                }
+                .into(),
+            ),
+            (
+                Update::InsertVertex {
+                    id: 3,
+                    neighbors: vec![0, 0],
+                },
+                EngineError::DuplicateEdge(3, 0),
+            ),
+            (
+                Update::InsertVertex {
+                    id: 3,
+                    neighbors: vec![7],
+                },
+                GraphError::VertexNotFound(7).into(),
+            ),
+        ];
+        for (u, want) in cases {
+            assert_eq!(validate_update(&g, &u), Err(want), "case {u:?}");
+        }
+        assert!(validate_update(&g, &Update::InsertEdge(1, 2)).is_ok());
+        assert!(validate_update(&g, &Update::RemoveEdge(0, 1)).is_ok());
+    }
+}

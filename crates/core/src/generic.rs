@@ -15,13 +15,18 @@
 //! pools by neighborhood scans, so updates cost more as k grows — the
 //! trade-off Fig. 7(d) reports.
 
+use crate::builder::{BuildableEngine, EngineBuilder, Session};
+use crate::delta::{DeltaFeed, SolutionDelta};
 use crate::engine::EngineStats;
+use crate::error::{validate_update, EngineError};
 use crate::DynamicMis;
 use dynamis_graph::hash::FxHashSet;
-use dynamis_graph::{DynamicGraph, Update};
+use dynamis_graph::{DynamicGraph, GraphError, Update};
 use std::collections::VecDeque;
 
 /// Dynamic k-maximal independent set maintenance with lazy collection.
+/// Constructed through the [`EngineBuilder`] session API; the builder's
+/// `k` selects the swap depth.
 #[derive(Debug)]
 pub struct GenericKSwap {
     g: DynamicGraph,
@@ -29,6 +34,7 @@ pub struct GenericKSwap {
     status: Vec<bool>,
     count: Vec<u32>,
     size: usize,
+    feed: DeltaFeed,
     /// Outsiders whose count changed into `[1, k]` — seeds for candidate
     /// sets.
     dirty: VecDeque<u32>,
@@ -44,10 +50,13 @@ pub struct GenericKSwap {
 }
 
 impl GenericKSwap {
-    /// Builds the engine; `k ≥ 1`. The initial set is extended to
-    /// maximality and driven to k-maximality.
-    pub fn new(graph: DynamicGraph, initial: &[u32], k: usize) -> Self {
-        assert!(k >= 1, "k must be at least 1");
+    /// Builds the engine from a validated [`Session`] (use the
+    /// [`EngineBuilder`]). The initial set is extended to maximality and
+    /// driven to k-maximality.
+    pub(crate) fn from_session(session: Session) -> Self {
+        let Session {
+            graph, initial, k, ..
+        } = session;
         let cap = graph.capacity();
         let mut e = GenericKSwap {
             g: graph,
@@ -55,6 +64,7 @@ impl GenericKSwap {
             status: vec![false; cap],
             count: vec![0; cap],
             size: 0,
+            feed: DeltaFeed::default(),
             dirty: VecDeque::new(),
             dirty_flag: vec![false; cap],
             sets: VecDeque::new(),
@@ -63,9 +73,10 @@ impl GenericKSwap {
             max_pool: 256,
             stats: EngineStats::default(),
         };
-        for &v in initial {
+        for &v in &initial {
             debug_assert!(e.g.is_alive(v));
             e.status[v as usize] = true;
+            e.feed.record_in(v);
             e.size += 1;
         }
         for v in 0..cap as u32 {
@@ -88,6 +99,9 @@ impl GenericKSwap {
             e.mark_dirty(v);
         }
         e.drain();
+        // Close the bootstrap span (its flips stay in the drainable
+        // feed for mirrors started before the first update).
+        let _ = e.feed.finish_update();
         e
     }
 
@@ -125,6 +139,7 @@ impl GenericKSwap {
     fn move_in(&mut self, v: u32) {
         debug_assert!(!self.status[v as usize] && self.count[v as usize] == 0);
         self.status[v as usize] = true;
+        self.feed.record_in(v);
         self.size += 1;
         let nbrs: Vec<u32> = self.g.neighbors(v).collect();
         for u in nbrs {
@@ -136,6 +151,7 @@ impl GenericKSwap {
     fn move_out(&mut self, v: u32) {
         debug_assert!(self.status[v as usize]);
         self.status[v as usize] = false;
+        self.feed.record_out(v);
         self.size -= 1;
         let nbrs: Vec<u32> = self.g.neighbors(v).collect();
         for u in nbrs {
@@ -353,6 +369,12 @@ impl GenericKSwap {
     }
 }
 
+impl BuildableEngine for GenericKSwap {
+    fn from_builder(builder: EngineBuilder) -> Result<Self, EngineError> {
+        builder.into_session().map(Self::from_session)
+    }
+}
+
 impl DynamicMis for GenericKSwap {
     fn name(&self) -> &'static str {
         match self.k {
@@ -368,12 +390,14 @@ impl DynamicMis for GenericKSwap {
         &self.g
     }
 
-    fn apply_update(&mut self, upd: &Update) {
-        self.stats.updates += 1;
+    fn try_apply(&mut self, upd: &Update) -> Result<SolutionDelta, EngineError> {
+        let before = self.stats;
         match upd {
             Update::InsertEdge(a, b) => {
-                if !self.g.insert_edge(*a, *b).expect("valid stream") {
-                    return;
+                // The graph validates endpoints before mutating; a
+                // `false` return means the edge already existed.
+                if !self.g.insert_edge(*a, *b)? {
+                    return Err(EngineError::DuplicateEdge(*a, *b));
                 }
                 match (self.status[*a as usize], self.status[*b as usize]) {
                     (false, false) => {}
@@ -394,6 +418,7 @@ impl DynamicMis for GenericKSwap {
                         let winner = if loser == *a { *b } else { *a };
                         // Demote loser; its count becomes 1 (the winner).
                         self.status[loser as usize] = false;
+                        self.feed.record_out(loser);
                         self.size -= 1;
                         let nbrs: Vec<u32> =
                             self.g.neighbors(loser).filter(|&w| w != winner).collect();
@@ -412,8 +437,8 @@ impl DynamicMis for GenericKSwap {
                 }
             }
             Update::RemoveEdge(a, b) => {
-                if !self.g.remove_edge(*a, *b).expect("valid stream") {
-                    return;
+                if !self.g.remove_edge(*a, *b)? {
+                    return Err(EngineError::MissingEdge(*a, *b));
                 }
                 match (self.status[*a as usize], self.status[*b as usize]) {
                     (true, true) => unreachable!("solution vertices never adjacent"),
@@ -441,12 +466,14 @@ impl DynamicMis for GenericKSwap {
                     }
                 }
             }
-            Update::InsertVertex { id, neighbors } => {
+            Update::InsertVertex { id: _, neighbors } => {
+                // Full pre-validation (id allocation, neighbor
+                // aliveness, duplicates) before the first mutation.
+                validate_update(&self.g, upd)?;
                 let v = self.g.add_vertex();
-                debug_assert_eq!(v, *id);
                 self.ensure_capacity();
                 for &n in neighbors {
-                    self.g.insert_edge(v, n).expect("valid stream");
+                    self.g.insert_edge(v, n).expect("neighbors validated above");
                 }
                 self.count[v as usize] = neighbors
                     .iter()
@@ -459,14 +486,18 @@ impl DynamicMis for GenericKSwap {
                 }
             }
             Update::RemoveVertex(v) => {
+                if !self.g.is_alive(*v) {
+                    return Err(GraphError::VertexNotFound(*v).into());
+                }
                 let was_in = self.status[*v as usize];
                 if was_in {
                     self.status[*v as usize] = false;
+                    self.feed.record_out(*v);
                     self.size -= 1;
                 }
                 self.count[*v as usize] = 0;
                 self.dirty_flag[*v as usize] = false;
-                let former = self.g.remove_vertex(*v).expect("valid stream");
+                let former = self.g.remove_vertex(*v).expect("aliveness checked above");
                 if was_in {
                     for u in former {
                         self.count[u as usize] -= 1;
@@ -480,7 +511,15 @@ impl DynamicMis for GenericKSwap {
                 }
             }
         }
+        self.stats.updates += 1;
         self.drain();
+        let mut delta = self.feed.finish_update();
+        delta.stats = self.stats.diff_since(&before);
+        Ok(delta)
+    }
+
+    fn drain_delta(&mut self) -> SolutionDelta {
+        self.feed.drain()
     }
 
     fn size(&self) -> usize {
@@ -494,7 +533,7 @@ impl DynamicMis for GenericKSwap {
     }
 
     fn contains(&self, v: u32) -> bool {
-        self.status[v as usize]
+        self.status.get(v as usize).copied().unwrap_or(false)
     }
 
     fn heap_bytes(&self) -> usize {
@@ -503,12 +542,21 @@ impl DynamicMis for GenericKSwap {
             + self.count.capacity() * 4
             + self.dirty_flag.capacity()
             + self.dirty.capacity() * 4
+            + self.feed.heap_bytes()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn build(g: DynamicGraph, initial: &[u32], k: usize) -> GenericKSwap {
+        EngineBuilder::on(g)
+            .initial(initial)
+            .k(k)
+            .build_as()
+            .unwrap()
+    }
 
     /// Regression (found by proptest): a generic swap-in set need not
     /// cover every removed vertex, so an uncovered s ∈ S must re-enter
@@ -517,14 +565,14 @@ mod tests {
     fn swapped_out_vertex_without_winner_neighbor_is_repaired() {
         use dynamis_gen::uniform::gnm;
         let g = gnm(10, 20, 7718);
-        let e = GenericKSwap::new(g, &[], 3);
+        let e = build(g, &[], 3);
         e.check_consistency().unwrap();
     }
 
     #[test]
     fn k1_fixes_star() {
         let g = DynamicGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
-        let e = GenericKSwap::new(g, &[0], 1);
+        let e = build(g, &[0], 1);
         assert_eq!(e.size(), 4);
         e.check_consistency().unwrap();
     }
@@ -532,7 +580,7 @@ mod tests {
     #[test]
     fn k2_fixes_p5() {
         let g = DynamicGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
-        let e = GenericKSwap::new(g, &[1, 3], 2);
+        let e = build(g, &[1, 3], 2);
         assert_eq!(e.size(), 3, "2-swap must upgrade {{1,3}} to {{0,2,4}}");
         e.check_consistency().unwrap();
     }
@@ -542,9 +590,9 @@ mod tests {
         // Three stars sharing a common structure where a 3-swap helps:
         // P7 with I = {1, 3, 5} (1-maximal and 2-maximal is {0,2,4,6}).
         let g = DynamicGraph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]);
-        let e1 = GenericKSwap::new(g.clone(), &[1, 3, 5], 1);
+        let e1 = build(g.clone(), &[1, 3, 5], 1);
         assert_eq!(e1.size(), 3, "P7 center set is 1-maximal");
-        let e3 = GenericKSwap::new(g, &[1, 3, 5], 3);
+        let e3 = build(g, &[1, 3, 5], 3);
         assert_eq!(e3.size(), 4, "3-swap reaches the optimum");
         e3.check_consistency().unwrap();
     }
@@ -552,17 +600,40 @@ mod tests {
     #[test]
     fn updates_preserve_invariants() {
         let g = DynamicGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
-        let mut e = GenericKSwap::new(g, &[], 2);
-        e.apply_update(&Update::InsertEdge(0, 2));
+        let mut e = build(g, &[], 2);
+        e.try_apply(&Update::InsertEdge(0, 2)).unwrap();
         e.check_consistency().unwrap();
-        e.apply_update(&Update::RemoveVertex(3));
+        e.try_apply(&Update::RemoveVertex(3)).unwrap();
         e.check_consistency().unwrap();
-        e.apply_update(&Update::InsertVertex {
+        e.try_apply(&Update::InsertVertex {
             id: 3,
             neighbors: vec![0, 5],
-        });
+        })
+        .unwrap();
         e.check_consistency().unwrap();
-        e.apply_update(&Update::RemoveEdge(0, 1));
+        e.try_apply(&Update::RemoveEdge(0, 1)).unwrap();
         e.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn invalid_updates_are_rejected_without_state_change() {
+        let g = DynamicGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut e = build(g, &[], 3);
+        let sol = e.solution();
+        let _ = e.drain_delta();
+        for bad in [
+            Update::InsertEdge(0, 1),
+            Update::RemoveEdge(0, 2),
+            Update::RemoveVertex(11),
+            Update::InsertVertex {
+                id: 0,
+                neighbors: vec![],
+            },
+        ] {
+            assert!(e.try_apply(&bad).is_err(), "{bad:?} must be rejected");
+            assert_eq!(e.solution(), sol);
+            assert!(e.drain_delta().is_empty());
+            e.check_consistency().unwrap();
+        }
     }
 }

@@ -8,7 +8,20 @@
 //! (Theorem 6), and a parameter-dependent **constant** approximation on
 //! power-law bounded graphs (Theorem 4).
 //!
-//! Three engines are provided:
+//! ## The session API
+//!
+//! Construction goes through one path, the [`EngineBuilder`]: a
+//! *session* is `(graph, initial set, k, tuning)`, whether the graph
+//! comes from a loader or a resumed [`Snapshot`]. Updates go through
+//! [`DynamicMis::try_apply`]: invalid operations (duplicate edge,
+//! missing edge, dead vertex, diverging vertex id) are **rejected with
+//! an [`EngineError`]** — engine state untouched — instead of
+//! panicking, and every accepted update returns a [`SolutionDelta`]
+//! naming the few vertices that entered and left the solution, so
+//! consumers mirror `I` incrementally (via [`SolutionMirror`]) instead
+//! of rematerializing it.
+//!
+//! Three engines implement the trait here:
 //!
 //! * [`DyOneSwap`] — k = 1 (Algorithm 2), worst-case linear time per
 //!   update sequence;
@@ -17,22 +30,29 @@
 //! * [`GenericKSwap`] — any k, in the §III-B lazy-collection mode (used
 //!   for the k-sweep and lazy-vs-eager experiments).
 //!
-//! All engines implement the [`DynamicMis`] trait, own their graph, and
-//! consume [`dynamis_graph::Update`] streams. [`Snapshot`] checkpoints a
-//! running engine and resumes it (or a different-k sibling) later.
-//!
 //! ```
-//! use dynamis_core::{DyTwoSwap, DynamicMis};
+//! use dynamis_core::{DynamicMis, EngineBuilder, SolutionMirror};
 //! use dynamis_graph::{DynamicGraph, Update};
 //!
 //! let g = DynamicGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
-//! let mut engine = DyTwoSwap::new(g, &[]);
-//! let before = engine.size();
-//! engine.apply_update(&Update::RemoveEdge(2, 3));
-//! assert!(engine.size() >= before);
+//! let mut engine = EngineBuilder::on(g).k(2).build().unwrap();
+//!
+//! // A mirror fed from the delta feed tracks the solution exactly.
+//! let mut mirror = SolutionMirror::new();
+//! mirror.apply(&engine.drain_delta()).unwrap(); // bootstrap delta
+//!
+//! let delta = engine.try_apply(&Update::RemoveEdge(2, 3)).unwrap();
+//! mirror.apply(&delta).unwrap();
+//! assert_eq!(mirror.solution(), engine.solution());
+//!
+//! // Invalid updates are rejected, not panicked on.
+//! assert!(engine.try_apply(&Update::RemoveEdge(2, 3)).is_err());
 //! ```
 
+pub mod builder;
+pub mod delta;
 mod engine;
+pub mod error;
 pub mod generic;
 pub mod one_swap;
 mod queues;
@@ -40,7 +60,10 @@ pub mod snapshot;
 pub mod state;
 pub mod two_swap;
 
+pub use builder::{BuildableEngine, EngineBuilder, Session};
+pub use delta::{DeltaFeed, SolutionDelta, SolutionMirror};
 pub use engine::{EngineConfig, EngineStats};
+pub use error::{validate_update, EngineError};
 pub use generic::GenericKSwap;
 pub use one_swap::DyOneSwap;
 pub use snapshot::Snapshot;
@@ -50,7 +73,8 @@ use dynamis_graph::{DynamicGraph, Update};
 
 /// Common interface of every dynamic MaxIS maintainer in this workspace
 /// (the two paper engines, the generic-k engine, and the baselines in
-/// `dynamis-baselines`).
+/// `dynamis-baselines`). Engines are constructed with an
+/// [`EngineBuilder`] and driven with fallible, delta-reporting updates.
 pub trait DynamicMis {
     /// Algorithm name as printed in the paper's tables.
     fn name(&self) -> &'static str;
@@ -59,7 +83,40 @@ pub trait DynamicMis {
     fn graph(&self) -> &DynamicGraph;
 
     /// Applies one update and restores the engine's invariant.
-    fn apply_update(&mut self, u: &Update);
+    ///
+    /// Returns the [`SolutionDelta`] the update caused. An invalid
+    /// update — duplicate-edge insert, missing-edge remove, an
+    /// operation naming a dead vertex, or a vertex insert whose id
+    /// diverges from the graph's allocator — is rejected with engine
+    /// state **unchanged**.
+    fn try_apply(&mut self, u: &Update) -> Result<SolutionDelta, EngineError>;
+
+    /// Applies a whole burst of updates, returning the net delta.
+    ///
+    /// The default loops [`DynamicMis::try_apply`]; engines with a real
+    /// batch path (deferred swap search) override it. On a rejected
+    /// update the valid prefix **stays applied** (with the engine's
+    /// invariant re-established) and the error reports the failing
+    /// index. The prefix's delta is not returned, but its flips remain
+    /// in the drainable feed: feed-driven mirrors just drain as usual,
+    /// while mirrors fed from return deltas must re-seed via
+    /// [`SolutionMirror::from_solution`] (see [`EngineError::Batch`]).
+    fn try_apply_batch(&mut self, updates: &[Update]) -> Result<SolutionDelta, EngineError> {
+        let mut total = SolutionDelta::default();
+        for (index, u) in updates.iter().enumerate() {
+            match self.try_apply(u) {
+                Ok(delta) => total.merge(delta),
+                Err(cause) => return Err(cause.in_batch(index)),
+            }
+        }
+        Ok(total)
+    }
+
+    /// Drains the engine's delta feed: the net solution change since
+    /// the previous drain (or since construction — the first drain
+    /// includes the bootstrap, so a mirror started empty reconstructs
+    /// the solution exactly).
+    fn drain_delta(&mut self) -> SolutionDelta;
 
     /// Current solution size |I|.
     fn size(&self) -> usize;
@@ -73,13 +130,6 @@ pub trait DynamicMis {
     /// Approximate heap footprint, for the memory experiments
     /// (Fig. 5b / 6b / 7b).
     fn heap_bytes(&self) -> usize;
-
-    /// Applies a whole update schedule in order.
-    fn apply_all(&mut self, updates: &[Update]) {
-        for u in updates {
-            self.apply_update(u);
-        }
-    }
 }
 
 /// The worst-case approximation guarantee of Theorem 6: any k-maximal
@@ -100,14 +150,41 @@ mod tests {
     }
 
     #[test]
-    fn apply_all_runs_full_schedule() {
+    fn batch_default_runs_full_schedule_and_merges_deltas() {
         let g = DynamicGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
-        let mut e = DyOneSwap::new(g, &[]);
-        e.apply_all(&[
-            Update::RemoveEdge(1, 2),
-            Update::InsertEdge(0, 2),
-            Update::InsertEdge(1, 3),
-        ]);
+        let mut e: DyOneSwap = EngineBuilder::on(g).build_as().unwrap();
+        let _ = e.drain_delta();
+        let delta = e
+            .try_apply_batch(&[
+                Update::RemoveEdge(1, 2),
+                Update::InsertEdge(0, 2),
+                Update::InsertEdge(1, 3),
+            ])
+            .unwrap();
+        e.check_consistency().unwrap();
+        let mut mirror = SolutionMirror::from_solution(&{
+            let g = DynamicGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+            let e: DyOneSwap = EngineBuilder::on(g).build_as().unwrap();
+            e.solution()
+        });
+        mirror.apply(&delta).unwrap();
+        assert_eq!(mirror.solution(), e.solution());
+    }
+
+    #[test]
+    fn batch_default_reports_failing_index_with_prefix_applied() {
+        let g = DynamicGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut e: DyOneSwap = EngineBuilder::on(g).build_as().unwrap();
+        let err = e
+            .try_apply_batch(&[
+                Update::RemoveEdge(0, 1), // fine
+                Update::InsertEdge(1, 2), // duplicate → rejected
+                Update::RemoveEdge(2, 3), // never reached
+            ])
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Batch { index: 1, .. }));
+        assert!(!e.graph().has_edge(0, 1), "prefix stays applied");
+        assert!(e.graph().has_edge(2, 3), "suffix is not applied");
         e.check_consistency().unwrap();
     }
 }

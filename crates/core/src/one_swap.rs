@@ -4,23 +4,30 @@
 //! Worst-case O(m_t) per update; O((1 + t)·n_t) on power-law bounded
 //! graphs (§IV-A).
 
-use crate::engine::{EngineConfig, EngineStats, SwapEngine};
+use crate::builder::{BuildableEngine, EngineBuilder, Session};
+use crate::delta::SolutionDelta;
+use crate::engine::{EngineStats, SwapEngine};
+use crate::error::EngineError;
 use crate::DynamicMis;
 use dynamis_graph::{DynamicGraph, Update};
 
 /// Dynamic 1-maximal independent set maintenance.
 ///
+/// Constructed through the [`EngineBuilder`] session API (`k` is fixed
+/// at 1 by the type; the builder's `k` is ignored here).
+///
 /// # Example
 /// ```
 /// use dynamis_graph::{DynamicGraph, Update};
-/// use dynamis_core::{DyOneSwap, DynamicMis};
+/// use dynamis_core::{DyOneSwap, DynamicMis, EngineBuilder};
 ///
 /// // A star: the greedy initial set {0} is improved to the leaves.
 /// let g = DynamicGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
-/// let mut engine = DyOneSwap::new(g, &[0]);
+/// let mut engine: DyOneSwap = EngineBuilder::on(g).initial(&[0]).build_as().unwrap();
 /// assert_eq!(engine.size(), 3); // 1-swap fixed the initial set
-/// engine.apply_update(&Update::RemoveEdge(0, 1));
+/// let delta = engine.try_apply(&Update::RemoveEdge(0, 1)).unwrap();
 /// assert_eq!(engine.size(), 3);
+/// assert!(delta.net() >= 0);
 /// ```
 #[derive(Debug)]
 pub struct DyOneSwap {
@@ -28,16 +35,10 @@ pub struct DyOneSwap {
 }
 
 impl DyOneSwap {
-    /// Builds the engine from a graph and an initial independent set
-    /// (extended to maximality, then driven to 1-maximality).
-    pub fn new(graph: DynamicGraph, initial: &[u32]) -> Self {
-        Self::with_config(graph, initial, EngineConfig::default())
-    }
-
-    /// Builds with explicit tuning (perturbation on/off).
-    pub fn with_config(graph: DynamicGraph, initial: &[u32], cfg: EngineConfig) -> Self {
+    /// Builds from a validated [`Session`] (use [`EngineBuilder`]).
+    pub(crate) fn from_session(session: Session) -> Self {
         DyOneSwap {
-            inner: SwapEngine::new(graph, initial, false, cfg),
+            inner: SwapEngine::new(session.graph, &session.initial, false, session.config),
         }
     }
 
@@ -46,16 +47,15 @@ impl DyOneSwap {
         self.inner.stats
     }
 
-    /// Applies a burst of updates with a single swap-search pass at the
-    /// end (see `SwapEngine::apply_batch`). The final solution is
-    /// 1-maximal, exactly as with per-update application.
-    pub fn apply_batch(&mut self, updates: &[dynamis_graph::Update]) {
-        self.inner.apply_batch(updates);
-    }
-
     /// Full framework-invariant check (tests/debug only).
     pub fn check_consistency(&self) -> Result<(), String> {
         self.inner.st.check_consistency()
+    }
+}
+
+impl BuildableEngine for DyOneSwap {
+    fn from_builder(builder: EngineBuilder) -> Result<Self, EngineError> {
+        builder.into_session().map(Self::from_session)
     }
 }
 
@@ -68,8 +68,19 @@ impl DynamicMis for DyOneSwap {
         &self.inner.st.g
     }
 
-    fn apply_update(&mut self, u: &Update) {
-        self.inner.apply_update(u);
+    fn try_apply(&mut self, u: &Update) -> Result<SolutionDelta, EngineError> {
+        self.inner.try_apply(u)
+    }
+
+    /// The real batch path: one swap-search pass for the whole burst
+    /// (see `SwapEngine::try_apply_batch`). The final solution is
+    /// 1-maximal, exactly as with per-update application.
+    fn try_apply_batch(&mut self, updates: &[Update]) -> Result<SolutionDelta, EngineError> {
+        self.inner.try_apply_batch(updates)
+    }
+
+    fn drain_delta(&mut self) -> SolutionDelta {
+        self.inner.st.feed.drain()
     }
 
     fn size(&self) -> usize {
@@ -93,10 +104,14 @@ impl DynamicMis for DyOneSwap {
 mod tests {
     use super::*;
 
+    fn build(g: DynamicGraph, initial: &[u32]) -> DyOneSwap {
+        EngineBuilder::on(g).initial(initial).build_as().unwrap()
+    }
+
     #[test]
     fn bootstrap_reaches_one_maximality_on_star() {
         let g = DynamicGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
-        let e = DyOneSwap::new(g, &[0]);
+        let e = build(g, &[0]);
         assert_eq!(e.size(), 4);
         assert_eq!(e.stats().one_swaps, 1);
         e.check_consistency().unwrap();
@@ -105,9 +120,32 @@ mod tests {
     #[test]
     fn empty_initial_set_is_maximalized() {
         let g = DynamicGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
-        let e = DyOneSwap::new(g, &[]);
+        let e = build(g, &[]);
         assert!(e.size() >= 2);
         e.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn invalid_updates_are_rejected_without_state_change() {
+        let g = DynamicGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut e = build(g, &[]);
+        let sol = e.solution();
+        let _ = e.drain_delta();
+        for bad in [
+            Update::InsertEdge(0, 1), // duplicate
+            Update::RemoveEdge(0, 2), // missing
+            Update::InsertEdge(0, 9), // dead endpoint
+            Update::RemoveVertex(9),  // dead vertex
+            Update::InsertVertex {
+                id: 9, // allocator would hand out 4
+                neighbors: vec![0],
+            },
+        ] {
+            assert!(e.try_apply(&bad).is_err(), "{bad:?} must be rejected");
+            assert_eq!(e.solution(), sol, "{bad:?} must not change the solution");
+            assert!(e.drain_delta().is_empty(), "{bad:?} must not emit a delta");
+            e.check_consistency().unwrap();
+        }
     }
 
     #[test]
@@ -128,10 +166,10 @@ mod tests {
         ];
         let e0: Vec<(u32, u32)> = edges.iter().map(|&(a, b)| (a - 1, b - 1)).collect();
         let g = DynamicGraph::from_edges(10, &e0);
-        let mut e = DyOneSwap::new(g, &[2, 3, 5, 8]); // v3, v4, v6, v9
+        let mut e = build(g, &[2, 3, 5, 8]); // v3, v4, v6, v9
         let before = e.size();
         assert!(before >= 4);
-        e.apply_update(&Update::InsertEdge(2, 3));
+        e.try_apply(&Update::InsertEdge(2, 3)).unwrap();
         assert!(e.size() >= before - 1, "at most the evicted endpoint lost");
         e.check_consistency().unwrap();
         // Behavioral contract: the result is 1-maximal.

@@ -5,9 +5,12 @@
 //! rebuilding the solution from scratch at startup wastes exactly the
 //! work the dynamic algorithms save. A [`Snapshot`] captures the live
 //! graph (via the exact binary codec, so vertex ids survive) plus the
-//! current solution, and any engine constructor accepts the pair — the
-//! restored engine continues with the same `k`-maximal invariant and the
-//! same vertex-id allocation behavior.
+//! current solution, and resuming goes through the one construction
+//! path: [`crate::EngineBuilder::resume`] (or
+//! [`crate::EngineBuilder::resume_path`]) turns the pair into the
+//! session's graph and initial set, for **any** engine type and any
+//! `k` — the restored engine continues with the same `k`-maximal
+//! invariant and the same vertex-id allocation behavior.
 //!
 //! Snapshots carry no framework bookkeeping: the intrusive half-edge
 //! marks that store `I(u)` inside the graph (and the bar-tier indices)
@@ -132,30 +135,20 @@ impl Snapshot {
         f.read_to_end(&mut data)?;
         Self::decode(&data)
     }
-
-    /// Resumes a [`DyOneSwap`](crate::DyOneSwap) from this snapshot.
-    pub fn resume_one_swap(&self) -> crate::DyOneSwap {
-        crate::DyOneSwap::new(self.graph.clone(), &self.solution)
-    }
-
-    /// Resumes a [`DyTwoSwap`](crate::DyTwoSwap) from this snapshot.
-    pub fn resume_two_swap(&self) -> crate::DyTwoSwap {
-        crate::DyTwoSwap::new(self.graph.clone(), &self.solution)
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{DyOneSwap, DyTwoSwap};
+    use crate::{DyOneSwap, DyTwoSwap, EngineBuilder};
     use dynamis_graph::Update;
 
     fn engine_with_history() -> DyTwoSwap {
         let g = DynamicGraph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)]);
-        let mut e = DyTwoSwap::new(g, &[]);
-        e.apply_update(&Update::InsertEdge(0, 4));
-        e.apply_update(&Update::RemoveEdge(2, 3));
-        e.apply_update(&Update::RemoveVertex(6));
+        let mut e: DyTwoSwap = EngineBuilder::on(g).build_as().unwrap();
+        e.try_apply(&Update::InsertEdge(0, 4)).unwrap();
+        e.try_apply(&Update::RemoveEdge(2, 3)).unwrap();
+        e.try_apply(&Update::RemoveVertex(6)).unwrap();
         e
     }
 
@@ -173,11 +166,11 @@ mod tests {
     fn resumed_engine_continues_identically() {
         let e = engine_with_history();
         let snap = Snapshot::capture(&e);
-        let mut resumed = snap.resume_two_swap();
+        let mut resumed: DyTwoSwap = EngineBuilder::new().resume(snap).build_as().unwrap();
         assert_eq!(resumed.size(), e.size());
         assert_eq!(resumed.solution(), e.solution());
         // Continue updating: the resumed engine keeps the invariant.
-        resumed.apply_update(&Update::InsertEdge(3, 7));
+        resumed.try_apply(&Update::InsertEdge(3, 7)).unwrap();
         resumed.check_consistency().unwrap();
     }
 
@@ -187,9 +180,29 @@ mod tests {
         // DyTwoSwap snapshot is valid (the reverse merely re-drains).
         let e = engine_with_history();
         let snap = Snapshot::capture(&e);
-        let resumed: DyOneSwap = snap.resume_one_swap();
+        let sol_len = snap.solution.len();
+        let resumed: DyOneSwap = EngineBuilder::new().resume(snap).build_as().unwrap();
         resumed.check_consistency().unwrap();
-        assert!(resumed.size() >= snap.solution.len());
+        assert!(resumed.size() >= sol_len);
+    }
+
+    #[test]
+    fn resume_path_goes_through_the_builder() {
+        let dir = std::env::temp_dir().join("dynamis_snapshot_builder_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume.snap");
+        let e = engine_with_history();
+        Snapshot::capture(&e).write_path(&path).unwrap();
+        let resumed: DyTwoSwap = EngineBuilder::new()
+            .resume_path(&path)
+            .unwrap()
+            .build_as()
+            .unwrap();
+        assert_eq!(resumed.solution(), e.solution());
+        assert!(EngineBuilder::new()
+            .resume_path(dir.join("nope.snap"))
+            .is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! there is no probe site left, so it stays 0 (asserted by tests and
 //! reported by the `hotpath` bench).
 
+use crate::delta::DeltaFeed;
 use dynamis_graph::DynamicGraph;
 
 /// Count-transition event surfaced to the engine so it can enqueue
@@ -93,6 +94,9 @@ pub struct SwapState {
     /// exists so any future regression has a place to be counted and
     /// caught (see the `hotpath` bench and the state tests).
     pub hot_hash_probes: u64,
+    /// Every solution-membership flip is logged here, powering the
+    /// per-update [`crate::SolutionDelta`]s and the drainable feed.
+    pub(crate) feed: DeltaFeed,
 }
 
 impl SwapState {
@@ -113,6 +117,7 @@ impl SwapState {
             pairs: track_pairs.then(PairTier::default),
             size: 0,
             hot_hash_probes: 0,
+            feed: DeltaFeed::default(),
         };
         if let Some(p) = st.pairs.as_mut() {
             p.ensure(cap);
@@ -120,6 +125,7 @@ impl SwapState {
         for &v in initial {
             debug_assert!(st.g.is_alive(v), "initial member {v} must be alive");
             st.status[v as usize] = true;
+            st.feed.record_in(v);
         }
         st.size = initial.len();
         // Bulk-build counters, intrusive I(u) marks, and bucket tiers in
@@ -389,6 +395,7 @@ impl SwapState {
         debug_assert_eq!(self.g.marked_count(v), 0, "I(v) must be empty");
         self.status[v as usize] = true;
         self.size += 1;
+        self.feed.record_in(v);
     }
 
     /// Flips `v` out of the solution; the caller runs `dec_count` on v's
@@ -397,6 +404,7 @@ impl SwapState {
         debug_assert!(self.status[v as usize]);
         self.status[v as usize] = false;
         self.size -= 1;
+        self.feed.record_out(v);
     }
 
     /// Clears every per-vertex record of a (just removed) vertex `v` that
@@ -432,6 +440,7 @@ impl SwapState {
             + self.bar1_idx.capacity() * 4
             + self.bar1.capacity() * std::mem::size_of::<Vec<u32>>()
             + self.pairs.as_ref().map_or(0, PairTier::heap_bytes)
+            + self.feed.heap_bytes()
     }
 
     /// Exhaustive cross-check of every invariant against a from-scratch

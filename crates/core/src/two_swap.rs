@@ -6,21 +6,27 @@
 //! (Tables II–IV). Expected near-linear update time on power-law bounded
 //! graphs: `O(c₁ c₂⁻¹ (t+1)^{β+1/2} ζ(2β−4)^{1/2} n_t)` (§IV-B).
 
-use crate::engine::{EngineConfig, EngineStats, SwapEngine};
+use crate::builder::{BuildableEngine, EngineBuilder, Session};
+use crate::delta::SolutionDelta;
+use crate::engine::{EngineStats, SwapEngine};
+use crate::error::EngineError;
 use crate::DynamicMis;
 use dynamis_graph::{DynamicGraph, Update};
 
 /// Dynamic 2-maximal independent set maintenance.
 ///
+/// Constructed through the [`EngineBuilder`] session API (`k` is fixed
+/// at 2 by the type; the builder's `k` is ignored here).
+///
 /// # Example
 /// ```
-/// use dynamis_graph::{DynamicGraph, Update};
-/// use dynamis_core::{DyTwoSwap, DynamicMis};
+/// use dynamis_graph::DynamicGraph;
+/// use dynamis_core::{DyTwoSwap, DynamicMis, EngineBuilder};
 ///
 /// // P5 with the 1-maximal (but not 2-maximal) set {1, 3}: the engine
 /// // upgrades it to the optimum {0, 2, 4} at construction.
 /// let g = DynamicGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
-/// let engine = DyTwoSwap::new(g, &[1, 3]);
+/// let engine: DyTwoSwap = EngineBuilder::on(g).initial(&[1, 3]).build_as().unwrap();
 /// assert_eq!(engine.size(), 3);
 /// assert_eq!(engine.solution(), vec![0, 2, 4]);
 /// ```
@@ -30,16 +36,10 @@ pub struct DyTwoSwap {
 }
 
 impl DyTwoSwap {
-    /// Builds the engine from a graph and an initial independent set
-    /// (extended to maximality, then driven to 2-maximality).
-    pub fn new(graph: DynamicGraph, initial: &[u32]) -> Self {
-        Self::with_config(graph, initial, EngineConfig::default())
-    }
-
-    /// Builds with explicit tuning (perturbation on/off).
-    pub fn with_config(graph: DynamicGraph, initial: &[u32], cfg: EngineConfig) -> Self {
+    /// Builds from a validated [`Session`] (use [`EngineBuilder`]).
+    pub(crate) fn from_session(session: Session) -> Self {
         DyTwoSwap {
-            inner: SwapEngine::new(graph, initial, true, cfg),
+            inner: SwapEngine::new(session.graph, &session.initial, true, session.config),
         }
     }
 
@@ -48,16 +48,15 @@ impl DyTwoSwap {
         self.inner.stats
     }
 
-    /// Applies a burst of updates with a single swap-search pass at the
-    /// end (see `SwapEngine::apply_batch`). The final solution is
-    /// 2-maximal, exactly as with per-update application.
-    pub fn apply_batch(&mut self, updates: &[dynamis_graph::Update]) {
-        self.inner.apply_batch(updates);
-    }
-
     /// Full framework-invariant check (tests/debug only).
     pub fn check_consistency(&self) -> Result<(), String> {
         self.inner.st.check_consistency()
+    }
+}
+
+impl BuildableEngine for DyTwoSwap {
+    fn from_builder(builder: EngineBuilder) -> Result<Self, EngineError> {
+        builder.into_session().map(Self::from_session)
     }
 }
 
@@ -70,8 +69,19 @@ impl DynamicMis for DyTwoSwap {
         &self.inner.st.g
     }
 
-    fn apply_update(&mut self, u: &Update) {
-        self.inner.apply_update(u);
+    fn try_apply(&mut self, u: &Update) -> Result<SolutionDelta, EngineError> {
+        self.inner.try_apply(u)
+    }
+
+    /// The real batch path: one swap-search pass for the whole burst
+    /// (see `SwapEngine::try_apply_batch`). The final solution is
+    /// 2-maximal, exactly as with per-update application.
+    fn try_apply_batch(&mut self, updates: &[Update]) -> Result<SolutionDelta, EngineError> {
+        self.inner.try_apply_batch(updates)
+    }
+
+    fn drain_delta(&mut self) -> SolutionDelta {
+        self.inner.st.feed.drain()
     }
 
     fn size(&self) -> usize {
@@ -95,10 +105,14 @@ impl DynamicMis for DyTwoSwap {
 mod tests {
     use super::*;
 
+    fn build(g: DynamicGraph, initial: &[u32]) -> DyTwoSwap {
+        EngineBuilder::on(g).initial(initial).build_as().unwrap()
+    }
+
     #[test]
     fn bootstrap_finds_two_swap_on_p5() {
         let g = DynamicGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
-        let e = DyTwoSwap::new(g, &[1, 3]);
+        let e = build(g, &[1, 3]);
         assert_eq!(e.size(), 3);
         assert!(e.stats().two_swaps >= 1);
         e.check_consistency().unwrap();
@@ -122,10 +136,13 @@ mod tests {
         ];
         let e0: Vec<(u32, u32)> = edges.iter().map(|&(a, b)| (a - 1, b - 1)).collect();
         let g = DynamicGraph::from_edges(10, &e0);
-        let mut e2 = DyTwoSwap::new(g.clone(), &[2, 3, 5, 8]);
-        let mut e1 = crate::DyOneSwap::new(g, &[2, 3, 5, 8]);
-        e2.apply_update(&Update::InsertEdge(2, 3));
-        e1.apply_update(&Update::InsertEdge(2, 3));
+        let mut e2 = build(g.clone(), &[2, 3, 5, 8]);
+        let mut e1: crate::DyOneSwap = EngineBuilder::on(g)
+            .initial(&[2, 3, 5, 8])
+            .build_as()
+            .unwrap();
+        e2.try_apply(&Update::InsertEdge(2, 3)).unwrap();
+        e1.try_apply(&Update::InsertEdge(2, 3)).unwrap();
         assert!(e2.size() >= e1.size(), "k = 2 dominates k = 1");
         e2.check_consistency().unwrap();
         let csr = dynamis_graph::CsrGraph::from_dynamic(e2.graph());
@@ -145,28 +162,33 @@ mod tests {
         // u–v edge to delete; all of u, v, w pairwise non-adjacent
         // otherwise.
         let g = DynamicGraph::from_edges(5, &[(0, 2), (1, 3), (0, 4), (1, 4), (2, 3)]);
-        let mut e = DyTwoSwap::new(g, &[0, 1]);
+        let mut e = build(g, &[0, 1]);
         assert_eq!(e.size(), 2);
-        e.apply_update(&Update::RemoveEdge(2, 3));
+        let delta = e.try_apply(&Update::RemoveEdge(2, 3)).unwrap();
         assert_eq!(e.size(), 3);
         let sol = e.solution();
         assert_eq!(sol, vec![2, 3, 4]);
+        // The delta names exactly the adjustment the 2-swap made.
+        assert_eq!(delta.entered, vec![2, 3, 4]);
+        assert_eq!(delta.left, vec![0, 1]);
+        assert_eq!(delta.stats.two_swaps, 1);
         e.check_consistency().unwrap();
     }
 
     #[test]
     fn vertex_churn_keeps_invariants() {
         let g = DynamicGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
-        let mut e = DyTwoSwap::new(g, &[0, 2, 4]);
-        e.apply_update(&Update::RemoveVertex(2));
+        let mut e = build(g, &[0, 2, 4]);
+        e.try_apply(&Update::RemoveVertex(2)).unwrap();
         e.check_consistency().unwrap();
-        e.apply_update(&Update::InsertVertex {
+        e.try_apply(&Update::InsertVertex {
             id: 2,
             neighbors: vec![0, 4],
-        });
+        })
+        .unwrap();
         e.check_consistency().unwrap();
-        e.apply_update(&Update::RemoveVertex(0));
-        e.apply_update(&Update::RemoveVertex(4));
+        e.try_apply(&Update::RemoveVertex(0)).unwrap();
+        e.try_apply(&Update::RemoveVertex(4)).unwrap();
         e.check_consistency().unwrap();
         assert!(e.size() >= 2);
     }

@@ -164,6 +164,15 @@ impl DynamicGraph {
         }
     }
 
+    /// The id the next [`DynamicGraph::add_vertex`] call will return —
+    /// a freed slot if one exists, otherwise a fresh one. Lets stream
+    /// consumers detect an id-allocation divergence *before* mutating
+    /// (see [`GraphError::IdMismatch`]).
+    #[inline]
+    pub fn next_vertex_id(&self) -> VertexId {
+        self.free.last().copied().unwrap_or(self.adj.len() as u32)
+    }
+
     /// Adds a vertex, recycling a freed slot when possible.
     pub fn add_vertex(&mut self) -> VertexId {
         self.n_alive += 1;

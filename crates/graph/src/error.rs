@@ -9,6 +9,16 @@ pub enum GraphError {
     VertexNotFound(u32),
     /// Self-loops are not representable in a simple undirected graph.
     SelfLoop(u32),
+    /// An [`crate::Update::InsertVertex`] named a vertex id different
+    /// from the one the graph would allocate: the update stream was
+    /// recorded against a different allocation history and replaying it
+    /// further would silently shift every subsequent vertex id.
+    IdMismatch {
+        /// The id the update stream names.
+        expected: u32,
+        /// The id the graph's allocator would hand out.
+        got: u32,
+    },
     /// An edge-list line could not be parsed.
     Parse { line: usize, message: String },
     /// Underlying I/O failure (message-only so the error stays `Clone + Eq`).
@@ -20,6 +30,11 @@ impl fmt::Display for GraphError {
         match self {
             GraphError::VertexNotFound(v) => write!(f, "vertex {v} is not in the graph"),
             GraphError::SelfLoop(v) => write!(f, "self-loop ({v}, {v}) is not allowed"),
+            GraphError::IdMismatch { expected, got } => write!(
+                f,
+                "vertex id allocation diverged from the update stream: \
+                 stream names {expected}, graph would allocate {got}"
+            ),
             GraphError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
@@ -49,5 +64,10 @@ mod tests {
             message: "bad token".into(),
         };
         assert!(p.to_string().contains("12"));
+        let m = GraphError::IdMismatch {
+            expected: 4,
+            got: 9,
+        };
+        assert!(m.to_string().contains('4') && m.to_string().contains('9'));
     }
 }

@@ -2,7 +2,7 @@
 //! generators: the paper's four operations (§II) — insert/delete a vertex
 //! or an edge.
 
-use crate::{DynamicGraph, Result};
+use crate::{DynamicGraph, GraphError, Result};
 
 /// A single graph update, in the paper's four-operation model.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,9 +25,12 @@ pub enum Update {
     RemoveVertex(u32),
 }
 
-/// Applies one update to a graph. The update must be valid for `g`
-/// (guaranteed when replaying a generated stream in order onto the
-/// stream's starting graph).
+/// Applies one update to a graph. Invalid updates — dead endpoints,
+/// self-loops, or an [`Update::InsertVertex`] whose `id` diverges from
+/// the id the graph would allocate — are rejected with the matching
+/// [`GraphError`] *before* any mutation, so a failed call leaves `g`
+/// unchanged (replaying a generated stream in order onto the stream's
+/// starting graph never fails).
 pub fn apply_update(g: &mut DynamicGraph, u: &Update) -> Result<()> {
     match u {
         Update::InsertEdge(a, b) => {
@@ -37,8 +40,19 @@ pub fn apply_update(g: &mut DynamicGraph, u: &Update) -> Result<()> {
             g.remove_edge(*a, *b)?;
         }
         Update::InsertVertex { id, neighbors } => {
+            let next = g.next_vertex_id();
+            if next != *id {
+                return Err(GraphError::IdMismatch {
+                    expected: *id,
+                    got: next,
+                });
+            }
+            for &n in neighbors {
+                if !g.is_alive(n) {
+                    return Err(GraphError::VertexNotFound(n));
+                }
+            }
             let got = g.add_vertex();
-            debug_assert_eq!(got, *id, "vertex id allocation diverged");
             for &n in neighbors {
                 g.insert_edge(got, n)?;
             }
@@ -72,6 +86,45 @@ mod tests {
         assert_eq!(g.degree(3), 2);
         apply_update(&mut g, &Update::RemoveVertex(1)).unwrap();
         assert!(!g.is_alive(1));
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn divergent_vertex_id_is_rejected_without_mutation() {
+        let mut g = DynamicGraph::from_edges(3, &[(0, 1)]);
+        let before = g.num_vertices();
+        let err = apply_update(
+            &mut g,
+            &Update::InsertVertex {
+                id: 7, // graph would allocate 3
+                neighbors: vec![0],
+            },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::IdMismatch {
+                expected: 7,
+                got: 3
+            }
+        );
+        assert_eq!(g.num_vertices(), before, "rejected update must not mutate");
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn dead_neighbor_in_vertex_insert_is_rejected_without_mutation() {
+        let mut g = DynamicGraph::from_edges(2, &[(0, 1)]);
+        let err = apply_update(
+            &mut g,
+            &Update::InsertVertex {
+                id: 2,
+                neighbors: vec![0, 9],
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, GraphError::VertexNotFound(9));
+        assert_eq!(g.num_vertices(), 2);
         g.check_consistency().unwrap();
     }
 }

@@ -68,14 +68,15 @@ pub fn matching_vertex_cover(g: &CsrGraph) -> Vec<u32> {
 ///
 /// # Example
 /// ```
-/// use dynamis_core::DyOneSwap;
+/// use dynamis_core::{DyOneSwap, EngineBuilder};
 /// use dynamis_graph::{DynamicGraph, Update};
 /// use dynamis_problems::DynamicVertexCover;
 ///
 /// let g = DynamicGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
-/// let mut vc = DynamicVertexCover::new(DyOneSwap::new(g, &[]));
+/// let engine: DyOneSwap = EngineBuilder::on(g).build_as().unwrap();
+/// let mut vc = DynamicVertexCover::new(engine);
 /// assert!(vc.size() <= 2);
-/// vc.apply_update(&Update::InsertEdge(0, 3));
+/// vc.try_apply(&Update::InsertEdge(0, 3)).unwrap();
 /// assert!(vc.verify());
 /// ```
 #[derive(Debug)]
@@ -89,9 +90,14 @@ impl<E: DynamicMis> DynamicVertexCover<E> {
         DynamicVertexCover { engine }
     }
 
-    /// Applies one graph update.
-    pub fn apply_update(&mut self, u: &Update) {
-        self.engine.apply_update(u);
+    /// Applies one graph update, returning the independent-set delta
+    /// (which is the *cover's* delta with entered/left swapped). Invalid
+    /// updates are rejected with everything unchanged.
+    pub fn try_apply(
+        &mut self,
+        u: &Update,
+    ) -> Result<dynamis_core::SolutionDelta, dynamis_core::EngineError> {
+        self.engine.try_apply(u)
     }
 
     /// Cover size `|V| − |I|`.
@@ -128,13 +134,13 @@ impl<E: DynamicMis> DynamicVertexCover<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dynamis_core::{DyOneSwap, DyTwoSwap};
+    use dynamis_core::{DyOneSwap, DyTwoSwap, EngineBuilder};
     use dynamis_static::verify::compact_live;
 
     #[test]
     fn complement_of_mis_covers_path() {
         let g = DynamicGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
-        let vc = DynamicVertexCover::new(DyOneSwap::new(g, &[]));
+        let vc = DynamicVertexCover::new(EngineBuilder::on(g).build_as::<DyOneSwap>().unwrap());
         assert!(vc.verify());
         // α(P₅) = 3 ⇒ optimal cover is 2; a 1-maximal IS has ≥ 2 vertices,
         // so the cover has ≤ 3.
@@ -144,7 +150,7 @@ mod tests {
     #[test]
     fn cover_tracks_updates() {
         let g = DynamicGraph::from_edges(6, &[(0, 1), (2, 3), (4, 5)]);
-        let mut vc = DynamicVertexCover::new(DyTwoSwap::new(g, &[]));
+        let mut vc = DynamicVertexCover::new(EngineBuilder::on(g).build_as::<DyTwoSwap>().unwrap());
         assert_eq!(vc.size(), 3, "perfect matching needs one endpoint each");
         for upd in [
             Update::InsertEdge(1, 2),
@@ -152,7 +158,7 @@ mod tests {
             Update::InsertEdge(5, 0),
             Update::RemoveEdge(2, 3),
         ] {
-            vc.apply_update(&upd);
+            vc.try_apply(&upd).unwrap();
             assert!(vc.verify(), "cover broken after {upd:?}");
         }
     }
@@ -160,7 +166,7 @@ mod tests {
     #[test]
     fn membership_is_complementary() {
         let g = DynamicGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
-        let vc = DynamicVertexCover::new(DyOneSwap::new(g, &[]));
+        let vc = DynamicVertexCover::new(EngineBuilder::on(g).build_as::<DyOneSwap>().unwrap());
         for v in 0..4 {
             assert_ne!(vc.contains(v), vc.engine().contains(v));
         }
@@ -190,7 +196,7 @@ mod tests {
     #[test]
     fn empty_and_edgeless() {
         let g = DynamicGraph::from_edges(3, &[]);
-        let vc = DynamicVertexCover::new(DyOneSwap::new(g, &[]));
+        let vc = DynamicVertexCover::new(EngineBuilder::on(g).build_as::<DyOneSwap>().unwrap());
         assert_eq!(vc.size(), 0);
         assert!(vc.cover().is_empty());
         assert!(vc.verify());

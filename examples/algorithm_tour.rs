@@ -8,6 +8,7 @@
 use dynamis::gen::{powerlaw::chung_lu, stream::StreamConfig, UpdateStream};
 use dynamis::statics::exact::{solve_exact, ExactConfig};
 use dynamis::statics::verify::compact_live;
+use dynamis::EngineBuilder;
 use dynamis::{
     DgDis, DyArw, DyOneSwap, DyTwoSwap, DynamicMis, GenericKSwap, MaximalOnly, Restart,
     RestartSolver,
@@ -25,14 +26,33 @@ fn main() {
     );
 
     let engines: Vec<Box<dyn DynamicMis>> = vec![
-        Box::new(MaximalOnly::new(g.clone(), &[])),
-        Box::new(DgDis::one_dis(g.clone(), &[])),
-        Box::new(DgDis::two_dis(g.clone(), &[])),
-        Box::new(DyArw::new(g.clone(), &[])),
-        Box::new(DyOneSwap::new(g.clone(), &[])),
-        Box::new(DyTwoSwap::new(g.clone(), &[])),
-        Box::new(GenericKSwap::new(g.clone(), &[], 3)),
-        Box::new(Restart::new(g.clone(), RestartSolver::Greedy, 64)),
+        Box::new(
+            EngineBuilder::on(g.clone())
+                .build_as::<MaximalOnly>()
+                .unwrap(),
+        ),
+        Box::new(DgDis::one_dis(EngineBuilder::on(g.clone())).unwrap()),
+        Box::new(DgDis::two_dis(EngineBuilder::on(g.clone())).unwrap()),
+        Box::new(EngineBuilder::on(g.clone()).build_as::<DyArw>().unwrap()),
+        Box::new(
+            EngineBuilder::on(g.clone())
+                .build_as::<DyOneSwap>()
+                .unwrap(),
+        ),
+        Box::new(
+            EngineBuilder::on(g.clone())
+                .build_as::<DyTwoSwap>()
+                .unwrap(),
+        ),
+        Box::new(
+            EngineBuilder::on(g.clone())
+                .k(3)
+                .build_as::<GenericKSwap>()
+                .unwrap(),
+        ),
+        Box::new(
+            Restart::from_builder(EngineBuilder::on(g.clone()), RestartSolver::Greedy, 64).unwrap(),
+        ),
     ];
 
     println!(
@@ -43,7 +63,7 @@ fn main() {
     for mut e in engines {
         let t = Instant::now();
         for u in &updates {
-            e.apply_update(u);
+            e.try_apply(u).unwrap();
         }
         let dt = t.elapsed();
         println!(

@@ -14,6 +14,7 @@
 //! ```
 
 use dynamis::problems::{honest_majority_bound, Ballot};
+use dynamis::EngineBuilder;
 use dynamis::{DyTwoSwap, DynamicGraph, DynamicMis, Update};
 
 /// Deterministic xorshift so the demo replays identically.
@@ -46,7 +47,7 @@ fn main() {
         g.add_vertices(voters);
         g
     };
-    let mut monitor = DyTwoSwap::new(g, &[]);
+    let mut monitor = EngineBuilder::on(g).build_as::<DyTwoSwap>().unwrap();
     println!("pool: {voters} voters, {items} items, threshold {threshold}");
     println!(
         "initially every voter is independent: |I| = {}",
@@ -60,7 +61,9 @@ fn main() {
     for i in 0..voters {
         for j in i + 1..voters {
             if ballots[i].agreement(&ballots[j]) >= threshold {
-                monitor.apply_update(&Update::InsertEdge(i as u32, j as u32));
+                monitor
+                    .try_apply(&Update::InsertEdge(i as u32, j as u32))
+                    .unwrap();
                 suspicious_edges += 1;
             }
         }
@@ -86,7 +89,9 @@ fn main() {
     for (a, &i) in members.iter().enumerate() {
         for &j in &members[a + 1..] {
             if ballots[i].agreement(&ballots[j]) >= threshold {
-                monitor.apply_update(&Update::InsertEdge(i as u32, j as u32));
+                monitor
+                    .try_apply(&Update::InsertEdge(i as u32, j as u32))
+                    .unwrap();
                 ring_edges += 1;
             }
         }
@@ -105,7 +110,7 @@ fn main() {
     let cleared = members[0] as u32;
     let incident: Vec<u32> = monitor.graph().neighbors(cleared).collect();
     for n in incident {
-        monitor.apply_update(&Update::RemoveEdge(cleared, n));
+        monitor.try_apply(&Update::RemoveEdge(cleared, n)).unwrap();
     }
     println!(
         "phase 3 (voter {cleared} cleared): |I| = {} — the maintained set \

@@ -18,6 +18,7 @@
 use dynamis::problems::labeling::label_conflict_dynamic;
 use dynamis::problems::LabelBox;
 use dynamis::statics::certify::certify_one_maximal;
+use dynamis::EngineBuilder;
 use dynamis::{DyOneSwap, DynamicMis, Update};
 use std::time::Instant;
 
@@ -49,7 +50,7 @@ fn main() {
     );
 
     let t = Instant::now();
-    let mut engine = DyOneSwap::new(g, &[]);
+    let mut engine = EngineBuilder::on(g).build_as::<DyOneSwap>().unwrap();
     println!(
         "initial labeling: {} labels placed in {:?}",
         engine.size(),
@@ -71,7 +72,7 @@ fn main() {
     for fy in 0..rows {
         for slot in 0..3u32 {
             let candidate = (fy * 3) + slot; // features 0..rows are column 0
-            engine.apply_update(&Update::RemoveVertex(candidate));
+            engine.try_apply(&Update::RemoveVertex(candidate)).unwrap();
             freelist.push(candidate);
         }
     }
@@ -86,10 +87,12 @@ fn main() {
             let id = freelist
                 .pop()
                 .unwrap_or_else(|| engine.graph().capacity() as u32);
-            engine.apply_update(&Update::InsertVertex {
-                id,
-                neighbors: feature_slots.clone(),
-            });
+            engine
+                .try_apply(&Update::InsertVertex {
+                    id,
+                    neighbors: feature_slots.clone(),
+                })
+                .unwrap();
             feature_slots.push(id);
             inserted += 1;
         }

@@ -7,6 +7,7 @@
 
 use dynamis::core::approximation_bound;
 use dynamis::graph::{DynamicGraph, Update};
+use dynamis::EngineBuilder;
 use dynamis::{DyTwoSwap, DynamicMis};
 
 fn main() {
@@ -29,7 +30,7 @@ fn main() {
 
     // The engine maintains a 2-maximal independent set: a conflict-free
     // committee that no exchange of ≤ 2 members can enlarge.
-    let mut engine = DyTwoSwap::new(g, &[]);
+    let mut engine = EngineBuilder::on(g).build_as::<DyTwoSwap>().unwrap();
     println!(
         "initial committee ({} members): {:?}",
         engine.size(),
@@ -51,7 +52,7 @@ fn main() {
         Update::RemoveVertex(6),  // someone leaves
     ];
     for u in &updates {
-        engine.apply_update(u);
+        engine.try_apply(u).unwrap();
         println!(
             "after {u:?}: {} members {:?}",
             engine.size(),

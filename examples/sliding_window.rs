@@ -15,6 +15,7 @@
 use dynamis::gen::temporal::{sliding_window, SlidingWindowConfig};
 use dynamis::statics::greedy_mis;
 use dynamis::statics::verify::compact_live;
+use dynamis::EngineBuilder;
 use dynamis::{DyTwoSwap, DynamicMis};
 use std::time::Instant;
 
@@ -38,7 +39,9 @@ fn main() {
         wl.updates.len()
     );
 
-    let mut engine = DyTwoSwap::new(wl.graph.clone(), &[]);
+    let mut engine = EngineBuilder::on(wl.graph.clone())
+        .build_as::<DyTwoSwap>()
+        .unwrap();
     let checkpoints = 6usize;
     let chunk = wl.updates.len().div_ceil(checkpoints);
     let mut maintained_time = std::time::Duration::ZERO;
@@ -51,7 +54,7 @@ fn main() {
     for part in wl.updates.chunks(chunk) {
         let t = Instant::now();
         for u in part {
-            engine.apply_update(u);
+            engine.try_apply(u).unwrap();
         }
         maintained_time += t.elapsed();
         processed += part.len();

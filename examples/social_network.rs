@@ -14,6 +14,7 @@
 
 use dynamis::gen::{powerlaw::chung_lu, stream::StreamConfig, UpdateStream};
 use dynamis::statics::{arw_local_search, ArwConfig};
+use dynamis::EngineBuilder;
 use dynamis::{CsrGraph, DyOneSwap, DyTwoSwap, DynamicMis};
 use std::time::Instant;
 
@@ -35,13 +36,24 @@ fn main() {
     for (label, mut engine) in [
         (
             "DyOneSwap",
-            Box::new(DyOneSwap::new(g.clone(), &[])) as Box<dyn DynamicMis>,
+            Box::new(
+                EngineBuilder::on(g.clone())
+                    .build_as::<DyOneSwap>()
+                    .unwrap(),
+            ) as Box<dyn DynamicMis>,
         ),
-        ("DyTwoSwap", Box::new(DyTwoSwap::new(g.clone(), &[]))),
+        (
+            "DyTwoSwap",
+            Box::new(
+                EngineBuilder::on(g.clone())
+                    .build_as::<DyTwoSwap>()
+                    .unwrap(),
+            ),
+        ),
     ] {
         let t = Instant::now();
         for u in &burst {
-            engine.apply_update(u);
+            engine.try_apply(u).unwrap();
         }
         println!(
             "{label:10}: burst of {} updates in {:?} ({:.1} µs/update), |I| = {}",

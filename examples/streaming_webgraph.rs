@@ -13,6 +13,7 @@
 use dynamis::gen::{stream::StreamConfig, uniform::gnm, UpdateStream};
 use dynamis::statics::exact::{solve_exact, ExactConfig};
 use dynamis::statics::verify::compact_live;
+use dynamis::EngineBuilder;
 use dynamis::{DyOneSwap, DynamicMis};
 
 fn main() {
@@ -28,7 +29,9 @@ fn main() {
         new_vertex_degree: 2,
     };
     let mut stream = UpdateStream::new(&seed_graph, crawl, 11);
-    let mut engine = DyOneSwap::new(seed_graph, &[]);
+    let mut engine = EngineBuilder::on(seed_graph)
+        .build_as::<DyOneSwap>()
+        .unwrap();
 
     println!(
         "{:>8} {:>8} {:>8} {:>8} {:>9}",
@@ -36,7 +39,7 @@ fn main() {
     );
     for batch in 0..10 {
         for u in stream.take_updates(500) {
-            engine.apply_update(&u);
+            engine.try_apply(&u).unwrap();
         }
         let (csr, _) = compact_live(engine.graph());
         // The exact solver audits the maintained solution; the node

@@ -14,7 +14,7 @@
 //! DIMACS, `.graph`/`.metis` → METIS, `.dyng` → binary, anything else →
 //! SNAP edge list.
 
-use dynamis::baselines::{DgDis, DyArw, MaximalOnly, Restart, RestartSolver};
+use dynamis::baselines::{DgDis, Restart, RestartSolver};
 use dynamis::gen::trace::{read_trace_path, write_trace_path};
 use dynamis::gen::{datasets, StreamConfig, UpdateStream, Workload};
 use dynamis::graph::algo::{
@@ -25,7 +25,9 @@ use dynamis::graph::io;
 use dynamis::statics::{
     arw_local_search, greedy_mis, luby_mis, reducing_peeling, solve_exact, ArwConfig, ExactConfig,
 };
-use dynamis::{DyOneSwap, DyTwoSwap, DynamicGraph, DynamicMis, GenericKSwap};
+use dynamis::{
+    DyArw, DyOneSwap, DyTwoSwap, DynamicGraph, DynamicMis, EngineBuilder, GenericKSwap, MaximalOnly,
+};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -220,23 +222,29 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Maps an `--algo` string to an engine, all through the one
+/// construction path ([`EngineBuilder`]).
 fn build_engine(algo: &str, g: &DynamicGraph) -> Result<Box<dyn DynamicMis>, String> {
+    let builder = EngineBuilder::on(g.clone());
+    let build_err = |e: dynamis::EngineError| format!("building `{algo}`: {e}");
     Ok(match algo {
-        "one" => Box::new(DyOneSwap::new(g.clone(), &[])),
-        "two" => Box::new(DyTwoSwap::new(g.clone(), &[])),
-        "arw" => Box::new(DyArw::new(g.clone(), &[])),
-        "dgone" => Box::new(DgDis::one_dis(g.clone(), &[])),
-        "dgtwo" => Box::new(DgDis::two_dis(g.clone(), &[])),
-        "maximal" => Box::new(MaximalOnly::new(g.clone(), &[])),
+        "one" => Box::new(builder.build_as::<DyOneSwap>().map_err(build_err)?),
+        "two" => Box::new(builder.build_as::<DyTwoSwap>().map_err(build_err)?),
+        "arw" => Box::new(builder.build_as::<DyArw>().map_err(build_err)?),
+        "dgone" => Box::new(DgDis::one_dis(builder).map_err(build_err)?),
+        "dgtwo" => Box::new(DgDis::two_dis(builder).map_err(build_err)?),
+        "maximal" => Box::new(builder.build_as::<MaximalOnly>().map_err(build_err)?),
         other => {
             if let Some(k) = other.strip_prefix("k:") {
                 let k: usize = k.parse().map_err(|_| format!("bad k in `{other}`"))?;
-                Box::new(GenericKSwap::new(g.clone(), &[], k))
+                Box::new(builder.k(k).build_as::<GenericKSwap>().map_err(build_err)?)
             } else if let Some(iv) = other.strip_prefix("restart:") {
                 let iv: usize = iv
                     .parse()
                     .map_err(|_| format!("bad interval in `{other}`"))?;
-                Box::new(Restart::new(g.clone(), RestartSolver::Greedy, iv))
+                Box::new(
+                    Restart::from_builder(builder, RestartSolver::Greedy, iv).map_err(build_err)?,
+                )
             } else {
                 return Err(format!("unknown dynamic algorithm `{other}`"));
             }
@@ -287,7 +295,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let initial = engine.size();
     let t = Instant::now();
     for u in &ups {
-        engine.apply_update(u);
+        engine
+            .try_apply(u)
+            .map_err(|e| format!("update {u:?} rejected: {e}"))?;
     }
     let elapsed = t.elapsed();
     println!(
@@ -349,7 +359,9 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     let mut engine = build_engine(algo.as_deref().unwrap_or("one"), &wl.graph)?;
     let t = Instant::now();
     for u in &wl.updates {
-        engine.apply_update(u);
+        engine
+            .try_apply(u)
+            .map_err(|e| format!("trace update {u:?} rejected: {e}"))?;
     }
     println!(
         "{}: replayed {} updates from {trace} in {:?}; |I| = {}",

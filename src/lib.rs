@@ -20,20 +20,34 @@
 //!
 //! ## Quickstart
 //!
+//! Engines are built through the [`EngineBuilder`] **session API** and
+//! driven with fallible, delta-reporting updates: [`DynamicMis::try_apply`]
+//! rejects invalid operations gracefully (no panics) and reports exactly
+//! which vertices entered and left the solution, so downstream consumers
+//! can mirror it incrementally instead of rematerializing.
+//!
 //! ```
-//! use dynamis::{DynamicMis, DyTwoSwap};
+//! use dynamis::{DynamicMis, EngineBuilder, SolutionMirror};
 //! use dynamis::graph::{DynamicGraph, Update};
 //!
-//! // A small collaboration network.
+//! // A small collaboration network, maintained at k = 2.
 //! let g = DynamicGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
-//! let mut engine = DyTwoSwap::new(g, &[]);
+//! let mut engine = EngineBuilder::on(g).k(2).build().unwrap();
 //! assert!(engine.size() >= 3);
 //!
-//! // The network evolves; the engine keeps the guarantee.
-//! engine.apply_update(&Update::InsertEdge(0, 3));
-//! engine.apply_update(&Update::RemoveEdge(2, 3));
-//! let bound = dynamis::core::approximation_bound(engine.graph().max_degree());
-//! assert!(engine.size() as f64 * bound >= engine.size() as f64);
+//! // A mirror fed from the delta feed tracks the solution exactly.
+//! let mut mirror = SolutionMirror::new();
+//! mirror.apply(&engine.drain_delta()).unwrap();
+//!
+//! // The network evolves; each update reports its adjustment.
+//! for u in [Update::InsertEdge(0, 3), Update::RemoveEdge(2, 3)] {
+//!     let delta = engine.try_apply(&u).unwrap();
+//!     mirror.apply(&delta).unwrap();
+//! }
+//! assert_eq!(mirror.solution(), engine.solution());
+//!
+//! // Invalid updates are rejected with the engine untouched.
+//! assert!(engine.try_apply(&Update::RemoveEdge(2, 3)).is_err());
 //! ```
 
 pub use dynamis_baselines as baselines;
@@ -44,6 +58,9 @@ pub use dynamis_problems as problems;
 pub use dynamis_static as statics;
 
 pub use dynamis_baselines::{DgDis, DyArw, MaximalOnly, Restart, RestartSolver};
-pub use dynamis_core::{DyOneSwap, DyTwoSwap, DynamicMis, EngineConfig, GenericKSwap, Snapshot};
+pub use dynamis_core::{
+    BuildableEngine, DyOneSwap, DyTwoSwap, DynamicMis, EngineBuilder, EngineConfig, EngineError,
+    GenericKSwap, Snapshot, SolutionDelta, SolutionMirror,
+};
 pub use dynamis_gen::{StreamConfig, UpdateStream, Workload};
-pub use dynamis_graph::{CsrGraph, DynamicGraph, Update};
+pub use dynamis_graph::{CsrGraph, DynamicGraph, GraphError, Update};

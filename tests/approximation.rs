@@ -7,6 +7,7 @@ use dynamis::gen::structured::{k_prime, q_prime};
 use dynamis::gen::{powerlaw::chung_lu, stream::StreamConfig, uniform::gnm, UpdateStream};
 use dynamis::statics::exact::{solve_exact, ExactConfig};
 use dynamis::statics::verify::{compact_live, is_k_maximal};
+use dynamis::EngineBuilder;
 use dynamis::{CsrGraph, DyOneSwap, DyTwoSwap, DynamicMis};
 
 /// α(G_t) ≤ (Δ_t/2 + 1)·|I_t| at every step of a dynamic run.
@@ -16,9 +17,9 @@ fn ratio_bound_holds_throughout_dynamic_run() {
         let g = gnm(18, 30, seed);
         let mut stream = UpdateStream::new(&g, StreamConfig::default(), seed + 100);
         let ups = stream.take_updates(80);
-        let mut e = DyOneSwap::new(g, &[]);
+        let mut e = EngineBuilder::on(g).build_as::<DyOneSwap>().unwrap();
         for (i, u) in ups.iter().enumerate() {
-            e.apply_update(u);
+            e.try_apply(u).unwrap();
             if i % 5 != 0 {
                 continue;
             }
@@ -90,7 +91,7 @@ fn plb_constant_bound_respected() {
         },
     )
     .map(|r| r.alpha);
-    let e = DyTwoSwap::new(g, &[]);
+    let e = EngineBuilder::on(g).build_as::<DyTwoSwap>().unwrap();
     if let (Some(alpha), Some(bound)) = (alpha, est.theorem4_ratio()) {
         let measured = alpha as f64 / e.size() as f64;
         assert!(
@@ -109,14 +110,17 @@ fn engines_escape_worst_case_start_dynamically() {
     let g = k_prime(6);
     // Start from the BAD initial solution (the original clique vertices).
     let originals: Vec<u32> = (0..6u32).collect();
-    let mut e = DyOneSwap::new(g, &originals);
+    let mut e = EngineBuilder::on(g)
+        .initial(&originals)
+        .build_as::<DyOneSwap>()
+        .unwrap();
     let bad = e.size();
     // Churn a few subdivision edges: each conflicting reinsert gives the
     // engine a chance to swap toward the subdivision side.
     let edges: Vec<(u32, u32)> = e.graph().edges().collect();
     for &(u, v) in edges.iter().take(10) {
-        e.apply_update(&dynamis::Update::RemoveEdge(u, v));
-        e.apply_update(&dynamis::Update::InsertEdge(u, v));
+        e.try_apply(&dynamis::Update::RemoveEdge(u, v)).unwrap();
+        e.try_apply(&dynamis::Update::InsertEdge(u, v)).unwrap();
     }
     assert!(e.size() >= bad, "dynamics never degrade below 1-maximality");
     e.check_consistency().unwrap();

@@ -3,6 +3,7 @@
 
 use dynamis::gen::{stream::StreamConfig, uniform::gnm, UpdateStream};
 use dynamis::statics::verify::{is_k_maximal_dynamic, is_maximal_dynamic};
+use dynamis::EngineBuilder;
 use dynamis::{DgDis, DyArw, DyOneSwap, DynamicMis, MaximalOnly};
 
 /// The DG index's search effort grows with update count — the staleness
@@ -11,11 +12,11 @@ use dynamis::{DgDis, DyArw, DyOneSwap, DynamicMis, MaximalOnly};
 fn dg_index_search_effort_grows_with_updates() {
     let g = gnm(200, 600, 5);
     let mut stream = UpdateStream::new(&g, StreamConfig::default(), 6);
-    let mut e = DgDis::two_dis(g, &[]);
+    let mut e = DgDis::two_dis(EngineBuilder::on(g)).unwrap();
     let mut checkpoints = Vec::new();
     for _ in 0..4 {
         for u in &stream.take_updates(2_000) {
-            e.apply_update(u);
+            e.try_apply(u).unwrap();
         }
         checkpoints.push(e.search_steps);
     }
@@ -38,11 +39,11 @@ fn dg_variants_keep_maximal_solutions() {
     for seed in 0..4u64 {
         let g = gnm(60, 150, seed);
         let ups = UpdateStream::new(&g, StreamConfig::default(), seed + 50).take_updates(800);
-        let mut one = DgDis::one_dis(g.clone(), &[]);
-        let mut two = DgDis::two_dis(g, &[]);
+        let mut one = DgDis::one_dis(EngineBuilder::on(g.clone())).unwrap();
+        let mut two = DgDis::two_dis(EngineBuilder::on(g)).unwrap();
         for u in &ups {
-            one.apply_update(u);
-            two.apply_update(u);
+            one.try_apply(u).unwrap();
+            two.try_apply(u).unwrap();
         }
         assert!(
             is_maximal_dynamic(one.graph(), &one.solution()),
@@ -66,11 +67,11 @@ fn dyarw_tracks_dyoneswap_quality() {
     for seed in 0..5u64 {
         let g = gnm(80, 200, seed);
         let ups = UpdateStream::new(&g, StreamConfig::default(), seed + 9).take_updates(1_500);
-        let mut arw = DyArw::new(g.clone(), &[]);
-        let mut one = DyOneSwap::new(g, &[]);
+        let mut arw = EngineBuilder::on(g.clone()).build_as::<DyArw>().unwrap();
+        let mut one = EngineBuilder::on(g).build_as::<DyOneSwap>().unwrap();
         for u in &ups {
-            arw.apply_update(u);
-            one.apply_update(u);
+            arw.try_apply(u).unwrap();
+            one.try_apply(u).unwrap();
         }
         assert!(is_k_maximal_dynamic(arw.graph(), &arw.solution(), 1));
         total_arw += arw.size();
@@ -101,8 +102,14 @@ fn maximal_only_is_the_floor_on_stars() {
     let n = (stars * (leaves + 1)) as usize;
     let centers: Vec<u32> = (0..stars).map(|s| s * (leaves + 1)).collect();
     let g = dynamis::DynamicGraph::from_edges(n, &edges);
-    let floor = MaximalOnly::new(g.clone(), &centers);
-    let engine = DyOneSwap::new(g, &centers);
+    let floor = EngineBuilder::on(g.clone())
+        .initial(&centers)
+        .build_as::<MaximalOnly>()
+        .unwrap();
+    let engine = EngineBuilder::on(g)
+        .initial(&centers)
+        .build_as::<DyOneSwap>()
+        .unwrap();
     assert_eq!(floor.size(), stars as usize, "stuck at one per star");
     assert_eq!(
         engine.size(),

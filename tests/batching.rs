@@ -1,19 +1,26 @@
-//! Batch-mode extension: `apply_batch` must preserve every invariant of
-//! per-update application (k-maximality, framework consistency) while
-//! skipping intermediate swap cascades.
+//! Batch-mode extension: `try_apply_batch` must preserve every invariant
+//! of per-update application (k-maximality, framework consistency) while
+//! skipping intermediate swap cascades. The eager engines override the
+//! trait default with a real deferred-drain batch path; every baseline
+//! gets a correct batch path from the trait default — covered uniformly
+//! here.
 
 use dynamis::gen::{stream::StreamConfig, uniform::gnm, UpdateStream};
-use dynamis::statics::verify::is_k_maximal_dynamic;
-use dynamis::{DyOneSwap, DyTwoSwap, DynamicMis};
+use dynamis::statics::verify::{is_k_maximal_dynamic, is_maximal_dynamic};
+use dynamis::EngineBuilder;
+use dynamis::{
+    DgDis, DyArw, DyOneSwap, DyTwoSwap, DynamicGraph, DynamicMis, MaximalOnly, Restart,
+    RestartSolver, SolutionMirror,
+};
 
 #[test]
 fn batched_one_swap_is_one_maximal() {
     for seed in 0..5u64 {
         let g = gnm(30, 60, seed);
         let ups = UpdateStream::new(&g, StreamConfig::default(), seed ^ 1).take_updates(300);
-        let mut e = DyOneSwap::new(g, &[]);
+        let mut e = EngineBuilder::on(g).build_as::<DyOneSwap>().unwrap();
         for chunk in ups.chunks(50) {
-            e.apply_batch(chunk);
+            e.try_apply_batch(chunk).unwrap();
             e.check_consistency()
                 .unwrap_or_else(|err| panic!("seed {seed}: {err}"));
             assert!(
@@ -29,9 +36,9 @@ fn batched_two_swap_is_two_maximal() {
     for seed in 0..4u64 {
         let g = gnm(22, 40, seed + 9);
         let ups = UpdateStream::new(&g, StreamConfig::default(), seed ^ 3).take_updates(200);
-        let mut e = DyTwoSwap::new(g, &[]);
+        let mut e = EngineBuilder::on(g).build_as::<DyTwoSwap>().unwrap();
         for chunk in ups.chunks(40) {
-            e.apply_batch(chunk);
+            e.try_apply_batch(chunk).unwrap();
             e.check_consistency()
                 .unwrap_or_else(|err| panic!("seed {seed}: {err}"));
             assert!(
@@ -46,12 +53,14 @@ fn batched_two_swap_is_two_maximal() {
 fn batch_and_per_update_reach_same_graph() {
     let g = gnm(40, 80, 17);
     let ups = UpdateStream::new(&g, StreamConfig::default(), 18).take_updates(400);
-    let mut per = DyTwoSwap::new(g.clone(), &[]);
-    let mut bat = DyTwoSwap::new(g, &[]);
+    let mut per = EngineBuilder::on(g.clone())
+        .build_as::<DyTwoSwap>()
+        .unwrap();
+    let mut bat = EngineBuilder::on(g).build_as::<DyTwoSwap>().unwrap();
     for u in &ups {
-        per.apply_update(u);
+        per.try_apply(u).unwrap();
     }
-    bat.apply_batch(&ups);
+    bat.try_apply_batch(&ups).unwrap();
     assert_eq!(per.graph().num_edges(), bat.graph().num_edges());
     assert_eq!(per.graph().num_vertices(), bat.graph().num_vertices());
     // Solutions may differ (both are valid 2-maximal sets), but both are
@@ -77,15 +86,88 @@ fn batch_skips_intermediate_swaps() {
             ups.push(dynamis::Update::InsertEdge(u, v));
         }
     }
-    let mut per = DyOneSwap::new(g.clone(), &[]);
-    let mut bat = DyOneSwap::new(g, &[]);
+    let mut per = EngineBuilder::on(g.clone())
+        .build_as::<DyOneSwap>()
+        .unwrap();
+    let mut bat = EngineBuilder::on(g).build_as::<DyOneSwap>().unwrap();
     for u in &ups {
-        per.apply_update(u);
+        per.try_apply(u).unwrap();
     }
-    bat.apply_batch(&ups);
+    bat.try_apply_batch(&ups).unwrap();
     assert!(
         bat.stats().one_swaps <= per.stats().one_swaps,
         "batching should not create extra swap work"
     );
     bat.check_consistency().unwrap();
+}
+
+/// Every baseline answers `try_apply_batch` through the trait default:
+/// chunked batch application reaches the same graph as per-update
+/// application, stays maximal (the invariant all four maintain), and
+/// the returned deltas merge into an exact mirror of the solution.
+#[test]
+fn baselines_batch_via_the_trait_default() {
+    let g = gnm(30, 60, 41);
+    let ups = UpdateStream::new(&g, StreamConfig::default(), 42).take_updates(240);
+    let on = |g: &DynamicGraph| EngineBuilder::on(g.clone());
+    let engines: Vec<Box<dyn DynamicMis>> = vec![
+        Box::new(on(&g).build_as::<DyArw>().unwrap()),
+        Box::new(on(&g).build_as::<MaximalOnly>().unwrap()),
+        Box::new(DgDis::one_dis(on(&g)).unwrap()),
+        Box::new(DgDis::two_dis(on(&g)).unwrap()),
+        Box::new(Restart::from_builder(on(&g), RestartSolver::Greedy, 16).unwrap()),
+    ];
+    for mut e in engines {
+        let name = e.name();
+        let mut mirror = SolutionMirror::new();
+        mirror.apply(&e.drain_delta()).unwrap();
+        for chunk in ups.chunks(48) {
+            let delta = e
+                .try_apply_batch(chunk)
+                .unwrap_or_else(|err| panic!("{name}: batch rejected: {err}"));
+            mirror.apply(&delta).unwrap();
+            assert_eq!(
+                mirror.solution(),
+                e.solution(),
+                "{name}: batch delta drifted"
+            );
+        }
+        // Restart is only guaranteed maximal right after a solve; the
+        // others maintain maximality continuously.
+        if !name.starts_with("Restart") {
+            assert!(
+                is_maximal_dynamic(e.graph(), &e.solution()),
+                "{name}: batch left the solution non-maximal"
+            );
+        }
+    }
+}
+
+/// A rejected update inside a batch reports its index, keeps the valid
+/// prefix applied, and leaves the engine consistent — for the real
+/// batch path (eager engines) and the trait default (baselines) alike.
+#[test]
+fn batch_rejection_reports_index_and_keeps_prefix() {
+    let edges = [(0, 1), (1, 2), (2, 3), (3, 4)];
+    let schedule = [
+        dynamis::Update::RemoveEdge(1, 2), // valid
+        dynamis::Update::InsertEdge(0, 1), // duplicate → rejected at 1
+        dynamis::Update::RemoveEdge(3, 4), // never reached
+    ];
+    // Eager engine: overridden batch path.
+    let g = DynamicGraph::from_edges(5, &edges);
+    let mut eager: DyTwoSwap = EngineBuilder::on(g).build_as().unwrap();
+    let err = eager.try_apply_batch(&schedule).unwrap_err();
+    assert!(matches!(err, dynamis::EngineError::Batch { index: 1, .. }));
+    assert!(!eager.graph().has_edge(1, 2), "prefix applied");
+    assert!(eager.graph().has_edge(3, 4), "suffix not applied");
+    eager.check_consistency().unwrap();
+    assert!(is_k_maximal_dynamic(eager.graph(), &eager.solution(), 2));
+    // Baseline: trait-default batch path.
+    let g = DynamicGraph::from_edges(5, &edges);
+    let mut base: DyArw = EngineBuilder::on(g).build_as().unwrap();
+    let err = base.try_apply_batch(&schedule).unwrap_err();
+    assert!(matches!(err, dynamis::EngineError::Batch { index: 1, .. }));
+    assert!(!base.graph().has_edge(1, 2));
+    assert!(base.graph().has_edge(3, 4));
 }

@@ -1,0 +1,142 @@
+//! The solution-delta contract of the session API: for **every** engine
+//! in the workspace, the [`SolutionDelta`]s reported by `try_apply` —
+//! and the drainable feed behind `drain_delta` — replay into a mirror
+//! that matches `solution()` exactly at every step. This is the
+//! adjustment-complexity view of the paper's framework made into an
+//! invariant: consumers never need to rematerialize `I`.
+
+use dynamis::gen::{stream::StreamConfig, uniform::gnm, UpdateStream};
+use dynamis::{
+    DgDis, DyArw, DyOneSwap, DyTwoSwap, DynamicGraph, DynamicMis, EngineBuilder, GenericKSwap,
+    MaximalOnly, Restart, RestartSolver, SolutionMirror,
+};
+use proptest::prelude::*;
+
+/// Every maintainer in the workspace, over its own copy of `g` —
+/// the paper engines at k ∈ {1, 2, 3} plus all four baselines.
+fn all_engines(g: &DynamicGraph) -> Vec<Box<dyn DynamicMis>> {
+    let on = |g: &DynamicGraph| EngineBuilder::on(g.clone());
+    vec![
+        Box::new(on(g).build_as::<DyOneSwap>().unwrap()),
+        Box::new(on(g).build_as::<DyTwoSwap>().unwrap()),
+        Box::new(on(g).k(1).build_as::<GenericKSwap>().unwrap()),
+        Box::new(on(g).k(2).build_as::<GenericKSwap>().unwrap()),
+        Box::new(on(g).k(3).build_as::<GenericKSwap>().unwrap()),
+        Box::new(on(g).build_as::<DyArw>().unwrap()),
+        Box::new(on(g).build_as::<MaximalOnly>().unwrap()),
+        Box::new(DgDis::one_dis(on(g)).unwrap()),
+        Box::new(DgDis::two_dis(on(g)).unwrap()),
+        Box::new(Restart::from_builder(on(g), RestartSolver::Greedy, 3).unwrap()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Replaying the per-update deltas from an **empty** mirror (primed
+    /// only by the bootstrap drain) reconstructs `solution()` exactly
+    /// after every update, for every engine and random interleavings of
+    /// all four update kinds.
+    #[test]
+    fn per_update_deltas_mirror_the_solution(
+        seed in 0u64..10_000,
+        n in 8usize..20,
+        steps in 5usize..45,
+    ) {
+        let m = (n * (n - 1) / 4).min(3 * n);
+        let g = gnm(n, m, seed);
+        let ups = UpdateStream::new(&g, StreamConfig::default(), seed ^ 0xfeed)
+            .take_updates(steps);
+        for mut e in all_engines(&g) {
+            let name = e.name();
+            let mut mirror = SolutionMirror::new();
+            mirror
+                .apply(&e.drain_delta())
+                .map_err(TestCaseError::fail)?;
+            prop_assert_eq!(mirror.solution(), e.solution(), "{} bootstrap", name);
+            for u in &ups {
+                let delta = e.try_apply(u).unwrap();
+                mirror.apply(&delta).map_err(TestCaseError::fail)?;
+                prop_assert_eq!(
+                    mirror.solution(),
+                    e.solution(),
+                    "{} diverged after {:?}",
+                    name,
+                    u
+                );
+                prop_assert_eq!(mirror.len(), e.size(), "{} size", name);
+            }
+        }
+    }
+
+    /// The drainable feed nets correctly across update bursts: a mirror
+    /// synchronized only at irregular drain points (never per update)
+    /// still lands on `solution()` at each drain — including a consumer
+    /// that starts from an empty mirror after construction.
+    #[test]
+    fn drained_feed_replays_in_bursts(
+        seed in 0u64..10_000,
+        n in 8usize..18,
+        steps in 6usize..40,
+        stride in 2usize..7,
+    ) {
+        let m = (n * (n - 1) / 4).min(3 * n);
+        let g = gnm(n, m, seed);
+        let ups = UpdateStream::new(&g, StreamConfig::default(), seed ^ 0xabcd)
+            .take_updates(steps);
+        for mut e in all_engines(&g) {
+            let name = e.name();
+            let mut mirror = SolutionMirror::new();
+            for (i, u) in ups.iter().enumerate() {
+                let _per_update = e.try_apply(u).unwrap();
+                if i % stride == stride - 1 {
+                    mirror
+                        .apply(&e.drain_delta())
+                        .map_err(TestCaseError::fail)?;
+                    prop_assert_eq!(
+                        mirror.solution(),
+                        e.solution(),
+                        "{} diverged at drain {}",
+                        name,
+                        i
+                    );
+                }
+            }
+            mirror
+                .apply(&e.drain_delta())
+                .map_err(TestCaseError::fail)?;
+            prop_assert_eq!(mirror.solution(), e.solution(), "{} final", name);
+        }
+    }
+
+    /// Rejected updates contribute nothing to either read side: the
+    /// per-update delta stream and the drainable feed are identical
+    /// whether or not invalid operations were interleaved.
+    #[test]
+    fn rejected_updates_leave_no_trace_in_the_feed(
+        seed in 0u64..10_000,
+        n in 8usize..16,
+    ) {
+        let g = gnm(n, 2 * n, seed);
+        let ups = UpdateStream::new(&g, StreamConfig::default(), seed ^ 0x5a5a)
+            .take_updates(10);
+        let dead = n as u32 + 50; // never a live vertex
+        for mut e in all_engines(&g) {
+            let name = e.name();
+            let mut mirror = SolutionMirror::new();
+            mirror
+                .apply(&e.drain_delta())
+                .map_err(TestCaseError::fail)?;
+            for u in &ups {
+                prop_assert!(
+                    e.try_apply(&dynamis::Update::RemoveVertex(dead)).is_err(),
+                    "{} accepted a dead-vertex update",
+                    name
+                );
+                let delta = e.try_apply(u).unwrap();
+                mirror.apply(&delta).map_err(TestCaseError::fail)?;
+            }
+            prop_assert_eq!(mirror.solution(), e.solution(), "{}", name);
+        }
+    }
+}

@@ -8,6 +8,7 @@ use dynamis::gen::powerlaw::chung_lu;
 use dynamis::gen::{stream::StreamConfig, uniform::gnm, UpdateStream};
 use dynamis::statics::greedy_mis;
 use dynamis::statics::verify::{compact_live, is_independent_dynamic, is_k_maximal_dynamic};
+use dynamis::EngineBuilder;
 use dynamis::{DyArw, DyOneSwap, DyTwoSwap, DynamicMis, GenericKSwap};
 use dynamis_bench::hash_baseline::{HashIndexedOneSwap, HashIndexedTwoSwap};
 
@@ -30,11 +31,16 @@ fn schedule(
 fn eager_and_lazy_k1_agree_on_invariant() {
     for seed in 0..8u64 {
         let (g, ups) = schedule(seed, 22, 36, 140);
-        let mut eager = DyOneSwap::new(g.clone(), &[]);
-        let mut lazy = GenericKSwap::new(g, &[], 1);
+        let mut eager = EngineBuilder::on(g.clone())
+            .build_as::<DyOneSwap>()
+            .unwrap();
+        let mut lazy = EngineBuilder::on(g)
+            .k(1)
+            .build_as::<GenericKSwap>()
+            .unwrap();
         for u in &ups {
-            eager.apply_update(u);
-            lazy.apply_update(u);
+            eager.try_apply(u).unwrap();
+            lazy.try_apply(u).unwrap();
         }
         assert_eq!(
             eager.graph().num_edges(),
@@ -56,11 +62,16 @@ fn eager_and_lazy_k1_agree_on_invariant() {
 fn eager_and_lazy_k2_agree_on_invariant() {
     for seed in 0..6u64 {
         let (g, ups) = schedule(seed, 18, 30, 90);
-        let mut eager = DyTwoSwap::new(g.clone(), &[]);
-        let mut lazy = GenericKSwap::new(g, &[], 2);
+        let mut eager = EngineBuilder::on(g.clone())
+            .build_as::<DyTwoSwap>()
+            .unwrap();
+        let mut lazy = EngineBuilder::on(g)
+            .k(2)
+            .build_as::<GenericKSwap>()
+            .unwrap();
         for u in &ups {
-            eager.apply_update(u);
-            lazy.apply_update(u);
+            eager.try_apply(u).unwrap();
+            lazy.try_apply(u).unwrap();
         }
         for e in [&eager as &dyn DynamicMis, &lazy as &dyn DynamicMis] {
             assert!(
@@ -79,11 +90,13 @@ fn eager_and_lazy_k2_agree_on_invariant() {
 fn dyarw_matches_one_swap_class() {
     for seed in 0..8u64 {
         let (g, ups) = schedule(seed, 20, 34, 120);
-        let mut a = DyOneSwap::new(g.clone(), &[]);
-        let mut b = DyArw::new(g, &[]);
+        let mut a = EngineBuilder::on(g.clone())
+            .build_as::<DyOneSwap>()
+            .unwrap();
+        let mut b = EngineBuilder::on(g).build_as::<DyArw>().unwrap();
         for u in &ups {
-            a.apply_update(u);
-            b.apply_update(u);
+            a.try_apply(u).unwrap();
+            b.try_apply(u).unwrap();
         }
         assert!(is_k_maximal_dynamic(a.graph(), &a.solution(), 1));
         assert!(is_k_maximal_dynamic(b.graph(), &b.solution(), 1));
@@ -98,9 +111,9 @@ fn dyarw_matches_one_swap_class() {
 fn restart_interval_one_equals_static_greedy() {
     for seed in 0..6u64 {
         let (g, ups) = schedule(seed, 24, 40, 60);
-        let mut r = Restart::new(g, RestartSolver::Greedy, 1);
+        let mut r = Restart::from_builder(EngineBuilder::on(g), RestartSolver::Greedy, 1).unwrap();
         for u in &ups {
-            r.apply_update(u);
+            r.try_apply(u).unwrap();
         }
         let (csr, map) = compact_live(r.graph());
         let want = greedy_mis(&csr);
@@ -121,9 +134,9 @@ fn restart_interval_one_equals_static_greedy() {
 fn two_maximal_solutions_are_also_one_maximal() {
     for seed in 0..6u64 {
         let (g, ups) = schedule(seed, 18, 28, 80);
-        let mut e = DyTwoSwap::new(g, &[]);
+        let mut e = EngineBuilder::on(g).build_as::<DyTwoSwap>().unwrap();
         for u in &ups {
-            e.apply_update(u);
+            e.try_apply(u).unwrap();
         }
         assert!(is_k_maximal_dynamic(e.graph(), &e.solution(), 1));
         assert!(is_k_maximal_dynamic(e.graph(), &e.solution(), 2));
@@ -144,15 +157,19 @@ fn two_maximal_solutions_are_also_one_maximal() {
 fn intrusive_layout_matches_hash_indexed_reference() {
     for seed in 0..6u64 {
         let (g, ups) = schedule(seed, 40, 80, 300);
-        let mut new1 = DyOneSwap::new(g.clone(), &[]);
+        let mut new1 = EngineBuilder::on(g.clone())
+            .build_as::<DyOneSwap>()
+            .unwrap();
         let mut old1 = HashIndexedOneSwap::new(g.clone(), &[]);
-        let mut new2 = DyTwoSwap::new(g.clone(), &[]);
+        let mut new2 = EngineBuilder::on(g.clone())
+            .build_as::<DyTwoSwap>()
+            .unwrap();
         let mut old2 = HashIndexedTwoSwap::new(g, &[]);
         for u in &ups {
-            new1.apply_update(u);
-            old1.apply_update(u);
-            new2.apply_update(u);
-            old2.apply_update(u);
+            new1.try_apply(u).unwrap();
+            old1.try_apply(u).unwrap();
+            new2.try_apply(u).unwrap();
+            old2.try_apply(u).unwrap();
         }
         assert_eq!(
             new1.solution(),
@@ -197,11 +214,13 @@ fn pinned_solutions_on_seeded_powerlaw_stream() {
     let base = chung_lu(2_000, 2.4, 6.0, 1234);
     let ups = UpdateStream::new(&base, StreamConfig::default(), 5678).take_updates(4_000);
 
-    let mut e1 = DyOneSwap::new(base.clone(), &[]);
-    let mut e2 = DyTwoSwap::new(base, &[]);
+    let mut e1 = EngineBuilder::on(base.clone())
+        .build_as::<DyOneSwap>()
+        .unwrap();
+    let mut e2 = EngineBuilder::on(base).build_as::<DyTwoSwap>().unwrap();
     for u in &ups {
-        e1.apply_update(u);
-        e2.apply_update(u);
+        e1.try_apply(u).unwrap();
+        e2.try_apply(u).unwrap();
     }
     // Re-running the same build twice must agree with itself...
     assert_eq!((e1.size(), e2.size()), (GOLDEN_K1_SIZE, GOLDEN_K2_SIZE));
@@ -225,15 +244,28 @@ const GOLDEN_K2_FP: u64 = 420742237401555229;
 fn all_engines_survive_identical_schedule() {
     let (g, ups) = schedule(99, 30, 55, 250);
     let mut engines: Vec<Box<dyn DynamicMis>> = vec![
-        Box::new(DyOneSwap::new(g.clone(), &[])),
-        Box::new(DyTwoSwap::new(g.clone(), &[])),
-        Box::new(GenericKSwap::new(g.clone(), &[], 3)),
-        Box::new(DyArw::new(g.clone(), &[])),
-        Box::new(Restart::new(g, RestartSolver::Greedy, 16)),
+        Box::new(
+            EngineBuilder::on(g.clone())
+                .build_as::<DyOneSwap>()
+                .unwrap(),
+        ),
+        Box::new(
+            EngineBuilder::on(g.clone())
+                .build_as::<DyTwoSwap>()
+                .unwrap(),
+        ),
+        Box::new(
+            EngineBuilder::on(g.clone())
+                .k(3)
+                .build_as::<GenericKSwap>()
+                .unwrap(),
+        ),
+        Box::new(EngineBuilder::on(g.clone()).build_as::<DyArw>().unwrap()),
+        Box::new(Restart::from_builder(EngineBuilder::on(g), RestartSolver::Greedy, 16).unwrap()),
     ];
     for u in &ups {
         for e in engines.iter_mut() {
-            e.apply_update(u);
+            e.try_apply(u).unwrap();
         }
     }
     let edges = engines[0].graph().num_edges();

@@ -5,6 +5,7 @@
 use dynamis::core::EngineConfig;
 use dynamis::gen::{stream::StreamConfig, uniform::gnm, UpdateStream};
 use dynamis::statics::verify::is_k_maximal_dynamic;
+use dynamis::EngineBuilder;
 use dynamis::{DyOneSwap, DyTwoSwap, DynamicMis, Update};
 
 #[test]
@@ -12,10 +13,10 @@ fn stats_counters_track_what_happened() {
     // Star: inserting the center edge forces an eviction and a 1-swap
     // cascade; counters must reflect real events.
     let g = dynamis::DynamicGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3)]);
-    let mut e = DyOneSwap::new(g, &[]);
+    let mut e = EngineBuilder::on(g).build_as::<DyOneSwap>().unwrap();
     let before = e.stats();
-    e.apply_update(&Update::InsertEdge(0, 4));
-    e.apply_update(&Update::RemoveEdge(0, 1));
+    e.try_apply(&Update::InsertEdge(0, 4)).unwrap();
+    e.try_apply(&Update::RemoveEdge(0, 1)).unwrap();
     let after = e.stats();
     assert_eq!(after.updates, before.updates + 2);
     assert!(after.one_swaps >= before.one_swaps);
@@ -35,7 +36,10 @@ fn two_swap_counter_fires_on_a_crafted_two_swap() {
     let g = dynamis::DynamicGraph::from_edges(5, &[(0, 2), (0, 3), (1, 3), (1, 4)]);
     assert!(is_k_maximal_dynamic(&g, &[0, 1], 1), "no 1-swap by design");
     assert!(!is_k_maximal_dynamic(&g, &[0, 1], 2), "2-swap exists");
-    let e = DyTwoSwap::new(g, &[0, 1]);
+    let e = EngineBuilder::on(g)
+        .initial(&[0, 1])
+        .build_as::<DyTwoSwap>()
+        .unwrap();
     assert_eq!(e.size(), 3, "the 2-swap is taken at construction");
     assert!(e.stats().two_swaps >= 1, "counted as a 2-swap");
 }
@@ -44,18 +48,19 @@ fn two_swap_counter_fires_on_a_crafted_two_swap() {
 fn perturbation_changes_trajectories_but_keeps_invariants() {
     let g = gnm(40, 80, 3);
     let ups = UpdateStream::new(&g, StreamConfig::default(), 4).take_updates(400);
-    let mut plain = DyOneSwap::new(g.clone(), &[]);
-    let mut perturbed = DyOneSwap::with_config(
-        g,
-        &[],
-        EngineConfig {
+    let mut plain = EngineBuilder::on(g.clone())
+        .build_as::<DyOneSwap>()
+        .unwrap();
+    let mut perturbed = EngineBuilder::on(g)
+        .config(EngineConfig {
             perturbation: true,
             perturb_budget: 2,
-        },
-    );
+        })
+        .build_as::<DyOneSwap>()
+        .unwrap();
     for u in &ups {
-        plain.apply_update(u);
-        perturbed.apply_update(u);
+        plain.try_apply(u).unwrap();
+        perturbed.try_apply(u).unwrap();
     }
     plain.check_consistency().unwrap();
     perturbed.check_consistency().unwrap();
@@ -74,13 +79,15 @@ fn perturbation_changes_trajectories_but_keeps_invariants() {
 fn batch_and_per_update_end_in_the_same_invariant_class() {
     let g = gnm(30, 60, 7);
     let ups = UpdateStream::new(&g, StreamConfig::default(), 8).take_updates(300);
-    let mut one_by_one = DyTwoSwap::new(g.clone(), &[]);
+    let mut one_by_one = EngineBuilder::on(g.clone())
+        .build_as::<DyTwoSwap>()
+        .unwrap();
     for u in &ups {
-        one_by_one.apply_update(u);
+        one_by_one.try_apply(u).unwrap();
     }
-    let mut batched = DyTwoSwap::new(g, &[]);
+    let mut batched = EngineBuilder::on(g).build_as::<DyTwoSwap>().unwrap();
     for chunk in ups.chunks(64) {
-        batched.apply_batch(chunk);
+        batched.try_apply_batch(chunk).unwrap();
     }
     for e in [&one_by_one, &batched] {
         e.check_consistency().unwrap();
@@ -95,21 +102,32 @@ fn batch_and_per_update_end_in_the_same_invariant_class() {
 
 #[test]
 fn heap_accounting_is_monotone_in_graph_size() {
-    let small = DyTwoSwap::new(gnm(100, 200, 1), &[]);
-    let large = DyTwoSwap::new(gnm(10_000, 20_000, 1), &[]);
+    let small = EngineBuilder::on(gnm(100, 200, 1))
+        .build_as::<DyTwoSwap>()
+        .unwrap();
+    let large = EngineBuilder::on(gnm(10_000, 20_000, 1))
+        .build_as::<DyTwoSwap>()
+        .unwrap();
     assert!(large.heap_bytes() > small.heap_bytes());
     assert!(small.heap_bytes() > 0);
 }
 
 #[test]
-fn duplicate_edge_insert_and_missing_edge_remove_are_tolerated() {
-    // The update vocabulary permits redundant operations; engines must
-    // treat them as no-ops rather than corrupting state.
+fn duplicate_edge_insert_and_missing_edge_remove_are_rejected() {
+    // The session API rejects redundant operations gracefully — an
+    // `Err` with the engine state untouched, never a panic or silent
+    // corruption.
     let g = dynamis::DynamicGraph::from_edges(4, &[(0, 1), (2, 3)]);
-    let mut e = DyTwoSwap::new(g, &[]);
+    let mut e = EngineBuilder::on(g).build_as::<DyTwoSwap>().unwrap();
     let size = e.size();
-    e.apply_update(&Update::InsertEdge(0, 1)); // already present
-    e.apply_update(&Update::RemoveEdge(0, 2)); // never existed
+    assert!(matches!(
+        e.try_apply(&Update::InsertEdge(0, 1)), // already present
+        Err(dynamis::EngineError::DuplicateEdge(0, 1))
+    ));
+    assert!(matches!(
+        e.try_apply(&Update::RemoveEdge(0, 2)), // never existed
+        Err(dynamis::EngineError::MissingEdge(0, 2))
+    ));
     e.check_consistency().unwrap();
     assert_eq!(e.size(), size);
     assert_eq!(e.graph().num_edges(), 2);
@@ -118,7 +136,7 @@ fn duplicate_edge_insert_and_missing_edge_remove_are_tolerated() {
 #[test]
 fn solution_and_contains_agree() {
     let g = gnm(50, 120, 11);
-    let e = DyOneSwap::new(g, &[]);
+    let e = EngineBuilder::on(g).build_as::<DyOneSwap>().unwrap();
     let sol = e.solution();
     let set: std::collections::BTreeSet<u32> = sol.iter().copied().collect();
     for v in 0..50u32 {

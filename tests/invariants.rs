@@ -5,6 +5,7 @@
 
 use dynamis::gen::{stream::StreamConfig, uniform::gnm, UpdateStream};
 use dynamis::statics::verify::{is_k_maximal_dynamic, is_maximal_dynamic};
+use dynamis::EngineBuilder;
 use dynamis::{DyArw, DyOneSwap, DyTwoSwap, DynamicMis, GenericKSwap, MaximalOnly};
 
 fn schedule(
@@ -23,9 +24,9 @@ fn schedule(
 fn dy_one_swap_stays_one_maximal() {
     for seed in 0..6u64 {
         let (g, ups) = schedule(seed, 24, 40, 120);
-        let mut e = DyOneSwap::new(g, &[]);
+        let mut e = EngineBuilder::on(g).build_as::<DyOneSwap>().unwrap();
         for (i, u) in ups.iter().enumerate() {
-            e.apply_update(u);
+            e.try_apply(u).unwrap();
             e.check_consistency()
                 .unwrap_or_else(|err| panic!("seed {seed} step {i}: {err}"));
             if i % 7 == 0 {
@@ -42,9 +43,9 @@ fn dy_one_swap_stays_one_maximal() {
 fn dy_two_swap_stays_two_maximal() {
     for seed in 0..6u64 {
         let (g, ups) = schedule(seed, 20, 32, 100);
-        let mut e = DyTwoSwap::new(g, &[]);
+        let mut e = EngineBuilder::on(g).build_as::<DyTwoSwap>().unwrap();
         for (i, u) in ups.iter().enumerate() {
-            e.apply_update(u);
+            e.try_apply(u).unwrap();
             e.check_consistency()
                 .unwrap_or_else(|err| panic!("seed {seed} step {i}: {err}"));
             if i % 9 == 0 {
@@ -62,9 +63,12 @@ fn generic_engine_matches_its_k() {
     for k in 1..=3usize {
         for seed in 0..3u64 {
             let (g, ups) = schedule(seed.wrapping_add(77), 16, 24, 60);
-            let mut e = GenericKSwap::new(g, &[], k);
+            let mut e = EngineBuilder::on(g)
+                .k(k)
+                .build_as::<GenericKSwap>()
+                .unwrap();
             for (i, u) in ups.iter().enumerate() {
-                e.apply_update(u);
+                e.try_apply(u).unwrap();
                 e.check_consistency()
                     .unwrap_or_else(|err| panic!("k={k} seed {seed} step {i}: {err}"));
                 if i % 11 == 0 {
@@ -82,9 +86,9 @@ fn generic_engine_matches_its_k() {
 fn dyarw_matches_one_swap_invariant() {
     for seed in 0..4u64 {
         let (g, ups) = schedule(seed ^ 0x5a5a, 22, 36, 100);
-        let mut e = DyArw::new(g, &[]);
+        let mut e = EngineBuilder::on(g).build_as::<DyArw>().unwrap();
         for (i, u) in ups.iter().enumerate() {
-            e.apply_update(u);
+            e.try_apply(u).unwrap();
             if i % 8 == 0 {
                 assert!(
                     is_k_maximal_dynamic(e.graph(), &e.solution(), 1),
@@ -99,17 +103,34 @@ fn dyarw_matches_one_swap_invariant() {
 fn every_engine_is_always_maximal() {
     let (g, ups) = schedule(99, 30, 60, 150);
     let mut engines: Vec<Box<dyn DynamicMis>> = vec![
-        Box::new(DyOneSwap::new(g.clone(), &[])),
-        Box::new(DyTwoSwap::new(g.clone(), &[])),
-        Box::new(GenericKSwap::new(g.clone(), &[], 2)),
-        Box::new(DyArw::new(g.clone(), &[])),
-        Box::new(MaximalOnly::new(g.clone(), &[])),
-        Box::new(dynamis::DgDis::one_dis(g.clone(), &[])),
-        Box::new(dynamis::DgDis::two_dis(g, &[])),
+        Box::new(
+            EngineBuilder::on(g.clone())
+                .build_as::<DyOneSwap>()
+                .unwrap(),
+        ),
+        Box::new(
+            EngineBuilder::on(g.clone())
+                .build_as::<DyTwoSwap>()
+                .unwrap(),
+        ),
+        Box::new(
+            EngineBuilder::on(g.clone())
+                .k(2)
+                .build_as::<GenericKSwap>()
+                .unwrap(),
+        ),
+        Box::new(EngineBuilder::on(g.clone()).build_as::<DyArw>().unwrap()),
+        Box::new(
+            EngineBuilder::on(g.clone())
+                .build_as::<MaximalOnly>()
+                .unwrap(),
+        ),
+        Box::new(dynamis::DgDis::one_dis(EngineBuilder::on(g.clone())).unwrap()),
+        Box::new(dynamis::DgDis::two_dis(EngineBuilder::on(g)).unwrap()),
     ];
     for (i, u) in ups.iter().enumerate() {
         for e in engines.iter_mut() {
-            e.apply_update(u);
+            e.try_apply(u).unwrap();
             assert!(
                 is_maximal_dynamic(e.graph(), &e.solution()),
                 "{} lost maximality at step {i} after {u:?}",
@@ -125,13 +146,17 @@ fn engines_agree_on_final_graph_shape() {
     // All engines own their graph copies; after replaying the same
     // schedule every copy must be the identical graph.
     let (g, ups) = schedule(7, 26, 50, 200);
-    let mut a = DyOneSwap::new(g.clone(), &[]);
-    let mut b = DyTwoSwap::new(g.clone(), &[]);
-    let mut c = MaximalOnly::new(g, &[]);
+    let mut a = EngineBuilder::on(g.clone())
+        .build_as::<DyOneSwap>()
+        .unwrap();
+    let mut b = EngineBuilder::on(g.clone())
+        .build_as::<DyTwoSwap>()
+        .unwrap();
+    let mut c = EngineBuilder::on(g).build_as::<MaximalOnly>().unwrap();
     for u in &ups {
-        a.apply_update(u);
-        b.apply_update(u);
-        c.apply_update(u);
+        a.try_apply(u).unwrap();
+        b.try_apply(u).unwrap();
+        c.try_apply(u).unwrap();
     }
     assert_eq!(a.graph().num_edges(), b.graph().num_edges());
     assert_eq!(a.graph().num_vertices(), c.graph().num_vertices());
@@ -150,13 +175,17 @@ fn quality_ordering_holds_in_aggregate() {
     let mut sum0 = 0usize;
     for seed in 0..5u64 {
         let (g, ups) = schedule(seed.wrapping_mul(31) + 3, 40, 90, 250);
-        let mut e1 = DyOneSwap::new(g.clone(), &[]);
-        let mut e2 = DyTwoSwap::new(g.clone(), &[]);
-        let mut e0 = MaximalOnly::new(g, &[]);
+        let mut e1 = EngineBuilder::on(g.clone())
+            .build_as::<DyOneSwap>()
+            .unwrap();
+        let mut e2 = EngineBuilder::on(g.clone())
+            .build_as::<DyTwoSwap>()
+            .unwrap();
+        let mut e0 = EngineBuilder::on(g).build_as::<MaximalOnly>().unwrap();
         for u in &ups {
-            e1.apply_update(u);
-            e2.apply_update(u);
-            e0.apply_update(u);
+            e1.try_apply(u).unwrap();
+            e2.try_apply(u).unwrap();
+            e0.try_apply(u).unwrap();
         }
         sum1 += e1.size();
         sum2 += e2.size();

@@ -21,6 +21,7 @@
 
 use dynamis::statics::exact::{solve_exact, ExactConfig};
 use dynamis::statics::verify::{compact_live, is_k_maximal_dynamic};
+use dynamis::EngineBuilder;
 use dynamis::{DyOneSwap, DyTwoSwap, DynamicGraph, DynamicMis, Update};
 
 /// Fig. 4(a), 0-indexed: v1…v10 → 0…9.
@@ -50,7 +51,10 @@ fn initial_solution_matches_example_1() {
     // singleton, hence trivially a clique.
     assert!(is_k_maximal_dynamic(&g, &INITIAL, 1));
     // Seeding DyOneSwap with it performs no swap (the drain is a no-op).
-    let e = DyOneSwap::new(g, &INITIAL);
+    let e = EngineBuilder::on(g)
+        .initial(&INITIAL)
+        .build_as::<DyOneSwap>()
+        .unwrap();
     let mut sol = e.solution();
     sol.sort_unstable();
     assert_eq!(sol, INITIAL.to_vec(), "1-maximal input is kept verbatim");
@@ -59,7 +63,10 @@ fn initial_solution_matches_example_1() {
 #[test]
 fn example_2_one_swap_covers_fig_4c() {
     let g = fig4a();
-    let mut e = DyOneSwap::new(g, &INITIAL);
+    let mut e = EngineBuilder::on(g)
+        .initial(&INITIAL)
+        .build_as::<DyOneSwap>()
+        .unwrap();
     // The prose removes v4, swaps v6 with v5, and re-inserts v8, landing
     // on the Fig. 4(c) state of size 4. The eviction rule as *stated* in
     // §IV-A ("if one of them, say v, with ¯I₁(v) ≠ ∅, it removes v")
@@ -67,7 +74,7 @@ fn example_2_one_swap_covers_fig_4c() {
     // {v7, v10} 1-swap at v9) reaches size 5 — a different tie-break of
     // the same algorithm, strictly better than the walk-through. The
     // invariant-forced outcomes are what we pin down.
-    e.apply_update(&Update::InsertEdge(2, 3));
+    e.try_apply(&Update::InsertEdge(2, 3)).unwrap();
     e.check_consistency().unwrap();
     assert!(e.size() >= 4, "never below the Fig. 4(c) size");
     assert!(is_k_maximal_dynamic(e.graph(), &e.solution(), 1));
@@ -78,8 +85,11 @@ fn example_2_one_swap_covers_fig_4c() {
 #[test]
 fn example_3_two_swap_meets_or_beats_fig_4d() {
     let g = fig4a();
-    let mut e = DyTwoSwap::new(g, &INITIAL);
-    e.apply_update(&Update::InsertEdge(2, 3));
+    let mut e = EngineBuilder::on(g)
+        .initial(&INITIAL)
+        .build_as::<DyTwoSwap>()
+        .unwrap();
+    e.try_apply(&Update::InsertEdge(2, 3)).unwrap();
     e.check_consistency().unwrap();
     // The prose lands on Fig. 4(d) with |I| = 5. Note the optimum of the
     // updated graph is actually 6: after (v3, v4) is inserted, the six
@@ -123,10 +133,12 @@ fn example_3_candidate_pairs_exist_before_the_swap() {
 fn theorem_1_edge_stream_reduction() {
     let g = fig4a();
     let edges: Vec<(u32, u32)> = g.edges().collect();
-    let mut e = DyTwoSwap::new(DynamicGraph::from_edges(10, &[]), &[]);
+    let mut e = EngineBuilder::on(DynamicGraph::from_edges(10, &[]))
+        .build_as::<DyTwoSwap>()
+        .unwrap();
     assert_eq!(e.size(), 10, "empty graph: everything is independent");
     for &(u, v) in &edges {
-        e.apply_update(&Update::InsertEdge(u, v));
+        e.try_apply(&Update::InsertEdge(u, v)).unwrap();
         let bound = dynamis::core::approximation_bound(e.graph().max_degree());
         let (csr, _) = compact_live(e.graph());
         let alpha = solve_exact(&csr, ExactConfig::default())

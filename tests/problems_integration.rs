@@ -12,6 +12,7 @@ use dynamis::problems::{
 };
 use dynamis::statics::verify::{compact_live, is_independent};
 use dynamis::statics::ExactConfig;
+use dynamis::EngineBuilder;
 use dynamis::{DyOneSwap, DyTwoSwap, DynamicMis};
 
 /// The dynamic vertex cover stays a valid cover through an entire
@@ -21,9 +22,9 @@ fn dynamic_vertex_cover_valid_throughout() {
     for seed in 0..5u64 {
         let g = gnm(26, 45, seed);
         let ups = UpdateStream::new(&g, StreamConfig::default(), seed + 7).take_updates(150);
-        let mut vc = DynamicVertexCover::new(DyOneSwap::new(g, &[]));
+        let mut vc = DynamicVertexCover::new(EngineBuilder::on(g).build_as::<DyOneSwap>().unwrap());
         for (i, u) in ups.iter().enumerate() {
-            vc.apply_update(u);
+            vc.try_apply(u).unwrap();
             assert!(vc.verify(), "seed {seed} step {i}: cover broken");
             assert_eq!(
                 vc.size() + vc.engine().size(),
@@ -42,7 +43,11 @@ fn dynamic_vertex_cover_valid_throughout() {
 fn dynamic_cover_is_competitive_with_matching() {
     for seed in 0..4u64 {
         let g = gnm(40, 80, seed);
-        let vc = DynamicVertexCover::new(DyTwoSwap::new(g.clone(), &[]));
+        let vc = DynamicVertexCover::new(
+            EngineBuilder::on(g.clone())
+                .build_as::<DyTwoSwap>()
+                .unwrap(),
+        );
         let (csr, _) = compact_live(&g);
         let matching = matching_vertex_cover(&csr);
         assert!(is_vertex_cover(&g, &vc.cover()));
@@ -78,7 +83,7 @@ fn engines_on_interval_conflict_graphs() {
             .collect();
         let alpha = max_non_overlapping(&intervals).len();
         let g = interval_conflict_dynamic(&intervals);
-        let e = DyTwoSwap::new(g, &[]);
+        let e = EngineBuilder::on(g).build_as::<DyTwoSwap>().unwrap();
         assert!(e.size() <= alpha, "round {round}: beats the optimum?!");
         // Interval graphs are perfect; 2-maximal local optima are strong
         // here. Require at least 2/3 of optimal as a regression tripwire.
@@ -107,7 +112,7 @@ fn labeling_grid_selects_one_candidate_per_feature() {
         }
     }
     let g = label_conflict_dynamic(&labels);
-    let e = DyTwoSwap::new(g, &[]);
+    let e = EngineBuilder::on(g).build_as::<DyTwoSwap>().unwrap();
     assert_eq!(e.size(), 24, "every feature labeled once");
     let csr = label_conflict_graph(&labels);
     assert!(is_independent(&csr, &e.solution()));

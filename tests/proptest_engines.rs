@@ -6,6 +6,7 @@ use dynamis::statics::exact::{solve_exact, ExactConfig};
 use dynamis::statics::verify::{
     brute_force_alpha, compact_live, is_independent_dynamic, is_k_maximal_dynamic,
 };
+use dynamis::EngineBuilder;
 use dynamis::{DyOneSwap, DyTwoSwap, DynamicMis};
 use proptest::prelude::*;
 
@@ -20,9 +21,9 @@ proptest! {
         let g = gnm(n, m, seed);
         let mut stream = UpdateStream::new(&g, StreamConfig::default(), seed ^ 0xdead);
         let ups = stream.take_updates(steps);
-        let mut e = DyOneSwap::new(g, &[]);
+        let mut e = EngineBuilder::on(g).build_as::<DyOneSwap>().unwrap();
         for u in &ups {
-            e.apply_update(u);
+            e.try_apply(u).unwrap();
         }
         e.check_consistency().map_err(TestCaseError::fail)?;
         prop_assert!(is_independent_dynamic(e.graph(), &e.solution()));
@@ -36,9 +37,9 @@ proptest! {
         let g = gnm(n, m, seed);
         let mut stream = UpdateStream::new(&g, StreamConfig::default(), seed ^ 0xbeef);
         let ups = stream.take_updates(steps);
-        let mut e = DyTwoSwap::new(g, &[]);
+        let mut e = EngineBuilder::on(g).build_as::<DyTwoSwap>().unwrap();
         for u in &ups {
-            e.apply_update(u);
+            e.try_apply(u).unwrap();
         }
         e.check_consistency().map_err(TestCaseError::fail)?;
         prop_assert!(is_k_maximal_dynamic(e.graph(), &e.solution(), 2));
@@ -51,9 +52,9 @@ proptest! {
         let g = gnm(n, m, seed);
         let mut stream = UpdateStream::new(&g, StreamConfig::edges_only(), seed + 5);
         let ups = stream.take_updates(30);
-        let mut e = DyOneSwap::new(g, &[]);
+        let mut e = EngineBuilder::on(g).build_as::<DyOneSwap>().unwrap();
         for u in &ups {
-            e.apply_update(u);
+            e.try_apply(u).unwrap();
         }
         let (csr, _) = compact_live(e.graph());
         let alpha = brute_force_alpha(&csr);
@@ -94,11 +95,11 @@ proptest! {
         let g = gnm(n, 2 * n, seed);
         let mut stream = UpdateStream::new(&g, StreamConfig::default(), seed * 7 + 1);
         let ups = stream.take_updates(50);
-        let mut e1 = DyOneSwap::new(g.clone(), &[]);
-        let mut e2 = DyTwoSwap::new(g, &[]);
+        let mut e1 = EngineBuilder::on(g.clone()).build_as::<DyOneSwap>().unwrap();
+        let mut e2 = EngineBuilder::on(g).build_as::<DyTwoSwap>().unwrap();
         for u in &ups {
-            e1.apply_update(u);
-            e2.apply_update(u);
+            e1.try_apply(u).unwrap();
+            e2.try_apply(u).unwrap();
         }
         // Both are 1-maximal; e2 additionally 2-maximal. Individual runs
         // can differ either way by swap luck, but e2 can never be *worse*

@@ -8,6 +8,7 @@ use dynamis::gen::{stream::StreamConfig, uniform::gnm, UpdateStream};
 use dynamis::graph::algo::{greedy_matching, hopcroft_karp, koenig_vertex_cover, two_coloring};
 use dynamis::statics::certify::{certify_independent, certify_one_maximal};
 use dynamis::statics::verify::{compact_live, is_k_maximal_dynamic};
+use dynamis::EngineBuilder;
 use dynamis::{DyOneSwap, DyTwoSwap, DynamicMis, GenericKSwap, Snapshot};
 use proptest::prelude::*;
 
@@ -21,14 +22,14 @@ proptest! {
         let m = (2 * n).min(n * (n - 1) / 2);
         let g = gnm(n, m, seed);
         let ups = UpdateStream::new(&g, StreamConfig::default(), seed ^ 0x51a).take_updates(steps);
-        let mut e = DyTwoSwap::new(g, &[]);
+        let mut e = EngineBuilder::on(g).build_as::<DyTwoSwap>().unwrap();
         for u in &ups {
-            e.apply_update(u);
+            e.try_apply(u).unwrap();
         }
         let snap = Snapshot::capture(&e);
         let back = Snapshot::decode(&snap.encode()).map_err(|x| TestCaseError::fail(x.to_string()))?;
         prop_assert_eq!(&back.solution, &snap.solution);
-        let resumed = back.resume_two_swap();
+        let resumed = EngineBuilder::new().resume(back.clone()).build_as::<DyTwoSwap>().unwrap();
         resumed.check_consistency().map_err(TestCaseError::fail)?;
         prop_assert_eq!(resumed.size(), e.size());
     }
@@ -40,9 +41,9 @@ proptest! {
         let m = (2 * n).min(n * (n - 1) / 2);
         let g = gnm(n, m, seed);
         let ups = UpdateStream::new(&g, StreamConfig::default(), seed ^ 0xcafe).take_updates(steps);
-        let mut e = DyOneSwap::new(g, &[]);
+        let mut e = EngineBuilder::on(g).build_as::<DyOneSwap>().unwrap();
         for u in &ups {
-            e.apply_update(u);
+            e.try_apply(u).unwrap();
         }
         let sol = e.solution();
         certify_independent(e.graph(), &sol).map_err(|v| TestCaseError::fail(v.to_string()))?;
@@ -57,9 +58,9 @@ proptest! {
         let m = (2 * n).min(n * (n - 1) / 2);
         let g = gnm(n, m, seed);
         let ups = UpdateStream::new(&g, StreamConfig::default(), seed ^ 0xabba).take_updates(steps);
-        let mut e = GenericKSwap::new(g, &[], 3);
+        let mut e = EngineBuilder::on(g).k(3).build_as::<GenericKSwap>().unwrap();
         for u in &ups {
-            e.apply_update(u);
+            e.try_apply(u).unwrap();
         }
         prop_assert!(is_k_maximal_dynamic(e.graph(), &e.solution(), 3));
     }
@@ -70,9 +71,9 @@ proptest! {
         let m = (2 * n).min(n * (n - 1) / 2);
         let g = gnm(n, m, seed);
         let ups = UpdateStream::new(&g, StreamConfig::default(), seed ^ 0xf00d).take_updates(steps);
-        let mut e = Restart::new(g, RestartSolver::Greedy, interval);
+        let mut e = Restart::from_builder(EngineBuilder::on(g), RestartSolver::Greedy, interval).unwrap();
         for u in &ups {
-            e.apply_update(u);
+            e.try_apply(u).unwrap();
             e.check_valid().map_err(TestCaseError::fail)?;
         }
     }
@@ -82,9 +83,9 @@ proptest! {
     fn burst_workloads_preserve_invariants(seed in 0u64..10_000, n in 8usize..30, bursts in 1usize..5) {
         let base = gnm(n, n, seed);
         let wl = burst(base, BurstConfig { bursts, burst_size: 6, decay: 0.5 }, seed ^ 0xd00d);
-        let mut e = DyOneSwap::new(wl.graph.clone(), &[]);
+        let mut e = EngineBuilder::on(wl.graph.clone()).build_as::<DyOneSwap>().unwrap();
         for u in &wl.updates {
-            e.apply_update(u);
+            e.try_apply(u).unwrap();
         }
         e.check_consistency().map_err(TestCaseError::fail)?;
         prop_assert!(is_k_maximal_dynamic(e.graph(), &e.solution(), 1));

@@ -6,6 +6,7 @@ use dynamis::gen::temporal::{burst, sliding_window, BurstConfig, SlidingWindowCo
 use dynamis::gen::trace::{read_trace, write_trace};
 use dynamis::gen::{rmat, uniform::gnm, RmatConfig};
 use dynamis::statics::verify::{is_k_maximal_dynamic, is_maximal_dynamic};
+use dynamis::EngineBuilder;
 use dynamis::{DyOneSwap, DyTwoSwap, DynamicMis, MaximalOnly};
 
 #[test]
@@ -18,9 +19,11 @@ fn one_swap_survives_sliding_window() {
         },
         11,
     );
-    let mut e = DyOneSwap::new(wl.graph.clone(), &[]);
+    let mut e = EngineBuilder::on(wl.graph.clone())
+        .build_as::<DyOneSwap>()
+        .unwrap();
     for (i, u) in wl.updates.iter().enumerate() {
-        e.apply_update(u);
+        e.try_apply(u).unwrap();
         if i % 97 == 0 {
             e.check_consistency().unwrap();
             assert!(is_k_maximal_dynamic(e.graph(), &e.solution(), 1));
@@ -43,9 +46,11 @@ fn two_swap_survives_bursts() {
         },
         5,
     );
-    let mut e = DyTwoSwap::new(wl.graph.clone(), &[]);
+    let mut e = EngineBuilder::on(wl.graph.clone())
+        .build_as::<DyTwoSwap>()
+        .unwrap();
     for (i, u) in wl.updates.iter().enumerate() {
-        e.apply_update(u);
+        e.try_apply(u).unwrap();
         if i % 71 == 0 {
             e.check_consistency().unwrap();
         }
@@ -63,11 +68,15 @@ fn two_swap_survives_bursts() {
 fn burst_quality_engine_at_least_matches_repair_baseline() {
     let base = gnm(80, 140, 9);
     let wl = burst(base, BurstConfig::default(), 13);
-    let mut engine = DyOneSwap::new(wl.graph.clone(), &[]);
-    let mut floor = MaximalOnly::new(wl.graph.clone(), &[]);
+    let mut engine = EngineBuilder::on(wl.graph.clone())
+        .build_as::<DyOneSwap>()
+        .unwrap();
+    let mut floor = EngineBuilder::on(wl.graph.clone())
+        .build_as::<MaximalOnly>()
+        .unwrap();
     for u in &wl.updates {
-        engine.apply_update(u);
-        floor.apply_update(u);
+        engine.try_apply(u).unwrap();
+        floor.try_apply(u).unwrap();
     }
     assert!(is_maximal_dynamic(floor.graph(), &floor.solution()));
     assert!(
@@ -88,13 +97,17 @@ fn trace_round_trip_preserves_engine_behavior() {
     write_trace(&wl, &mut buf).unwrap();
     let back = read_trace(buf.as_slice()).unwrap();
 
-    let mut a = DyTwoSwap::new(wl.graph.clone(), &[]);
+    let mut a = EngineBuilder::on(wl.graph.clone())
+        .build_as::<DyTwoSwap>()
+        .unwrap();
     for u in &wl.updates {
-        a.apply_update(u);
+        a.try_apply(u).unwrap();
     }
-    let mut b = DyTwoSwap::new(back.graph.clone(), &[]);
+    let mut b = EngineBuilder::on(back.graph.clone())
+        .build_as::<DyTwoSwap>()
+        .unwrap();
     for u in &back.updates {
-        b.apply_update(u);
+        b.try_apply(u).unwrap();
     }
     assert_eq!(a.solution(), b.solution(), "determinism across the codec");
 }
@@ -103,7 +116,9 @@ fn trace_round_trip_preserves_engine_behavior() {
 #[test]
 fn engines_run_on_rmat_graphs() {
     let g = rmat(9, 2000, RmatConfig::default(), 17);
-    let e2 = DyTwoSwap::new(g.clone(), &[]);
+    let e2 = EngineBuilder::on(g.clone())
+        .build_as::<DyTwoSwap>()
+        .unwrap();
     assert!(e2.size() > 0);
     assert!(is_maximal_dynamic(e2.graph(), &e2.solution()));
     // Heavy-tailed degrees: the ratio bound is loose but must hold.

@@ -6,6 +6,7 @@
 use dynamis::gen::plb::PlbFit;
 use dynamis::gen::{datasets, StreamConfig, Update, UpdateStream};
 use dynamis::statics::verify::is_maximal_dynamic;
+use dynamis::EngineBuilder;
 use dynamis::{CsrGraph, DyOneSwap, DynamicMis};
 
 #[test]
@@ -16,9 +17,9 @@ fn dataset_standins_run_end_to_end() {
         let spec = datasets::by_name(name).unwrap();
         let g = spec.build();
         let ups = UpdateStream::new(&g, StreamConfig::default(), 1).take_updates(2_000);
-        let mut e = DyOneSwap::new(g, &[]);
+        let mut e = EngineBuilder::on(g).build_as::<DyOneSwap>().unwrap();
         for u in &ups {
-            e.apply_update(u);
+            e.try_apply(u).unwrap();
         }
         e.check_consistency().unwrap();
         assert!(is_maximal_dynamic(e.graph(), &e.solution()));
