@@ -206,6 +206,19 @@ fn main() {
                 "{}: intrusive layout must not hash on the inner loop",
                 r.name
             );
+            // Candidate-vector pooling (C₁ recycle + in-place
+            // validation) keeps steady-state allocations near
+            // ~1.07 (k=1) / ~1.25 (k=2) — the remainder is the delta
+            // vectors the session API hands to callers by ownership.
+            // The bound sits between that and the pre-pooling
+            // ~1.53/1.85, so a dead pool fails loudly while normal
+            // workload variance does not.
+            assert!(
+                r.allocs_per_update < 1.4,
+                "{}: allocs/update regressed to {:.3} (pooling broken?)",
+                r.name,
+                r.allocs_per_update
+            );
         } else {
             assert!(
                 r.hot_hash_probes > 0,

@@ -15,7 +15,7 @@
 //! Not used by any production path — benchmark and differential-test
 //! reference only.
 
-use dynamis_core::{validate_update, DeltaFeed, DynamicMis, EngineError, SolutionDelta};
+use dynamis_core::{DeltaFeed, DynamicMis, EngineError, SolutionDelta};
 use dynamis_graph::collections::StampSet;
 use dynamis_graph::hash::{pair_key, unpack_pair, FxHashMap};
 use dynamis_graph::{DynamicGraph, Update};
@@ -767,13 +767,34 @@ impl HashIndexedEngine {
     }
 
     fn insert_vertex(&mut self, id: u32, neighbors: &[u32]) -> Result<(), EngineError> {
-        validate_update(
-            &self.st.g,
-            &Update::InsertVertex {
-                id,
-                neighbors: neighbors.to_vec(),
-            },
-        )?;
+        // Same rejection surface (and check order) as `validate_update`'s
+        // InsertVertex arm, but in place: building a throwaway `Update`
+        // would charge two allocations per vertex insert to this replica
+        // only, skewing the bench's alloc-tracked comparison.
+        let next = self.st.g.next_vertex_id();
+        if next != id {
+            return Err(dynamis_graph::GraphError::IdMismatch {
+                expected: id,
+                got: next,
+            }
+            .into());
+        }
+        for &n in neighbors {
+            if !self.st.g.is_alive(n) {
+                return Err(dynamis_graph::GraphError::VertexNotFound(n).into());
+            }
+        }
+        // `validate_update` sorts and reports the smallest duplicated
+        // value; match that payload so error-differential tests agree.
+        let mut dup: Option<u32> = None;
+        for (i, &n) in neighbors.iter().enumerate() {
+            if neighbors[..i].contains(&n) {
+                dup = Some(dup.map_or(n, |d| d.min(n)));
+            }
+        }
+        if let Some(n) = dup {
+            return Err(EngineError::DuplicateEdge(id, n));
+        }
         let v = self.st.g.add_vertex();
         let cap = self.st.g.capacity();
         self.st.ensure_capacity(cap);

@@ -84,6 +84,13 @@ impl EngineBuilder {
         self
     }
 
+    /// The `k` this builder was explicitly configured with, if any.
+    /// The fixed-k engines ([`DyOneSwap`], [`DyTwoSwap`]) use it to
+    /// reject a session whose requested depth they cannot maintain.
+    pub fn requested_k(&self) -> Option<usize> {
+        self.k
+    }
+
     /// Resumes from a checkpoint: the snapshot's graph and solution
     /// become the session's graph and initial set. This subsumes the
     /// per-engine `resume_*` constructors — any engine type (any `k`,
@@ -226,6 +233,23 @@ mod tests {
             assert_eq!(e.name(), name);
             assert!(e.size() >= 2);
         }
+    }
+
+    #[test]
+    fn fixed_k_engines_reject_a_mismatched_explicit_k() {
+        // Silent downgrade is the trap: a session asking for k = 2 must
+        // not get a 1-maximal engine without an error.
+        assert!(matches!(
+            EngineBuilder::on(p5()).k(2).build_as::<DyOneSwap>(),
+            Err(EngineError::BadParameter(_))
+        ));
+        assert!(matches!(
+            EngineBuilder::on(p5()).k(1).build_as::<DyTwoSwap>(),
+            Err(EngineError::BadParameter(_))
+        ));
+        // Matching or unset k stays fine — the type picks the depth.
+        assert!(EngineBuilder::on(p5()).k(1).build_as::<DyOneSwap>().is_ok());
+        assert!(EngineBuilder::on(p5()).build_as::<DyTwoSwap>().is_ok());
     }
 
     #[test]

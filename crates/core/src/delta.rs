@@ -23,6 +23,7 @@
 //! no hash probes are added to the update hot path.
 
 use crate::engine::EngineStats;
+use crate::error::MirrorError;
 use dynamis_graph::hash::FxHashSet;
 
 /// The net change one update (or one batch / one drain) made to the
@@ -179,6 +180,7 @@ impl DeltaFeed {
 #[derive(Debug, Clone, Default)]
 pub struct SolutionMirror {
     in_set: FxHashSet<u32>,
+    seq: u64,
 }
 
 impl SolutionMirror {
@@ -188,32 +190,67 @@ impl SolutionMirror {
         Self::default()
     }
 
-    /// A mirror primed with an already-materialized solution.
+    /// A mirror primed with an already-materialized solution
+    /// (sequence number 0 — deltas applied are counted from here).
     pub fn from_solution(solution: &[u32]) -> Self {
         SolutionMirror {
             in_set: solution.iter().copied().collect(),
+            seq: 0,
         }
     }
 
-    /// Applies one delta. Fails (mirror unchanged) when the delta is
-    /// inconsistent with the mirrored state — a vertex entering twice or
-    /// leaving while absent means a delta was dropped or misordered.
-    pub fn apply(&mut self, delta: &SolutionDelta) -> Result<(), String> {
+    /// Applies one delta. Fails (mirror unchanged) with a typed
+    /// [`MirrorError`] when the delta is inconsistent with the mirrored
+    /// state — a vertex entering twice or leaving while absent means a
+    /// delta was dropped or misordered upstream. A delta violating the
+    /// [`SolutionDelta`] shape contract (strictly sorted,
+    /// duplicate-free lists) is rejected the same way: a duplicated
+    /// vertex would otherwise collapse silently in the set.
+    pub fn apply(&mut self, delta: &SolutionDelta) -> Result<(), MirrorError> {
+        for w in delta.entered.windows(2) {
+            if w[0] >= w[1] {
+                return Err(MirrorError::EnterExisting {
+                    vertex: w[1],
+                    seq: self.seq,
+                });
+            }
+        }
+        for w in delta.left.windows(2) {
+            if w[0] >= w[1] {
+                return Err(MirrorError::LeaveAbsent {
+                    vertex: w[1],
+                    seq: self.seq,
+                });
+            }
+        }
         for &v in &delta.entered {
             if self.in_set.contains(&v) {
-                return Err(format!("delta enters {v} but the mirror already holds it"));
+                return Err(MirrorError::EnterExisting {
+                    vertex: v,
+                    seq: self.seq,
+                });
             }
         }
         for &v in &delta.left {
             if !self.in_set.contains(&v) {
-                return Err(format!("delta removes {v} but the mirror does not hold it"));
+                return Err(MirrorError::LeaveAbsent {
+                    vertex: v,
+                    seq: self.seq,
+                });
             }
         }
         for &v in &delta.left {
             self.in_set.remove(&v);
         }
         self.in_set.extend(delta.entered.iter().copied());
+        self.seq += 1;
         Ok(())
+    }
+
+    /// Number of deltas successfully applied since construction — the
+    /// mirror's position in its delta stream.
+    pub fn seq(&self) -> u64 {
+        self.seq
     }
 
     /// Mirrored solution size.
@@ -310,17 +347,37 @@ mod tests {
         m.apply(&d).unwrap();
         assert_eq!(m.solution(), vec![1, 4]);
         assert!(m.contains(4) && !m.contains(2));
-        // Entering an existing member is rejected without mutation.
-        assert!(m.apply(&d).is_err());
+        assert_eq!(m.seq(), 1);
+        // Entering an existing member is rejected without mutation, with
+        // the offending vertex and the mirror's position in the error.
+        assert_eq!(
+            m.apply(&d),
+            Err(MirrorError::EnterExisting { vertex: 1, seq: 1 })
+        );
         assert_eq!(m.len(), 2);
+        assert_eq!(m.seq(), 1, "a refused delta does not advance the seq");
         let bad = SolutionDelta {
             entered: vec![],
             left: vec![8],
             stats: EngineStats::default(),
         };
-        assert!(m.apply(&bad).is_err());
+        let err = m.apply(&bad).unwrap_err();
+        assert_eq!(err, MirrorError::LeaveAbsent { vertex: 8, seq: 1 });
+        assert_eq!((err.vertex(), err.seq()), (8, 1));
         let m2 = SolutionMirror::from_solution(&[4, 1]);
         assert_eq!(m2.solution(), m.solution());
+        // A delta violating the shape contract (duplicates inside one
+        // list) is corrupt and must not be half-applied silently.
+        let dup = SolutionDelta {
+            entered: vec![7, 7],
+            left: vec![],
+            stats: EngineStats::default(),
+        };
+        assert_eq!(
+            m.apply(&dup),
+            Err(MirrorError::EnterExisting { vertex: 7, seq: 1 })
+        );
+        assert!(!m.contains(7), "corrupt delta leaves the mirror unchanged");
     }
 
     #[test]

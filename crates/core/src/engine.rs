@@ -130,6 +130,8 @@ pub(crate) struct SwapEngine {
     /// Reusable candidate pools for FIND TWOSWAP.
     cy_buf: Vec<u32>,
     cz_buf: Vec<u32>,
+    /// Reusable buffer for the C₂ promotions of FIND ONESWAP.
+    promote_buf: Vec<u32>,
     stamp: StampSet,
     stamp2: StampSet,
     perturb_left: u32,
@@ -155,6 +157,7 @@ impl SwapEngine {
             scratch: Vec::new(),
             cy_buf: Vec::new(),
             cz_buf: Vec::new(),
+            promote_buf: Vec::new(),
             stamp: StampSet::with_capacity(cap),
             stamp2: StampSet::with_capacity(cap),
             perturb_left: 0,
@@ -281,29 +284,39 @@ impl SwapEngine {
     }
 
     /// FIND ONESWAP (Algorithm 2 lines 4–11 / Algorithm 3 lines 7–17).
-    fn find_one_swap(&mut self, v: u32, cands: Vec<u32>) {
+    /// The candidate vector comes from a [`C1Queue::pop`] and goes back
+    /// to the queue's free pool afterwards — steady state pops allocate
+    /// nothing.
+    fn find_one_swap(&mut self, v: u32, mut cands: Vec<u32>) {
+        self.find_one_swap_in(v, &mut cands);
+        self.c1.recycle(cands);
+    }
+
+    fn find_one_swap_in(&mut self, v: u32, cands: &mut Vec<u32>) {
         if !self.st.in_solution(v) {
             return; // stale candidate set
         }
-        // Validate & dedup C(v): members must still be count-1 children
-        // of v.
+        // Validate & dedup C(v) in place: members must still be count-1
+        // children of v.
         self.stamp.clear();
-        let mut valid: Vec<u32> = Vec::with_capacity(cands.len());
-        for u in cands {
-            if self.st.g.is_alive(u)
-                && !self.st.in_solution(u)
-                && self.st.count(u) == 1
-                && self.st.parent1(u) == v
-                && !self.stamp.is_marked(u)
-            {
-                self.stamp.mark(u);
-                valid.push(u);
-            }
+        {
+            let (st, stamp) = (&self.st, &mut self.stamp);
+            cands.retain(|&u| {
+                st.g.is_alive(u)
+                    && !st.in_solution(u)
+                    && st.count(u) == 1
+                    && st.parent1(u) == v
+                    && !stamp.is_marked(u)
+                    && {
+                        stamp.mark(u);
+                        true
+                    }
+            });
         }
-        if valid.is_empty() {
+        if cands.is_empty() {
             return;
         }
-        for &u in &valid {
+        for &u in cands.iter() {
             // |N[u] ∩ ¯I₁(v)| < |¯I₁(v)| ⟺ G[¯I₁(v)] is no longer a clique
             // around u. Membership is an O(1) test (count == 1 & parent).
             let bar_len = self.st.bar1(v).len();
@@ -334,28 +347,23 @@ impl SwapEngine {
         // take part in a 2-swap.
         if self.k2 {
             self.stamp.clear();
-            for &c in &valid {
+            for &c in cands.iter() {
                 self.stamp.mark(c);
             }
-            let promote: Vec<u32> = self
-                .st
-                .bar2_by_parent(v)
-                .iter()
-                .copied()
-                .filter(|&u| {
-                    let adj_c = self
-                        .st
-                        .g
-                        .neighbors(u)
-                        .filter(|&w| self.stamp.is_marked(w))
-                        .count();
-                    adj_c < valid.len()
-                })
-                .collect();
-            for u in promote {
+            let mut promote = std::mem::take(&mut self.promote_buf);
+            promote.clear();
+            {
+                let (st, stamp) = (&self.st, &self.stamp);
+                promote.extend(st.bar2_by_parent(v).iter().copied().filter(|&u| {
+                    let adj_c = st.g.neighbors(u).filter(|&w| stamp.is_marked(w)).count();
+                    adj_c < cands.len()
+                }));
+            }
+            for &u in &promote {
                 let (a, b) = self.st.parents2(u);
                 self.c2.push(a, b, u);
             }
+            self.promote_buf = promote;
         }
         if self.cfg.perturbation && self.perturb_left > 0 {
             self.try_perturb(v);
@@ -590,15 +598,13 @@ impl SwapEngine {
         // Resolve the named edge to half-edge positions: one probe, plus
         // one for the index delete inside `remove_edge_at`.
         let Some(h) = self.st.g.edge_handle(a, b) else {
-            if a == b {
-                return Err(GraphError::SelfLoop(a).into());
-            }
-            for v in [a, b] {
-                if !self.st.g.is_alive(v) {
-                    return Err(GraphError::VertexNotFound(v).into());
-                }
-            }
-            return Err(EngineError::MissingEdge(a, b));
+            // Cold path: classify the rejection through the shared
+            // validator so the error semantics cannot drift from the
+            // documented `validate_update` contract.
+            return match crate::error::validate_update(&self.st.g, &Update::RemoveEdge(a, b)) {
+                Err(e) => Err(e),
+                Ok(()) => Err(EngineError::MissingEdge(a, b)),
+            };
         };
         self.stats.entry_hash_probes += 2;
         match (self.st.in_solution(a), self.st.in_solution(b)) {

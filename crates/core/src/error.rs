@@ -105,6 +105,67 @@ impl EngineError {
     }
 }
 
+/// Why a [`crate::SolutionMirror`] refused a [`crate::SolutionDelta`].
+///
+/// A mirror is a replica fed by a delta stream; an inconsistent delta
+/// means the stream dropped, duplicated, or reordered an entry. The
+/// error names the first offending vertex and the mirror's sequence
+/// number (deltas applied so far) at the point of refusal, so a serving
+/// layer can log the desync and re-seed the replica — no string
+/// parsing, no guessing which entry went missing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MirrorError {
+    /// The delta enters `vertex`, but the mirror already holds it.
+    EnterExisting {
+        /// The duplicated member.
+        vertex: u32,
+        /// Deltas the mirror had applied when the refusal happened.
+        seq: u64,
+    },
+    /// The delta removes `vertex`, but the mirror does not hold it.
+    LeaveAbsent {
+        /// The phantom member.
+        vertex: u32,
+        /// Deltas the mirror had applied when the refusal happened.
+        seq: u64,
+    },
+}
+
+impl MirrorError {
+    /// The vertex the delta and the mirror disagree about.
+    pub fn vertex(&self) -> u32 {
+        match *self {
+            MirrorError::EnterExisting { vertex, .. } | MirrorError::LeaveAbsent { vertex, .. } => {
+                vertex
+            }
+        }
+    }
+
+    /// The mirror's sequence number (deltas applied) at refusal time.
+    pub fn seq(&self) -> u64 {
+        match *self {
+            MirrorError::EnterExisting { seq, .. } | MirrorError::LeaveAbsent { seq, .. } => seq,
+        }
+    }
+}
+
+impl fmt::Display for MirrorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MirrorError::EnterExisting { vertex, seq } => write!(
+                f,
+                "delta enters {vertex} but the mirror (seq {seq}) already holds it"
+            ),
+            MirrorError::LeaveAbsent { vertex, seq } => write!(
+                f,
+                "delta removes {vertex} but the mirror (seq {seq}) does not hold it"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MirrorError {}
+
 /// Validates `u` against `g` without mutating anything: the shared
 /// entry-point check every engine runs (or fuses into its first graph
 /// operation) before touching state, so a rejected update provably

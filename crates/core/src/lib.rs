@@ -63,7 +63,7 @@ pub mod two_swap;
 pub use builder::{BuildableEngine, EngineBuilder, Session};
 pub use delta::{DeltaFeed, SolutionDelta, SolutionMirror};
 pub use engine::{EngineConfig, EngineStats};
-pub use error::{validate_update, EngineError};
+pub use error::{validate_update, EngineError, MirrorError};
 pub use generic::GenericKSwap;
 pub use one_swap::DyOneSwap;
 pub use snapshot::Snapshot;

@@ -13,8 +13,10 @@ use dynamis_graph::{DynamicGraph, Update};
 
 /// Dynamic 1-maximal independent set maintenance.
 ///
-/// Constructed through the [`EngineBuilder`] session API (`k` is fixed
-/// at 1 by the type; the builder's `k` is ignored here).
+/// Constructed through the [`EngineBuilder`] session API. `k` is fixed
+/// at 1 by the type: a builder that explicitly requests any other `k`
+/// is rejected — a session asking for 2-maximality must not silently
+/// receive the weaker invariant.
 ///
 /// # Example
 /// ```
@@ -55,6 +57,11 @@ impl DyOneSwap {
 
 impl BuildableEngine for DyOneSwap {
     fn from_builder(builder: EngineBuilder) -> Result<Self, EngineError> {
+        if builder.requested_k().is_some_and(|k| k != 1) {
+            return Err(EngineError::BadParameter(
+                "DyOneSwap maintains k = 1; use EngineBuilder::build (or GenericKSwap) for other k",
+            ));
+        }
         builder.into_session().map(Self::from_session)
     }
 }

@@ -15,8 +15,10 @@ use dynamis_graph::{DynamicGraph, Update};
 
 /// Dynamic 2-maximal independent set maintenance.
 ///
-/// Constructed through the [`EngineBuilder`] session API (`k` is fixed
-/// at 2 by the type; the builder's `k` is ignored here).
+/// Constructed through the [`EngineBuilder`] session API. `k` is fixed
+/// at 2 by the type: a builder that explicitly requests any other `k`
+/// is rejected rather than silently maintaining a different invariant
+/// than the session asked for.
 ///
 /// # Example
 /// ```
@@ -56,6 +58,11 @@ impl DyTwoSwap {
 
 impl BuildableEngine for DyTwoSwap {
     fn from_builder(builder: EngineBuilder) -> Result<Self, EngineError> {
+        if builder.requested_k().is_some_and(|k| k != 2) {
+            return Err(EngineError::BadParameter(
+                "DyTwoSwap maintains k = 2; use EngineBuilder::build (or GenericKSwap) for other k",
+            ));
+        }
         builder.into_session().map(Self::from_session)
     }
 }

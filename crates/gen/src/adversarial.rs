@@ -1,0 +1,302 @@
+//! Deletion-heavy adversarial update streams.
+//!
+//! The mixed stream of [`crate::stream::UpdateStream`] is friendly to a
+//! maintenance engine: deletions hit random edges, which rarely touch
+//! the solution. This generator builds the opposite — the worst
+//! realistic pattern for a k-maximal maintainer: repeated cycles of an
+//! **insert burst** that piles edges onto the current (shadow) solution
+//! vertices, followed by **targeted deletions** of the highest-degree
+//! solution vertices. Deleting a high-degree solution vertex frees its
+//! whole neighborhood at once, forcing a maximality-repair cascade and
+//! fresh swap searches; the preceding burst makes that neighborhood as
+//! large as possible.
+//!
+//! The generator cannot see the engine's actual solution, so it tracks
+//! a *shadow* maximal independent set (ascending-degree greedy — the
+//! same low-degree preference the swap engines converge toward) over a
+//! shadow copy of the graph, recomputed each cycle. Every emitted
+//! update is valid at the moment it is applied, exactly like the
+//! uniform stream.
+
+use crate::stream::Update;
+use dynamis_graph::collections::IndexedBag;
+use dynamis_graph::DynamicGraph;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Shape of one insert-burst / targeted-delete cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct AdversarialConfig {
+    /// Edge insertions per cycle, each attaching to a current shadow
+    /// solution vertex.
+    pub burst: usize,
+    /// Highest-degree shadow solution vertices deleted per cycle.
+    pub targets: usize,
+    /// Re-insert one fresh vertex (with roughly average degree) per
+    /// deletion, keeping the graph size stationary across cycles.
+    pub replace: bool,
+}
+
+impl Default for AdversarialConfig {
+    fn default() -> Self {
+        AdversarialConfig {
+            burst: 192,
+            targets: 32,
+            replace: true,
+        }
+    }
+}
+
+/// Generator of valid adversarial updates against an evolving shadow
+/// graph; see the module docs for the attack pattern.
+pub struct AdversarialStream {
+    shadow: DynamicGraph,
+    cfg: AdversarialConfig,
+    rng: SmallRng,
+    alive: IndexedBag,
+    pending: VecDeque<Update>,
+    new_vertex_degree: usize,
+}
+
+impl AdversarialStream {
+    /// Builds a stream over a copy of `start`.
+    pub fn new(start: &DynamicGraph, cfg: AdversarialConfig, seed: u64) -> Self {
+        let mut alive = IndexedBag::with_capacity(start.capacity());
+        for v in start.vertices() {
+            alive.insert(v);
+        }
+        let new_vertex_degree = start.avg_degree().round().max(1.0) as usize;
+        AdversarialStream {
+            shadow: start.clone(),
+            cfg,
+            rng: crate::rng(seed),
+            alive,
+            pending: VecDeque::new(),
+            new_vertex_degree,
+        }
+    }
+
+    /// Shadow view of the graph state after all **planned** updates —
+    /// i.e. every update already emitted plus the not-yet-emitted rest
+    /// of the current cycle ([`AdversarialStream::pending_len`] of
+    /// them). Matches the replayed state exactly at cycle boundaries.
+    pub fn shadow(&self) -> &DynamicGraph {
+        &self.shadow
+    }
+
+    /// Updates planned but not yet emitted from the current cycle.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Ascending-degree greedy maximal independent set over the shadow.
+    fn shadow_solution(&self) -> Vec<u32> {
+        let mut order: Vec<u32> = self.alive.as_slice().to_vec();
+        order.sort_unstable_by_key(|&v| (self.shadow.degree(v), v));
+        let mut blocked = vec![false; self.shadow.capacity()];
+        let mut sol = Vec::new();
+        for v in order {
+            if !blocked[v as usize] {
+                sol.push(v);
+                for u in self.shadow.neighbors(v) {
+                    blocked[u as usize] = true;
+                }
+            }
+        }
+        sol
+    }
+
+    fn random_alive(&mut self) -> Option<u32> {
+        if self.alive.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..self.alive.len());
+        Some(self.alive.as_slice()[i])
+    }
+
+    /// Plans one full cycle into `pending`, mutating the shadow so each
+    /// planned update is valid when replayed in order.
+    fn plan_cycle(&mut self) {
+        let sol = self.shadow_solution();
+        // Phase 1 — insert burst: every new edge touches a solution
+        // vertex, growing the neighborhoods the deletions will free.
+        for _ in 0..self.cfg.burst.max(1) {
+            let mut planned = false;
+            for _ in 0..64 {
+                let s = if sol.is_empty() {
+                    match self.random_alive() {
+                        Some(v) => v,
+                        None => break,
+                    }
+                } else {
+                    sol[self.rng.gen_range(0..sol.len())]
+                };
+                let Some(v) = self.random_alive() else { break };
+                if s != v && self.shadow.is_alive(s) && !self.shadow.has_edge(s, v) {
+                    self.shadow.insert_edge(s, v).unwrap();
+                    self.pending.push_back(Update::InsertEdge(s, v));
+                    planned = true;
+                    break;
+                }
+            }
+            if !planned {
+                break; // dense or tiny shadow; the cycle stays shorter
+            }
+        }
+        // Phase 2 — targeted deletions: the highest-degree solution
+        // vertices, i.e. the repairs with the widest blast radius.
+        let mut by_degree: Vec<u32> = sol;
+        by_degree.sort_unstable_by_key(|&v| std::cmp::Reverse((self.shadow.degree(v), v)));
+        let quota = self
+            .cfg
+            .targets
+            .max(1)
+            .min(by_degree.len())
+            .min(self.alive.len().saturating_sub(2));
+        for &victim in by_degree.iter().take(quota) {
+            self.shadow.remove_vertex(victim).unwrap();
+            self.alive.remove(victim);
+            self.pending.push_back(Update::RemoveVertex(victim));
+            if self.cfg.replace {
+                let replacement = self.plan_vertex_insert();
+                self.pending.push_back(replacement);
+            }
+        }
+    }
+
+    /// Fallback for degenerate shadows (tiny or edge-saturated, where
+    /// a cycle can plan nothing): insert a fresh vertex, which always
+    /// succeeds and regrows the graph toward attackable shapes.
+    fn plan_vertex_insert(&mut self) -> Update {
+        let want = self.new_vertex_degree.min(self.alive.len());
+        let mut neighbors = Vec::with_capacity(want);
+        for _ in 0..64 * want.max(1) {
+            if neighbors.len() == want {
+                break;
+            }
+            match self.random_alive() {
+                Some(u) if !neighbors.contains(&u) => neighbors.push(u),
+                Some(_) => {}
+                None => break,
+            }
+        }
+        let id = self.shadow.add_vertex();
+        self.alive.insert(id);
+        for &u in &neighbors {
+            self.shadow.insert_edge(id, u).unwrap();
+        }
+        Update::InsertVertex { id, neighbors }
+    }
+
+    /// Emits the next update, planning a new cycle when the previous
+    /// one is exhausted.
+    pub fn next_update(&mut self) -> Update {
+        if self.pending.is_empty() {
+            self.plan_cycle();
+        }
+        match self.pending.pop_front() {
+            Some(u) => u,
+            None => self.plan_vertex_insert(),
+        }
+    }
+
+    /// Emits `count` updates.
+    pub fn take_updates(&mut self, count: usize) -> Vec<Update> {
+        (0..count).map(|_| self.next_update()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::apply_update;
+    use crate::uniform::gnm;
+
+    #[test]
+    fn adversarial_ops_replay_cleanly() {
+        let g = gnm(80, 200, 5);
+        let mut s = AdversarialStream::new(&g, AdversarialConfig::default(), 7);
+        let mut ups = s.take_updates(1500);
+        assert_eq!(ups.len(), 1500);
+        // Flush the rest of the cycle so the replay lands exactly on
+        // the shadow state.
+        while s.pending_len() > 0 {
+            ups.push(s.next_update());
+        }
+        let mut replay = g;
+        for u in &ups {
+            apply_update(&mut replay, u).unwrap();
+        }
+        replay.check_consistency().unwrap();
+        assert_eq!(replay.num_edges(), s.shadow().num_edges());
+        assert_eq!(replay.num_vertices(), s.shadow().num_vertices());
+    }
+
+    #[test]
+    fn stream_is_deletion_heavy_and_targets_high_degree() {
+        let g = gnm(100, 300, 11);
+        let cfg = AdversarialConfig {
+            burst: 20,
+            targets: 10,
+            replace: true,
+        };
+        let mut s = AdversarialStream::new(&g, cfg, 3);
+        let ups = s.take_updates(600);
+        let removals: Vec<u32> = ups
+            .iter()
+            .filter_map(|u| match u {
+                Update::RemoveVertex(v) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            removals.len() >= 600 / (20 + 2 * 10) * 10,
+            "every cycle must delete its quota ({} removals)",
+            removals.len()
+        );
+        // Vertex churn must be real: replacements keep the count stable.
+        let replay_vertices = s.shadow().num_vertices();
+        assert!((98..=102).contains(&replay_vertices));
+    }
+
+    #[test]
+    fn streams_are_seed_deterministic() {
+        let g = gnm(50, 120, 2);
+        let a = AdversarialStream::new(&g, AdversarialConfig::default(), 9).take_updates(400);
+        let b = AdversarialStream::new(&g, AdversarialConfig::default(), 9).take_updates(400);
+        assert_eq!(a, b);
+        let c = AdversarialStream::new(&g, AdversarialConfig::default(), 10).take_updates(400);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn survives_tiny_graphs() {
+        let mut g = DynamicGraph::new();
+        g.add_vertices(3);
+        let mut s = AdversarialStream::new(&g, AdversarialConfig::default(), 1);
+        let ups = s.take_updates(100);
+        let mut replay = g;
+        for u in &ups {
+            apply_update(&mut replay, u).unwrap();
+        }
+        replay.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn degenerate_shadows_fall_back_instead_of_spinning() {
+        // A saturated K₂ (no insertable edge, deletion quota 0) and an
+        // empty graph: a cycle can plan nothing, so `next_update` must
+        // fall back to vertex insertion rather than loop forever.
+        for g in [DynamicGraph::from_edges(2, &[(0, 1)]), DynamicGraph::new()] {
+            let mut s = AdversarialStream::new(&g, AdversarialConfig::default(), 2);
+            let ups = s.take_updates(50);
+            assert_eq!(ups.len(), 50);
+            let mut replay = g;
+            for u in &ups {
+                apply_update(&mut replay, u).unwrap();
+            }
+            replay.check_consistency().unwrap();
+        }
+    }
+}

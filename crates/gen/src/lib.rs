@@ -14,6 +14,9 @@
 //! * [`stream`] — seeded generators of vertex/edge insert/delete update
 //!   streams ("we randomly insert/remove a predetermined number of
 //!   vertices/edges to simulate the update operations").
+//! * [`adversarial`] — deletion-heavy worst-case streams:
+//!   insert-burst-then-targeted-delete of high-degree (shadow-)solution
+//!   vertices, maximizing repair cascades.
 //! * [`temporal`] — structured workload shapes: sliding-window edge
 //!   expiry and hot-topic burst cascades (the introduction's motivating
 //!   scenario).
@@ -26,6 +29,7 @@
 //!   SNAP/LAW graphs of Table I (see DESIGN.md for the substitution
 //!   rationale).
 
+pub mod adversarial;
 pub mod ba;
 pub mod datasets;
 pub mod plb;
@@ -37,6 +41,7 @@ pub mod temporal;
 pub mod trace;
 pub mod uniform;
 
+pub use adversarial::{AdversarialConfig, AdversarialStream};
 pub use datasets::{Category, DatasetSpec, DATASETS};
 pub use plb::{PlbEstimate, PlbFit};
 pub use rmat::{rmat, RmatConfig};

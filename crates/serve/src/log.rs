@@ -1,0 +1,222 @@
+//! The sequenced delta log: the broadcast channel between the writer
+//! thread and every reader.
+//!
+//! The writer publishes each applied batch's net [`SolutionDelta`] as
+//! an `Arc`-shared, sequence-numbered entry. Readers catch up lazily:
+//! they clone the `Arc`s of the entries they have not seen (a short
+//! critical section on the log mutex — **never** any engine state) and
+//! apply them to their private [`SolutionMirror`] outside the lock.
+//!
+//! The log is bounded: when it outgrows its window, the oldest entries
+//! are folded into a **checkpoint** mirror. A reader that fell behind
+//! the window re-seeds from the checkpoint (a clone) and replays the
+//! remaining entries — so slow readers cost a resync, never unbounded
+//! log growth, and a brand-new reader is just a reader at sequence 0
+//! resyncing like any other.
+
+use dynamis_core::{MirrorError, SolutionDelta, SolutionMirror};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One broadcast entry: the net solution change of one applied batch.
+#[derive(Debug)]
+pub(crate) struct SeqEntry {
+    pub seq: u64,
+    pub delta: SolutionDelta,
+}
+
+#[derive(Debug, Default)]
+struct LogInner {
+    /// Checkpoint covering sequences `..= base_seq`.
+    base: SolutionMirror,
+    base_seq: u64,
+    /// Entries `base_seq + 1 ..= head`, oldest first.
+    entries: VecDeque<Arc<SeqEntry>>,
+    head: u64,
+}
+
+/// What one [`SharedLog::catch_up`] call did.
+#[derive(Debug, Default)]
+pub(crate) struct CatchUp {
+    /// The reader's new sequence number.
+    pub seq: u64,
+    /// The reader re-seeded from the checkpoint (fell behind the
+    /// window, was brand new, or recovered from a desync).
+    pub resynced: bool,
+    /// The mirror refused an entry (recovered via resync). Impossible
+    /// by construction — surfaced for observability, typed.
+    pub desync: Option<MirrorError>,
+}
+
+/// The shared, bounded, sequence-numbered broadcast log.
+#[derive(Debug)]
+pub(crate) struct SharedLog {
+    inner: Mutex<LogInner>,
+    /// Maximum retained entries before folding into the checkpoint.
+    window: usize,
+    /// Mirror of `inner.head`, updated under the lock: lets a
+    /// caught-up reader answer "anything new?" with one atomic load —
+    /// the query fast path takes **no lock at all**.
+    head: AtomicU64,
+}
+
+impl SharedLog {
+    pub fn new(window: usize) -> Self {
+        SharedLog {
+            inner: Mutex::new(LogInner::default()),
+            window: window.max(1),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends one delta as the next sequence number and folds the
+    /// overflow into the checkpoint. Writer-side only.
+    pub fn publish(&self, delta: SolutionDelta) -> u64 {
+        let mut g = self.inner.lock().unwrap();
+        g.head += 1;
+        let seq = g.head;
+        g.entries.push_back(Arc::new(SeqEntry { seq, delta }));
+        while g.entries.len() > self.window {
+            let oldest = g.entries.pop_front().unwrap();
+            g.base
+                .apply(&oldest.delta)
+                .expect("log entries are sequential and exact");
+            g.base_seq = oldest.seq;
+        }
+        // Published under the lock: a reader that observes the new head
+        // and then takes the lock is guaranteed to find the entry.
+        self.head.store(seq, Ordering::Release);
+        seq
+    }
+
+    /// Newest published sequence number (lock-free).
+    pub fn head(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Advances `mirror` (currently at `seq`) to the log head.
+    ///
+    /// A caught-up reader returns after one atomic load, without
+    /// touching the lock. `scratch` is the reader's reusable `Arc`
+    /// buffer — in steady state no allocation happens here. The lock is
+    /// held only while cloning `Arc`s (or the checkpoint, on resync);
+    /// deltas are applied outside it.
+    pub fn catch_up(
+        &self,
+        mirror: &mut SolutionMirror,
+        mut seq: u64,
+        scratch: &mut Vec<Arc<SeqEntry>>,
+    ) -> CatchUp {
+        let mut out = CatchUp::default();
+        if self.head.load(Ordering::Acquire) <= seq {
+            out.seq = seq;
+            return out;
+        }
+        // Two passes at most: a desync (impossible by construction)
+        // triggers one checkpoint re-seed and one replay.
+        for attempt in 0..2 {
+            scratch.clear();
+            {
+                let g = self.inner.lock().unwrap();
+                if seq >= g.head && attempt == 0 {
+                    out.seq = seq;
+                    return out;
+                }
+                if seq < g.base_seq || attempt > 0 {
+                    *mirror = g.base.clone();
+                    seq = g.base_seq;
+                    out.resynced = true;
+                }
+                let skip = (seq - g.base_seq) as usize;
+                scratch.extend(g.entries.iter().skip(skip).cloned());
+            }
+            let mut failed = false;
+            for e in scratch.iter() {
+                debug_assert_eq!(e.seq, seq + 1, "log entries must be sequential");
+                match mirror.apply(&e.delta) {
+                    Ok(()) => seq = e.seq,
+                    Err(err) => {
+                        out.desync = Some(err);
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            if !failed {
+                break;
+            }
+        }
+        out.seq = seq;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamis_core::EngineStats;
+
+    fn delta(entered: Vec<u32>, left: Vec<u32>) -> SolutionDelta {
+        SolutionDelta {
+            entered,
+            left,
+            stats: EngineStats::default(),
+        }
+    }
+
+    #[test]
+    fn readers_catch_up_incrementally() {
+        let log = SharedLog::new(16);
+        assert_eq!(log.publish(delta(vec![1, 2], vec![])), 1);
+        assert_eq!(log.publish(delta(vec![3], vec![1])), 2);
+        let mut m = SolutionMirror::new();
+        let mut scratch = Vec::new();
+        let r = log.catch_up(&mut m, 0, &mut scratch);
+        assert_eq!(r.seq, 2);
+        assert!(!r.resynced && r.desync.is_none());
+        assert_eq!(m.solution(), vec![2, 3]);
+        // Already caught up: a no-op.
+        let r = log.catch_up(&mut m, 2, &mut scratch);
+        assert_eq!(r.seq, 2);
+        // New entries continue from where the reader stands.
+        log.publish(delta(vec![7], vec![]));
+        let r = log.catch_up(&mut m, 2, &mut scratch);
+        assert_eq!(r.seq, 3);
+        assert_eq!(m.solution(), vec![2, 3, 7]);
+    }
+
+    #[test]
+    fn lagging_reader_resyncs_from_checkpoint() {
+        let log = SharedLog::new(2);
+        log.publish(delta(vec![1], vec![]));
+        log.publish(delta(vec![2], vec![]));
+        log.publish(delta(vec![3], vec![1])); // folds seq 1 into the base
+        log.publish(delta(vec![4], vec![])); // folds seq 2
+        let mut m = SolutionMirror::new();
+        let mut scratch = Vec::new();
+        let r = log.catch_up(&mut m, 0, &mut scratch);
+        assert_eq!(r.seq, 4);
+        assert!(r.resynced, "seq 0 is behind the retained window");
+        assert!(r.desync.is_none());
+        assert_eq!(m.solution(), vec![2, 3, 4]);
+        assert_eq!(log.head(), 4);
+    }
+
+    #[test]
+    fn desynced_mirror_self_heals() {
+        let log = SharedLog::new(16);
+        log.publish(delta(vec![1], vec![]));
+        log.publish(delta(vec![2], vec![]));
+        // A mirror claiming seq 1 but already holding vertex 2: applying
+        // seq 2 refuses; the catch-up re-seeds from the checkpoint.
+        let mut m = SolutionMirror::from_solution(&[1, 2]);
+        let mut scratch = Vec::new();
+        let r = log.catch_up(&mut m, 1, &mut scratch);
+        assert_eq!(r.seq, 2);
+        assert!(r.resynced);
+        let err = r.desync.expect("the refusal is reported, typed");
+        assert_eq!(err.vertex(), 2);
+        assert_eq!(m.solution(), vec![1, 2], "healed to the true state");
+    }
+}

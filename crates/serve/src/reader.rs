@@ -1,0 +1,118 @@
+//! Reader handles: private solution mirrors that catch up lazily from
+//! the broadcast delta log.
+
+use crate::log::{SeqEntry, SharedLog};
+use crate::stats::StatsShared;
+use dynamis_core::{MirrorError, SolutionMirror};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An independent, concurrently usable view of the served solution.
+///
+/// Each handle owns a private [`SolutionMirror`] and a position in the
+/// sequenced delta log. Queries first *sync* — apply every delta
+/// published since the handle last looked, cloning only `Arc`s under
+/// the log mutex — and then answer from the mirror. A reader therefore
+/// never touches the engine, never blocks the writer for more than an
+/// `Arc` clone, and never rematerializes the solution from scratch
+/// (except when re-seeding after falling behind the log's retained
+/// window).
+///
+/// Handles are `Send`: create one per query thread via
+/// [`ReaderHandle::fork`] (or [`crate::ServiceHandle::reader`]).
+#[derive(Debug)]
+pub struct ReaderHandle {
+    log: Arc<SharedLog>,
+    stats: Arc<StatsShared>,
+    mirror: SolutionMirror,
+    seq: u64,
+    /// Last-synced seq, shared with [`StatsShared`] for lag reporting.
+    slot: Arc<AtomicU64>,
+    /// Reusable catch-up buffer (no steady-state allocation).
+    scratch: Vec<Arc<SeqEntry>>,
+    last_desync: Option<MirrorError>,
+}
+
+impl ReaderHandle {
+    pub(crate) fn new(log: Arc<SharedLog>, stats: Arc<StatsShared>) -> Self {
+        let slot = stats.register_reader(0);
+        ReaderHandle {
+            log,
+            stats,
+            mirror: SolutionMirror::new(),
+            seq: 0,
+            slot,
+            scratch: Vec::new(),
+            last_desync: None,
+        }
+    }
+
+    /// Applies every delta published since this handle last synced;
+    /// returns the sequence number now reflected by the mirror.
+    pub fn sync(&mut self) -> u64 {
+        let r = self
+            .log
+            .catch_up(&mut self.mirror, self.seq, &mut self.scratch);
+        self.seq = r.seq;
+        if r.resynced {
+            self.stats.resyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(err) = r.desync {
+            self.stats.desyncs.fetch_add(1, Ordering::Relaxed);
+            self.last_desync = Some(err);
+        }
+        self.slot.store(self.seq, Ordering::Relaxed);
+        self.seq
+    }
+
+    /// O(1) membership test against the freshly synced mirror.
+    pub fn contains(&mut self, v: u32) -> bool {
+        self.sync();
+        self.mirror.contains(v)
+    }
+
+    /// Current solution size.
+    pub fn len(&mut self) -> usize {
+        self.sync();
+        self.mirror.len()
+    }
+
+    /// Whether the solution is empty.
+    pub fn is_empty(&mut self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materializes the current solution (sorted vertex ids) — same
+    /// shape as [`dynamis_core::DynamicMis::solution`].
+    pub fn snapshot(&mut self) -> Vec<u32> {
+        self.sync();
+        self.mirror.solution()
+    }
+
+    /// The sequence number the mirror reflects (as of the last sync —
+    /// this accessor does not sync).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The last mirror desync this handle recovered from, if any ever
+    /// happened (typed — see [`MirrorError`]). Always `None` unless the
+    /// broadcast path has a bug.
+    pub fn last_desync(&self) -> Option<MirrorError> {
+        self.last_desync
+    }
+
+    /// A new independent reader starting at this handle's position
+    /// (cheap: clones the mirror, not the log).
+    pub fn fork(&self) -> ReaderHandle {
+        ReaderHandle {
+            log: Arc::clone(&self.log),
+            stats: Arc::clone(&self.stats),
+            mirror: self.mirror.clone(),
+            seq: self.seq,
+            slot: self.stats.register_reader(self.seq),
+            scratch: Vec::new(),
+            last_desync: None,
+        }
+    }
+}

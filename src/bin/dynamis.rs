@@ -8,6 +8,7 @@
 //! dynamis run --dataset NAME [--algo A] [...]    dynamic maintenance run
 //! dynamis record --dataset NAME <out.trace>      record an update trace
 //! dynamis replay <trace> [--algo A]              replay a recorded trace
+//! dynamis serve-bench --dataset NAME [...]       concurrent serving-layer run
 //! ```
 //!
 //! Graph formats are sniffed from the file extension: `.col`/`.clq` →
@@ -26,9 +27,13 @@ use dynamis::statics::{
     arw_local_search, greedy_mis, luby_mis, reducing_peeling, solve_exact, ArwConfig, ExactConfig,
 };
 use dynamis::{
-    DyArw, DyOneSwap, DyTwoSwap, DynamicGraph, DynamicMis, EngineBuilder, GenericKSwap, MaximalOnly,
+    DyArw, DyOneSwap, DyTwoSwap, DynamicGraph, DynamicMis, EngineBuilder, GenericKSwap,
+    MaximalOnly, MisService, ServeConfig,
 };
 use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::thread;
 use std::time::Instant;
 
 fn main() -> ExitCode {
@@ -52,6 +57,8 @@ const USAGE: &str = "usage:
   dynamis run (--dataset NAME | --graph FILE) [--algo ALGO] [--updates N] [--seed S]
   dynamis record (--dataset NAME | --graph FILE) [--updates N] [--seed S] <out.trace>
   dynamis replay <trace> [--algo ALGO]
+  dynamis serve-bench (--dataset NAME | --graph FILE) [--updates N] [--seed S]
+                      [--k K] [--readers R] [--burst B] [--stream mixed|adversarial]
 
 dynamic algorithms (ALGO): one (default), two, k:<K>, arw, dgone, dgtwo,
                            maximal, restart:<interval>";
@@ -65,6 +72,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("run") => cmd_run(&args[1..]),
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("serve-bench") => cmd_serve_bench(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("missing command".into()),
     }
@@ -373,6 +381,103 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
+    let (mut dataset, mut graph, mut updates, mut seed, mut k, mut readers, mut burst, mut stream) =
+        (None, None, None, None, None, None, None, None);
+    let positional = parse_flags(
+        args,
+        &mut [
+            ("dataset", &mut dataset),
+            ("graph", &mut graph),
+            ("updates", &mut updates),
+            ("seed", &mut seed),
+            ("k", &mut k),
+            ("readers", &mut readers),
+            ("burst", &mut burst),
+            ("stream", &mut stream),
+        ],
+    )?;
+    if !positional.is_empty() {
+        return Err("serve-bench takes only flags".into());
+    }
+    let g = starting_graph(dataset.as_deref(), graph.as_deref())?;
+    let parse = |v: Option<&str>, default: usize, what: &str| -> Result<usize, String> {
+        v.unwrap_or(&default.to_string())
+            .parse()
+            .map_err(|_| format!("bad --{what}"))
+    };
+    let count = parse(updates.as_deref(), 50_000, "updates")?;
+    let seed: u64 = seed
+        .as_deref()
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad --seed")?;
+    let k = parse(k.as_deref(), 2, "k")?;
+    let readers = parse(readers.as_deref(), 3, "readers")?;
+    let burst = parse(burst.as_deref(), 256, "burst")?;
+    let ups = match stream.as_deref().unwrap_or("mixed") {
+        "mixed" => UpdateStream::new(&g, StreamConfig::default(), seed).take_updates(count),
+        "adversarial" => {
+            use dynamis::gen::adversarial::{AdversarialConfig, AdversarialStream};
+            AdversarialStream::new(&g, AdversarialConfig::default(), seed).take_updates(count)
+        }
+        other => return Err(format!("unknown --stream `{other}`")),
+    };
+
+    let (service, _reader) = MisService::spawn(
+        EngineBuilder::on(g).k(k),
+        ServeConfig {
+            burst,
+            ..ServeConfig::default()
+        },
+    )
+    .map_err(|e| format!("spawning service: {e}"))?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let cap = service.reader().len() as u32 * 4 + 64;
+    let query_threads: Vec<_> = (0..readers)
+        .map(|i| {
+            let mut r = service.reader();
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let (mut queries, mut v) = (0u64, i as u32);
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let _ = r.contains(v % cap);
+                    v = v.wrapping_mul(2_654_435_761).wrapping_add(1);
+                    queries += 1;
+                }
+                queries
+            })
+        })
+        .collect();
+
+    let t = Instant::now();
+    for u in ups {
+        service
+            .submit_detached(u)
+            .map_err(|e| format!("submit: {e}"))?;
+    }
+    let report = service.shutdown();
+    let elapsed = t.elapsed();
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let queries: u64 = query_threads.into_iter().map(|h| h.join().unwrap()).sum();
+
+    println!(
+        "{} behind serving layer: {} updates in {:.2?} ({:.0} updates/s)",
+        report.engine,
+        report.stats.applied,
+        elapsed,
+        report.stats.applied as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "{readers} readers: {queries} point queries ({:.0} queries/s aggregate)",
+        queries as f64 / elapsed.as_secs_f64()
+    );
+    println!("final stats: {}", report.stats);
+    println!("final |I| = {}", report.solution.len());
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,6 +549,32 @@ mod tests {
         assert_eq!(back.num_edges(), 3);
         dispatch(&["stats".to_string(), edge.to_str().unwrap().to_string()]).unwrap();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_bench_runs_both_streams() {
+        for stream in ["mixed", "adversarial"] {
+            dispatch(&[
+                "serve-bench".to_string(),
+                "--dataset".to_string(),
+                "Email".to_string(),
+                "--updates".to_string(),
+                "300".to_string(),
+                "--readers".to_string(),
+                "1".to_string(),
+                "--stream".to_string(),
+                stream.to_string(),
+            ])
+            .unwrap_or_else(|m| panic!("{stream}: {m}"));
+        }
+        assert!(dispatch(&[
+            "serve-bench".to_string(),
+            "--dataset".to_string(),
+            "Email".to_string(),
+            "--stream".to_string(),
+            "bogus".to_string(),
+        ])
+        .is_err());
     }
 
     #[test]

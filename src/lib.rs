@@ -17,6 +17,7 @@
 //! | [`baselines`] | DyARW and the DGOneDIS/DGTwoDIS dependency-index emulation |
 //! | [`gen`] | graph generators, update streams, PLB estimation, dataset registry |
 //! | [`problems`] | vertex cover, clique, coloring, and the intro's applications (map labeling, collusion detection, interval scheduling) |
+//! | [`serve`] | concurrent serving layer: single-writer engine thread, batched ingest, delta-broadcast readers |
 //!
 //! ## Quickstart
 //!
@@ -55,12 +56,14 @@ pub use dynamis_core as core;
 pub use dynamis_gen as gen;
 pub use dynamis_graph as graph;
 pub use dynamis_problems as problems;
+pub use dynamis_serve as serve;
 pub use dynamis_static as statics;
 
 pub use dynamis_baselines::{DgDis, DyArw, MaximalOnly, Restart, RestartSolver};
 pub use dynamis_core::{
     BuildableEngine, DyOneSwap, DyTwoSwap, DynamicMis, EngineBuilder, EngineConfig, EngineError,
-    GenericKSwap, Snapshot, SolutionDelta, SolutionMirror,
+    GenericKSwap, MirrorError, Snapshot, SolutionDelta, SolutionMirror,
 };
 pub use dynamis_gen::{StreamConfig, UpdateStream, Workload};
 pub use dynamis_graph::{CsrGraph, DynamicGraph, GraphError, Update};
+pub use dynamis_serve::{MisService, ReaderHandle, ServeConfig, ServeError, ServiceStats};

@@ -52,11 +52,11 @@ proptest! {
             let mut mirror = SolutionMirror::new();
             mirror
                 .apply(&e.drain_delta())
-                .map_err(TestCaseError::fail)?;
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
             prop_assert_eq!(mirror.solution(), e.solution(), "{} bootstrap", name);
             for u in &ups {
                 let delta = e.try_apply(u).unwrap();
-                mirror.apply(&delta).map_err(TestCaseError::fail)?;
+                mirror.apply(&delta).map_err(|e| TestCaseError::fail(e.to_string()))?;
                 prop_assert_eq!(
                     mirror.solution(),
                     e.solution(),
@@ -92,7 +92,7 @@ proptest! {
                 if i % stride == stride - 1 {
                     mirror
                         .apply(&e.drain_delta())
-                        .map_err(TestCaseError::fail)?;
+                        .map_err(|e| TestCaseError::fail(e.to_string()))?;
                     prop_assert_eq!(
                         mirror.solution(),
                         e.solution(),
@@ -104,7 +104,7 @@ proptest! {
             }
             mirror
                 .apply(&e.drain_delta())
-                .map_err(TestCaseError::fail)?;
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
             prop_assert_eq!(mirror.solution(), e.solution(), "{} final", name);
         }
     }
@@ -126,7 +126,7 @@ proptest! {
             let mut mirror = SolutionMirror::new();
             mirror
                 .apply(&e.drain_delta())
-                .map_err(TestCaseError::fail)?;
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
             for u in &ups {
                 prop_assert!(
                     e.try_apply(&dynamis::Update::RemoveVertex(dead)).is_err(),
@@ -134,7 +134,7 @@ proptest! {
                     name
                 );
                 let delta = e.try_apply(u).unwrap();
-                mirror.apply(&delta).map_err(TestCaseError::fail)?;
+                mirror.apply(&delta).map_err(|e| TestCaseError::fail(e.to_string()))?;
             }
             prop_assert_eq!(mirror.solution(), e.solution(), "{}", name);
         }

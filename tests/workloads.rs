@@ -3,11 +3,12 @@
 //! machinery classifies the stand-ins the way the paper's analysis
 //! expects.
 
+use dynamis::gen::adversarial::{AdversarialConfig, AdversarialStream};
 use dynamis::gen::plb::PlbFit;
 use dynamis::gen::{datasets, StreamConfig, Update, UpdateStream};
 use dynamis::statics::verify::is_maximal_dynamic;
 use dynamis::EngineBuilder;
-use dynamis::{CsrGraph, DyOneSwap, DynamicMis};
+use dynamis::{CsrGraph, DyOneSwap, DyTwoSwap, DynamicMis};
 
 #[test]
 fn dataset_standins_run_end_to_end() {
@@ -25,6 +26,45 @@ fn dataset_standins_run_end_to_end() {
         assert!(is_maximal_dynamic(e.graph(), &e.solution()));
         assert!(e.size() > 0);
     }
+}
+
+#[test]
+fn adversarial_stream_keeps_engines_consistent() {
+    // The deletion-heavy worst case: insert bursts onto solution
+    // vertices, then targeted removal of the highest-degree members.
+    // Both eager engines must survive the repair cascades with every
+    // framework invariant intact and the solution maximal throughout.
+    let g = datasets::by_name("Email").unwrap().build();
+    let ups = AdversarialStream::new(
+        &g,
+        AdversarialConfig {
+            burst: 64,
+            targets: 16,
+            replace: true,
+        },
+        13,
+    )
+    .take_updates(3_000);
+    let deletions = ups
+        .iter()
+        .filter(|u| matches!(u, Update::RemoveVertex(..)))
+        .count();
+    assert!(deletions > 100, "stream must actually be deletion-heavy");
+    let mut e1 = EngineBuilder::on(g.clone())
+        .build_as::<DyOneSwap>()
+        .unwrap();
+    let mut e2 = EngineBuilder::on(g).build_as::<DyTwoSwap>().unwrap();
+    for u in &ups {
+        e1.try_apply(u).unwrap();
+        e2.try_apply(u).unwrap();
+    }
+    e1.check_consistency().unwrap();
+    e2.check_consistency().unwrap();
+    assert!(is_maximal_dynamic(e1.graph(), &e1.solution()));
+    assert!(is_maximal_dynamic(e2.graph(), &e2.solution()));
+    // Repairs are the signature of targeted solution-vertex deletion.
+    assert!(e1.stats().repairs > 0);
+    assert!(e2.stats().repairs > 0);
 }
 
 #[test]
