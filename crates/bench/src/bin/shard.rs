@@ -1,0 +1,215 @@
+//! Sharded-maintenance throughput bench: the canonical sharded service
+//! (`dynamis-shard`, P writer threads behind a coordinator) vs. the
+//! single-writer serve layer, on the paper's Chung–Lu workload.
+//!
+//! Architectures, all behind the same backpressured ingest queue:
+//!
+//! * **serve** — the PR3 baseline: one writer thread owning `DyTwoSwap`
+//!   (the fastest sequential engine) with adaptive batching;
+//! * **sharded P ∈ {1, 2, 4}** — the canonical sharded engine: the
+//!   coordinator drives P shard cells on their own writer threads, each
+//!   publishing its per-shard delta log.
+//!
+//! The comparison isolates two costs the architecture doc discusses:
+//! the *protocol* cost (sharded P = 1 vs. serve — same sequential work,
+//! plus phase barriers and canonical ordering) and the *coordination*
+//! cost/benefit of spreading cell work across threads (P = 2, 4 vs.
+//! P = 1). Per-run the JSON records the partition (cut edges, per-shard
+//! degree loads) and the core count — barrier-dominated numbers on a
+//! 1-core CI box are expected and say nothing about multicore scaling.
+//!
+//! Writes `BENCH_PR4.json` (override with `DYNAMIS_BENCH_OUT`); honors
+//! `DYNAMIS_FAST=1`.
+
+use dynamis_bench::alloc_track::TrackingAlloc;
+use dynamis_core::EngineBuilder;
+use dynamis_gen::powerlaw::chung_lu;
+use dynamis_gen::{StreamConfig, UpdateStream};
+use dynamis_graph::{DynamicGraph, ShardMap, Update};
+use dynamis_serve::{MisService, ServeConfig, ServiceStats};
+use dynamis_shard::ShardedService;
+use std::fmt::Write as _;
+use std::thread;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+struct RunReport {
+    arch: String,
+    shards: usize,
+    updates: usize,
+    run_secs: f64,
+    updates_per_sec: f64,
+    solution_size: usize,
+    stats: ServiceStats,
+}
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig {
+        queue_updates: 1024,
+        burst: 256,
+        log_window: 1024,
+    }
+}
+
+/// Ingest phase: submit the whole stream fire-and-forget, shut down (=
+/// flush), report wall-clock throughput.
+fn run_single(base: &DynamicGraph, ups: &[Update]) -> RunReport {
+    let (service, _reader) =
+        MisService::spawn(EngineBuilder::on(base.clone()).k(2), serve_cfg()).expect("spawn");
+    let t = Instant::now();
+    for u in ups {
+        service.submit_detached(u.clone()).expect("service alive");
+    }
+    let report = service.shutdown();
+    let run_secs = t.elapsed().as_secs_f64();
+    assert_eq!(report.stats.applied as usize, ups.len());
+    RunReport {
+        arch: "serve".into(),
+        shards: 1,
+        updates: ups.len(),
+        run_secs,
+        updates_per_sec: ups.len() as f64 / run_secs,
+        solution_size: report.solution.len(),
+        stats: report.stats,
+    }
+}
+
+fn run_sharded(base: &DynamicGraph, ups: &[Update], shards: usize) -> RunReport {
+    let (service, mut reader) = ShardedService::spawn(
+        EngineBuilder::on(base.clone()).k(2).shards(shards),
+        serve_cfg(),
+    )
+    .expect("spawn");
+    let t = Instant::now();
+    for u in ups {
+        service.submit_detached(u.clone()).expect("service alive");
+    }
+    let report = service.shutdown();
+    let run_secs = t.elapsed().as_secs_f64();
+    assert_eq!(report.stats.applied as usize, ups.len());
+    assert_eq!(
+        reader.snapshot(),
+        report.solution,
+        "merged per-shard cut must equal the final solution"
+    );
+    RunReport {
+        arch: format!("sharded-p{shards}"),
+        shards,
+        updates: ups.len(),
+        run_secs,
+        updates_per_sec: ups.len() as f64 / run_secs,
+        solution_size: report.solution.len(),
+        stats: report.stats,
+    }
+}
+
+fn main() {
+    let fast = dynamis_bench::fast_mode();
+    let (n, updates) = if fast {
+        (10_000, 8_000)
+    } else {
+        (100_000, 60_000)
+    };
+    let (beta, avg_degree, seed) = (2.4, 8.0, 77);
+
+    eprintln!("shard: building Chung-Lu base graph (n = {n}, beta = {beta}, d = {avg_degree})");
+    let base = chung_lu(n, beta, avg_degree, seed);
+    let ups =
+        UpdateStream::new(&base, StreamConfig::default(), seed ^ 0xfeed).take_updates(updates);
+    let cores = thread::available_parallelism().map_or(1, |c| c.get());
+    eprintln!(
+        "shard: m = {}, {updates} updates, {cores} cores; serve baseline + sharded P in {{1, 2, 4}}",
+        base.num_edges()
+    );
+
+    // Partition shape per P (the write path pays for the cut).
+    let mut partitions = Vec::new();
+    for p in [1usize, 2, 4] {
+        let map = ShardMap::degree_aware(&base, p);
+        partitions.push((p, map.cut_edges(&base), map.degree_loads(&base)));
+    }
+    for (p, cut, loads) in &partitions {
+        eprintln!(
+            "shard: P = {p}: {cut} cut edges ({:.1}% of m), degree loads {loads:?}",
+            100.0 * *cut as f64 / base.num_edges() as f64
+        );
+    }
+
+    let mut reports = Vec::new();
+    reports.push(run_single(&base, &ups));
+    for p in [1usize, 2, 4] {
+        reports.push(run_sharded(&base, &ups, p));
+    }
+
+    let mut table =
+        dynamis_bench::Table::new(vec!["arch", "shards", "updates/s", "mean batch", "|I|"]);
+    for r in &reports {
+        table.row(vec![
+            r.arch.clone(),
+            r.shards.to_string(),
+            format!("{:.0}", r.updates_per_sec),
+            format!("{:.1}", r.stats.mean_batch()),
+            r.solution_size.to_string(),
+        ]);
+    }
+    table.print();
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"shard\",").unwrap();
+    writeln!(
+        json,
+        "  \"workload\": {{\"model\": \"chung_lu\", \"n\": {n}, \"beta\": {beta}, \
+         \"avg_degree\": {avg_degree}, \"updates\": {updates}, \"seed\": {seed}, \
+         \"cores\": {cores}, \"fast\": {fast}}},"
+    )
+    .unwrap();
+    writeln!(json, "  \"partitions\": [").unwrap();
+    for (i, (p, cut, loads)) in partitions.iter().enumerate() {
+        let loads: Vec<String> = loads.iter().map(|l| l.to_string()).collect();
+        writeln!(
+            json,
+            "    {{\"shards\": {p}, \"cut_edges\": {cut}, \"degree_loads\": [{}]}}{}",
+            loads.join(", "),
+            if i + 1 < partitions.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"runs\": [").unwrap();
+    for (i, r) in reports.iter().enumerate() {
+        writeln!(
+            json,
+            "    {{\"arch\": \"{}\", \"shards\": {}, \"updates\": {}, \"run_secs\": {:.3}, \
+             \"updates_per_sec\": {:.1}, \"solution_size\": {}, \"batches\": {}, \
+             \"mean_batch\": {:.2}}}{}",
+            r.arch,
+            r.shards,
+            r.updates,
+            r.run_secs,
+            r.updates_per_sec,
+            r.solution_size,
+            r.stats.batches,
+            r.stats.mean_batch(),
+            if i + 1 < reports.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    let out = std::env::var("DYNAMIS_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
+    std::fs::write(&out, &json).expect("write bench report");
+    eprintln!("shard: wrote {out}");
+
+    let base_rate = reports[0].updates_per_sec;
+    for r in &reports[1..] {
+        eprintln!(
+            "shard: {} vs serve: {:.2}x updates/s",
+            r.arch,
+            r.updates_per_sec / base_rate
+        );
+    }
+}

@@ -37,6 +37,7 @@ pub struct EngineBuilder {
     config: EngineConfig,
     initial: Vec<u32>,
     graph: Option<DynamicGraph>,
+    shards: usize,
 }
 
 impl EngineBuilder {
@@ -89,6 +90,23 @@ impl EngineBuilder {
     /// reject a session whose requested depth they cannot maintain.
     pub fn requested_k(&self) -> Option<usize> {
         self.k
+    }
+
+    /// Requests partitioned maintenance across `shards` engine shards
+    /// (`0` is normalized to `1`). The sequential engines built by
+    /// [`EngineBuilder::build`] / [`EngineBuilder::build_as`] ignore the
+    /// knob; the sharded layer (`dynamis-shard`) and the CLI read it via
+    /// [`EngineBuilder::shard_count`], so one builder describes the
+    /// session for both single-writer and sharded serving.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// How many shards this session asked for (defaults to 1 —
+    /// unsharded).
+    pub fn shard_count(&self) -> usize {
+        self.shards.max(1)
     }
 
     /// Resumes from a checkpoint: the snapshot's graph and solution

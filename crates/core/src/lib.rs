@@ -48,6 +48,39 @@
 //! // Invalid updates are rejected, not panicked on.
 //! assert!(engine.try_apply(&Update::RemoveEdge(2, 3)).is_err());
 //! ```
+//!
+//! ## The engine invariants
+//!
+//! Everything downstream — the mirrors, the serving layer's broadcast
+//! logs, the sharded partitions — leans on three contracts, each pinned
+//! by a dedicated test suite in the workspace root:
+//!
+//! * **Delta shape.** Every [`SolutionDelta`] an engine reports (from
+//!   `try_apply`, `try_apply_batch`, or `drain_delta`) has `entered`
+//!   and `left` strictly sorted, duplicate-free, and disjoint, and is
+//!   *net*: a vertex that oscillated during one span appears in
+//!   neither list. [`SolutionMirror::apply`] enforces the shape and
+//!   refuses inconsistent streams with a typed [`MirrorError`];
+//!   `tests/delta_feed.rs` proves, for **all ten** maintainers, that
+//!   replaying the deltas from an empty mirror reproduces `solution()`
+//!   after every update.
+//! * **Rejection is total.** When `try_apply` returns an
+//!   [`EngineError`], the engine — graph, solution, counts, queues —
+//!   is exactly as it was; when `try_apply_batch` fails at index `i`,
+//!   the prefix `..i` is applied, the invariant is re-established, and
+//!   everything from `i` on is untouched (see [`EngineError::Batch`]
+//!   for the mirror-recovery rules). Pinned by
+//!   `tests/engine_behavior.rs` and the batch-rejection cases of
+//!   `tests/batching.rs`.
+//! * **k-swap local optimality.** After every accepted update the
+//!   maintained set is independent, maximal, and admits **no j-swap
+//!   for any j ≤ k** — removing j members never allows inserting
+//!   j + 1 outsiders. This is the paper's k-maximality, the source of
+//!   the `(Δ/2 + 1)` bound, and it holds at *every* update boundary,
+//!   not just eventually. `tests/invariants.rs` checks it against
+//!   brute-force swap search (`dynamis_static::verify::find_swap`)
+//!   over randomized schedules, and `tests/proptest_engines.rs`
+//!   against from-scratch rebuilds.
 
 pub mod builder;
 pub mod delta;

@@ -70,11 +70,14 @@
 
 mod error;
 mod log;
+mod multi;
 mod reader;
 mod service;
 mod stats;
 
 pub use error::ServeError;
+pub use log::SharedLog;
+pub use multi::ShardedReader;
 pub use reader::ReaderHandle;
 pub use service::{
     BatchTicket, IngestHandle, MisService, ServeConfig, ServiceHandle, ServiceReport, Ticket,

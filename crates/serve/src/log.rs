@@ -50,8 +50,14 @@ pub(crate) struct CatchUp {
 }
 
 /// The shared, bounded, sequence-numbered broadcast log.
+///
+/// This is the transport between one delta producer and any number of
+/// mirror-holding consumers. [`crate::MisService`] owns one for the
+/// whole engine; the sharded layer (`dynamis-shard`) gives each shard
+/// its own, published from that shard's writer thread, and merges them
+/// behind a [`crate::ShardedReader`].
 #[derive(Debug)]
-pub(crate) struct SharedLog {
+pub struct SharedLog {
     inner: Mutex<LogInner>,
     /// Maximum retained entries before folding into the checkpoint.
     window: usize,
@@ -62,6 +68,8 @@ pub(crate) struct SharedLog {
 }
 
 impl SharedLog {
+    /// An empty log retaining at most `window` entries before folding
+    /// the oldest into its checkpoint.
     pub fn new(window: usize) -> Self {
         SharedLog {
             inner: Mutex::new(LogInner::default()),
@@ -71,7 +79,9 @@ impl SharedLog {
     }
 
     /// Appends one delta as the next sequence number and folds the
-    /// overflow into the checkpoint. Writer-side only.
+    /// overflow into the checkpoint. Writer-side only. Empty deltas are
+    /// legal entries: multi-log producers publish one per epoch on every
+    /// log so consumers can align heads into a consistent cut.
     pub fn publish(&self, delta: SolutionDelta) -> u64 {
         let mut g = self.inner.lock().unwrap();
         g.head += 1;
@@ -102,14 +112,31 @@ impl SharedLog {
     /// buffer — in steady state no allocation happens here. The lock is
     /// held only while cloning `Arc`s (or the checkpoint, on resync);
     /// deltas are applied outside it.
-    pub fn catch_up(
+    pub(crate) fn catch_up(
+        &self,
+        mirror: &mut SolutionMirror,
+        seq: u64,
+        scratch: &mut Vec<Arc<SeqEntry>>,
+    ) -> CatchUp {
+        self.catch_up_to(mirror, seq, u64::MAX, scratch)
+    }
+
+    /// Like [`SharedLog::catch_up`] but stops at `target` instead of the
+    /// head. Multi-log consumers use it to advance every per-shard
+    /// mirror to the same epoch — the consistent cut — even while some
+    /// logs have already published past it. A `target` at or below the
+    /// checkpoint still resyncs (the checkpoint is the oldest state the
+    /// log can serve), so the reported `seq` may exceed `target` after a
+    /// fall-behind.
+    pub(crate) fn catch_up_to(
         &self,
         mirror: &mut SolutionMirror,
         mut seq: u64,
+        target: u64,
         scratch: &mut Vec<Arc<SeqEntry>>,
     ) -> CatchUp {
         let mut out = CatchUp::default();
-        if self.head.load(Ordering::Acquire) <= seq {
+        if self.head.load(Ordering::Acquire).min(target) <= seq {
             out.seq = seq;
             return out;
         }
@@ -119,7 +146,7 @@ impl SharedLog {
             scratch.clear();
             {
                 let g = self.inner.lock().unwrap();
-                if seq >= g.head && attempt == 0 {
+                if seq >= g.head.min(target) && attempt == 0 {
                     out.seq = seq;
                     return out;
                 }
@@ -129,7 +156,13 @@ impl SharedLog {
                     out.resynced = true;
                 }
                 let skip = (seq - g.base_seq) as usize;
-                scratch.extend(g.entries.iter().skip(skip).cloned());
+                scratch.extend(
+                    g.entries
+                        .iter()
+                        .skip(skip)
+                        .take_while(|e| e.seq <= target)
+                        .cloned(),
+                );
             }
             let mut failed = false;
             for e in scratch.iter() {

@@ -1,0 +1,249 @@
+//! Merged read views over several per-shard delta logs.
+//!
+//! A sharded maintenance layer (see `dynamis-shard`) gives every shard
+//! its own [`SharedLog`], published once per *epoch* (one applied
+//! ingest round) by that shard's writer thread — including an empty
+//! entry when the shard's part of the solution did not change, so the
+//! logs' heads advance in lockstep. A [`ShardedReader`] holds one
+//! private [`SolutionMirror`] per shard and syncs all of them to the
+//! **same epoch** — the minimum head across the logs, i.e. the newest
+//! consistent cut — before answering. Because each shard's log carries
+//! only the vertices that shard owns, the mirrors partition the
+//! solution and merging is union without conflicts.
+
+use crate::log::SeqEntry;
+use crate::SharedLog;
+use dynamis_core::SolutionMirror;
+use std::sync::Arc;
+
+/// A consistent, concurrently usable view over per-shard solution logs.
+///
+/// Like [`crate::ReaderHandle`], queries sync lazily and never touch any
+/// engine; unlike it, the catch-up target is the newest epoch *every*
+/// shard has published (`min` over log heads), so a query never observes
+/// shard A's half of a cross-shard repair without shard B's half.
+///
+/// Handles are `Send`; create one per query thread with
+/// [`ShardedReader::fork`].
+#[derive(Debug)]
+pub struct ShardedReader {
+    logs: Vec<Arc<SharedLog>>,
+    mirrors: Vec<SolutionMirror>,
+    seqs: Vec<u64>,
+    scratch: Vec<Arc<SeqEntry>>,
+}
+
+impl ShardedReader {
+    /// A reader over `logs` (one per shard), starting at epoch 0 and
+    /// catching up on first use.
+    pub fn new(logs: Vec<Arc<SharedLog>>) -> Self {
+        assert!(!logs.is_empty(), "a sharded reader needs at least one log");
+        let n = logs.len();
+        ShardedReader {
+            logs,
+            mirrors: (0..n).map(|_| SolutionMirror::new()).collect(),
+            seqs: vec![0; n],
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of shards merged by this reader.
+    pub fn shards(&self) -> usize {
+        self.logs.len()
+    }
+
+    /// Advances every per-shard mirror to the newest consistent cut and
+    /// returns that epoch. A fully caught-up reader costs one atomic
+    /// load per shard, no locks.
+    ///
+    /// A reader that fell behind a log's retained window re-seeds from
+    /// that log's checkpoint, which can land *past* the cut it was
+    /// aiming for; the loop then raises the cut and advances the other
+    /// mirrors to match, retrying (with a yield) while the producers'
+    /// next epochs are still in flight. Only if a producer stops
+    /// publishing mid-epoch forever (a torn writer — the serve layers
+    /// publish every shard's epoch inside one barrier, so this means
+    /// the writer died) does the reader give up and answer from the
+    /// skewed view instead of spinning.
+    pub fn sync(&mut self) -> u64 {
+        let mut stalls = 0u32;
+        loop {
+            let heads_min = self.logs.iter().map(|l| l.head()).min().unwrap_or(0);
+            let seq_max = self.seqs.iter().copied().max().unwrap_or(0);
+            let target = heads_min.max(seq_max);
+            let mut progress = false;
+            for (i, log) in self.logs.iter().enumerate() {
+                if self.seqs[i] < target {
+                    let r = log.catch_up_to(
+                        &mut self.mirrors[i],
+                        self.seqs[i],
+                        target,
+                        &mut self.scratch,
+                    );
+                    if r.seq != self.seqs[i] {
+                        progress = true;
+                    }
+                    self.seqs[i] = r.seq;
+                }
+            }
+            if self.seqs.iter().all(|&s| s == target) {
+                return target;
+            }
+            if progress {
+                stalls = 0;
+                continue;
+            }
+            stalls += 1;
+            if stalls > 1_000 {
+                // Torn producer: settle instead of spinning forever.
+                return self.seqs.iter().copied().min().unwrap_or(0);
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// O(1) membership test against the freshly synced cut. Ownership
+    /// partitions the solution, so at most one mirror holds `v`.
+    pub fn contains(&mut self, v: u32) -> bool {
+        self.sync();
+        self.mirrors.iter().any(|m| m.contains(v))
+    }
+
+    /// Merged solution size at the current cut.
+    pub fn len(&mut self) -> usize {
+        self.sync();
+        self.mirrors.iter().map(|m| m.len()).sum()
+    }
+
+    /// Whether the merged solution is empty.
+    pub fn is_empty(&mut self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materializes the merged solution (sorted vertex ids) — the same
+    /// shape [`dynamis_core::DynamicMis::solution`] returns.
+    pub fn snapshot(&mut self) -> Vec<u32> {
+        self.sync();
+        let mut out: Vec<u32> = self
+            .mirrors
+            .iter()
+            .flat_map(|m| m.solution())
+            .collect::<Vec<_>>();
+        out.sort_unstable();
+        out
+    }
+
+    /// The per-shard sequence positions of the last synced cut (all
+    /// equal after a [`ShardedReader::sync`] unless a producer died
+    /// mid-epoch — see `sync`).
+    pub fn seq_vector(&self) -> &[u64] {
+        &self.seqs
+    }
+
+    /// A new independent reader starting at this handle's cut (cheap:
+    /// clones the mirrors, not the logs).
+    pub fn fork(&self) -> ShardedReader {
+        ShardedReader {
+            logs: self.logs.clone(),
+            mirrors: self.mirrors.clone(),
+            seqs: self.seqs.clone(),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamis_core::{EngineStats, SolutionDelta};
+
+    fn delta(entered: Vec<u32>, left: Vec<u32>) -> SolutionDelta {
+        SolutionDelta {
+            entered,
+            left,
+            stats: EngineStats::default(),
+        }
+    }
+
+    #[test]
+    fn reader_merges_disjoint_shard_logs() {
+        let a = Arc::new(SharedLog::new(8));
+        let b = Arc::new(SharedLog::new(8));
+        a.publish(delta(vec![0, 2], vec![]));
+        b.publish(delta(vec![1, 5], vec![]));
+        let mut r = ShardedReader::new(vec![Arc::clone(&a), Arc::clone(&b)]);
+        assert_eq!(r.snapshot(), vec![0, 1, 2, 5]);
+        assert_eq!(r.len(), 4);
+        assert!(r.contains(5) && !r.contains(3));
+        assert_eq!(r.seq_vector(), &[1, 1]);
+    }
+
+    #[test]
+    fn sync_stops_at_the_consistent_cut() {
+        let a = Arc::new(SharedLog::new(8));
+        let b = Arc::new(SharedLog::new(8));
+        // Epoch 1 on both logs; epoch 2 only on log a (b mid-publish).
+        a.publish(delta(vec![0], vec![]));
+        b.publish(delta(vec![1], vec![]));
+        a.publish(delta(vec![2], vec![0]));
+        let mut r = ShardedReader::new(vec![Arc::clone(&a), Arc::clone(&b)]);
+        assert_eq!(r.sync(), 1, "cut is min(head) across logs");
+        assert_eq!(r.snapshot(), vec![0, 1], "epoch 2 is not yet visible");
+        // b catches up; the cut advances.
+        b.publish(delta(vec![], vec![]));
+        assert_eq!(r.sync(), 2);
+        assert_eq!(r.snapshot(), vec![1, 2]);
+    }
+
+    #[test]
+    fn checkpoint_overshoot_re_aligns_the_cut() {
+        // A tiny window forces a lagging reader to re-seed from a
+        // checkpoint *past* the cut it aimed for; sync must then raise
+        // the cut and advance the other mirror to match instead of
+        // serving half of a cross-shard repair.
+        let a = Arc::new(SharedLog::new(2));
+        let b = Arc::new(SharedLog::new(2));
+        // Epoch 1..=8 on log a (checkpoint covers ..=6), 1..=8 on b.
+        for i in 0..8u32 {
+            a.publish(delta(vec![100 + i], vec![]));
+            b.publish(delta(vec![200 + i], vec![]));
+        }
+        let mut r = ShardedReader::new(vec![Arc::clone(&a), Arc::clone(&b)]);
+        // Push a past b: a at 12, b still at 8 → the aimed cut is 8,
+        // but a's checkpoint now covers ..=10, overshooting it. The
+        // sync must terminate (b will never publish inside this
+        // single-threaded test — the torn-producer escape) instead of
+        // spinning, and must leave a's mirror at the checkpoint.
+        for i in 8..12u32 {
+            a.publish(delta(vec![100 + i], vec![]));
+        }
+        assert!(a.head() > b.head());
+        r.sync();
+        assert!(
+            r.seq_vector().contains(&10),
+            "a's mirror re-seeded at its checkpoint: {:?}",
+            r.seq_vector()
+        );
+        // Once b publishes the missing epochs, the next sync raises the
+        // cut over the overshoot and re-aligns both mirrors.
+        for i in 8..12u32 {
+            b.publish(delta(vec![200 + i], vec![]));
+        }
+        let cut = r.sync();
+        assert_eq!(cut, 12, "cut rises past the checkpoint overshoot");
+        let seqs = r.seq_vector().to_vec();
+        assert!(seqs.iter().all(|&s| s == cut), "aligned: {seqs:?}");
+        assert_eq!(r.len(), 24, "both shards' epochs 1..=12 visible");
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let a = Arc::new(SharedLog::new(8));
+        a.publish(delta(vec![7], vec![]));
+        let mut r = ShardedReader::new(vec![Arc::clone(&a)]);
+        assert!(r.contains(7));
+        let mut f = r.fork();
+        a.publish(delta(vec![8], vec![]));
+        assert!(f.contains(8) && r.contains(8));
+    }
+}

@@ -20,6 +20,26 @@ use std::sync::Arc;
 ///
 /// Handles are `Send`: create one per query thread via
 /// [`ReaderHandle::fork`] (or [`crate::ServiceHandle::reader`]).
+///
+/// ```
+/// use dynamis_core::EngineBuilder;
+/// use dynamis_graph::DynamicGraph;
+/// use dynamis_serve::{MisService, ServeConfig};
+///
+/// let g = DynamicGraph::from_edges(5, &[(0, 1), (2, 3)]);
+/// let (service, mut reader) =
+///     MisService::spawn(EngineBuilder::on(g), ServeConfig::default()).unwrap();
+///
+/// // A reader answers from its private mirror — never from the engine.
+/// assert_eq!(reader.len(), 3);
+/// assert!(reader.contains(4));
+///
+/// // Forked readers are independent: hand one to each query thread.
+/// let mut fork = reader.fork();
+/// let t = std::thread::spawn(move || fork.snapshot());
+/// assert_eq!(t.join().unwrap(), reader.snapshot());
+/// # service.shutdown();
+/// ```
 #[derive(Debug)]
 pub struct ReaderHandle {
     log: Arc<SharedLog>,

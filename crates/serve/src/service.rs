@@ -351,6 +351,24 @@ impl ServiceHandle {
 }
 
 /// Entry point: turns any engine into a concurrently served one.
+///
+/// ```
+/// use dynamis_core::EngineBuilder;
+/// use dynamis_graph::{DynamicGraph, Update};
+/// use dynamis_serve::{MisService, ServeConfig};
+///
+/// let g = DynamicGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+/// let (service, mut reader) =
+///     MisService::spawn(EngineBuilder::on(g).k(1), ServeConfig::default()).unwrap();
+///
+/// // Applied updates report their broadcast sequence number…
+/// assert!(service.submit(Update::RemoveEdge(1, 2)).unwrap().wait().is_ok());
+/// // …invalid ones come back as the engine's typed rejection.
+/// assert!(service.submit(Update::RemoveEdge(1, 2)).unwrap().wait().is_err());
+///
+/// let report = service.shutdown();
+/// assert_eq!(reader.snapshot(), report.solution);
+/// ```
 pub struct MisService;
 
 impl MisService {

@@ -1,0 +1,886 @@
+//! One shard's worth of maintenance state: the halo graph, exact counts
+//! and dependent sets for owned vertices, and the per-shard delta feed.
+//!
+//! A cell owns a subset of the vertex space (per the shared
+//! [`ShardMap`]) and stores exactly the edges incident to an owned
+//! vertex — its *1-hop halo*. That is enough to give the cell the full
+//! adjacency of every owned vertex, so every count transition of an
+//! owned vertex is computed **locally** on the cell's writer thread; the
+//! only things that cross shards are membership flips (broadcast) and
+//! the dependent-set bookkeeping [`Note`]s addressed to the owner of the
+//! affected solution vertex. Cut edges are stored twice (once per
+//! endpoint owner); intra-shard edges once.
+//!
+//! A cell never decides anything by itself: it answers the coordinator's
+//! phase commands ([`Cmd`]) with local facts, and applies the membership
+//! flips the coordinator commits. All tie-breaking (fill order, swap
+//! order, swap pair choice) happens in the coordinator against global
+//! vertex ids — which is what makes the maintained solution independent
+//! of the shard count.
+
+use crate::protocol::{merge_minus, CellOp, Cmd, EndInfo, Note, Reply, ReplyData, SwapProposal};
+use dynamis_core::DeltaFeed;
+use dynamis_graph::collections::StampSet;
+use dynamis_graph::{DynamicGraph, ShardMap};
+use dynamis_serve::SharedLog;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+const NONE: u32 = u32::MAX;
+
+/// Result of a cell-local swap resolution attempt.
+enum LocalOutcome {
+    /// A ready, canonical proposal.
+    Swap(SwapProposal),
+    /// Every relevant set was local and no swap exists.
+    NoSwap,
+    /// An adjacency test would need data this cell does not hold.
+    NonLocal,
+}
+
+/// Per-shard maintenance state. See the module docs.
+#[derive(Debug)]
+pub(crate) struct ShardCell {
+    me: u16,
+    k2: bool,
+    /// Halo graph: all vertex slots, edges incident to an owned vertex.
+    g: DynamicGraph,
+    /// Vertex → owner shard, kept in lockstep with the coordinator's
+    /// [`ShardMap`] through `AddVertex` commands.
+    owners: Vec<u16>,
+    /// Global solution membership (exact for every vertex this cell can
+    /// ever read: owned vertices and their neighbors).
+    in_sol: Vec<bool>,
+    /// For owned outsiders: |N(v) ∩ I|. 0 for members and foreigners.
+    count: Vec<u32>,
+    /// For owned outsiders with count ≤ 2: the solution parents,
+    /// `NONE`-padded. Stale (unused) at count ≥ 3.
+    par: Vec<[u32; 2]>,
+    /// For owned solution vertices: the exact `¯I₁(v)` (count-1
+    /// dependents), cross-shard members included via routed notes.
+    dep1: Vec<Vec<u32>>,
+    /// For owned solution vertices: `(other parent, pivot)` rows — the
+    /// count-2 pivots this vertex co-parents (k = 2 only).
+    dep2: Vec<Vec<(u32, u32)>>,
+    /// Owned, alive, count-0 outsiders awaiting the fill phase.
+    freed: BTreeSet<u32>,
+    /// Owned solution vertices to re-examine for a 1-swap / 2-swap.
+    dirty1: BTreeSet<u32>,
+    dirty2: BTreeSet<u32>,
+    /// Flips of owned vertices only — the shard's delta stream.
+    feed: DeltaFeed,
+    /// Per-shard broadcast log (service mode), published on `Drain`.
+    log: Option<Arc<SharedLog>>,
+    stamp: StampSet,
+    scratch: Vec<u32>,
+}
+
+impl ShardCell {
+    /// Builds the cell over the session graph: halo edges, initial
+    /// membership, counts. Returns the cell plus the dependent-set notes
+    /// its owned outsiders generate at bootstrap (the coordinator routes
+    /// them like any others).
+    pub fn new(
+        me: usize,
+        k2: bool,
+        full: &DynamicGraph,
+        map: &ShardMap,
+        initial: &[u32],
+        log: Option<Arc<SharedLog>>,
+    ) -> (Self, Vec<Note>) {
+        let cap = full.capacity();
+        let me16 = me as u16;
+        let mut g = DynamicGraph::with_capacity(cap);
+        for v in full.vertices() {
+            g.ensure_vertex(v);
+        }
+        for (u, v) in full.edges() {
+            if map.owner(u) == me || map.owner(v) == me {
+                g.insert_edge(u, v).expect("halo endpoints are alive");
+            }
+        }
+        let mut cell = ShardCell {
+            me: me16,
+            k2,
+            g,
+            owners: (0..cap as u32).map(|v| map.owner(v) as u16).collect(),
+            in_sol: vec![false; cap],
+            count: vec![0; cap],
+            par: vec![[NONE, NONE]; cap],
+            dep1: vec![Vec::new(); cap],
+            dep2: vec![Vec::new(); cap],
+            freed: BTreeSet::new(),
+            dirty1: BTreeSet::new(),
+            dirty2: BTreeSet::new(),
+            feed: DeltaFeed::default(),
+            log,
+            stamp: StampSet::with_capacity(cap),
+            scratch: Vec::new(),
+        };
+        for &v in initial {
+            cell.in_sol[v as usize] = true;
+            if cell.owns(v) {
+                cell.feed.record_in(v);
+            }
+        }
+        let mut notes = Vec::new();
+        for v in full.vertices() {
+            if cell.owns(v) && !cell.in_sol[v as usize] {
+                cell.recount(v, &mut notes);
+            }
+        }
+        (cell, notes)
+    }
+
+    #[inline]
+    fn owns(&self, v: u32) -> bool {
+        self.owners[v as usize] == self.me
+    }
+
+    #[inline]
+    fn stores_edge(&self, u: u32, v: u32) -> bool {
+        self.owns(u) || self.owns(v)
+    }
+
+    fn ensure_capacity(&mut self, cap: usize) {
+        if self.in_sol.len() < cap {
+            self.in_sol.resize(cap, false);
+            self.count.resize(cap, 0);
+            self.par.resize(cap, [NONE, NONE]);
+            self.dep1.resize_with(cap, Vec::new);
+            self.dep2.resize_with(cap, Vec::new);
+            self.stamp = StampSet::with_capacity(cap);
+        }
+    }
+
+    /// Recomputes `count`/`par` of owned outsider `v` from scratch and
+    /// emits its dependent-set notes. Used at bootstrap and when a
+    /// vertex leaves the solution (its count was implicitly 0 while in).
+    fn recount(&mut self, v: u32, notes: &mut Vec<Note>) {
+        let mut c = 0u32;
+        let mut ps = [NONE, NONE];
+        for w in self.g.neighbors(v) {
+            if self.in_sol[w as usize] {
+                if c < 2 {
+                    ps[c as usize] = w;
+                }
+                c += 1;
+            }
+        }
+        self.count[v as usize] = c;
+        self.par[v as usize] = if c <= 2 { ps } else { [NONE, NONE] };
+        match c {
+            0 => {
+                self.freed.insert(v);
+            }
+            1 => notes.push(Note::Dep1Add { p: ps[0], u: v }),
+            2 if self.k2 => {
+                let (a, b) = (ps[0].min(ps[1]), ps[0].max(ps[1]));
+                notes.push(Note::Dep2Add { a, b, u: v });
+            }
+            _ => {}
+        }
+    }
+
+    /// Owned outsider `u` gained solution neighbor `by`.
+    fn inc_count(&mut self, u: u32, by: u32, notes: &mut Vec<Note>) {
+        let c = self.count[u as usize];
+        self.count[u as usize] = c + 1;
+        match c {
+            0 => {
+                self.par[u as usize] = [by, NONE];
+                self.freed.remove(&u);
+                notes.push(Note::Dep1Add { p: by, u });
+            }
+            1 => {
+                let p0 = self.par[u as usize][0];
+                self.par[u as usize][1] = by;
+                notes.push(Note::Dep1Del { p: p0, u });
+                if self.k2 {
+                    notes.push(Note::Dep2Add {
+                        a: p0.min(by),
+                        b: p0.max(by),
+                        u,
+                    });
+                }
+            }
+            2 => {
+                if self.k2 {
+                    let [p0, p1] = self.par[u as usize];
+                    notes.push(Note::Dep2Del {
+                        a: p0.min(p1),
+                        b: p0.max(p1),
+                        u,
+                    });
+                }
+                self.par[u as usize] = [NONE, NONE];
+            }
+            _ => {}
+        }
+    }
+
+    /// Owned outsider `u` lost solution neighbor `leaving` (already
+    /// flagged out of `in_sol` — the count-3 rescan relies on that).
+    fn dec_count(&mut self, u: u32, leaving: u32, notes: &mut Vec<Note>) {
+        let c = self.count[u as usize];
+        debug_assert!(c > 0, "dec_count underflow at {u}");
+        self.count[u as usize] = c - 1;
+        match c {
+            1 => {
+                self.par[u as usize] = [NONE, NONE];
+                notes.push(Note::Dep1Del { p: leaving, u });
+                self.freed.insert(u);
+            }
+            2 => {
+                let [p0, p1] = self.par[u as usize];
+                let p = if p0 == leaving { p1 } else { p0 };
+                debug_assert!(p != NONE);
+                self.par[u as usize] = [p, NONE];
+                if self.k2 {
+                    notes.push(Note::Dep2Del {
+                        a: p0.min(p1),
+                        b: p0.max(p1),
+                        u,
+                    });
+                }
+                notes.push(Note::Dep1Add { p, u });
+            }
+            3 => {
+                // Parents were untracked at count 3: rescan for the two
+                // remaining ones (`leaving` is already out of `in_sol`).
+                let mut ps = [NONE, NONE];
+                let mut n = 0;
+                for w in self.g.neighbors(u) {
+                    if self.in_sol[w as usize] {
+                        if n < 2 {
+                            ps[n] = w;
+                        }
+                        n += 1;
+                    }
+                }
+                debug_assert_eq!(n, 2, "count 3→2 must leave two parents");
+                self.par[u as usize] = ps;
+                if self.k2 {
+                    notes.push(Note::Dep2Add {
+                        a: ps[0].min(ps[1]),
+                        b: ps[0].max(ps[1]),
+                        u,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn apply_flips(&mut self, flips: &[(u32, bool)], notes: &mut Vec<Note>) {
+        for &(v, enter) in flips {
+            self.in_sol[v as usize] = enter;
+            if self.owns(v) {
+                if enter {
+                    debug_assert_eq!(self.count[v as usize], 0, "entering vertex must be free");
+                    self.feed.record_in(v);
+                    self.freed.remove(&v);
+                    self.par[v as usize] = [NONE, NONE];
+                } else {
+                    self.feed.record_out(v);
+                    self.recount(v, notes);
+                }
+            }
+            // Count transitions of owned outsider neighbors.
+            self.scratch.clear();
+            self.scratch.extend(
+                self.g
+                    .neighbors(v)
+                    .filter(|&w| self.owners[w as usize] == self.me && !self.in_sol[w as usize]),
+            );
+            let mut moved = std::mem::take(&mut self.scratch);
+            for &w in &moved {
+                if enter {
+                    self.inc_count(w, v, notes);
+                } else {
+                    self.dec_count(w, v, notes);
+                }
+            }
+            moved.clear();
+            self.scratch = moved;
+        }
+    }
+
+    fn apply_notes(&mut self, notes: Vec<Note>) {
+        for note in notes {
+            match note {
+                Note::Dep1Add { p, u } => {
+                    debug_assert!(self.owns(p));
+                    self.dep1[p as usize].push(u);
+                    self.dirty1.insert(p);
+                    if self.k2 {
+                        // A new ¯I₁(p) member can unlock 2-swaps at any
+                        // pair involving p (the FIND ONESWAP promotion).
+                        self.dirty2.insert(p);
+                    }
+                }
+                Note::Dep1Del { p, u } => {
+                    if self.owns(p) {
+                        if let Some(i) = self.dep1[p as usize].iter().position(|&x| x == u) {
+                            self.dep1[p as usize].swap_remove(i);
+                        }
+                    }
+                }
+                Note::Dep2Add { a, b, u } => {
+                    for (mine, other) in [(a, b), (b, a)] {
+                        if self.owns(mine) {
+                            self.dep2[mine as usize].push((other, u));
+                            self.dirty2.insert(mine);
+                        }
+                    }
+                }
+                Note::Dep2Del { a, b, u } => {
+                    for (mine, other) in [(a, b), (b, a)] {
+                        if self.owns(mine) {
+                            if let Some(i) = self.dep2[mine as usize]
+                                .iter()
+                                .position(|&e| e == (other, u))
+                            {
+                                self.dep2[mine as usize].swap_remove(i);
+                            }
+                        }
+                    }
+                }
+                Note::Dirty1 { v } => {
+                    if self.owns(v) {
+                        self.dirty1.insert(v);
+                    }
+                }
+                Note::Dirty2 { v } => {
+                    if self.owns(v) && self.k2 {
+                        self.dirty2.insert(v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies one segment of membership-neutral structural ops in
+    /// order, collecting the [`EndInfo`] rows of removed edges whose
+    /// owned endpoints are outsiders.
+    fn apply_ops(&mut self, ops: &[CellOp], reply: &mut Reply) {
+        let mut notes = std::mem::take(&mut reply.notes);
+        let mut rows: Vec<(u32, Option<EndInfo>, Option<EndInfo>)> = Vec::new();
+        for cell_op in ops {
+            match *cell_op {
+                CellOp::Edge {
+                    op,
+                    insert,
+                    u,
+                    v,
+                    u_in,
+                    v_in,
+                } => {
+                    debug_assert!(self.stores_edge(u, v), "ops are routed to storing cells");
+                    // Refresh endpoint membership from the coordinator's
+                    // mirror: flips are routed only to cells already
+                    // bordering a vertex, so this may be the first time
+                    // this cell meets `u` or `v`.
+                    self.in_sol[u as usize] = u_in;
+                    self.in_sol[v as usize] = v_in;
+                    if insert {
+                        self.g.insert_edge(u, v).expect("validated by coordinator");
+                        for (x, o, o_in) in [(u, v, v_in), (v, u, u_in)] {
+                            if self.owns(x) && !self.in_sol[x as usize] && o_in {
+                                self.inc_count(x, o, &mut notes);
+                            }
+                        }
+                    } else {
+                        // Remove first: the count-3 parent rescan must
+                        // not see the deleted edge.
+                        self.g.remove_edge(u, v).expect("validated by coordinator");
+                        let mut infos = (None, None);
+                        for (x, o, o_in) in [(u, v, v_in), (v, u, u_in)] {
+                            if self.owns(x) && !self.in_sol[x as usize] {
+                                if o_in {
+                                    self.dec_count(x, o, &mut notes);
+                                }
+                                let info = EndInfo {
+                                    count: self.count[x as usize],
+                                    parents: self.par[x as usize],
+                                };
+                                if x == u {
+                                    infos.0 = Some(info);
+                                } else {
+                                    infos.1 = Some(info);
+                                }
+                            }
+                        }
+                        // Only both-outsider removals feed the dirty
+                        // rules; skip rows the coordinator won't read.
+                        if !u_in && !v_in && (infos.0.is_some() || infos.1.is_some()) {
+                            rows.push((op, infos.0, infos.1));
+                        }
+                    }
+                }
+                CellOp::AddVertex {
+                    id,
+                    owner,
+                    ref neighbors,
+                } => {
+                    let neighbors = Arc::clone(neighbors);
+                    self.apply_add_vertex(id, owner, &neighbors, &mut notes);
+                }
+                CellOp::RemOutsider { v } => self.apply_rem_outsider(v, &mut notes),
+            }
+        }
+        reply.notes = notes;
+        if !rows.is_empty() {
+            reply.data = ReplyData::OpsInfo(rows);
+        }
+    }
+
+    fn apply_add_vertex(
+        &mut self,
+        id: u32,
+        owner: u16,
+        neighbors: &[(u32, bool)],
+        notes: &mut Vec<Note>,
+    ) {
+        let idx = id as usize;
+        if self.owners.len() <= idx {
+            self.owners.resize(idx + 1, u16::MAX);
+        }
+        self.owners[idx] = owner;
+        self.g.ensure_vertex(id);
+        self.ensure_capacity(self.g.capacity().max(idx + 1));
+        self.in_sol[idx] = false;
+        for &(n, n_in) in neighbors {
+            if self.stores_edge(id, n) {
+                // Membership refresh, as on `Edge` (targeted flips).
+                self.in_sol[n as usize] = n_in;
+                self.g.insert_edge(id, n).expect("validated neighbors");
+            }
+        }
+        if self.owns(id) {
+            self.recount(id, notes);
+        }
+        // Owned outsider neighbors: `id` is not in the solution, so
+        // their counts are unchanged.
+    }
+
+    /// Removes a vertex that was in the solution (phase boundary).
+    fn apply_rem_sol_vertex(&mut self, v: u32, notes: &mut Vec<Note>) {
+        self.in_sol[v as usize] = false;
+        if self.owns(v) {
+            self.feed.record_out(v);
+        }
+        self.scratch.clear();
+        self.scratch.extend(
+            self.g
+                .neighbors(v)
+                .filter(|&w| self.owners[w as usize] == self.me && !self.in_sol[w as usize]),
+        );
+        let mut moved = std::mem::take(&mut self.scratch);
+        for &w in &moved {
+            self.dec_count(w, v, notes);
+        }
+        moved.clear();
+        self.scratch = moved;
+        self.clear_vertex_state(v);
+    }
+
+    /// Removes an outsider vertex (membership-neutral, segment op).
+    fn apply_rem_outsider(&mut self, v: u32, notes: &mut Vec<Note>) {
+        self.in_sol[v as usize] = false;
+        if self.owns(v) {
+            // Retract v's dependent-set membership before it disappears.
+            match self.count[v as usize] {
+                1 => notes.push(Note::Dep1Del {
+                    p: self.par[v as usize][0],
+                    u: v,
+                }),
+                2 if self.k2 => {
+                    let [p0, p1] = self.par[v as usize];
+                    notes.push(Note::Dep2Del {
+                        a: p0.min(p1),
+                        b: p0.max(p1),
+                        u: v,
+                    });
+                }
+                _ => {}
+            }
+        }
+        self.clear_vertex_state(v);
+    }
+
+    fn clear_vertex_state(&mut self, v: u32) {
+        if self.owns(v) {
+            self.count[v as usize] = 0;
+            self.par[v as usize] = [NONE, NONE];
+            self.freed.remove(&v);
+            self.dirty1.remove(&v);
+            self.dirty2.remove(&v);
+            // dep rows referencing v drain through the routed Dep*Del
+            // notes the dependents' owners emit for this same removal.
+        }
+        if self.g.is_alive(v) {
+            self.g.remove_vertex(v).expect("alive checked");
+        }
+    }
+
+    fn fill_poll(&self) -> ReplyData {
+        let boundary: Vec<u32> = self
+            .freed
+            .iter()
+            .copied()
+            .filter(|&v| {
+                self.g
+                    .neighbors(v)
+                    .any(|w| self.owners[w as usize] != self.me)
+            })
+            .collect();
+        ReplyData::Fill {
+            any: !self.freed.is_empty(),
+            boundary,
+        }
+    }
+
+    /// One fill round: owned freed vertices that are local minima of the
+    /// freed-induced subgraph enter. `all_bnd` is the sorted union of
+    /// every shard's boundary-freed frontier, which covers exactly the
+    /// foreign freed vertices adjacent to this cell's owned ones.
+    fn fill_round(&self, all_bnd: &[u32]) -> ReplyData {
+        let mut entered = Vec::new();
+        for &v in self.freed.iter() {
+            let is_min = self.g.neighbors(v).all(|w| {
+                let w_freed = if self.owners[w as usize] == self.me {
+                    self.freed.contains(&w)
+                } else {
+                    all_bnd.binary_search(&w).is_ok()
+                };
+                !w_freed || w > v
+            });
+            if is_min {
+                entered.push(v);
+            }
+        }
+        ReplyData::Entered(entered)
+    }
+
+    /// Ascending scan of the dirty set: prune invalid entries, resolve
+    /// what is local, report the first actionable candidate. A `None`
+    /// means the set is (now) empty of candidates.
+    fn swap_scan(&mut self, two: bool, clear: Option<u32>) -> Option<SwapProposal> {
+        if let Some(c) = clear {
+            if two {
+                self.dirty2.remove(&c);
+            } else {
+                self.dirty1.remove(&c);
+            }
+        }
+        loop {
+            let set = if two { &self.dirty2 } else { &self.dirty1 };
+            let v = *set.iter().next()?;
+            let valid = self.in_sol[v as usize]
+                && if two {
+                    !self.dep2[v as usize].is_empty()
+                } else {
+                    self.dep1[v as usize].len() >= 2
+                };
+            if valid {
+                let outcome = if two {
+                    self.try_local_two(v)
+                } else {
+                    self.try_local_one(v)
+                };
+                match outcome {
+                    LocalOutcome::Swap(p) => return Some(p),
+                    LocalOutcome::NonLocal => {
+                        let bar1 = if two {
+                            Vec::new()
+                        } else {
+                            let mut d = self.dep1[v as usize].clone();
+                            d.sort_unstable();
+                            d
+                        };
+                        return Some(SwapProposal::Global { v, bar1 });
+                    }
+                    // Fully local and refuted: prune without a
+                    // coordinator round-trip and keep scanning.
+                    LocalOutcome::NoSwap => {}
+                }
+            }
+            if two {
+                self.dirty2.remove(&v);
+            } else {
+                self.dirty1.remove(&v);
+            }
+        }
+    }
+
+    /// Whether this cell can test adjacency of `(a, b)` (the halo holds
+    /// every edge of an owned vertex).
+    #[inline]
+    fn can_test(&self, a: u32, b: u32) -> bool {
+        self.owns(a) || self.owns(b)
+    }
+
+    /// FIND ONESWAP at `v`, locally: possible when at most one `¯I₁(v)`
+    /// member is foreign (then every pair has an owned endpoint).
+    fn try_local_one(&mut self, v: u32) -> LocalOutcome {
+        let foreign = self.dep1[v as usize]
+            .iter()
+            .filter(|&&u| !self.owns(u))
+            .count();
+        if foreign >= 2 {
+            return LocalOutcome::NonLocal;
+        }
+        let mut d = self.dep1[v as usize].clone();
+        d.sort_unstable();
+        for i in 0..d.len() {
+            for j in i + 1..d.len() {
+                debug_assert!(self.can_test(d[i], d[j]));
+                if !self.g.has_edge(d[i], d[j]) {
+                    return LocalOutcome::Swap(SwapProposal::One {
+                        v,
+                        u1: d[i],
+                        u2: d[j],
+                    });
+                }
+            }
+        }
+        LocalOutcome::NoSwap
+    }
+
+    /// FIND TWOSWAP over the pairs of `v`, locally: a pair is local when
+    /// its other parent, every pivot, and (up to one exception) every
+    /// replacement candidate are owned. The first pair that cannot be
+    /// decided locally punts the whole candidate to the coordinator —
+    /// order matters for canonicality.
+    fn try_local_two(&mut self, v: u32) -> LocalOutcome {
+        let mut pairs: Vec<(u32, u32)> = self.dep2[v as usize]
+            .iter()
+            .map(|&(o, _)| (v.min(o), v.max(o)))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        for (a, b) in pairs {
+            let o = if a == v { b } else { a };
+            if !self.owns(o) {
+                return LocalOutcome::NonLocal;
+            }
+            let mut piv: Vec<u32> = self.dep2[v as usize]
+                .iter()
+                .filter(|&&(other, _)| other == o)
+                .map(|&(_, x)| x)
+                .collect();
+            piv.sort_unstable();
+            if piv.iter().any(|&x| !self.owns(x)) {
+                return LocalOutcome::NonLocal;
+            }
+            let mut b1a = self.dep1[a as usize].clone();
+            b1a.sort_unstable();
+            let mut b1b = self.dep1[b as usize].clone();
+            b1b.sort_unstable();
+            for &x in &piv {
+                // Mark N[x] (owned pivot: full adjacency available).
+                self.stamp.clear();
+                self.stamp.mark(x);
+                for w in self.g.neighbors(x) {
+                    self.stamp.mark(w);
+                }
+                let cy: Vec<u32> = merge_minus(&b1a, &piv, |w| self.stamp.is_marked(w));
+                if cy.is_empty() {
+                    continue;
+                }
+                let cz: Vec<u32> = merge_minus(&b1b, &piv, |w| self.stamp.is_marked(w));
+                if cz.is_empty() {
+                    continue;
+                }
+                let foreign = cy
+                    .iter()
+                    .chain(cz.iter())
+                    .filter(|&&w| !self.owns(w))
+                    .count();
+                if foreign >= 2 {
+                    return LocalOutcome::NonLocal;
+                }
+                for &y in &cy {
+                    for &z in &cz {
+                        if z != y {
+                            debug_assert!(self.can_test(y, z));
+                            if !self.g.has_edge(y, z) {
+                                return LocalOutcome::Swap(SwapProposal::Two { v, a, b, x, y, z });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        LocalOutcome::NoSwap
+    }
+
+    fn adj_among(&mut self, list: &[u32]) -> ReplyData {
+        self.stamp.clear();
+        for &v in list {
+            self.stamp.mark(v);
+        }
+        let mut edges = Vec::new();
+        for &u in list {
+            if self.owns(u) && self.g.is_alive(u) {
+                for w in self.g.neighbors(u) {
+                    if self.stamp.is_marked(w) {
+                        edges.push((u.min(w), u.max(w)));
+                    }
+                }
+            }
+        }
+        ReplyData::Edges(edges)
+    }
+
+    /// Dispatches one coordinator command. Every command produces
+    /// exactly one reply, stamped with the cell's pending-work hints.
+    pub fn handle(&mut self, cmd: Cmd) -> Reply {
+        let mut reply = Reply::default();
+        match cmd {
+            Cmd::Ops(ops) => self.apply_ops(&ops, &mut reply),
+            Cmd::RemSolVertex { v } => self.apply_rem_sol_vertex(v, &mut reply.notes),
+            Cmd::Flips(flips) => self.apply_flips(&flips, &mut reply.notes),
+            Cmd::Notes(notes) => self.apply_notes(notes),
+            Cmd::FillPoll => reply.data = self.fill_poll(),
+            Cmd::FillRound(bnd) => reply.data = self.fill_round(&bnd),
+            Cmd::DepPeek(v) => {
+                reply.data = ReplyData::Peek {
+                    nonempty: !self.dep1[v as usize].is_empty(),
+                }
+            }
+            Cmd::Bar1(v) => {
+                let mut d = self.dep1[v as usize].clone();
+                d.sort_unstable();
+                reply.data = ReplyData::List(d);
+            }
+            Cmd::Pivots { a, b } => {
+                debug_assert!(self.owns(a));
+                let mut piv: Vec<u32> = self.dep2[a as usize]
+                    .iter()
+                    .filter(|&&(o, _)| o == b)
+                    .map(|&(_, x)| x)
+                    .collect();
+                piv.sort_unstable();
+                reply.data = ReplyData::List(piv);
+            }
+            Cmd::PairsOf(v) => {
+                let mut pairs: Vec<(u32, u32)> = self.dep2[v as usize]
+                    .iter()
+                    .map(|&(o, _)| (v.min(o), v.max(o)))
+                    .collect();
+                pairs.sort_unstable();
+                pairs.dedup();
+                reply.data = ReplyData::Pairs(pairs);
+            }
+            Cmd::AdjAmong(list) => reply.data = self.adj_among(&list),
+            Cmd::NbrsOf(v) => {
+                let mut n: Vec<u32> = self.g.neighbors(v).collect();
+                n.sort_unstable();
+                reply.data = ReplyData::List(n);
+            }
+            Cmd::SwapScan { two, clear } => {
+                reply.data = ReplyData::Swap(self.swap_scan(two, clear))
+            }
+            Cmd::ClearDirty { two, v } => {
+                if two {
+                    self.dirty2.remove(&v);
+                } else {
+                    self.dirty1.remove(&v);
+                }
+            }
+            Cmd::Drain => {
+                // Close the open span lazily — per-update closes would
+                // cost one broadcast each and the drain nets anyway.
+                let _ = self.feed.finish_update();
+                let delta = self.feed.drain();
+                if let Some(log) = &self.log {
+                    // Publish even when empty: per-shard logs advance in
+                    // lockstep so readers can cut at min(head).
+                    log.publish(delta);
+                }
+            }
+            Cmd::HeapBytes => {
+                let deps: usize = self
+                    .dep1
+                    .iter()
+                    .map(|d| d.capacity() * 4)
+                    .chain(self.dep2.iter().map(|d| d.capacity() * 8))
+                    .sum();
+                reply.data = ReplyData::Bytes(
+                    self.g.heap_bytes()
+                        + self.in_sol.capacity()
+                        + self.count.capacity() * 4
+                        + self.par.capacity() * 8
+                        + deps
+                        + self.feed.heap_bytes(),
+                );
+            }
+            Cmd::DumpState => {
+                let mut rows = Vec::new();
+                for v in 0..self.dep1.len() as u32 {
+                    if self.owns(v)
+                        && (!self.dep1[v as usize].is_empty() || !self.dep2[v as usize].is_empty())
+                    {
+                        let mut d1 = self.dep1[v as usize].clone();
+                        d1.sort_unstable();
+                        let mut d2 = self.dep2[v as usize].clone();
+                        d2.sort_unstable();
+                        rows.push((v, d1, d2));
+                    }
+                }
+                reply.data = ReplyData::Dump(rows);
+            }
+            Cmd::Audit => reply.data = ReplyData::Check(self.check_local()),
+            Cmd::Stop => unreachable!("Stop is handled by the transport loop"),
+        }
+        reply.freed = !self.freed.is_empty();
+        reply.dirty1 = !self.dirty1.is_empty();
+        reply.dirty2 = !self.dirty2.is_empty();
+        reply
+    }
+
+    /// Local invariant audit (tests): counts, parents, and freed status
+    /// recomputed from scratch must match the incrementally maintained
+    /// state, and the halo graph must be internally consistent.
+    pub fn check_local(&self) -> Result<(), String> {
+        self.g.check_consistency()?;
+        for v in self.g.vertices() {
+            if !self.owns(v) {
+                continue;
+            }
+            if self.in_sol[v as usize] {
+                // The halo holds every edge of an owned vertex, so this
+                // is a full independence check around v.
+                if let Some(w) = self.g.neighbors(v).find(|&w| self.in_sol[w as usize]) {
+                    return Err(format!("solution edge ({v}, {w})"));
+                }
+                continue;
+            }
+            let c = self
+                .g
+                .neighbors(v)
+                .filter(|&w| self.in_sol[w as usize])
+                .count() as u32;
+            if c != self.count[v as usize] {
+                return Err(format!(
+                    "count[{v}] = {} but recount = {c}",
+                    self.count[v as usize]
+                ));
+            }
+            if (c == 0) != self.freed.contains(&v) {
+                return Err(format!("freed status of {v} wrong at count {c}"));
+            }
+            if (1..=2).contains(&c) {
+                for slot in 0..c as usize {
+                    let p = self.par[v as usize][slot];
+                    if p == NONE || !self.in_sol[p as usize] || !self.g.has_edge(v, p) {
+                        return Err(format!("parent slot {slot} of {v} is stale ({p})"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}

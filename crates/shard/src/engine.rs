@@ -1,0 +1,1174 @@
+//! The coordinator: canonical sharded maintenance over a set of cells.
+//!
+//! The [`Orchestrator`] drives the barriered phases described in
+//! [`crate`]'s docs against any [`Transport`] — worker threads
+//! ([`ShardedEngine`], one writer thread per shard) or direct calls
+//! ([`CanonicalMis`], the sequential reference the equivalence tests
+//! compare against). Every tie-break is resolved against global vertex
+//! ids, so the maintained solution is a pure function of the update
+//! sequence: the same for every shard count and for both transports.
+
+use crate::cell::ShardCell;
+use crate::protocol::{merge_minus, CellOp, Cmd, EndInfo, Note, Reply, ReplyData, SwapProposal};
+use dynamis_core::{
+    validate_update, BuildableEngine, DeltaFeed, DynamicMis, EngineBuilder, EngineError,
+    EngineStats, SolutionDelta,
+};
+use dynamis_graph::hash::{pair_key, FxHashSet};
+use dynamis_graph::{apply_update, DynamicGraph, ShardMap, Update};
+use dynamis_serve::SharedLog;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// How cell work is executed: inline (sequential reference) or on one
+/// writer thread per shard.
+pub(crate) trait Transport {
+    fn shards(&self) -> usize;
+    /// Sends the commands (grouped by shard, FIFO order preserved per
+    /// shard — several commands to one shard are legal) and returns the
+    /// replies in the same order. All addressed cells run concurrently
+    /// under a threaded transport — this is the barrier.
+    fn exchange(&mut self, cmds: Vec<(usize, Cmd)>) -> Vec<(usize, Reply)>;
+}
+
+/// Direct in-place execution (no threads): the sequential reference.
+pub(crate) struct InlineCells {
+    cells: Vec<ShardCell>,
+}
+
+impl Transport for InlineCells {
+    fn shards(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn exchange(&mut self, cmds: Vec<(usize, Cmd)>) -> Vec<(usize, Reply)> {
+        cmds.into_iter()
+            .map(|(s, c)| (s, self.cells[s].handle(c)))
+            .collect()
+    }
+}
+
+/// One writer thread per shard, request/reply channels per cell.
+pub(crate) struct ThreadCells {
+    txs: Vec<mpsc::Sender<Cmd>>,
+    rxs: Vec<mpsc::Receiver<Reply>>,
+    joins: Vec<Option<JoinHandle<()>>>,
+}
+
+impl ThreadCells {
+    fn spawn(cells: Vec<ShardCell>) -> Self {
+        let mut txs = Vec::new();
+        let mut rxs = Vec::new();
+        let mut joins = Vec::new();
+        for (i, mut cell) in cells.into_iter().enumerate() {
+            let (ctx, crx) = mpsc::channel::<Cmd>();
+            let (rtx, rrx) = mpsc::channel::<Reply>();
+            let join = std::thread::Builder::new()
+                .name(format!("dynamis-shard-{i}"))
+                .spawn(move || {
+                    while let Ok(cmd) = crx.recv() {
+                        if matches!(cmd, Cmd::Stop) {
+                            break;
+                        }
+                        if rtx.send(cell.handle(cmd)).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("failed to spawn shard cell thread");
+            txs.push(ctx);
+            rxs.push(rrx);
+            joins.push(Some(join));
+        }
+        ThreadCells { txs, rxs, joins }
+    }
+}
+
+impl Transport for ThreadCells {
+    fn shards(&self) -> usize {
+        self.txs.len()
+    }
+
+    fn exchange(&mut self, cmds: Vec<(usize, Cmd)>) -> Vec<(usize, Reply)> {
+        let order: Vec<usize> = cmds.iter().map(|&(s, _)| s).collect();
+        for (s, c) in cmds {
+            self.txs[s].send(c).expect("shard cell thread died");
+        }
+        order
+            .into_iter()
+            .map(|s| (s, self.rxs[s].recv().expect("shard cell thread died")))
+            .collect()
+    }
+}
+
+impl Drop for ThreadCells {
+    fn drop(&mut self) {
+        for tx in &self.txs {
+            let _ = tx.send(Cmd::Stop);
+        }
+        for j in &mut self.joins {
+            if let Some(j) = j.take() {
+                let _ = j.join();
+            }
+        }
+    }
+}
+
+/// Per-shard pending-work summary, refreshed from every [`Reply`]. A
+/// cell's state changes only through commands, so the hint from its
+/// latest reply is always current — phases with no hinted cell are
+/// skipped without any exchange.
+#[derive(Debug, Clone, Copy)]
+struct Hints {
+    freed: bool,
+    dirty1: bool,
+    dirty2: bool,
+}
+
+/// The phase driver. Owns the shadow graph (update validation, `graph()`
+/// view), the global membership mirror, the merged delta feed, and the
+/// [`ShardMap`]; everything per-vertex lives in the cells.
+pub(crate) struct Orchestrator<T: Transport> {
+    t: T,
+    map: ShardMap,
+    shadow: DynamicGraph,
+    in_sol: Vec<bool>,
+    size: usize,
+    feed: DeltaFeed,
+    stats: EngineStats,
+    k2: bool,
+    name: &'static str,
+    hints: Vec<Hints>,
+    /// Coordinator round-trips — the sharded architecture's unit of
+    /// coordination cost (exposed through `coordination_stats`).
+    exchanges: u64,
+    cmds_sent: u64,
+}
+
+/// A batched run of membership-neutral structural ops, keyed per cell.
+/// Built by [`Orchestrator::apply_updates`], shipped by
+/// [`Orchestrator::flush_segment`] in one exchange.
+struct Segment {
+    per_cell: Vec<Vec<CellOp>>,
+    /// Op ids of removed both-outsider edges, in op order (they feed
+    /// the candidate rules after the flush).
+    removed: Vec<u32>,
+    next_op: u32,
+    any: bool,
+}
+
+impl Segment {
+    fn new(shards: usize) -> Self {
+        Segment {
+            per_cell: vec![Vec::new(); shards],
+            removed: Vec::new(),
+            next_op: 0,
+            any: false,
+        }
+    }
+
+    fn edge(&mut self, map: &ShardMap, insert: bool, u: u32, v: u32, u_in: bool, v_in: bool) {
+        let op = self.next_op;
+        self.next_op += 1;
+        let cell_op = CellOp::Edge {
+            op,
+            insert,
+            u,
+            v,
+            u_in,
+            v_in,
+        };
+        let (ou, ov) = (map.owner(u), map.owner(v));
+        self.per_cell[ou].push(cell_op.clone());
+        if ov != ou {
+            self.per_cell[ov].push(cell_op);
+        }
+        if !insert && !u_in && !v_in {
+            self.removed.push(op);
+        }
+        self.any = true;
+    }
+
+    fn add_vertex(&mut self, id: u32, owner: u16, neighbors: Arc<Vec<(u32, bool)>>) {
+        self.next_op += 1;
+        for list in &mut self.per_cell {
+            list.push(CellOp::AddVertex {
+                id,
+                owner,
+                neighbors: Arc::clone(&neighbors),
+            });
+        }
+        self.any = true;
+    }
+
+    fn rem_outsider(&mut self, v: u32) {
+        self.next_op += 1;
+        for list in &mut self.per_cell {
+            list.push(CellOp::RemOutsider { v });
+        }
+        self.any = true;
+    }
+
+    fn reset(&mut self) {
+        for list in &mut self.per_cell {
+            list.clear();
+        }
+        self.removed.clear();
+        self.next_op = 0;
+        self.any = false;
+    }
+}
+
+/// Builds the cells plus their bootstrap notes for the given session.
+fn build_cells(
+    shadow: &DynamicGraph,
+    map: &ShardMap,
+    initial: &[u32],
+    k2: bool,
+    logs: Option<&[Arc<SharedLog>]>,
+) -> (Vec<ShardCell>, Vec<Note>) {
+    let mut cells = Vec::new();
+    let mut notes = Vec::new();
+    for s in 0..map.shards() {
+        let log = logs.map(|l| Arc::clone(&l[s]));
+        let (cell, mut n) = ShardCell::new(s, k2, shadow, map, initial, log);
+        cells.push(cell);
+        notes.append(&mut n);
+    }
+    (cells, notes)
+}
+
+impl<T: Transport> Orchestrator<T> {
+    fn new(
+        t: T,
+        map: ShardMap,
+        shadow: DynamicGraph,
+        initial: &[u32],
+        k2: bool,
+        name: &'static str,
+        bootstrap_notes: Vec<Note>,
+    ) -> Self {
+        let mut in_sol = vec![false; shadow.capacity()];
+        let mut feed = DeltaFeed::default();
+        for &v in initial {
+            in_sol[v as usize] = true;
+            feed.record_in(v);
+        }
+        let shards = t.shards();
+        let mut o = Orchestrator {
+            t,
+            map,
+            shadow,
+            size: initial.len(),
+            in_sol,
+            feed,
+            stats: EngineStats::default(),
+            k2,
+            name,
+            // Conservative until each cell's first reply arrives.
+            hints: vec![
+                Hints {
+                    freed: true,
+                    dirty1: true,
+                    dirty2: true,
+                };
+                shards
+            ],
+            exchanges: 0,
+            cmds_sent: 0,
+        };
+        o.route_notes(bootstrap_notes);
+        o.settle();
+        // Close the bootstrap span: the first update's delta must not
+        // absorb it, while the drainable feed still replays it. (Cell
+        // feeds close their spans lazily, at `Drain`.)
+        let _ = o.feed.finish_update();
+        o
+    }
+
+    #[inline]
+    fn owner(&self, v: u32) -> usize {
+        self.map.owner(v)
+    }
+
+    /// The barriered exchange, recording every reply's work hints.
+    fn exchange(&mut self, cmds: Vec<(usize, Cmd)>) -> Vec<(usize, Reply)> {
+        self.exchanges += 1;
+        self.cmds_sent += cmds.len() as u64;
+        let replies = self.t.exchange(cmds);
+        for (s, r) in &replies {
+            self.hints[*s] = Hints {
+                freed: r.freed,
+                dirty1: r.dirty1,
+                dirty2: r.dirty2,
+            };
+        }
+        replies
+    }
+
+    /// One command to every shard; replies come back in shard order.
+    fn bcast(&mut self, mk: impl Fn() -> Cmd) -> Vec<Reply> {
+        let cmds = (0..self.t.shards()).map(|s| (s, mk())).collect();
+        self.exchange(cmds).into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// One command to each of the given shards (ascending).
+    fn multicast(&mut self, shards: &[usize], mk: impl Fn() -> Cmd) -> Vec<(usize, Reply)> {
+        let cmds = shards.iter().map(|&s| (s, mk())).collect();
+        self.exchange(cmds)
+    }
+
+    /// One command to one shard; queries must not emit notes.
+    fn query(&mut self, shard: usize, cmd: Cmd) -> ReplyData {
+        let mut replies = self.exchange(vec![(shard, cmd)]);
+        let (_, reply) = replies.pop().expect("one reply per command");
+        debug_assert!(reply.notes.is_empty(), "queries are read-only");
+        reply.data
+    }
+
+    fn collect_notes(replies: Vec<Reply>) -> Vec<Note> {
+        replies.into_iter().flat_map(|r| r.notes).collect()
+    }
+
+    /// Routes dependent-set notes to the owners of the solution vertices
+    /// they describe. One exchange; note handling emits nothing further.
+    fn route_notes(&mut self, notes: Vec<Note>) {
+        if notes.is_empty() {
+            return;
+        }
+        let p = self.t.shards();
+        let mut per: Vec<Vec<Note>> = vec![Vec::new(); p];
+        for n in notes {
+            match n {
+                Note::Dep1Add { p: pa, .. } | Note::Dep1Del { p: pa, .. } => {
+                    per[self.owner(pa)].push(n)
+                }
+                Note::Dep2Add { a, b, .. } | Note::Dep2Del { a, b, .. } => {
+                    let (oa, ob) = (self.owner(a), self.owner(b));
+                    per[oa].push(n);
+                    if ob != oa {
+                        per[ob].push(n);
+                    }
+                }
+                Note::Dirty1 { v } | Note::Dirty2 { v } => per[self.owner(v)].push(n),
+            }
+        }
+        let cmds: Vec<(usize, Cmd)> = per
+            .into_iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(s, v)| (s, Cmd::Notes(v)))
+            .collect();
+        if cmds.is_empty() {
+            return;
+        }
+        for (_, r) in self.exchange(cmds) {
+            debug_assert!(r.notes.is_empty(), "note handling is terminal");
+        }
+    }
+
+    /// Commits membership flips: mirror + merged feed first, then the
+    /// flip delivery, then the resulting count-transition notes. Flips
+    /// are routed to exactly the cells that can observe them — each
+    /// flipped vertex's owner plus the owners of its neighbors; any
+    /// other cell re-syncs membership when an `Edge` command first
+    /// connects it to the vertex.
+    fn apply_flips(&mut self, flips: Vec<(u32, bool)>) {
+        let mut shards: Vec<usize> = Vec::new();
+        for &(v, enter) in &flips {
+            debug_assert_ne!(self.in_sol[v as usize], enter, "redundant flip of {v}");
+            self.in_sol[v as usize] = enter;
+            if enter {
+                self.feed.record_in(v);
+                self.size += 1;
+            } else {
+                self.feed.record_out(v);
+                self.size -= 1;
+            }
+            shards.push(self.owner(v));
+            shards.extend(self.shadow.neighbors(v).map(|w| self.owner(w)));
+        }
+        shards.sort_unstable();
+        shards.dedup();
+        let arc = Arc::new(flips);
+        let replies = self.multicast(&shards, || Cmd::Flips(Arc::clone(&arc)));
+        let notes = replies.into_iter().flat_map(|(_, r)| r.notes).collect();
+        self.route_notes(notes);
+    }
+
+    /// Shards whose latest reply hinted pending work of the given kind.
+    fn hinted(&self, f: impl Fn(&Hints) -> bool) -> Vec<usize> {
+        self.hints
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| f(h))
+            .map(|(s, _)| s)
+            .collect()
+    }
+
+    /// Maximality repair to quiescence: the unique priority-greedy fill
+    /// of the freed set, computed in local-minima rounds with the
+    /// boundary frontiers exchanged between rounds. Only cells hinting
+    /// freed vertices participate in a round.
+    fn fill_loop(&mut self) {
+        loop {
+            let who = self.hinted(|h| h.freed);
+            if who.is_empty() {
+                return;
+            }
+            let mut bnd: Vec<u32> = Vec::new();
+            let mut round: Vec<usize> = Vec::new();
+            for (s, r) in self.multicast(&who, || Cmd::FillPoll) {
+                if let ReplyData::Fill { any, boundary } = r.data {
+                    if any {
+                        round.push(s);
+                    }
+                    bnd.extend(boundary);
+                } else {
+                    unreachable!("FillPoll reply");
+                }
+            }
+            if round.is_empty() {
+                return;
+            }
+            bnd.sort_unstable();
+            let arc = Arc::new(bnd);
+            let mut entered: Vec<u32> = Vec::new();
+            for (_, r) in self.multicast(&round, || Cmd::FillRound(Arc::clone(&arc))) {
+                if let ReplyData::Entered(e) = r.data {
+                    entered.extend(e);
+                } else {
+                    unreachable!("FillRound reply");
+                }
+            }
+            // The globally smallest freed vertex is always a local
+            // minimum, so every round makes progress.
+            debug_assert!(!entered.is_empty(), "fill round must progress");
+            entered.sort_unstable();
+            self.stats.repairs += entered.len() as u64;
+            self.apply_flips(entered.into_iter().map(|v| (v, true)).collect());
+        }
+    }
+
+    /// Minimum actionable swap candidate across the hinted shards —
+    /// resolved locally by its owner cell when possible. `clear` rides
+    /// along to drop a just-refuted candidate from its owner's set.
+    fn global_swap_scan(&mut self, two: bool, clear: Option<u32>) -> Option<SwapProposal> {
+        let mut who = self.hinted(|h| if two { h.dirty2 } else { h.dirty1 });
+        if let Some(c) = clear {
+            let owner = self.owner(c);
+            if !who.contains(&owner) {
+                who.push(owner);
+                who.sort_unstable();
+            }
+        }
+        if who.is_empty() {
+            return None;
+        }
+        self.multicast(&who, || Cmd::SwapScan { two, clear })
+            .into_iter()
+            .filter_map(|(_, r)| match r.data {
+                ReplyData::Swap(p) => p,
+                _ => unreachable!("SwapScan reply"),
+            })
+            .min_by_key(|p| p.key())
+    }
+
+    fn clear_dirty(&mut self, two: bool, v: u32) {
+        let owner = self.owner(v);
+        let _ = self.query(owner, Cmd::ClearDirty { two, v });
+    }
+
+    /// Edges among `list` (sorted, deduplicated), as pair keys: each
+    /// member's owner reports its incident edges within the list.
+    fn adj_among(&mut self, list: &Arc<Vec<u32>>) -> FxHashSet<u64> {
+        let mut shards: Vec<usize> = list.iter().map(|&v| self.owner(v)).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        let cmds = shards
+            .into_iter()
+            .map(|s| (s, Cmd::AdjAmong(Arc::clone(list))))
+            .collect();
+        let mut adj = FxHashSet::default();
+        for (_, r) in self.exchange(cmds) {
+            debug_assert!(r.notes.is_empty());
+            if let ReplyData::Edges(edges) = r.data {
+                adj.extend(edges.into_iter().map(|(a, b)| pair_key(a, b)));
+            } else {
+                unreachable!("AdjAmong reply");
+            }
+        }
+        adj
+    }
+
+    /// Scans 1-swap candidates in ascending order and commits the first
+    /// real one: the candidate vertex leaves, the lexicographically
+    /// smallest non-adjacent pair of its `¯I₁` enters. Locally-resolved
+    /// proposals commit directly; cross-shard candidates go through the
+    /// gather/validate pipeline.
+    fn try_one_swap(&mut self) -> bool {
+        let mut clear = None;
+        while let Some(proposal) = self.global_swap_scan(false, clear.take()) {
+            match proposal {
+                SwapProposal::One { v, u1, u2 } => {
+                    self.stats.one_swaps += 1;
+                    // v leaves I; the stale dirty entry prunes itself.
+                    self.apply_flips(vec![(v, false), (u1, true), (u2, true)]);
+                    return true;
+                }
+                SwapProposal::Global { v, bar1 } => {
+                    let d = Arc::new(bar1);
+                    debug_assert!(d.len() >= 2, "SwapScan pre-validates |¯I₁| ≥ 2");
+                    let adj = self.adj_among(&d);
+                    let mut found = None;
+                    'pair: for i in 0..d.len() {
+                        for j in i + 1..d.len() {
+                            if !adj.contains(&pair_key(d[i], d[j])) {
+                                found = Some((d[i], d[j]));
+                                break 'pair;
+                            }
+                        }
+                    }
+                    if let Some((u1, u2)) = found {
+                        // v leaves I; its dirty entry prunes itself.
+                        self.stats.one_swaps += 1;
+                        self.apply_flips(vec![(v, false), (u1, true), (u2, true)]);
+                        return true;
+                    }
+                    // Refuted: the clear rides on the next scan.
+                    clear = Some(v);
+                }
+                SwapProposal::Two { .. } => unreachable!("1-swap scan yields 1-swap proposals"),
+            }
+        }
+        if let Some(v) = clear {
+            self.clear_dirty(false, v);
+        }
+        false
+    }
+
+    /// Scans 2-swap candidates in ascending order: for the smallest
+    /// dirty solution vertex, its pairs `(a, b)` in lexicographic order,
+    /// each pair's pivots `x` ascending, and the first admissible
+    /// `(y, z)` in lexicographic order. Commits `{a, b} → {x, y, z}`.
+    fn try_two_swap(&mut self) -> bool {
+        let mut clear = None;
+        while let Some(proposal) = self.global_swap_scan(true, clear.take()) {
+            match proposal {
+                SwapProposal::Two { a, b, x, y, z, .. } => {
+                    self.stats.two_swaps += 1;
+                    self.apply_flips(vec![
+                        (a, false),
+                        (b, false),
+                        (x, true),
+                        (y, true),
+                        (z, true),
+                    ]);
+                    return true;
+                }
+                SwapProposal::Global { v, .. } => {
+                    if self.attempt_two_swap_at(v) {
+                        // v (= one of the evicted pair) leaves I; its
+                        // dirty entry prunes itself.
+                        return true;
+                    }
+                    clear = Some(v);
+                }
+                SwapProposal::One { .. } => unreachable!("2-swap scan yields 2-swap proposals"),
+            }
+        }
+        if let Some(v) = clear {
+            self.clear_dirty(true, v);
+        }
+        false
+    }
+
+    fn attempt_two_swap_at(&mut self, v: u32) -> bool {
+        let owner = self.owner(v);
+        let pairs = match self.query(owner, Cmd::PairsOf(v)) {
+            ReplyData::Pairs(p) => p,
+            _ => unreachable!("PairsOf reply"),
+        };
+        for (a, b) in pairs {
+            debug_assert!(
+                self.in_sol[a as usize] && self.in_sol[b as usize],
+                "dep2 rows are exact"
+            );
+            // One exchange for the pair's three lists (FIFO per shard
+            // keeps multiple commands to one owner in order).
+            let (oa, ob) = (self.owner(a), self.owner(b));
+            let replies = self.exchange(vec![
+                (oa, Cmd::Pivots { a, b }),
+                (oa, Cmd::Bar1(a)),
+                (ob, Cmd::Bar1(b)),
+            ]);
+            let mut lists = replies.into_iter().map(|(_, r)| match r.data {
+                ReplyData::List(l) => l,
+                _ => unreachable!("list reply"),
+            });
+            let piv = lists.next().unwrap();
+            let b1a = lists.next().unwrap();
+            let b1b = lists.next().unwrap();
+            if piv.is_empty() {
+                continue;
+            }
+            // One exchange for every pivot's neighborhood.
+            let nbr_cmds: Vec<(usize, Cmd)> = piv
+                .iter()
+                .map(|&x| (self.owner(x), Cmd::NbrsOf(x)))
+                .collect();
+            let nbrs: Vec<Vec<u32>> = self
+                .exchange(nbr_cmds)
+                .into_iter()
+                .map(|(_, r)| match r.data {
+                    ReplyData::List(l) => l,
+                    _ => unreachable!("NbrsOf reply"),
+                })
+                .collect();
+            for (&x, nx) in piv.iter().zip(&nbrs) {
+                // Cy = (¯I₁(a) ∪ ¯I₂) − N[x]; Cz = (¯I₁(b) ∪ ¯I₂) − N[x].
+                let cy = merge_minus(&b1a, &piv, |w| w == x || nx.binary_search(&w).is_ok());
+                if cy.is_empty() {
+                    continue;
+                }
+                let cz = merge_minus(&b1b, &piv, |w| w == x || nx.binary_search(&w).is_ok());
+                if cz.is_empty() {
+                    continue;
+                }
+                let mut all: Vec<u32> = cy.iter().chain(cz.iter()).copied().collect();
+                all.sort_unstable();
+                all.dedup();
+                let all = Arc::new(all);
+                let adj = self.adj_among(&all);
+                for &y in &cy {
+                    for &z in &cz {
+                        if z != y && !adj.contains(&pair_key(y, z)) {
+                            self.stats.two_swaps += 1;
+                            self.apply_flips(vec![
+                                (a, false),
+                                (b, false),
+                                (x, true),
+                                (y, true),
+                                (z, true),
+                            ]);
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Restores the full invariant: maximality (fill), then no 1-swap,
+    /// then (k = 2) no 2-swap — re-filling and re-scanning after every
+    /// committed swap, exactly like Algorithm 1's main loop. Terminates
+    /// because every committed swap grows |I| by at least one.
+    fn settle(&mut self) {
+        loop {
+            self.fill_loop();
+            if self.try_one_swap() {
+                continue;
+            }
+            if self.k2 && self.try_two_swap() {
+                continue;
+            }
+            break;
+        }
+    }
+
+    /// Applies a run of updates. Membership-neutral structural ops —
+    /// every edge flip except an insert between two solution vertices,
+    /// vertex inserts, outsider removals — accumulate into per-cell
+    /// [`CellOp`] segments and reach the cells in **one** exchange per
+    /// segment; only the updates that flip membership at dispatch time
+    /// (conflict inserts, solution-vertex removals) are phase
+    /// boundaries. Counts stay exact throughout because the cells' case
+    /// analysis is membership-driven, not maximality-driven; fill and
+    /// swap settling are the caller's business. Returns the first
+    /// rejection, with the valid prefix applied.
+    fn apply_updates(&mut self, updates: &[Update]) -> Option<(usize, EngineError)> {
+        let mut seg = Segment::new(self.t.shards());
+        for (index, u) in updates.iter().enumerate() {
+            if let Err(e) = validate_update(&self.shadow, u) {
+                self.flush_segment(&mut seg);
+                return Some((index, e));
+            }
+            self.stats.updates += 1;
+            match u {
+                Update::InsertEdge(a, b)
+                    if self.in_sol[*a as usize] && self.in_sol[*b as usize] =>
+                {
+                    let (a, b) = (*a, *b);
+                    self.stats.entry_hash_probes += 2;
+                    self.shadow.insert_edge(a, b).expect("validated");
+                    seg.edge(&self.map, true, a, b, true, true);
+                    self.flush_segment(&mut seg);
+                    self.conflict_evict(a, b);
+                }
+                Update::InsertEdge(a, b) => {
+                    let (a, b) = (*a, *b);
+                    self.stats.entry_hash_probes += 2;
+                    self.shadow.insert_edge(a, b).expect("validated");
+                    let (a_in, b_in) = (self.in_sol[a as usize], self.in_sol[b as usize]);
+                    seg.edge(&self.map, true, a, b, a_in, b_in);
+                }
+                Update::RemoveEdge(a, b) => {
+                    let (a, b) = (*a, *b);
+                    self.stats.entry_hash_probes += 2;
+                    self.shadow.remove_edge(a, b).expect("validated");
+                    let (a_in, b_in) = (self.in_sol[a as usize], self.in_sol[b as usize]);
+                    seg.edge(&self.map, false, a, b, a_in, b_in);
+                }
+                Update::InsertVertex { id, neighbors } => {
+                    apply_update(&mut self.shadow, u).expect("validated");
+                    let owner = self.map.assign_fresh(*id) as u16;
+                    if self.in_sol.len() < self.shadow.capacity() {
+                        self.in_sol.resize(self.shadow.capacity(), false);
+                    }
+                    self.in_sol[*id as usize] = false;
+                    let with_sol = Arc::new(
+                        neighbors
+                            .iter()
+                            .map(|&n| (n, self.in_sol[n as usize]))
+                            .collect::<Vec<_>>(),
+                    );
+                    seg.add_vertex(*id, owner, with_sol);
+                }
+                Update::RemoveVertex(v) => {
+                    let v = *v;
+                    self.stats.entry_hash_probes += self.shadow.degree(v) as u64;
+                    self.shadow.remove_vertex(v).expect("validated");
+                    if self.in_sol[v as usize] {
+                        // Boundary: the removal flips membership.
+                        self.flush_segment(&mut seg);
+                        self.in_sol[v as usize] = false;
+                        self.feed.record_out(v);
+                        self.size -= 1;
+                        let replies = self.bcast(|| Cmd::RemSolVertex { v });
+                        let notes = Self::collect_notes(replies);
+                        self.route_notes(notes);
+                    } else {
+                        seg.rem_outsider(v);
+                    }
+                }
+            }
+        }
+        self.flush_segment(&mut seg);
+        None
+    }
+
+    /// Ships the accumulated segment to the cells (one exchange),
+    /// routes the resulting notes, and fires the outsider-edge-removal
+    /// dirty rules in op order.
+    fn flush_segment(&mut self, seg: &mut Segment) {
+        if !seg.any {
+            return;
+        }
+        let cmds: Vec<(usize, Cmd)> = seg
+            .per_cell
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, l)| !l.is_empty())
+            .map(|(s, l)| (s, Cmd::Ops(std::mem::take(l))))
+            .collect();
+        let replies = self.exchange(cmds);
+        let mut notes = Vec::new();
+        let mut infos: Vec<(u32, Option<EndInfo>, Option<EndInfo>)> = Vec::new();
+        for (_, r) in replies {
+            notes.extend(r.notes);
+            if let ReplyData::OpsInfo(rows) = r.data {
+                infos.extend(rows);
+            }
+        }
+        if !seg.removed.is_empty() {
+            // Merge the (up to two) per-cell rows of each removed edge.
+            infos.sort_unstable_by_key(|&(op, _, _)| op);
+            for &op in &seg.removed {
+                let lo = infos.partition_point(|&(o, _, _)| o < op);
+                let (mut ia, mut ib) = (None, None);
+                for row in infos[lo..].iter().take_while(|&&(o, _, _)| o == op) {
+                    ia = ia.or(row.1);
+                    ib = ib.or(row.2);
+                }
+                self.outsider_removal_dirty(ia, ib, &mut notes);
+            }
+        }
+        seg.reset();
+        self.route_notes(notes);
+    }
+
+    /// The paper's eviction rule for an edge inserted between two
+    /// solution vertices: evict the endpoint whose `¯I₁` promises a
+    /// refill, preferring `b`; fall back to higher degree.
+    fn conflict_evict(&mut self, a: u32, b: u32) {
+        let peek = |o: &mut Self, v: u32| -> bool {
+            let owner = o.owner(v);
+            match o.query(owner, Cmd::DepPeek(v)) {
+                ReplyData::Peek { nonempty } => nonempty,
+                _ => unreachable!("DepPeek reply"),
+            }
+        };
+        let loser = if peek(self, b) {
+            b
+        } else if peek(self, a) {
+            a
+        } else if self.shadow.degree(b) >= self.shadow.degree(a) {
+            b
+        } else {
+            a
+        };
+        self.apply_flips(vec![(loser, false)]);
+    }
+
+    /// The paper's "edge removed between two outsiders" candidate rules
+    /// (the only update changing bucket adjacency without a count
+    /// transition): re-arm the affected solution vertices/pairs.
+    fn outsider_removal_dirty(
+        &mut self,
+        ia: Option<EndInfo>,
+        ib: Option<EndInfo>,
+        notes: &mut Vec<Note>,
+    ) {
+        let (ia, ib) = match (ia, ib) {
+            (Some(ia), Some(ib)) => (ia, ib),
+            _ => unreachable!("every outsider endpoint has exactly one owner"),
+        };
+        if ia.count == 1 && ib.count == 1 {
+            let (pa, pb) = (ia.parents[0], ib.parents[0]);
+            if pa == pb {
+                notes.push(Note::Dirty1 { v: pa });
+            } else if self.k2 {
+                notes.push(Note::Dirty2 { v: pa });
+                notes.push(Note::Dirty2 { v: pb });
+            }
+        }
+        if self.k2 {
+            for (info, other) in [(&ia, &ib), (&ib, &ia)] {
+                if info.count == 2 && (1..=2).contains(&other.count) {
+                    notes.push(Note::Dirty2 { v: info.parents[0] });
+                    notes.push(Note::Dirty2 { v: info.parents[1] });
+                }
+            }
+        }
+    }
+
+    // ---- DynamicMis backing ------------------------------------------
+
+    fn try_apply(&mut self, u: &Update) -> Result<SolutionDelta, EngineError> {
+        let before = self.stats;
+        if let Some((_, cause)) = self.apply_updates(std::slice::from_ref(u)) {
+            // Validation precedes every mutation: state untouched.
+            return Err(cause);
+        }
+        self.settle();
+        let mut delta = self.feed.finish_update();
+        delta.stats = self.stats.diff_since(&before);
+        Ok(delta)
+    }
+
+    /// Batch: one deferred fill + swap drain for the whole burst (same
+    /// contract as the eager engines' deferred-drain batch — the final
+    /// state is identically k-maximal, cascades of intermediate states
+    /// are skipped). On rejection the valid prefix stays applied with
+    /// the invariant re-established and the error names the index.
+    fn try_apply_batch(&mut self, updates: &[Update]) -> Result<SolutionDelta, EngineError> {
+        let before = self.stats;
+        let failure = self.apply_updates(updates);
+        self.settle();
+        let mut delta = self.feed.finish_update();
+        delta.stats = self.stats.diff_since(&before);
+        match failure {
+            None => Ok(delta),
+            Some((index, cause)) => Err(cause.in_batch(index)),
+        }
+    }
+
+    fn drain_delta(&mut self) -> SolutionDelta {
+        // Cells drain (and publish to their per-shard logs) in the same
+        // epoch as the merged drain.
+        self.bcast(|| Cmd::Drain);
+        self.feed.drain()
+    }
+
+    fn solution(&self) -> Vec<u32> {
+        (0..self.in_sol.len() as u32)
+            .filter(|&v| self.in_sol[v as usize])
+            .collect()
+    }
+
+    fn heap_bytes(&mut self) -> usize {
+        let cells: usize = self
+            .bcast(|| Cmd::HeapBytes)
+            .into_iter()
+            .map(|r| match r.data {
+                ReplyData::Bytes(b) => b,
+                _ => unreachable!("HeapBytes reply"),
+            })
+            .sum();
+        self.shadow.heap_bytes() + self.in_sol.capacity() + cells
+    }
+
+    /// Exhaustive cross-shard audit (test use): every cell's local state
+    /// recomputed from scratch, the merged solution checked independent
+    /// and maximal against the shadow graph, and the distributed
+    /// dependent sets compared against a global recount.
+    fn check_consistency(&mut self) -> Result<(), String> {
+        self.shadow.check_consistency()?;
+        for (s, r) in self.bcast(|| Cmd::Audit).into_iter().enumerate() {
+            if let ReplyData::Check(res) = r.data {
+                res.map_err(|e| format!("cell {s}: {e}"))?;
+            }
+        }
+        if self.size != self.in_sol.iter().filter(|&&b| b).count() {
+            return Err("size counter out of sync".into());
+        }
+        // Global recount of the dependent sets.
+        let mut exp1: Vec<Vec<u32>> = vec![Vec::new(); self.shadow.capacity()];
+        let mut exp2: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.shadow.capacity()];
+        for u in self.shadow.vertices() {
+            if self.in_sol[u as usize] {
+                if let Some(w) = self.shadow.neighbors(u).find(|&w| self.in_sol[w as usize]) {
+                    return Err(format!("merged solution not independent: ({u}, {w})"));
+                }
+                continue;
+            }
+            let parents: Vec<u32> = self
+                .shadow
+                .neighbors(u)
+                .filter(|&w| self.in_sol[w as usize])
+                .collect();
+            match parents.len() {
+                0 => return Err(format!("merged solution not maximal: {u} is free")),
+                1 => exp1[parents[0] as usize].push(u),
+                2 if self.k2 => {
+                    let (a, b) = (parents[0].min(parents[1]), parents[0].max(parents[1]));
+                    exp2[a as usize].push((b, u));
+                    exp2[b as usize].push((a, u));
+                }
+                _ => {}
+            }
+        }
+        let mut got1: Vec<Vec<u32>> = vec![Vec::new(); self.shadow.capacity()];
+        let mut got2: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.shadow.capacity()];
+        for r in self.bcast(|| Cmd::DumpState) {
+            if let ReplyData::Dump(rows) = r.data {
+                for (v, d1, d2) in rows {
+                    got1[v as usize] = d1;
+                    got2[v as usize] = d2;
+                }
+            }
+        }
+        for v in 0..self.shadow.capacity() {
+            exp1[v].sort_unstable();
+            exp2[v].sort_unstable();
+            if exp1[v] != got1[v] {
+                return Err(format!(
+                    "¯I₁({v}) drift: expected {:?}, cells hold {:?}",
+                    exp1[v], got1[v]
+                ));
+            }
+            if exp2[v] != got2[v] {
+                return Err(format!(
+                    "¯I₂ rows of {v} drift: expected {:?}, cells hold {:?}",
+                    exp2[v], got2[v]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validates a builder for the canonical sharded engines and splits it
+/// into its parts. `k ≤ 2`: the lazy `GenericKSwap` collection mode has
+/// no canonical sharded counterpart.
+fn canonical_session(
+    builder: EngineBuilder,
+) -> Result<(DynamicGraph, Vec<u32>, bool, usize), EngineError> {
+    let shards = builder.shard_count();
+    let session = builder.into_session()?;
+    if session.k > 2 {
+        return Err(EngineError::BadParameter(
+            "sharded maintenance supports k ∈ {1, 2}",
+        ));
+    }
+    Ok((session.graph, session.initial, session.k == 2, shards))
+}
+
+macro_rules! delegate_dynamic_mis {
+    ($ty:ty) => {
+        impl DynamicMis for $ty {
+            fn name(&self) -> &'static str {
+                self.inner.name
+            }
+            fn graph(&self) -> &DynamicGraph {
+                &self.inner.shadow
+            }
+            fn try_apply(&mut self, u: &Update) -> Result<SolutionDelta, EngineError> {
+                self.inner.try_apply(u)
+            }
+            fn try_apply_batch(
+                &mut self,
+                updates: &[Update],
+            ) -> Result<SolutionDelta, EngineError> {
+                self.inner.try_apply_batch(updates)
+            }
+            fn drain_delta(&mut self) -> SolutionDelta {
+                self.inner.drain_delta()
+            }
+            fn size(&self) -> usize {
+                self.inner.size
+            }
+            fn solution(&self) -> Vec<u32> {
+                self.inner.solution()
+            }
+            fn contains(&self, v: u32) -> bool {
+                self.inner.in_sol.get(v as usize).copied().unwrap_or(false)
+            }
+            fn heap_bytes(&self) -> usize {
+                // `heap_bytes` needs a cell round-trip, which needs
+                // `&mut`; report the coordinator-resident state only for
+                // the immutable trait call.
+                self.inner.shadow.heap_bytes() + self.inner.in_sol.capacity()
+            }
+        }
+    };
+}
+
+/// Sharded parallel maintenance: `P` degree-aware vertex-space shards,
+/// each with its own maintenance cell on its own writer thread, driven
+/// through the canonical two-phase boundary protocol.
+///
+/// The maintained solution is globally independent, maximal, and
+/// k-maximal (`k ∈ {1, 2}`), and — because every protocol decision is
+/// resolved against global vertex ids — **identical for every shard
+/// count**, including the sequential reference [`CanonicalMis`].
+///
+/// ```
+/// use dynamis_core::{DynamicMis, EngineBuilder};
+/// use dynamis_graph::{DynamicGraph, Update};
+/// use dynamis_shard::{CanonicalMis, ShardedEngine};
+///
+/// let g = DynamicGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+/// let mut sharded: ShardedEngine =
+///     EngineBuilder::on(g.clone()).k(2).shards(3).build_as().unwrap();
+/// let mut reference: CanonicalMis = EngineBuilder::on(g).k(2).build_as().unwrap();
+///
+/// for u in [Update::RemoveEdge(2, 3), Update::InsertEdge(0, 2)] {
+///     sharded.try_apply(&u).unwrap();
+///     reference.try_apply(&u).unwrap();
+/// }
+/// assert_eq!(sharded.solution(), reference.solution());
+/// ```
+pub struct ShardedEngine {
+    inner: Orchestrator<ThreadCells>,
+}
+
+delegate_dynamic_mis!(ShardedEngine);
+
+impl ShardedEngine {
+    fn build(
+        builder: EngineBuilder,
+        logs: Option<Vec<Arc<SharedLog>>>,
+    ) -> Result<Self, EngineError> {
+        let (shadow, initial, k2, shards) = canonical_session(builder)?;
+        let map = ShardMap::degree_aware(&shadow, shards);
+        let (cells, notes) = build_cells(&shadow, &map, &initial, k2, logs.as_deref());
+        let name = if k2 {
+            "ShardedTwoSwap"
+        } else {
+            "ShardedOneSwap"
+        };
+        let t = ThreadCells::spawn(cells);
+        Ok(ShardedEngine {
+            inner: Orchestrator::new(t, map, shadow, &initial, k2, name, notes),
+        })
+    }
+
+    /// Builds with per-shard broadcast logs attached: each cell
+    /// publishes its owned share of every epoch's delta to its own log
+    /// (see [`dynamis_serve::ShardedReader`]).
+    pub fn from_builder_with_logs(
+        builder: EngineBuilder,
+        logs: Vec<Arc<SharedLog>>,
+    ) -> Result<Self, EngineError> {
+        assert_eq!(
+            logs.len(),
+            builder.shard_count(),
+            "one log per shard required"
+        );
+        Self::build(builder, Some(logs))
+    }
+
+    /// Number of shards (writer threads) this engine runs.
+    pub fn shards(&self) -> usize {
+        self.inner.t.shards()
+    }
+
+    /// Cut size and per-shard degree loads of the current partition.
+    pub fn partition_stats(&self) -> (usize, Vec<u64>) {
+        (
+            self.inner.map.cut_edges(&self.inner.shadow),
+            self.inner.map.degree_loads(&self.inner.shadow),
+        )
+    }
+
+    /// `(exchanges, commands)` the coordinator has issued — the unit of
+    /// coordination cost (one exchange = one barriered round-trip to a
+    /// set of cells).
+    pub fn coordination_stats(&self) -> (u64, u64) {
+        (self.inner.exchanges, self.inner.cmds_sent)
+    }
+
+    /// Exhaustive cross-shard audit — recomputes every cell's state from
+    /// scratch and verifies the merged solution plus the distributed
+    /// dependent sets. Test/debug use: O(n + m) plus a cell round-trip.
+    pub fn check_consistency(&mut self) -> Result<(), String> {
+        self.inner.check_consistency()
+    }
+
+    /// Heap footprint including every cell's state (needs the cell
+    /// round-trip the trait's `&self` method cannot perform).
+    pub fn heap_bytes_full(&mut self) -> usize {
+        self.inner.heap_bytes()
+    }
+}
+
+impl BuildableEngine for ShardedEngine {
+    /// Honors [`EngineBuilder::shards`] (default 1) and `k ∈ {1, 2}`.
+    fn from_builder(builder: EngineBuilder) -> Result<Self, EngineError> {
+        Self::build(builder, None)
+    }
+}
+
+/// The sequential reference for the sharded protocol: one cell, no
+/// threads, direct calls — the same canonical decision rules, so its
+/// solution is *identical* to [`ShardedEngine`]'s at any shard count.
+/// The cross-shard equivalence proptests pin that.
+pub struct CanonicalMis {
+    inner: Orchestrator<InlineCells>,
+}
+
+delegate_dynamic_mis!(CanonicalMis);
+
+impl CanonicalMis {
+    /// Exhaustive audit; see [`ShardedEngine::check_consistency`].
+    pub fn check_consistency(&mut self) -> Result<(), String> {
+        self.inner.check_consistency()
+    }
+}
+
+impl BuildableEngine for CanonicalMis {
+    /// Ignores [`EngineBuilder::shards`] — the reference is always a
+    /// single inline cell.
+    fn from_builder(builder: EngineBuilder) -> Result<Self, EngineError> {
+        let (shadow, initial, k2, _) = canonical_session(builder)?;
+        let map = ShardMap::degree_aware(&shadow, 1);
+        let (cells, notes) = build_cells(&shadow, &map, &initial, k2, None);
+        let name = if k2 { "CanonTwoSwap" } else { "CanonOneSwap" };
+        let t = InlineCells { cells };
+        Ok(CanonicalMis {
+            inner: Orchestrator::new(t, map, shadow, &initial, k2, name, notes),
+        })
+    }
+}

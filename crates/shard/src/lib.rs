@@ -1,0 +1,79 @@
+//! # dynamis-shard — sharded parallel maintenance
+//!
+//! Partitions the dynamic MaxIS *write path* across `P` shards: the
+//! vertex space is split by a degree-aware [`ShardMap`], each shard runs
+//! its own maintenance cell — halo subgraph, exact counts and dependent
+//! sets for its owned vertices, its own delta feed and broadcast log —
+//! on its own writer thread, and a coordinator drives the cells through
+//! barriered phases. Edges inside a shard are that shard's business;
+//! an edge crossing shards resolves its count transitions on *each
+//! endpoint's owner* and exchanges the resulting boundary repairs
+//! through a two-phase (propose/commit) protocol:
+//!
+//! ```text
+//!                         ┌──────────────────────────────┐
+//!        update ─────────►│ coordinator                   │
+//!   (validate on shadow)  │  route ops → owners           │
+//!                         │  fill: poll / round / commit  │──┐ barrier per
+//!                         │  swap: dirty-min / validate / │  │ phase, cells
+//!                         │        commit flips           │  │ in parallel
+//!                         └──┬───────────┬───────────┬───┘◄─┘
+//!                    Cmd/Reply│           │           │
+//!                     ┌───────▼──┐  ┌─────▼────┐  ┌───▼──────┐
+//!                     │ cell 0    │  │ cell 1   │  │ cell P-1 │   one writer
+//!                     │ halo graph│  │          │  │          │   thread each
+//!                     │ counts,¯I₁│  │   …      │  │    …     │
+//!                     │ delta log │  │          │  │          │
+//!                     └───────────┘  └──────────┘  └──────────┘
+//! ```
+//!
+//! ## The canonical protocol
+//!
+//! The cells maintain the paper's swap framework (counts, `¯I₁`/`¯I₂`
+//! dependent sets, maximality repair, FIND ONESWAP / FIND TWOSWAP), but
+//! every choice the sequential engines make from incidental state —
+//! which freed vertex enters first, which swap fires next, which pair
+//! replaces an evicted vertex — is resolved here against **global vertex
+//! ids**:
+//!
+//! * *Fill* (maximality repair) computes the unique priority-greedy
+//!   extension of the solution: freed vertices enter in rounds of local
+//!   minima of the freed-induced subgraph, with each round's boundary
+//!   frontier exchanged between shards.
+//! * *Swaps* commit one at a time, smallest candidate vertex first, with
+//!   the lexicographically smallest admissible replacement pair/triple —
+//!   validated across shards (dependent sets are exact, adjacency inside
+//!   candidate sets is gathered from the owners) before the flips are
+//!   broadcast.
+//!
+//! The result: the maintained solution is a pure function of the update
+//! sequence — independent, maximal, k-maximal (`k ∈ {1, 2}`), and
+//! **identical for every shard count**. [`CanonicalMis`] is the same
+//! protocol run sequentially in one cell; the equivalence proptests pin
+//! `ShardedEngine{P = 1, 2, 4} == CanonicalMis` on random update
+//! streams, with independence and k-maximality verified against the
+//! brute-force checkers.
+//!
+//! This determinism is what a sharded *service* needs: scaling the shard
+//! count up or down (or replaying a log into a differently-sharded
+//! replica) cannot change answers. The price is coordination — the
+//! coordinator barriers every phase — so single-update latency is higher
+//! than the lock-free single-writer path in `dynamis-serve`; batched
+//! ingest amortizes it (see the `shard` bench bin and `BENCH_PR4.json`).
+//!
+//! ## Serving
+//!
+//! [`ShardedService`] puts the serve layer's backpressured ingest queue
+//! in front of a [`ShardedEngine`]: each cell publishes its owned share
+//! of every epoch's delta to its own per-shard log, and
+//! [`dynamis_serve::ShardedReader`] merges the per-shard mirrors at the
+//! newest consistent cut (a seq-vector of per-log positions).
+
+mod cell;
+mod engine;
+mod protocol;
+mod service;
+
+pub use dynamis_graph::ShardMap;
+pub use engine::{CanonicalMis, ShardedEngine};
+pub use service::ShardedService;

@@ -1,0 +1,248 @@
+//! The coordinator ⇄ cell wire protocol.
+//!
+//! Every phase of the sharded maintenance is a *barriered exchange*:
+//! the coordinator sends a batch of [`Cmd`]s (FIFO order preserved per
+//! shard), every addressed cell computes in parallel and answers each
+//! command with exactly one [`Reply`]. Replies carry the cell's phase
+//! payload, the [`Note`]s it emitted — cross-shard count-transition
+//! bookkeeping the coordinator routes to the owning cells in the next
+//! exchange — and pending-work hints that let whole phases be skipped.
+//! The two-phase shape of the boundary repair (fill rounds, swap
+//! propose/commit) is visible directly in the command vocabulary:
+//! `FillPoll`/`FillRound` propose and commit maximality repairs,
+//! `SwapScan` proposes swaps (resolved cell-locally when possible,
+//! validated via `Bar1`/`Pivots`/`NbrsOf`/`AdjAmong` otherwise) that
+//! the coordinator commits through `Flips`.
+
+use std::sync::Arc;
+
+/// Sorted, deduplicated union of two sorted lists, minus the vertices
+/// the predicate marks. Both the cell-local and the coordinator-global
+/// 2-swap pipelines build their candidate sets (`Cy`, `Cz`) through
+/// this one helper — the canonical equivalence depends on the two
+/// sides computing identical sets.
+pub(crate) fn merge_minus(a: &[u32], b: &[u32], marked: impl Fn(u32) -> bool) -> Vec<u32> {
+    let mut out: Vec<u32> = a
+        .iter()
+        .chain(b.iter())
+        .copied()
+        .filter(|&w| !marked(w))
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// One `DumpState` row: an owned solution vertex with its `¯I₁` and
+/// `¯I₂` rows.
+pub(crate) type DumpRow = (u32, Vec<u32>, Vec<(u32, u32)>);
+
+/// Cross-shard bookkeeping emitted by a cell when an *owned* vertex's
+/// count transitions, addressed (by the coordinator) to the owner of the
+/// named solution vertex. `Dep1`/`Dep2` keep each solution vertex's
+/// exact dependent sets — `¯I₁(p)` and the `¯I₂` pivots — across shard
+/// boundaries; `Dirty*` re-arm the swap scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Note {
+    /// `u` became a count-1 dependent of solution vertex `p`.
+    Dep1Add { p: u32, u: u32 },
+    /// `u` is no longer a count-1 dependent of `p`.
+    Dep1Del { p: u32, u: u32 },
+    /// `u` became a count-2 pivot with parents `{a, b}` (`a < b`).
+    Dep2Add { a: u32, b: u32, u: u32 },
+    /// `u` is no longer a count-2 pivot of `{a, b}`.
+    Dep2Del { a: u32, b: u32, u: u32 },
+    /// Re-examine solution vertex `v` for a 1-swap (adjacency inside
+    /// `¯I₁(v)` changed without a count transition).
+    Dirty1 { v: u32 },
+    /// Re-examine pairs involving solution vertex `v` for a 2-swap.
+    Dirty2 { v: u32 },
+}
+
+/// A cell's answer to a `SwapScan`: its smallest actionable swap
+/// candidate. The coordinator takes the minimum `v` across cells (the
+/// canonical global order), commits ready proposals directly, and runs
+/// the cross-shard validation pipeline for `Global` ones. A cell
+/// resolves a candidate locally when every adjacency test it needs has
+/// an owned endpoint — always true at P = 1, and for most candidates
+/// under a locality-friendly partition — so the swap phase costs
+/// exchanges only for genuinely cross-shard candidates and commits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum SwapProposal {
+    /// Candidate `v` needs the coordinator's cross-shard pipeline.
+    /// `bar1` ships the owner's exact `¯I₁(v)` (sorted) so the 1-swap
+    /// pipeline starts without another round-trip (empty for 2-swap
+    /// candidates — their pipeline gathers per pair).
+    Global { v: u32, bar1: Vec<u32> },
+    /// Ready 1-swap: `v` leaves, `{u1, u2}` enter.
+    One { v: u32, u1: u32, u2: u32 },
+    /// Ready 2-swap at dirty vertex `v`: `{a, b}` leave, `{x, y, z}`
+    /// enter.
+    Two {
+        v: u32,
+        a: u32,
+        b: u32,
+        x: u32,
+        y: u32,
+        z: u32,
+    },
+}
+
+impl SwapProposal {
+    /// The canonical ordering key: the dirty solution vertex.
+    pub fn key(&self) -> u32 {
+        match *self {
+            SwapProposal::Global { v, .. }
+            | SwapProposal::One { v, .. }
+            | SwapProposal::Two { v, .. } => v,
+        }
+    }
+}
+
+/// Post-removal classification of one owned endpoint of a deleted edge,
+/// reported so the coordinator can fire the paper's "edge removed
+/// between two outsiders" candidate rules (the only update that changes
+/// bucket adjacency without a count transition).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct EndInfo {
+    /// The endpoint's count after the removal.
+    pub count: u32,
+    /// Its (up to two) solution parents, `u32::MAX`-padded.
+    pub parents: [u32; 2],
+}
+
+/// One structural operation inside a batched segment. A segment is a
+/// run of updates that provably flip no membership at dispatch time —
+/// the coordinator checks its exact mirror — so cells can apply a whole
+/// run in one exchange. `op` is the operation's index within the
+/// segment: removal replies key their [`EndInfo`] on it.
+#[derive(Debug, Clone)]
+pub(crate) enum CellOp {
+    /// Insert (`true`) or remove an edge. `u_in`/`v_in` refresh the
+    /// endpoints' membership from the coordinator's exact mirror —
+    /// flips are routed only to cells that already border the flipped
+    /// vertex, so a cell meeting an endpoint for the first time syncs
+    /// here.
+    Edge {
+        op: u32,
+        insert: bool,
+        u: u32,
+        v: u32,
+        u_in: bool,
+        v_in: bool,
+    },
+    /// A fresh vertex with its initial `(neighbor, in I)` list and its
+    /// (coordinator-assigned, stable) owner shard. Every cell allocates
+    /// the slot (id-space parity); membership of the named neighbors is
+    /// refreshed like on `Edge`.
+    AddVertex {
+        id: u32,
+        owner: u16,
+        neighbors: Arc<Vec<(u32, bool)>>,
+    },
+    /// Remove a vertex that is *not* in the solution.
+    RemOutsider { v: u32 },
+}
+
+/// One coordinator → cell command. See the module docs for phasing.
+#[derive(Debug)]
+pub(crate) enum Cmd {
+    /// A segment of membership-neutral structural operations, applied in
+    /// order. The reply carries per-op [`EndInfo`] rows for removed
+    /// edges with owned outsider endpoints (`OpsInfo`).
+    Ops(Vec<CellOp>),
+    /// Broadcast: remove a vertex that was in the solution (a phase
+    /// boundary — outsider removals travel in `Ops` segments).
+    RemSolVertex { v: u32 },
+    /// Broadcast: committed membership flips, in order.
+    Flips(Arc<Vec<(u32, bool)>>),
+    /// Routed cross-shard bookkeeping (see [`Note`]).
+    Notes(Vec<Note>),
+    /// Fill phase, propose: do you hold freed vertices, and which of
+    /// them border another shard?
+    FillPoll,
+    /// Fill phase, resolve: given every shard's boundary-freed frontier,
+    /// which owned freed vertices are local minima (and thus enter)?
+    FillRound(Arc<Vec<u32>>),
+    /// Is `¯I₁(v)` non-empty? (Conflict-eviction rule.)
+    DepPeek(u32),
+    /// The exact `¯I₁(v)`, sorted.
+    Bar1(u32),
+    /// The count-2 pivots of the pair `{a, b}` (`a < b`), sorted.
+    Pivots { a: u32, b: u32 },
+    /// The solution pairs vertex `v` participates in, sorted.
+    PairsOf(u32),
+    /// Edges among the given sorted vertex list with an owned endpoint.
+    AdjAmong(Arc<Vec<u32>>),
+    /// Sorted open neighborhood of owned vertex `v`.
+    NbrsOf(u32),
+    /// Scan this cell's dirty set (`two` selects the 2-swap set) in
+    /// ascending order: prune invalid entries, resolve candidates whose
+    /// relevant sets are (near-)local into a ready [`SwapProposal`],
+    /// and stop at the first actionable candidate. `clear` first drops
+    /// the named vertex (a candidate the coordinator just refuted
+    /// globally) — the clear rides along instead of costing its own
+    /// exchange.
+    SwapScan { two: bool, clear: Option<u32> },
+    /// Remove `v` from the dirty set (validated: no swap exists at it).
+    ClearDirty { two: bool, v: u32 },
+    /// Drain the cell's delta feed; publish to the attached per-shard
+    /// log (always, even when empty — epoch alignment).
+    Drain,
+    /// Approximate heap footprint.
+    HeapBytes,
+    /// Debug: local state dump for the coordinator's consistency check.
+    DumpState,
+    /// Debug: recompute-from-scratch audit of the cell's local state.
+    Audit,
+    /// Terminate the cell thread.
+    Stop,
+}
+
+/// Payload of one cell reply.
+#[derive(Debug, Default)]
+pub(crate) enum ReplyData {
+    #[default]
+    None,
+    /// `FillPoll`: any freed vertex at all + the boundary frontier.
+    Fill { any: bool, boundary: Vec<u32> },
+    /// `FillRound`: owned freed local minima (they enter).
+    Entered(Vec<u32>),
+    /// `Bar1` / `Pivots` / `NbrsOf`: a sorted id list.
+    List(Vec<u32>),
+    /// `PairsOf`: sorted, deduplicated solution pairs.
+    Pairs(Vec<(u32, u32)>),
+    /// `AdjAmong`: normalized `(min, max)` edges found.
+    Edges(Vec<(u32, u32)>),
+    /// `SwapScan`.
+    Swap(Option<SwapProposal>),
+    /// `DepPeek`.
+    Peek { nonempty: bool },
+    /// `Ops`: per removed edge (keyed by op index), post-removal info
+    /// for the owned outsider endpoints `(u, v)`.
+    OpsInfo(Vec<(u32, Option<EndInfo>, Option<EndInfo>)>),
+    /// `HeapBytes`.
+    Bytes(usize),
+    /// `DumpState`: `(owned solution vertex, dep1 row, dep2 row)` for
+    /// every owned vertex with a non-empty row.
+    Dump(Vec<DumpRow>),
+    /// `Audit`.
+    Check(Result<(), String>),
+}
+
+/// One cell → coordinator reply: the phase payload, emitted notes, and
+/// a summary of the cell's pending-work state. The hints let the
+/// coordinator skip whole phases (no freed vertex anywhere → no fill
+/// exchange; no dirty vertex anywhere → no swap scan) and address the
+/// remaining ones only to the cells that have work — the common
+/// no-repair update costs a single exchange with at most two cells.
+#[derive(Debug, Default)]
+pub(crate) struct Reply {
+    pub notes: Vec<Note>,
+    pub data: ReplyData,
+    /// The cell holds freed (count-0) vertices awaiting fill.
+    pub freed: bool,
+    /// The cell's 1-swap / 2-swap dirty sets are non-empty.
+    pub dirty1: bool,
+    pub dirty2: bool,
+}

@@ -1,0 +1,126 @@
+//! Serving a sharded engine: the serve layer's ingest machinery in
+//! front of a [`ShardedEngine`], with per-shard delta logs behind a
+//! merged [`ShardedReader`].
+//!
+//! The composition reuses `dynamis-serve` wholesale: one ingest pump
+//! thread (backpressured queue, adaptive batching, tickets) drives the
+//! coordinator, which fans each batch out to the `P` shard writer
+//! threads. Every shard cell publishes its owned share of each epoch's
+//! net delta to its own [`SharedLog`] — one entry per epoch, empty or
+//! not, so the logs advance in lockstep — and readers merge the per-
+//! shard mirrors at the newest consistent cut. The service's own merged
+//! log (and [`ReaderHandle`]s from [`ShardedService::merged_reader`])
+//! keeps working unchanged alongside.
+
+use crate::ShardedEngine;
+use dynamis_core::{DynamicMis, EngineBuilder, EngineError};
+use dynamis_graph::Update;
+use dynamis_serve::{
+    BatchTicket, MisService, ReaderHandle, ServeConfig, ServiceHandle, ServiceReport, ServiceStats,
+    ShardedReader, SharedLog, Ticket,
+};
+use std::sync::Arc;
+
+/// A concurrently queryable sharded maintenance service.
+///
+/// ```
+/// use dynamis_core::EngineBuilder;
+/// use dynamis_graph::{DynamicGraph, Update};
+/// use dynamis_serve::ServeConfig;
+/// use dynamis_shard::ShardedService;
+///
+/// let g = DynamicGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+/// let (service, mut reader) =
+///     ShardedService::spawn(EngineBuilder::on(g).k(2).shards(2), ServeConfig::default())
+///         .unwrap();
+///
+/// service.submit(Update::RemoveEdge(1, 2)).unwrap().wait().unwrap();
+/// assert!(reader.len() >= 3);
+///
+/// let report = service.shutdown();
+/// assert_eq!(reader.snapshot(), report.solution);
+/// ```
+pub struct ShardedService {
+    inner: ServiceHandle,
+    logs: Vec<Arc<SharedLog>>,
+}
+
+impl ShardedService {
+    /// Spawns the ingest pump plus the engine's `P` shard writer threads
+    /// (`P` = [`EngineBuilder::shards`]). Returns the service handle and
+    /// a first merged-per-shard reader.
+    pub fn spawn(
+        builder: EngineBuilder,
+        cfg: ServeConfig,
+    ) -> Result<(ShardedService, ShardedReader), EngineError> {
+        let shards = builder.shard_count();
+        let logs: Vec<Arc<SharedLog>> = (0..shards)
+            .map(|_| Arc::new(SharedLog::new(cfg.log_window)))
+            .collect();
+        let for_engine = logs.clone();
+        let (inner, _merged) = MisService::spawn_with(
+            move || {
+                ShardedEngine::from_builder_with_logs(builder, for_engine)
+                    .map(|e| Box::new(e) as Box<dyn DynamicMis>)
+            },
+            cfg,
+        )?;
+        let reader = ShardedReader::new(logs.clone());
+        Ok((ShardedService { inner, logs }, reader))
+    }
+
+    /// Number of per-shard delta logs (= shards).
+    pub fn shards(&self) -> usize {
+        self.logs.len()
+    }
+
+    /// Enqueues one update, blocking while the queue is full.
+    pub fn submit(&self, update: Update) -> Result<Ticket, dynamis_serve::ServeError> {
+        self.inner.submit(update)
+    }
+
+    /// Fire-and-forget single update.
+    pub fn submit_detached(&self, update: Update) -> Result<(), dynamis_serve::ServeError> {
+        self.inner.submit_detached(update)
+    }
+
+    /// Enqueues a pre-formed batch as one command.
+    pub fn submit_batch(
+        &self,
+        updates: Vec<Update>,
+    ) -> Result<BatchTicket, dynamis_serve::ServeError> {
+        self.inner.submit_batch(updates)
+    }
+
+    /// Fire-and-forget batch.
+    pub fn submit_batch_detached(
+        &self,
+        updates: Vec<Update>,
+    ) -> Result<(), dynamis_serve::ServeError> {
+        self.inner.submit_batch_detached(updates)
+    }
+
+    /// A new merged-per-shard reader (syncs to the newest epoch every
+    /// shard has published).
+    pub fn reader(&self) -> ShardedReader {
+        ShardedReader::new(self.logs.clone())
+    }
+
+    /// A reader over the service's single merged log — the same view a
+    /// plain [`MisService`] serves; useful to compare the two broadcast
+    /// paths.
+    pub fn merged_reader(&self) -> ReaderHandle {
+        self.inner.reader()
+    }
+
+    /// Point-in-time counter snapshot of the ingest layer.
+    pub fn stats(&self) -> ServiceStats {
+        self.inner.stats()
+    }
+
+    /// Graceful shutdown: flushes the queue through the coordinator and
+    /// returns the final report (engine name, merged solution, stats).
+    pub fn shutdown(self) -> ServiceReport {
+        self.inner.shutdown()
+    }
+}

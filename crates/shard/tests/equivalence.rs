@@ -1,0 +1,290 @@
+//! Cross-shard equivalence: the canonical protocol makes the maintained
+//! solution a pure function of the update sequence, so `ShardedEngine`
+//! at P ∈ {1, 2, 4} (threaded cells, two-phase boundary queues) and the
+//! sequential single-cell `CanonicalMis` must produce **identical**
+//! solutions — equal size included — on arbitrary update streams, while
+//! staying independent, maximal, and k-maximal on the full graph.
+
+use dynamis_core::{DynamicMis, EngineBuilder, SolutionMirror};
+use dynamis_gen::uniform::gnm;
+use dynamis_gen::{StreamConfig, UpdateStream};
+use dynamis_graph::{DynamicGraph, Update};
+use dynamis_shard::{CanonicalMis, ShardedEngine};
+use dynamis_static::verify::{is_independent_dynamic, is_k_maximal_dynamic, is_maximal_dynamic};
+use proptest::prelude::*;
+
+/// The four subjects of the equivalence claim for swap depth `k`.
+fn subjects(g: &DynamicGraph, k: usize) -> Vec<Box<dyn DynamicMis>> {
+    let on = |p: usize| EngineBuilder::on(g.clone()).k(k).shards(p);
+    vec![
+        Box::new(on(1).build_as::<CanonicalMis>().unwrap()),
+        Box::new(on(1).build_as::<ShardedEngine>().unwrap()),
+        Box::new(on(2).build_as::<ShardedEngine>().unwrap()),
+        Box::new(on(4).build_as::<ShardedEngine>().unwrap()),
+    ]
+}
+
+fn assert_all_equal(engines: &[Box<dyn DynamicMis>], context: &str) -> Vec<u32> {
+    let reference = engines[0].solution();
+    for e in &engines[1..] {
+        assert_eq!(
+            e.solution(),
+            reference,
+            "{} diverged from {} {context}",
+            e.name(),
+            engines[0].name()
+        );
+    }
+    reference
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// Random streams over random graphs: identical solutions after
+    /// every update at k = 1, invariants verified on the final state.
+    #[test]
+    fn sharded_matches_sequential_k1(
+        seed in 0u64..10_000,
+        n in 6usize..34,
+        steps in 5usize..120,
+    ) {
+        run_equivalence(seed, n, steps, 1)?;
+    }
+
+    /// Same property at k = 2 (2-swap pipeline included).
+    #[test]
+    fn sharded_matches_sequential_k2(
+        seed in 0u64..10_000,
+        n in 6usize..30,
+        steps in 5usize..90,
+    ) {
+        run_equivalence(seed, n, steps, 2)?;
+    }
+}
+
+fn run_equivalence(seed: u64, n: usize, steps: usize, k: usize) -> Result<(), TestCaseError> {
+    let m = (n * (n - 1) / 4).min(3 * n);
+    let g = gnm(n, m, seed);
+    let ups = UpdateStream::new(&g, StreamConfig::default(), seed ^ 0xabcd).take_updates(steps);
+    let mut engines = subjects(&g, k);
+    assert_all_equal(&engines, "at bootstrap");
+    for (i, u) in ups.iter().enumerate() {
+        for e in engines.iter_mut() {
+            e.try_apply(u)
+                .map_err(|err| TestCaseError::fail(format!("{}: {u:?}: {err}", e.name())))?;
+        }
+        let sol = assert_all_equal(&engines, &format!("after update {i} ({u:?})"));
+        let graph = engines[0].graph();
+        prop_assert!(
+            is_independent_dynamic(graph, &sol),
+            "not independent after {u:?}"
+        );
+        prop_assert!(is_maximal_dynamic(graph, &sol), "not maximal after {u:?}");
+    }
+    // Brute-force k-maximality on the final state (exponential checker —
+    // the graphs are proptest-sized).
+    let sol = engines[0].solution();
+    prop_assert!(
+        is_k_maximal_dynamic(engines[0].graph(), &sol, k),
+        "final solution is not {k}-maximal"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The per-update deltas of a sharded engine replay into a mirror
+    /// that tracks `solution()` exactly — the session-API contract holds
+    /// through the coordinator's merged feed.
+    #[test]
+    fn sharded_deltas_mirror_the_solution(
+        seed in 0u64..10_000,
+        n in 6usize..30,
+        steps in 5usize..90,
+    ) {
+        let g = gnm(n, 2 * n, seed);
+        let ups = UpdateStream::new(&g, StreamConfig::default(), seed ^ 0x51ed).take_updates(steps);
+        let mut e: ShardedEngine = EngineBuilder::on(g).k(2).shards(3).build_as().unwrap();
+        let mut mirror = SolutionMirror::new();
+        mirror
+            .apply(&e.drain_delta())
+            .map_err(|err| TestCaseError::fail(err.to_string()))?;
+        prop_assert_eq!(mirror.solution(), e.solution(), "bootstrap");
+        for u in &ups {
+            let delta = e.try_apply(u).unwrap();
+            mirror
+                .apply(&delta)
+                .map_err(|err| TestCaseError::fail(err.to_string()))?;
+            prop_assert_eq!(mirror.solution(), e.solution(), "after {:?}", u);
+        }
+        e.check_consistency().map_err(TestCaseError::fail)?;
+    }
+
+    /// The distributed dependent sets never drift from a global recount,
+    /// and the partition audit passes mid-stream, not just at the end.
+    #[test]
+    fn cross_shard_state_audit(
+        seed in 0u64..10_000,
+        n in 6usize..30,
+        steps in 4usize..24,
+    ) {
+        let g = gnm(n, 2 * n, seed);
+        let ups = UpdateStream::new(&g, StreamConfig::default(), seed ^ 0x417).take_updates(steps);
+        let mut e: ShardedEngine = EngineBuilder::on(g).k(2).shards(4).build_as().unwrap();
+        e.check_consistency().map_err(TestCaseError::fail)?;
+        for u in &ups {
+            e.try_apply(u).unwrap();
+            e.check_consistency().map_err(TestCaseError::fail)?;
+        }
+    }
+}
+
+/// Boundary-heavy regression: a bipartite-ish cut graph whose every edge
+/// crosses sides, driven through a deletion-heavy schedule. With a
+/// degree-balanced 2/4-way partition, most repairs cross shards.
+#[test]
+fn bipartite_cut_boundary_regression() {
+    let sides = 7u32;
+    let mut edges = Vec::new();
+    for l in 0..sides {
+        for r in 0..sides {
+            edges.push((l, sides + r));
+        }
+    }
+    // A light tail so degrees are not uniform.
+    edges.push((2 * sides, 0));
+    edges.push((2 * sides + 1, sides));
+    let g = DynamicGraph::from_edges(2 * sides as usize + 2, &edges);
+
+    for k in [1usize, 2] {
+        let mut engines = subjects(&g, k);
+        // Deterministic deletion-heavy schedule: strip one left vertex's
+        // edges (freeing the other side), re-insert some, remove a hub.
+        let mut schedule: Vec<Update> = (0..sides)
+            .map(|r| Update::RemoveEdge(0, sides + r))
+            .collect();
+        schedule.push(Update::InsertEdge(0, sides));
+        schedule.push(Update::RemoveVertex(1));
+        schedule.extend((0..sides).map(|r| Update::RemoveEdge(2, sides + r)));
+        schedule.push(Update::InsertVertex {
+            id: 1,
+            neighbors: vec![0, 2, sides + 1],
+        });
+        schedule.push(Update::RemoveEdge(3, sides + 2));
+        for (i, u) in schedule.iter().enumerate() {
+            for e in engines.iter_mut() {
+                e.try_apply(u)
+                    .unwrap_or_else(|err| panic!("{} step {i} {u:?}: {err}", e.name()));
+            }
+            let sol = assert_all_equal(&engines, &format!("at step {i} (k = {k})"));
+            assert!(is_independent_dynamic(engines[0].graph(), &sol));
+            assert!(is_maximal_dynamic(engines[0].graph(), &sol));
+        }
+        let sol = engines[0].solution();
+        assert!(
+            is_k_maximal_dynamic(engines[0].graph(), &sol, k),
+            "cut graph final solution not {k}-maximal"
+        );
+    }
+}
+
+/// A star admits the classic 1-swap: the hub leaves, two leaves enter —
+/// across a partition that separates hub and leaves.
+#[test]
+fn one_swap_fires_across_the_boundary() {
+    let g = DynamicGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+    for p in [1usize, 2, 4] {
+        let mut e: ShardedEngine = EngineBuilder::on(g.clone())
+            .initial(&[0])
+            .shards(p)
+            .build_as()
+            .unwrap();
+        assert_eq!(
+            e.solution(),
+            vec![1, 2, 3, 4],
+            "P = {p}: bootstrap must 1-swap the hub out"
+        );
+        e.check_consistency().unwrap();
+    }
+}
+
+/// P5 with `{1, 3}` is 1-maximal but admits a 2-swap to `{0, 2, 4}`;
+/// the sharded k = 2 engine must find it through the pair pipeline.
+#[test]
+fn two_swap_fires_across_the_boundary() {
+    let g = DynamicGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+    for p in [1usize, 2, 4] {
+        let mut e: ShardedEngine = EngineBuilder::on(g.clone())
+            .initial(&[1, 3])
+            .k(2)
+            .shards(p)
+            .build_as()
+            .unwrap();
+        assert_eq!(
+            e.solution(),
+            vec![0, 2, 4],
+            "P = {p}: bootstrap must 2-swap {{1, 3}} out"
+        );
+        e.check_consistency().unwrap();
+    }
+}
+
+/// Batch semantics match the eager engines' contract: prefix applied on
+/// rejection with the failing index reported, invariant re-established.
+#[test]
+fn batch_prefix_semantics() {
+    let g = DynamicGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+    let mut e: ShardedEngine = EngineBuilder::on(g).shards(2).build_as().unwrap();
+    let err = e
+        .try_apply_batch(&[
+            Update::RemoveEdge(0, 1),
+            Update::InsertEdge(1, 2), // duplicate → rejected
+            Update::RemoveEdge(2, 3), // never reached
+        ])
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        dynamis_core::EngineError::Batch { index: 1, .. }
+    ));
+    assert!(!e.graph().has_edge(0, 1), "prefix stays applied");
+    assert!(e.graph().has_edge(2, 3), "suffix is not applied");
+    e.check_consistency().unwrap();
+}
+
+/// Rejected updates leave the sharded engine provably unchanged.
+#[test]
+fn rejections_leave_state_unchanged() {
+    let g = DynamicGraph::from_edges(4, &[(0, 1), (2, 3)]);
+    let mut e: ShardedEngine = EngineBuilder::on(g).k(2).shards(2).build_as().unwrap();
+    let before = e.solution();
+    for bad in [
+        Update::InsertEdge(0, 1),
+        Update::RemoveEdge(0, 2),
+        Update::InsertEdge(0, 9),
+        Update::RemoveVertex(9),
+        Update::InsertVertex {
+            id: 9,
+            neighbors: vec![0],
+        },
+    ] {
+        assert!(e.try_apply(&bad).is_err(), "{bad:?} must be rejected");
+    }
+    assert_eq!(e.solution(), before);
+    e.check_consistency().unwrap();
+}
+
+/// `k ≥ 3` has no canonical sharded counterpart and must be rejected,
+/// not silently downgraded.
+#[test]
+fn k3_is_rejected() {
+    let g = DynamicGraph::from_edges(3, &[(0, 1)]);
+    assert!(matches!(
+        EngineBuilder::on(g)
+            .k(3)
+            .shards(2)
+            .build_as::<ShardedEngine>(),
+        Err(dynamis_core::EngineError::BadParameter(_))
+    ));
+}

@@ -1,0 +1,36 @@
+//! Ignored diagnostic: coordination-cost profile of the sharded engine
+//! on the bench workload shape (run with `--ignored --nocapture`).
+
+use dynamis_core::{DynamicMis, EngineBuilder};
+use dynamis_gen::powerlaw::chung_lu;
+use dynamis_gen::{StreamConfig, UpdateStream};
+use dynamis_shard::ShardedEngine;
+use std::time::Instant;
+
+#[test]
+#[ignore = "diagnostic, prints coordination stats"]
+fn profile_exchanges() {
+    let base = chung_lu(10_000, 2.4, 8.0, 77);
+    let ups = UpdateStream::new(&base, StreamConfig::default(), 77 ^ 0xfeed).take_updates(8_000);
+    for (k, p) in [(1usize, 1usize), (2, 1), (1, 4), (2, 4)] {
+        let mut e: ShardedEngine = EngineBuilder::on(base.clone())
+            .k(k)
+            .shards(p)
+            .build_as()
+            .unwrap();
+        let (x0, c0) = e.coordination_stats();
+        let t = Instant::now();
+        for chunk in ups.chunks(250) {
+            e.try_apply_batch(chunk).unwrap();
+        }
+        let dt = t.elapsed().as_secs_f64();
+        let (x1, c1) = e.coordination_stats();
+        println!(
+            "k={k} P={p}: {:.0} upd/s, {:.2} exchanges/update ({} total), {:.2} cmds/update; bootstrap {x0} exch",
+            ups.len() as f64 / dt,
+            (x1 - x0) as f64 / ups.len() as f64,
+            x1 - x0,
+            (c1 - c0) as f64 / ups.len() as f64,
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Serving-layer integration: the sharded service behind concurrent
+//! readers, per-shard logs merging consistently with the single merged
+//! log, and a clean shutdown flush.
+
+use dynamis_core::EngineBuilder;
+use dynamis_gen::uniform::gnm;
+use dynamis_gen::{StreamConfig, UpdateStream};
+use dynamis_graph::Update;
+use dynamis_serve::ServeConfig;
+use dynamis_shard::ShardedService;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn sharded_service_round_trip() {
+    let g = gnm(400, 1200, 7);
+    let ups = UpdateStream::new(&g, StreamConfig::default(), 99).take_updates(3000);
+    let (service, mut reader) =
+        ShardedService::spawn(EngineBuilder::on(g).k(2).shards(3), ServeConfig::default()).unwrap();
+    assert_eq!(service.shards(), 3);
+    // Readers see the bootstrap immediately.
+    assert!(!reader.is_empty());
+    let mut merged = service.merged_reader();
+    assert_eq!(merged.snapshot(), reader.snapshot());
+
+    // Concurrent point queries on forked readers while ingesting.
+    let stop = Arc::new(AtomicBool::new(false));
+    let queriers: Vec<_> = (0..2)
+        .map(|i| {
+            let mut r = reader.fork();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut v = i as u32;
+                let mut hits = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if r.contains(v % 400) {
+                        hits += 1;
+                    }
+                    v = v.wrapping_mul(2_654_435_761).wrapping_add(1);
+                }
+                hits
+            })
+        })
+        .collect();
+
+    let mut accepted = 0usize;
+    for chunk in ups.chunks(64) {
+        let verdicts = service
+            .submit_batch(chunk.to_vec())
+            .unwrap()
+            .wait()
+            .unwrap();
+        accepted += verdicts.iter().filter(|v| v.is_ok()).count();
+    }
+    assert!(accepted > 0, "stream must apply");
+
+    let report = service.shutdown();
+    stop.store(true, Ordering::Relaxed);
+    for q in queriers {
+        q.join().unwrap();
+    }
+    assert_eq!(
+        reader.snapshot(),
+        report.solution,
+        "per-shard cut must converge to the final solution"
+    );
+    assert_eq!(merged.snapshot(), report.solution);
+    let seqs = reader.seq_vector().to_vec();
+    assert!(
+        seqs.iter().all(|&s| s == seqs[0]),
+        "post-shutdown cut must align every shard log: {seqs:?}"
+    );
+    assert_eq!(report.stats.applied as usize, accepted);
+}
+
+#[test]
+fn per_update_tickets_report_rejections() {
+    let g = gnm(20, 40, 3);
+    let (service, _reader) = ShardedService::spawn(
+        EngineBuilder::on(g.clone()).shards(2),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    // A duplicate insert is rejected with the engine's typed error; a
+    // valid one is applied.
+    let existing = g.edges().next().unwrap();
+    assert!(service
+        .submit(Update::InsertEdge(existing.0, existing.1))
+        .unwrap()
+        .wait()
+        .is_err());
+    let stats = service.stats();
+    assert_eq!(stats.rejected, 1);
+    service.shutdown();
+}

@@ -18,6 +18,7 @@
 //! | [`gen`] | graph generators, update streams, PLB estimation, dataset registry |
 //! | [`problems`] | vertex cover, clique, coloring, and the intro's applications (map labeling, collusion detection, interval scheduling) |
 //! | [`serve`] | concurrent serving layer: single-writer engine thread, batched ingest, delta-broadcast readers |
+//! | [`shard`] | sharded parallel maintenance: degree-aware engine partitions, per-shard writer threads, two-phase boundary repair |
 //!
 //! ## Quickstart
 //!
@@ -57,6 +58,7 @@ pub use dynamis_gen as gen;
 pub use dynamis_graph as graph;
 pub use dynamis_problems as problems;
 pub use dynamis_serve as serve;
+pub use dynamis_shard as shard;
 pub use dynamis_static as statics;
 
 pub use dynamis_baselines::{DgDis, DyArw, MaximalOnly, Restart, RestartSolver};
@@ -65,5 +67,8 @@ pub use dynamis_core::{
     GenericKSwap, MirrorError, Snapshot, SolutionDelta, SolutionMirror,
 };
 pub use dynamis_gen::{StreamConfig, UpdateStream, Workload};
-pub use dynamis_graph::{CsrGraph, DynamicGraph, GraphError, Update};
-pub use dynamis_serve::{MisService, ReaderHandle, ServeConfig, ServeError, ServiceStats};
+pub use dynamis_graph::{CsrGraph, DynamicGraph, GraphError, ShardMap, Update};
+pub use dynamis_serve::{
+    MisService, ReaderHandle, ServeConfig, ServeError, ServiceStats, ShardedReader,
+};
+pub use dynamis_shard::{CanonicalMis, ShardedEngine, ShardedService};
