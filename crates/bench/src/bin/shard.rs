@@ -1,33 +1,38 @@
-//! Sharded-maintenance throughput bench: the canonical sharded service
-//! (`dynamis-shard`, P writer threads behind a coordinator) vs. the
-//! single-writer serve layer, on the paper's Chung–Lu workload.
+//! Sharded-maintenance bench with a partitioner axis: degree-greedy vs.
+//! locality-aware `ShardMap`s, on the paper's Chung–Lu workload (random
+//! — the cut-bound worst case) and a planted-community workload (the
+//! massive-real-graph regime the source paper targets, where locality
+//! partitioning pays).
 //!
-//! Architectures, all behind the same backpressured ingest queue:
+//! Three measurement families, per workload:
 //!
-//! * **serve** — the PR3 baseline: one writer thread owning `DyTwoSwap`
-//!   (the fastest sequential engine) with adaptive batching;
-//! * **sharded P ∈ {1, 2, 4}** — the canonical sharded engine: the
-//!   coordinator drives P shard cells on their own writer threads, each
-//!   publishing its per-shard delta log.
+//! * **partitions** — static cut quality: cut edges / cut share and
+//!   per-shard degree loads for P ∈ {1, 2, 4} under both partitioners;
+//! * **coordination** — the sharded write path's unit cost: a direct
+//!   `ShardedEngine` run over the update stream (batched like the
+//!   service ingests) recording `coordination_stats` exchanges and
+//!   commands per update for P ∈ {2, 4} under both partitioners. The
+//!   solutions are asserted identical across partitioners — the
+//!   partition may only move coordination cost;
+//! * **runs** — end-to-end service throughput behind the backpressured
+//!   ingest queue: the single-writer serve baseline vs. the sharded
+//!   service at P = 1 and P ∈ {2, 4} × both partitioners.
 //!
-//! The comparison isolates two costs the architecture doc discusses:
-//! the *protocol* cost (sharded P = 1 vs. serve — same sequential work,
-//! plus phase barriers and canonical ordering) and the *coordination*
-//! cost/benefit of spreading cell work across threads (P = 2, 4 vs.
-//! P = 1). Per-run the JSON records the partition (cut edges, per-shard
-//! degree loads) and the core count — barrier-dominated numbers on a
-//! 1-core CI box are expected and say nothing about multicore scaling.
+//! Per-run the JSON records the core count — barrier-dominated numbers
+//! on a 1-core CI box say nothing about multicore scaling, but cut share
+//! and exchanges/update are scheduling-independent.
 //!
-//! Writes `BENCH_PR4.json` (override with `DYNAMIS_BENCH_OUT`); honors
+//! Writes `BENCH_PR5.json` (override with `DYNAMIS_BENCH_OUT`); honors
 //! `DYNAMIS_FAST=1`.
 
 use dynamis_bench::alloc_track::TrackingAlloc;
-use dynamis_core::EngineBuilder;
+use dynamis_core::{DynamicMis, EngineBuilder, Partitioner};
 use dynamis_gen::powerlaw::chung_lu;
+use dynamis_gen::structured::planted_communities;
 use dynamis_gen::{StreamConfig, UpdateStream};
 use dynamis_graph::{DynamicGraph, ShardMap, Update};
 use dynamis_serve::{MisService, ServeConfig, ServiceStats};
-use dynamis_shard::ShardedService;
+use dynamis_shard::{ShardedEngine, ShardedService};
 use std::fmt::Write as _;
 use std::thread;
 use std::time::Instant;
@@ -35,9 +40,41 @@ use std::time::Instant;
 #[global_allocator]
 static ALLOC: TrackingAlloc = TrackingAlloc;
 
+const PARTITIONERS: [Partitioner; 2] = [Partitioner::DegreeGreedy, Partitioner::Locality];
+
+struct Workload {
+    name: &'static str,
+    model: &'static str,
+    graph: DynamicGraph,
+    ups: Vec<Update>,
+    seed: u64,
+}
+
+struct PartitionReport {
+    workload: &'static str,
+    shards: usize,
+    partitioner: Partitioner,
+    cut_edges: usize,
+    cut_share: f64,
+    degree_loads: Vec<u64>,
+}
+
+struct CoordReport {
+    workload: &'static str,
+    shards: usize,
+    partitioner: Partitioner,
+    updates: usize,
+    exchanges: u64,
+    cmds: u64,
+    run_secs: f64,
+    solution: Vec<u32>,
+}
+
 struct RunReport {
+    workload: &'static str,
     arch: String,
     shards: usize,
+    partitioner: &'static str,
     updates: usize,
     run_secs: f64,
     updates_per_sec: f64,
@@ -55,53 +92,87 @@ fn serve_cfg() -> ServeConfig {
 
 /// Ingest phase: submit the whole stream fire-and-forget, shut down (=
 /// flush), report wall-clock throughput.
-fn run_single(base: &DynamicGraph, ups: &[Update]) -> RunReport {
+fn run_single(w: &Workload) -> RunReport {
     let (service, _reader) =
-        MisService::spawn(EngineBuilder::on(base.clone()).k(2), serve_cfg()).expect("spawn");
+        MisService::spawn(EngineBuilder::on(w.graph.clone()).k(2), serve_cfg()).expect("spawn");
     let t = Instant::now();
-    for u in ups {
+    for u in &w.ups {
         service.submit_detached(u.clone()).expect("service alive");
     }
     let report = service.shutdown();
     let run_secs = t.elapsed().as_secs_f64();
-    assert_eq!(report.stats.applied as usize, ups.len());
+    assert_eq!(report.stats.applied as usize, w.ups.len());
     RunReport {
+        workload: w.name,
         arch: "serve".into(),
         shards: 1,
-        updates: ups.len(),
+        partitioner: "-",
+        updates: w.ups.len(),
         run_secs,
-        updates_per_sec: ups.len() as f64 / run_secs,
+        updates_per_sec: w.ups.len() as f64 / run_secs,
         solution_size: report.solution.len(),
         stats: report.stats,
     }
 }
 
-fn run_sharded(base: &DynamicGraph, ups: &[Update], shards: usize) -> RunReport {
+fn run_sharded(w: &Workload, shards: usize, partitioner: Partitioner) -> RunReport {
     let (service, mut reader) = ShardedService::spawn(
-        EngineBuilder::on(base.clone()).k(2).shards(shards),
+        EngineBuilder::on(w.graph.clone())
+            .k(2)
+            .shards(shards)
+            .partitioner(partitioner),
         serve_cfg(),
     )
     .expect("spawn");
     let t = Instant::now();
-    for u in ups {
+    for u in &w.ups {
         service.submit_detached(u.clone()).expect("service alive");
     }
     let report = service.shutdown();
     let run_secs = t.elapsed().as_secs_f64();
-    assert_eq!(report.stats.applied as usize, ups.len());
+    assert_eq!(report.stats.applied as usize, w.ups.len());
     assert_eq!(
         reader.snapshot(),
         report.solution,
         "merged per-shard cut must equal the final solution"
     );
     RunReport {
-        arch: format!("sharded-p{shards}"),
+        workload: w.name,
+        arch: format!("sharded-p{shards}-{partitioner}"),
         shards,
-        updates: ups.len(),
+        partitioner: partitioner.name(),
+        updates: w.ups.len(),
         run_secs,
-        updates_per_sec: ups.len() as f64 / run_secs,
+        updates_per_sec: w.ups.len() as f64 / run_secs,
         solution_size: report.solution.len(),
         stats: report.stats,
+    }
+}
+
+/// Direct engine run (no service): the coordination-cost measurement.
+/// Batches of 256 mirror the service's ingest bursts.
+fn run_coordination(w: &Workload, shards: usize, partitioner: Partitioner) -> CoordReport {
+    let mut e: ShardedEngine = EngineBuilder::on(w.graph.clone())
+        .k(2)
+        .shards(shards)
+        .partitioner(partitioner)
+        .build_as()
+        .expect("build sharded engine");
+    let t = Instant::now();
+    for chunk in w.ups.chunks(256) {
+        e.try_apply_batch(chunk).expect("stream is valid");
+    }
+    let run_secs = t.elapsed().as_secs_f64();
+    let (exchanges, cmds) = e.coordination_stats();
+    CoordReport {
+        workload: w.name,
+        shards,
+        partitioner,
+        updates: w.ups.len(),
+        exchanges,
+        cmds,
+        run_secs,
+        solution: e.solution(),
     }
 }
 
@@ -112,43 +183,112 @@ fn main() {
     } else {
         (100_000, 60_000)
     };
-    let (beta, avg_degree, seed) = (2.4, 8.0, 77);
-
-    eprintln!("shard: building Chung-Lu base graph (n = {n}, beta = {beta}, d = {avg_degree})");
-    let base = chung_lu(n, beta, avg_degree, seed);
-    let ups =
-        UpdateStream::new(&base, StreamConfig::default(), seed ^ 0xfeed).take_updates(updates);
+    let seed = 77u64;
     let cores = thread::available_parallelism().map_or(1, |c| c.get());
-    eprintln!(
-        "shard: m = {}, {updates} updates, {cores} cores; serve baseline + sharded P in {{1, 2, 4}}",
-        base.num_edges()
-    );
 
-    // Partition shape per P (the write path pays for the cut).
+    eprintln!("shard: building workloads (n = {n}, {updates} updates, {cores} cores)");
+    let cl = chung_lu(n, 2.4, 8.0, seed);
+    let cl_ups =
+        UpdateStream::new(&cl, StreamConfig::default(), seed ^ 0xfeed).take_updates(updates);
+    // Planted communities sized to the same n: blocks of 400 (full) /
+    // 200 (fast), ~2% of edges crossing.
+    let (blocks, block_size) = if fast { (50, 200) } else { (250, 400) };
+    let pc = planted_communities(blocks, block_size, 8, n / 12, seed);
+    let pc_ups =
+        UpdateStream::new(&pc, StreamConfig::default(), seed ^ 0xbeef).take_updates(updates);
+    let workloads = [
+        Workload {
+            name: "chung_lu",
+            model: "chung_lu(beta=2.4, d=8)",
+            graph: cl,
+            ups: cl_ups,
+            seed,
+        },
+        Workload {
+            name: "planted",
+            model: "planted_communities(intra_degree=8)",
+            graph: pc,
+            ups: pc_ups,
+            seed,
+        },
+    ];
+
+    // Static partition quality per workload, P, partitioner.
     let mut partitions = Vec::new();
-    for p in [1usize, 2, 4] {
-        let map = ShardMap::degree_aware(&base, p);
-        partitions.push((p, map.cut_edges(&base), map.degree_loads(&base)));
+    for w in &workloads {
+        let m = w.graph.num_edges() as f64;
+        for p in [1usize, 2, 4] {
+            for part in PARTITIONERS {
+                let map = ShardMap::with_partitioner(&w.graph, p, part);
+                let cut = map.cut_edges(&w.graph);
+                partitions.push(PartitionReport {
+                    workload: w.name,
+                    shards: p,
+                    partitioner: part,
+                    cut_edges: cut,
+                    cut_share: cut as f64 / m,
+                    degree_loads: map.degree_loads(&w.graph),
+                });
+            }
+        }
     }
-    for (p, cut, loads) in &partitions {
+    for r in &partitions {
         eprintln!(
-            "shard: P = {p}: {cut} cut edges ({:.1}% of m), degree loads {loads:?}",
-            100.0 * *cut as f64 / base.num_edges() as f64
+            "shard: {} P = {} {}: {} cut edges ({:.1}% of m)",
+            r.workload,
+            r.shards,
+            r.partitioner,
+            r.cut_edges,
+            100.0 * r.cut_share
         );
     }
 
-    let mut reports = Vec::new();
-    reports.push(run_single(&base, &ups));
-    for p in [1usize, 2, 4] {
-        reports.push(run_sharded(&base, &ups, p));
+    // Coordination cost per update, both partitioners, P ∈ {2, 4}. The
+    // solutions must agree pairwise — the partition is coordination-only.
+    let mut coordination = Vec::new();
+    for w in &workloads {
+        for p in [2usize, 4] {
+            let reports: Vec<CoordReport> = PARTITIONERS
+                .iter()
+                .map(|&part| run_coordination(w, p, part))
+                .collect();
+            assert_eq!(
+                reports[0].solution, reports[1].solution,
+                "{} P = {p}: partitioner changed the solution",
+                w.name
+            );
+            for r in reports {
+                eprintln!(
+                    "shard: {} P = {} {}: {:.2} exchanges/update, {:.2} cmds/update",
+                    r.workload,
+                    r.shards,
+                    r.partitioner,
+                    r.exchanges as f64 / r.updates as f64,
+                    r.cmds as f64 / r.updates as f64
+                );
+                coordination.push(r);
+            }
+        }
+    }
+
+    // End-to-end service throughput.
+    let mut runs = Vec::new();
+    for w in &workloads {
+        runs.push(run_single(w));
+        runs.push(run_sharded(w, 1, Partitioner::DegreeGreedy));
+        for p in [2usize, 4] {
+            for part in PARTITIONERS {
+                runs.push(run_sharded(w, p, part));
+            }
+        }
     }
 
     let mut table =
-        dynamis_bench::Table::new(vec!["arch", "shards", "updates/s", "mean batch", "|I|"]);
-    for r in &reports {
+        dynamis_bench::Table::new(vec!["workload", "arch", "updates/s", "mean batch", "|I|"]);
+    for r in &runs {
         table.row(vec![
+            r.workload.to_string(),
             r.arch.clone(),
-            r.shards.to_string(),
             format!("{:.0}", r.updates_per_sec),
             format!("{:.1}", r.stats.mean_batch()),
             r.solution_size.to_string(),
@@ -159,57 +299,90 @@ fn main() {
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
     writeln!(json, "  \"bench\": \"shard\",").unwrap();
-    writeln!(
-        json,
-        "  \"workload\": {{\"model\": \"chung_lu\", \"n\": {n}, \"beta\": {beta}, \
-         \"avg_degree\": {avg_degree}, \"updates\": {updates}, \"seed\": {seed}, \
-         \"cores\": {cores}, \"fast\": {fast}}},"
-    )
-    .unwrap();
-    writeln!(json, "  \"partitions\": [").unwrap();
-    for (i, (p, cut, loads)) in partitions.iter().enumerate() {
-        let loads: Vec<String> = loads.iter().map(|l| l.to_string()).collect();
+    writeln!(json, "  \"workloads\": [").unwrap();
+    for (i, w) in workloads.iter().enumerate() {
         writeln!(
             json,
-            "    {{\"shards\": {p}, \"cut_edges\": {cut}, \"degree_loads\": [{}]}}{}",
+            "    {{\"name\": \"{}\", \"model\": \"{}\", \"n\": {}, \"m\": {}, \
+             \"updates\": {}, \"seed\": {}, \"cores\": {cores}, \"fast\": {fast}}}{}",
+            w.name,
+            w.model,
+            w.graph.num_vertices(),
+            w.graph.num_edges(),
+            w.ups.len(),
+            w.seed,
+            if i + 1 < workloads.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"partitions\": [").unwrap();
+    for (i, r) in partitions.iter().enumerate() {
+        let loads: Vec<String> = r.degree_loads.iter().map(|l| l.to_string()).collect();
+        writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"shards\": {}, \"partitioner\": \"{}\", \
+             \"cut_edges\": {}, \"cut_share\": {:.4}, \"degree_loads\": [{}]}}{}",
+            r.workload,
+            r.shards,
+            r.partitioner,
+            r.cut_edges,
+            r.cut_share,
             loads.join(", "),
             if i + 1 < partitions.len() { "," } else { "" }
         )
         .unwrap();
     }
     writeln!(json, "  ],").unwrap();
-    writeln!(json, "  \"runs\": [").unwrap();
-    for (i, r) in reports.iter().enumerate() {
+    writeln!(json, "  \"coordination\": [").unwrap();
+    for (i, r) in coordination.iter().enumerate() {
         writeln!(
             json,
-            "    {{\"arch\": \"{}\", \"shards\": {}, \"updates\": {}, \"run_secs\": {:.3}, \
+            "    {{\"workload\": \"{}\", \"shards\": {}, \"partitioner\": \"{}\", \
+             \"updates\": {}, \"exchanges\": {}, \"cmds\": {}, \
+             \"exchanges_per_update\": {:.3}, \"cmds_per_update\": {:.3}, \
+             \"run_secs\": {:.3}, \"solution_size\": {}}}{}",
+            r.workload,
+            r.shards,
+            r.partitioner,
+            r.updates,
+            r.exchanges,
+            r.cmds,
+            r.exchanges as f64 / r.updates as f64,
+            r.cmds as f64 / r.updates as f64,
+            r.run_secs,
+            r.solution.len(),
+            if i + 1 < coordination.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"runs\": [").unwrap();
+    for (i, r) in runs.iter().enumerate() {
+        writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"arch\": \"{}\", \"shards\": {}, \
+             \"partitioner\": \"{}\", \"updates\": {}, \"run_secs\": {:.3}, \
              \"updates_per_sec\": {:.1}, \"solution_size\": {}, \"batches\": {}, \
              \"mean_batch\": {:.2}}}{}",
+            r.workload,
             r.arch,
             r.shards,
+            r.partitioner,
             r.updates,
             r.run_secs,
             r.updates_per_sec,
             r.solution_size,
             r.stats.batches,
             r.stats.mean_batch(),
-            if i + 1 < reports.len() { "," } else { "" }
+            if i + 1 < runs.len() { "," } else { "" }
         )
         .unwrap();
     }
     writeln!(json, "  ]").unwrap();
     writeln!(json, "}}").unwrap();
 
-    let out = std::env::var("DYNAMIS_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
+    let out = std::env::var("DYNAMIS_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR5.json".to_string());
     std::fs::write(&out, &json).expect("write bench report");
     eprintln!("shard: wrote {out}");
-
-    let base_rate = reports[0].updates_per_sec;
-    for r in &reports[1..] {
-        eprintln!(
-            "shard: {} vs serve: {:.2}x updates/s",
-            r.arch,
-            r.updates_per_sec / base_rate
-        );
-    }
 }

@@ -95,6 +95,7 @@ pub mod two_swap;
 
 pub use builder::{BuildableEngine, EngineBuilder, Session};
 pub use delta::{DeltaFeed, SolutionDelta, SolutionMirror};
+pub use dynamis_graph::Partitioner;
 pub use engine::{EngineConfig, EngineStats};
 pub use error::{validate_update, EngineError, MirrorError};
 pub use generic::GenericKSwap;

@@ -41,6 +41,7 @@ pub mod dynamic;
 pub mod error;
 pub mod hash;
 pub mod io;
+pub mod partition;
 pub mod shardmap;
 pub mod update;
 
@@ -48,6 +49,7 @@ pub use csr::CsrGraph;
 pub use dynamic::{DynamicGraph, EdgeHandle, VertexId};
 pub use error::GraphError;
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use partition::Partitioner;
 pub use shardmap::ShardMap;
 pub use update::{apply_update, Update};
 

@@ -1,0 +1,354 @@
+//! Partitioning strategies for the [`ShardMap`](crate::ShardMap).
+//!
+//! Two ways to split a vertex space into `P` shards:
+//!
+//! * [`Partitioner::DegreeGreedy`] — the classic greedy makespan
+//!   heuristic: visit vertices heaviest-first, each goes to the
+//!   currently lightest shard. Balances per-shard adjacency work
+//!   tightly but ignores *where* the edges go, so on any graph it cuts
+//!   roughly a `(1 − 1/P)` share of the edges.
+//! * [`Partitioner::Locality`] — a label-propagation partition grown by
+//!   capacity-bounded multi-source BFS from high-degree seeds, then
+//!   polished by a Fiduccia–Mattheyses-style refinement pass (single
+//!   positive-gain vertex moves under a balance constraint). On graphs
+//!   with community structure — the massive real graphs the source
+//!   paper targets — this places whole neighborhoods on one shard, so
+//!   far fewer updates touch the sharded write path's boundary
+//!   protocol.
+//!
+//! The partition only ever changes *coordination cost*: for any fixed
+//! partition the sharded engine's solution is a pure function of the
+//! update stream (every protocol tie-break resolves on global vertex
+//! ids), which the cross-partitioner equivalence suites pin.
+//!
+//! ```
+//! use dynamis_graph::{DynamicGraph, Partitioner, ShardMap};
+//!
+//! // Two 4-cliques joined by a single bridge: an ideal 2-way split.
+//! let mut edges = vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+//! edges.extend([(4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7), (3, 4)]);
+//! let g = DynamicGraph::from_edges(8, &edges);
+//! let local = ShardMap::with_partitioner(&g, 2, Partitioner::Locality);
+//! assert_eq!(local.cut_edges(&g), 1); // only the bridge crosses
+//! ```
+
+use crate::DynamicGraph;
+use std::collections::VecDeque;
+
+/// How a [`ShardMap`](crate::ShardMap) assigns vertices to shards; see
+/// the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Partitioner {
+    /// Heaviest-first greedy degree balance (locality-blind).
+    #[default]
+    DegreeGreedy,
+    /// Capacity-bounded BFS/label-propagation growth from high-degree
+    /// seeds plus boundary refinement; fresh vertices join the
+    /// neighbor-majority shard.
+    Locality,
+}
+
+impl Partitioner {
+    /// Stable lowercase name (CLI values, bench reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Partitioner::DegreeGreedy => "greedy",
+            Partitioner::Locality => "locality",
+        }
+    }
+}
+
+impl std::fmt::Display for Partitioner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Partitioner {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "greedy" | "degree" | "degree-greedy" => Ok(Partitioner::DegreeGreedy),
+            "locality" | "local" => Ok(Partitioner::Locality),
+            other => Err(format!(
+                "unknown partitioner `{other}` (expected `greedy` or `locality`)"
+            )),
+        }
+    }
+}
+
+/// The per-shard vertex-count ceiling the locality partitioner (growth,
+/// leftover placement, and refinement alike) never exceeds: an even
+/// split `⌈live / shards⌉` plus ~6% slack, at least one vertex of
+/// headroom so refinement can actually move something.
+pub fn balance_cap(live: usize, shards: usize) -> usize {
+    let shards = shards.max(1);
+    let even = live.div_ceil(shards);
+    even + (live / (16 * shards)).max(1)
+}
+
+/// Maximum refinement sweeps. Each retained move strictly reduces the
+/// cut so the loop terminates on its own; the cap only bounds worst-case
+/// build time.
+const MAX_REFINE_PASSES: usize = 8;
+
+/// Computes locality-aware owners for every vertex slot of `g`
+/// (`u16::MAX` for dead slots — the caller round-robins those). Pure
+/// function of the graph *structure*: every scan is ordered by
+/// `(degree, id)` or plain id, never by adjacency-list insertion order.
+pub(crate) fn locality_owners(g: &DynamicGraph, shards: u16) -> Vec<u16> {
+    let p = shards as usize;
+    let mut owners = vec![u16::MAX; g.capacity()];
+    if p == 1 {
+        for v in g.vertices() {
+            owners[v as usize] = 0;
+        }
+        return owners;
+    }
+
+    // Heaviest-first order drives seeding and leftover placement.
+    let mut by_degree: Vec<u32> = g.vertices().collect();
+    by_degree.sort_unstable_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+    let live = by_degree.len();
+    let cap = balance_cap(live, p);
+
+    // Seeds: the highest-degree vertices, preferring ones not adjacent
+    // to an earlier seed so the BFS regions start apart. If the graph is
+    // too small or dense to find P independent hubs, fall back to the
+    // next-heaviest vertices regardless of adjacency.
+    let mut seeds: Vec<u32> = Vec::with_capacity(p);
+    for &v in &by_degree {
+        if seeds.len() == p {
+            break;
+        }
+        if seeds.iter().all(|&s| !g.has_edge(s, v)) {
+            seeds.push(v);
+        }
+    }
+    if seeds.len() < p {
+        for &v in &by_degree {
+            if seeds.len() == p {
+                break;
+            }
+            if !seeds.contains(&v) {
+                seeds.push(v);
+            }
+        }
+    }
+
+    let mut load = vec![0usize; p];
+    let mut queues: Vec<VecDeque<u32>> = vec![VecDeque::new(); p];
+    for (s, &v) in seeds.iter().enumerate() {
+        owners[v as usize] = s as u16;
+        load[s] = 1;
+        queues[s].push_back(v);
+    }
+
+    // Capacity-bounded multi-source BFS: shards take turns expanding one
+    // frontier vertex each, claiming its unassigned neighbors (smallest
+    // id first) until full. Round-robin turns keep the regions growing
+    // at the same rate instead of letting shard 0 flood the graph.
+    let mut nb = Vec::new();
+    loop {
+        let mut progressed = false;
+        for s in 0..p {
+            if load[s] >= cap {
+                queues[s].clear();
+                continue;
+            }
+            let Some(u) = queues[s].pop_front() else {
+                continue;
+            };
+            progressed = true;
+            nb.clear();
+            nb.extend(g.neighbors(u));
+            nb.sort_unstable();
+            for &v in &nb {
+                if owners[v as usize] == u16::MAX && load[s] < cap {
+                    owners[v as usize] = s as u16;
+                    load[s] += 1;
+                    queues[s].push_back(v);
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    // Leftovers (other components, capacity spill): join the
+    // neighbor-majority shard when one has room, otherwise the lightest.
+    let mut counts = vec![0u32; p];
+    for &v in &by_degree {
+        if owners[v as usize] != u16::MAX {
+            continue;
+        }
+        let touched = count_neighbor_owners(g, &owners, v, &mut counts);
+        let mut best: Option<usize> = None;
+        for &s in &touched {
+            if load[s] < cap && best.is_none_or(|b| counts[s] > counts[b]) {
+                best = Some(s);
+            }
+        }
+        let s = best.unwrap_or_else(|| (0..p).min_by_key(|&s| load[s]).unwrap());
+        owners[v as usize] = s as u16;
+        load[s] += 1;
+        for s in touched {
+            counts[s] = 0;
+        }
+    }
+
+    // FM-style boundary refinement: sweep vertices in id order, moving a
+    // vertex to the shard holding strictly more of its neighbors when
+    // the balance cap allows. Every retained move reduces the cut by the
+    // (positive) gain, so the sweeps converge; the pass cap is a time
+    // bound, not a correctness requirement.
+    for _ in 0..MAX_REFINE_PASSES {
+        let mut moved = 0usize;
+        for v in g.vertices() {
+            let cur = owners[v as usize] as usize;
+            let touched = count_neighbor_owners(g, &owners, v, &mut counts);
+            let mut best = cur;
+            for &s in &touched {
+                if counts[s] > counts[best] || (counts[s] == counts[best] && s < best) {
+                    best = s;
+                }
+            }
+            if best != cur && counts[best] > counts[cur] && load[best] < cap {
+                owners[v as usize] = best as u16;
+                load[cur] -= 1;
+                load[best] += 1;
+                moved += 1;
+            }
+            for s in touched {
+                counts[s] = 0;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+
+    owners
+}
+
+/// Tallies how many of `v`'s neighbors each shard owns into `counts`
+/// (caller-zeroed scratch) and returns the shards touched. Callers must
+/// reset the touched entries before reuse.
+fn count_neighbor_owners(
+    g: &DynamicGraph,
+    owners: &[u16],
+    v: u32,
+    counts: &mut [u32],
+) -> Vec<usize> {
+    let mut touched = Vec::new();
+    for u in g.neighbors(v) {
+        let o = owners[u as usize];
+        if o == u16::MAX {
+            continue;
+        }
+        let o = o as usize;
+        if counts[o] == 0 {
+            touched.push(o);
+        }
+        counts[o] += 1;
+    }
+    touched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ShardMap;
+
+    /// `c` cliques of `size` vertices, chained by single bridge edges.
+    fn clique_chain(c: usize, size: usize) -> DynamicGraph {
+        let mut edges = Vec::new();
+        for ci in 0..c {
+            let base = (ci * size) as u32;
+            for a in 0..size as u32 {
+                for b in (a + 1)..size as u32 {
+                    edges.push((base + a, base + b));
+                }
+            }
+            if ci + 1 < c {
+                edges.push((base + size as u32 - 1, base + size as u32));
+            }
+        }
+        DynamicGraph::from_edges(c * size, &edges)
+    }
+
+    #[test]
+    fn parses_cli_names() {
+        assert_eq!("greedy".parse(), Ok(Partitioner::DegreeGreedy));
+        assert_eq!("degree".parse(), Ok(Partitioner::DegreeGreedy));
+        assert_eq!("locality".parse(), Ok(Partitioner::Locality));
+        assert!("metis".parse::<Partitioner>().is_err());
+        assert_eq!(Partitioner::Locality.to_string(), "locality");
+    }
+
+    #[test]
+    fn locality_separates_clique_chain() {
+        let g = clique_chain(4, 6);
+        let map = ShardMap::with_partitioner(&g, 2, Partitioner::Locality);
+        // A perfect split cuts exactly the middle bridge; allow the
+        // greedy growth a little slack but demand real locality.
+        assert!(
+            map.cut_edges(&g) <= 3,
+            "cut {} on a 1-bridge split",
+            map.cut_edges(&g)
+        );
+        let greedy = ShardMap::degree_aware(&g, 2);
+        assert!(map.cut_edges(&g) < greedy.cut_edges(&g));
+    }
+
+    #[test]
+    fn locality_respects_the_balance_cap() {
+        let g = clique_chain(4, 8);
+        for p in [2usize, 3, 4] {
+            let map = ShardMap::with_partitioner(&g, p, Partitioner::Locality);
+            let cap = balance_cap(g.num_vertices(), p);
+            for (s, &l) in map.vertex_loads(&g).iter().enumerate() {
+                assert!(l <= cap, "shard {s} holds {l} > cap {cap} at P = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn locality_covers_disconnected_components() {
+        // Three components, no edges between them; everything must still
+        // get exactly one owner.
+        let mut edges = vec![(0, 1), (1, 2)];
+        edges.extend([(3, 4), (4, 5)]);
+        edges.extend([(6, 7)]);
+        let g = DynamicGraph::from_edges(9, &edges); // vertex 8 isolated
+        let map = ShardMap::with_partitioner(&g, 3, Partitioner::Locality);
+        for v in 0..9u32 {
+            assert!(map.owner(v) < 3);
+        }
+    }
+
+    #[test]
+    fn locality_is_a_pure_function_of_the_structure() {
+        let g = clique_chain(3, 5);
+        let a = locality_owners(&g, 3);
+        let b = locality_owners(&g, 3);
+        assert_eq!(a, b);
+        // Same structure built in a different edge order.
+        let mut edges: Vec<(u32, u32)> = g.edges().collect();
+        edges.reverse();
+        let g2 = DynamicGraph::from_edges(g.capacity(), &edges);
+        assert_eq!(locality_owners(&g2, 3), a);
+    }
+
+    #[test]
+    fn single_shard_and_tiny_graphs() {
+        let g = DynamicGraph::from_edges(2, &[(0, 1)]);
+        let one = locality_owners(&g, 1);
+        assert!(one.iter().all(|&o| o == 0));
+        // More shards than vertices: every vertex still owned, in range.
+        let map = ShardMap::with_partitioner(&g, 8, Partitioner::Locality);
+        assert!(map.owner(0) < 8 && map.owner(1) < 8);
+    }
+}

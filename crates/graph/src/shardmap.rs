@@ -9,12 +9,16 @@
 //! (worker cells, a coordinator, readers merging per-shard views) agree
 //! on who owns a vertex without ever exchanging the map again.
 //!
-//! The initial assignment balances *degree*, not vertex count: vertices
-//! are visited in decreasing-degree order and each goes to the currently
-//! lightest shard (ties broken toward the lowest shard index), the
-//! classic greedy makespan heuristic. On skewed (power-law) graphs this
-//! keeps per-shard adjacency work within a few percent of even, where a
-//! round-robin split can leave one shard owning most of the half-edges.
+//! Two initial-assignment policies exist (see [`Partitioner`]):
+//! [`ShardMap::degree_aware`] balances *degree* — vertices visited in
+//! decreasing-degree order, each to the currently lightest shard (ties
+//! toward the lowest index), the classic greedy makespan heuristic — and
+//! [`ShardMap::locality_aware`] additionally balances *edge locality*,
+//! growing capacity-bounded BFS regions from high-degree seeds and
+//! refining the boundary so far fewer edges cross shards. Fresh vertices
+//! follow the map's policy too: round-robin for a degree-aware map, the
+//! neighbor-majority shard for a locality-aware one (with round-robin as
+//! the isolated-vertex fallback) — see [`ShardMap::assign_fresh_near`].
 //!
 //! ```
 //! use dynamis_graph::{DynamicGraph, ShardMap};
@@ -30,17 +34,20 @@
 //! assert_eq!(map.owner(6), first);
 //! ```
 
+use crate::partition::{locality_owners, Partitioner};
 use crate::DynamicGraph;
 
 /// An immutable-once-assigned map from vertex id to owning shard.
 ///
-/// See the [module docs](self) for the assignment policy.
+/// See the [module docs](self) for the assignment policies.
 #[derive(Debug, Clone)]
 pub struct ShardMap {
     owners: Vec<u16>,
     shards: u16,
     /// Next round-robin shard for ids assigned after construction.
     next_rr: u16,
+    /// The policy that built the map; also selects the fresh-id policy.
+    strategy: Partitioner,
 }
 
 impl ShardMap {
@@ -55,6 +62,7 @@ impl ShardMap {
             owners: vec![u16::MAX; cap],
             shards,
             next_rr: 0,
+            strategy: Partitioner::DegreeGreedy,
         };
         if shards == 1 {
             map.owners.fill(0);
@@ -70,15 +78,44 @@ impl ShardMap {
             map.owners[v as usize] = lightest;
             load[lightest as usize] += g.degree(v) as u64 + 1;
         }
-        // Dead slots: stable round-robin, so recycling an id never
-        // changes its owner mid-run.
-        for slot in map.owners.iter_mut() {
+        map.fill_dead_slots();
+        map
+    }
+
+    /// Builds a locality-aware map: capacity-bounded BFS growth from
+    /// high-degree seeds plus FM-style boundary refinement (see
+    /// [`crate::partition`]). Dead slots are assigned round-robin, same
+    /// as [`ShardMap::degree_aware`].
+    pub fn locality_aware(g: &DynamicGraph, shards: usize) -> Self {
+        let shards = shards.clamp(1, u16::MAX as usize) as u16;
+        let mut map = ShardMap {
+            owners: locality_owners(g, shards),
+            shards,
+            next_rr: 0,
+            strategy: Partitioner::Locality,
+        };
+        map.fill_dead_slots();
+        map
+    }
+
+    /// Builds with the given [`Partitioner`] — the single dispatch point
+    /// the sharded engine and benches use.
+    pub fn with_partitioner(g: &DynamicGraph, shards: usize, partitioner: Partitioner) -> Self {
+        match partitioner {
+            Partitioner::DegreeGreedy => Self::degree_aware(g, shards),
+            Partitioner::Locality => Self::locality_aware(g, shards),
+        }
+    }
+
+    /// Stable round-robin for the slots construction left unassigned, so
+    /// recycling a dead id never changes its owner mid-run.
+    fn fill_dead_slots(&mut self) {
+        for slot in self.owners.iter_mut() {
             if *slot == u16::MAX {
-                *slot = map.next_rr;
-                map.next_rr = (map.next_rr + 1) % shards;
+                *slot = self.next_rr;
+                self.next_rr = (self.next_rr + 1) % self.shards;
             }
         }
-        map
     }
 
     /// Number of shards this map partitions into.
@@ -118,6 +155,52 @@ impl ShardMap {
         self.owners[idx] as usize
     }
 
+    /// Assigns an owner to a fresh vertex id given its neighbors at
+    /// insertion time, honoring the map's policy: a locality-aware map
+    /// picks the shard owning the most of `neighbors` (ties toward the
+    /// lowest shard index, round-robin when none is owned yet); a
+    /// degree-aware map keeps plain round-robin. Write-once like
+    /// [`ShardMap::assign_fresh`]: re-assigning an owned id is a no-op
+    /// returning the existing owner, so the assignment is deterministic
+    /// across replays of the same update stream.
+    pub fn assign_fresh_near(&mut self, v: u32, neighbors: &[u32]) -> usize {
+        let idx = v as usize;
+        if idx < self.owners.len() && self.owners[idx] != u16::MAX {
+            return self.owners[idx] as usize;
+        }
+        if self.strategy == Partitioner::DegreeGreedy {
+            return self.assign_fresh(v);
+        }
+        let mut counts = vec![0u32; self.shards as usize];
+        let mut any = false;
+        for &n in neighbors {
+            if let Some(&o) = self.owners.get(n as usize) {
+                if o != u16::MAX {
+                    counts[o as usize] += 1;
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            return self.assign_fresh(v);
+        }
+        let best = (0..self.shards as usize)
+            .max_by_key(|&s| (counts[s], std::cmp::Reverse(s)))
+            .unwrap() as u16;
+        if idx >= self.owners.len() {
+            self.owners.resize(idx + 1, u16::MAX);
+        }
+        self.owners[idx] = best;
+        best as usize
+    }
+
+    /// The policy that built this map (and steers its fresh-id
+    /// assignment).
+    #[inline]
+    pub fn partitioner(&self) -> Partitioner {
+        self.strategy
+    }
+
     /// Iterates the vertex ids owned by `shard`.
     pub fn owned_by(&self, shard: usize) -> impl Iterator<Item = u32> + '_ {
         self.owners
@@ -133,6 +216,16 @@ impl ShardMap {
         let mut load = vec![0u64; self.shards as usize];
         for v in g.vertices() {
             load[self.owner(v)] += g.degree(v) as u64;
+        }
+        load
+    }
+
+    /// Number of live vertices of `g` owned by each shard — the balance
+    /// the locality partitioner's capacity bound constrains.
+    pub fn vertex_loads(&self, g: &DynamicGraph) -> Vec<usize> {
+        let mut load = vec![0usize; self.shards as usize];
+        for v in g.vertices() {
+            load[self.owner(v)] += 1;
         }
         load
     }
@@ -216,6 +309,33 @@ mod tests {
         let mut map = ShardMap::degree_aware(&g, 2);
         let owner = map.owner(3); // dead slot still owned
         assert_eq!(map.assign_fresh(3), owner, "recycled id keeps its owner");
+    }
+
+    #[test]
+    fn locality_fresh_ids_join_the_neighbor_majority() {
+        // Two triangles; a 2-way locality split puts one on each shard.
+        let g = DynamicGraph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        let mut map = ShardMap::locality_aware(&g, 2);
+        assert_eq!(Partitioner::Locality, map.partitioner());
+        let home = map.owner(3);
+        assert_ne!(map.owner(0), home, "triangles split across shards");
+        // A fresh vertex wired into the second triangle follows it.
+        assert_eq!(map.assign_fresh_near(6, &[3, 4, 5]), home);
+        // Write-once: a different neighborhood later cannot rebind it.
+        assert_eq!(map.assign_fresh_near(6, &[0, 1, 2]), home);
+        // No known neighbors: falls back to round-robin, still in range.
+        assert!(map.assign_fresh_near(7, &[]) < 2);
+    }
+
+    #[test]
+    fn degree_greedy_fresh_ids_stay_round_robin() {
+        let g = DynamicGraph::from_edges(2, &[(0, 1)]);
+        let mut a = ShardMap::degree_aware(&g, 4);
+        let mut b = ShardMap::degree_aware(&g, 4);
+        // Neighbor hints must not change the degree-greedy policy:
+        // replays that mix the two entry points agree.
+        assert_eq!(a.assign_fresh_near(2, &[0, 1]), b.assign_fresh(2));
+        assert_eq!(a.assign_fresh(3), b.assign_fresh_near(3, &[2]));
     }
 
     #[test]

@@ -15,7 +15,7 @@ use dynamis_core::{
     EngineStats, SolutionDelta,
 };
 use dynamis_graph::hash::{pair_key, FxHashSet};
-use dynamis_graph::{apply_update, DynamicGraph, ShardMap, Update};
+use dynamis_graph::{apply_update, DynamicGraph, Partitioner, ShardMap, Update};
 use dynamis_serve::SharedLog;
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -722,7 +722,7 @@ impl<T: Transport> Orchestrator<T> {
                 }
                 Update::InsertVertex { id, neighbors } => {
                     apply_update(&mut self.shadow, u).expect("validated");
-                    let owner = self.map.assign_fresh(*id) as u16;
+                    let owner = self.map.assign_fresh_near(*id, neighbors) as u16;
                     if self.in_sol.len() < self.shadow.capacity() {
                         self.in_sol.resize(self.shadow.capacity(), false);
                     }
@@ -984,15 +984,22 @@ impl<T: Transport> Orchestrator<T> {
 /// no canonical sharded counterpart.
 fn canonical_session(
     builder: EngineBuilder,
-) -> Result<(DynamicGraph, Vec<u32>, bool, usize), EngineError> {
+) -> Result<(DynamicGraph, Vec<u32>, bool, usize, Partitioner), EngineError> {
     let shards = builder.shard_count();
+    let partitioner = builder.partitioner_choice();
     let session = builder.into_session()?;
     if session.k > 2 {
         return Err(EngineError::BadParameter(
             "sharded maintenance supports k ∈ {1, 2}",
         ));
     }
-    Ok((session.graph, session.initial, session.k == 2, shards))
+    Ok((
+        session.graph,
+        session.initial,
+        session.k == 2,
+        shards,
+        partitioner,
+    ))
 }
 
 macro_rules! delegate_dynamic_mis {
@@ -1071,8 +1078,8 @@ impl ShardedEngine {
         builder: EngineBuilder,
         logs: Option<Vec<Arc<SharedLog>>>,
     ) -> Result<Self, EngineError> {
-        let (shadow, initial, k2, shards) = canonical_session(builder)?;
-        let map = ShardMap::degree_aware(&shadow, shards);
+        let (shadow, initial, k2, shards, partitioner) = canonical_session(builder)?;
+        let map = ShardMap::with_partitioner(&shadow, shards, partitioner);
         let (cells, notes) = build_cells(&shadow, &map, &initial, k2, logs.as_deref());
         let name = if k2 {
             "ShardedTwoSwap"
@@ -1103,6 +1110,11 @@ impl ShardedEngine {
     /// Number of shards (writer threads) this engine runs.
     pub fn shards(&self) -> usize {
         self.inner.t.shards()
+    }
+
+    /// The partitioning strategy behind this engine's [`ShardMap`].
+    pub fn partitioner(&self) -> Partitioner {
+        self.inner.map.partitioner()
     }
 
     /// Cut size and per-shard degree loads of the current partition.
@@ -1162,7 +1174,7 @@ impl BuildableEngine for CanonicalMis {
     /// Ignores [`EngineBuilder::shards`] — the reference is always a
     /// single inline cell.
     fn from_builder(builder: EngineBuilder) -> Result<Self, EngineError> {
-        let (shadow, initial, k2, _) = canonical_session(builder)?;
+        let (shadow, initial, k2, _, _) = canonical_session(builder)?;
         let map = ShardMap::degree_aware(&shadow, 1);
         let (cells, notes) = build_cells(&shadow, &map, &initial, k2, None);
         let name = if k2 { "CanonTwoSwap" } else { "CanonOneSwap" };

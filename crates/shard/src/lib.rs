@@ -74,6 +74,6 @@ mod engine;
 mod protocol;
 mod service;
 
-pub use dynamis_graph::ShardMap;
+pub use dynamis_graph::{Partitioner, ShardMap};
 pub use engine::{CanonicalMis, ShardedEngine};
 pub use service::ShardedService;

@@ -1,11 +1,12 @@
 //! Cross-shard equivalence: the canonical protocol makes the maintained
 //! solution a pure function of the update sequence, so `ShardedEngine`
-//! at P ∈ {1, 2, 4} (threaded cells, two-phase boundary queues) and the
+//! at P ∈ {1, 2, 4} (threaded cells, two-phase boundary queues) — under
+//! **both** partitioners, degree-greedy and locality-aware — and the
 //! sequential single-cell `CanonicalMis` must produce **identical**
 //! solutions — equal size included — on arbitrary update streams, while
 //! staying independent, maximal, and k-maximal on the full graph.
 
-use dynamis_core::{DynamicMis, EngineBuilder, SolutionMirror};
+use dynamis_core::{DynamicMis, EngineBuilder, Partitioner, SolutionMirror};
 use dynamis_gen::uniform::gnm;
 use dynamis_gen::{StreamConfig, UpdateStream};
 use dynamis_graph::{DynamicGraph, Update};
@@ -13,15 +14,28 @@ use dynamis_shard::{CanonicalMis, ShardedEngine};
 use dynamis_static::verify::{is_independent_dynamic, is_k_maximal_dynamic, is_maximal_dynamic};
 use proptest::prelude::*;
 
-/// The four subjects of the equivalence claim for swap depth `k`.
+/// The subjects of the equivalence claim for swap depth `k`: the
+/// sequential reference plus the sharded engine at P ∈ {1, 2, 4} under
+/// each partitioner. The partition decides who owns what — never what
+/// the solution is — so one generator pins both strategies.
 fn subjects(g: &DynamicGraph, k: usize) -> Vec<Box<dyn DynamicMis>> {
-    let on = |p: usize| EngineBuilder::on(g.clone()).k(k).shards(p);
-    vec![
-        Box::new(on(1).build_as::<CanonicalMis>().unwrap()),
-        Box::new(on(1).build_as::<ShardedEngine>().unwrap()),
-        Box::new(on(2).build_as::<ShardedEngine>().unwrap()),
-        Box::new(on(4).build_as::<ShardedEngine>().unwrap()),
-    ]
+    let on = |p: usize, part: Partitioner| {
+        EngineBuilder::on(g.clone())
+            .k(k)
+            .shards(p)
+            .partitioner(part)
+    };
+    let mut v: Vec<Box<dyn DynamicMis>> = vec![Box::new(
+        on(1, Partitioner::DegreeGreedy)
+            .build_as::<CanonicalMis>()
+            .unwrap(),
+    )];
+    for part in [Partitioner::DegreeGreedy, Partitioner::Locality] {
+        for p in [1usize, 2, 4] {
+            v.push(Box::new(on(p, part).build_as::<ShardedEngine>().unwrap()));
+        }
+    }
+    v
 }
 
 fn assert_all_equal(engines: &[Box<dyn DynamicMis>], context: &str) -> Vec<u32> {

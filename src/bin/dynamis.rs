@@ -28,7 +28,7 @@ use dynamis::statics::{
 };
 use dynamis::{
     DyArw, DyOneSwap, DyTwoSwap, DynamicGraph, DynamicMis, EngineBuilder, GenericKSwap,
-    MaximalOnly, MisService, ServeConfig, ShardedService,
+    MaximalOnly, MisService, Partitioner, ServeConfig, ShardedService,
 };
 use std::process::ExitCode;
 use std::sync::atomic::AtomicBool;
@@ -59,12 +59,15 @@ const USAGE: &str = "usage:
   dynamis replay <trace> [--algo ALGO]
   dynamis serve-bench (--dataset NAME | --graph FILE) [--updates N] [--seed S]
                       [--k K] [--readers R] [--burst B] [--stream mixed|adversarial]
-                      [--shards P]
+                      [--shards P] [--partitioner greedy|locality]
 
 dynamic algorithms (ALGO): one (default), two, k:<K>, arw, dgone, dgtwo,
                            maximal, restart:<interval>
 --shards P > 1 serves the canonical sharded engine (P writer threads,
-merged per-shard readers) instead of the single-writer service";
+merged per-shard readers) instead of the single-writer service;
+--partitioner picks how the vertex space splits across those shards
+(degree-greedy balance, or the locality-aware partition that shrinks the
+cut — and the coordination cost — on community-structured graphs)";
 
 fn dispatch(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -387,7 +390,7 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
 fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
     let (mut dataset, mut graph, mut updates, mut seed, mut k, mut readers, mut burst) =
         (None, None, None, None, None, None, None);
-    let (mut stream, mut shards) = (None, None);
+    let (mut stream, mut shards, mut partitioner) = (None, None, None);
     let positional = parse_flags(
         args,
         &mut [
@@ -400,6 +403,7 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
             ("burst", &mut burst),
             ("stream", &mut stream),
             ("shards", &mut shards),
+            ("partitioner", &mut partitioner),
         ],
     )?;
     if !positional.is_empty() {
@@ -421,6 +425,9 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
     let readers = parse(readers.as_deref(), 3, "readers")?;
     let burst = parse(burst.as_deref(), 256, "burst")?;
     let shards = parse(shards.as_deref(), 1, "shards")?;
+    let partitioner: Partitioner = partitioner
+        .as_deref()
+        .map_or(Ok(Partitioner::default()), str::parse)?;
     let ups = match stream.as_deref().unwrap_or("mixed") {
         "mixed" => UpdateStream::new(&g, StreamConfig::default(), seed).take_updates(count),
         "adversarial" => {
@@ -429,7 +436,10 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
         }
         other => return Err(format!("unknown --stream `{other}`")),
     };
-    let builder = EngineBuilder::on(g).k(k).shards(shards);
+    let builder = EngineBuilder::on(g)
+        .k(k)
+        .shards(shards)
+        .partitioner(partitioner);
     let cfg = ServeConfig {
         burst,
         ..ServeConfig::default()
@@ -502,10 +512,14 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
     let queries: u64 = query_threads.into_iter().map(|h| h.join().unwrap()).sum();
 
+    let layout = if shards > 1 {
+        format!("{shards} shards, {partitioner} partition")
+    } else {
+        "1 shard".to_string()
+    };
     println!(
-        "{} behind serving layer ({} shard(s)): {} updates in {:.2?} ({:.0} updates/s)",
+        "{} behind serving layer ({layout}): {} updates in {:.2?} ({:.0} updates/s)",
         report.engine,
-        shards,
         report.stats.applied,
         elapsed,
         report.stats.applied as f64 / elapsed.as_secs_f64()
@@ -620,18 +634,33 @@ mod tests {
 
     #[test]
     fn serve_bench_runs_sharded() {
-        dispatch(&[
+        for partitioner in ["greedy", "locality"] {
+            dispatch(&[
+                "serve-bench".to_string(),
+                "--dataset".to_string(),
+                "Email".to_string(),
+                "--updates".to_string(),
+                "300".to_string(),
+                "--readers".to_string(),
+                "1".to_string(),
+                "--shards".to_string(),
+                "3".to_string(),
+                "--partitioner".to_string(),
+                partitioner.to_string(),
+            ])
+            .unwrap_or_else(|m| panic!("sharded serve-bench ({partitioner}): {m}"));
+        }
+        // An unknown partitioner is a CLI error, not a default.
+        assert!(dispatch(&[
             "serve-bench".to_string(),
             "--dataset".to_string(),
             "Email".to_string(),
-            "--updates".to_string(),
-            "300".to_string(),
-            "--readers".to_string(),
-            "1".to_string(),
             "--shards".to_string(),
-            "3".to_string(),
+            "2".to_string(),
+            "--partitioner".to_string(),
+            "metis".to_string(),
         ])
-        .unwrap_or_else(|m| panic!("sharded serve-bench: {m}"));
+        .is_err());
         // k ≥ 3 has no sharded engine: the error must surface, not panic.
         assert!(dispatch(&[
             "serve-bench".to_string(),

@@ -67,7 +67,7 @@ pub use dynamis_core::{
     GenericKSwap, MirrorError, Snapshot, SolutionDelta, SolutionMirror,
 };
 pub use dynamis_gen::{StreamConfig, UpdateStream, Workload};
-pub use dynamis_graph::{CsrGraph, DynamicGraph, GraphError, ShardMap, Update};
+pub use dynamis_graph::{CsrGraph, DynamicGraph, GraphError, Partitioner, ShardMap, Update};
 pub use dynamis_serve::{
     MisService, ReaderHandle, ServeConfig, ServeError, ServiceStats, ShardedReader,
 };

@@ -3,8 +3,8 @@
 
 use dynamis::gen::uniform::gnm;
 use dynamis::graph::io::{
-    decode_graph, encode_graph, parse_dimacs, parse_edge_list, parse_metis, write_dimacs,
-    write_edge_list, write_metis,
+    decode_graph, encode_graph, parse_dimacs, parse_edge_list, parse_metis, read_dynamic,
+    write_dimacs, write_edge_list, write_metis,
 };
 use dynamis::DynamicGraph;
 use proptest::prelude::*;
@@ -63,6 +63,78 @@ fn formats_handle_dead_slots() {
     let (n, edges) = parse_metis(met.as_slice()).unwrap();
     assert_eq!(n, g.num_vertices(), "metis compacts to live vertices");
     assert_eq!(edges.len(), g.num_edges());
+}
+
+/// Real SNAP dumps open with `#`-comment banners (and some mirrors use
+/// `%`): every such line must be skipped wherever it appears, including
+/// interleaved with data.
+#[test]
+fn snap_comment_lines_are_skipped_everywhere() {
+    let text = "# Directed graph (each unordered pair of nodes is saved once)\n\
+                # Nodes: 4 Edges: 3\n\
+                # FromNodeId\tToNodeId\n\
+                0\t1\n\
+                % matrix-market style comment mid-file\n\
+                1\t2\n\
+                #trailing banner\n\
+                2\t3\n";
+    let (n, edges) = parse_edge_list(text.as_bytes()).unwrap();
+    assert_eq!(n, 4);
+    assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+}
+
+/// SNAP traces routinely repeat edges (both orientations of an
+/// undirected pair, plain duplicates) and contain self-loops; ingestion
+/// into a `DynamicGraph` must collapse all of that instead of tripping
+/// the engine's duplicate-edge validation later.
+#[test]
+fn snap_duplicate_edges_and_self_loops_collapse_on_ingest() {
+    let text = "0 1\n1 0\n0 1\n2 2\n1 2\n2 1\n";
+    let (n, edges) = parse_edge_list(text.as_bytes()).unwrap();
+    assert_eq!(edges.len(), 6, "the parser reports the raw lines");
+    let g = DynamicGraph::from_edges(n, &edges);
+    assert_eq!(g.num_edges(), 2, "ingest dedups pairs and drops loops");
+    assert!(g.has_edge(0, 1) && g.has_edge(1, 2));
+    assert!(!g.has_edge(2, 2));
+    g.check_consistency().unwrap();
+}
+
+/// Tabs, runs of spaces, leading/trailing blanks, CRLF line endings,
+/// and blank lines — all whitespace variants seen in the wild parse to
+/// the same graph.
+#[test]
+fn snap_whitespace_variants_parse_identically() {
+    let canonical = "0 1\n1 2\n2 3\n";
+    let variants = [
+        "0\t1\n1\t2\n2\t3\n",         // tabs
+        "  0   1  \n\t1 2\n2    3\n", // mixed runs + padding
+        "0 1\r\n1 2\r\n2 3\r\n",      // CRLF
+        "\n0 1\n\n1 2\n   \n2 3\n\n", // blank/whitespace-only lines
+    ];
+    let (n0, e0) = parse_edge_list(canonical.as_bytes()).unwrap();
+    for v in variants {
+        let (n, e) = parse_edge_list(v.as_bytes()).unwrap();
+        assert_eq!((n, &e), (n0, &e0), "variant {v:?} diverged");
+    }
+}
+
+/// End-to-end: a messy SNAP file on disk feeds straight into the graph
+/// the shard bench builds engines on.
+#[test]
+fn snap_file_ingests_into_a_dynamic_graph() {
+    let dir = std::env::temp_dir().join(format!("dynamis_snap_ingest_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("messy.txt");
+    std::fs::write(
+        &path,
+        "# Nodes: 5 Edges: 4\n0\t1\n1 0\n\n1\t2\n3   4\n# done\n",
+    )
+    .unwrap();
+    let g = read_dynamic(&path).unwrap();
+    assert_eq!(g.num_vertices(), 5);
+    assert_eq!(g.num_edges(), 3);
+    assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && g.has_edge(3, 4));
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 proptest! {

@@ -1,0 +1,94 @@
+//! `ShardMap` invariants under the locality-aware partitioner: ownership
+//! stays write-once through construction's refinement moves, per-shard
+//! vertex loads respect the balance bound, and incremental fresh-id
+//! assignment is a deterministic function of the replayed stream.
+
+use dynamis::gen::structured::planted_communities;
+use dynamis::gen::uniform::gnm;
+use dynamis::graph::partition::balance_cap;
+use dynamis::graph::{Partitioner, ShardMap};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every vertex slot ends construction with exactly one in-range
+    /// owner — the boundary-refinement moves rebalance the partition
+    /// during the build but can never leave a slot unowned or doubly
+    /// counted afterward.
+    #[test]
+    fn ownership_is_total_and_write_once(
+        seed in 0u64..100_000,
+        n in 2usize..80,
+        density in 0usize..4,
+        p in 1usize..6,
+    ) {
+        let g = gnm(n, (n * density).min(n * (n - 1) / 2), seed);
+        let map = ShardMap::with_partitioner(&g, p, Partitioner::Locality);
+        for v in 0..g.capacity() as u32 {
+            prop_assert!(map.owner(v) < p, "vertex {v} owner out of range");
+        }
+        let total: usize = (0..p).map(|s| map.owned_by(s).count()).sum();
+        prop_assert_eq!(total, g.capacity(), "slots partitioned exactly once");
+        // Owners are frozen: a rebuilt map agrees slot for slot, and
+        // re-asking for an owned id cannot move it.
+        let replay = ShardMap::with_partitioner(&g, p, Partitioner::Locality);
+        let mut probe = map.clone();
+        for v in 0..g.capacity() as u32 {
+            prop_assert_eq!(replay.owner(v), map.owner(v));
+            prop_assert_eq!(probe.assign_fresh_near(v, &[]), map.owner(v));
+        }
+    }
+
+    /// The locality partitioner's per-shard vertex loads never exceed
+    /// the documented balance cap, on uniform and community graphs.
+    #[test]
+    fn loads_stay_within_the_balance_bound(
+        seed in 0u64..100_000,
+        n in 4usize..90,
+        p in 2usize..6,
+    ) {
+        let g = gnm(n, (3 * n).min(n * (n - 1) / 2), seed);
+        let map = ShardMap::locality_aware(&g, p);
+        let cap = balance_cap(g.num_vertices(), p);
+        for (s, &l) in map.vertex_loads(&g).iter().enumerate() {
+            prop_assert!(l <= cap, "shard {s}: load {l} > cap {cap}");
+        }
+    }
+
+    /// Replaying the same fresh-id stream against identically built maps
+    /// yields identical owners (the sharded engine replays exactly this
+    /// on `InsertVertex`), and neighbor-majority picks the right shard.
+    #[test]
+    fn fresh_assignment_replays_deterministically(
+        seed in 0u64..100_000,
+        fresh in 1usize..24,
+        p in 2usize..5,
+    ) {
+        let g = planted_communities(p, 8, 4, 3, seed);
+        let base = g.capacity() as u32;
+        let mut a = ShardMap::locality_aware(&g, p);
+        let mut b = ShardMap::locality_aware(&g, p);
+        for i in 0..fresh as u32 {
+            // Mix isolated ids (round-robin path) with ids wired into
+            // one planted block (majority path).
+            let neighbors: Vec<u32> = if i % 3 == 0 {
+                Vec::new()
+            } else {
+                let block = (seed as u32 + i) % p as u32;
+                (0..4).map(|j| block * 8 + j).collect()
+            };
+            let owner = a.assign_fresh_near(base + i, &neighbors);
+            prop_assert_eq!(owner, b.assign_fresh_near(base + i, &neighbors));
+            prop_assert!(owner < p);
+            if !neighbors.is_empty() {
+                // All hinted neighbors share a block; if that block maps
+                // to one shard, majority must follow it.
+                let owners: Vec<usize> = neighbors.iter().map(|&v| a.owner(v)).collect();
+                if owners.windows(2).all(|w| w[0] == w[1]) {
+                    prop_assert_eq!(owner, owners[0], "majority ignored");
+                }
+            }
+        }
+    }
+}
