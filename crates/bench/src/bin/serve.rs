@@ -2,7 +2,8 @@
 //! architecture of `dynamis-serve` vs. the obvious alternative, a
 //! mutex-wrapped engine shared by the writer and every reader.
 //!
-//! Two workloads over the paper's 100k-vertex Chung–Lu graph:
+//! Two workloads over the paper's 100k-vertex Chung–Lu graph (or, with
+//! `--graph FILE`, over a real SNAP edge-list trace):
 //!
 //! * the default mixed insert/delete stream (§V-A), and
 //! * the deletion-heavy adversarial stream of
@@ -30,6 +31,7 @@ use dynamis_core::{DyTwoSwap, DynamicMis, EngineBuilder};
 use dynamis_gen::adversarial::{AdversarialConfig, AdversarialStream};
 use dynamis_gen::powerlaw::chung_lu;
 use dynamis_gen::{StreamConfig, UpdateStream};
+use dynamis_graph::io::edgelist::read_dynamic;
 use dynamis_graph::{DynamicGraph, Update};
 use dynamis_serve::{MisService, ServeConfig, ServiceStats};
 use std::fmt::Write as _;
@@ -207,9 +209,31 @@ fn main() {
         (100_000, 200_000)
     };
     let (beta, avg_degree, seed) = (2.4, 8.0, 77);
+    let graph_file = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--graph")
+            .map(|i| args.get(i + 1).expect("--graph needs a FILE").clone())
+    };
 
-    eprintln!("serve: building Chung-Lu base graph (n = {n}, beta = {beta}, d = {avg_degree})");
-    let base = chung_lu(n, beta, avg_degree, seed);
+    let (base, model) = match &graph_file {
+        Some(path) => {
+            eprintln!("serve: loading edge list {path}");
+            (
+                read_dynamic(path).expect("readable SNAP edge list"),
+                format!("edge list {path}"),
+            )
+        }
+        None => {
+            eprintln!(
+                "serve: building Chung-Lu base graph (n = {n}, beta = {beta}, d = {avg_degree})"
+            );
+            (chung_lu(n, beta, avg_degree, seed), "chung_lu".to_string())
+        }
+    };
+    // Query keys and stream generation follow the actual graph, which
+    // for a file trace differs from the synthetic n.
+    let n = base.capacity();
     let mixed =
         UpdateStream::new(&base, StreamConfig::default(), seed ^ 0xfeed).take_updates(updates);
     let adversarial = AdversarialStream::new(&base, AdversarialConfig::default(), seed ^ 0xdead)
@@ -263,7 +287,7 @@ fn main() {
     let cores = thread::available_parallelism().map_or(1, |c| c.get());
     writeln!(
         json,
-        "  \"workload\": {{\"model\": \"chung_lu\", \"n\": {n}, \"beta\": {beta}, \
+        "  \"workload\": {{\"model\": \"{model}\", \"n\": {n}, \"beta\": {beta}, \
          \"avg_degree\": {avg_degree}, \"updates\": {updates}, \"seed\": {seed}, \
          \"readers\": {readers}, \"cores\": {cores}, \"fast\": {fast}}},"
     )

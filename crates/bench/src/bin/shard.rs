@@ -1,8 +1,11 @@
 //! Sharded-maintenance bench with a partitioner axis: degree-greedy vs.
 //! locality-aware `ShardMap`s, on the paper's Chung–Lu workload (random
-//! — the cut-bound worst case) and a planted-community workload (the
+//! — the cut-bound worst case), a planted-community workload (the
 //! massive-real-graph regime the source paper targets, where locality
-//! partitioning pays).
+//! partitioning pays), and a *partition-local* planted workload whose
+//! update stream is region-biased (`UpdateStream::with_regions`) — the
+//! traffic shape a sharded deployment actually serves. Pass
+//! `--graph FILE` to additionally bench a real SNAP edge-list trace.
 //!
 //! Three measurement families, per workload:
 //!
@@ -11,18 +14,22 @@
 //! * **coordination** — the sharded write path's unit cost: a direct
 //!   `ShardedEngine` run over the update stream (batched like the
 //!   service ingests) recording `coordination_stats` exchanges and
-//!   commands per update for P ∈ {2, 4} under both partitioners. The
-//!   solutions are asserted identical across partitioners — the
-//!   partition may only move coordination cost;
+//!   commands per update plus the fused-round counters
+//!   (`swap_round_stats`), for P ∈ {2, 4} under both partitioners, and
+//!   a `swap_wave(1)` serialized-commit run at P = 4 to isolate what
+//!   concurrent independent commits save. Solutions are asserted
+//!   identical across partitioners — partition and wave only move
+//!   coordination cost;
 //! * **runs** — end-to-end service throughput behind the backpressured
 //!   ingest queue: the single-writer serve baseline vs. the sharded
 //!   service at P = 1 and P ∈ {2, 4} × both partitioners.
 //!
-//! Per-run the JSON records the core count — barrier-dominated numbers
-//! on a 1-core CI box say nothing about multicore scaling, but cut share
-//! and exchanges/update are scheduling-independent.
+//! The JSON records the detected core count (top-level `"cores"` and
+//! per-workload) — barrier-dominated numbers on a 1-core CI box say
+//! nothing about multicore scaling, but cut share and exchanges/update
+//! are scheduling-independent.
 //!
-//! Writes `BENCH_PR5.json` (override with `DYNAMIS_BENCH_OUT`); honors
+//! Writes `BENCH_PR6.json` (override with `DYNAMIS_BENCH_OUT`); honors
 //! `DYNAMIS_FAST=1`.
 
 use dynamis_bench::alloc_track::TrackingAlloc;
@@ -30,9 +37,10 @@ use dynamis_core::{DynamicMis, EngineBuilder, Partitioner};
 use dynamis_gen::powerlaw::chung_lu;
 use dynamis_gen::structured::planted_communities;
 use dynamis_gen::{StreamConfig, UpdateStream};
+use dynamis_graph::io::edgelist::read_dynamic;
 use dynamis_graph::{DynamicGraph, ShardMap, Update};
 use dynamis_serve::{MisService, ServeConfig, ServiceStats};
-use dynamis_shard::{ShardedEngine, ShardedService};
+use dynamis_shard::{ShardedEngine, ShardedService, SwapRoundStats};
 use std::fmt::Write as _;
 use std::thread;
 use std::time::Instant;
@@ -43,15 +51,15 @@ static ALLOC: TrackingAlloc = TrackingAlloc;
 const PARTITIONERS: [Partitioner; 2] = [Partitioner::DegreeGreedy, Partitioner::Locality];
 
 struct Workload {
-    name: &'static str,
-    model: &'static str,
+    name: String,
+    model: String,
     graph: DynamicGraph,
     ups: Vec<Update>,
     seed: u64,
 }
 
 struct PartitionReport {
-    workload: &'static str,
+    workload: String,
     shards: usize,
     partitioner: Partitioner,
     cut_edges: usize,
@@ -60,18 +68,21 @@ struct PartitionReport {
 }
 
 struct CoordReport {
-    workload: &'static str,
+    workload: String,
     shards: usize,
     partitioner: Partitioner,
+    /// Per-round co-commit cap (0 = unlimited, the fused default).
+    wave: usize,
     updates: usize,
     exchanges: u64,
     cmds: u64,
+    swap_stats: SwapRoundStats,
     run_secs: f64,
     solution: Vec<u32>,
 }
 
 struct RunReport {
-    workload: &'static str,
+    workload: String,
     arch: String,
     shards: usize,
     partitioner: &'static str,
@@ -103,7 +114,7 @@ fn run_single(w: &Workload) -> RunReport {
     let run_secs = t.elapsed().as_secs_f64();
     assert_eq!(report.stats.applied as usize, w.ups.len());
     RunReport {
-        workload: w.name,
+        workload: w.name.clone(),
         arch: "serve".into(),
         shards: 1,
         partitioner: "-",
@@ -137,7 +148,7 @@ fn run_sharded(w: &Workload, shards: usize, partitioner: Partitioner) -> RunRepo
         "merged per-shard cut must equal the final solution"
     );
     RunReport {
-        workload: w.name,
+        workload: w.name.clone(),
         arch: format!("sharded-p{shards}-{partitioner}"),
         shards,
         partitioner: partitioner.name(),
@@ -150,12 +161,20 @@ fn run_sharded(w: &Workload, shards: usize, partitioner: Partitioner) -> RunRepo
 }
 
 /// Direct engine run (no service): the coordination-cost measurement.
-/// Batches of 256 mirror the service's ingest bursts.
-fn run_coordination(w: &Workload, shards: usize, partitioner: Partitioner) -> CoordReport {
+/// Batches of 256 mirror the service's ingest bursts. `wave` caps the
+/// per-round co-commits (0 = unlimited fused rounds; 1 serializes
+/// commits like the pre-fused protocol).
+fn run_coordination(
+    w: &Workload,
+    shards: usize,
+    partitioner: Partitioner,
+    wave: usize,
+) -> CoordReport {
     let mut e: ShardedEngine = EngineBuilder::on(w.graph.clone())
         .k(2)
         .shards(shards)
         .partitioner(partitioner)
+        .swap_wave(wave)
         .build_as()
         .expect("build sharded engine");
     let t = Instant::now();
@@ -165,12 +184,14 @@ fn run_coordination(w: &Workload, shards: usize, partitioner: Partitioner) -> Co
     let run_secs = t.elapsed().as_secs_f64();
     let (exchanges, cmds) = e.coordination_stats();
     CoordReport {
-        workload: w.name,
+        workload: w.name.clone(),
         shards,
         partitioner,
+        wave,
         updates: w.ups.len(),
         exchanges,
         cmds,
+        swap_stats: e.swap_round_stats(),
         run_secs,
         solution: e.solution(),
     }
@@ -185,6 +206,12 @@ fn main() {
     };
     let seed = 77u64;
     let cores = thread::available_parallelism().map_or(1, |c| c.get());
+    let graph_file = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--graph")
+            .map(|i| args.get(i + 1).expect("--graph needs a FILE").clone())
+    };
 
     eprintln!("shard: building workloads (n = {n}, {updates} updates, {cores} cores)");
     let cl = chung_lu(n, 2.4, 8.0, seed);
@@ -196,22 +223,60 @@ fn main() {
     let pc = planted_communities(blocks, block_size, 8, n / 12, seed);
     let pc_ups =
         UpdateStream::new(&pc, StreamConfig::default(), seed ^ 0xbeef).take_updates(updates);
-    let workloads = [
+    // The partition-local variant: same planted graph, but the update
+    // stream keeps 90% of edge-insert endpoints inside one community —
+    // the traffic shape a locality partition turns into shard-local
+    // work.
+    let regions: Vec<u32> = (0..pc.capacity() as u32)
+        .map(|v| v / block_size as u32)
+        .collect();
+    let pl_ups =
+        UpdateStream::with_regions(&pc, StreamConfig::default(), seed ^ 0xcafe, &regions, 0.9)
+            .take_updates(updates);
+    let mut workloads = vec![
         Workload {
-            name: "chung_lu",
-            model: "chung_lu(beta=2.4, d=8)",
+            name: "chung_lu".into(),
+            model: "chung_lu(beta=2.4, d=8)".into(),
             graph: cl,
             ups: cl_ups,
             seed,
         },
         Workload {
-            name: "planted",
-            model: "planted_communities(intra_degree=8)",
-            graph: pc,
+            name: "planted".into(),
+            model: "planted_communities(intra_degree=8)".into(),
+            graph: pc.clone(),
             ups: pc_ups,
             seed,
         },
+        Workload {
+            name: "planted_local".into(),
+            model: "planted_communities + region-biased stream (bias=0.9)".into(),
+            graph: pc,
+            ups: pl_ups,
+            seed,
+        },
     ];
+    if let Some(path) = graph_file {
+        eprintln!("shard: loading edge list {path}");
+        let g = read_dynamic(&path).expect("readable SNAP edge list");
+        let ups =
+            UpdateStream::new(&g, StreamConfig::default(), seed ^ 0xf11e).take_updates(updates);
+        let stem = std::path::Path::new(&path)
+            .file_stem()
+            .map_or_else(|| "file".to_string(), |s| s.to_string_lossy().into_owned());
+        eprintln!(
+            "shard: {stem}: n = {}, m = {}",
+            g.num_vertices(),
+            g.num_edges()
+        );
+        workloads.push(Workload {
+            name: format!("file_{stem}"),
+            model: format!("edge list {path}"),
+            graph: g,
+            ups,
+            seed,
+        });
+    }
 
     // Static partition quality per workload, P, partitioner.
     let mut partitions = Vec::new();
@@ -222,7 +287,7 @@ fn main() {
                 let map = ShardMap::with_partitioner(&w.graph, p, part);
                 let cut = map.cut_edges(&w.graph);
                 partitions.push(PartitionReport {
-                    workload: w.name,
+                    workload: w.name.clone(),
                     shards: p,
                     partitioner: part,
                     cut_edges: cut,
@@ -243,28 +308,38 @@ fn main() {
         );
     }
 
-    // Coordination cost per update, both partitioners, P ∈ {2, 4}. The
-    // solutions must agree pairwise — the partition is coordination-only.
+    // Coordination cost per update: fused rounds (wave = 0) at
+    // P ∈ {2, 4} plus serialized commits (wave = 1) at P = 4, both
+    // partitioners each. Solutions must agree across partitioners within
+    // a wave setting — the partition is coordination-only. (Wave changes
+    // *which* canonical function runs, so fused and serialized solutions
+    // are not compared.)
     let mut coordination = Vec::new();
     for w in &workloads {
-        for p in [2usize, 4] {
+        for (p, wave) in [(2usize, 0usize), (4, 0), (4, 1)] {
             let reports: Vec<CoordReport> = PARTITIONERS
                 .iter()
-                .map(|&part| run_coordination(w, p, part))
+                .map(|&part| run_coordination(w, p, part, wave))
                 .collect();
             assert_eq!(
                 reports[0].solution, reports[1].solution,
-                "{} P = {p}: partitioner changed the solution",
+                "{} P = {p} wave = {wave}: partitioner changed the solution",
                 w.name
             );
             for r in reports {
                 eprintln!(
-                    "shard: {} P = {} {}: {:.2} exchanges/update, {:.2} cmds/update",
+                    "shard: {} P = {} {} wave = {}: {:.2} exchanges/update, \
+                     {:.2} cmds/update, {} swaps in {} rounds (max wave {}, {} deferred)",
                     r.workload,
                     r.shards,
                     r.partitioner,
+                    r.wave,
                     r.exchanges as f64 / r.updates as f64,
-                    r.cmds as f64 / r.updates as f64
+                    r.cmds as f64 / r.updates as f64,
+                    r.swap_stats.swaps,
+                    r.swap_stats.rounds,
+                    r.swap_stats.max_wave,
+                    r.swap_stats.deferred
                 );
                 coordination.push(r);
             }
@@ -299,6 +374,7 @@ fn main() {
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
     writeln!(json, "  \"bench\": \"shard\",").unwrap();
+    writeln!(json, "  \"cores\": {cores},").unwrap();
     writeln!(json, "  \"workloads\": [").unwrap();
     for (i, w) in workloads.iter().enumerate() {
         writeln!(
@@ -339,17 +415,23 @@ fn main() {
         writeln!(
             json,
             "    {{\"workload\": \"{}\", \"shards\": {}, \"partitioner\": \"{}\", \
-             \"updates\": {}, \"exchanges\": {}, \"cmds\": {}, \
+             \"wave\": {}, \"updates\": {}, \"exchanges\": {}, \"cmds\": {}, \
              \"exchanges_per_update\": {:.3}, \"cmds_per_update\": {:.3}, \
+             \"swap_rounds\": {}, \"swaps\": {}, \"max_wave\": {}, \"deferred\": {}, \
              \"run_secs\": {:.3}, \"solution_size\": {}}}{}",
             r.workload,
             r.shards,
             r.partitioner,
+            r.wave,
             r.updates,
             r.exchanges,
             r.cmds,
             r.exchanges as f64 / r.updates as f64,
             r.cmds as f64 / r.updates as f64,
+            r.swap_stats.rounds,
+            r.swap_stats.swaps,
+            r.swap_stats.max_wave,
+            r.swap_stats.deferred,
             r.run_secs,
             r.solution.len(),
             if i + 1 < coordination.len() { "," } else { "" }
@@ -382,7 +464,7 @@ fn main() {
     writeln!(json, "  ]").unwrap();
     writeln!(json, "}}").unwrap();
 
-    let out = std::env::var("DYNAMIS_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR5.json".to_string());
+    let out = std::env::var("DYNAMIS_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
     std::fs::write(&out, &json).expect("write bench report");
     eprintln!("shard: wrote {out}");
 }

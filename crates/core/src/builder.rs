@@ -39,6 +39,8 @@ pub struct EngineBuilder {
     graph: Option<DynamicGraph>,
     shards: usize,
     partitioner: Partitioner,
+    swap_wave: usize,
+    pipeline: Option<bool>,
 }
 
 impl EngineBuilder {
@@ -126,6 +128,46 @@ impl EngineBuilder {
     /// [`Partitioner::DegreeGreedy`]).
     pub fn partitioner_choice(&self) -> Partitioner {
         self.partitioner
+    }
+
+    /// Caps how many independent swaps the sharded layer may co-commit
+    /// per fused validation round (`0`, the default, means unlimited;
+    /// `1` serializes commits like the pre-fused protocol). Any fixed
+    /// value keeps the maintained solution a pure function of the
+    /// update stream — the cap is applied in global candidate order —
+    /// but changing it changes *which* function, so engines that must
+    /// agree exactly must share the setting. Sequential engines ignore
+    /// the knob.
+    pub fn swap_wave(mut self, wave: usize) -> Self {
+        self.swap_wave = wave;
+        self
+    }
+
+    /// The per-round co-commit cap this session asked for
+    /// (`usize::MAX` when unlimited).
+    pub fn swap_wave_limit(&self) -> usize {
+        if self.swap_wave == 0 {
+            usize::MAX
+        } else {
+            self.swap_wave
+        }
+    }
+
+    /// Toggles split-phase (pipelined) commit exchanges in the sharded
+    /// layer: commit broadcasts are posted and collected lazily, so
+    /// cell application overlaps the coordinator's next phase. On by
+    /// default; observationally neutral — the maintained solution and
+    /// the exchange counts are identical either way, only the waiting
+    /// changes. Sequential engines ignore the knob.
+    pub fn pipeline(mut self, on: bool) -> Self {
+        self.pipeline = Some(on);
+        self
+    }
+
+    /// Whether this session asked for pipelined commit exchanges
+    /// (defaults to `true`).
+    pub fn pipeline_enabled(&self) -> bool {
+        self.pipeline.unwrap_or(true)
     }
 
     /// Resumes from a checkpoint: the snapshot's graph and solution

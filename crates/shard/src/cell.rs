@@ -18,7 +18,9 @@
 //! vertex ids — which is what makes the maintained solution independent
 //! of the shard count.
 
-use crate::protocol::{merge_minus, CellOp, Cmd, EndInfo, Note, Reply, ReplyData, SwapProposal};
+use crate::protocol::{
+    merge_minus, CellOp, Cmd, EndInfo, Note, PairProbe, Reply, ReplyData, SwapProposal,
+};
 use dynamis_core::DeltaFeed;
 use dynamis_graph::collections::StampSet;
 use dynamis_graph::{DynamicGraph, ShardMap};
@@ -34,8 +36,11 @@ enum LocalOutcome {
     Swap(SwapProposal),
     /// Every relevant set was local and no swap exists.
     NoSwap,
-    /// An adjacency test would need data this cell does not hold.
-    NonLocal,
+    /// An adjacency test would need data this cell does not hold. For
+    /// 2-swap candidates the punt carries the still-undecided pairs
+    /// with their (owner-exact) pivot lists, so the coordinator never
+    /// re-queries what this cell already holds.
+    NonLocal(Vec<PairProbe>),
 }
 
 /// Per-shard maintenance state. See the module docs.
@@ -563,20 +568,23 @@ impl ShardCell {
         ReplyData::Entered(entered)
     }
 
-    /// Ascending scan of the dirty set: prune invalid entries, resolve
-    /// what is local, report the first actionable candidate. A `None`
-    /// means the set is (now) empty of candidates.
-    fn swap_scan(&mut self, two: bool, clear: Option<u32>) -> Option<SwapProposal> {
-        if let Some(c) = clear {
-            if two {
-                self.dirty2.remove(&c);
-            } else {
-                self.dirty1.remove(&c);
-            }
-        }
-        loop {
-            let set = if two { &self.dirty2 } else { &self.dirty1 };
-            let v = *set.iter().next()?;
+    /// Fused ascending scan of the *whole* dirty set: prune invalid
+    /// entries, resolve what is local, report **every** actionable
+    /// candidate in one reply. Proposed candidates stay dirty — a
+    /// proposal the coordinator defers (footprint conflict with an
+    /// earlier accepted swap) is re-resolved against the post-round
+    /// state on the next scan. Locally-refuted candidates *also* stay
+    /// dirty and are reported: whether a refuted candidate's entry
+    /// survives must be the coordinator's call (this round's commits
+    /// can re-arm it for real), and it must be the same call at every
+    /// shard count — a cell that can refute locally knows no more about
+    /// the future than one that punts to the global pipeline.
+    fn swap_scan(&mut self, two: bool) -> (Vec<SwapProposal>, Vec<u32>) {
+        let set = if two { &self.dirty2 } else { &self.dirty1 };
+        let cands: Vec<u32> = set.iter().copied().collect();
+        let mut out = Vec::new();
+        let mut refuted = Vec::new();
+        for v in cands {
             let valid = self.in_sol[v as usize]
                 && if two {
                     !self.dep2[v as usize].is_empty()
@@ -590,28 +598,37 @@ impl ShardCell {
                     self.try_local_one(v)
                 };
                 match outcome {
-                    LocalOutcome::Swap(p) => return Some(p),
-                    LocalOutcome::NonLocal => {
-                        let bar1 = if two {
-                            Vec::new()
-                        } else {
-                            let mut d = self.dep1[v as usize].clone();
-                            d.sort_unstable();
-                            d
-                        };
-                        return Some(SwapProposal::Global { v, bar1 });
+                    LocalOutcome::Swap(p) => {
+                        out.push(p);
+                        continue;
                     }
-                    // Fully local and refuted: prune without a
-                    // coordinator round-trip and keep scanning.
-                    LocalOutcome::NoSwap => {}
+                    LocalOutcome::NonLocal(pairs) => {
+                        let mut bar1 = self.dep1[v as usize].clone();
+                        bar1.sort_unstable();
+                        out.push(if two {
+                            SwapProposal::GlobalTwo { v, bar1, pairs }
+                        } else {
+                            SwapProposal::GlobalOne { v, bar1 }
+                        });
+                        continue;
+                    }
+                    LocalOutcome::NoSwap => {
+                        refuted.push(v);
+                        continue;
+                    }
                 }
             }
+            // Invalid (left the solution, or the dependent row can no
+            // longer support a swap): prune. Validity is a function of
+            // exact owner-side state, so this prunes the same entries
+            // at every shard count.
             if two {
                 self.dirty2.remove(&v);
             } else {
                 self.dirty1.remove(&v);
             }
         }
+        (out, refuted)
     }
 
     /// Whether this cell can test adjacency of `(a, b)` (the halo holds
@@ -629,7 +646,7 @@ impl ShardCell {
             .filter(|&&u| !self.owns(u))
             .count();
         if foreign >= 2 {
-            return LocalOutcome::NonLocal;
+            return LocalOutcome::NonLocal(Vec::new());
         }
         let mut d = self.dep1[v as usize].clone();
         d.sort_unstable();
@@ -651,8 +668,10 @@ impl ShardCell {
     /// FIND TWOSWAP over the pairs of `v`, locally: a pair is local when
     /// its other parent, every pivot, and (up to one exception) every
     /// replacement candidate are owned. The first pair that cannot be
-    /// decided locally punts the whole candidate to the coordinator —
-    /// order matters for canonicality.
+    /// decided locally punts the candidate to the coordinator with the
+    /// undecided tail of the pair list (earlier pairs are *decided*
+    /// refutations — the canonical walk skips them at every shard
+    /// count) and each pair's owner-exact pivot list.
     fn try_local_two(&mut self, v: u32) -> LocalOutcome {
         let mut pairs: Vec<(u32, u32)> = self.dep2[v as usize]
             .iter()
@@ -660,10 +679,10 @@ impl ShardCell {
             .collect();
         pairs.sort_unstable();
         pairs.dedup();
-        for (a, b) in pairs {
+        for (idx, &(a, b)) in pairs.iter().enumerate() {
             let o = if a == v { b } else { a };
             if !self.owns(o) {
-                return LocalOutcome::NonLocal;
+                return LocalOutcome::NonLocal(self.pair_probes(v, &pairs[idx..]));
             }
             let mut piv: Vec<u32> = self.dep2[v as usize]
                 .iter()
@@ -672,7 +691,7 @@ impl ShardCell {
                 .collect();
             piv.sort_unstable();
             if piv.iter().any(|&x| !self.owns(x)) {
-                return LocalOutcome::NonLocal;
+                return LocalOutcome::NonLocal(self.pair_probes(v, &pairs[idx..]));
             }
             let mut b1a = self.dep1[a as usize].clone();
             b1a.sort_unstable();
@@ -699,7 +718,7 @@ impl ShardCell {
                     .filter(|&&w| !self.owns(w))
                     .count();
                 if foreign >= 2 {
-                    return LocalOutcome::NonLocal;
+                    return LocalOutcome::NonLocal(self.pair_probes(v, &pairs[idx..]));
                 }
                 for &y in &cy {
                     for &z in &cz {
@@ -714,6 +733,23 @@ impl ShardCell {
             }
         }
         LocalOutcome::NoSwap
+    }
+
+    /// The [`PairProbe`] payload of a 2-swap punt: each still-undecided
+    /// pair with its pivots, sorted — all read off `v`'s own `¯I₂` row.
+    fn pair_probes(&self, v: u32, rest: &[(u32, u32)]) -> Vec<PairProbe> {
+        rest.iter()
+            .map(|&(a, b)| {
+                let o = if a == v { b } else { a };
+                let mut piv: Vec<u32> = self.dep2[v as usize]
+                    .iter()
+                    .filter(|&&(other, _)| other == o)
+                    .map(|&(_, x)| x)
+                    .collect();
+                piv.sort_unstable();
+                PairProbe { a, b, piv }
+            })
+            .collect()
     }
 
     fn adj_among(&mut self, list: &[u32]) -> ReplyData {
@@ -755,39 +791,23 @@ impl ShardCell {
                 d.sort_unstable();
                 reply.data = ReplyData::List(d);
             }
-            Cmd::Pivots { a, b } => {
-                debug_assert!(self.owns(a));
-                let mut piv: Vec<u32> = self.dep2[a as usize]
-                    .iter()
-                    .filter(|&&(o, _)| o == b)
-                    .map(|&(_, x)| x)
-                    .collect();
-                piv.sort_unstable();
-                reply.data = ReplyData::List(piv);
-            }
-            Cmd::PairsOf(v) => {
-                let mut pairs: Vec<(u32, u32)> = self.dep2[v as usize]
-                    .iter()
-                    .map(|&(o, _)| (v.min(o), v.max(o)))
-                    .collect();
-                pairs.sort_unstable();
-                pairs.dedup();
-                reply.data = ReplyData::Pairs(pairs);
-            }
             Cmd::AdjAmong(list) => reply.data = self.adj_among(&list),
             Cmd::NbrsOf(v) => {
                 let mut n: Vec<u32> = self.g.neighbors(v).collect();
                 n.sort_unstable();
                 reply.data = ReplyData::List(n);
             }
-            Cmd::SwapScan { two, clear } => {
-                reply.data = ReplyData::Swap(self.swap_scan(two, clear))
+            Cmd::SwapScan { two } => {
+                let (proposals, refuted) = self.swap_scan(two);
+                reply.data = ReplyData::Swaps { proposals, refuted };
             }
-            Cmd::ClearDirty { two, v } => {
-                if two {
-                    self.dirty2.remove(&v);
-                } else {
-                    self.dirty1.remove(&v);
+            Cmd::ClearDirty { two, list } => {
+                for v in list {
+                    if two {
+                        self.dirty2.remove(&v);
+                    } else {
+                        self.dirty1.remove(&v);
+                    }
                 }
             }
             Cmd::Drain => {

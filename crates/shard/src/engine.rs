@@ -21,19 +21,37 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
 /// How cell work is executed: inline (sequential reference) or on one
-/// writer thread per shard.
+/// writer thread per shard. The exchange is split into its two halves
+/// so the coordinator can *pipeline*: post a commit broadcast, keep
+/// building the next phase on its own shadow state, and collect the
+/// replies only when it next needs cell answers.
 pub(crate) trait Transport {
     fn shards(&self) -> usize;
     /// Sends the commands (grouped by shard, FIFO order preserved per
-    /// shard — several commands to one shard are legal) and returns the
-    /// replies in the same order. All addressed cells run concurrently
-    /// under a threaded transport — this is the barrier.
-    fn exchange(&mut self, cmds: Vec<(usize, Cmd)>) -> Vec<(usize, Reply)>;
+    /// shard — several commands to one shard are legal). All addressed
+    /// cells run concurrently under a threaded transport.
+    fn submit(&mut self, cmds: Vec<(usize, Cmd)>);
+    /// Collects one reply per submitted command, in submission order.
+    /// `submit` immediately followed by `collect` is the classic
+    /// barriered exchange.
+    fn collect(&mut self, order: &[usize]) -> Vec<(usize, Reply)>;
 }
 
 /// Direct in-place execution (no threads): the sequential reference.
+/// Commands execute eagerly at `submit`; the buffered replies make the
+/// split-phase protocol observationally identical to the barriered one.
 pub(crate) struct InlineCells {
     cells: Vec<ShardCell>,
+    queued: Vec<std::collections::VecDeque<Reply>>,
+}
+
+impl InlineCells {
+    fn new(cells: Vec<ShardCell>) -> Self {
+        let queued = (0..cells.len())
+            .map(|_| std::collections::VecDeque::new())
+            .collect();
+        InlineCells { cells, queued }
+    }
 }
 
 impl Transport for InlineCells {
@@ -41,9 +59,22 @@ impl Transport for InlineCells {
         self.cells.len()
     }
 
-    fn exchange(&mut self, cmds: Vec<(usize, Cmd)>) -> Vec<(usize, Reply)> {
-        cmds.into_iter()
-            .map(|(s, c)| (s, self.cells[s].handle(c)))
+    fn submit(&mut self, cmds: Vec<(usize, Cmd)>) {
+        for (s, c) in cmds {
+            let reply = self.cells[s].handle(c);
+            self.queued[s].push_back(reply);
+        }
+    }
+
+    fn collect(&mut self, order: &[usize]) -> Vec<(usize, Reply)> {
+        order
+            .iter()
+            .map(|&s| {
+                (
+                    s,
+                    self.queued[s].pop_front().expect("one reply per command"),
+                )
+            })
             .collect()
     }
 }
@@ -89,14 +120,16 @@ impl Transport for ThreadCells {
         self.txs.len()
     }
 
-    fn exchange(&mut self, cmds: Vec<(usize, Cmd)>) -> Vec<(usize, Reply)> {
-        let order: Vec<usize> = cmds.iter().map(|&(s, _)| s).collect();
+    fn submit(&mut self, cmds: Vec<(usize, Cmd)>) {
         for (s, c) in cmds {
             self.txs[s].send(c).expect("shard cell thread died");
         }
+    }
+
+    fn collect(&mut self, order: &[usize]) -> Vec<(usize, Reply)> {
         order
-            .into_iter()
-            .map(|s| (s, self.rxs[s].recv().expect("shard cell thread died")))
+            .iter()
+            .map(|&s| (s, self.rxs[s].recv().expect("shard cell thread died")))
             .collect()
     }
 }
@@ -125,6 +158,33 @@ struct Hints {
     dirty2: bool,
 }
 
+/// Counters of the fused swap rounds — how much concurrency the
+/// footprint-independence rule actually extracts. Exposed through
+/// [`ShardedEngine::swap_round_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwapRoundStats {
+    /// Fused rounds that committed at least one swap.
+    pub rounds: u64,
+    /// Swaps committed in total (so `swaps / rounds` is the mean wave).
+    pub swaps: u64,
+    /// Largest number of swaps co-committed in one round.
+    pub max_wave: u64,
+    /// Proposals deferred to a later round by a footprint conflict
+    /// (or by the [`EngineBuilder::swap_wave`] cap).
+    pub deferred: u64,
+}
+
+/// Knobs + identity of one orchestrator, split off the builder.
+struct OrchConfig {
+    k2: bool,
+    name: &'static str,
+    /// Max swaps co-committed per fused round (`usize::MAX` = no cap).
+    wave: usize,
+    /// Split-phase commit exchanges (overlap cell application with
+    /// coordinator-side work). Observationally neutral.
+    pipeline: bool,
+}
+
 /// The phase driver. Owns the shadow graph (update validation, `graph()`
 /// view), the global membership mirror, the merged delta feed, and the
 /// [`ShardMap`]; everything per-vertex lives in the cells.
@@ -136,8 +196,23 @@ pub(crate) struct Orchestrator<T: Transport> {
     size: usize,
     feed: DeltaFeed,
     stats: EngineStats,
+    swap_stats: SwapRoundStats,
     k2: bool,
     name: &'static str,
+    /// Max swaps accepted per fused round; part of the canonical
+    /// function (any fixed value is shard-count independent).
+    wave: usize,
+    /// Post commit broadcasts split-phase and collect lazily.
+    pipeline: bool,
+    /// Shard order of the one in-flight posted exchange, if any. Every
+    /// exchange and every hint read `sync`s first, so cells always see
+    /// the same command stream as in the fully barriered protocol.
+    pending: Option<Vec<usize>>,
+    /// Globally-refuted swap candidates awaiting a dirty-set clear,
+    /// valid only while no commit intervenes (see
+    /// [`Orchestrator::swap_round`]).
+    clears1: Vec<u32>,
+    clears2: Vec<u32>,
     hints: Vec<Hints>,
     /// Coordinator round-trips — the sharded architecture's unit of
     /// coordination cost (exposed through `coordination_stats`).
@@ -244,8 +319,7 @@ impl<T: Transport> Orchestrator<T> {
         map: ShardMap,
         shadow: DynamicGraph,
         initial: &[u32],
-        k2: bool,
-        name: &'static str,
+        cfg: OrchConfig,
         bootstrap_notes: Vec<Note>,
     ) -> Self {
         let mut in_sol = vec![false; shadow.capacity()];
@@ -263,8 +337,14 @@ impl<T: Transport> Orchestrator<T> {
             in_sol,
             feed,
             stats: EngineStats::default(),
-            k2,
-            name,
+            swap_stats: SwapRoundStats::default(),
+            k2: cfg.k2,
+            name: cfg.name,
+            wave: cfg.wave,
+            pipeline: cfg.pipeline,
+            pending: None,
+            clears1: Vec::new(),
+            clears2: Vec::new(),
             // Conservative until each cell's first reply arrives.
             hints: vec![
                 Hints {
@@ -291,11 +371,36 @@ impl<T: Transport> Orchestrator<T> {
         self.map.owner(v)
     }
 
+    /// Collects (and fully absorbs) the pending posted exchange, if
+    /// any: hints refresh and the replies' notes are routed before
+    /// anything else is read or sent. Every exchange and every hint
+    /// read syncs first, so pipelining never changes what the protocol
+    /// observes — only when the coordinator waits.
+    fn sync(&mut self) {
+        let Some(order) = self.pending.take() else {
+            return;
+        };
+        let replies = self.t.collect(&order);
+        let mut notes = Vec::new();
+        for (s, r) in replies {
+            self.hints[s] = Hints {
+                freed: r.freed,
+                dirty1: r.dirty1,
+                dirty2: r.dirty2,
+            };
+            notes.extend(r.notes);
+        }
+        self.route_notes(notes);
+    }
+
     /// The barriered exchange, recording every reply's work hints.
     fn exchange(&mut self, cmds: Vec<(usize, Cmd)>) -> Vec<(usize, Reply)> {
+        self.sync();
         self.exchanges += 1;
         self.cmds_sent += cmds.len() as u64;
-        let replies = self.t.exchange(cmds);
+        let order: Vec<usize> = cmds.iter().map(|&(s, _)| s).collect();
+        self.t.submit(cmds);
+        let replies = self.t.collect(&order);
         for (s, r) in &replies {
             self.hints[*s] = Hints {
                 freed: r.freed,
@@ -304,6 +409,24 @@ impl<T: Transport> Orchestrator<T> {
             };
         }
         replies
+    }
+
+    /// Fire-and-forget exchange for commands whose replies carry only
+    /// notes and hints (flip broadcasts, solution-vertex removals,
+    /// drains). Under `pipeline` the collect half is deferred to the
+    /// next [`Orchestrator::sync`], overlapping the cells' application
+    /// (and per-shard epoch publication) with the coordinator's
+    /// shadow-side work on the next segment or scan.
+    fn post(&mut self, cmds: Vec<(usize, Cmd)>) {
+        self.sync();
+        self.exchanges += 1;
+        self.cmds_sent += cmds.len() as u64;
+        let order: Vec<usize> = cmds.iter().map(|&(s, _)| s).collect();
+        self.t.submit(cmds);
+        self.pending = Some(order);
+        if !self.pipeline {
+            self.sync();
+        }
     }
 
     /// One command to every shard; replies come back in shard order.
@@ -316,18 +439,6 @@ impl<T: Transport> Orchestrator<T> {
     fn multicast(&mut self, shards: &[usize], mk: impl Fn() -> Cmd) -> Vec<(usize, Reply)> {
         let cmds = shards.iter().map(|&s| (s, mk())).collect();
         self.exchange(cmds)
-    }
-
-    /// One command to one shard; queries must not emit notes.
-    fn query(&mut self, shard: usize, cmd: Cmd) -> ReplyData {
-        let mut replies = self.exchange(vec![(shard, cmd)]);
-        let (_, reply) = replies.pop().expect("one reply per command");
-        debug_assert!(reply.notes.is_empty(), "queries are read-only");
-        reply.data
-    }
-
-    fn collect_notes(replies: Vec<Reply>) -> Vec<Note> {
-        replies.into_iter().flat_map(|r| r.notes).collect()
     }
 
     /// Routes dependent-set notes to the owners of the solution vertices
@@ -368,12 +479,17 @@ impl<T: Transport> Orchestrator<T> {
     }
 
     /// Commits membership flips: mirror + merged feed first, then the
-    /// flip delivery, then the resulting count-transition notes. Flips
-    /// are routed to exactly the cells that can observe them — each
-    /// flipped vertex's owner plus the owners of its neighbors; any
-    /// other cell re-syncs membership when an `Edge` command first
-    /// connects it to the vertex.
+    /// flip delivery (posted split-phase — its count-transition notes
+    /// route at the next sync). Flips are routed to exactly the cells
+    /// that can observe them — each flipped vertex's owner plus the
+    /// owners of its neighbors; any other cell re-syncs membership when
+    /// an `Edge` command first connects it to the vertex.
     fn apply_flips(&mut self, flips: Vec<(u32, bool)>) {
+        // Any commit invalidates pending refutation clears: these flips
+        // may re-arm a refuted candidate for real, so the dirty entries
+        // stay and re-resolve instead of riding a now-unsound clear.
+        self.clears1.clear();
+        self.clears2.clear();
         let mut shards: Vec<usize> = Vec::new();
         for &(v, enter) in &flips {
             debug_assert_ne!(self.in_sol[v as usize], enter, "redundant flip of {v}");
@@ -391,13 +507,18 @@ impl<T: Transport> Orchestrator<T> {
         shards.sort_unstable();
         shards.dedup();
         let arc = Arc::new(flips);
-        let replies = self.multicast(&shards, || Cmd::Flips(Arc::clone(&arc)));
-        let notes = replies.into_iter().flat_map(|(_, r)| r.notes).collect();
-        self.route_notes(notes);
+        let cmds: Vec<(usize, Cmd)> = shards
+            .into_iter()
+            .map(|s| (s, Cmd::Flips(Arc::clone(&arc))))
+            .collect();
+        self.post(cmds);
     }
 
     /// Shards whose latest reply hinted pending work of the given kind.
-    fn hinted(&self, f: impl Fn(&Hints) -> bool) -> Vec<usize> {
+    /// Syncs first: a posted commit still in flight may free or dirty
+    /// vertices, and a stale `false` hint would skip a required phase.
+    fn hinted(&mut self, f: impl Fn(&Hints) -> bool) -> Vec<usize> {
+        self.sync();
         self.hints
             .iter()
             .enumerate()
@@ -416,23 +537,36 @@ impl<T: Transport> Orchestrator<T> {
             if who.is_empty() {
                 return;
             }
-            let mut bnd: Vec<u32> = Vec::new();
-            let mut round: Vec<usize> = Vec::new();
-            for (s, r) in self.multicast(&who, || Cmd::FillPoll) {
-                if let ReplyData::Fill { any, boundary } = r.data {
-                    if any {
-                        round.push(s);
+            // A single freed cell needs no frontier poll: the foreign
+            // half of the frontier union is empty (no other cell holds
+            // a freed vertex) and a cell looks its own freed set up
+            // locally — the round command's union can be empty. Always
+            // the case at P = 1, and the common case under a locality
+            // partition. The hint may be conservatively stale (cells
+            // start hinted until their first reply), so an empty round
+            // here means "nothing freed after all", not a stall.
+            let single = who.len() == 1;
+            let (round, arc) = if single {
+                (who, Arc::new(Vec::new()))
+            } else {
+                let mut bnd: Vec<u32> = Vec::new();
+                let mut round: Vec<usize> = Vec::new();
+                for (s, r) in self.multicast(&who, || Cmd::FillPoll) {
+                    if let ReplyData::Fill { any, boundary } = r.data {
+                        if any {
+                            round.push(s);
+                        }
+                        bnd.extend(boundary);
+                    } else {
+                        unreachable!("FillPoll reply");
                     }
-                    bnd.extend(boundary);
-                } else {
-                    unreachable!("FillPoll reply");
                 }
-            }
-            if round.is_empty() {
-                return;
-            }
-            bnd.sort_unstable();
-            let arc = Arc::new(bnd);
+                if round.is_empty() {
+                    return;
+                }
+                bnd.sort_unstable();
+                (round, Arc::new(bnd))
+            };
             let mut entered: Vec<u32> = Vec::new();
             for (_, r) in self.multicast(&round, || Cmd::FillRound(Arc::clone(&arc))) {
                 if let ReplyData::Entered(e) = r.data {
@@ -441,8 +575,12 @@ impl<T: Transport> Orchestrator<T> {
                     unreachable!("FillRound reply");
                 }
             }
+            if single && entered.is_empty() {
+                // Stale hint: the round reply refreshed it; re-check.
+                continue;
+            }
             // The globally smallest freed vertex is always a local
-            // minimum, so every round makes progress.
+            // minimum, so every polled round makes progress.
             debug_assert!(!entered.is_empty(), "fill round must progress");
             entered.sort_unstable();
             self.stats.repairs += entered.len() as u64;
@@ -450,50 +588,33 @@ impl<T: Transport> Orchestrator<T> {
         }
     }
 
-    /// Minimum actionable swap candidate across the hinted shards —
-    /// resolved locally by its owner cell when possible. `clear` rides
-    /// along to drop a just-refuted candidate from its owner's set.
-    fn global_swap_scan(&mut self, two: bool, clear: Option<u32>) -> Option<SwapProposal> {
-        let mut who = self.hinted(|h| if two { h.dirty2 } else { h.dirty1 });
-        if let Some(c) = clear {
-            let owner = self.owner(c);
-            if !who.contains(&owner) {
-                who.push(owner);
-                who.sort_unstable();
-            }
-        }
-        if who.is_empty() {
-            return None;
-        }
-        self.multicast(&who, || Cmd::SwapScan { two, clear })
-            .into_iter()
-            .filter_map(|(_, r)| match r.data {
-                ReplyData::Swap(p) => p,
-                _ => unreachable!("SwapScan reply"),
-            })
-            .min_by_key(|p| p.key())
-    }
-
-    fn clear_dirty(&mut self, two: bool, v: u32) {
-        let owner = self.owner(v);
-        let _ = self.query(owner, Cmd::ClearDirty { two, v });
-    }
-
-    /// Edges among `list` (sorted, deduplicated), as pair keys: each
-    /// member's owner reports its incident edges within the list.
-    fn adj_among(&mut self, list: &Arc<Vec<u32>>) -> FxHashSet<u64> {
-        let mut shards: Vec<usize> = list.iter().map(|&v| self.owner(v)).collect();
+    /// Queues one `AdjAmong` probe over `list` (sorted, deduplicated) —
+    /// one command per owner shard — and returns the reply span.
+    fn queue_adj_among(
+        cmds: &mut Vec<(usize, Cmd)>,
+        list: Vec<u32>,
+        owner: impl Fn(u32) -> usize,
+    ) -> (usize, usize) {
+        let at = cmds.len();
+        let mut shards: Vec<usize> = list.iter().map(|&v| owner(v)).collect();
         shards.sort_unstable();
         shards.dedup();
-        let cmds = shards
-            .into_iter()
-            .map(|s| (s, Cmd::AdjAmong(Arc::clone(list))))
-            .collect();
+        let n = shards.len();
+        let arc = Arc::new(list);
+        cmds.extend(
+            shards
+                .into_iter()
+                .map(|s| (s, Cmd::AdjAmong(Arc::clone(&arc)))),
+        );
+        (at, n)
+    }
+
+    /// Unions an `AdjAmong` reply span into a pair-key set.
+    fn merge_adj(replies: &[ReplyData]) -> FxHashSet<u64> {
         let mut adj = FxHashSet::default();
-        for (_, r) in self.exchange(cmds) {
-            debug_assert!(r.notes.is_empty());
-            if let ReplyData::Edges(edges) = r.data {
-                adj.extend(edges.into_iter().map(|(a, b)| pair_key(a, b)));
+        for r in replies {
+            if let ReplyData::Edges(edges) = r {
+                adj.extend(edges.iter().map(|&(a, b)| pair_key(a, b)));
             } else {
                 unreachable!("AdjAmong reply");
             }
@@ -501,179 +622,394 @@ impl<T: Transport> Orchestrator<T> {
         adj
     }
 
-    /// Scans 1-swap candidates in ascending order and commits the first
-    /// real one: the candidate vertex leaves, the lexicographically
-    /// smallest non-adjacent pair of its `¯I₁` enters. Locally-resolved
-    /// proposals commit directly; cross-shard candidates go through the
-    /// gather/validate pipeline.
-    fn try_one_swap(&mut self) -> bool {
-        let mut clear = None;
-        while let Some(proposal) = self.global_swap_scan(false, clear.take()) {
-            match proposal {
-                SwapProposal::One { v, u1, u2 } => {
-                    self.stats.one_swaps += 1;
-                    // v leaves I; the stale dirty entry prunes itself.
-                    self.apply_flips(vec![(v, false), (u1, true), (u2, true)]);
-                    return true;
+    /// One fused swap round. One `SwapScan` exchange collects *every*
+    /// actionable candidate from the hinted cells; the merged list is
+    /// walked in ascending candidate order (keys are unique — one owner
+    /// per candidate — so the order is total and shard-count
+    /// independent), each entry resolved against the *pre-round* state:
+    /// ready proposals directly, `Global` ones through at most two
+    /// round-fused gather exchanges (see
+    /// [`Orchestrator::resolve_round`]), so a round's coordination cost
+    /// does not grow with its candidate count. Every resolved proposal
+    /// whose 1-hop footprint is
+    /// disjoint from the ones already accepted (up to the `wave` cap)
+    /// commits; all accepted flips post in **one** `Flips` broadcast.
+    /// Conflicting proposals stay dirty and re-resolve next round
+    /// against the post-commit state, so the exchange count scales with
+    /// the number of *conflicting* swaps, not the number of swaps.
+    ///
+    /// Refuted candidates — whether a cell refuted them locally or the
+    /// coordinator's pipeline did — stay dirty and are queued as clears
+    /// flushed at settle exit; any intervening commit drops the queue
+    /// (see [`Orchestrator::apply_flips`]) because its flips may have
+    /// re-armed the candidate for real. Treating both refutation kinds
+    /// identically keeps the dirty sets' evolution — and therefore the
+    /// candidate order of every later round — shard-count independent.
+    fn swap_round(&mut self, two: bool) -> bool {
+        let who = self.hinted(|h| if two { h.dirty2 } else { h.dirty1 });
+        if who.is_empty() {
+            return false;
+        }
+        let cmds: Vec<(usize, Cmd)> = who.iter().map(|&s| (s, Cmd::SwapScan { two })).collect();
+        let mut proposals: Vec<SwapProposal> = Vec::new();
+        for (_, r) in self.exchange(cmds) {
+            match r.data {
+                ReplyData::Swaps {
+                    proposals: p,
+                    refuted,
+                } => {
+                    proposals.extend(p);
+                    let queue = if two {
+                        &mut self.clears2
+                    } else {
+                        &mut self.clears1
+                    };
+                    queue.extend(refuted);
                 }
-                SwapProposal::Global { v, bar1 } => {
-                    let d = Arc::new(bar1);
-                    debug_assert!(d.len() >= 2, "SwapScan pre-validates |¯I₁| ≥ 2");
-                    let adj = self.adj_among(&d);
-                    let mut found = None;
-                    'pair: for i in 0..d.len() {
-                        for j in i + 1..d.len() {
-                            if !adj.contains(&pair_key(d[i], d[j])) {
-                                found = Some((d[i], d[j]));
-                                break 'pair;
+                _ => unreachable!("SwapScan reply"),
+            }
+        }
+        proposals.sort_unstable_by_key(SwapProposal::key);
+        let resolved = self.resolve_round(&proposals);
+        let mut flips: Vec<(u32, bool)> = Vec::new();
+        let mut marks: FxHashSet<u32> = FxHashSet::default();
+        let mut accepted: u64 = 0;
+        for (p, res) in proposals.iter().zip(resolved) {
+            if accepted as usize >= self.wave {
+                // Capped: the remainder stays dirty for the next round.
+                self.swap_stats.deferred += 1;
+                continue;
+            }
+            // A candidate already inside an accepted footprint clashes
+            // no matter how it resolves (it leaves in its own proposal),
+            // so defer it without consuming its resolution.
+            if marks.contains(&p.key()) {
+                self.swap_stats.deferred += 1;
+                continue;
+            }
+            let Some(fl) = res else {
+                // Refuted against the pre-round state; cleared only if
+                // that state survives to the next scan. Only candidates
+                // the walk actually reaches queue a clear — deferred
+                // ones re-resolve against the post-commit state, where
+                // the same refutation need not hold.
+                match *p {
+                    SwapProposal::GlobalOne { v, .. } => self.clears1.push(v),
+                    SwapProposal::GlobalTwo { v, .. } => self.clears2.push(v),
+                    _ => unreachable!("ready proposals always resolve"),
+                }
+                continue;
+            };
+            if self.wave_admits(&fl, &mut marks) {
+                if two {
+                    self.stats.two_swaps += 1;
+                } else {
+                    self.stats.one_swaps += 1;
+                }
+                accepted += 1;
+                flips.extend(fl);
+            } else {
+                self.swap_stats.deferred += 1;
+            }
+        }
+        if accepted == 0 {
+            return false;
+        }
+        self.swap_stats.rounds += 1;
+        self.swap_stats.swaps += accepted;
+        self.swap_stats.max_wave = self.swap_stats.max_wave.max(accepted);
+        // Committed candidates leave the solution, so their dirty
+        // entries prune themselves at the next scan.
+        self.apply_flips(flips);
+        true
+    }
+
+    /// Footprint-independence test for one resolved proposal, on the
+    /// coordinator's shadow (zero exchanges). A proposal's footprint is
+    /// its enterers' closed 1-hop balls plus its leaver *vertices*: an
+    /// enterer's solution parents are exactly its own proposal's
+    /// leavers, so an edge between an enterer and a foreign leaver is
+    /// impossible and leaver balls would only over-block (a hub leaving
+    /// would veto every swap around it). A proposal is admissible iff
+    /// none of its flips and none of its enterers' neighbors are inside
+    /// an accepted footprint; admitting marks its own. The first
+    /// resolved proposal of a round always admits, so every committing
+    /// round makes progress.
+    fn wave_admits(&self, flips: &[(u32, bool)], marks: &mut FxHashSet<u32>) -> bool {
+        let clash = flips.iter().any(|&(v, enter)| {
+            marks.contains(&v) || (enter && self.shadow.neighbors(v).any(|w| marks.contains(&w)))
+        });
+        if clash {
+            return false;
+        }
+        for &(v, enter) in flips {
+            marks.insert(v);
+            if enter {
+                marks.extend(self.shadow.neighbors(v));
+            }
+        }
+        true
+    }
+
+    /// Resolves every candidate of a round against the pre-round state
+    /// in at most **two** batched exchanges, independent of candidate
+    /// count. Resolution is read-only — flips post only at round end —
+    /// so every candidate's gather reads the same frozen state and they
+    /// all fuse: exchange one carries each 2-swap candidate's partner
+    /// `¯I₁` rows and pivot neighborhoods plus each 1-swap candidate's
+    /// `AdjAmong` probe; exchange two carries the surviving 2-swap
+    /// candidates' `AdjAmong` probes (their replacement sets depend on
+    /// exchange one). Replies align positionally with commands, so each
+    /// candidate recovers its slice by span.
+    ///
+    /// Per candidate the outcome is canonical: a 1-swap takes the
+    /// lexicographically smallest non-adjacent pair of `¯I₁(v)`; a
+    /// 2-swap walks its pairs `(a, b)` in lexicographic order, each
+    /// pair's pivots `x` ascending, and takes the first admissible
+    /// `(y, z)` in lexicographic order — `{a, b}` leave, `{x, y, z}`
+    /// enter. A 2-swap whose probes carry no pivots refutes with zero
+    /// exchange share. Candidates the walk later defers (wave cap or
+    /// marked footprint) are resolved here too and their results
+    /// discarded — wasted payload, but resolving lazily would cost one
+    /// exchange per candidate, exactly the round-count-independent cost
+    /// this path exists to avoid.
+    fn resolve_round(&mut self, proposals: &[SwapProposal]) -> Vec<Option<Vec<(u32, bool)>>> {
+        enum Plan {
+            Ready(Vec<(u32, bool)>),
+            Refuted,
+            One { at: usize, n: usize },
+            Two { at: usize, live: Vec<usize> },
+        }
+        let mut cmds: Vec<(usize, Cmd)> = Vec::new();
+        let mut plans: Vec<Plan> = Vec::with_capacity(proposals.len());
+        for p in proposals {
+            match p {
+                SwapProposal::One { v, u1, u2 } => {
+                    plans.push(Plan::Ready(vec![(*v, false), (*u1, true), (*u2, true)]));
+                }
+                SwapProposal::Two { a, b, x, y, z, .. } => {
+                    plans.push(Plan::Ready(vec![
+                        (*a, false),
+                        (*b, false),
+                        (*x, true),
+                        (*y, true),
+                        (*z, true),
+                    ]));
+                }
+                SwapProposal::GlobalOne { bar1, .. } => {
+                    debug_assert!(bar1.len() >= 2, "SwapScan pre-validates |¯I₁| ≥ 2");
+                    let (at, n) = Self::queue_adj_among(&mut cmds, bar1.clone(), |v| self.owner(v));
+                    plans.push(Plan::One { at, n });
+                }
+                SwapProposal::GlobalTwo { v, pairs, .. } => {
+                    let live: Vec<usize> = (0..pairs.len())
+                        .filter(|&i| !pairs[i].piv.is_empty())
+                        .collect();
+                    if live.is_empty() {
+                        plans.push(Plan::Refuted);
+                        continue;
+                    }
+                    let at = cmds.len();
+                    // Partners' ¯I₁ rows first, then every pivot's open
+                    // neighborhood, in canonical pair order.
+                    for &i in &live {
+                        let pr = &pairs[i];
+                        let o = if pr.a == *v { pr.b } else { pr.a };
+                        cmds.push((self.owner(o), Cmd::Bar1(o)));
+                    }
+                    for &i in &live {
+                        for &x in &pairs[i].piv {
+                            cmds.push((self.owner(x), Cmd::NbrsOf(x)));
+                        }
+                    }
+                    plans.push(Plan::Two { at, live });
+                }
+            }
+        }
+        let replies: Vec<ReplyData> = if cmds.is_empty() {
+            Vec::new()
+        } else {
+            self.exchange(cmds)
+                .into_iter()
+                .map(|(_, r)| r.data)
+                .collect()
+        };
+        let list = |r: &ReplyData| -> Vec<u32> {
+            if let ReplyData::List(l) = r {
+                l.clone()
+            } else {
+                unreachable!("list reply")
+            }
+        };
+        struct PendingTwo {
+            slot: usize,
+            at: usize,
+            n: usize,
+            // (pair index, pivot, Cy, Cz) in canonical order.
+            sets: Vec<(usize, u32, Vec<u32>, Vec<u32>)>,
+        }
+        let mut out: Vec<Option<Vec<(u32, bool)>>> = Vec::with_capacity(proposals.len());
+        let mut cmds_b: Vec<(usize, Cmd)> = Vec::new();
+        let mut pending: Vec<PendingTwo> = Vec::new();
+        for (slot, (p, plan)) in proposals.iter().zip(plans).enumerate() {
+            match plan {
+                Plan::Ready(fl) => out.push(Some(fl)),
+                Plan::Refuted => out.push(None),
+                Plan::One { at, n } => {
+                    let SwapProposal::GlobalOne { v, bar1 } = p else {
+                        unreachable!()
+                    };
+                    let adj = Self::merge_adj(&replies[at..at + n]);
+                    let mut fl = None;
+                    'one: for i in 0..bar1.len() {
+                        for j in i + 1..bar1.len() {
+                            if !adj.contains(&pair_key(bar1[i], bar1[j])) {
+                                fl = Some(vec![(*v, false), (bar1[i], true), (bar1[j], true)]);
+                                break 'one;
                             }
                         }
                     }
-                    if let Some((u1, u2)) = found {
-                        // v leaves I; its dirty entry prunes itself.
-                        self.stats.one_swaps += 1;
-                        self.apply_flips(vec![(v, false), (u1, true), (u2, true)]);
-                        return true;
+                    out.push(fl);
+                }
+                Plan::Two { at, live } => {
+                    let SwapProposal::GlobalTwo { v, bar1, pairs } = p else {
+                        unreachable!()
+                    };
+                    let mut sets: Vec<(usize, u32, Vec<u32>, Vec<u32>)> = Vec::new();
+                    let mut all: Vec<u32> = Vec::new();
+                    let mut nx_at = at + live.len();
+                    for (li, &i) in live.iter().enumerate() {
+                        let pr = &pairs[i];
+                        debug_assert!(
+                            self.in_sol[pr.a as usize] && self.in_sol[pr.b as usize],
+                            "dep2 rows are exact"
+                        );
+                        let partner = list(&replies[at + li]);
+                        let (b1a, b1b) = if pr.a == *v {
+                            (bar1, &partner)
+                        } else {
+                            (&partner, bar1)
+                        };
+                        for &x in &pr.piv {
+                            let nx = list(&replies[nx_at]);
+                            nx_at += 1;
+                            // Cy = ¯I₁(a) − pivots − N[x]; Cz likewise for b.
+                            let cy = merge_minus(b1a, &pr.piv, |w| {
+                                w == x || nx.binary_search(&w).is_ok()
+                            });
+                            if cy.is_empty() {
+                                continue;
+                            }
+                            let cz = merge_minus(b1b, &pr.piv, |w| {
+                                w == x || nx.binary_search(&w).is_ok()
+                            });
+                            if cz.is_empty() {
+                                continue;
+                            }
+                            all.extend(cy.iter().chain(cz.iter()));
+                            sets.push((i, x, cy, cz));
+                        }
                     }
-                    // Refuted: the clear rides on the next scan.
-                    clear = Some(v);
-                }
-                SwapProposal::Two { .. } => unreachable!("1-swap scan yields 1-swap proposals"),
-            }
-        }
-        if let Some(v) = clear {
-            self.clear_dirty(false, v);
-        }
-        false
-    }
-
-    /// Scans 2-swap candidates in ascending order: for the smallest
-    /// dirty solution vertex, its pairs `(a, b)` in lexicographic order,
-    /// each pair's pivots `x` ascending, and the first admissible
-    /// `(y, z)` in lexicographic order. Commits `{a, b} → {x, y, z}`.
-    fn try_two_swap(&mut self) -> bool {
-        let mut clear = None;
-        while let Some(proposal) = self.global_swap_scan(true, clear.take()) {
-            match proposal {
-                SwapProposal::Two { a, b, x, y, z, .. } => {
-                    self.stats.two_swaps += 1;
-                    self.apply_flips(vec![
-                        (a, false),
-                        (b, false),
-                        (x, true),
-                        (y, true),
-                        (z, true),
-                    ]);
-                    return true;
-                }
-                SwapProposal::Global { v, .. } => {
-                    if self.attempt_two_swap_at(v) {
-                        // v (= one of the evicted pair) leaves I; its
-                        // dirty entry prunes itself.
-                        return true;
+                    if sets.is_empty() {
+                        out.push(None);
+                        continue;
                     }
-                    clear = Some(v);
+                    all.sort_unstable();
+                    all.dedup();
+                    let (b_at, n) = Self::queue_adj_among(&mut cmds_b, all, |v| self.owner(v));
+                    out.push(None);
+                    pending.push(PendingTwo {
+                        slot,
+                        at: b_at,
+                        n,
+                        sets,
+                    });
                 }
-                SwapProposal::One { .. } => unreachable!("2-swap scan yields 2-swap proposals"),
             }
         }
-        if let Some(v) = clear {
-            self.clear_dirty(true, v);
-        }
-        false
-    }
-
-    fn attempt_two_swap_at(&mut self, v: u32) -> bool {
-        let owner = self.owner(v);
-        let pairs = match self.query(owner, Cmd::PairsOf(v)) {
-            ReplyData::Pairs(p) => p,
-            _ => unreachable!("PairsOf reply"),
-        };
-        for (a, b) in pairs {
-            debug_assert!(
-                self.in_sol[a as usize] && self.in_sol[b as usize],
-                "dep2 rows are exact"
-            );
-            // One exchange for the pair's three lists (FIFO per shard
-            // keeps multiple commands to one owner in order).
-            let (oa, ob) = (self.owner(a), self.owner(b));
-            let replies = self.exchange(vec![
-                (oa, Cmd::Pivots { a, b }),
-                (oa, Cmd::Bar1(a)),
-                (ob, Cmd::Bar1(b)),
-            ]);
-            let mut lists = replies.into_iter().map(|(_, r)| match r.data {
-                ReplyData::List(l) => l,
-                _ => unreachable!("list reply"),
-            });
-            let piv = lists.next().unwrap();
-            let b1a = lists.next().unwrap();
-            let b1b = lists.next().unwrap();
-            if piv.is_empty() {
-                continue;
-            }
-            // One exchange for every pivot's neighborhood.
-            let nbr_cmds: Vec<(usize, Cmd)> = piv
-                .iter()
-                .map(|&x| (self.owner(x), Cmd::NbrsOf(x)))
-                .collect();
-            let nbrs: Vec<Vec<u32>> = self
-                .exchange(nbr_cmds)
+        let replies_b: Vec<ReplyData> = if cmds_b.is_empty() {
+            Vec::new()
+        } else {
+            self.exchange(cmds_b)
                 .into_iter()
-                .map(|(_, r)| match r.data {
-                    ReplyData::List(l) => l,
-                    _ => unreachable!("NbrsOf reply"),
-                })
-                .collect();
-            for (&x, nx) in piv.iter().zip(&nbrs) {
-                // Cy = (¯I₁(a) ∪ ¯I₂) − N[x]; Cz = (¯I₁(b) ∪ ¯I₂) − N[x].
-                let cy = merge_minus(&b1a, &piv, |w| w == x || nx.binary_search(&w).is_ok());
-                if cy.is_empty() {
-                    continue;
-                }
-                let cz = merge_minus(&b1b, &piv, |w| w == x || nx.binary_search(&w).is_ok());
-                if cz.is_empty() {
-                    continue;
-                }
-                let mut all: Vec<u32> = cy.iter().chain(cz.iter()).copied().collect();
-                all.sort_unstable();
-                all.dedup();
-                let all = Arc::new(all);
-                let adj = self.adj_among(&all);
+                .map(|(_, r)| r.data)
+                .collect()
+        };
+        for pd in pending {
+            let adj = Self::merge_adj(&replies_b[pd.at..pd.at + pd.n]);
+            let SwapProposal::GlobalTwo { pairs, .. } = &proposals[pd.slot] else {
+                unreachable!()
+            };
+            'two: for (i, x, cy, cz) in pd.sets {
+                let pr = &pairs[i];
                 for &y in &cy {
                     for &z in &cz {
                         if z != y && !adj.contains(&pair_key(y, z)) {
-                            self.stats.two_swaps += 1;
-                            self.apply_flips(vec![
-                                (a, false),
-                                (b, false),
+                            out[pd.slot] = Some(vec![
+                                (pr.a, false),
+                                (pr.b, false),
                                 (x, true),
                                 (y, true),
                                 (z, true),
                             ]);
-                            return true;
+                            break 'two;
                         }
                     }
                 }
             }
         }
-        false
+        out
+    }
+
+    /// Drops globally-refuted candidates from their owners' dirty sets
+    /// in one batched exchange, so the dirty hints quiesce. Called at
+    /// settle exit only: nothing committed since the refutations (a
+    /// commit drops the queue), so "no swap at v" still holds.
+    fn flush_clears(&mut self, two: bool) {
+        let pending = std::mem::take(if two {
+            &mut self.clears2
+        } else {
+            &mut self.clears1
+        });
+        if pending.is_empty() {
+            return;
+        }
+        let mut per: Vec<Vec<u32>> = vec![Vec::new(); self.t.shards()];
+        for c in pending {
+            per[self.owner(c)].push(c);
+        }
+        let cmds: Vec<(usize, Cmd)> = per
+            .into_iter()
+            .enumerate()
+            .filter(|(_, l)| !l.is_empty())
+            .map(|(s, list)| (s, Cmd::ClearDirty { two, list }))
+            .collect();
+        for (_, r) in self.exchange(cmds) {
+            debug_assert!(r.notes.is_empty(), "clears are terminal");
+        }
     }
 
     /// Restores the full invariant: maximality (fill), then no 1-swap,
     /// then (k = 2) no 2-swap — re-filling and re-scanning after every
-    /// committed swap, exactly like Algorithm 1's main loop. Terminates
-    /// because every committed swap grows |I| by at least one.
+    /// committed *round*, exactly like Algorithm 1's main loop with each
+    /// round committing a whole wave of footprint-independent swaps.
+    /// Terminates because every committed swap grows |I| by at least
+    /// one. Exits with the refutation queues flushed (dirty hints
+    /// quiescent) and no posted exchange outstanding.
     fn settle(&mut self) {
         loop {
             self.fill_loop();
-            if self.try_one_swap() {
+            if self.swap_round(false) {
                 continue;
             }
-            if self.k2 && self.try_two_swap() {
+            if self.k2 && self.swap_round(true) {
                 continue;
             }
             break;
+        }
+        self.flush_clears(false);
+        if self.k2 {
+            self.flush_clears(true);
         }
     }
 
@@ -745,9 +1081,12 @@ impl<T: Transport> Orchestrator<T> {
                         self.in_sol[v as usize] = false;
                         self.feed.record_out(v);
                         self.size -= 1;
-                        let replies = self.bcast(|| Cmd::RemSolVertex { v });
-                        let notes = Self::collect_notes(replies);
-                        self.route_notes(notes);
+                        // Posted: the removal's count-transition notes
+                        // route at the next sync, before any exchange.
+                        let cmds = (0..self.t.shards())
+                            .map(|s| (s, Cmd::RemSolVertex { v }))
+                            .collect();
+                        self.post(cmds);
                     } else {
                         seg.rem_outsider(v);
                     }
@@ -802,16 +1141,18 @@ impl<T: Transport> Orchestrator<T> {
     /// solution vertices: evict the endpoint whose `¯I₁` promises a
     /// refill, preferring `b`; fall back to higher degree.
     fn conflict_evict(&mut self, a: u32, b: u32) {
-        let peek = |o: &mut Self, v: u32| -> bool {
-            let owner = o.owner(v);
-            match o.query(owner, Cmd::DepPeek(v)) {
-                ReplyData::Peek { nonempty } => nonempty,
-                _ => unreachable!("DepPeek reply"),
-            }
-        };
-        let loser = if peek(self, b) {
+        // Both peeks travel in one exchange — the decision may need
+        // either answer, and fusing them halves the rule's round-trips.
+        let (oa, ob) = (self.owner(a), self.owner(b));
+        let replies = self.exchange(vec![(ob, Cmd::DepPeek(b)), (oa, Cmd::DepPeek(a))]);
+        let mut peeks = replies.into_iter().map(|(_, r)| match r.data {
+            ReplyData::Peek { nonempty } => nonempty,
+            _ => unreachable!("DepPeek reply"),
+        });
+        let (peek_b, peek_a) = (peeks.next().unwrap(), peeks.next().unwrap());
+        let loser = if peek_b {
             b
-        } else if peek(self, a) {
+        } else if peek_a {
             a
         } else if self.shadow.degree(b) >= self.shadow.degree(a) {
             b
@@ -886,8 +1227,11 @@ impl<T: Transport> Orchestrator<T> {
 
     fn drain_delta(&mut self) -> SolutionDelta {
         // Cells drain (and publish to their per-shard logs) in the same
-        // epoch as the merged drain.
-        self.bcast(|| Cmd::Drain);
+        // epoch as the merged drain. Posted: the merged delta returns
+        // while cells publish in the background — a sharded reader's
+        // min-head cut tolerates per-shard publication lag.
+        let cmds = (0..self.t.shards()).map(|s| (s, Cmd::Drain)).collect();
+        self.post(cmds);
         self.feed.drain()
     }
 
@@ -979,27 +1323,40 @@ impl<T: Transport> Orchestrator<T> {
     }
 }
 
+/// Everything the canonical sharded engines pull out of a builder.
+struct ShardSpec {
+    shadow: DynamicGraph,
+    initial: Vec<u32>,
+    k2: bool,
+    shards: usize,
+    partitioner: Partitioner,
+    wave: usize,
+    pipeline: bool,
+}
+
 /// Validates a builder for the canonical sharded engines and splits it
 /// into its parts. `k ≤ 2`: the lazy `GenericKSwap` collection mode has
 /// no canonical sharded counterpart.
-fn canonical_session(
-    builder: EngineBuilder,
-) -> Result<(DynamicGraph, Vec<u32>, bool, usize, Partitioner), EngineError> {
+fn canonical_session(builder: EngineBuilder) -> Result<ShardSpec, EngineError> {
     let shards = builder.shard_count();
     let partitioner = builder.partitioner_choice();
+    let wave = builder.swap_wave_limit();
+    let pipeline = builder.pipeline_enabled();
     let session = builder.into_session()?;
     if session.k > 2 {
         return Err(EngineError::BadParameter(
             "sharded maintenance supports k ∈ {1, 2}",
         ));
     }
-    Ok((
-        session.graph,
-        session.initial,
-        session.k == 2,
+    Ok(ShardSpec {
+        shadow: session.graph,
+        initial: session.initial,
+        k2: session.k == 2,
         shards,
         partitioner,
-    ))
+        wave,
+        pipeline,
+    })
 }
 
 macro_rules! delegate_dynamic_mis {
@@ -1078,17 +1435,23 @@ impl ShardedEngine {
         builder: EngineBuilder,
         logs: Option<Vec<Arc<SharedLog>>>,
     ) -> Result<Self, EngineError> {
-        let (shadow, initial, k2, shards, partitioner) = canonical_session(builder)?;
-        let map = ShardMap::with_partitioner(&shadow, shards, partitioner);
-        let (cells, notes) = build_cells(&shadow, &map, &initial, k2, logs.as_deref());
-        let name = if k2 {
-            "ShardedTwoSwap"
-        } else {
-            "ShardedOneSwap"
+        let spec = canonical_session(builder)?;
+        let map = ShardMap::with_partitioner(&spec.shadow, spec.shards, spec.partitioner);
+        let (cells, notes) =
+            build_cells(&spec.shadow, &map, &spec.initial, spec.k2, logs.as_deref());
+        let cfg = OrchConfig {
+            k2: spec.k2,
+            name: if spec.k2 {
+                "ShardedTwoSwap"
+            } else {
+                "ShardedOneSwap"
+            },
+            wave: spec.wave,
+            pipeline: spec.pipeline,
         };
         let t = ThreadCells::spawn(cells);
         Ok(ShardedEngine {
-            inner: Orchestrator::new(t, map, shadow, &initial, k2, name, notes),
+            inner: Orchestrator::new(t, map, spec.shadow, &spec.initial, cfg, notes),
         })
     }
 
@@ -1132,6 +1495,13 @@ impl ShardedEngine {
         (self.inner.exchanges, self.inner.cmds_sent)
     }
 
+    /// Counters of the fused swap rounds: how many swaps co-committed
+    /// per round and how many proposals a footprint conflict (or the
+    /// wave cap) pushed to a later round.
+    pub fn swap_round_stats(&self) -> SwapRoundStats {
+        self.inner.swap_stats
+    }
+
     /// Exhaustive cross-shard audit — recomputes every cell's state from
     /// scratch and verifies the merged solution plus the distributed
     /// dependent sets. Test/debug use: O(n + m) plus a cell round-trip.
@@ -1168,19 +1538,35 @@ impl CanonicalMis {
     pub fn check_consistency(&mut self) -> Result<(), String> {
         self.inner.check_consistency()
     }
+
+    /// Counters of the fused swap rounds; see
+    /// [`ShardedEngine::swap_round_stats`].
+    pub fn swap_round_stats(&self) -> SwapRoundStats {
+        self.inner.swap_stats
+    }
 }
 
 impl BuildableEngine for CanonicalMis {
     /// Ignores [`EngineBuilder::shards`] — the reference is always a
-    /// single inline cell.
+    /// single inline cell. Honors the wave / pipeline knobs, so a
+    /// reference engine can be built for any configuration under test.
     fn from_builder(builder: EngineBuilder) -> Result<Self, EngineError> {
-        let (shadow, initial, k2, _, _) = canonical_session(builder)?;
-        let map = ShardMap::degree_aware(&shadow, 1);
-        let (cells, notes) = build_cells(&shadow, &map, &initial, k2, None);
-        let name = if k2 { "CanonTwoSwap" } else { "CanonOneSwap" };
-        let t = InlineCells { cells };
+        let spec = canonical_session(builder)?;
+        let map = ShardMap::degree_aware(&spec.shadow, 1);
+        let (cells, notes) = build_cells(&spec.shadow, &map, &spec.initial, spec.k2, None);
+        let cfg = OrchConfig {
+            k2: spec.k2,
+            name: if spec.k2 {
+                "CanonTwoSwap"
+            } else {
+                "CanonOneSwap"
+            },
+            wave: spec.wave,
+            pipeline: spec.pipeline,
+        };
+        let t = InlineCells::new(cells);
         Ok(CanonicalMis {
-            inner: Orchestrator::new(t, map, shadow, &initial, k2, name, notes),
+            inner: Orchestrator::new(t, map, spec.shadow, &spec.initial, cfg, notes),
         })
     }
 }

@@ -13,10 +13,10 @@
 //! ```text
 //!                         ┌──────────────────────────────┐
 //!        update ─────────►│ coordinator                   │
-//!   (validate on shadow)  │  route ops → owners           │
-//!                         │  fill: poll / round / commit  │──┐ barrier per
-//!                         │  swap: dirty-min / validate / │  │ phase, cells
-//!                         │        commit flips           │  │ in parallel
+//!   (validate on shadow)  │  route ops → owners           │──┐ fused round per
+//!                         │  fill: poll / round / commit  │  │ phase, cells in
+//!                         │  swap: fused scan / resolve / │  │ parallel, commits
+//!                         │        wave-commit flips      │  │ posted pipelined
 //!                         └──┬───────────┬───────────┬───┘◄─┘
 //!                    Cmd/Reply│           │           │
 //!                     ┌───────▼──┐  ┌─────▼────┐  ┌───▼──────┐
@@ -40,11 +40,18 @@
 //!   extension of the solution: freed vertices enter in rounds of local
 //!   minima of the freed-induced subgraph, with each round's boundary
 //!   frontier exchanged between shards.
-//! * *Swaps* commit one at a time, smallest candidate vertex first, with
-//!   the lexicographically smallest admissible replacement pair/triple —
-//!   validated across shards (dependent sets are exact, adjacency inside
-//!   candidate sets is gathered from the owners) before the flips are
-//!   broadcast.
+//! * *Swaps* commit in **fused rounds**: one `SwapScan` exchange
+//!   collects every cell's actionable candidates, the merged list is
+//!   resolved in ascending candidate order against the pre-round state
+//!   (cell-locally when every adjacency test has an owned endpoint,
+//!   through the coordinator's gather pipeline otherwise), and every
+//!   resolved swap whose 1-hop footprint is disjoint from the ones
+//!   accepted before it commits in the *same* round — one `Flips`
+//!   broadcast per round, so coordination cost scales with conflicting
+//!   swaps, not total swaps. Each replacement is the lexicographically
+//!   smallest admissible pair/triple, and the acceptance order is the
+//!   global candidate order, so the round's outcome is shard-count
+//!   independent.
 //!
 //! The result: the maintained solution is a pure function of the update
 //! sequence — independent, maximal, k-maximal (`k ∈ {1, 2}`), and
@@ -56,10 +63,14 @@
 //!
 //! This determinism is what a sharded *service* needs: scaling the shard
 //! count up or down (or replaying a log into a differently-sharded
-//! replica) cannot change answers. The price is coordination — the
-//! coordinator barriers every phase — so single-update latency is higher
-//! than the lock-free single-writer path in `dynamis-serve`; batched
-//! ingest amortizes it (see the `shard` bench bin and `BENCH_PR4.json`).
+//! replica) cannot change answers. The residual price is coordination on
+//! *conflicting* work: fused scans batch a whole round's validation into
+//! one exchange, commit broadcasts are posted split-phase so cells apply
+//! them while the coordinator builds the next phase
+//! ([`EngineBuilder::pipeline`](dynamis_core::EngineBuilder::pipeline)),
+//! and [`SwapRoundStats`] reports how much concurrency the
+//! footprint-independence rule extracts (see the `shard` bench bin and
+//! `BENCH_PR6.json`).
 //!
 //! ## Serving
 //!
@@ -75,5 +86,5 @@ mod protocol;
 mod service;
 
 pub use dynamis_graph::{Partitioner, ShardMap};
-pub use engine::{CanonicalMis, ShardedEngine};
+pub use engine::{CanonicalMis, ShardedEngine, SwapRoundStats};
 pub use service::ShardedService;

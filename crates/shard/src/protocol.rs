@@ -10,9 +10,12 @@
 //! The two-phase shape of the boundary repair (fill rounds, swap
 //! propose/commit) is visible directly in the command vocabulary:
 //! `FillPoll`/`FillRound` propose and commit maximality repairs,
-//! `SwapScan` proposes swaps (resolved cell-locally when possible,
-//! validated via `Bar1`/`Pivots`/`NbrsOf`/`AdjAmong` otherwise) that
-//! the coordinator commits through `Flips`.
+//! `SwapScan` proposes a whole *round* of swap candidates at once
+//! (each resolved cell-locally when possible, validated via
+//! `Bar1`/`NbrsOf`/`AdjAmong` otherwise); the coordinator
+//! accepts every footprint-independent candidate of the round and
+//! commits them together through one `Flips` broadcast, so the number
+//! of exchanges scales with conflicting work, not total work.
 
 use std::sync::Arc;
 
@@ -59,21 +62,36 @@ pub(crate) enum Note {
     Dirty2 { v: u32 },
 }
 
-/// A cell's answer to a `SwapScan`: its smallest actionable swap
-/// candidate. The coordinator takes the minimum `v` across cells (the
-/// canonical global order), commits ready proposals directly, and runs
-/// the cross-shard validation pipeline for `Global` ones. A cell
-/// resolves a candidate locally when every adjacency test it needs has
-/// an owned endpoint — always true at P = 1, and for most candidates
-/// under a locality-friendly partition — so the swap phase costs
-/// exchanges only for genuinely cross-shard candidates and commits.
+/// One entry of a cell's answer to a `SwapScan`: an actionable swap
+/// candidate. The coordinator merges every cell's list, walks it in
+/// ascending `v` (the canonical global order), accepts ready proposals
+/// whose 1-hop footprints are pairwise disjoint, and runs the
+/// cross-shard validation pipeline for `Global` ones. A cell resolves
+/// a candidate locally when every adjacency test it needs has an owned
+/// endpoint — always true at P = 1, and for most candidates under a
+/// locality-friendly partition — so the swap phase costs exchanges
+/// only for genuinely cross-shard candidates and commits.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum SwapProposal {
-    /// Candidate `v` needs the coordinator's cross-shard pipeline.
-    /// `bar1` ships the owner's exact `¯I₁(v)` (sorted) so the 1-swap
-    /// pipeline starts without another round-trip (empty for 2-swap
-    /// candidates — their pipeline gathers per pair).
-    Global { v: u32, bar1: Vec<u32> },
+    /// 1-swap candidate `v` needing the coordinator's cross-shard
+    /// pipeline. `bar1` ships the owner's exact `¯I₁(v)` (sorted), so
+    /// resolution costs exactly one `AdjAmong` exchange.
+    GlobalOne { v: u32, bar1: Vec<u32> },
+    /// 2-swap candidate `v` needing the cross-shard pipeline. The owner
+    /// ships everything it holds exactly — `¯I₁(v)` (sorted) and every
+    /// still-undecided pair of `v` with its pivot list (the `¯I₂` rows
+    /// of `v`'s pairs are mirrored at `v`'s owner) — so the coordinator
+    /// only gathers what is genuinely foreign: the partners' `¯I₁` rows
+    /// and the pivots' neighborhoods, all in one batched exchange, plus
+    /// at most one `AdjAmong`. Pairs the owner already refuted locally
+    /// are omitted (the candidate's canonical walk skips them either
+    /// way); a probe list whose pivot sets are all empty refutes with
+    /// zero exchanges.
+    GlobalTwo {
+        v: u32,
+        bar1: Vec<u32>,
+        pairs: Vec<PairProbe>,
+    },
     /// Ready 1-swap: `v` leaves, `{u1, u2}` enter.
     One { v: u32, u1: u32, u2: u32 },
     /// Ready 2-swap at dirty vertex `v`: `{a, b}` leave, `{x, y, z}`
@@ -92,11 +110,24 @@ impl SwapProposal {
     /// The canonical ordering key: the dirty solution vertex.
     pub fn key(&self) -> u32 {
         match *self {
-            SwapProposal::Global { v, .. }
+            SwapProposal::GlobalOne { v, .. }
+            | SwapProposal::GlobalTwo { v, .. }
             | SwapProposal::One { v, .. }
             | SwapProposal::Two { v, .. } => v,
         }
     }
+}
+
+/// One undecided pair of a [`SwapProposal::GlobalTwo`] candidate: the
+/// solution pair `(a, b)` (lexicographic, one of them the candidate
+/// itself) and its count-2 pivots, sorted ascending — exact at the
+/// proposing owner because `¯I₂` rows are mirrored at both members'
+/// owners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PairProbe {
+    pub a: u32,
+    pub b: u32,
+    pub piv: Vec<u32>,
 }
 
 /// Post-removal classification of one owned endpoint of a deleted edge,
@@ -168,24 +199,23 @@ pub(crate) enum Cmd {
     DepPeek(u32),
     /// The exact `¯I₁(v)`, sorted.
     Bar1(u32),
-    /// The count-2 pivots of the pair `{a, b}` (`a < b`), sorted.
-    Pivots { a: u32, b: u32 },
-    /// The solution pairs vertex `v` participates in, sorted.
-    PairsOf(u32),
     /// Edges among the given sorted vertex list with an owned endpoint.
     AdjAmong(Arc<Vec<u32>>),
     /// Sorted open neighborhood of owned vertex `v`.
     NbrsOf(u32),
-    /// Scan this cell's dirty set (`two` selects the 2-swap set) in
-    /// ascending order: prune invalid entries, resolve candidates whose
-    /// relevant sets are (near-)local into a ready [`SwapProposal`],
-    /// and stop at the first actionable candidate. `clear` first drops
-    /// the named vertex (a candidate the coordinator just refuted
-    /// globally) — the clear rides along instead of costing its own
-    /// exchange.
-    SwapScan { two: bool, clear: Option<u32> },
-    /// Remove `v` from the dirty set (validated: no swap exists at it).
-    ClearDirty { two: bool, v: u32 },
+    /// Scan this cell's *whole* dirty set (`two` selects the 2-swap
+    /// set) in ascending order: prune invalid entries, resolve
+    /// candidates whose relevant sets are (near-)local into ready
+    /// [`SwapProposal`]s, and report every actionable candidate in one
+    /// reply — the fused validation round. Locally-refuted candidates
+    /// stay dirty and are *reported* refuted instead of pruned: the
+    /// coordinator decides their fate exactly as it does for globally-
+    /// refuted ones (cleared only if the round commits nothing), so the
+    /// dirty sets evolve identically at every shard count.
+    SwapScan { two: bool },
+    /// Remove the listed vertices from the dirty set (validated: no
+    /// swap exists at them).
+    ClearDirty { two: bool, list: Vec<u32> },
     /// Drain the cell's delta feed; publish to the attached per-shard
     /// log (always, even when empty — epoch alignment).
     Drain,
@@ -208,14 +238,17 @@ pub(crate) enum ReplyData {
     Fill { any: bool, boundary: Vec<u32> },
     /// `FillRound`: owned freed local minima (they enter).
     Entered(Vec<u32>),
-    /// `Bar1` / `Pivots` / `NbrsOf`: a sorted id list.
+    /// `Bar1` / `NbrsOf`: a sorted id list.
     List(Vec<u32>),
-    /// `PairsOf`: sorted, deduplicated solution pairs.
-    Pairs(Vec<(u32, u32)>),
     /// `AdjAmong`: normalized `(min, max)` edges found.
     Edges(Vec<(u32, u32)>),
-    /// `SwapScan`.
-    Swap(Option<SwapProposal>),
+    /// `SwapScan`: every actionable candidate (ascending by key), plus
+    /// the locally-refuted ones (still dirty; the coordinator queues
+    /// their clears).
+    Swaps {
+        proposals: Vec<SwapProposal>,
+        refuted: Vec<u32>,
+    },
     /// `DepPeek`.
     Peek { nonempty: bool },
     /// `Ops`: per removed edge (keyed by op index), post-removal info

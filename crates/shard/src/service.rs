@@ -65,6 +65,13 @@ impl ShardedService {
             },
             cfg,
         )?;
+        // Commit and drain exchanges are posted split-phase, so the
+        // cells may still be publishing the bootstrap epoch when the
+        // pump thread comes up. Wait for it here: a fresh reader must
+        // see the bootstrap solution immediately.
+        while logs.iter().any(|l| l.head() == 0) {
+            std::thread::yield_now();
+        }
         let reader = ShardedReader::new(logs.clone());
         Ok((ShardedService { inner, logs }, reader))
     }

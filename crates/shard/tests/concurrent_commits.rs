@@ -1,0 +1,122 @@
+//! Unit suite for the fused round's independence detection: candidates
+//! with disjoint footprints co-commit in one round; candidates whose
+//! footprints touch are deferred and re-judged against the committed
+//! state; the `swap_wave(1)` cap serializes even independent commits.
+//!
+//! Every gadget is settled at bootstrap (via `initial`) so the stats
+//! read back from [`ShardedEngine::swap_round_stats`] describe exactly
+//! the rounds the gadget provoked, and every outcome is pinned against
+//! [`CanonicalMis`] — the independence rule may only change *when* a
+//! swap commits, never what the settled solution is.
+
+use dynamis_core::{DynamicMis, EngineBuilder};
+use dynamis_graph::DynamicGraph;
+use dynamis_shard::{CanonicalMis, ShardedEngine};
+
+/// Two vertex-disjoint stars, both hubs planted in the initial
+/// solution. Both 1-swaps (hub out, two leaves in) have disjoint
+/// footprints, so the fused round must commit them together: one
+/// round, two swaps, nothing deferred.
+#[test]
+fn disjoint_candidates_co_commit_in_one_round() {
+    let g = DynamicGraph::from_edges(6, &[(0, 1), (0, 2), (3, 4), (3, 5)]);
+    let reference: CanonicalMis = EngineBuilder::on(g.clone())
+        .initial(&[0, 3])
+        .build_as()
+        .unwrap();
+    assert_eq!(reference.solution(), vec![1, 2, 4, 5]);
+    for p in [1usize, 2, 4] {
+        let mut e: ShardedEngine = EngineBuilder::on(g.clone())
+            .initial(&[0, 3])
+            .shards(p)
+            .build_as()
+            .unwrap();
+        assert_eq!(e.solution(), reference.solution(), "P = {p}");
+        let s = e.swap_round_stats();
+        assert_eq!(s.rounds, 1, "P = {p}: disjoint swaps must share a round");
+        assert_eq!(s.swaps, 2, "P = {p}");
+        assert_eq!(s.max_wave, 2, "P = {p}");
+        assert_eq!(s.deferred, 0, "P = {p}: no footprint conflict exists");
+        e.check_consistency().unwrap();
+    }
+}
+
+/// Two stars whose enterers are adjacent across the gadgets (edge
+/// `2 – 4`): both 1-swaps are proposed against the pre-round state,
+/// but co-committing them would put the adjacent pair `{2, 4}` into
+/// the solution. The footprint test must defer the higher-keyed
+/// candidate; the re-scan then refutes it against the committed state
+/// (vertex 4 gained solution parent 2), so hub 3 stays in.
+#[test]
+fn adjacent_enterers_defer_and_reresolve() {
+    let g = DynamicGraph::from_edges(6, &[(0, 1), (0, 2), (3, 4), (3, 5), (2, 4)]);
+    let reference: CanonicalMis = EngineBuilder::on(g.clone())
+        .initial(&[0, 3])
+        .build_as()
+        .unwrap();
+    for p in [1usize, 2, 4] {
+        let mut e: ShardedEngine = EngineBuilder::on(g.clone())
+            .initial(&[0, 3])
+            .shards(p)
+            .build_as()
+            .unwrap();
+        assert_eq!(e.solution(), reference.solution(), "P = {p}");
+        let s = e.swap_round_stats();
+        assert!(
+            s.deferred >= 1,
+            "P = {p}: the conflicting candidate must be deferred, got {s:?}"
+        );
+        assert_eq!(s.max_wave, 1, "P = {p}: the swaps must not co-commit");
+        e.check_consistency().unwrap();
+    }
+}
+
+/// A chain of dependence: hub 3's swap is invalid until hub 0's swap
+/// commits (leaf 4 starts at count 2 — parents 0 and 3). The rounds
+/// must serialize — swap at 0 first, then the re-armed swap at 3 —
+/// and both must land.
+#[test]
+fn dependent_candidates_commit_in_successive_rounds() {
+    let g = DynamicGraph::from_edges(6, &[(0, 1), (0, 2), (3, 4), (3, 5), (0, 4)]);
+    let reference: CanonicalMis = EngineBuilder::on(g.clone())
+        .initial(&[0, 3])
+        .build_as()
+        .unwrap();
+    assert_eq!(reference.solution(), vec![1, 2, 4, 5]);
+    for p in [1usize, 2, 4] {
+        let mut e: ShardedEngine = EngineBuilder::on(g.clone())
+            .initial(&[0, 3])
+            .shards(p)
+            .build_as()
+            .unwrap();
+        assert_eq!(e.solution(), reference.solution(), "P = {p}");
+        let s = e.swap_round_stats();
+        assert_eq!(s.rounds, 2, "P = {p}: the swaps must serialize, got {s:?}");
+        assert_eq!(s.swaps, 2, "P = {p}");
+        assert_eq!(s.max_wave, 1, "P = {p}");
+        e.check_consistency().unwrap();
+    }
+}
+
+/// The disjoint gadget again, under `swap_wave(1)`: the cap — not a
+/// conflict — forces one commit per round, so the same two swaps now
+/// cost two rounds and the second candidate shows up as deferred.
+#[test]
+fn wave_cap_serializes_independent_commits() {
+    let g = DynamicGraph::from_edges(6, &[(0, 1), (0, 2), (3, 4), (3, 5)]);
+    for p in [1usize, 2, 4] {
+        let mut e: ShardedEngine = EngineBuilder::on(g.clone())
+            .initial(&[0, 3])
+            .shards(p)
+            .swap_wave(1)
+            .build_as()
+            .unwrap();
+        assert_eq!(e.solution(), vec![1, 2, 4, 5], "P = {p}");
+        let s = e.swap_round_stats();
+        assert_eq!(s.rounds, 2, "P = {p}: wave = 1 must serialize, got {s:?}");
+        assert_eq!(s.swaps, 2, "P = {p}");
+        assert_eq!(s.max_wave, 1, "P = {p}");
+        assert!(s.deferred >= 1, "P = {p}: the cap defers the second swap");
+        e.check_consistency().unwrap();
+    }
+}

@@ -16,8 +16,11 @@ use proptest::prelude::*;
 
 /// The subjects of the equivalence claim for swap depth `k`: the
 /// sequential reference plus the sharded engine at P ∈ {1, 2, 4} under
-/// each partitioner. The partition decides who owns what — never what
-/// the solution is — so one generator pins both strategies.
+/// each partitioner — all on the default fused, pipelined write path —
+/// plus one barriered (`pipeline(false)`) engine: commit pipelining
+/// only overlaps the exchange with coordinator-side work, so it must be
+/// observationally invisible. The partition decides who owns what —
+/// never what the solution is — so one generator pins both strategies.
 fn subjects(g: &DynamicGraph, k: usize) -> Vec<Box<dyn DynamicMis>> {
     let on = |p: usize, part: Partitioner| {
         EngineBuilder::on(g.clone())
@@ -32,6 +35,38 @@ fn subjects(g: &DynamicGraph, k: usize) -> Vec<Box<dyn DynamicMis>> {
     )];
     for part in [Partitioner::DegreeGreedy, Partitioner::Locality] {
         for p in [1usize, 2, 4] {
+            v.push(Box::new(on(p, part).build_as::<ShardedEngine>().unwrap()));
+        }
+    }
+    v.push(Box::new(
+        on(3, Partitioner::DegreeGreedy)
+            .pipeline(false)
+            .build_as::<ShardedEngine>()
+            .unwrap(),
+    ));
+    v
+}
+
+/// Subjects for the serialized-commit variant: `swap_wave(1)` caps every
+/// round at one commit, which changes *which* canonical function runs —
+/// so wave-1 engines are compared among themselves (every shard count
+/// and the sequential reference must still agree), never against the
+/// fused default.
+fn wave1_subjects(g: &DynamicGraph, k: usize) -> Vec<Box<dyn DynamicMis>> {
+    let on = |p: usize, part: Partitioner| {
+        EngineBuilder::on(g.clone())
+            .k(k)
+            .shards(p)
+            .partitioner(part)
+            .swap_wave(1)
+    };
+    let mut v: Vec<Box<dyn DynamicMis>> = vec![Box::new(
+        on(1, Partitioner::DegreeGreedy)
+            .build_as::<CanonicalMis>()
+            .unwrap(),
+    )];
+    for part in [Partitioner::DegreeGreedy, Partitioner::Locality] {
+        for p in [2usize, 4] {
             v.push(Box::new(on(p, part).build_as::<ShardedEngine>().unwrap()));
         }
     }
@@ -74,6 +109,43 @@ proptest! {
         steps in 5usize..90,
     ) {
         run_equivalence(seed, n, steps, 2)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The serialized-commit family: with `swap_wave(1)` every engine —
+    /// sequential reference included — commits at most one swap per
+    /// round, and the whole family must still agree per update. This
+    /// pins the wave cap as a *shared* canonical-function parameter:
+    /// capping commits changes the answer deterministically, never
+    /// per shard count.
+    #[test]
+    fn wave1_family_matches_sequential(
+        seed in 0u64..10_000,
+        n in 6usize..28,
+        steps in 5usize..70,
+    ) {
+        let m = (n * (n - 1) / 4).min(3 * n);
+        let g = gnm(n, m, seed);
+        let ups =
+            UpdateStream::new(&g, StreamConfig::default(), seed ^ 0x3a7e).take_updates(steps);
+        let mut engines = wave1_subjects(&g, 2);
+        assert_all_equal(&engines, "at bootstrap (wave = 1)");
+        for (i, u) in ups.iter().enumerate() {
+            for e in engines.iter_mut() {
+                e.try_apply(u)
+                    .map_err(|err| TestCaseError::fail(format!("{}: {u:?}: {err}", e.name())))?;
+            }
+            let sol = assert_all_equal(&engines, &format!("after update {i} ({u:?}, wave = 1)"));
+            let graph = engines[0].graph();
+            prop_assert!(
+                is_independent_dynamic(graph, &sol),
+                "not independent after {u:?}"
+            );
+            prop_assert!(is_maximal_dynamic(graph, &sol), "not maximal after {u:?}");
+        }
     }
 }
 

@@ -1,11 +1,52 @@
-//! Ignored diagnostic: coordination-cost profile of the sharded engine
-//! on the bench workload shape (run with `--ignored --nocapture`).
+//! Coordination-cost profile: a tracked regression pinning the fused
+//! protocol's exchanges-per-update on a planted-community workload —
+//! the locality-partitioned regime the sharded write path is built for
+//! — plus the original chung-lu diagnostic (ignored; run with
+//! `--ignored --nocapture`).
 
-use dynamis_core::{DynamicMis, EngineBuilder};
+use dynamis_core::{DynamicMis, EngineBuilder, Partitioner};
 use dynamis_gen::powerlaw::chung_lu;
+use dynamis_gen::structured::planted_communities;
 use dynamis_gen::{StreamConfig, UpdateStream};
 use dynamis_shard::ShardedEngine;
 use std::time::Instant;
+
+/// Regression ceiling for the fused write path: a locality-partitioned
+/// planted-community workload must stay under a fixed exchanges-per-
+/// update budget at P ∈ {2, 4}. The round-fused resolution lands at
+/// ~0.37 exchanges/update here (the ceiling leaves slack for
+/// stream-shape drift); resolving candidates one exchange at a time
+/// measures ≥1.2 and the pre-fused one-commit-per-exchange protocol
+/// ≥4, so either regression trips this.
+#[test]
+fn fused_exchange_ceiling_on_planted_communities() {
+    let base = planted_communities(20, 100, 8, 170, 7);
+    let ups = UpdateStream::new(&base, StreamConfig::default(), 7 ^ 0xfeed).take_updates(2_000);
+    for (p, ceiling) in [(2usize, 1.0f64), (4, 1.0)] {
+        let mut e: ShardedEngine = EngineBuilder::on(base.clone())
+            .k(2)
+            .shards(p)
+            .partitioner(Partitioner::Locality)
+            .build_as()
+            .unwrap();
+        let (x0, _) = e.coordination_stats();
+        for chunk in ups.chunks(250) {
+            e.try_apply_batch(chunk).unwrap();
+        }
+        let (x1, _) = e.coordination_stats();
+        let per_update = (x1 - x0) as f64 / ups.len() as f64;
+        println!(
+            "planted locality P={p}: {per_update:.2} exchanges/update, \
+             {:?} swap rounds",
+            e.swap_round_stats()
+        );
+        assert!(
+            per_update < ceiling,
+            "P={p}: {per_update:.2} exchanges/update breaches the {ceiling} ceiling — \
+             the fused write path regressed"
+        );
+    }
+}
 
 #[test]
 #[ignore = "diagnostic, prints coordination stats"]
