@@ -50,6 +50,29 @@ pub enum EngineError {
     },
 }
 
+impl EngineError {
+    /// Stable numeric code of this rejection class, used as the wire
+    /// tag by the network codec (`dynamis-serve`'s `wire` module) and
+    /// safe to log or aggregate on. Codes identify the *variant*, never
+    /// the payload (a [`EngineError::Graph`] rejection additionally
+    /// carries [`dynamis_graph::GraphError::code`]), and are
+    /// append-only across versions: a code is never reused for a
+    /// different meaning.
+    pub fn code(&self) -> u16 {
+        match self {
+            EngineError::Graph(_) => 1,
+            EngineError::DuplicateEdge(..) => 2,
+            EngineError::MissingEdge(..) => 3,
+            EngineError::MissingGraph => 4,
+            EngineError::NotIndependent(..) => 5,
+            EngineError::DeadInitial(_) => 6,
+            EngineError::BadK(_) => 7,
+            EngineError::BadParameter(_) => 8,
+            EngineError::Batch { .. } => 9,
+        }
+    }
+}
+
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

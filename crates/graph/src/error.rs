@@ -43,6 +43,23 @@ impl fmt::Display for GraphError {
     }
 }
 
+impl GraphError {
+    /// Stable numeric code of this error class, used as the wire tag by
+    /// the network codec (`dynamis-serve`'s `wire` module) and safe to
+    /// log or aggregate on. Codes identify the *variant*, never the
+    /// payload, and are append-only across versions: a code is never
+    /// reused for a different meaning.
+    pub fn code(&self) -> u16 {
+        match self {
+            GraphError::VertexNotFound(_) => 1,
+            GraphError::SelfLoop(_) => 2,
+            GraphError::IdMismatch { .. } => 3,
+            GraphError::Parse { .. } => 4,
+            GraphError::Io(_) => 5,
+        }
+    }
+}
+
 impl std::error::Error for GraphError {}
 
 impl From<std::io::Error> for GraphError {

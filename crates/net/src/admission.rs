@@ -1,0 +1,115 @@
+//! Admission control: extends the serve layer's backpressure to
+//! network clients with hysteresis, so a saturated ingest queue sheds
+//! requests with a typed `Busy` reply instead of stalling the writer
+//! (or the session thread) behind the blocking gate.
+//!
+//! The state machine mirrors the queue gate's batched-release shape:
+//! shedding starts when the observed queue depth reaches `high` (or the
+//! non-blocking submit path reports the queue full — the ground truth),
+//! and stops only once the depth has drained to `low`. The wide gap
+//! keeps the service from flapping between accept and shed at the
+//! boundary, exactly like the writer's whole-round releases keep
+//! feeders from waking once per slot.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Hysteretic shed/accept gate shared by every session thread.
+#[derive(Debug)]
+pub struct Admission {
+    shedding: AtomicBool,
+    shed_count: AtomicU64,
+    high: u64,
+    low: u64,
+}
+
+impl Admission {
+    /// A gate that starts shedding at queue depth `high` and re-admits
+    /// at `low` (clamped to `< high`).
+    pub fn new(high: u64, low: u64) -> Self {
+        let high = high.max(1);
+        Admission {
+            shedding: AtomicBool::new(false),
+            shed_count: AtomicU64::new(0),
+            high,
+            low: low.min(high - 1),
+        }
+    }
+
+    /// Decides one update request given the current ingest-queue depth.
+    /// Returns `true` to admit; `false` means reply `Busy` (and the
+    /// shed is already counted).
+    pub fn admit(&self, queue_depth: u64) -> bool {
+        if self.shedding.load(Ordering::Relaxed) {
+            if queue_depth <= self.low {
+                self.shedding.store(false, Ordering::Relaxed);
+            } else {
+                self.shed_count.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+        } else if queue_depth >= self.high {
+            self.shedding.store(true, Ordering::Relaxed);
+            self.shed_count.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    /// Records that a non-blocking submit hit a full queue *after*
+    /// admission — the ground truth overriding the sampled depth. Flips
+    /// the gate into shedding so subsequent requests are refused at the
+    /// door until the queue drains to `low`.
+    pub fn on_queue_full(&self) {
+        self.shedding.store(true, Ordering::Relaxed);
+        self.shed_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a shed that bypassed [`Admission::admit`] (e.g. a whole
+    /// session refused at the accept door).
+    pub fn count_shed(&self) {
+        self.shed_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Whether the gate is currently shedding.
+    pub fn is_shedding(&self) -> bool {
+        self.shedding.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed so far (monotone).
+    pub fn shed_count(&self) -> u64 {
+        self.shed_count.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hysteresis_does_not_flap_at_the_boundary() {
+        let a = Admission::new(100, 25);
+        assert!(a.admit(0));
+        assert!(a.admit(99), "below high: admit");
+        assert!(!a.admit(100), "at high: shed starts");
+        assert!(a.is_shedding());
+        // Depth dips just below high — still shedding (hysteresis).
+        assert!(!a.admit(99));
+        assert!(!a.admit(26));
+        // Only at low does the gate reopen.
+        assert!(a.admit(25));
+        assert!(!a.is_shedding());
+        assert_eq!(a.shed_count(), 3);
+    }
+
+    #[test]
+    fn queue_full_is_ground_truth() {
+        let a = Admission::new(1000, 10);
+        assert!(a.admit(5));
+        a.on_queue_full();
+        assert!(a.is_shedding());
+        assert!(
+            !a.admit(500),
+            "sampled depth below high, but queue said full"
+        );
+        assert!(a.admit(10));
+    }
+}

@@ -1,0 +1,178 @@
+//! Length-prefixed framing: every protocol message travels as one
+//! frame — a little-endian `u32` byte count followed by that many
+//! payload bytes. Framing is below the codec: a frame's payload is one
+//! encoded [`crate::proto::Request`] or [`crate::proto::Response`].
+//!
+//! Two readers are provided: the blocking [`read_frame`] for
+//! thread-per-connection sessions, and the incremental [`FrameBuffer`]
+//! for poll-loop consumers (the load generator sweeps tens of
+//! thousands of non-blocking subscriber sockets through one of these
+//! per socket).
+
+use crate::error::NetError;
+use dynamis_serve::wire::WireError;
+use std::io::{self, Read, Write};
+
+/// Hard cap on one frame's payload. Far above any legal message (a
+/// checkpoint of ~4M vertices); a bigger length prefix is corrupt by
+/// definition and is rejected before any allocation.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Writes one frame: length prefix plus payload, no flush.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one frame into `buf` (cleared and reused — no steady-state
+/// allocation). Returns `Ok(false)` on a clean end-of-stream *at a
+/// frame boundary*; end-of-stream mid-frame is a truncation error, not
+/// a clean close.
+pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> Result<bool, NetError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Ok(false);
+                }
+                return Err(NetError::Wire(WireError::Truncated("frame length")));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(NetError::Wire(WireError::TooLong {
+            what: "frame",
+            len: len as u64,
+        }));
+    }
+    buf.clear();
+    buf.resize(len, 0);
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Err(NetError::Wire(WireError::Truncated("frame payload"))),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Incremental frame reassembly for non-blocking sockets: feed it
+/// whatever bytes arrived, pop complete frames as they form. Partial
+/// prefixes and partial payloads are carried across feeds.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted once it outgrows the live
+    /// region, so the buffer never creeps).
+    pos: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        FrameBuffer::default()
+    }
+
+    /// Appends newly received bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.pos > 0 && self.pos >= self.buf.len().saturating_sub(self.pos) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame's payload, if one has fully
+    /// arrived. `Ok(None)` means "feed me more bytes"; an oversized
+    /// length prefix is a typed error (the connection is corrupt).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+        let live = &self.buf[self.pos..];
+        if live.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(live[..4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME {
+            return Err(NetError::Wire(WireError::TooLong {
+                what: "frame",
+                len: len as u64,
+            }));
+        }
+        if live.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = live[4..4 + len].to_vec();
+        self.pos += 4 + len;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        }
+        Ok(Some(payload))
+    }
+
+    /// Bytes buffered but not yet popped as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_buffer_reassembles_across_arbitrary_splits() {
+        let mut wire = Vec::new();
+        for payload in [&b"alpha"[..], &b""[..], &b"bb"[..]] {
+            write_frame(&mut wire, payload).unwrap();
+        }
+        // Feed one byte at a time: three frames must pop, in order.
+        let mut fb = FrameBuffer::new();
+        let mut out = Vec::new();
+        for &b in &wire {
+            fb.extend(&[b]);
+            while let Some(p) = fb.next_frame().unwrap() {
+                out.push(p);
+            }
+        }
+        assert_eq!(out, vec![b"alpha".to_vec(), b"".to_vec(), b"bb".to_vec()]);
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_without_allocating() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            fb.next_frame(),
+            Err(NetError::Wire(WireError::TooLong { .. }))
+        ));
+    }
+
+    #[test]
+    fn blocking_reader_distinguishes_clean_close_from_truncation() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"xyz").unwrap();
+        let mut buf = Vec::new();
+        // Complete frame then clean EOF.
+        let mut cur = io::Cursor::new(wire.clone());
+        assert!(read_frame(&mut cur, &mut buf).unwrap());
+        assert_eq!(buf, b"xyz");
+        assert!(!read_frame(&mut cur, &mut buf).unwrap());
+        // Truncated mid-payload: typed error.
+        let mut cur = io::Cursor::new(wire[..5].to_vec());
+        assert!(matches!(
+            read_frame(&mut cur, &mut buf),
+            Err(NetError::Wire(WireError::Truncated(_)))
+        ));
+    }
+}

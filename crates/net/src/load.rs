@@ -1,0 +1,463 @@
+//! The load generator: simulates many concurrent client connections
+//! (readers ≫ writers) against one server and reports latency
+//! percentiles, ingest throughput, and delta-stream integrity.
+//!
+//! Subscribers dominate, so they are cheap: each pool thread owns up
+//! to a few thousand non-blocking subscription sockets and sweeps them
+//! with [`Subscription::poll_events`], tracking only sequence-number
+//! integrity per socket (exactly-once, in-order, nothing lost). A
+//! handful of *verifier* subscribers additionally maintain a full
+//! [`RemoteMirror`] so the stream's content — not just its numbering —
+//! is checked against the server's snapshot at the end. Writers are
+//! full request/response clients measuring per-call round-trip times.
+
+use crate::client::{NetClient, RemoteMirror, SubEvent, Subscription};
+use crate::error::NetError;
+use dynamis_graph::Update;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Subscriber sockets per pool thread.
+const POOL_SIZE: usize = 2500;
+/// Subscribers that maintain a full verifying mirror.
+const VERIFIERS: usize = 4;
+
+/// Parameters of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address, e.g. `"127.0.0.1:4820"`.
+    pub addr: String,
+    /// Concurrent subscription connections.
+    pub subscribers: usize,
+    /// Concurrent writer connections.
+    pub writers: usize,
+    /// Total updates across all writers.
+    pub updates: usize,
+    /// Vertex-id range updates draw from (must match the served graph).
+    pub vertices: u32,
+    /// Updates per `ApplyBatch` request (1 = single-update `Apply`).
+    pub batch: usize,
+    /// Deterministic stream seed.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:4820".into(),
+            subscribers: 1000,
+            writers: 2,
+            updates: 10_000,
+            vertices: 10_000,
+            batch: 16,
+            seed: 42,
+        }
+    }
+}
+
+/// What one load run measured.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Subscription connections that reached the server.
+    pub subscribers: usize,
+    /// Writer connections.
+    pub writers: usize,
+    /// Updates sent (applied + rejected, excluding busy retries).
+    pub updates: u64,
+    /// Updates the engine applied.
+    pub applied: u64,
+    /// Updates the engine rejected (typed verdicts — expected under a
+    /// random stream; rejections are correct answers, not errors).
+    pub rejected: u64,
+    /// Requests shed with `Busy` (each was retried until accepted).
+    pub busy_retries: u64,
+    /// Wall-clock seconds of the write phase.
+    pub elapsed_s: f64,
+    /// Updates per second through the write phase.
+    pub throughput: f64,
+    /// Median request round-trip, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile round-trip.
+    pub p95_us: u64,
+    /// 99th-percentile round-trip.
+    pub p99_us: u64,
+    /// Worst observed round-trip.
+    pub max_us: u64,
+    /// Delta events delivered across every subscriber.
+    pub sub_events: u64,
+    /// Checkpoint fallbacks delivered.
+    pub sub_checkpoints: u64,
+    /// Sequence-number gaps observed (must be 0).
+    pub gaps: u64,
+    /// Deltas subscribers never received before the drain deadline
+    /// (must be 0).
+    pub lost_deltas: u64,
+    /// Subscriber reconnect-and-resume cycles (dropped by the server
+    /// under pressure, resumed from the last applied seq).
+    pub reconnects: u64,
+    /// Verifying mirrors whose final solution matched the server's
+    /// snapshot exactly.
+    pub verified_mirrors: usize,
+    /// Verifying-mirror apply failures (gaps, contradictions; must be 0).
+    pub mirror_errors: u64,
+    /// Final broadcast-log head.
+    pub final_head: u64,
+}
+
+impl LoadReport {
+    /// Flat JSON object (handwritten — no serialization dependency).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"subscribers\": {}, \"writers\": {}, \"updates\": {}, ",
+                "\"applied\": {}, \"rejected\": {}, \"busy_retries\": {}, ",
+                "\"elapsed_s\": {:.3}, \"throughput_upd_s\": {:.0}, ",
+                "\"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}, ",
+                "\"sub_events\": {}, \"sub_checkpoints\": {}, \"gaps\": {}, ",
+                "\"lost_deltas\": {}, \"reconnects\": {}, ",
+                "\"verified_mirrors\": {}, \"mirror_errors\": {}, \"final_head\": {}}}"
+            ),
+            self.subscribers,
+            self.writers,
+            self.updates,
+            self.applied,
+            self.rejected,
+            self.busy_retries,
+            self.elapsed_s,
+            self.throughput,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.max_us,
+            self.sub_events,
+            self.sub_checkpoints,
+            self.gaps,
+            self.lost_deltas,
+            self.reconnects,
+            self.verified_mirrors,
+            self.mirror_errors,
+            self.final_head
+        )
+    }
+}
+
+struct SubState {
+    sub: Subscription,
+    global_idx: usize,
+    last_seq: u64,
+    events: u64,
+    checkpoints: u64,
+    gaps: u64,
+    closed: bool,
+    verifier: Option<RemoteMirror>,
+    verifier_errors: u64,
+}
+
+#[derive(Default)]
+struct PoolSummary {
+    events: u64,
+    checkpoints: u64,
+    gaps: u64,
+    lost: u64,
+    reconnects: u64,
+    mirror_errors: u64,
+    verifier_solutions: Vec<(u64, Vec<u32>)>,
+}
+
+struct WriterSummary {
+    applied: u64,
+    rejected: u64,
+    busy: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// Runs one load scenario against a listening server. Blocks until
+/// writers finished, the ingest queue drained, and every subscriber
+/// either caught up to the final head or hit the drain deadline.
+pub fn run(cfg: &LoadConfig) -> Result<LoadReport, NetError> {
+    let final_head = Arc::new(AtomicU64::new(0));
+
+    // --- subscriber pools -------------------------------------------------
+    let mut pool_joins = Vec::new();
+    let mut global = 0usize;
+    while global < cfg.subscribers {
+        let count = POOL_SIZE.min(cfg.subscribers - global);
+        let addr = cfg.addr.clone();
+        let head = Arc::clone(&final_head);
+        let start_idx = global;
+        global += count;
+        pool_joins.push(
+            thread::Builder::new()
+                .name("net-load-subs".into())
+                .spawn(move || pool_thread(&addr, start_idx, count, &head))
+                .expect("failed to spawn subscriber pool thread"),
+        );
+    }
+
+    // --- writers ----------------------------------------------------------
+    let per_writer = cfg.updates / cfg.writers.max(1);
+    let started = Instant::now();
+    let mut writer_joins = Vec::new();
+    for w in 0..cfg.writers {
+        let addr = cfg.addr.clone();
+        let n = if w == 0 {
+            cfg.updates - per_writer * (cfg.writers - 1)
+        } else {
+            per_writer
+        };
+        let (vertices, batch, seed) = (cfg.vertices, cfg.batch.max(1), cfg.seed + w as u64);
+        writer_joins.push(
+            thread::Builder::new()
+                .name("net-load-writer".into())
+                .spawn(move || writer_thread(&addr, n, vertices, batch, seed))
+                .expect("failed to spawn writer thread"),
+        );
+    }
+
+    let mut report = LoadReport {
+        subscribers: cfg.subscribers,
+        writers: cfg.writers,
+        updates: cfg.updates as u64,
+        ..LoadReport::default()
+    };
+    let mut latencies = Vec::new();
+    for j in writer_joins {
+        let w = j.join().expect("writer thread panicked")?;
+        report.applied += w.applied;
+        report.rejected += w.rejected;
+        report.busy_retries += w.busy;
+        latencies.extend(w.latencies_us);
+    }
+    report.elapsed_s = started.elapsed().as_secs_f64();
+    report.throughput = (report.applied + report.rejected) as f64 / report.elapsed_s.max(1e-9);
+    latencies.sort_unstable();
+    report.p50_us = percentile(&latencies, 0.50);
+    report.p95_us = percentile(&latencies, 0.95);
+    report.p99_us = percentile(&latencies, 0.99);
+    report.max_us = latencies.last().copied().unwrap_or(0);
+
+    // --- drain: wait for the queue to empty, then release the pools ------
+    let mut probe = NetClient::connect(&cfg.addr)?;
+    let drain_deadline = Instant::now() + Duration::from_secs(60);
+    let head = loop {
+        let s = probe.stats()?;
+        if s.queue_depth == 0 {
+            break s.head_seq;
+        }
+        if Instant::now() > drain_deadline {
+            break s.head_seq;
+        }
+        thread::sleep(Duration::from_millis(2));
+    };
+    report.final_head = head;
+    final_head.store(head.max(1), Ordering::SeqCst);
+
+    for j in pool_joins {
+        let p = j.join().expect("subscriber pool thread panicked")?;
+        report.sub_events += p.events;
+        report.sub_checkpoints += p.checkpoints;
+        report.gaps += p.gaps;
+        report.lost_deltas += p.lost;
+        report.reconnects += p.reconnects;
+        report.mirror_errors += p.mirror_errors;
+        for (seq, solution) in p.verifier_solutions {
+            if seq == head {
+                let (snap_seq, snap) = probe.snapshot()?;
+                if snap_seq == seq && snap == solution {
+                    report.verified_mirrors += 1;
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn pool_thread(
+    addr: &str,
+    start_idx: usize,
+    count: usize,
+    final_head: &AtomicU64,
+) -> Result<PoolSummary, NetError> {
+    let mut subs = Vec::with_capacity(count);
+    for i in 0..count {
+        let global_idx = start_idx + i;
+        let sub = connect_sub(addr, 0)?;
+        sub.set_nonblocking(true)?;
+        subs.push(SubState {
+            sub,
+            global_idx,
+            last_seq: 0,
+            events: 0,
+            checkpoints: 0,
+            gaps: 0,
+            closed: false,
+            verifier: (global_idx < VERIFIERS).then(RemoteMirror::new),
+            verifier_errors: 0,
+        });
+    }
+    let mut summary = PoolSummary::default();
+    let mut drain_deadline: Option<Instant> = None;
+    loop {
+        let target = final_head.load(Ordering::SeqCst);
+        let mut any_progress = false;
+        let mut all_done = target != 0;
+        for st in subs.iter_mut() {
+            if st.closed {
+                // Reconnect and resume from the last applied sequence —
+                // the production recovery path for a shed subscriber.
+                match connect_sub(addr, st.last_seq) {
+                    Ok(sub) => {
+                        let _ = sub.set_nonblocking(true);
+                        st.sub = sub;
+                        st.closed = false;
+                        summary.reconnects += 1;
+                    }
+                    Err(_) => {
+                        all_done = false;
+                        continue;
+                    }
+                }
+            }
+            let before = st.events;
+            let res = st.sub.poll_events(|ev| {
+                st.events += 1;
+                match &ev {
+                    SubEvent::Delta { seq, .. } => {
+                        if *seq != st.last_seq + 1 {
+                            st.gaps += 1;
+                        }
+                        st.last_seq = *seq;
+                    }
+                    SubEvent::Checkpoint { seq, .. } => {
+                        st.checkpoints += 1;
+                        st.last_seq = *seq;
+                    }
+                }
+                if let Some(m) = st.verifier.as_mut() {
+                    if m.apply_event(&ev).is_err() {
+                        st.verifier_errors += 1;
+                    }
+                }
+            });
+            match res {
+                Ok(true) => {}
+                Ok(false) | Err(_) => st.closed = true,
+            }
+            any_progress |= st.events != before;
+            if st.last_seq < target || st.closed {
+                all_done = false;
+            }
+        }
+        if target != 0 {
+            let dl =
+                *drain_deadline.get_or_insert_with(|| Instant::now() + Duration::from_secs(60));
+            if all_done || Instant::now() > dl {
+                break;
+            }
+        }
+        if !any_progress {
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+    let target = final_head.load(Ordering::SeqCst);
+    for st in subs {
+        summary.events += st.events;
+        summary.checkpoints += st.checkpoints;
+        summary.gaps += st.gaps;
+        summary.lost += target.saturating_sub(st.last_seq);
+        summary.mirror_errors += st.verifier_errors;
+        if let Some(m) = st.verifier {
+            let _ = st.global_idx;
+            summary.verifier_solutions.push((m.seq(), m.solution()));
+        }
+    }
+    Ok(summary)
+}
+
+fn connect_sub(addr: &str, after_seq: u64) -> Result<Subscription, NetError> {
+    // The session cap (or a full accept backlog during a 10k-connection
+    // ramp) answers Busy: back off briefly and retry a few times.
+    let mut tries = 0;
+    loop {
+        match NetClient::connect(addr).and_then(|c| c.subscribe(after_seq)) {
+            Ok(sub) => return Ok(sub),
+            Err(e) => {
+                tries += 1;
+                if tries > 50 {
+                    return Err(e);
+                }
+                thread::sleep(Duration::from_millis(2 * tries));
+            }
+        }
+    }
+}
+
+fn writer_thread(
+    addr: &str,
+    n: usize,
+    vertices: u32,
+    batch: usize,
+    seed: u64,
+) -> Result<WriterSummary, NetError> {
+    let mut client = NetClient::connect(addr)?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = WriterSummary {
+        applied: 0,
+        rejected: 0,
+        busy: 0,
+        latencies_us: Vec::with_capacity(n / batch + 1),
+    };
+    let mut sent = 0usize;
+    while sent < n {
+        let take = batch.min(n - sent);
+        let updates: Vec<Update> = (0..take)
+            .map(|_| {
+                let a = rng.gen_range(0..vertices);
+                let mut b = rng.gen_range(0..vertices - 1);
+                if b >= a {
+                    b += 1;
+                }
+                if rng.gen_range(0..2u32) == 0 {
+                    Update::InsertEdge(a, b)
+                } else {
+                    Update::RemoveEdge(a, b)
+                }
+            })
+            .collect();
+        sent += take;
+        // Retry the same batch through Busy sheds: admission control
+        // parks the client, never the writer thread inside the server.
+        loop {
+            let t = Instant::now();
+            match client.apply_batch(updates.clone()) {
+                Ok(verdicts) => {
+                    out.latencies_us.push(t.elapsed().as_micros() as u64);
+                    for v in verdicts {
+                        match v {
+                            Ok(_) => out.applied += 1,
+                            Err(_) => out.rejected += 1,
+                        }
+                    }
+                    break;
+                }
+                Err(NetError::Busy { .. }) => {
+                    out.busy += 1;
+                    thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}

@@ -1,0 +1,679 @@
+//! The server: a TCP acceptor, thread-per-connection sessions, and one
+//! fan-out hub thread that owns every subscription socket.
+//!
+//! ```text
+//!            accept            Hello / requests
+//!  clients ─────────► acceptor ───► session threads ──► IngestHandle / ReaderHandle
+//!                                        │ Subscribe
+//!                                        ▼ (socket handoff)
+//!                                   hub thread ──► SharedLog::tail_after
+//!                                        │  encode once, write to every
+//!                                        ▼  caught-up subscriber
+//!                                  subscription sockets (10k+)
+//! ```
+//!
+//! Sessions are cheap threads because they are short-lived or mostly
+//! parked in a read: queries answer from a forked [`ReaderHandle`]
+//! (one atomic load when caught up), updates go through the non-
+//! blocking ingest path behind the [`Admission`] gate. A `Subscribe`
+//! converts the connection: the session replies, hands the socket to
+//! the hub, and exits — so ten thousand subscribers cost ten thousand
+//! sockets owned by *one* thread, not ten thousand threads.
+//!
+//! The hub encodes each new log entry once per round into a shared
+//! byte blob and writes that blob to every caught-up subscriber;
+//! stragglers (new joins, resumed sessions, post-checkpoint rebuilds)
+//! take a per-subscriber [`SharedLog::tail_after`] path until they
+//! reach the hub's position. A subscriber that cannot absorb writes
+//! within the write timeout is dropped — it reconnects and resumes
+//! from its last applied sequence number, losing nothing.
+
+use crate::admission::Admission;
+use crate::frame::{read_frame, write_frame, FrameBuffer};
+use crate::proto::{
+    decode_request, encode_response, Request, Response, ERR_MALFORMED, ERR_ORDER, ERR_SHUTDOWN,
+    ERR_VERSION, PROTO_VERSION,
+};
+use dynamis_serve::{
+    IngestHandle, LogTail, ReaderHandle, ServeError, ServiceHandle, ServiceStats, SharedLog,
+};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`NetServer::bind`].
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Maximum concurrently live sessions; connections beyond the cap
+    /// are refused at the door with a `Busy` reply (counted as shed).
+    pub max_sessions: usize,
+    /// Ingest-queue depth at which admission control starts shedding
+    /// update requests (see [`Admission`]).
+    pub shed_high: u64,
+    /// Queue depth at which shedding stops.
+    pub shed_low: u64,
+    /// Maximum log entries a straggling subscriber is advanced per hub
+    /// round (caught-up subscribers ride the shared blob instead).
+    pub sub_batch: usize,
+    /// Hub idle poll and session read-timeout granularity.
+    pub poll: Duration,
+    /// Per-subscriber write timeout; a subscriber that cannot absorb a
+    /// round's deltas within it is dropped (it reconnects and resumes).
+    pub write_timeout: Duration,
+    /// How long shutdown keeps flushing subscribers toward the final
+    /// log head before giving up on the stragglers.
+    pub flush_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_sessions: 65536,
+            // Defaults track ServeConfig::default's 1024-update queue.
+            shed_high: 768,
+            shed_low: 256,
+            sub_batch: 256,
+            poll: Duration::from_millis(1),
+            write_timeout: Duration::from_secs(2),
+            flush_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What the server fronts: the ingest path, the broadcast log, and a
+/// reader prototype — the same three capabilities an in-process caller
+/// holds. Build one with [`NetBackend::single`] for a [`MisService`],
+/// or assemble the parts yourself for a sharded service (its merged
+/// log and ingest pump have identical shapes).
+///
+/// [`MisService`]: dynamis_serve::MisService
+pub struct NetBackend {
+    /// Submit-only handle every session shares.
+    pub ingest: IngestHandle,
+    /// The sequenced broadcast log subscriptions stream from.
+    pub log: Arc<SharedLog>,
+    /// Reader prototype; sessions fork a private one on first query.
+    pub reader: ReaderHandle,
+}
+
+impl NetBackend {
+    /// Fronts a single-writer service.
+    pub fn single(service: &ServiceHandle) -> NetBackend {
+        NetBackend {
+            ingest: service.ingest(),
+            log: service.log(),
+            reader: service.reader(),
+        }
+    }
+}
+
+/// Net-layer counters, overlaid onto [`ServiceStats`] snapshots.
+#[derive(Debug, Default)]
+struct NetCounters {
+    connections: AtomicU64,
+    sessions: AtomicI64,
+    subscriptions: AtomicI64,
+}
+
+struct Shared {
+    ingest: IngestHandle,
+    log: Arc<SharedLog>,
+    reader: Mutex<ReaderHandle>,
+    admission: Admission,
+    counters: NetCounters,
+    cfg: NetConfig,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    /// Service stats with the net layer's counters filled in.
+    fn stats(&self) -> ServiceStats {
+        let mut s = self.ingest.stats();
+        s.connections = self.counters.connections.load(Ordering::Relaxed);
+        s.sessions = self.counters.sessions.load(Ordering::Relaxed).max(0) as u64;
+        s.subscriptions = self.counters.subscriptions.load(Ordering::Relaxed).max(0) as u64;
+        s.shed = self.admission.shed_count();
+        s
+    }
+}
+
+/// A subscription socket owned by the hub, positioned at `seq`.
+struct Sub {
+    stream: TcpStream,
+    seq: u64,
+}
+
+/// Entry point: binds a listener and spawns the acceptor + hub.
+pub struct NetServer;
+
+impl NetServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `backend`. Returns immediately; use
+    /// [`NetServerHandle::local_addr`] to learn the bound port and
+    /// [`NetServerHandle::shutdown`] to stop.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        backend: NetBackend,
+        cfg: NetConfig,
+    ) -> io::Result<NetServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            ingest: backend.ingest,
+            log: backend.log,
+            reader: Mutex::new(backend.reader),
+            admission: Admission::new(cfg.shed_high, cfg.shed_low),
+            counters: NetCounters::default(),
+            cfg,
+            stop: AtomicBool::new(false),
+        });
+        let (sub_tx, sub_rx) = mpsc::channel::<Sub>();
+        let hub_shared = Arc::clone(&shared);
+        let hub = thread::Builder::new()
+            .name("dynamis-net-hub".into())
+            .spawn(move || hub_loop(&hub_shared, sub_rx))
+            .expect("failed to spawn net hub thread");
+        let acc_shared = Arc::clone(&shared);
+        let acceptor = thread::Builder::new()
+            .name("dynamis-net-accept".into())
+            .spawn(move || accept_loop(listener, &acc_shared, sub_tx))
+            .expect("failed to spawn net acceptor thread");
+        Ok(NetServerHandle {
+            local_addr,
+            shared,
+            acceptor,
+            hub,
+        })
+    }
+}
+
+/// The running server. Dropping it without [`NetServerHandle::shutdown`]
+/// leaks the serving threads (they keep serving until the process
+/// exits) — always shut down explicitly.
+pub struct NetServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    hub: JoinHandle<()>,
+}
+
+impl NetServerHandle {
+    /// The bound address (real port even when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Service stats with the net layer's counters filled in — the
+    /// same snapshot a remote `Stats` request receives.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.stats()
+    }
+
+    /// Stops accepting, drains every session, flushes subscribers to
+    /// the current log head (bounded by the flush timeout), and joins
+    /// all serving threads. The backing service is untouched — shut it
+    /// down separately, *after* this returns (its `shutdown` blocks
+    /// until every ingest clone dies, and sessions hold clones until
+    /// they are joined here).
+    pub fn shutdown(self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = self.acceptor.join();
+        let _ = self.hub.join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>, sub_tx: mpsc::Sender<Sub>) {
+    let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+        sessions.retain(|j| !j.is_finished());
+        if sessions.len() >= shared.cfg.max_sessions {
+            // Admission control at the door: refuse the whole session
+            // with a typed Busy so the client backs off and retries.
+            shared.admission.count_shed();
+            refuse_busy(stream, shared.ingest.queue_depth());
+            continue;
+        }
+        let s = Arc::clone(shared);
+        let tx = sub_tx.clone();
+        match thread::Builder::new()
+            .name("dynamis-net-session".into())
+            .spawn(move || session_loop(stream, &s, tx))
+        {
+            Ok(j) => sessions.push(j),
+            // The stream died with the unspawned closure; all we can
+            // do is count the shed (the client sees a reset).
+            Err(_) => shared.admission.count_shed(),
+        }
+    }
+    drop(sub_tx);
+    for j in sessions {
+        let _ = j.join();
+    }
+}
+
+fn refuse_busy(mut stream: TcpStream, queue_depth: u64) {
+    // Consume the client's Hello before replying: closing with the
+    // Hello still unread would turn the refusal into a connection
+    // reset, discarding the queued Busy frame before the client reads
+    // it. The read is bounded so a silent client can't pin the
+    // acceptor.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut hello = Vec::new();
+    let _ = read_frame(&mut stream, &mut hello);
+    let mut payload = Vec::new();
+    encode_response(&Response::Busy { queue_depth }, &mut payload);
+    let _ = write_frame(&mut stream, &payload);
+}
+
+/// Sends one response as a single write (prefix + payload coalesced).
+fn send(stream: &mut TcpStream, resp: &Response, payload: &mut Vec<u8>, out: &mut Vec<u8>) -> bool {
+    encode_response(resp, payload);
+    out.clear();
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    stream.write_all(out).is_ok()
+}
+
+fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>, sub_tx: mpsc::Sender<Sub>) {
+    shared.counters.sessions.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.cfg.poll.max(Duration::from_millis(20))));
+    let mut fb = FrameBuffer::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let mut payload = Vec::new();
+    let mut out = Vec::new();
+    let mut reader: Option<ReaderHandle> = None;
+    let mut hello_done = false;
+    'session: loop {
+        // Pop every complete request already buffered, then read more.
+        loop {
+            let frame = match fb.next_frame() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => break,
+                Err(e) => {
+                    // Corrupt length prefix: refuse and close.
+                    send(
+                        &mut stream,
+                        &Response::Error {
+                            code: ERR_MALFORMED,
+                            message: e.to_string(),
+                        },
+                        &mut payload,
+                        &mut out,
+                    );
+                    break 'session;
+                }
+            };
+            let req = match decode_request(&frame) {
+                Ok(req) => req,
+                Err(e) => {
+                    send(
+                        &mut stream,
+                        &Response::Error {
+                            code: ERR_MALFORMED,
+                            message: e.to_string(),
+                        },
+                        &mut payload,
+                        &mut out,
+                    );
+                    break 'session;
+                }
+            };
+            if !hello_done {
+                match req {
+                    Request::Hello { version } if version <= PROTO_VERSION => {
+                        hello_done = true;
+                        let ok = send(
+                            &mut stream,
+                            &Response::Hello {
+                                version: PROTO_VERSION,
+                                head_seq: shared.log.head(),
+                            },
+                            &mut payload,
+                            &mut out,
+                        );
+                        if !ok {
+                            break 'session;
+                        }
+                        continue;
+                    }
+                    Request::Hello { .. } => {
+                        send(
+                            &mut stream,
+                            &Response::Error {
+                                code: ERR_VERSION,
+                                message: format!("server speaks protocol {PROTO_VERSION}"),
+                            },
+                            &mut payload,
+                            &mut out,
+                        );
+                        break 'session;
+                    }
+                    _ => {
+                        send(
+                            &mut stream,
+                            &Response::Error {
+                                code: ERR_ORDER,
+                                message: "first message must be Hello".into(),
+                            },
+                            &mut payload,
+                            &mut out,
+                        );
+                        break 'session;
+                    }
+                }
+            }
+            let resp = match req {
+                Request::Hello { .. } => Response::Hello {
+                    version: PROTO_VERSION,
+                    head_seq: shared.log.head(),
+                },
+                Request::Apply(u) => {
+                    if !shared.admission.admit(shared.ingest.queue_depth()) {
+                        Response::Busy {
+                            queue_depth: shared.ingest.queue_depth(),
+                        }
+                    } else {
+                        match shared.ingest.try_submit(u) {
+                            Ok(ticket) => match ticket.wait() {
+                                Ok(seq) => Response::Verdict(Ok(seq)),
+                                Err(ServeError::Rejected(e)) => Response::Verdict(Err(e)),
+                                Err(_) => shutdown_error(),
+                            },
+                            Err(ServeError::QueueFull) => {
+                                // Ground truth: the queue is full even if
+                                // the sampled depth said otherwise.
+                                shared.admission.on_queue_full();
+                                Response::Busy {
+                                    queue_depth: shared.ingest.queue_depth(),
+                                }
+                            }
+                            Err(_) => shutdown_error(),
+                        }
+                    }
+                }
+                Request::ApplyBatch(us) => {
+                    if !shared.admission.admit(shared.ingest.queue_depth()) {
+                        Response::Busy {
+                            queue_depth: shared.ingest.queue_depth(),
+                        }
+                    } else {
+                        match shared.ingest.submit_batch(us) {
+                            Ok(ticket) => match ticket.wait() {
+                                Ok(verdicts) => Response::Verdicts(verdicts),
+                                Err(_) => shutdown_error(),
+                            },
+                            Err(_) => shutdown_error(),
+                        }
+                    }
+                }
+                Request::Contains(v) => {
+                    let r = reader.get_or_insert_with(|| shared.reader.lock().unwrap().fork());
+                    Response::Bool(r.contains(v))
+                }
+                Request::Len => {
+                    let r = reader.get_or_insert_with(|| shared.reader.lock().unwrap().fork());
+                    Response::Len(r.len() as u64)
+                }
+                Request::Snapshot => {
+                    let r = reader.get_or_insert_with(|| shared.reader.lock().unwrap().fork());
+                    let solution = r.snapshot();
+                    Response::Snapshot {
+                        seq: r.seq(),
+                        solution,
+                    }
+                }
+                Request::Stats => Response::Stats(Box::new(shared.stats())),
+                Request::Subscribe { after_seq } => {
+                    let ok = send(
+                        &mut stream,
+                        &Response::Subscribed {
+                            resume_seq: after_seq,
+                        },
+                        &mut payload,
+                        &mut out,
+                    );
+                    if ok {
+                        // Convert the connection: the hub owns the
+                        // socket from here; this session thread ends.
+                        let _ = stream.set_read_timeout(None);
+                        shared
+                            .counters
+                            .subscriptions
+                            .fetch_add(1, Ordering::Relaxed);
+                        if sub_tx
+                            .send(Sub {
+                                stream,
+                                seq: after_seq,
+                            })
+                            .is_err()
+                        {
+                            shared
+                                .counters
+                                .subscriptions
+                                .fetch_sub(1, Ordering::Relaxed);
+                        }
+                    }
+                    shared.counters.sessions.fetch_sub(1, Ordering::Relaxed);
+                    return;
+                }
+                Request::Ping => Response::Pong,
+            };
+            let is_shutdown = matches!(resp, Response::Error { code, .. } if code == ERR_SHUTDOWN);
+            if !send(&mut stream, &resp, &mut payload, &mut out) || is_shutdown {
+                break 'session;
+            }
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // clean close
+            Ok(n) => fb.extend(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    shared.counters.sessions.fetch_sub(1, Ordering::Relaxed);
+}
+
+fn shutdown_error() -> Response {
+    Response::Error {
+        code: ERR_SHUTDOWN,
+        message: "service stopped".into(),
+    }
+}
+
+/// The fan-out hub: one thread owning every subscription socket.
+fn hub_loop(shared: &Arc<Shared>, sub_rx: mpsc::Receiver<Sub>) {
+    let mut subs: Vec<Sub> = Vec::new();
+    let mut hub_seq = 0u64; // newest seq encoded into the shared blob
+    let mut blob = Vec::new(); // this round's frames, encoded once
+    let mut payload = Vec::new();
+    let mut scratch = Vec::new();
+    loop {
+        let stopping = shared.stop.load(Ordering::SeqCst);
+        // Install newly handed-off subscribers.
+        loop {
+            match sub_rx.try_recv() {
+                Ok(sub) => {
+                    let _ = sub.stream.set_nodelay(true);
+                    let _ = sub.stream.set_write_timeout(Some(shared.cfg.write_timeout));
+                    subs.push(sub);
+                }
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => break,
+            }
+        }
+        // Encode this round's new entries once, into one write blob.
+        let blob_start = hub_seq;
+        blob.clear();
+        match shared.log.tail_after(hub_seq, 4096) {
+            LogTail::UpToDate => {}
+            LogTail::Entries(entries) => {
+                for e in &entries {
+                    encode_response(
+                        &Response::Delta {
+                            seq: e.seq,
+                            delta: e.delta.clone(),
+                        },
+                        &mut payload,
+                    );
+                    blob.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                    blob.extend_from_slice(&payload);
+                    hub_seq = e.seq;
+                }
+            }
+            LogTail::Checkpoint { seq, .. } => {
+                // The hub itself fell behind the window (a stall while
+                // the writer blasted past it). Jump forward; every
+                // straggling subscriber gets its own checkpoint below.
+                hub_seq = seq;
+            }
+        }
+        let mut progressed = !blob.is_empty();
+        subs.retain_mut(|sub| {
+            if sub.seq == blob_start && !blob.is_empty() {
+                // Caught-up fast path: one pre-encoded write.
+                if sub.stream.write_all(&blob).is_err() {
+                    shared
+                        .counters
+                        .subscriptions
+                        .fetch_sub(1, Ordering::Relaxed);
+                    return false;
+                }
+                sub.seq = hub_seq;
+                return true;
+            }
+            if sub.seq == hub_seq {
+                return true;
+            }
+            // Straggler path: advance this subscriber individually.
+            match advance_sub(shared, sub, &mut payload, &mut scratch) {
+                Ok(advanced) => {
+                    progressed |= advanced;
+                    true
+                }
+                Err(()) => {
+                    shared
+                        .counters
+                        .subscriptions
+                        .fetch_sub(1, Ordering::Relaxed);
+                    false
+                }
+            }
+        });
+        if stopping {
+            // Final flush: push every subscriber to the final head,
+            // bounded by the flush timeout, then close everything.
+            let head = shared.log.head();
+            let deadline = Instant::now() + shared.cfg.flush_timeout;
+            while subs.iter().any(|s| s.seq < head) && Instant::now() < deadline {
+                subs.retain_mut(|sub| {
+                    if sub.seq >= head {
+                        return true;
+                    }
+                    match advance_sub(shared, sub, &mut payload, &mut scratch) {
+                        Ok(_) => true,
+                        Err(()) => {
+                            shared
+                                .counters
+                                .subscriptions
+                                .fetch_sub(1, Ordering::Relaxed);
+                            false
+                        }
+                    }
+                });
+            }
+            let n = subs.len() as i64;
+            shared
+                .counters
+                .subscriptions
+                .fetch_sub(n, Ordering::Relaxed);
+            return;
+        }
+        if !progressed {
+            // Idle: park on the handoff channel for up to one poll
+            // tick (new log entries are detected next round).
+            match sub_rx.recv_timeout(shared.cfg.poll) {
+                Ok(sub) => {
+                    let _ = sub.stream.set_nodelay(true);
+                    let _ = sub.stream.set_write_timeout(Some(shared.cfg.write_timeout));
+                    subs.push(sub);
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    // Acceptor gone: keep serving existing subscribers
+                    // until stop is set.
+                    if subs.is_empty() && shared.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    thread::sleep(shared.cfg.poll);
+                }
+            }
+        }
+    }
+}
+
+/// Advances one straggling subscriber by up to `sub_batch` entries (or
+/// one checkpoint). `Ok(true)` if anything was sent; `Err(())` drops
+/// the subscriber (write failure — it can reconnect and resume).
+fn advance_sub(
+    shared: &Shared,
+    sub: &mut Sub,
+    payload: &mut Vec<u8>,
+    out: &mut Vec<u8>,
+) -> Result<bool, ()> {
+    match shared.log.tail_after(sub.seq, shared.cfg.sub_batch) {
+        LogTail::UpToDate => Ok(false),
+        LogTail::Entries(entries) => {
+            out.clear();
+            let mut last = sub.seq;
+            for e in &entries {
+                encode_response(
+                    &Response::Delta {
+                        seq: e.seq,
+                        delta: e.delta.clone(),
+                    },
+                    payload,
+                );
+                out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                out.extend_from_slice(payload);
+                last = e.seq;
+            }
+            sub.stream.write_all(out).map_err(|_| ())?;
+            sub.seq = last;
+            Ok(true)
+        }
+        LogTail::Checkpoint { seq, solution } => {
+            encode_response(&Response::Checkpoint { seq, solution }, payload);
+            out.clear();
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(payload);
+            sub.stream.write_all(out).map_err(|_| ())?;
+            sub.seq = seq;
+            Ok(true)
+        }
+    }
+}

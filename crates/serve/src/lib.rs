@@ -74,9 +74,10 @@ mod multi;
 mod reader;
 mod service;
 mod stats;
+pub mod wire;
 
 pub use error::ServeError;
-pub use log::SharedLog;
+pub use log::{LogTail, SeqEntry, SharedLog};
 pub use multi::ShardedReader;
 pub use reader::ReaderHandle;
 pub use service::{

@@ -21,9 +21,31 @@ use std::sync::{Arc, Mutex};
 
 /// One broadcast entry: the net solution change of one applied batch.
 #[derive(Debug)]
-pub(crate) struct SeqEntry {
+pub struct SeqEntry {
+    /// Sequence number of this entry (1-based; `seq` is the log head
+    /// right after it was published).
     pub seq: u64,
+    /// The net solution change it broadcasts.
     pub delta: SolutionDelta,
+}
+
+/// What [`SharedLog::tail_after`] found for a consumer at a given
+/// sequence number — the primitive a subscription stream is built on.
+#[derive(Debug)]
+pub enum LogTail {
+    /// The consumer is at the head; nothing new.
+    UpToDate,
+    /// The next entries, oldest first, contiguous from `seq + 1`.
+    Entries(Vec<Arc<SeqEntry>>),
+    /// The consumer fell behind the retained window: it must re-seed
+    /// from this checkpoint (the full membership as of `seq`) and ask
+    /// again from there.
+    Checkpoint {
+        /// Sequence number the checkpoint covers up to (inclusive).
+        seq: u64,
+        /// Sorted solution membership at that sequence number.
+        solution: Vec<u32>,
+    },
 }
 
 #[derive(Debug, Default)]
@@ -103,6 +125,39 @@ impl SharedLog {
     /// Newest published sequence number (lock-free).
     pub fn head(&self) -> u64 {
         self.head.load(Ordering::Acquire)
+    }
+
+    /// The entries a consumer at `seq` has not yet seen, up to `max` of
+    /// them — or the checkpoint, if `seq` fell behind the retained
+    /// window. This is the subscription-stream primitive: a network
+    /// front end calls it per subscriber, serializes what comes back,
+    /// and a remote mirror replays exactly what an in-process
+    /// [`crate::ReaderHandle`] would. A caught-up consumer costs one
+    /// atomic load; the lock is held only to clone `Arc`s (or the
+    /// checkpoint, on fall-behind).
+    pub fn tail_after(&self, seq: u64, max: usize) -> LogTail {
+        if self.head.load(Ordering::Acquire) <= seq {
+            return LogTail::UpToDate;
+        }
+        let g = self.inner.lock().unwrap();
+        if g.head <= seq {
+            return LogTail::UpToDate;
+        }
+        if seq < g.base_seq {
+            return LogTail::Checkpoint {
+                seq: g.base_seq,
+                solution: g.base.solution(),
+            };
+        }
+        let skip = (seq - g.base_seq) as usize;
+        LogTail::Entries(
+            g.entries
+                .iter()
+                .skip(skip)
+                .take(max.max(1))
+                .cloned()
+                .collect(),
+        )
     }
 
     /// Advances `mirror` (currently at `seq`) to the log head.
@@ -234,6 +289,41 @@ mod tests {
         assert!(r.desync.is_none());
         assert_eq!(m.solution(), vec![2, 3, 4]);
         assert_eq!(log.head(), 4);
+    }
+
+    #[test]
+    fn tail_after_serves_entries_or_checkpoint() {
+        let log = SharedLog::new(2);
+        assert!(matches!(log.tail_after(0, 64), LogTail::UpToDate));
+        log.publish(delta(vec![1], vec![]));
+        log.publish(delta(vec![2], vec![]));
+        // Caught-up consumer: one atomic load, nothing returned.
+        assert!(matches!(log.tail_after(2, 64), LogTail::UpToDate));
+        // In-window consumer: contiguous entries from seq + 1, capped.
+        match log.tail_after(0, 1) {
+            LogTail::Entries(es) => {
+                assert_eq!(es.len(), 1);
+                assert_eq!(es[0].seq, 1);
+            }
+            other => panic!("expected entries, got {other:?}"),
+        }
+        // Fold seq 1 and 2 into the checkpoint.
+        log.publish(delta(vec![3], vec![1]));
+        log.publish(delta(vec![4], vec![]));
+        match log.tail_after(1, 64) {
+            LogTail::Checkpoint { seq, solution } => {
+                assert_eq!(seq, 2);
+                assert_eq!(solution, vec![1, 2]);
+            }
+            other => panic!("expected checkpoint, got {other:?}"),
+        }
+        // From the checkpoint seq, plain entries again.
+        match log.tail_after(2, 64) {
+            LogTail::Entries(es) => {
+                assert_eq!(es.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![3, 4]);
+            }
+            other => panic!("expected entries, got {other:?}"),
+        }
     }
 
     #[test]

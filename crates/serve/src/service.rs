@@ -270,6 +270,20 @@ impl IngestHandle {
     pub fn submit_batch_detached(&self, updates: Vec<Update>) -> Result<(), ServeError> {
         self.send(Payload::Many(updates), false, true).map(|_| ())
     }
+
+    /// Point-in-time counter snapshot — same view as
+    /// [`ServiceHandle::stats`], available to feeder threads that only
+    /// hold an ingest handle (the network front end's session threads).
+    pub fn stats(&self) -> ServiceStats {
+        self.stats.snapshot()
+    }
+
+    /// Updates currently admitted into the queue and not yet applied —
+    /// the signal admission control samples to shed clients *before*
+    /// they hit the blocking backpressure gate.
+    pub fn queue_depth(&self) -> u64 {
+        self.stats.queued.load(Ordering::Relaxed).max(0) as u64
+    }
 }
 
 type SendOutcome = Result<Option<mpsc::Receiver<Vec<Result<u64, EngineError>>>>, ServeError>;
@@ -329,6 +343,12 @@ impl ServiceHandle {
     /// Point-in-time counter snapshot.
     pub fn stats(&self) -> ServiceStats {
         self.stats.snapshot()
+    }
+
+    /// The service's broadcast log — the sequenced delta stream a
+    /// network front end serializes for its subscribers.
+    pub fn log(&self) -> Arc<SharedLog> {
+        Arc::clone(&self.log)
     }
 
     /// Graceful shutdown: stops accepting new work from **this**

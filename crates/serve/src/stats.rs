@@ -74,6 +74,10 @@ impl StatsShared {
             max_reader_lag: min_reader_seq.map_or(0, |m| head_seq.saturating_sub(m)),
             resyncs: self.resyncs.load(Ordering::Relaxed),
             desyncs: self.desyncs.load(Ordering::Relaxed),
+            connections: 0,
+            sessions: 0,
+            subscriptions: 0,
+            shed: 0,
         }
     }
 }
@@ -109,6 +113,16 @@ pub struct ServiceStats {
     /// [`dynamis_core::MirrorError`] — recovered by re-seeding; nonzero
     /// values indicate a broadcast bug).
     pub desyncs: u64,
+    /// TCP connections ever accepted by a network front end (0 for an
+    /// in-process service — these four counters are filled in by
+    /// `dynamis-net` when the service is exposed over the wire).
+    pub connections: u64,
+    /// Network sessions currently live.
+    pub sessions: u64,
+    /// Delta subscriptions currently streaming.
+    pub subscriptions: u64,
+    /// Requests shed by admission control with a typed `Busy` reply.
+    pub shed: u64,
 }
 
 impl ServiceStats {
@@ -138,7 +152,15 @@ impl std::fmt::Display for ServiceStats {
             self.max_reader_lag,
             self.resyncs,
             self.desyncs
-        )
+        )?;
+        if self.connections > 0 || self.sessions > 0 || self.subscriptions > 0 || self.shed > 0 {
+            write!(
+                f,
+                " | net: {} conns, {} sessions, {} subs, {} shed",
+                self.connections, self.sessions, self.subscriptions, self.shed
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -125,6 +125,20 @@ impl ShardedService {
         self.inner.stats()
     }
 
+    /// A cloneable submit-only handle for feeder threads — what a
+    /// network front end hands its session threads.
+    pub fn ingest(&self) -> dynamis_serve::IngestHandle {
+        self.inner.ingest()
+    }
+
+    /// The service's single merged broadcast log (the stream behind
+    /// [`ShardedService::merged_reader`]) — what a network front end
+    /// serializes for its subscribers, identical in shape to a plain
+    /// [`MisService`] log.
+    pub fn log(&self) -> Arc<SharedLog> {
+        self.inner.log()
+    }
+
     /// Graceful shutdown: flushes the queue through the coordinator and
     /// returns the final report (engine name, merged solution, stats).
     pub fn shutdown(self) -> ServiceReport {

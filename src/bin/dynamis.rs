@@ -9,6 +9,8 @@
 //! dynamis record --dataset NAME <out.trace>      record an update trace
 //! dynamis replay <trace> [--algo A]              replay a recorded trace
 //! dynamis serve-bench --dataset NAME [...]       concurrent serving-layer run
+//! dynamis net-serve --dataset NAME [...]         serve over TCP (wire protocol)
+//! dynamis net-load --addr HOST:PORT [...]        drive a net-serve with load
 //! ```
 //!
 //! Graph formats are sniffed from the file extension: `.col`/`.clq` →
@@ -23,6 +25,7 @@ use dynamis::graph::algo::{
     global_clustering, is_bipartite,
 };
 use dynamis::graph::io;
+use dynamis::net::{LoadConfig, NetBackend, NetConfig, NetServer};
 use dynamis::statics::{
     arw_local_search, greedy_mis, luby_mis, reducing_peeling, solve_exact, ArwConfig, ExactConfig,
 };
@@ -60,9 +63,18 @@ const USAGE: &str = "usage:
   dynamis serve-bench (--dataset NAME | --graph FILE) [--updates N] [--seed S]
                       [--k K] [--readers R] [--burst B] [--stream mixed|adversarial]
                       [--shards P] [--partitioner greedy|locality]
+  dynamis net-serve (--dataset NAME | --graph FILE) [--k K] [--burst B]
+                    [--shards P] [--partitioner greedy|locality]
+                    [--addr HOST:PORT] [--max-sessions N]
+                    [--shed-high H] [--shed-low L]
+  dynamis net-load --addr HOST:PORT [--subscribers N] [--writers W]
+                   [--updates U] [--vertices V] [--batch B] [--seed S] [--json]
 
 dynamic algorithms (ALGO): one (default), two, k:<K>, arw, dgone, dgtwo,
                            maximal, restart:<interval>
+net-serve prints `LISTENING <addr>` once ready, serves until stdin closes
+(EOF), then drains subscribers and shuts down; net-load reports writer
+round-trip percentiles, throughput, and delta-stream integrity
 --shards P > 1 serves the canonical sharded engine (P writer threads,
 merged per-shard readers) instead of the single-writer service;
 --partitioner picks how the vertex space splits across those shards
@@ -79,6 +91,8 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("serve-bench") => cmd_serve_bench(&args[1..]),
+        Some("net-serve") => cmd_net_serve(&args[1..]),
+        Some("net-load") => cmd_net_load(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("missing command".into()),
     }
@@ -530,6 +544,179 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
     );
     println!("final stats: {}", report.stats);
     println!("final |I| = {}", report.solution.len());
+    Ok(())
+}
+
+fn cmd_net_serve(args: &[String]) -> Result<(), String> {
+    let (mut dataset, mut graph, mut k, mut burst, mut shards, mut partitioner) =
+        (None, None, None, None, None, None);
+    let (mut addr, mut max_sessions, mut shed_high, mut shed_low) = (None, None, None, None);
+    let positional = parse_flags(
+        args,
+        &mut [
+            ("dataset", &mut dataset),
+            ("graph", &mut graph),
+            ("k", &mut k),
+            ("burst", &mut burst),
+            ("shards", &mut shards),
+            ("partitioner", &mut partitioner),
+            ("addr", &mut addr),
+            ("max-sessions", &mut max_sessions),
+            ("shed-high", &mut shed_high),
+            ("shed-low", &mut shed_low),
+        ],
+    )?;
+    if !positional.is_empty() {
+        return Err("net-serve takes only flags".into());
+    }
+    let g = starting_graph(dataset.as_deref(), graph.as_deref())?;
+    let parse = |v: Option<&str>, default: usize, what: &str| -> Result<usize, String> {
+        v.unwrap_or(&default.to_string())
+            .parse()
+            .map_err(|_| format!("bad --{what}"))
+    };
+    let k = parse(k.as_deref(), 2, "k")?;
+    let burst = parse(burst.as_deref(), 256, "burst")?;
+    let shards = parse(shards.as_deref(), 1, "shards")?;
+    let partitioner: Partitioner = partitioner
+        .as_deref()
+        .map_or(Ok(Partitioner::default()), str::parse)?;
+    let addr = addr.unwrap_or_else(|| "127.0.0.1:0".into());
+    let mut net_cfg = NetConfig::default();
+    net_cfg.max_sessions = parse(
+        max_sessions.as_deref(),
+        net_cfg.max_sessions,
+        "max-sessions",
+    )?;
+    net_cfg.shed_high = parse(
+        shed_high.as_deref(),
+        net_cfg.shed_high as usize,
+        "shed-high",
+    )? as u64;
+    net_cfg.shed_low = parse(shed_low.as_deref(), net_cfg.shed_low as usize, "shed-low")? as u64;
+
+    let builder = EngineBuilder::on(g)
+        .k(k)
+        .shards(shards)
+        .partitioner(partitioner);
+    let cfg = ServeConfig {
+        burst,
+        ..ServeConfig::default()
+    };
+
+    // Spawn the service, front it, announce readiness, then block until
+    // stdin closes — the conventional child-process lifecycle: the
+    // parent reads the LISTENING line and later closes our stdin.
+    let serve_until_eof = |backend: NetBackend| -> Result<(), String> {
+        let handle =
+            NetServer::bind(&addr, backend, net_cfg).map_err(|e| format!("binding {addr}: {e}"))?;
+        println!("LISTENING {}", handle.local_addr());
+        use std::io::{BufRead, Write};
+        std::io::stdout().flush().ok();
+        let stdin = std::io::stdin();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match stdin.lock().read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+        let stats = handle.stats();
+        handle.shutdown();
+        eprintln!("net-serve: {stats}");
+        Ok(())
+    };
+    if shards > 1 {
+        let (service, _reader) =
+            ShardedService::spawn(builder, cfg).map_err(|e| format!("spawning service: {e}"))?;
+        serve_until_eof(NetBackend {
+            ingest: service.ingest(),
+            log: service.log(),
+            reader: service.merged_reader(),
+        })?;
+        let report = service.shutdown();
+        eprintln!(
+            "net-serve: served {} on {} shards, final |I| = {}",
+            report.engine,
+            shards,
+            report.solution.len()
+        );
+    } else {
+        let (service, _reader) =
+            MisService::spawn(builder, cfg).map_err(|e| format!("spawning service: {e}"))?;
+        serve_until_eof(NetBackend::single(&service))?;
+        let report = service.shutdown();
+        eprintln!(
+            "net-serve: served {}, final |I| = {}",
+            report.engine,
+            report.solution.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_net_load(args: &[String]) -> Result<(), String> {
+    let (mut addr, mut subscribers, mut writers, mut updates) = (None, None, None, None);
+    let (mut vertices, mut batch, mut seed, mut json) = (None, None, None, None);
+    let positional = parse_flags(
+        args,
+        &mut [
+            ("addr", &mut addr),
+            ("subscribers", &mut subscribers),
+            ("writers", &mut writers),
+            ("updates", &mut updates),
+            ("vertices", &mut vertices),
+            ("batch", &mut batch),
+            ("seed", &mut seed),
+            ("json", &mut json),
+        ],
+    )?;
+    if !positional.is_empty() {
+        return Err("net-load takes only flags".into());
+    }
+    let addr = addr.ok_or("net-load needs --addr HOST:PORT")?;
+    let parse = |v: Option<&str>, default: usize, what: &str| -> Result<usize, String> {
+        v.unwrap_or(&default.to_string())
+            .parse()
+            .map_err(|_| format!("bad --{what}"))
+    };
+    let d = LoadConfig::default();
+    let cfg = LoadConfig {
+        addr,
+        subscribers: parse(subscribers.as_deref(), d.subscribers, "subscribers")?,
+        writers: parse(writers.as_deref(), d.writers, "writers")?,
+        updates: parse(updates.as_deref(), d.updates, "updates")?,
+        vertices: parse(vertices.as_deref(), d.vertices as usize, "vertices")? as u32,
+        batch: parse(batch.as_deref(), d.batch, "batch")?,
+        seed: parse(seed.as_deref(), d.seed as usize, "seed")? as u64,
+    };
+    let report = dynamis::net::load::run(&cfg).map_err(|e| format!("load run: {e}"))?;
+    if json.as_deref() == Some("true") {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "{} subscribers, {} writers: {} updates in {:.2}s ({:.0} updates/s)",
+            report.subscribers, report.writers, report.updates, report.elapsed_s, report.throughput
+        );
+        println!(
+            "write RTT: p50 {} µs / p95 {} µs / p99 {} µs / max {} µs ({} busy retries)",
+            report.p50_us, report.p95_us, report.p99_us, report.max_us, report.busy_retries
+        );
+        println!(
+            "stream: {} events, {} checkpoints, {} gaps, {} lost, {} reconnects, {} mirror errors ({} mirrors verified)",
+            report.sub_events,
+            report.sub_checkpoints,
+            report.gaps,
+            report.lost_deltas,
+            report.reconnects,
+            report.mirror_errors,
+            report.verified_mirrors
+        );
+    }
+    if report.gaps + report.lost_deltas + report.mirror_errors > 0 {
+        return Err("delta stream integrity violated (gaps/lost/mirror errors)".into());
+    }
     Ok(())
 }
 

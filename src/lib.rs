@@ -19,6 +19,7 @@
 //! | [`problems`] | vertex cover, clique, coloring, and the intro's applications (map labeling, collusion detection, interval scheduling) |
 //! | [`serve`] | concurrent serving layer: single-writer engine thread, batched ingest, delta-broadcast readers |
 //! | [`shard`] | sharded parallel maintenance: degree-aware engine partitions, per-shard writer threads, two-phase boundary repair |
+//! | [`net`] | network front end: length-prefixed wire protocol, per-client sessions, delta subscriptions, admission control |
 //!
 //! ## Quickstart
 //!
@@ -56,6 +57,7 @@ pub use dynamis_baselines as baselines;
 pub use dynamis_core as core;
 pub use dynamis_gen as gen;
 pub use dynamis_graph as graph;
+pub use dynamis_net as net;
 pub use dynamis_problems as problems;
 pub use dynamis_serve as serve;
 pub use dynamis_shard as shard;
