@@ -41,6 +41,7 @@ use crate::queues::{C1Queue, C2Queue};
 use crate::state::{CountEvent, SwapState};
 use dynamis_graph::collections::StampSet;
 use dynamis_graph::{DynamicGraph, GraphError, Update};
+use dynamis_obs::{Sampler, Stage};
 
 /// Tuning knobs shared by the concrete engines.
 #[derive(Debug, Clone, Copy)]
@@ -136,6 +137,33 @@ pub(crate) struct SwapEngine {
     stamp2: StampSet,
     perturb_left: u32,
     pub stats: EngineStats,
+    timers: CoreTimers,
+}
+
+/// Per-update stage timers for the hot path. Timing is double-gated:
+/// the process-wide obs enable flag *and* a 1-in-64 sampler, because
+/// clock reads (four per sampled update, each a syscall-priced
+/// `clock_gettime` on virtualized hosts) are real money against a
+/// ~1 µs update — sampling keeps the enabled overhead inside the ≤ 3%
+/// budget pinned by `crates/bench/src/bin/obs.rs`.
+#[derive(Debug)]
+struct CoreTimers {
+    /// Full apply span (dispatch + repairs + swap search), sampled.
+    apply: Stage,
+    /// Swap-search (drain) share of the span, sampled per update but
+    /// recorded once per batch on the batch path.
+    swap: Stage,
+    sampler: Sampler,
+}
+
+impl CoreTimers {
+    fn new() -> Self {
+        CoreTimers {
+            apply: Stage::global("core_apply_ns"),
+            swap: Stage::global("core_swap_search_ns"),
+            sampler: Sampler::one_in_pow2(6),
+        }
+    }
 }
 
 impl SwapEngine {
@@ -162,6 +190,7 @@ impl SwapEngine {
             stamp2: StampSet::with_capacity(cap),
             perturb_left: 0,
             stats: EngineStats::default(),
+            timers: CoreTimers::new(),
         };
         eng.bootstrap();
         // Close the bootstrap span so the first update's delta does not
@@ -472,11 +501,24 @@ impl SwapEngine {
     pub fn try_apply(&mut self, upd: &Update) -> Result<SolutionDelta, EngineError> {
         let before = self.stats;
         self.perturb_left = self.cfg.perturb_budget;
+        let sampled = self.timers.sampler.tick();
+        let t_apply = if sampled {
+            self.timers.apply.begin()
+        } else {
+            None
+        };
         self.dispatch(upd)?;
         self.stats.updates += 1;
+        let t_swap = if sampled {
+            self.timers.swap.begin()
+        } else {
+            None
+        };
         self.drain();
+        self.timers.swap.end(t_swap);
         let mut delta = self.st.feed.finish_update();
         delta.stats = self.stats.diff_since(&before);
+        self.timers.apply.end(t_apply);
         Ok(delta)
     }
 
@@ -525,7 +567,10 @@ impl SwapEngine {
                 }
             }
         }
+        // One drain per batch: cheap enough to time unsampled.
+        let t_swap = self.timers.swap.begin();
         self.drain();
+        self.timers.swap.end(t_swap);
         let mut delta = self.st.feed.finish_update();
         delta.stats = self.stats.diff_since(&before);
         match failure {

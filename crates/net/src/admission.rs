@@ -11,7 +11,9 @@
 //! boundary, exactly like the writer's whole-round releases keep
 //! feeders from waking once per slot.
 
+use dynamis_obs::Counter;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Hysteretic shed/accept gate shared by every session thread.
 #[derive(Debug)]
@@ -20,6 +22,10 @@ pub struct Admission {
     shed_count: AtomicU64,
     high: u64,
     low: u64,
+    /// Shed-state flips (both directions), exported as
+    /// `net_shed_transitions_total`; each flip also records a
+    /// `shed_on` / `shed_off` event.
+    transitions: Arc<Counter>,
 }
 
 impl Admission {
@@ -32,7 +38,17 @@ impl Admission {
             shed_count: AtomicU64::new(0),
             high,
             low: low.min(high - 1),
+            transitions: dynamis_obs::global().counter("net_shed_transitions_total"),
         }
+    }
+
+    /// Records a shed-state flip: the transitions counter plus a ring
+    /// event. `swap` at the call sites guarantees one record per actual
+    /// transition even under racing sessions.
+    fn on_transition(&self, shedding: bool, queue_depth: u64) {
+        self.transitions.inc();
+        let kind = if shedding { "shed_on" } else { "shed_off" };
+        dynamis_obs::event(kind, format!("queue depth {queue_depth}"));
     }
 
     /// Decides one update request given the current ingest-queue depth.
@@ -41,13 +57,17 @@ impl Admission {
     pub fn admit(&self, queue_depth: u64) -> bool {
         if self.shedding.load(Ordering::Relaxed) {
             if queue_depth <= self.low {
-                self.shedding.store(false, Ordering::Relaxed);
+                if self.shedding.swap(false, Ordering::Relaxed) {
+                    self.on_transition(false, queue_depth);
+                }
             } else {
                 self.shed_count.fetch_add(1, Ordering::Relaxed);
                 return false;
             }
         } else if queue_depth >= self.high {
-            self.shedding.store(true, Ordering::Relaxed);
+            if !self.shedding.swap(true, Ordering::Relaxed) {
+                self.on_transition(true, queue_depth);
+            }
             self.shed_count.fetch_add(1, Ordering::Relaxed);
             return false;
         }
@@ -59,7 +79,9 @@ impl Admission {
     /// the gate into shedding so subsequent requests are refused at the
     /// door until the queue drains to `low`.
     pub fn on_queue_full(&self) {
-        self.shedding.store(true, Ordering::Relaxed);
+        if !self.shedding.swap(true, Ordering::Relaxed) {
+            self.on_transition(true, self.high);
+        }
         self.shed_count.fetch_add(1, Ordering::Relaxed);
     }
 

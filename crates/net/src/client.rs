@@ -8,6 +8,7 @@ use crate::proto::{
 };
 use dynamis_core::{EngineError, SolutionDelta, SolutionMirror};
 use dynamis_graph::Update;
+use dynamis_obs::MetricsSnapshot;
 use dynamis_serve::ServiceStats;
 use std::io::{self, Read};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -123,6 +124,15 @@ impl NetClient {
         match self.call(&Request::Stats)? {
             Response::Stats(s) => Ok(*s),
             _ => Err(NetError::Protocol("stats answered wrongly")),
+        }
+    }
+
+    /// Telemetry snapshot of the server process — the same
+    /// [`MetricsSnapshot`] schema the in-process registry API returns.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, NetError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(m) => Ok(*m),
+            _ => Err(NetError::Protocol("metrics answered wrongly")),
         }
     }
 

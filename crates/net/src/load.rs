@@ -14,6 +14,7 @@
 use crate::client::{NetClient, RemoteMirror, SubEvent, Subscription};
 use crate::error::NetError;
 use dynamis_graph::Update;
+use dynamis_obs::Histogram;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -78,7 +79,11 @@ pub struct LoadReport {
     pub elapsed_s: f64,
     /// Updates per second through the write phase.
     pub throughput: f64,
-    /// Median request round-trip, microseconds.
+    /// Median request round-trip, microseconds. Percentiles come from a
+    /// lock-free log-bucketed [`Histogram`] shared by every writer
+    /// thread (no per-call `Vec` growth, no end-of-run sort); each is a
+    /// bucket upper bound, within
+    /// [`dynamis_obs::MAX_QUANTILE_ERROR`] of the exact rank value.
     pub p50_us: u64,
     /// 95th-percentile round-trip.
     pub p95_us: u64,
@@ -171,7 +176,6 @@ struct WriterSummary {
     applied: u64,
     rejected: u64,
     busy: u64,
-    latencies_us: Vec<u64>,
 }
 
 /// Runs one load scenario against a listening server. Blocks until
@@ -198,6 +202,10 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, NetError> {
     }
 
     // --- writers ----------------------------------------------------------
+    // One lock-free histogram shared by every writer: each call records
+    // a few relaxed atomic adds, and the percentiles fall out of the
+    // merged snapshot (no Vec growth, no sort).
+    let latency_us = Arc::new(Histogram::new());
     let per_writer = cfg.updates / cfg.writers.max(1);
     let started = Instant::now();
     let mut writer_joins = Vec::new();
@@ -209,10 +217,11 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, NetError> {
             per_writer
         };
         let (vertices, batch, seed) = (cfg.vertices, cfg.batch.max(1), cfg.seed + w as u64);
+        let lat = Arc::clone(&latency_us);
         writer_joins.push(
             thread::Builder::new()
                 .name("net-load-writer".into())
-                .spawn(move || writer_thread(&addr, n, vertices, batch, seed))
+                .spawn(move || writer_thread(&addr, n, vertices, batch, seed, &lat))
                 .expect("failed to spawn writer thread"),
         );
     }
@@ -223,21 +232,19 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, NetError> {
         updates: cfg.updates as u64,
         ..LoadReport::default()
     };
-    let mut latencies = Vec::new();
     for j in writer_joins {
         let w = j.join().expect("writer thread panicked")?;
         report.applied += w.applied;
         report.rejected += w.rejected;
         report.busy_retries += w.busy;
-        latencies.extend(w.latencies_us);
     }
     report.elapsed_s = started.elapsed().as_secs_f64();
     report.throughput = (report.applied + report.rejected) as f64 / report.elapsed_s.max(1e-9);
-    latencies.sort_unstable();
-    report.p50_us = percentile(&latencies, 0.50);
-    report.p95_us = percentile(&latencies, 0.95);
-    report.p99_us = percentile(&latencies, 0.99);
-    report.max_us = latencies.last().copied().unwrap_or(0);
+    let lat = latency_us.snapshot();
+    report.p50_us = lat.quantile(0.50);
+    report.p95_us = lat.quantile(0.95);
+    report.p99_us = lat.quantile(0.99);
+    report.max_us = lat.max;
 
     // --- drain: wait for the queue to empty, then release the pools ------
     let mut probe = NetClient::connect(&cfg.addr)?;
@@ -401,6 +408,7 @@ fn writer_thread(
     vertices: u32,
     batch: usize,
     seed: u64,
+    latency_us: &Histogram,
 ) -> Result<WriterSummary, NetError> {
     let mut client = NetClient::connect(addr)?;
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -408,7 +416,6 @@ fn writer_thread(
         applied: 0,
         rejected: 0,
         busy: 0,
-        latencies_us: Vec::with_capacity(n / batch + 1),
     };
     let mut sent = 0usize;
     while sent < n {
@@ -434,7 +441,7 @@ fn writer_thread(
             let t = Instant::now();
             match client.apply_batch(updates.clone()) {
                 Ok(verdicts) => {
-                    out.latencies_us.push(t.elapsed().as_micros() as u64);
+                    latency_us.record(t.elapsed().as_micros() as u64);
                     for v in verdicts {
                         match v {
                             Ok(_) => out.applied += 1,
@@ -454,10 +461,38 @@ fn writer_thread(
     Ok(out)
 }
 
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the error bound the report's percentiles inherit from the
+    /// log-bucketed histogram: against an exact sorted-Vec percentile
+    /// (the implementation this replaced), every reported quantile is
+    /// an overestimate by at most `MAX_QUANTILE_ERROR` relative.
+    #[test]
+    fn bucket_quantiles_match_exact_percentiles_within_bound() {
+        use dynamis_obs::MAX_QUANTILE_ERROR;
+        let mut rng = SmallRng::seed_from_u64(7);
+        let hist = Histogram::new();
+        let mut exact: Vec<u64> = Vec::new();
+        for _ in 0..10_000 {
+            // Round-trip-like spread: tens of µs to hundreds of ms.
+            let us = 10u64 + rng.gen_range(0..1_000_000u64);
+            hist.record(us);
+            exact.push(us);
+        }
+        exact.sort_unstable();
+        let snap = hist.snapshot();
+        for q in [0.50, 0.90, 0.95, 0.99, 1.0] {
+            let rank = ((exact.len() as f64 * q).ceil() as usize).clamp(1, exact.len());
+            let truth = exact[rank - 1];
+            let got = snap.quantile(q);
+            assert!(got >= truth, "q{q}: bucket bound {got} below exact {truth}");
+            assert!(
+                (got - truth) as f64 <= truth as f64 * MAX_QUANTILE_ERROR,
+                "q{q}: {got} overshoots exact {truth} beyond {MAX_QUANTILE_ERROR}"
+            );
+        }
+        assert_eq!(snap.max, *exact.last().unwrap(), "max is tracked exactly");
     }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
 }

@@ -7,6 +7,7 @@
 use crate::error::NetError;
 use dynamis_core::{EngineError, SolutionDelta};
 use dynamis_graph::Update;
+use dynamis_obs::MetricsSnapshot;
 use dynamis_serve::wire::{self, Reader, WireError};
 use dynamis_serve::ServiceStats;
 
@@ -50,6 +51,9 @@ pub enum Request {
     },
     /// Liveness probe; answered with [`Response::Pong`].
     Ping,
+    /// Telemetry snapshot of the process-global metrics registry;
+    /// answered with [`Response::Metrics`].
+    Metrics,
 }
 
 /// One server → client message.
@@ -113,6 +117,10 @@ pub enum Response {
     },
     /// Answer to [`Request::Ping`].
     Pong,
+    /// Answer to [`Request::Metrics`]: the same [`MetricsSnapshot`]
+    /// schema the in-process API and the text encoders use, versioned
+    /// independently by [`dynamis_obs::SNAPSHOT_VERSION`].
+    Metrics(Box<MetricsSnapshot>),
     /// Protocol-level failure (malformed frame, handshake refusal,
     /// out-of-order message). The server closes the connection after
     /// sending one of these.
@@ -167,6 +175,7 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
             wire::put_u64(out, *after_seq);
         }
         Request::Ping => out.push(9),
+        Request::Metrics => out.push(10),
     }
 }
 
@@ -198,6 +207,7 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, WireError> {
             after_seq: r.take_u64("subscribe seq")?,
         },
         9 => Request::Ping,
+        10 => Request::Metrics,
         tag => {
             return Err(WireError::UnknownTag {
                 what: "request",
@@ -271,6 +281,10 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             wire::put_u16(out, *code);
             wire::put_str(out, message);
         }
+        Response::Metrics(m) => {
+            out.push(14);
+            wire::encode_metrics_body(m, out);
+        }
     }
 }
 
@@ -319,6 +333,7 @@ pub fn decode_response(buf: &[u8]) -> Result<Response, WireError> {
             code: r.take_u16("error code")?,
             message: r.take_str("error message")?,
         },
+        14 => Response::Metrics(Box::new(wire::take_metrics(&mut r)?)),
         tag => {
             return Err(WireError::UnknownTag {
                 what: "response",

@@ -34,6 +34,7 @@ use crate::proto::{
     decode_request, encode_response, Request, Response, ERR_MALFORMED, ERR_ORDER, ERR_SHUTDOWN,
     ERR_VERSION, PROTO_VERSION,
 };
+use dynamis_obs::{Gauge, Stage};
 use dynamis_serve::{
     IngestHandle, LogTail, ReaderHandle, ServeError, ServiceHandle, ServiceStats, SharedLog,
 };
@@ -118,12 +119,72 @@ struct NetCounters {
     subscriptions: AtomicI64,
 }
 
+/// Cached telemetry handles for the net layer: one latency stage per
+/// request type (gated timers — see [`dynamis_obs::Stage`]), the hub's
+/// encode/write stages, and the fan-out lag gauges the hub refreshes
+/// each progressing round.
+struct NetObs {
+    req_hello: Stage,
+    req_apply: Stage,
+    req_apply_batch: Stage,
+    req_contains: Stage,
+    req_len: Stage,
+    req_snapshot: Stage,
+    req_stats: Stage,
+    req_subscribe: Stage,
+    req_ping: Stage,
+    req_metrics: Stage,
+    hub_encode: Stage,
+    sub_write: Stage,
+    lag_max: Arc<Gauge>,
+    lag_mean: Arc<Gauge>,
+}
+
+impl NetObs {
+    fn new() -> NetObs {
+        let g = dynamis_obs::global();
+        NetObs {
+            req_hello: Stage::global("net_req_hello_ns"),
+            req_apply: Stage::global("net_req_apply_ns"),
+            req_apply_batch: Stage::global("net_req_apply_batch_ns"),
+            req_contains: Stage::global("net_req_contains_ns"),
+            req_len: Stage::global("net_req_len_ns"),
+            req_snapshot: Stage::global("net_req_snapshot_ns"),
+            req_stats: Stage::global("net_req_stats_ns"),
+            req_subscribe: Stage::global("net_req_subscribe_ns"),
+            req_ping: Stage::global("net_req_ping_ns"),
+            req_metrics: Stage::global("net_req_metrics_ns"),
+            hub_encode: Stage::global("net_hub_encode_ns"),
+            sub_write: Stage::global("net_sub_write_ns"),
+            lag_max: g.gauge("net_sub_lag_max"),
+            lag_mean: g.gauge("net_sub_lag_mean"),
+        }
+    }
+
+    /// The latency stage charged for one request type.
+    fn stage_for(&self, req: &Request) -> &Stage {
+        match req {
+            Request::Hello { .. } => &self.req_hello,
+            Request::Apply(_) => &self.req_apply,
+            Request::ApplyBatch(_) => &self.req_apply_batch,
+            Request::Contains(_) => &self.req_contains,
+            Request::Len => &self.req_len,
+            Request::Snapshot => &self.req_snapshot,
+            Request::Stats => &self.req_stats,
+            Request::Subscribe { .. } => &self.req_subscribe,
+            Request::Ping => &self.req_ping,
+            Request::Metrics => &self.req_metrics,
+        }
+    }
+}
+
 struct Shared {
     ingest: IngestHandle,
     log: Arc<SharedLog>,
     reader: Mutex<ReaderHandle>,
     admission: Admission,
     counters: NetCounters,
+    obs: NetObs,
     cfg: NetConfig,
     stop: AtomicBool,
 }
@@ -136,6 +197,8 @@ impl Shared {
         s.sessions = self.counters.sessions.load(Ordering::Relaxed).max(0) as u64;
         s.subscriptions = self.counters.subscriptions.load(Ordering::Relaxed).max(0) as u64;
         s.shed = self.admission.shed_count();
+        s.max_sub_lag = self.obs.lag_max.get();
+        s.mean_sub_lag = self.obs.lag_mean.get();
         s
     }
 }
@@ -144,6 +207,30 @@ impl Shared {
 struct Sub {
     stream: TcpStream,
     seq: u64,
+    /// Per-subscriber lag gauge, installed by the hub (None until
+    /// handoff completes); unregisters itself when the sub drops.
+    lag: Option<SubLag>,
+}
+
+/// A registered `net_sub_lag_<id>` gauge. Registered at hub install,
+/// unregistered on drop, so the registry tracks *live* subscribers.
+struct SubLag {
+    name: String,
+    gauge: Arc<Gauge>,
+}
+
+impl SubLag {
+    fn new(id: u64) -> SubLag {
+        let name = format!("net_sub_lag_{id}");
+        let gauge = dynamis_obs::global().gauge(&name);
+        SubLag { name, gauge }
+    }
+}
+
+impl Drop for SubLag {
+    fn drop(&mut self) {
+        dynamis_obs::global().unregister(&self.name);
+    }
 }
 
 /// Entry point: binds a listener and spawns the acceptor + hub.
@@ -167,6 +254,7 @@ impl NetServer {
             reader: Mutex::new(backend.reader),
             admission: Admission::new(cfg.shed_high, cfg.shed_low),
             counters: NetCounters::default(),
+            obs: NetObs::new(),
             cfg,
             stop: AtomicBool::new(false),
         });
@@ -337,6 +425,8 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>, sub_tx: mpsc::Sende
                     break 'session;
                 }
             };
+            let req_stage = shared.obs.stage_for(&req);
+            let t_req = req_stage.begin();
             if !hello_done {
                 match req {
                     Request::Hello { version } if version <= PROTO_VERSION => {
@@ -353,6 +443,7 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>, sub_tx: mpsc::Sende
                         if !ok {
                             break 'session;
                         }
+                        req_stage.end(t_req);
                         continue;
                     }
                     Request::Hello { .. } => {
@@ -463,6 +554,7 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>, sub_tx: mpsc::Sende
                             .send(Sub {
                                 stream,
                                 seq: after_seq,
+                                lag: None,
                             })
                             .is_err()
                         {
@@ -473,12 +565,16 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>, sub_tx: mpsc::Sende
                         }
                     }
                     shared.counters.sessions.fetch_sub(1, Ordering::Relaxed);
+                    shared.obs.req_subscribe.end(t_req);
                     return;
                 }
                 Request::Ping => Response::Pong,
+                Request::Metrics => Response::Metrics(Box::new(dynamis_obs::global().snapshot())),
             };
             let is_shutdown = matches!(resp, Response::Error { code, .. } if code == ERR_SHUTDOWN);
-            if !send(&mut stream, &resp, &mut payload, &mut out) || is_shutdown {
+            let sent = send(&mut stream, &resp, &mut payload, &mut out);
+            req_stage.end(t_req);
+            if !sent || is_shutdown {
                 break 'session;
             }
         }
@@ -505,22 +601,33 @@ fn shutdown_error() -> Response {
     }
 }
 
+/// Installs a freshly handed-off subscriber: socket options plus its
+/// per-subscriber lag gauge (`net_sub_lag_<id>`).
+fn install_sub(shared: &Shared, mut sub: Sub, next_id: &mut u64) -> Sub {
+    let _ = sub.stream.set_nodelay(true);
+    let _ = sub.stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    *next_id += 1;
+    sub.lag = Some(SubLag::new(*next_id));
+    sub
+}
+
 /// The fan-out hub: one thread owning every subscription socket.
 fn hub_loop(shared: &Arc<Shared>, sub_rx: mpsc::Receiver<Sub>) {
     let mut subs: Vec<Sub> = Vec::new();
     let mut hub_seq = 0u64; // newest seq encoded into the shared blob
+    let mut next_id = 0u64; // per-subscriber lag-gauge id source
     let mut blob = Vec::new(); // this round's frames, encoded once
     let mut payload = Vec::new();
     let mut scratch = Vec::new();
     loop {
         let stopping = shared.stop.load(Ordering::SeqCst);
         // Install newly handed-off subscribers.
+        let mut roster_changed = false;
         loop {
             match sub_rx.try_recv() {
                 Ok(sub) => {
-                    let _ = sub.stream.set_nodelay(true);
-                    let _ = sub.stream.set_write_timeout(Some(shared.cfg.write_timeout));
-                    subs.push(sub);
+                    subs.push(install_sub(shared, sub, &mut next_id));
+                    roster_changed = true;
                 }
                 Err(mpsc::TryRecvError::Empty) => break,
                 Err(mpsc::TryRecvError::Disconnected) => break,
@@ -529,6 +636,7 @@ fn hub_loop(shared: &Arc<Shared>, sub_rx: mpsc::Receiver<Sub>) {
         // Encode this round's new entries once, into one write blob.
         let blob_start = hub_seq;
         blob.clear();
+        let t_encode = shared.obs.hub_encode.begin();
         match shared.log.tail_after(hub_seq, 4096) {
             LogTail::UpToDate => {}
             LogTail::Entries(entries) => {
@@ -549,14 +657,23 @@ fn hub_loop(shared: &Arc<Shared>, sub_rx: mpsc::Receiver<Sub>) {
                 // The hub itself fell behind the window (a stall while
                 // the writer blasted past it). Jump forward; every
                 // straggling subscriber gets its own checkpoint below.
+                dynamis_obs::event(
+                    "checkpoint_reseed",
+                    format!("hub jumped from seq {hub_seq} to {seq}"),
+                );
                 hub_seq = seq;
             }
         }
+        shared.obs.hub_encode.end(t_encode);
         let mut progressed = !blob.is_empty();
+        let before = subs.len();
         subs.retain_mut(|sub| {
             if sub.seq == blob_start && !blob.is_empty() {
                 // Caught-up fast path: one pre-encoded write.
-                if sub.stream.write_all(&blob).is_err() {
+                let t = shared.obs.sub_write.begin();
+                let wrote = sub.stream.write_all(&blob);
+                shared.obs.sub_write.end(t);
+                if wrote.is_err() {
                     shared
                         .counters
                         .subscriptions
@@ -584,6 +701,28 @@ fn hub_loop(shared: &Arc<Shared>, sub_rx: mpsc::Receiver<Sub>) {
                 }
             }
         });
+        roster_changed |= subs.len() != before;
+        // Refresh the fan-out lag gauges on every round that moved data
+        // or changed the roster (an idle round changes neither).
+        if progressed || roster_changed {
+            let head = shared.log.head();
+            let mut max = 0u64;
+            let mut sum = 0u64;
+            for sub in &subs {
+                let lag = head.saturating_sub(sub.seq);
+                if let Some(l) = &sub.lag {
+                    l.gauge.set(lag);
+                }
+                max = max.max(lag);
+                sum += lag;
+            }
+            shared.obs.lag_max.set(max);
+            shared.obs.lag_mean.set(if subs.is_empty() {
+                0
+            } else {
+                sum / subs.len() as u64
+            });
+        }
         if stopping {
             // Final flush: push every subscriber to the final head,
             // bounded by the flush timeout, then close everything.
@@ -618,9 +757,7 @@ fn hub_loop(shared: &Arc<Shared>, sub_rx: mpsc::Receiver<Sub>) {
             // tick (new log entries are detected next round).
             match sub_rx.recv_timeout(shared.cfg.poll) {
                 Ok(sub) => {
-                    let _ = sub.stream.set_nodelay(true);
-                    let _ = sub.stream.set_write_timeout(Some(shared.cfg.write_timeout));
-                    subs.push(sub);
+                    subs.push(install_sub(shared, sub, &mut next_id));
                 }
                 Err(mpsc::RecvTimeoutError::Timeout) => {}
                 Err(mpsc::RecvTimeoutError::Disconnected) => {
@@ -662,16 +799,26 @@ fn advance_sub(
                 out.extend_from_slice(payload);
                 last = e.seq;
             }
-            sub.stream.write_all(out).map_err(|_| ())?;
+            let t = shared.obs.sub_write.begin();
+            let wrote = sub.stream.write_all(out);
+            shared.obs.sub_write.end(t);
+            wrote.map_err(|_| ())?;
             sub.seq = last;
             Ok(true)
         }
         LogTail::Checkpoint { seq, solution } => {
+            dynamis_obs::event(
+                "checkpoint_reseed",
+                format!("subscriber reseeded from seq {} to {seq}", sub.seq),
+            );
             encode_response(&Response::Checkpoint { seq, solution }, payload);
             out.clear();
             out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
             out.extend_from_slice(payload);
-            sub.stream.write_all(out).map_err(|_| ())?;
+            let t = shared.obs.sub_write.begin();
+            let wrote = sub.stream.write_all(out);
+            shared.obs.sub_write.end(t);
+            wrote.map_err(|_| ())?;
             sub.seq = seq;
             Ok(true)
         }

@@ -176,6 +176,51 @@ fn session_cap_refuses_with_busy_and_counts_the_shed() {
 }
 
 #[test]
+fn metrics_snapshot_is_served_over_the_wire() {
+    // Stage timers are process-global-gated; turn them on so latency
+    // histograms populate alongside the always-on counters.
+    dynamis_obs::set_enabled(true);
+    let g = chung_lu(300, 2.4, 6.0, 11);
+    let ups = UpdateStream::new(&g, StreamConfig::default(), 3).take_updates(200);
+    let (handle, service, _reader, addr) = serve(g, NetConfig::default());
+
+    let mut client = NetClient::connect(&addr).unwrap();
+    for u in ups {
+        match client.apply(u) {
+            Ok(_) | Err(NetError::Rejected(_)) => {}
+            Err(e) => panic!("transport failure: {e}"),
+        }
+    }
+    let m = client.metrics().unwrap();
+    assert_eq!(m.version, dynamis_obs::SNAPSHOT_VERSION);
+    assert!(
+        m.counter("serve_applied_total").unwrap_or(0)
+            + m.counter("serve_rejected_total").unwrap_or(0)
+            >= 200,
+        "every update must land in the serve counters"
+    );
+    let apply = m
+        .histogram("net_req_apply_ns")
+        .expect("per-request-type latency series");
+    assert!(apply.count >= 200, "one apply latency sample per request");
+    assert!(apply.quantile(0.5) > 0);
+    assert!(
+        m.histogram("serve_engine_apply_ns").map(|h| h.count) >= Some(1),
+        "single-writer stage timers must record"
+    );
+    // The wire snapshot is the same schema the text encoders consume:
+    // the JSON encoding parses back to exactly the transported value.
+    let parsed = dynamis_obs::MetricsSnapshot::from_json(&m.to_json()).unwrap();
+    assert_eq!(parsed, m);
+    assert!(m
+        .to_prometheus()
+        .contains("# TYPE serve_applied_total counter"));
+
+    handle.shutdown();
+    service.shutdown();
+}
+
+#[test]
 fn stats_are_served_over_the_wire_with_net_counters() {
     let g = DynamicGraph::from_edges(4, &[(0, 1), (2, 3)]);
     let (handle, service, _reader, addr) = serve(g, NetConfig::default());

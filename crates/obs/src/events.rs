@@ -1,0 +1,104 @@
+//! A bounded ring of rare structured events (shed transitions,
+//! checkpoint reseeds, swap-round deferrals). Recording never blocks:
+//! the ring is guarded by `try_lock`, and anything that cannot get in —
+//! a contended lock or an evicted oldest entry — is counted instead.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Microseconds since the owning log was created.
+    pub at_micros: u64,
+    /// Event class, e.g. `shed_on`, `checkpoint_reseed`.
+    pub kind: String,
+    /// Free-form detail (small — the ring is for rare events).
+    pub detail: String,
+}
+
+/// Bounded, never-blocking event ring.
+#[derive(Debug)]
+pub struct EventLog {
+    ring: Mutex<VecDeque<Event>>,
+    cap: usize,
+    dropped: AtomicU64,
+    epoch: Instant,
+}
+
+impl EventLog {
+    /// A ring retaining the newest `cap` events.
+    pub fn new(cap: usize) -> Self {
+        EventLog {
+            ring: Mutex::new(VecDeque::with_capacity(cap.max(1))),
+            cap: cap.max(1),
+            dropped: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Records an event. If the ring is contended the event is dropped
+    /// (and counted) rather than blocking the caller; if the ring is
+    /// full the oldest entry is evicted (and counted).
+    pub fn record(&self, kind: &str, detail: String) {
+        let Ok(mut ring) = self.ring.try_lock() else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        if ring.len() == self.cap {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        let at_micros = self.epoch.elapsed().as_micros() as u64;
+        ring.push_back(Event {
+            at_micros,
+            kind: kind.to_string(),
+            detail,
+        });
+    }
+
+    /// Events dropped or evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.ring
+            .lock()
+            .map(|r| r.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_newest_and_counts_evictions() {
+        let log = EventLog::new(3);
+        for i in 0..5 {
+            log.record("k", format!("e{i}"));
+        }
+        let events = log.snapshot();
+        assert_eq!(
+            events.iter().map(|e| e.detail.as_str()).collect::<Vec<_>>(),
+            ["e2", "e3", "e4"]
+        );
+        assert_eq!(log.dropped(), 2);
+        assert!(events.windows(2).all(|w| w[0].at_micros <= w[1].at_micros));
+    }
+
+    #[test]
+    fn contended_record_drops_instead_of_blocking() {
+        let log = EventLog::new(8);
+        let guard = log.ring.lock().unwrap();
+        log.record("k", "blocked".into());
+        drop(guard);
+        assert_eq!(log.dropped(), 1);
+        assert!(log.snapshot().is_empty());
+    }
+}

@@ -1,0 +1,576 @@
+//! The single export schema. One [`MetricsSnapshot`] structure is
+//! produced by the in-process API, carried verbatim over the wire by
+//! `Response::Metrics`, and rendered by the Prometheus-text and JSON
+//! encoders here; [`MetricsSnapshot::from_json`] closes the loop so the
+//! CLI and CI can validate what a server emitted.
+
+use crate::events::Event;
+use crate::hist::HistogramSnapshot;
+use std::fmt::Write as _;
+
+/// Version of the snapshot schema (carried in every encoding).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// A point-in-time view of every registered metric plus the retained
+/// event ring. All series are sorted by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Schema version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Monotone counters as `(name, value)`.
+    pub counters: Vec<(String, u64)>,
+    /// Instantaneous gauges as `(name, value)`.
+    pub gauges: Vec<(String, u64)>,
+    /// Histograms as `(name, snapshot)`.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Retained rare events, oldest first.
+    pub events: Vec<Event>,
+    /// Events dropped or evicted from the ring.
+    pub events_dropped: u64,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        lookup(&self.counters, name).copied()
+    }
+
+    /// Value of a gauge, if present.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        lookup(&self.gauges, name).copied()
+    }
+
+    /// A histogram snapshot, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        lookup(&self.histograms, name)
+    }
+
+    /// Folds another snapshot in: counters and drop counts add
+    /// (saturating), gauges keep the maximum, histograms merge
+    /// bucket-wise, events concatenate in time order.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        merge_series(&mut self.counters, &other.counters, |a, b| {
+            *a = a.saturating_add(b)
+        });
+        merge_series(&mut self.gauges, &other.gauges, |a, b| *a = (*a).max(b));
+        for (name, hist) in &other.histograms {
+            match self
+                .histograms
+                .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            {
+                Ok(i) => self.histograms[i].1.merge(hist),
+                Err(i) => self.histograms.insert(i, (name.clone(), hist.clone())),
+            }
+        }
+        self.events.extend(other.events.iter().cloned());
+        self.events.sort_by_key(|e| e.at_micros);
+        self.events_dropped = self.events_dropped.saturating_add(other.events_dropped);
+    }
+
+    /// Prometheus text exposition: counters and gauges as themselves,
+    /// histograms as summaries (p50/p95/p99 quantile series plus
+    /// `_sum`/`_count`/`_max`). Events have no Prometheus shape and are
+    /// exported only by the JSON encoding; their drop count is exposed
+    /// as `dynamis_events_dropped`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for q in ["0.5", "0.95", "0.99"] {
+                let v = h.quantile(q.parse().unwrap());
+                let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+            }
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+            let _ = writeln!(out, "# TYPE {name}_max gauge\n{name}_max {}", h.max);
+        }
+        let _ = writeln!(
+            out,
+            "# TYPE dynamis_events_dropped counter\ndynamis_events_dropped {}",
+            self.events_dropped
+        );
+        out
+    }
+
+    /// JSON encoding of the full snapshot (handwritten — the workspace
+    /// is offline and serde-free).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"version\":{}", self.version);
+        out.push_str(",\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let _ = write!(out, "{}{}:{v}", comma(i), json_str(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            let _ = write!(out, "{}{}:{v}", comma(i), json_str(name));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{}:{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[",
+                comma(i),
+                json_str(name),
+                h.count,
+                h.sum,
+                h.max
+            );
+            for (j, (b, c)) in h.buckets.iter().enumerate() {
+                let _ = write!(out, "{}[{b},{c}]", comma(j));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("},\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"at_micros\":{},\"kind\":{},\"detail\":{}}}",
+                comma(i),
+                e.at_micros,
+                json_str(&e.kind),
+                json_str(&e.detail)
+            );
+        }
+        let _ = write!(out, "],\"events_dropped\":{}}}", self.events_dropped);
+        out
+    }
+
+    /// Parses [`MetricsSnapshot::to_json`] output back into a snapshot.
+    /// Total: every malformed input is a typed [`JsonError`], never a
+    /// panic or an unbounded allocation.
+    pub fn from_json(text: &str) -> Result<MetricsSnapshot, JsonError> {
+        let value = json::parse(text)?;
+        let obj = value.as_obj("snapshot")?;
+        let mut snap = MetricsSnapshot {
+            version: obj.field("version")?.as_u64("version")? as u32,
+            events_dropped: obj.field("events_dropped")?.as_u64("events_dropped")?,
+            ..MetricsSnapshot::default()
+        };
+        for (name, v) in obj.field("counters")?.as_obj("counters")?.entries() {
+            snap.counters.push((name.clone(), v.as_u64("counter")?));
+        }
+        for (name, v) in obj.field("gauges")?.as_obj("gauges")?.entries() {
+            snap.gauges.push((name.clone(), v.as_u64("gauge")?));
+        }
+        for (name, v) in obj.field("histograms")?.as_obj("histograms")?.entries() {
+            let h = v.as_obj("histogram")?;
+            let mut hist = HistogramSnapshot {
+                count: h.field("count")?.as_u64("count")?,
+                sum: h.field("sum")?.as_u64("sum")?,
+                max: h.field("max")?.as_u64("max")?,
+                buckets: Vec::new(),
+            };
+            for pair in h.field("buckets")?.as_arr("buckets")? {
+                let pair = pair.as_arr("bucket pair")?;
+                if pair.len() != 2 {
+                    return Err(JsonError::new("bucket pair must have 2 elements"));
+                }
+                let idx = pair[0].as_u64("bucket index")?;
+                if idx >= crate::hist::NUM_BUCKETS as u64 {
+                    return Err(JsonError::new("bucket index out of range"));
+                }
+                hist.buckets
+                    .push((idx as u32, pair[1].as_u64("bucket count")?));
+            }
+            snap.histograms.push((name.clone(), hist));
+        }
+        for e in obj.field("events")?.as_arr("events")? {
+            let e = e.as_obj("event")?;
+            snap.events.push(Event {
+                at_micros: e.field("at_micros")?.as_u64("at_micros")?,
+                kind: e.field("kind")?.as_str("kind")?.to_string(),
+                detail: e.field("detail")?.as_str("detail")?.to_string(),
+            });
+        }
+        Ok(snap)
+    }
+}
+
+fn lookup<'a, T>(series: &'a [(String, T)], name: &str) -> Option<&'a T> {
+    series
+        .binary_search_by(|(n, _)| n.as_str().cmp(name))
+        .ok()
+        .map(|i| &series[i].1)
+}
+
+fn merge_series(into: &mut Vec<(String, u64)>, from: &[(String, u64)], f: impl Fn(&mut u64, u64)) {
+    for (name, v) in from {
+        match into.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => f(&mut into[i].1, *v),
+            Err(i) => into.insert(i, (name.clone(), *v)),
+        }
+    }
+}
+
+fn comma(i: usize) -> &'static str {
+    if i == 0 {
+        ""
+    } else {
+        ","
+    }
+}
+
+/// JSON string literal (quoted, escaped).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A typed JSON parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(String);
+
+impl JsonError {
+    fn new(msg: impl Into<String>) -> Self {
+        JsonError(msg.into())
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// A minimal total JSON reader: just enough for the snapshot schema
+/// (objects, arrays, strings, unsigned integers, and the literals),
+/// depth-capped so adversarial nesting cannot overflow the stack.
+mod json {
+    use super::JsonError;
+
+    const MAX_DEPTH: usize = 24;
+
+    #[derive(Debug)]
+    pub enum Value {
+        Obj(Vec<(String, Value)>),
+        Arr(Vec<Value>),
+        Str(String),
+        Num(u64),
+        Lit, // true / false / null — tolerated, never produced
+    }
+
+    impl Value {
+        pub fn as_obj(&self, what: &str) -> Result<Obj<'_>, JsonError> {
+            match self {
+                Value::Obj(fields) => Ok(Obj(fields)),
+                _ => Err(JsonError::new(format!("{what}: expected object"))),
+            }
+        }
+
+        pub fn as_arr(&self, what: &str) -> Result<&[Value], JsonError> {
+            match self {
+                Value::Arr(items) => Ok(items),
+                _ => Err(JsonError::new(format!("{what}: expected array"))),
+            }
+        }
+
+        pub fn as_u64(&self, what: &str) -> Result<u64, JsonError> {
+            match self {
+                Value::Num(n) => Ok(*n),
+                _ => Err(JsonError::new(format!("{what}: expected unsigned integer"))),
+            }
+        }
+
+        pub fn as_str(&self, what: &str) -> Result<&str, JsonError> {
+            match self {
+                Value::Str(s) => Ok(s),
+                _ => Err(JsonError::new(format!("{what}: expected string"))),
+            }
+        }
+    }
+
+    /// Field access over a parsed object.
+    pub struct Obj<'a>(&'a [(String, Value)]);
+
+    impl<'a> Obj<'a> {
+        pub fn field(&self, name: &str) -> Result<&'a Value, JsonError> {
+            self.0
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| JsonError::new(format!("missing field {name}")))
+        }
+
+        pub fn entries(&self) -> impl Iterator<Item = &'a (String, Value)> {
+            self.0.iter()
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError::new("trailing bytes after value"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), JsonError> {
+        skip_ws(b, pos);
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(format!(
+                "expected '{}' at byte {}",
+                c as char, *pos
+            )))
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(JsonError::new("nesting too deep"));
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => {
+                *pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = string(b, pos)?;
+                    expect(b, pos, b':')?;
+                    fields.push((key, value(b, pos, depth + 1)?));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        _ => return Err(JsonError::new("expected ',' or '}' in object")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(value(b, pos, depth + 1)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(JsonError::new("expected ',' or ']' in array")),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Value::Str(string(b, pos)?)),
+            Some(c) if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some(c) = b.get(*pos) {
+                    if !c.is_ascii_digit() {
+                        break;
+                    }
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add((c - b'0') as u64))
+                        .ok_or_else(|| JsonError::new("integer overflow"))?;
+                    *pos += 1;
+                }
+                if matches!(b.get(*pos), Some(b'.') | Some(b'e') | Some(b'E')) {
+                    return Err(JsonError::new("non-integer number"));
+                }
+                Ok(Value::Num(n))
+            }
+            Some(_) => {
+                for lit in ["true", "false", "null"] {
+                    if b[*pos..].starts_with(lit.as_bytes()) {
+                        *pos += lit.len();
+                        return Ok(Value::Lit);
+                    }
+                }
+                Err(JsonError::new(format!("unexpected byte at {}", *pos)))
+            }
+            None => Err(JsonError::new("unexpected end of input")),
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(JsonError::new(format!("expected string at byte {}", *pos)));
+        }
+        *pos += 1;
+        let mut out = Vec::new();
+        while let Some(&c) = b.get(*pos) {
+            *pos += 1;
+            match c {
+                b'"' => {
+                    return String::from_utf8(out)
+                        .map_err(|_| JsonError::new("invalid utf-8 in string"));
+                }
+                b'\\' => {
+                    let esc = b.get(*pos).ok_or_else(|| JsonError::new("open escape"))?;
+                    *pos += 1;
+                    match esc {
+                        b'"' => out.push(b'"'),
+                        b'\\' => out.push(b'\\'),
+                        b'/' => out.push(b'/'),
+                        b'n' => out.push(b'\n'),
+                        b'r' => out.push(b'\r'),
+                        b't' => out.push(b'\t'),
+                        b'b' => out.push(0x08),
+                        b'f' => out.push(0x0c),
+                        b'u' => {
+                            let hex = b
+                                .get(*pos..*pos + 4)
+                                .ok_or_else(|| JsonError::new("short \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| JsonError::new("bad \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| JsonError::new("bad \\u escape"))?;
+                            *pos += 4;
+                            // Surrogates (the encoder never emits them)
+                            // decode as the replacement character.
+                            let c = char::from_u32(cp).unwrap_or('\u{fffd}');
+                            out.extend_from_slice(c.to_string().as_bytes());
+                        }
+                        _ => return Err(JsonError::new("unknown escape")),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+        Err(JsonError::new("unterminated string"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        MetricsSnapshot {
+            version: SNAPSHOT_VERSION,
+            counters: vec![("a_total".into(), 3), ("b_total".into(), u64::MAX)],
+            gauges: vec![("depth".into(), 9)],
+            histograms: vec![(
+                "lat_ns".into(),
+                HistogramSnapshot {
+                    count: 4,
+                    sum: 1234,
+                    max: 1000,
+                    buckets: vec![(0, 1), (17, 2), (100, 1)],
+                },
+            )],
+            events: vec![Event {
+                at_micros: 55,
+                kind: "shed_on".into(),
+                detail: "queue \"deep\"\nline2".into(),
+            }],
+            events_dropped: 7,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let snap = sample();
+        let json = snap.to_json();
+        assert_eq!(MetricsSnapshot::from_json(&json).unwrap(), snap);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = MetricsSnapshot {
+            version: SNAPSHOT_VERSION,
+            ..MetricsSnapshot::default()
+        };
+        assert_eq!(MetricsSnapshot::from_json(&snap.to_json()).unwrap(), snap);
+    }
+
+    #[test]
+    fn prometheus_text_has_all_series() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE a_total counter\na_total 3"));
+        assert!(text.contains("# TYPE depth gauge\ndepth 9"));
+        assert!(text.contains("lat_ns{quantile=\"0.95\"}"));
+        assert!(text.contains("lat_ns_count 4"));
+        assert!(text.contains("lat_ns_sum 1234"));
+        assert!(text.contains("dynamis_events_dropped 7"));
+    }
+
+    #[test]
+    fn malformed_json_is_a_typed_error() {
+        for bad in [
+            "",
+            "{",
+            "[1,2",
+            "{\"version\":1}",
+            "{\"version\":-1}",
+            "{\"version\":1.5}",
+            "{\"version\":99999999999999999999999999}",
+            "\"unterminated",
+            "{\"version\":1,\"counters\":{},\"gauges\":{},\"histograms\":{},\"events\":[],\"events_dropped\":[]}",
+            "nullx",
+        ] {
+            assert!(MetricsSnapshot::from_json(bad).is_err(), "accepted: {bad}");
+        }
+        // Deep nesting is refused, not a stack overflow.
+        let deep = "[".repeat(100_000);
+        assert!(MetricsSnapshot::from_json(&deep).is_err());
+    }
+
+    #[test]
+    fn merge_combines_series() {
+        let mut a = sample();
+        let mut b = sample();
+        b.counters[0].1 = 2;
+        b.gauges[0].1 = 4;
+        b.counters.push(("z_total".into(), 1));
+        b.counters.sort();
+        a.merge(&b);
+        assert_eq!(a.counter("a_total"), Some(5));
+        assert_eq!(a.counter("b_total"), Some(u64::MAX), "saturates");
+        assert_eq!(a.counter("z_total"), Some(1));
+        assert_eq!(a.gauge("depth"), Some(9), "gauge keeps max");
+        assert_eq!(a.histogram("lat_ns").unwrap().count, 8);
+        assert_eq!(a.events.len(), 2);
+        assert_eq!(a.events_dropped, 14);
+    }
+}

@@ -4,12 +4,14 @@
 use crate::error::ServeError;
 use crate::log::SharedLog;
 use crate::reader::ReaderHandle;
-use crate::stats::{hist_bucket, ServiceStats, StatsShared};
+use crate::stats::{ServiceStats, StatsShared};
 use dynamis_core::{DynamicMis, EngineBuilder, EngineError};
 use dynamis_graph::Update;
+use dynamis_obs::{Counter, Gauge, Stage};
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
+use std::time::Instant;
 
 /// Tuning knobs for [`MisService::spawn`].
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +49,9 @@ impl Default for ServeConfig {
 struct Cmd {
     payload: Payload,
     reply: Option<mpsc::Sender<Vec<Result<u64, EngineError>>>>,
+    /// Submission time, captured only while stage timing is enabled —
+    /// the writer charges `recv → drain` to the ingest-wait stage.
+    queued_at: Option<Instant>,
 }
 
 enum Payload {
@@ -228,7 +233,12 @@ impl IngestHandle {
         };
         self.stats.submitted.fetch_add(n, Ordering::Relaxed);
         self.stats.queued.fetch_add(n as i64, Ordering::Relaxed);
-        match self.tx.send(Cmd { payload, reply }) {
+        let queued_at = dynamis_obs::mark();
+        match self.tx.send(Cmd {
+            payload,
+            reply,
+            queued_at,
+        }) {
             Ok(()) => Ok(rx),
             Err(_) => {
                 self.bp.release(weight);
@@ -470,6 +480,38 @@ impl MisService {
     }
 }
 
+/// The writer thread's cached telemetry handles: the four single-writer
+/// latency stages plus the registry-exported series. Built once per
+/// service, inside the writer thread.
+struct ServeObs {
+    ingest_wait: Stage,
+    batch_drain: Stage,
+    engine_apply: Stage,
+    delta_broadcast: Stage,
+    queue_depth: Arc<Gauge>,
+    applied: Arc<Counter>,
+    rejected: Arc<Counter>,
+}
+
+impl ServeObs {
+    fn new(stats: &StatsShared) -> ServeObs {
+        let g = dynamis_obs::global();
+        // The service owns its batch-size histogram (per-service
+        // isolation for `ServiceStats`); exporting the same instance
+        // puts the full-resolution distribution in the snapshot.
+        g.register_histogram("serve_batch_size", Arc::clone(&stats.batch_hist));
+        ServeObs {
+            ingest_wait: Stage::global("serve_ingest_wait_ns"),
+            batch_drain: Stage::global("serve_batch_drain_ns"),
+            engine_apply: Stage::global("serve_engine_apply_ns"),
+            delta_broadcast: Stage::global("serve_delta_broadcast_ns"),
+            queue_depth: g.gauge("serve_queue_depth"),
+            applied: g.counter("serve_applied_total"),
+            rejected: g.counter("serve_rejected_total"),
+        }
+    }
+}
+
 /// The writer loop: blockingly receive one command, opportunistically
 /// drain more up to the burst, feed the merged slice through
 /// `try_apply_batch`, broadcast the net delta, resolve tickets. Exits
@@ -484,11 +526,15 @@ fn writer_loop(
     bp: &Backpressure,
     burst: usize,
 ) {
+    let obs = ServeObs::new(stats);
     let mut round: Vec<Cmd> = Vec::new();
     let mut updates: Vec<Update> = Vec::new();
     let mut outcomes: Vec<Option<EngineError>> = Vec::new();
     let mut ranges: Vec<std::ops::Range<usize>> = Vec::new();
     while let Ok(first) = rx.recv() {
+        // Stage: batch drain — the idle blocking `recv` above is not
+        // latency, but everything from here to the merged slice is.
+        let t_drain = obs.batch_drain.begin();
         let mut total = first.payload.len();
         let mut weight = first.payload.weight();
         round.push(first);
@@ -510,6 +556,7 @@ fn writer_loop(
         // feeders wake once per round and refill while the engine
         // works on this batch.
         bp.release(weight);
+        obs.batch_drain.end(t_drain);
         apply_round(
             engine,
             &mut round,
@@ -518,6 +565,7 @@ fn writer_loop(
             &mut ranges,
             log,
             stats,
+            &obs,
         );
     }
 }
@@ -534,7 +582,16 @@ fn apply_round(
     ranges: &mut Vec<std::ops::Range<usize>>,
     log: &SharedLog,
     stats: &StatsShared,
+    obs: &ServeObs,
 ) {
+    // Stage: ingest wait — charge each command's queue time against one
+    // clock read (timestamps exist only while stage timing is enabled).
+    if round.iter().any(|c| c.queued_at.is_some()) {
+        let now = Instant::now();
+        for cmd in round.iter() {
+            obs.ingest_wait.end_at(cmd.queued_at, now);
+        }
+    }
     updates.clear();
     ranges.clear();
     for cmd in round.iter_mut() {
@@ -547,11 +604,14 @@ fn apply_round(
     }
     let n = updates.len();
     stats.queued.fetch_sub(n as i64, Ordering::Relaxed);
+    obs.queue_depth
+        .set(stats.queued.load(Ordering::Relaxed).max(0) as u64);
 
     // Feed the merged slice through the engine's real batch path.
     // `try_apply_batch` stops at the first rejection with the valid
     // prefix applied; resume right after the rejected update so every
     // update gets an individual verdict.
+    let t_apply = obs.engine_apply.begin();
     outcomes.clear();
     outcomes.resize(n, None);
     let mut start = 0;
@@ -570,15 +630,18 @@ fn apply_round(
             }
         }
     }
+    obs.engine_apply.end(t_apply);
 
     // One broadcast per round: the net delta of everything the engine
     // accepted (the drainable feed nets rejected prefixes correctly).
+    let t_bcast = obs.delta_broadcast.begin();
     let delta = engine.drain_delta();
     let seq = if delta.is_empty() {
         log.head()
     } else {
         publish(delta, log, stats)
     };
+    obs.delta_broadcast.end(t_bcast);
 
     let rejected = outcomes.iter().filter(|o| o.is_some()).count();
     stats
@@ -586,7 +649,9 @@ fn apply_round(
         .fetch_add((n - rejected) as u64, Ordering::Relaxed);
     stats.rejected.fetch_add(rejected as u64, Ordering::Relaxed);
     stats.batches.fetch_add(1, Ordering::Relaxed);
-    stats.batch_hist[hist_bucket(n)].fetch_add(1, Ordering::Relaxed);
+    stats.batch_hist.record(n as u64);
+    obs.applied.add((n - rejected) as u64);
+    obs.rejected.add(rejected as u64);
 
     for (cmd, range) in round.drain(..).zip(ranges.drain(..)) {
         if let Some(reply) = cmd.reply {

@@ -2,6 +2,7 @@
 //! thread, the ingest handles, and the readers, snapshotted on demand
 //! into a [`ServiceStats`].
 
+use dynamis_obs::Histogram;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 
@@ -27,7 +28,12 @@ pub(crate) struct StatsShared {
     pub applied: AtomicU64,
     pub rejected: AtomicU64,
     pub batches: AtomicU64,
-    pub batch_hist: [AtomicU64; HIST_BUCKETS],
+    /// Merged-batch sizes, on the shared telemetry histogram type so
+    /// the full-resolution distribution can also be exported through
+    /// the metrics registry. [`ServiceStats::batch_hist`] keeps its 9
+    /// power-of-two buckets by folding this (the fold is exact: no
+    /// log-bucket crosses an octave).
+    pub batch_hist: Arc<Histogram>,
     pub head_seq: AtomicU64,
     pub resyncs: AtomicU64,
     pub desyncs: AtomicU64,
@@ -59,8 +65,10 @@ impl StatsShared {
             }
         }
         let mut batch_hist = [0u64; HIST_BUCKETS];
-        for (out, bucket) in batch_hist.iter_mut().zip(self.batch_hist.iter()) {
-            *out = bucket.load(Ordering::Relaxed);
+        for (idx, count) in self.batch_hist.snapshot().buckets {
+            let (lo, _) = dynamis_obs::bucket_bounds(idx as usize);
+            let b = hist_bucket(lo as usize);
+            batch_hist[b] = batch_hist[b].saturating_add(count);
         }
         ServiceStats {
             queue_depth: self.queued.load(Ordering::Relaxed).max(0) as u64,
@@ -78,6 +86,8 @@ impl StatsShared {
             sessions: 0,
             subscriptions: 0,
             shed: 0,
+            max_sub_lag: 0,
+            mean_sub_lag: 0,
         }
     }
 }
@@ -123,6 +133,13 @@ pub struct ServiceStats {
     pub subscriptions: u64,
     /// Requests shed by admission control with a typed `Busy` reply.
     pub shed: u64,
+    /// `head_seq` minus the most-lagging *network subscriber's* applied
+    /// sequence, sampled by the hub each fan-out round (0 for an
+    /// in-process service).
+    pub max_sub_lag: u64,
+    /// Mean network-subscriber lag across live subscriptions, rounded
+    /// down (0 for an in-process service).
+    pub mean_sub_lag: u64,
 }
 
 impl ServiceStats {
@@ -156,8 +173,13 @@ impl std::fmt::Display for ServiceStats {
         if self.connections > 0 || self.sessions > 0 || self.subscriptions > 0 || self.shed > 0 {
             write!(
                 f,
-                " | net: {} conns, {} sessions, {} subs, {} shed",
-                self.connections, self.sessions, self.subscriptions, self.shed
+                " | net: {} conns, {} sessions, {} subs, {} shed, sub lag max {} mean {}",
+                self.connections,
+                self.sessions,
+                self.subscriptions,
+                self.shed,
+                self.max_sub_lag,
+                self.mean_sub_lag
             )?;
         }
         Ok(())

@@ -27,6 +27,7 @@
 use crate::stats::{ServiceStats, HIST_BUCKETS};
 use dynamis_core::{EngineError, EngineStats, SolutionDelta};
 use dynamis_graph::{GraphError, Update};
+use dynamis_obs::{Event, HistogramSnapshot, MetricsSnapshot};
 use std::fmt;
 
 /// Version word leading every top-level encoded value. Bump when the
@@ -624,6 +625,8 @@ pub fn encode_stats_body(s: &ServiceStats, out: &mut Vec<u8>) {
     put_u64(out, s.sessions);
     put_u64(out, s.subscriptions);
     put_u64(out, s.shed);
+    put_u64(out, s.max_sub_lag);
+    put_u64(out, s.mean_sub_lag);
 }
 
 /// Decodes one [`ServiceStats`] snapshot; the whole buffer must be
@@ -666,7 +669,116 @@ pub fn take_stats(r: &mut Reader<'_>) -> Result<ServiceStats, WireError> {
     s.sessions = r.take_u64("stats")?;
     s.subscriptions = r.take_u64("stats")?;
     s.shed = r.take_u64("stats")?;
+    s.max_sub_lag = r.take_u64("stats")?;
+    s.mean_sub_lag = r.take_u64("stats")?;
     Ok(s)
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+// ---------------------------------------------------------------------------
+
+/// Encodes one [`MetricsSnapshot`] (versioned). The body carries the
+/// snapshot's own schema version too, so the metrics schema can evolve
+/// independently of the wire framing.
+pub fn encode_metrics(m: &MetricsSnapshot, out: &mut Vec<u8>) {
+    put_u16(out, WIRE_VERSION);
+    encode_metrics_body(m, out);
+}
+
+/// Appends one [`MetricsSnapshot`] *without* a version word — for
+/// composing into a larger versioned value (the network response
+/// codec).
+pub fn encode_metrics_body(m: &MetricsSnapshot, out: &mut Vec<u8>) {
+    put_u32(out, m.version);
+    put_u32(out, m.counters.len() as u32);
+    for (name, v) in &m.counters {
+        put_str(out, name);
+        put_u64(out, *v);
+    }
+    put_u32(out, m.gauges.len() as u32);
+    for (name, v) in &m.gauges {
+        put_str(out, name);
+        put_u64(out, *v);
+    }
+    put_u32(out, m.histograms.len() as u32);
+    for (name, h) in &m.histograms {
+        put_str(out, name);
+        put_u64(out, h.count);
+        put_u64(out, h.sum);
+        put_u64(out, h.max);
+        put_u32(out, h.buckets.len() as u32);
+        for &(i, c) in &h.buckets {
+            put_u32(out, i);
+            put_u64(out, c);
+        }
+    }
+    put_u32(out, m.events.len() as u32);
+    for e in &m.events {
+        put_u64(out, e.at_micros);
+        put_str(out, &e.kind);
+        put_str(out, &e.detail);
+    }
+    put_u64(out, m.events_dropped);
+}
+
+/// Decodes one [`MetricsSnapshot`]; the whole buffer must be consumed.
+pub fn decode_metrics(buf: &[u8]) -> Result<MetricsSnapshot, WireError> {
+    let mut r = Reader::new(buf);
+    r.take_version("metrics")?;
+    let m = take_metrics(&mut r)?;
+    r.finish()?;
+    Ok(m)
+}
+
+/// Streaming counterpart of [`decode_metrics`]: reads one
+/// [`MetricsSnapshot`] body (no version word) from the cursor.
+pub fn take_metrics(r: &mut Reader<'_>) -> Result<MetricsSnapshot, WireError> {
+    let mut m = MetricsSnapshot {
+        version: r.take_u32("metrics version")?,
+        ..MetricsSnapshot::default()
+    };
+    // Element byte floors keep a hostile length prefix from staging an
+    // allocation the buffer cannot back.
+    let n = r.take_len(12, "metrics counters")?;
+    for _ in 0..n {
+        let name = r.take_str("counter name")?;
+        m.counters.push((name, r.take_u64("counter value")?));
+    }
+    let n = r.take_len(12, "metrics gauges")?;
+    for _ in 0..n {
+        let name = r.take_str("gauge name")?;
+        m.gauges.push((name, r.take_u64("gauge value")?));
+    }
+    let n = r.take_len(32, "metrics histograms")?;
+    for _ in 0..n {
+        let name = r.take_str("histogram name")?;
+        let mut h = HistogramSnapshot {
+            count: r.take_u64("histogram count")?,
+            sum: r.take_u64("histogram sum")?,
+            max: r.take_u64("histogram max")?,
+            buckets: Vec::new(),
+        };
+        let b = r.take_len(12, "histogram buckets")?;
+        for _ in 0..b {
+            let i = r.take_u32("bucket index")?;
+            if i as usize >= dynamis_obs::NUM_BUCKETS {
+                return Err(WireError::Malformed("bucket index"));
+            }
+            h.buckets.push((i, r.take_u64("bucket count")?));
+        }
+        m.histograms.push((name, h));
+    }
+    let n = r.take_len(16, "metrics events")?;
+    for _ in 0..n {
+        m.events.push(Event {
+            at_micros: r.take_u64("event time")?,
+            kind: r.take_str("event kind")?,
+            detail: r.take_str("event detail")?,
+        });
+    }
+    m.events_dropped = r.take_u64("events dropped")?;
+    Ok(m)
 }
 
 #[cfg(test)]

@@ -6,10 +6,11 @@
 
 use dynamis_core::{EngineError, EngineStats, SolutionDelta};
 use dynamis_graph::{GraphError, Update};
+use dynamis_obs::{Event, HistogramSnapshot, MetricsSnapshot, NUM_BUCKETS, SNAPSHOT_VERSION};
 use dynamis_serve::wire::{
-    decode_delta, decode_engine_error, decode_log_entry, decode_stats, decode_update,
-    decode_verdict, encode_delta, encode_engine_error, encode_log_entry, encode_stats,
-    encode_update, encode_verdict, WireError,
+    decode_delta, decode_engine_error, decode_log_entry, decode_metrics, decode_stats,
+    decode_update, decode_verdict, encode_delta, encode_engine_error, encode_log_entry,
+    encode_metrics, encode_stats, encode_update, encode_verdict, WireError,
 };
 use dynamis_serve::ServiceStats;
 use proptest::prelude::*;
@@ -99,12 +100,63 @@ fn arb_stats(rng: &mut SmallRng) -> ServiceStats {
         sessions: rng.gen(),
         subscriptions: rng.gen(),
         shed: rng.gen(),
+        max_sub_lag: rng.gen(),
+        mean_sub_lag: rng.gen(),
         ..ServiceStats::default()
     };
     for b in s.batch_hist.iter_mut() {
         *b = rng.gen();
     }
     s
+}
+
+fn arb_name(rng: &mut SmallRng) -> String {
+    let n = rng.gen_range(1..24usize);
+    (0..n)
+        .map(|_| {
+            if rng.gen_range(0..8u32) == 0 {
+                '_'
+            } else {
+                (b'a' + rng.gen_range(0..26u32) as u8) as char
+            }
+        })
+        .collect()
+}
+
+fn arb_metrics(rng: &mut SmallRng) -> MetricsSnapshot {
+    let mut m = MetricsSnapshot {
+        version: SNAPSHOT_VERSION,
+        events_dropped: rng.gen(),
+        ..MetricsSnapshot::default()
+    };
+    for _ in 0..rng.gen_range(0..6usize) {
+        m.counters.push((arb_name(rng), rng.gen()));
+    }
+    for _ in 0..rng.gen_range(0..4usize) {
+        m.gauges.push((arb_name(rng), rng.gen()));
+    }
+    for _ in 0..rng.gen_range(0..4usize) {
+        let buckets = (0..rng.gen_range(0..8usize))
+            .map(|_| (rng.gen_range(0..NUM_BUCKETS as u32), rng.gen()))
+            .collect();
+        m.histograms.push((
+            arb_name(rng),
+            HistogramSnapshot {
+                count: rng.gen(),
+                sum: rng.gen(),
+                max: rng.gen(),
+                buckets,
+            },
+        ));
+    }
+    for _ in 0..rng.gen_range(0..4usize) {
+        m.events.push(Event {
+            at_micros: rng.gen(),
+            kind: arb_name(rng),
+            detail: format!("detail {} \"quoted\"\n", rng.gen_range(0..100u32)),
+        });
+    }
+    m
 }
 
 proptest! {
@@ -174,6 +226,18 @@ proptest! {
         prop_assert_eq!(decode_stats(&buf).unwrap(), s);
     }
 
+    /// Telemetry snapshots round-trip through the wire codec: the exact
+    /// same `MetricsSnapshot` schema serves the in-process API, the
+    /// wire call, and the text encoders.
+    #[test]
+    fn metrics_round_trip(seed in 0u64..u64::MAX) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let m = arb_metrics(&mut rng);
+        let mut buf = Vec::new();
+        encode_metrics(&m, &mut buf);
+        prop_assert_eq!(decode_metrics(&buf).unwrap(), m);
+    }
+
     /// Fuzz: decoding any prefix of a valid encoding either succeeds (a
     /// shorter valid value is possible only for the full buffer) or
     /// returns a typed error — never panics. Truncations strictly inside
@@ -206,10 +270,11 @@ proptest! {
     fn mutation_never_panics(seed in 0u64..u64::MAX) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut buf = Vec::new();
-        match rng.gen_range(0..4u32) {
+        match rng.gen_range(0..5u32) {
             0 => encode_delta(&arb_delta(&mut rng), &mut buf),
             1 => encode_update(&arb_update(&mut rng), &mut buf),
             2 => encode_engine_error(&arb_engine_error(&mut rng, 0), &mut buf),
+            3 => encode_metrics(&arb_metrics(&mut rng), &mut buf),
             _ => encode_stats(&arb_stats(&mut rng), &mut buf),
         }
         for _ in 0..rng.gen_range(1..8usize) {
@@ -222,6 +287,7 @@ proptest! {
         let _ = decode_stats(&buf);
         let _ = decode_verdict(&buf);
         let _ = decode_log_entry(&buf);
+        let _ = decode_metrics(&buf);
     }
 
     /// Fuzz: pure garbage decodes to a typed error, never a panic.
@@ -235,6 +301,7 @@ proptest! {
         let _ = decode_stats(&buf);
         let _ = decode_verdict(&buf);
         let _ = decode_log_entry(&buf);
+        let _ = decode_metrics(&buf);
     }
 }
 

@@ -16,6 +16,7 @@ use dynamis_core::{
 };
 use dynamis_graph::hash::{pair_key, FxHashSet};
 use dynamis_graph::{apply_update, DynamicGraph, Partitioner, ShardMap, Update};
+use dynamis_obs::{Counter, Stage};
 use dynamis_serve::SharedLog;
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -97,11 +98,17 @@ impl ThreadCells {
             let join = std::thread::Builder::new()
                 .name(format!("dynamis-shard-{i}"))
                 .spawn(move || {
+                    // Per-cell phase timing: how long this cell spends
+                    // executing commands, across all phases (gated).
+                    let handle_ns = Stage::global(&format!("shard_cell{i}_handle_ns"));
                     while let Ok(cmd) = crx.recv() {
                         if matches!(cmd, Cmd::Stop) {
                             break;
                         }
-                        if rtx.send(cell.handle(cmd)).is_err() {
+                        let t = handle_ns.begin();
+                        let reply = cell.handle(cmd);
+                        handle_ns.end(t);
+                        if rtx.send(reply).is_err() {
                             break;
                         }
                     }
@@ -218,6 +225,31 @@ pub(crate) struct Orchestrator<T: Transport> {
     /// coordination cost (exposed through `coordination_stats`).
     exchanges: u64,
     cmds_sent: u64,
+    obs: ShardObs,
+}
+
+/// Cached telemetry handles for the coordinator: the three sharded
+/// stage timers (gated — see [`dynamis_obs::Stage`]) plus the always-on
+/// exchange/command counters mirroring `coordination_stats`.
+struct ShardObs {
+    exchange: Stage,
+    resolve: Stage,
+    commit: Stage,
+    exchanges: Arc<Counter>,
+    cmds: Arc<Counter>,
+}
+
+impl ShardObs {
+    fn new() -> Self {
+        let g = dynamis_obs::global();
+        ShardObs {
+            exchange: Stage::global("shard_exchange_ns"),
+            resolve: Stage::global("shard_resolve_ns"),
+            commit: Stage::global("shard_commit_ns"),
+            exchanges: g.counter("shard_exchanges_total"),
+            cmds: g.counter("shard_cmds_total"),
+        }
+    }
 }
 
 /// A batched run of membership-neutral structural ops, keyed per cell.
@@ -356,6 +388,7 @@ impl<T: Transport> Orchestrator<T> {
             ],
             exchanges: 0,
             cmds_sent: 0,
+            obs: ShardObs::new(),
         };
         o.route_notes(bootstrap_notes);
         o.settle();
@@ -398,9 +431,13 @@ impl<T: Transport> Orchestrator<T> {
         self.sync();
         self.exchanges += 1;
         self.cmds_sent += cmds.len() as u64;
+        self.obs.exchanges.inc();
+        self.obs.cmds.add(cmds.len() as u64);
+        let t = self.obs.exchange.begin();
         let order: Vec<usize> = cmds.iter().map(|&(s, _)| s).collect();
         self.t.submit(cmds);
         let replies = self.t.collect(&order);
+        self.obs.exchange.end(t);
         for (s, r) in &replies {
             self.hints[*s] = Hints {
                 freed: r.freed,
@@ -421,6 +458,8 @@ impl<T: Transport> Orchestrator<T> {
         self.sync();
         self.exchanges += 1;
         self.cmds_sent += cmds.len() as u64;
+        self.obs.exchanges.inc();
+        self.obs.cmds.add(cmds.len() as u64);
         let order: Vec<usize> = cmds.iter().map(|&(s, _)| s).collect();
         self.t.submit(cmds);
         self.pending = Some(order);
@@ -485,6 +524,7 @@ impl<T: Transport> Orchestrator<T> {
     /// owners of its neighbors; any other cell re-syncs membership when
     /// an `Edge` command first connects it to the vertex.
     fn apply_flips(&mut self, flips: Vec<(u32, bool)>) {
+        let t_commit = self.obs.commit.begin();
         // Any commit invalidates pending refutation clears: these flips
         // may re-arm a refuted candidate for real, so the dirty entries
         // stay and re-resolve instead of riding a now-unsound clear.
@@ -512,6 +552,7 @@ impl<T: Transport> Orchestrator<T> {
             .map(|s| (s, Cmd::Flips(Arc::clone(&arc))))
             .collect();
         self.post(cmds);
+        self.obs.commit.end(t_commit);
     }
 
     /// Shards whose latest reply hinted pending work of the given kind.
@@ -670,7 +711,10 @@ impl<T: Transport> Orchestrator<T> {
             }
         }
         proposals.sort_unstable_by_key(SwapProposal::key);
+        let deferred_before = self.swap_stats.deferred;
+        let t_resolve = self.obs.resolve.begin();
         let resolved = self.resolve_round(&proposals);
+        self.obs.resolve.end(t_resolve);
         let mut flips: Vec<(u32, bool)> = Vec::new();
         let mut marks: FxHashSet<u32> = FxHashSet::default();
         let mut accepted: u64 = 0;
@@ -711,6 +755,17 @@ impl<T: Transport> Orchestrator<T> {
             } else {
                 self.swap_stats.deferred += 1;
             }
+        }
+        let deferred = self.swap_stats.deferred - deferred_before;
+        if deferred > 0 {
+            dynamis_obs::event(
+                "swap_deferral",
+                format!(
+                    "{}-swap round deferred {deferred} of {} proposals",
+                    if two { 2 } else { 1 },
+                    proposals.len()
+                ),
+            );
         }
         if accepted == 0 {
             return false;

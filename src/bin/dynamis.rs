@@ -11,6 +11,7 @@
 //! dynamis serve-bench --dataset NAME [...]       concurrent serving-layer run
 //! dynamis net-serve --dataset NAME [...]         serve over TCP (wire protocol)
 //! dynamis net-load --addr HOST:PORT [...]        drive a net-serve with load
+//! dynamis metrics --addr HOST:PORT [...]         fetch a telemetry snapshot
 //! ```
 //!
 //! Graph formats are sniffed from the file extension: `.col`/`.clq` →
@@ -63,18 +64,25 @@ const USAGE: &str = "usage:
   dynamis serve-bench (--dataset NAME | --graph FILE) [--updates N] [--seed S]
                       [--k K] [--readers R] [--burst B] [--stream mixed|adversarial]
                       [--shards P] [--partitioner greedy|locality]
+                      [--metrics true]
   dynamis net-serve (--dataset NAME | --graph FILE) [--k K] [--burst B]
                     [--shards P] [--partitioner greedy|locality]
                     [--addr HOST:PORT] [--max-sessions N]
-                    [--shed-high H] [--shed-low L]
+                    [--shed-high H] [--shed-low L] [--metrics true]
   dynamis net-load --addr HOST:PORT [--subscribers N] [--writers W]
                    [--updates U] [--vertices V] [--batch B] [--seed S] [--json]
+  dynamis metrics --addr HOST:PORT [--json true | --prom true]
+                  [--require NAME,NAME,...]
 
 dynamic algorithms (ALGO): one (default), two, k:<K>, arw, dgone, dgtwo,
                            maximal, restart:<interval>
 net-serve prints `LISTENING <addr>` once ready, serves until stdin closes
 (EOF), then drains subscribers and shuts down; net-load reports writer
 round-trip percentiles, throughput, and delta-stream integrity
+--metrics true enables the gated stage timers (counters are always on);
+`metrics` fetches the registry snapshot over the wire — human-readable by
+default, --json/--prom for machine output, --require fails unless every
+named series exists and is non-zero (for CI smoke checks)
 --shards P > 1 serves the canonical sharded engine (P writer threads,
 merged per-shard readers) instead of the single-writer service;
 --partitioner picks how the vertex space splits across those shards
@@ -93,6 +101,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("serve-bench") => cmd_serve_bench(&args[1..]),
         Some("net-serve") => cmd_net_serve(&args[1..]),
         Some("net-load") => cmd_net_load(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("missing command".into()),
     }
@@ -404,7 +413,7 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
 fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
     let (mut dataset, mut graph, mut updates, mut seed, mut k, mut readers, mut burst) =
         (None, None, None, None, None, None, None);
-    let (mut stream, mut shards, mut partitioner) = (None, None, None);
+    let (mut stream, mut shards, mut partitioner, mut metrics) = (None, None, None, None);
     let positional = parse_flags(
         args,
         &mut [
@@ -418,10 +427,14 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
             ("stream", &mut stream),
             ("shards", &mut shards),
             ("partitioner", &mut partitioner),
+            ("metrics", &mut metrics),
         ],
     )?;
     if !positional.is_empty() {
         return Err("serve-bench takes only flags".into());
+    }
+    if metrics.as_deref() == Some("true") {
+        dynamis::obs::set_enabled(true);
     }
     let g = starting_graph(dataset.as_deref(), graph.as_deref())?;
     let parse = |v: Option<&str>, default: usize, what: &str| -> Result<usize, String> {
@@ -544,13 +557,17 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
     );
     println!("final stats: {}", report.stats);
     println!("final |I| = {}", report.solution.len());
+    if dynamis::obs::enabled() {
+        println!("{}", dynamis::obs::global().snapshot().to_prometheus());
+    }
     Ok(())
 }
 
 fn cmd_net_serve(args: &[String]) -> Result<(), String> {
     let (mut dataset, mut graph, mut k, mut burst, mut shards, mut partitioner) =
         (None, None, None, None, None, None);
-    let (mut addr, mut max_sessions, mut shed_high, mut shed_low) = (None, None, None, None);
+    let (mut addr, mut max_sessions, mut shed_high, mut shed_low, mut metrics) =
+        (None, None, None, None, None);
     let positional = parse_flags(
         args,
         &mut [
@@ -564,10 +581,14 @@ fn cmd_net_serve(args: &[String]) -> Result<(), String> {
             ("max-sessions", &mut max_sessions),
             ("shed-high", &mut shed_high),
             ("shed-low", &mut shed_low),
+            ("metrics", &mut metrics),
         ],
     )?;
     if !positional.is_empty() {
         return Err("net-serve takes only flags".into());
+    }
+    if metrics.as_deref() == Some("true") {
+        dynamis::obs::set_enabled(true);
     }
     let g = starting_graph(dataset.as_deref(), graph.as_deref())?;
     let parse = |v: Option<&str>, default: usize, what: &str| -> Result<usize, String> {
@@ -720,6 +741,70 @@ fn cmd_net_load(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let (mut addr, mut json, mut prom, mut require) = (None, None, None, None);
+    let positional = parse_flags(
+        args,
+        &mut [
+            ("addr", &mut addr),
+            ("json", &mut json),
+            ("prom", &mut prom),
+            ("require", &mut require),
+        ],
+    )?;
+    if !positional.is_empty() {
+        return Err("metrics takes only flags".into());
+    }
+    let addr = addr.ok_or("metrics needs --addr HOST:PORT")?;
+    let mut client =
+        dynamis::net::NetClient::connect(&addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    let m = client.metrics().map_err(|e| format!("metrics call: {e}"))?;
+    if json.as_deref() == Some("true") {
+        println!("{}", m.to_json());
+    } else if prom.as_deref() == Some("true") {
+        println!("{}", m.to_prometheus());
+    } else {
+        println!("snapshot v{}:", m.version);
+        for (name, v) in &m.counters {
+            println!("  {name} = {v}");
+        }
+        for (name, v) in &m.gauges {
+            println!("  {name} = {v}");
+        }
+        for (name, h) in &m.histograms {
+            println!(
+                "  {name}: n={} mean={} p50={} p99={} max={}",
+                h.count,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+                h.max
+            );
+        }
+        for e in &m.events {
+            println!("  [{}µs] {}: {}", e.at_micros, e.kind, e.detail);
+        }
+        if m.events_dropped > 0 {
+            println!("  ({} events dropped)", m.events_dropped);
+        }
+    }
+    // CI smoke contract: every required series must exist and be
+    // non-zero (counter/gauge value, or histogram sample count).
+    if let Some(req) = require {
+        for name in req.split(',').filter(|s| !s.is_empty()) {
+            let live = m
+                .counter(name)
+                .or_else(|| m.gauge(name))
+                .or_else(|| m.histogram(name).map(|h| h.count))
+                .ok_or_else(|| format!("required series `{name}` is missing"))?;
+            if live == 0 {
+                return Err(format!("required series `{name}` is zero"));
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -859,6 +944,59 @@ mod tests {
             "2".to_string(),
         ])
         .is_err());
+    }
+
+    #[test]
+    fn metrics_command_validates_its_flags() {
+        // No --addr is a usage error, not a connection attempt.
+        assert!(cmd_metrics(&[]).is_err());
+        let args: Vec<String> = vec!["stray-positional".into()];
+        assert!(cmd_metrics(&args).is_err());
+    }
+
+    #[test]
+    fn metrics_command_round_trips_against_a_live_server() {
+        let g = DynamicGraph::from_edges(4, &[(0, 1)]);
+        let (service, _reader) =
+            MisService::spawn(EngineBuilder::on(g).k(2), ServeConfig::default()).unwrap();
+        let handle = NetServer::bind(
+            "127.0.0.1:0",
+            NetBackend::single(&service),
+            NetConfig::default(),
+        )
+        .unwrap();
+        let addr = handle.local_addr().to_string();
+
+        let mut client = dynamis::net::NetClient::connect(&addr).unwrap();
+        client
+            .apply(dynamis::graph::Update::InsertEdge(2, 3))
+            .unwrap();
+
+        // Always-on counters must satisfy a --require smoke check in
+        // every output mode.
+        for mode in [&["--json", "true"][..], &["--prom", "true"][..], &[][..]] {
+            let mut args = vec![
+                "metrics".to_string(),
+                "--addr".to_string(),
+                addr.clone(),
+                "--require".to_string(),
+                "serve_applied_total".to_string(),
+            ];
+            args.extend(mode.iter().map(|s| s.to_string()));
+            dispatch(&args).unwrap_or_else(|m| panic!("{mode:?}: {m}"));
+        }
+        // A series the server never registered fails the check.
+        assert!(dispatch(&[
+            "metrics".to_string(),
+            "--addr".to_string(),
+            addr.clone(),
+            "--require".to_string(),
+            "no_such_series".to_string(),
+        ])
+        .is_err());
+
+        handle.shutdown();
+        service.shutdown();
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub use dynamis_core as core;
 pub use dynamis_gen as gen;
 pub use dynamis_graph as graph;
 pub use dynamis_net as net;
+pub use dynamis_obs as obs;
 pub use dynamis_problems as problems;
 pub use dynamis_serve as serve;
 pub use dynamis_shard as shard;
