@@ -1,0 +1,241 @@
+//! Durability overhead guard: the single-writer ingest path with a
+//! group-commit WAL underneath must stay within 15% of the same loop
+//! with no WAL at all. This is the PR-9 bound that keeps durability
+//! from silently eating the PR-3 ingest throughput.
+//!
+//! Whole-run A/B on a shared host is far too noisy for a ≲15% effect —
+//! the machines this runs on show double-digit throughput swings at
+//! multi-second scale. Instead each pass keeps **both** engines alive
+//! and feeds them the identical update stream in alternating timed
+//! chunks: WAL-off then WAL-on on even chunk indices, the reverse on
+//! odd (and the phase flips per pass), so interference bursts land on
+//! both modes in nearly equal measure and position-in-stream cost
+//! differences cancel. Each pass yields one `t_walon/t_waloff` ratio;
+//! the reported overhead is the median across passes. Both engines
+//! must accept the same updates and end on the same solution — that
+//! equality is asserted, so the comparison cannot quietly diverge.
+//!
+//! The WAL-on engine writes real files through [`FileStorage`] under
+//! `SyncPolicy::Group` (the `net-serve` default: appends buffered in
+//! user space, fsyncs batched on an interval off the writer thread)
+//! into a scratch directory recreated per pass; point
+//! `DYNAMIS_BENCH_DIR` at a tmpfs (e.g. `/dev/shm`) to measure codec +
+//! batching cost without rotational fsync latency dominating.
+//!
+//! Writes `BENCH_PR9.json` (override with `DYNAMIS_BENCH_OUT`); honors
+//! `DYNAMIS_FAST=1`. The ≤15% bound is asserted only under
+//! `DYNAMIS_ENFORCE_OVERHEAD=1` — even interleaved measurement can
+//! flake on a badly disturbed runner, so the hard gate is opt-in.
+
+use dynamis_core::{DynamicMis, EngineBuilder};
+use dynamis_durable::{prepare, DurableOptions, FileStorage, Logged, SyncPolicy, WalStorage};
+use dynamis_gen::powerlaw::chung_lu;
+use dynamis_gen::{StreamConfig, UpdateStream};
+use dynamis_graph::{DynamicGraph, Update};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+const MAX_OVERHEAD_PCT: f64 = 15.0;
+/// Updates per timed chunk: a few ms of work, far finer than the
+/// interference bursts being cancelled.
+const CHUNK: usize = 2048;
+
+fn scratch_dir() -> PathBuf {
+    let base = std::env::var("DYNAMIS_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| std::env::temp_dir());
+    base.join(format!("dynamis_bench_durable_{}", std::process::id()))
+}
+
+/// A fresh WAL-backed engine over a recreated scratch directory: every
+/// pass pays the same bootstrap checkpoint and appends from a cold log,
+/// like a server restart. Construction is untimed.
+fn build_logged(g: &DynamicGraph, dir: &Path) -> Logged {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).expect("create scratch dir");
+    let storage = FileStorage::open(dir).expect("open scratch dir");
+    let arc: Arc<dyn WalStorage> = Arc::new(storage);
+    let opts = DurableOptions {
+        sync: SyncPolicy::Group,
+        ..DurableOptions::default()
+    };
+    let mut prepared = prepare(arc, 2, opts).expect("prepare scratch dir");
+    let builder = prepared.resume_builder(EngineBuilder::on(g.clone()).k(2));
+    prepared
+        .attach(builder.build().unwrap())
+        .expect("attach logged engine")
+}
+
+fn drive(engine: &mut dyn DynamicMis, chunk: &[Update]) -> (f64, u64) {
+    let t = Instant::now();
+    let mut accepted = 0u64;
+    for u in chunk {
+        if engine.try_apply(u).is_ok() {
+            accepted += 1;
+        }
+    }
+    (t.elapsed().as_secs_f64(), accepted)
+}
+
+/// One pass: both engines consume the whole stream in alternating timed
+/// chunks. Returns (off_secs, on_secs, accepted, wal_bytes).
+fn interleaved_pass(
+    g: &DynamicGraph,
+    ups: &[Update],
+    dir: &Path,
+    phase: usize,
+) -> (f64, f64, u64, u64) {
+    let mut plain = EngineBuilder::on(g.clone()).k(2).build().unwrap();
+    let mut logged = build_logged(g, dir);
+    let (mut t_off, mut t_on) = (0.0, 0.0);
+    let (mut a_off, mut a_on) = (0u64, 0u64);
+    for (ci, chunk) in ups.chunks(CHUNK).enumerate() {
+        if (ci + phase).is_multiple_of(2) {
+            let (t, a) = drive(plain.as_mut(), chunk);
+            t_off += t;
+            a_off += a;
+            let (t, a) = drive(&mut logged, chunk);
+            t_on += t;
+            a_on += a;
+        } else {
+            let (t, a) = drive(&mut logged, chunk);
+            t_on += t;
+            a_on += a;
+            let (t, a) = drive(plain.as_mut(), chunk);
+            t_off += t;
+            a_off += a;
+        }
+    }
+    // Identical engine, identical stream: the WAL must be invisible to
+    // acceptance and to the final solution, or the timing comparison is
+    // comparing different work.
+    assert!(logged.wal_healthy(), "WAL hit a storage error mid-bench");
+    assert_eq!(a_off, a_on, "the WAL changed which updates were accepted");
+    assert_eq!(plain.solution(), logged.solution(), "states diverged");
+    drop(logged); // untimed: shutdown flush is not ingest cost
+    let bytes: u64 = std::fs::read_dir(dir)
+        .expect("read scratch dir")
+        .filter_map(|e| e.ok()?.metadata().ok())
+        .filter(|m| m.is_file())
+        .map(|m| m.len())
+        .sum();
+    (t_off, t_on, a_off, bytes)
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    if xs.len() % 2 == 1 {
+        xs[xs.len() / 2]
+    } else {
+        (xs[xs.len() / 2 - 1] + xs[xs.len() / 2]) / 2.0
+    }
+}
+
+fn main() {
+    let fast = dynamis_bench::fast_mode();
+    let (n, updates, passes) = if fast {
+        (10_000, 20_000, 5)
+    } else {
+        (50_000, 100_000, 9)
+    };
+    let (beta, avg_degree, seed) = (2.4, 8.0, 91);
+
+    eprintln!("durable: building Chung-Lu base graph (n = {n}, beta = {beta}, d = {avg_degree})");
+    let base = chung_lu(n, beta, avg_degree, seed);
+    let ups =
+        UpdateStream::new(&base, StreamConfig::default(), seed ^ 0xbeef).take_updates(updates);
+    let dir = scratch_dir();
+    eprintln!(
+        "durable: m = {}, {} updates; {passes} interleaved passes ({CHUNK}-update chunks), \
+         WAL scratch at {}",
+        base.num_edges(),
+        ups.len(),
+        dir.display()
+    );
+
+    // Warm-up: one untimed pass.
+    interleaved_pass(&base, &ups, &dir, 0);
+
+    let (mut off_secs, mut on_secs) = (0.0f64, 0.0f64);
+    let mut accepted = 0u64;
+    let mut wal_bytes = 0u64;
+    let mut ratios = Vec::with_capacity(passes);
+    for phase in 0..passes {
+        let (t_off, t_on, a, bytes) = interleaved_pass(&base, &ups, &dir, phase);
+        off_secs += t_off;
+        on_secs += t_on;
+        accepted = a;
+        wal_bytes = bytes;
+        ratios.push(t_on / t_off);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let overhead_pct = (median(&mut ratios) - 1.0) * 100.0;
+    let off_ups = (passes as f64 * ups.len() as f64) / off_secs;
+    let on_ups = (passes as f64 * ups.len() as f64) / on_secs;
+
+    let mut table =
+        dynamis_bench::Table::new(vec!["mode", "updates/s", "accepted", "wal bytes/pass"]);
+    table.row(vec![
+        "wal-off".into(),
+        format!("{off_ups:.0}"),
+        format!("{accepted}"),
+        "-".into(),
+    ]);
+    table.row(vec![
+        "wal-on (group)".into(),
+        format!("{on_ups:.0}"),
+        format!("{accepted}"),
+        format!("{wal_bytes}"),
+    ]);
+    table.print();
+    eprintln!("durable: median WAL overhead {overhead_pct:+.2}% (budget {MAX_OVERHEAD_PCT}%)");
+
+    let enforce = std::env::var("DYNAMIS_ENFORCE_OVERHEAD").is_ok_and(|v| v == "1");
+    if enforce {
+        assert!(
+            overhead_pct <= MAX_OVERHEAD_PCT,
+            "WAL overhead {overhead_pct:.2}% exceeds the {MAX_OVERHEAD_PCT}% budget"
+        );
+    } else if overhead_pct > MAX_OVERHEAD_PCT {
+        eprintln!(
+            "durable: WARNING overhead {overhead_pct:.2}% exceeds {MAX_OVERHEAD_PCT}% \
+             (not enforced; set DYNAMIS_ENFORCE_OVERHEAD=1 to fail)"
+        );
+    }
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"durable-wal-overhead\",").unwrap();
+    writeln!(
+        json,
+        "  \"workload\": {{\"model\": \"chung_lu\", \"n\": {n}, \"beta\": {beta}, \
+         \"avg_degree\": {avg_degree}, \"updates\": {}, \"seed\": {seed}, \
+         \"passes\": {passes}, \"chunk\": {CHUNK}, \"fast\": {fast}}},",
+        ups.len()
+    )
+    .unwrap();
+    writeln!(json, "  \"sync_policy\": \"group\",").unwrap();
+    writeln!(json, "  \"max_overhead_pct\": {MAX_OVERHEAD_PCT},").unwrap();
+    writeln!(json, "  \"enforced\": {enforce},").unwrap();
+    writeln!(
+        json,
+        "  \"wal_off\": {{\"secs\": {off_secs:.4}, \"updates_per_sec\": {off_ups:.1}, \
+         \"accepted\": {accepted}}},"
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"wal_on\": {{\"secs\": {on_secs:.4}, \"updates_per_sec\": {on_ups:.1}, \
+         \"accepted\": {accepted}, \"wal_bytes_per_pass\": {wal_bytes}}},"
+    )
+    .unwrap();
+    writeln!(json, "  \"overhead_pct\": {overhead_pct:.3}").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    let out = std::env::var("DYNAMIS_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR9.json".to_string());
+    std::fs::write(&out, &json).expect("write bench report");
+    eprintln!("durable: wrote {out}");
+}

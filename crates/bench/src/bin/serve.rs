@@ -84,6 +84,7 @@ fn run_serve(
             queue_updates: 1024,
             burst: 256,
             log_window: 1024,
+            first_seq: 0,
         },
     )
     .expect("engine construction");

@@ -98,6 +98,7 @@ fn serve_cfg() -> ServeConfig {
         queue_updates: 1024,
         burst: 256,
         log_window: 1024,
+        first_seq: 0,
     }
 }
 

@@ -1,0 +1,315 @@
+//! The read side: scan a durable directory, validate every byte, and
+//! reconstruct the longest consistent prefix of the accepted stream.
+//!
+//! Recovery invariants:
+//!
+//! - The newest **valid** checkpoint is the base; checkpoints damaged
+//!   by a crash mid-publish are skipped in favor of an older one (the
+//!   writer keeps more than one for exactly this reason).
+//! - A newer *format version* or a mismatched *k* is a typed refusal,
+//!   never a fallback — those mean operator error, and guessing would
+//!   silently produce a different solution.
+//! - Only the **final** segment of a stream may end in damage (the torn
+//!   tail of the crashed write); recovery truncates it rather than
+//!   trusting it. Damage anywhere else cannot be produced by a crash
+//!   and is reported as corruption.
+//! - The recovered stream is the longest *contiguous* run of sequence
+//!   numbers above the checkpoint. Records beyond a gap (possible only
+//!   under mid-log damage in a multi-stream layout) are dropped and
+//!   their bytes scheduled for truncation, so a reopened log never
+//!   collides with stale sequence numbers.
+
+use crate::error::DurableError;
+use crate::format::{
+    decode_checkpoint, decode_manifest, decode_record, decode_segment_header, is_tmp_name,
+    parse_checkpoint_name, parse_segment_name, CheckpointOutcome, Manifest, RecordStep,
+    MANIFEST_NAME, SEGMENT_HEADER_LEN,
+};
+use crate::storage::WalStorage;
+use dynamis_core::Snapshot;
+use dynamis_graph::Update;
+use std::collections::BTreeMap;
+
+/// A mutation `scan` prescribes but does not perform: dropping torn
+/// tails, stale temporaries, and orphaned records. `verify` mode
+/// reports them; `replay` mode (and every reopen-for-writing) applies
+/// them via [`apply_repairs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Repair {
+    /// Cut `name` down to `len` bytes.
+    Truncate {
+        /// File to truncate.
+        name: String,
+        /// Valid byte length to keep.
+        len: u64,
+    },
+    /// Delete `name` entirely.
+    Remove {
+        /// File to delete.
+        name: String,
+    },
+}
+
+/// Everything a scan learned about a durable directory.
+#[derive(Debug)]
+pub struct ScanReport {
+    /// The directory's pinned identity.
+    pub manifest: Manifest,
+    /// Sequence number the recovered snapshot covers (inclusive).
+    pub checkpoint_seq: u64,
+    /// The engine state at `checkpoint_seq`.
+    pub snapshot: Snapshot,
+    /// Last sequence number of the recovered prefix; the directory
+    /// holds the exact state of an uninterrupted run of this length.
+    pub recovered_seq: u64,
+    /// The WAL tail to replay: updates `checkpoint_seq + 1 ..= recovered_seq`.
+    pub tail: Vec<Update>,
+    /// Mutations required to make the directory clean for appending.
+    pub repairs: Vec<Repair>,
+    /// Newest-first checkpoints skipped as damaged before one validated.
+    pub skipped_checkpoints: usize,
+    /// Bytes of torn tail scheduled for truncation.
+    pub torn_bytes: u64,
+    /// Decodable records dropped because they lie beyond a sequence gap.
+    pub dropped_records: u64,
+}
+
+/// Scans `storage` without mutating it. `expected_k` / `expected_streams`
+/// (when given) must match the manifest, else the scan is refused with
+/// the corresponding typed error.
+pub fn scan(
+    storage: &dyn WalStorage,
+    expected_k: Option<u32>,
+    expected_streams: Option<u32>,
+) -> Result<ScanReport, DurableError> {
+    let names = storage.list()?;
+    if !names.iter().any(|n| n == MANIFEST_NAME) {
+        return Err(DurableError::NotInitialized);
+    }
+    let manifest = decode_manifest(&storage.read(MANIFEST_NAME)?)?;
+    if let Some(k) = expected_k {
+        if manifest.k != k {
+            return Err(DurableError::KMismatch {
+                found: manifest.k,
+                expected: k,
+            });
+        }
+    }
+    if let Some(streams) = expected_streams {
+        if manifest.streams != streams {
+            return Err(DurableError::StreamMismatch {
+                found: manifest.streams,
+                expected: streams,
+            });
+        }
+    }
+
+    let mut removes: Vec<String> = names.iter().filter(|n| is_tmp_name(n)).cloned().collect();
+    let mut truncates: BTreeMap<String, u64> = BTreeMap::new();
+    let mut torn_bytes = 0u64;
+
+    // ---- newest valid checkpoint, skipping crash-damaged ones --------
+    let mut ckpts: Vec<(u64, &String)> = names
+        .iter()
+        .filter_map(|n| parse_checkpoint_name(n).map(|seq| (seq, n)))
+        .collect();
+    ckpts.sort_by_key(|c| std::cmp::Reverse(c.0));
+    let mut skipped_checkpoints = 0;
+    let mut chosen = None;
+    for &(name_seq, name) in &ckpts {
+        match decode_checkpoint(&storage.read(name)?) {
+            CheckpointOutcome::Valid(hdr, snapshot) => {
+                if hdr.k != manifest.k {
+                    return Err(DurableError::KMismatch {
+                        found: hdr.k,
+                        expected: manifest.k,
+                    });
+                }
+                if hdr.streams != manifest.streams {
+                    return Err(DurableError::StreamMismatch {
+                        found: hdr.streams,
+                        expected: manifest.streams,
+                    });
+                }
+                if hdr.seq != name_seq {
+                    // A checkpoint lying about its own name is damage.
+                    skipped_checkpoints += 1;
+                    removes.push(name.clone());
+                    continue;
+                }
+                chosen = Some((hdr.seq, snapshot));
+                break;
+            }
+            CheckpointOutcome::NewerVersion(found) => {
+                return Err(DurableError::UnsupportedVersion {
+                    found,
+                    supported: crate::format::FORMAT_VERSION,
+                });
+            }
+            CheckpointOutcome::Damaged(_) => {
+                skipped_checkpoints += 1;
+                removes.push(name.clone());
+            }
+        }
+    }
+    let (checkpoint_seq, snapshot) = chosen.ok_or(DurableError::NoCheckpoint)?;
+
+    // ---- decode every stream's segments ------------------------------
+    let streams = manifest.streams.max(1);
+    let mut per_stream_files: Vec<Vec<(u64, String)>> = vec![Vec::new(); streams as usize];
+    for n in &names {
+        if let Some((stream, start_seq)) = parse_segment_name(n) {
+            if stream >= streams {
+                return Err(DurableError::Corrupt {
+                    file: n.clone(),
+                    what: "segment stream index out of range",
+                });
+            }
+            per_stream_files[stream as usize].push((start_seq, n.clone()));
+        }
+    }
+    // (seq, update) above the checkpoint, plus where each record lives
+    // so orphans beyond a gap can be cut.
+    let mut records: BTreeMap<u64, Update> = BTreeMap::new();
+    let mut positions: Vec<Vec<(u64, usize, u64)>> = vec![Vec::new(); streams as usize];
+    for (s, files) in per_stream_files.iter_mut().enumerate() {
+        files.sort();
+        let mut last_seq: Option<u64> = None;
+        for (fi, (start_seq, name)) in files.iter().enumerate() {
+            let last_file = fi == files.len() - 1;
+            let bytes = storage.read(name)?;
+            // Damage verdict for this position in the stream: the final
+            // segment's tail is a legal crash artifact (truncate it);
+            // anything earlier no crash can produce.
+            let hdr = match decode_segment_header(&bytes) {
+                Ok(hdr) => hdr,
+                Err(what) => {
+                    if last_file {
+                        removes.push(name.clone());
+                        torn_bytes += bytes.len() as u64;
+                        break;
+                    }
+                    return Err(DurableError::Corrupt {
+                        file: name.clone(),
+                        what,
+                    });
+                }
+            };
+            if hdr.stream != s as u32 || hdr.start_seq != *start_seq {
+                if last_file {
+                    removes.push(name.clone());
+                    torn_bytes += bytes.len() as u64;
+                    break;
+                }
+                return Err(DurableError::Corrupt {
+                    file: name.clone(),
+                    what: "segment header disagrees with its file name",
+                });
+            }
+            let mut off = SEGMENT_HEADER_LEN;
+            loop {
+                match decode_record(&bytes, off) {
+                    RecordStep::End => break,
+                    RecordStep::Damaged(what) => {
+                        if last_file {
+                            truncates.insert(name.clone(), off as u64);
+                            torn_bytes += (bytes.len() - off) as u64;
+                            break;
+                        }
+                        return Err(DurableError::Corrupt {
+                            file: name.clone(),
+                            what,
+                        });
+                    }
+                    RecordStep::Record { seq, update, next } => {
+                        if seq % streams as u64 != s as u64 {
+                            return Err(DurableError::Corrupt {
+                                file: name.clone(),
+                                what: "record routed to the wrong stream",
+                            });
+                        }
+                        if last_seq.is_some_and(|p| seq <= p) {
+                            return Err(DurableError::Corrupt {
+                                file: name.clone(),
+                                what: "sequence numbers not increasing",
+                            });
+                        }
+                        last_seq = Some(seq);
+                        if seq > checkpoint_seq {
+                            positions[s].push((seq, fi, off as u64));
+                            if records.insert(seq, update).is_some() {
+                                return Err(DurableError::Corrupt {
+                                    file: name.clone(),
+                                    what: "duplicate sequence number",
+                                });
+                            }
+                        }
+                        off = next;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- longest contiguous prefix above the checkpoint --------------
+    let mut recovered_seq = checkpoint_seq;
+    let mut tail = Vec::new();
+    while let Some(update) = records.remove(&(recovered_seq + 1)) {
+        recovered_seq += 1;
+        tail.push(update);
+    }
+    let dropped_records = records.len() as u64;
+    if dropped_records > 0 {
+        // Cut each stream at its first orphan so reopened appends can
+        // never collide with stale sequence numbers.
+        for (s, pos) in positions.iter().enumerate() {
+            if let Some(&(_, fi, off)) = pos.iter().find(|(seq, _, _)| *seq > recovered_seq) {
+                let (_, name) = &per_stream_files[s][fi];
+                let cut = truncates.get(name).map_or(off, |&t| t.min(off));
+                truncates.insert(name.clone(), cut);
+                for (_, later) in &per_stream_files[s][fi + 1..] {
+                    removes.push(later.clone());
+                }
+            }
+        }
+    }
+
+    let mut repairs: Vec<Repair> = Vec::new();
+    for name in removes {
+        truncates.remove(&name);
+        repairs.push(Repair::Remove { name });
+    }
+    repairs.extend(
+        truncates
+            .into_iter()
+            .map(|(name, len)| Repair::Truncate { name, len }),
+    );
+
+    Ok(ScanReport {
+        manifest,
+        checkpoint_seq,
+        snapshot,
+        recovered_seq,
+        tail,
+        repairs,
+        skipped_checkpoints,
+        torn_bytes,
+        dropped_records,
+    })
+}
+
+/// Applies the repairs a scan prescribed. Idempotent: re-running after
+/// a crash mid-repair converges to the same clean directory.
+pub fn apply_repairs(storage: &dyn WalStorage, repairs: &[Repair]) -> std::io::Result<()> {
+    for r in repairs {
+        match r {
+            Repair::Truncate { name, len } => storage.truncate(name, *len)?,
+            Repair::Remove { name } => match storage.remove(name) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            },
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,362 @@
+//! Storage abstraction under the WAL: a flat namespace of append-only
+//! files with explicit sync, truncate, and atomic rename.
+//!
+//! Two implementations:
+//!
+//! - [`FileStorage`] — a real directory. `sync` is `fsync`; `rename` is
+//!   the atomic-publish primitive checkpoint and manifest writes rely
+//!   on (write `*.tmp`, sync, rename into place).
+//! - [`MemStorage`] — an in-memory directory with **deterministic
+//!   crash injection at byte granularity**: give it a byte budget and
+//!   the append that exceeds it writes exactly the remaining bytes,
+//!   then fails — and every later mutation fails too, exactly like a
+//!   process that died mid-`write`. Because the writer emits bytes in
+//!   a deterministic order, crashing at byte `b` is a pure function of
+//!   `b`, which is what lets the recovery-equivalence proptest sweep
+//!   *every* crash point of a recorded run.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// The file operations the WAL and checkpoint writers need. Names are
+/// flat (no subdirectories); implementations decide what they map to.
+pub trait WalStorage: Send + Sync {
+    /// Every file name in the directory, in unspecified order.
+    fn list(&self) -> io::Result<Vec<String>>;
+    /// The full contents of `name`.
+    fn read(&self, name: &str) -> io::Result<Vec<u8>>;
+    /// Creates `name` empty, truncating any existing file.
+    fn create(&self, name: &str) -> io::Result<()>;
+    /// Appends `data` to `name` (which must exist).
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()>;
+    /// Forces `name`'s contents to stable storage.
+    fn sync(&self, name: &str) -> io::Result<()>;
+    /// Truncates `name` to `len` bytes — how recovery drops a torn
+    /// tail instead of trusting it.
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()>;
+    /// Atomically replaces `to` with `from`.
+    fn rename(&self, from: &str, to: &str) -> io::Result<()>;
+    /// Removes `name`.
+    fn remove(&self, name: &str) -> io::Result<()>;
+    /// Current size of `name` in bytes.
+    fn size(&self, name: &str) -> io::Result<u64>;
+}
+
+/// [`WalStorage`] over a real directory (created on open).
+#[derive(Debug)]
+pub struct FileStorage {
+    root: PathBuf,
+}
+
+impl FileStorage {
+    /// Opens (creating if needed) `root` as a durable data directory.
+    pub fn open<P: AsRef<Path>>(root: P) -> io::Result<FileStorage> {
+        fs::create_dir_all(root.as_ref())?;
+        Ok(FileStorage {
+            root: root.as_ref().to_path_buf(),
+        })
+    }
+
+    /// The directory this storage is rooted at.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    /// Syncs the directory entry itself — after a create or rename, the
+    /// *name* must survive a crash too, not only the bytes.
+    fn sync_dir(&self) -> io::Result<()> {
+        fs::File::open(&self.root)?.sync_all()
+    }
+}
+
+impl WalStorage for FileStorage {
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Ok(name) = entry.file_name().into_string() {
+                    names.push(name);
+                }
+            }
+        }
+        Ok(names)
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        fs::read(self.path(name))
+    }
+
+    fn create(&self, name: &str) -> io::Result<()> {
+        fs::File::create(self.path(name))?;
+        self.sync_dir()
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        let mut f = fs::OpenOptions::new().append(true).open(self.path(name))?;
+        f.write_all(data)
+    }
+
+    fn sync(&self, name: &str) -> io::Result<()> {
+        fs::OpenOptions::new()
+            .read(true)
+            .open(self.path(name))?
+            .sync_all()
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        let f = fs::OpenOptions::new().write(true).open(self.path(name))?;
+        f.set_len(len)?;
+        f.sync_all()
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        fs::rename(self.path(from), self.path(to))?;
+        self.sync_dir()
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        fs::remove_file(self.path(name))
+    }
+
+    fn size(&self, name: &str) -> io::Result<u64> {
+        Ok(fs::metadata(self.path(name))?.len())
+    }
+}
+
+#[derive(Debug, Default)]
+struct MemInner {
+    files: BTreeMap<String, Vec<u8>>,
+    /// Total bytes ever appended — the crash-offset coordinate space.
+    appended: u64,
+    /// Bytes of append budget left before the simulated crash.
+    budget: Option<u64>,
+    /// The process "died": every mutation fails until [`MemStorage::revive`].
+    dead: bool,
+}
+
+fn crashed() -> io::Error {
+    io::Error::new(io::ErrorKind::BrokenPipe, "simulated crash")
+}
+
+/// In-memory [`WalStorage`] with byte-granular crash injection.
+///
+/// Clones share the same directory, so a test holds one handle to
+/// inject the fault and hands a clone to the code under test; after the
+/// "crash", [`MemStorage::revive`] models the restart and recovery runs
+/// against the surviving bytes.
+#[derive(Debug, Clone, Default)]
+pub struct MemStorage {
+    inner: Arc<Mutex<MemInner>>,
+}
+
+impl MemStorage {
+    /// An empty in-memory directory with no fault scheduled.
+    pub fn new() -> MemStorage {
+        MemStorage::default()
+    }
+
+    /// An empty directory that crashes once `budget` appended bytes
+    /// have been written: the append that would exceed the budget
+    /// persists exactly the bytes that still fit, then fails — and the
+    /// storage stays dead until [`MemStorage::revive`].
+    pub fn with_budget(budget: u64) -> MemStorage {
+        let st = MemStorage::new();
+        st.inner.lock().unwrap().budget = Some(budget);
+        st
+    }
+
+    /// Total bytes appended so far across all files — run once without
+    /// a budget to learn the byte-offset space a crash sweep covers.
+    pub fn total_appended(&self) -> u64 {
+        self.inner.lock().unwrap().appended
+    }
+
+    /// Whether the scheduled fault has fired.
+    pub fn is_dead(&self) -> bool {
+        self.inner.lock().unwrap().dead
+    }
+
+    /// Models the restart: clears the dead flag and any remaining
+    /// budget. The surviving file contents are untouched.
+    pub fn revive(&self) {
+        let mut g = self.inner.lock().unwrap();
+        g.dead = false;
+        g.budget = None;
+    }
+
+    /// Test helper: XORs `mask` into the byte at `offset` of `name` —
+    /// the bit-flip primitive of the corruption fuzz suite.
+    pub fn corrupt(&self, name: &str, offset: usize, mask: u8) {
+        let mut g = self.inner.lock().unwrap();
+        let f = g.files.get_mut(name).expect("corrupt: no such file");
+        f[offset] ^= mask;
+    }
+
+    /// Test helper: replaces `name`'s contents wholesale (free of
+    /// budget accounting).
+    pub fn overwrite(&self, name: &str, bytes: Vec<u8>) {
+        self.inner.lock().unwrap().files.insert(name.into(), bytes);
+    }
+}
+
+impl WalStorage for MemStorage {
+    fn list(&self) -> io::Result<Vec<String>> {
+        Ok(self.inner.lock().unwrap().files.keys().cloned().collect())
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.inner
+            .lock()
+            .unwrap()
+            .files
+            .get(name)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))
+    }
+
+    fn create(&self, name: &str) -> io::Result<()> {
+        let mut g = self.inner.lock().unwrap();
+        if g.dead {
+            return Err(crashed());
+        }
+        g.files.insert(name.into(), Vec::new());
+        Ok(())
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        let mut g = self.inner.lock().unwrap();
+        if g.dead {
+            return Err(crashed());
+        }
+        let take = match g.budget {
+            Some(b) if (data.len() as u64) > b => {
+                g.dead = true;
+                b as usize
+            }
+            Some(b) => {
+                g.budget = Some(b - data.len() as u64);
+                data.len()
+            }
+            None => data.len(),
+        };
+        g.appended += take as u64;
+        let file = g
+            .files
+            .get_mut(name)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))?;
+        file.extend_from_slice(&data[..take]);
+        if take < data.len() {
+            return Err(crashed());
+        }
+        Ok(())
+    }
+
+    fn sync(&self, name: &str) -> io::Result<()> {
+        let g = self.inner.lock().unwrap();
+        if g.dead {
+            return Err(crashed());
+        }
+        if g.files.contains_key(name) {
+            Ok(())
+        } else {
+            Err(io::Error::new(io::ErrorKind::NotFound, name.to_string()))
+        }
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        let mut g = self.inner.lock().unwrap();
+        if g.dead {
+            return Err(crashed());
+        }
+        let file = g
+            .files
+            .get_mut(name)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))?;
+        file.truncate(len as usize);
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        let mut g = self.inner.lock().unwrap();
+        if g.dead {
+            return Err(crashed());
+        }
+        let bytes = g
+            .files
+            .remove(from)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, from.to_string()))?;
+        g.files.insert(to.into(), bytes);
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        let mut g = self.inner.lock().unwrap();
+        if g.dead {
+            return Err(crashed());
+        }
+        g.files
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))
+    }
+
+    fn size(&self, name: &str) -> io::Result<u64> {
+        self.inner
+            .lock()
+            .unwrap()
+            .files
+            .get(name)
+            .map(|f| f.len() as u64)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_budget_crashes_mid_append() {
+        let st = MemStorage::with_budget(10);
+        st.create("a").unwrap();
+        st.append("a", &[1, 2, 3, 4, 5, 6]).unwrap();
+        // 4 budget bytes left: the 6-byte append lands 4 bytes, fails.
+        let err = st.append("a", &[7, 8, 9, 10, 11, 12]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert!(st.is_dead());
+        // Everything after the crash fails too.
+        assert!(st.append("a", &[0]).is_err());
+        assert!(st.create("b").is_err());
+        assert!(st.sync("a").is_err());
+        // The restart sees exactly the surviving prefix.
+        st.revive();
+        assert_eq!(st.read("a").unwrap(), vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(st.total_appended(), 10);
+    }
+
+    #[test]
+    fn file_storage_round_trip() {
+        let dir = std::env::temp_dir().join(format!("dynamis-durable-st-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let st = FileStorage::open(&dir).unwrap();
+        st.create("seg").unwrap();
+        st.append("seg", b"hello world").unwrap();
+        st.sync("seg").unwrap();
+        assert_eq!(st.size("seg").unwrap(), 11);
+        st.truncate("seg", 5).unwrap();
+        assert_eq!(st.read("seg").unwrap(), b"hello");
+        st.rename("seg", "seg2").unwrap();
+        assert_eq!(st.list().unwrap(), vec!["seg2".to_string()]);
+        st.remove("seg2").unwrap();
+        assert!(st.list().unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

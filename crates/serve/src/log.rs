@@ -127,6 +127,29 @@ impl SharedLog {
         self.head.load(Ordering::Acquire)
     }
 
+    /// Re-bases a **virgin** log at `seq` with `solution` as its base
+    /// checkpoint — how a restarted service resumes its broadcast
+    /// stream after crash recovery (`dynamis-durable`). Every consumer
+    /// at or below `seq` (any subscriber from the previous life, and
+    /// every brand-new reader at 0) re-seeds from this checkpoint; the
+    /// next published entry continues at `seq + 1`.
+    ///
+    /// # Panics
+    ///
+    /// If anything was already published — re-basing a live log would
+    /// yank history out from under its readers.
+    pub fn install_checkpoint(&self, seq: u64, solution: &[u32]) {
+        let mut g = self.inner.lock().unwrap();
+        assert!(
+            g.head == 0 && g.entries.is_empty(),
+            "install_checkpoint requires a virgin log"
+        );
+        g.base = SolutionMirror::from_solution(solution);
+        g.base_seq = seq;
+        g.head = seq;
+        self.head.store(seq, Ordering::Release);
+    }
+
     /// The entries a consumer at `seq` has not yet seen, up to `max` of
     /// them — or the checkpoint, if `seq` fell behind the retained
     /// window. This is the subscription-stream primitive: a network

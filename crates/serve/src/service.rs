@@ -31,6 +31,13 @@ pub struct ServeConfig {
     /// Delta-log entries retained before folding into the checkpoint;
     /// readers lagging by more than this re-seed from the checkpoint.
     pub log_window: usize,
+    /// Re-bases the broadcast log at this sequence number (0 = fresh
+    /// start). A restarted durable service sets it to one past its
+    /// recovered update count: the engine's construction-time solution
+    /// is installed as the log's base checkpoint instead of being
+    /// broadcast as a bootstrap delta, so subscribers from the previous
+    /// life re-seed from the recovered state and resume gap-free.
+    pub first_seq: u64,
 }
 
 impl Default for ServeConfig {
@@ -39,6 +46,7 @@ impl Default for ServeConfig {
             queue_updates: 1024,
             burst: 256,
             log_window: 1024,
+            first_seq: 0,
         }
     }
 }
@@ -443,10 +451,19 @@ impl MisService {
                     }
                 };
                 let _gate_guard = CloseGateOnExit(&wbp);
-                // Broadcast the construction-time bootstrap *before*
+                // Expose the construction-time bootstrap *before*
                 // signalling readiness, so a reader created right after
-                // `spawn` returns already sees the initial solution.
-                publish(engine.drain_delta(), &wlog, &wstats);
+                // `spawn` returns already sees the initial solution: a
+                // fresh service broadcasts it as the first delta, a
+                // resumed one (first_seq > 0) installs it as the log's
+                // base checkpoint so old subscribers re-seed cleanly.
+                if cfg.first_seq > 0 {
+                    let _ = engine.drain_delta();
+                    wlog.install_checkpoint(cfg.first_seq, &engine.solution());
+                    wstats.head_seq.store(cfg.first_seq, Ordering::Relaxed);
+                } else {
+                    publish(engine.drain_delta(), &wlog, &wstats);
+                }
                 let _ = ready_tx.send(Ok(()));
                 writer_loop(engine.as_mut(), rx, &wlog, &wstats, &wbp, burst);
                 ServiceReport {

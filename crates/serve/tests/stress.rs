@@ -36,6 +36,7 @@ fn stress_multithreaded_readers_converge_at_quiesce() {
             queue_updates: 64,
             burst: 128,
             log_window: 64, // small window: force checkpoint resyncs too
+            first_seq: 0,
         },
     )
     .unwrap();
@@ -118,6 +119,7 @@ fn shutdown_flushes_everything_already_queued() {
             queue_updates: 4096,
             burst: 64,
             log_window: 128,
+            first_seq: 0,
         },
     )
     .unwrap();
@@ -234,6 +236,7 @@ fn bounded_queue_applies_backpressure() {
             queue_updates: 1,
             burst: 1,
             log_window: 16,
+            first_seq: 0,
         },
     )
     .unwrap();
@@ -322,6 +325,7 @@ fn writer_panic_unblocks_parked_feeders() {
             queue_updates: 1,
             burst: 1,
             log_window: 16,
+            first_seq: 0,
         },
     )
     .unwrap();
@@ -425,6 +429,7 @@ fn serves_the_adversarial_stream() {
             queue_updates: 128,
             burst: 64,
             log_window: 64,
+            first_seq: 0,
         },
     )
     .unwrap();

@@ -53,6 +53,21 @@ impl ShardedService {
         builder: EngineBuilder,
         cfg: ServeConfig,
     ) -> Result<(ShardedService, ShardedReader), EngineError> {
+        Self::spawn_wrapped(builder, cfg, Ok)
+    }
+
+    /// [`ShardedService::spawn`] with a hook that wraps the built engine
+    /// inside the writer thread before serving starts — how a durability
+    /// layer interposes on the coordinator's accepted update stream
+    /// without the sharded plumbing knowing it exists.
+    pub fn spawn_wrapped<W>(
+        builder: EngineBuilder,
+        cfg: ServeConfig,
+        wrap: W,
+    ) -> Result<(ShardedService, ShardedReader), EngineError>
+    where
+        W: FnOnce(Box<dyn DynamicMis>) -> Result<Box<dyn DynamicMis>, EngineError> + Send + 'static,
+    {
         let shards = builder.shard_count();
         let logs: Vec<Arc<SharedLog>> = (0..shards)
             .map(|_| Arc::new(SharedLog::new(cfg.log_window)))
@@ -60,8 +75,9 @@ impl ShardedService {
         let for_engine = logs.clone();
         let (inner, _merged) = MisService::spawn_with(
             move || {
-                ShardedEngine::from_builder_with_logs(builder, for_engine)
-                    .map(|e| Box::new(e) as Box<dyn DynamicMis>)
+                let engine = ShardedEngine::from_builder_with_logs(builder, for_engine)
+                    .map(|e| Box::new(e) as Box<dyn DynamicMis>)?;
+                wrap(engine)
             },
             cfg,
         )?;

@@ -30,6 +30,7 @@ fn main() {
             queue_updates: 512,
             burst: 256,
             log_window: 1024,
+            first_seq: 0,
         },
     )
     .expect("engine construction");

@@ -12,6 +12,7 @@
 //! dynamis net-serve --dataset NAME [...]         serve over TCP (wire protocol)
 //! dynamis net-load --addr HOST:PORT [...]        drive a net-serve with load
 //! dynamis metrics --addr HOST:PORT [...]         fetch a telemetry snapshot
+//! dynamis recover --data-dir DIR [...]           verify/replay a durable dir
 //! ```
 //!
 //! Graph formats are sniffed from the file extension: `.col`/`.clq` →
@@ -19,6 +20,10 @@
 //! SNAP edge list.
 
 use dynamis::baselines::{DgDis, Restart, RestartSolver};
+use dynamis::durable::{
+    prepare as durable_prepare, scan as durable_scan, DurableOptions, FileStorage, SyncPolicy,
+    WalStorage,
+};
 use dynamis::gen::trace::{read_trace_path, write_trace_path};
 use dynamis::gen::{datasets, StreamConfig, UpdateStream, Workload};
 use dynamis::graph::algo::{
@@ -31,8 +36,8 @@ use dynamis::statics::{
     arw_local_search, greedy_mis, luby_mis, reducing_peeling, solve_exact, ArwConfig, ExactConfig,
 };
 use dynamis::{
-    DyArw, DyOneSwap, DyTwoSwap, DynamicGraph, DynamicMis, EngineBuilder, GenericKSwap,
-    MaximalOnly, MisService, Partitioner, ServeConfig, ShardedService,
+    DyArw, DyOneSwap, DyTwoSwap, DynamicGraph, DynamicMis, EngineBuilder, EngineError,
+    GenericKSwap, MaximalOnly, MisService, Partitioner, ServeConfig, ShardedService, Update,
 };
 use std::process::ExitCode;
 use std::sync::atomic::AtomicBool;
@@ -69,10 +74,13 @@ const USAGE: &str = "usage:
                     [--shards P] [--partitioner greedy|locality]
                     [--addr HOST:PORT] [--max-sessions N]
                     [--shed-high H] [--shed-low L] [--metrics true]
+                    [--data-dir DIR] [--wal-sync batch|always|never]
+                    [--checkpoint-every N]
   dynamis net-load --addr HOST:PORT [--subscribers N] [--writers W]
                    [--updates U] [--vertices V] [--batch B] [--seed S] [--json]
   dynamis metrics --addr HOST:PORT [--json true | --prom true]
                   [--require NAME,NAME,...]
+  dynamis recover --data-dir DIR [--mode verify|replay]
 
 dynamic algorithms (ALGO): one (default), two, k:<K>, arw, dgone, dgtwo,
                            maximal, restart:<interval>
@@ -87,7 +95,16 @@ named series exists and is non-zero (for CI smoke checks)
 merged per-shard readers) instead of the single-writer service;
 --partitioner picks how the vertex space splits across those shards
 (degree-greedy balance, or the locality-aware partition that shrinks the
-cut — and the coordination cost — on community-structured graphs)";
+cut — and the coordination cost — on community-structured graphs)
+--data-dir makes net-serve durable: accepted updates go to a checksummed
+write-ahead log under DIR with periodic snapshot checkpoints, and a
+restart recovers the pre-crash state (prints `RECOVERED seq=N replayed=M`
+before LISTENING, so old subscribers resume gap-free); --wal-sync picks
+when appends reach disk (batch = group commit, default; always = fsync
+before every ack, the kill -9-proof setting; never = test/bench only);
+recover inspects such a directory offline — verify (default) scans and
+replays in memory without mutating, replay repairs torn tails and writes
+a fresh compacting checkpoint";
 
 fn dispatch(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -102,6 +119,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("net-serve") => cmd_net_serve(&args[1..]),
         Some("net-load") => cmd_net_load(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
+        Some("recover") => cmd_recover(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("missing command".into()),
     }
@@ -568,6 +586,7 @@ fn cmd_net_serve(args: &[String]) -> Result<(), String> {
         (None, None, None, None, None, None);
     let (mut addr, mut max_sessions, mut shed_high, mut shed_low, mut metrics) =
         (None, None, None, None, None);
+    let (mut data_dir, mut wal_sync, mut checkpoint_every) = (None, None, None);
     let positional = parse_flags(
         args,
         &mut [
@@ -582,6 +601,9 @@ fn cmd_net_serve(args: &[String]) -> Result<(), String> {
             ("shed-high", &mut shed_high),
             ("shed-low", &mut shed_low),
             ("metrics", &mut metrics),
+            ("data-dir", &mut data_dir),
+            ("wal-sync", &mut wal_sync),
+            ("checkpoint-every", &mut checkpoint_every),
         ],
     )?;
     if !positional.is_empty() {
@@ -616,14 +638,48 @@ fn cmd_net_serve(args: &[String]) -> Result<(), String> {
     )? as u64;
     net_cfg.shed_low = parse(shed_low.as_deref(), net_cfg.shed_low as usize, "shed-low")? as u64;
 
-    let builder = EngineBuilder::on(g)
+    // Durable mode: recover (or initialize) the directory *before* the
+    // service spawns — the recovered sequence number re-bases the
+    // broadcast log so old subscribers resume gap-free.
+    let mut prepared = match &data_dir {
+        Some(dir) => {
+            let sync = match wal_sync.as_deref() {
+                None | Some("batch") => SyncPolicy::Group,
+                Some("always") => SyncPolicy::Always,
+                Some("never") => SyncPolicy::Never,
+                Some(other) => return Err(format!("bad --wal-sync `{other}`")),
+            };
+            let opts = DurableOptions {
+                streams: shards as u32,
+                sync,
+                checkpoint_every: parse(checkpoint_every.as_deref(), 4096, "checkpoint-every")?
+                    as u64,
+                ..DurableOptions::default()
+            };
+            let storage: Arc<dyn WalStorage> =
+                Arc::new(FileStorage::open(dir).map_err(|e| format!("opening {dir}: {e}"))?);
+            let p = durable_prepare(storage, k as u32, opts)
+                .map_err(|e| format!("recovering {dir}: {e}"))?;
+            println!("RECOVERED seq={} replayed={}", p.recovered_seq, p.replayed);
+            Some(p)
+        }
+        None => None,
+    };
+
+    let mut builder = EngineBuilder::on(g)
         .k(k)
         .shards(shards)
         .partitioner(partitioner);
     let cfg = ServeConfig {
         burst,
+        first_seq: prepared.as_ref().map_or(0, |p| p.first_broadcast_seq()),
         ..ServeConfig::default()
     };
+    // A recovered run continues over the recovered graph and solution,
+    // not the cold-start inputs.
+    if let Some(p) = prepared.as_mut() {
+        builder = p.resume_builder(builder);
+    }
 
     // Spawn the service, front it, announce readiness, then block until
     // stdin closes — the conventional child-process lifecycle: the
@@ -648,9 +704,20 @@ fn cmd_net_serve(args: &[String]) -> Result<(), String> {
         eprintln!("net-serve: {stats}");
         Ok(())
     };
+    // In durable mode the built engine is wrapped in the WAL layer
+    // inside the writer thread (engines are not Send).
+    let wrap = move |engine: Box<dyn DynamicMis>| -> Result<Box<dyn DynamicMis>, EngineError> {
+        match prepared {
+            Some(p) => p.attach(engine).map(|l| Box::new(l) as _).map_err(|e| {
+                eprintln!("net-serve: durable attach failed: {e}");
+                e.into_engine_error()
+            }),
+            None => Ok(engine),
+        }
+    };
     if shards > 1 {
-        let (service, _reader) =
-            ShardedService::spawn(builder, cfg).map_err(|e| format!("spawning service: {e}"))?;
+        let (service, _reader) = ShardedService::spawn_wrapped(builder, cfg, wrap)
+            .map_err(|e| format!("spawning service: {e}"))?;
         serve_until_eof(NetBackend {
             ingest: service.ingest(),
             log: service.log(),
@@ -664,8 +731,8 @@ fn cmd_net_serve(args: &[String]) -> Result<(), String> {
             report.solution.len()
         );
     } else {
-        let (service, _reader) =
-            MisService::spawn(builder, cfg).map_err(|e| format!("spawning service: {e}"))?;
+        let (service, _reader) = MisService::spawn_with(move || wrap(builder.build()?), cfg)
+            .map_err(|e| format!("spawning service: {e}"))?;
         serve_until_eof(NetBackend::single(&service))?;
         let report = service.shutdown();
         eprintln!(
@@ -673,6 +740,100 @@ fn cmd_net_serve(args: &[String]) -> Result<(), String> {
             report.engine,
             report.solution.len()
         );
+    }
+    Ok(())
+}
+
+fn cmd_recover(args: &[String]) -> Result<(), String> {
+    let (mut data_dir, mut mode) = (None, None);
+    let positional = parse_flags(
+        args,
+        &mut [("data-dir", &mut data_dir), ("mode", &mut mode)],
+    )?;
+    if !positional.is_empty() {
+        return Err("recover takes only flags".into());
+    }
+    let dir = data_dir.ok_or("recover needs --data-dir")?;
+    let storage: Arc<dyn WalStorage> =
+        Arc::new(FileStorage::open(&dir).map_err(|e| format!("opening {dir}: {e}"))?);
+    let replay_in_memory = |snapshot, tail: &[Update], k: u32| -> Result<usize, String> {
+        let mut engine = EngineBuilder::on(DynamicGraph::from_edges(0, &[]))
+            .k(k as usize)
+            .resume(snapshot)
+            .build()
+            .map_err(|e| format!("rebuilding engine: {e}"))?;
+        engine
+            .try_apply_batch(tail)
+            .map_err(|e| format!("replaying WAL tail: {e}"))?;
+        Ok(engine.size())
+    };
+    match mode.as_deref().unwrap_or("verify") {
+        "verify" => {
+            // Read-only: scan, report, prove the tail replays — but
+            // leave the directory byte-for-byte untouched.
+            let report = durable_scan(&*storage, None, None).map_err(|e| format!("{dir}: {e}"))?;
+            println!(
+                "recover: k={} streams={} checkpoint seq={} recovered seq={} (replaying {})",
+                report.manifest.k,
+                report.manifest.streams,
+                report.checkpoint_seq,
+                report.recovered_seq,
+                report.tail.len(),
+            );
+            if report.skipped_checkpoints > 0 || report.torn_bytes > 0 || report.dropped_records > 0
+            {
+                println!(
+                    "recover: crash damage: {} checkpoint(s) skipped, {} torn byte(s), {} orphaned record(s)",
+                    report.skipped_checkpoints, report.torn_bytes, report.dropped_records,
+                );
+            }
+            for r in &report.repairs {
+                match r {
+                    dynamis::durable::Repair::Truncate { name, len } => {
+                        println!("recover: pending repair: truncate {name} to {len} bytes");
+                    }
+                    dynamis::durable::Repair::Remove { name } => {
+                        println!("recover: pending repair: remove {name}");
+                    }
+                }
+            }
+            let size = replay_in_memory(report.snapshot, &report.tail, report.manifest.k)?;
+            println!("recover: verified, final |I| = {size}");
+        }
+        "replay" => {
+            // Mutating: apply repairs, replay, and publish a fresh
+            // compacting checkpoint at the recovered sequence.
+            let manifest_bytes = storage
+                .read(dynamis::durable::format::MANIFEST_NAME)
+                .map_err(|e| format!("{dir}: {e}"))?;
+            let manifest = dynamis::durable::format::decode_manifest(&manifest_bytes)
+                .map_err(|e| format!("{dir}: {e}"))?;
+            let opts = DurableOptions {
+                streams: manifest.streams,
+                sync: SyncPolicy::Always,
+                ..DurableOptions::default()
+            };
+            let mut prepared = durable_prepare(Arc::clone(&storage), manifest.k, opts)
+                .map_err(|e| format!("{dir}: {e}"))?;
+            let (seq, replayed) = (prepared.recovered_seq, prepared.replayed);
+            let builder = prepared.resume_builder(
+                EngineBuilder::on(DynamicGraph::from_edges(0, &[])).k(manifest.k as usize),
+            );
+            let logged = prepared
+                .attach(
+                    builder
+                        .build()
+                        .map_err(|e| format!("rebuilding engine: {e}"))?,
+                )
+                .map_err(|e| format!("{dir}: {e}"))?;
+            println!(
+                "recover: repaired, seq={} (replayed {}), final |I| = {}",
+                seq,
+                replayed,
+                logged.size(),
+            );
+        }
+        other => return Err(format!("bad --mode `{other}`")),
     }
     Ok(())
 }

@@ -20,6 +20,7 @@
 //! | [`serve`] | concurrent serving layer: single-writer engine thread, batched ingest, delta-broadcast readers |
 //! | [`shard`] | sharded parallel maintenance: degree-aware engine partitions, per-shard writer threads, two-phase boundary repair |
 //! | [`net`] | network front end: length-prefixed wire protocol, per-client sessions, delta subscriptions, admission control |
+//! | [`durable`] | crash durability: segmented checksummed WAL of the accepted stream, snapshot checkpoints, torn-tail recovery |
 //!
 //! ## Quickstart
 //!
@@ -55,6 +56,7 @@
 
 pub use dynamis_baselines as baselines;
 pub use dynamis_core as core;
+pub use dynamis_durable as durable;
 pub use dynamis_gen as gen;
 pub use dynamis_graph as graph;
 pub use dynamis_net as net;

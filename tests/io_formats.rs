@@ -174,3 +174,88 @@ proptest! {
         prop_assert_eq!(edges.len(), g.num_edges());
     }
 }
+
+// ------------------------------------------------ durable snapshot formats
+
+mod durable_formats {
+    use dynamis::durable::format::{CKPT_K_OFFSET, CKPT_VERSION_OFFSET};
+    use dynamis::durable::{
+        prepare, scan, DurableError, DurableOptions, MemStorage, SyncPolicy, WalStorage,
+    };
+    use dynamis::gen::uniform::gnm;
+    use dynamis::{DynamicMis, EngineBuilder, Update};
+    use std::sync::Arc;
+
+    /// A durable directory with one checkpoint and a short WAL.
+    fn recorded() -> MemStorage {
+        let storage = MemStorage::new();
+        let arc: Arc<dyn WalStorage> = Arc::new(storage.clone());
+        let opts = DurableOptions {
+            sync: SyncPolicy::Never,
+            ..DurableOptions::default()
+        };
+        let mut prepared = prepare(arc, 2, opts).unwrap();
+        let g = gnm(20, 40, 3);
+        let builder = prepared.resume_builder(EngineBuilder::on(g).k(2));
+        let mut engine = prepared.attach(builder.build().unwrap()).unwrap();
+        for v in 0..8 {
+            let _ = engine.try_apply(&Update::RemoveVertex(v));
+        }
+        drop(engine);
+        storage
+    }
+
+    fn only_checkpoint(storage: &MemStorage) -> String {
+        storage
+            .list()
+            .unwrap()
+            .into_iter()
+            .find(|n| n.starts_with("ckpt-") && n.ends_with(".snap"))
+            .unwrap()
+    }
+
+    /// A checkpoint stamped with a newer format version is refused with
+    /// the typed error — recovery never guesses at a future layout.
+    #[test]
+    fn newer_version_snapshot_file_is_refused() {
+        let storage = recorded();
+        storage.corrupt(&only_checkpoint(&storage), CKPT_VERSION_OFFSET, 0x40);
+        match scan(&storage, None, None) {
+            Err(DurableError::UnsupportedVersion { found, supported }) => {
+                assert!(found > supported);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    /// Opening a directory with a different `k` than it was written with
+    /// is refused before anything is read or repaired.
+    #[test]
+    fn mismatched_k_directory_is_refused() {
+        let storage = recorded();
+        let arc: Arc<dyn WalStorage> = Arc::new(storage.clone());
+        match prepare(arc, 5, DurableOptions::default()) {
+            Err(DurableError::KMismatch {
+                found: 2,
+                expected: 5,
+            }) => {}
+            Err(other) => panic!("expected KMismatch, got {other:?}"),
+            Ok(_) => panic!("expected KMismatch, got Ok"),
+        }
+    }
+
+    /// A checkpoint whose header `k` disagrees with the manifest is a
+    /// typed refusal too (scan-level, independent of caller expectation).
+    #[test]
+    fn mismatched_k_snapshot_file_is_refused() {
+        let storage = recorded();
+        storage.corrupt(&only_checkpoint(&storage), CKPT_K_OFFSET, 0x04);
+        match scan(&storage, None, None) {
+            Err(DurableError::KMismatch {
+                found: 6,
+                expected: 2,
+            }) => {}
+            other => panic!("expected KMismatch, got {other:?}"),
+        }
+    }
+}
