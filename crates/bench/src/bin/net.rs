@@ -105,6 +105,7 @@ fn main() {
         vertices: n as u32,
         batch: 16,
         seed: 4820,
+        ..LoadConfig::default()
     };
     let t = Instant::now();
     let report = load::run(&cfg).expect("load run against the child server");

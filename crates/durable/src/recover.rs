@@ -74,6 +74,76 @@ pub struct ScanReport {
     pub dropped_records: u64,
 }
 
+/// The newest valid checkpoint in a durable directory — the read path
+/// a cold-starting consumer needs without a full [`scan`].
+#[derive(Debug)]
+pub struct NewestCheckpoint {
+    /// Sequence number the checkpoint covers (inclusive).
+    pub seq: u64,
+    /// The engine state at `seq`.
+    pub snapshot: Snapshot,
+    /// Checkpoint files skipped as damaged (crash artifacts) before one
+    /// validated, newest-first. Mutating callers schedule these for
+    /// removal; read-only callers just report them.
+    pub damaged: Vec<String>,
+}
+
+/// Selects the newest **valid** checkpoint among `names`, skipping
+/// crash-damaged ones in favor of an older survivor. This is the
+/// checkpoint read path shared by [`scan`] and external cold-start
+/// consumers (e.g. a snapshot bootstrap server deciding what a fresh
+/// remote mirror should seed from). A checkpoint with a mismatched `k`
+/// or stream count, or a newer format version, is a typed refusal —
+/// never a fallback.
+pub fn newest_checkpoint(
+    storage: &dyn WalStorage,
+    manifest: &Manifest,
+    names: &[String],
+) -> Result<NewestCheckpoint, DurableError> {
+    let mut ckpts: Vec<(u64, &String)> = names
+        .iter()
+        .filter_map(|n| parse_checkpoint_name(n).map(|seq| (seq, n)))
+        .collect();
+    ckpts.sort_by_key(|c| std::cmp::Reverse(c.0));
+    let mut damaged = Vec::new();
+    for &(name_seq, name) in &ckpts {
+        match decode_checkpoint(&storage.read(name)?) {
+            CheckpointOutcome::Valid(hdr, snapshot) => {
+                if hdr.k != manifest.k {
+                    return Err(DurableError::KMismatch {
+                        found: hdr.k,
+                        expected: manifest.k,
+                    });
+                }
+                if hdr.streams != manifest.streams {
+                    return Err(DurableError::StreamMismatch {
+                        found: hdr.streams,
+                        expected: manifest.streams,
+                    });
+                }
+                if hdr.seq != name_seq {
+                    // A checkpoint lying about its own name is damage.
+                    damaged.push(name.clone());
+                    continue;
+                }
+                return Ok(NewestCheckpoint {
+                    seq: hdr.seq,
+                    snapshot,
+                    damaged,
+                });
+            }
+            CheckpointOutcome::NewerVersion(found) => {
+                return Err(DurableError::UnsupportedVersion {
+                    found,
+                    supported: crate::format::FORMAT_VERSION,
+                });
+            }
+            CheckpointOutcome::Damaged(_) => damaged.push(name.clone()),
+        }
+    }
+    Err(DurableError::NoCheckpoint)
+}
+
 /// Scans `storage` without mutating it. `expected_k` / `expected_streams`
 /// (when given) must match the manifest, else the scan is refused with
 /// the corresponding typed error.
@@ -109,50 +179,10 @@ pub fn scan(
     let mut torn_bytes = 0u64;
 
     // ---- newest valid checkpoint, skipping crash-damaged ones --------
-    let mut ckpts: Vec<(u64, &String)> = names
-        .iter()
-        .filter_map(|n| parse_checkpoint_name(n).map(|seq| (seq, n)))
-        .collect();
-    ckpts.sort_by_key(|c| std::cmp::Reverse(c.0));
-    let mut skipped_checkpoints = 0;
-    let mut chosen = None;
-    for &(name_seq, name) in &ckpts {
-        match decode_checkpoint(&storage.read(name)?) {
-            CheckpointOutcome::Valid(hdr, snapshot) => {
-                if hdr.k != manifest.k {
-                    return Err(DurableError::KMismatch {
-                        found: hdr.k,
-                        expected: manifest.k,
-                    });
-                }
-                if hdr.streams != manifest.streams {
-                    return Err(DurableError::StreamMismatch {
-                        found: hdr.streams,
-                        expected: manifest.streams,
-                    });
-                }
-                if hdr.seq != name_seq {
-                    // A checkpoint lying about its own name is damage.
-                    skipped_checkpoints += 1;
-                    removes.push(name.clone());
-                    continue;
-                }
-                chosen = Some((hdr.seq, snapshot));
-                break;
-            }
-            CheckpointOutcome::NewerVersion(found) => {
-                return Err(DurableError::UnsupportedVersion {
-                    found,
-                    supported: crate::format::FORMAT_VERSION,
-                });
-            }
-            CheckpointOutcome::Damaged(_) => {
-                skipped_checkpoints += 1;
-                removes.push(name.clone());
-            }
-        }
-    }
-    let (checkpoint_seq, snapshot) = chosen.ok_or(DurableError::NoCheckpoint)?;
+    let picked = newest_checkpoint(storage, &manifest, &names)?;
+    let skipped_checkpoints = picked.damaged.len();
+    removes.extend(picked.damaged);
+    let (checkpoint_seq, snapshot) = (picked.seq, picked.snapshot);
 
     // ---- decode every stream's segments ------------------------------
     let streams = manifest.streams.max(1);

@@ -4,7 +4,8 @@
 use crate::error::NetError;
 use crate::frame::{read_frame, write_frame, FrameBuffer};
 use crate::proto::{
-    decode_response, encode_request, response_to_result, Request, Response, PROTO_VERSION,
+    decode_response, encode_request, response_to_result, Request, Response, SubFilter,
+    PROTO_VERSION,
 };
 use dynamis_core::{EngineError, SolutionDelta, SolutionMirror};
 use dynamis_graph::Update;
@@ -21,10 +22,14 @@ pub struct NetClient {
     payload: Vec<u8>,
     reply: Vec<u8>,
     head_at_hello: u64,
+    server_version: u16,
 }
 
 impl NetClient {
-    /// Connects and performs the `Hello` handshake.
+    /// Connects and performs the `Hello` handshake. A server *older*
+    /// than this client is accepted — version-gated features (filtered
+    /// subscriptions, snapshot bootstrap) are refused locally, typed,
+    /// when asked for against it.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<NetClient, NetError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
@@ -33,18 +38,24 @@ impl NetClient {
             payload: Vec::new(),
             reply: Vec::new(),
             head_at_hello: 0,
+            server_version: 0,
         };
         match c.call(&Request::Hello {
             version: PROTO_VERSION,
         })? {
+            Response::Hello {
+                version,
+                head_seq: _,
+            } if version == 0 => {
+                // A server that speaks no version at all is broken.
+                Err(NetError::Handshake {
+                    server: version,
+                    client: PROTO_VERSION,
+                })
+            }
             Response::Hello { version, head_seq } => {
-                if PROTO_VERSION > version {
-                    return Err(NetError::Handshake {
-                        server: version,
-                        client: PROTO_VERSION,
-                    });
-                }
                 c.head_at_hello = head_seq;
+                c.server_version = version;
                 Ok(c)
             }
             _ => Err(NetError::Protocol("handshake answered with a non-Hello")),
@@ -54,6 +65,11 @@ impl NetClient {
     /// Broadcast-log head the server reported at handshake time.
     pub fn head_at_hello(&self) -> u64 {
         self.head_at_hello
+    }
+
+    /// Protocol version the server negotiated at handshake time.
+    pub fn server_version(&self) -> u16 {
+        self.server_version
     }
 
     /// One request/response round trip. Shed (`Busy`) and server-error
@@ -147,8 +163,30 @@ impl NetClient {
     /// Converts this session into a subscription stream delivering
     /// every sequenced delta after `after_seq` (0 for a fresh mirror;
     /// the last applied sequence to resume after a reconnect).
-    pub fn subscribe(mut self, after_seq: u64) -> Result<Subscription, NetError> {
-        match self.call(&Request::Subscribe { after_seq })? {
+    pub fn subscribe(self, after_seq: u64) -> Result<Subscription, NetError> {
+        self.subscribe_filtered(after_seq, SubFilter::All)
+    }
+
+    /// Like [`NetClient::subscribe`], but streams only the vertex
+    /// subset `filter` accepts: deltas arrive masked, entries masking
+    /// to empty are suppressed server-side (with a periodic empty
+    /// position-marker delta so the stream's sequence number still
+    /// tracks the head), and checkpoint reseeds are masked too. A
+    /// non-trivial filter needs a protocol-2 server; against an older
+    /// one this refuses locally with [`NetError::Unsupported`].
+    pub fn subscribe_filtered(
+        mut self,
+        after_seq: u64,
+        filter: SubFilter,
+    ) -> Result<Subscription, NetError> {
+        if !filter.is_all() && self.server_version < 2 {
+            return Err(NetError::Unsupported {
+                feature: "filtered subscriptions",
+                server: self.server_version,
+                needed: 2,
+            });
+        }
+        match self.call(&Request::Subscribe { after_seq, filter })? {
             Response::Subscribed { resume_seq } if resume_seq == after_seq => Ok(Subscription {
                 stream: self.stream,
                 fb: FrameBuffer::new(),
@@ -160,6 +198,61 @@ impl NetClient {
             }
             _ => Err(NetError::Protocol("subscribe answered wrongly")),
         }
+    }
+
+    /// Snapshot cold-start (needs a protocol-2 server): fetches the
+    /// server's base checkpoint — after a durable restart, the newest
+    /// durable checkpoint — as `(seq, sorted membership)`, reassembled
+    /// from length-capped chunks and CRC-verified. A fresh mirror
+    /// seeds from it and then subscribes with `after_seq = seq`,
+    /// skipping the replay from sequence 0.
+    pub fn bootstrap(&mut self) -> Result<(u64, Vec<u32>), NetError> {
+        if self.server_version < 2 {
+            return Err(NetError::Unsupported {
+                feature: "snapshot bootstrap",
+                server: self.server_version,
+                needed: 2,
+            });
+        }
+        let (seq, total, chunks, crc) = match self.call(&Request::Bootstrap)? {
+            Response::BootstrapMeta {
+                seq,
+                members,
+                chunks,
+                crc,
+            } => (seq, members, chunks, crc),
+            _ => Err(NetError::Protocol("bootstrap answered wrongly"))?,
+        };
+        let total = usize::try_from(total)
+            .map_err(|_| NetError::Protocol("bootstrap member count overflows"))?;
+        let mut members: Vec<u32> = Vec::with_capacity(total);
+        for expect in 0..chunks {
+            // Chunks are pushed back-to-back after the meta frame, in
+            // index order, on the same request/response stream.
+            if !read_frame(&mut self.stream, &mut self.reply)? {
+                return Err(NetError::ServerClosed);
+            }
+            match response_to_result(decode_response(&self.reply)?)? {
+                Response::BootstrapChunk { index, members: m } if index == expect => {
+                    members.extend_from_slice(&m);
+                }
+                Response::BootstrapChunk { .. } => {
+                    return Err(NetError::Protocol("bootstrap chunk out of order"))
+                }
+                _ => return Err(NetError::Protocol("non-chunk inside a bootstrap stream")),
+            }
+        }
+        if members.len() != total {
+            return Err(NetError::Protocol("bootstrap member count mismatch"));
+        }
+        let mut bytes = Vec::with_capacity(members.len() * 4);
+        for &v in &members {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        if dynamis_durable::format::crc32(&bytes) != crc {
+            return Err(NetError::Protocol("bootstrap checksum mismatch"));
+        }
+        Ok((seq, members))
     }
 }
 
@@ -269,16 +362,26 @@ fn decode_event(frame: &[u8]) -> Result<SubEvent, NetError> {
 }
 
 /// A remote replica of the served solution, fed by subscription
-/// events. Apply is *strict*: a delta whose sequence number is not
-/// exactly `seq() + 1` is a typed [`NetError::Gap`] — never silently
-/// skipped or double-applied — and a delta contradicting the mirror's
-/// state is a typed [`NetError::Mirror`]. This is what makes
-/// "every sequenced delta, exactly once, in order" checkable: any
-/// violation anywhere in the transport surfaces here.
+/// events. Apply is *strict*: on an unfiltered stream, a delta whose
+/// sequence number is not exactly `seq() + 1` is a typed
+/// [`NetError::Gap`] — never silently skipped or double-applied — and
+/// a delta contradicting the mirror's state is a typed
+/// [`NetError::Mirror`]. This is what makes "every sequenced delta,
+/// exactly once, in order" checkable: any violation anywhere in the
+/// transport surfaces here.
+///
+/// A [`filtered`](RemoteMirror::filtered) replica mirrors only its
+/// vertex subset. Its stream legitimately skips the sequence numbers
+/// of fully-suppressed entries, so contiguity relaxes to *strictly
+/// increasing*; in exchange it checks that every delivered vertex is
+/// inside the filter ([`NetError::OutOfFilter`] otherwise) and masks
+/// checkpoint solutions client-side, so an unfiltered bootstrap
+/// checkpoint composes with a filtered stream.
 #[derive(Debug, Default, Clone)]
 pub struct RemoteMirror {
     mirror: SolutionMirror,
     seq: u64,
+    filter: SubFilter,
 }
 
 impl RemoteMirror {
@@ -288,22 +391,59 @@ impl RemoteMirror {
         RemoteMirror::default()
     }
 
-    /// Applies one event, enforcing contiguity.
+    /// An empty replica at sequence 0 mirroring only the vertex subset
+    /// `filter` accepts — pair it with
+    /// [`NetClient::subscribe_filtered`] on the same filter.
+    pub fn filtered(filter: SubFilter) -> Self {
+        RemoteMirror {
+            filter,
+            ..RemoteMirror::default()
+        }
+    }
+
+    /// Applies one event, enforcing contiguity (strictly increasing,
+    /// in-filter events for a filtered replica).
     pub fn apply_event(&mut self, ev: &SubEvent) -> Result<(), NetError> {
         match ev {
             SubEvent::Delta { seq, delta } => {
-                if *seq != self.seq + 1 {
-                    return Err(NetError::Gap {
-                        expected: self.seq + 1,
-                        got: *seq,
-                    });
+                if self.filter.is_all() {
+                    if *seq != self.seq + 1 {
+                        return Err(NetError::Gap {
+                            expected: self.seq + 1,
+                            got: *seq,
+                        });
+                    }
+                } else {
+                    // Suppressed entries legitimately skip sequence
+                    // numbers, but a duplicate or reordered delta is
+                    // still a transport violation.
+                    if *seq <= self.seq {
+                        return Err(NetError::Gap {
+                            expected: self.seq + 1,
+                            got: *seq,
+                        });
+                    }
+                    for &v in delta.entered.iter().chain(delta.left.iter()) {
+                        if !self.filter.accepts(v) {
+                            return Err(NetError::OutOfFilter { vertex: v });
+                        }
+                    }
                 }
                 self.mirror.apply(delta)?;
                 self.seq = *seq;
                 Ok(())
             }
             SubEvent::Checkpoint { seq, solution } => {
-                self.mirror = SolutionMirror::from_solution(solution);
+                if self.filter.is_all() {
+                    self.mirror = SolutionMirror::from_solution(solution);
+                } else {
+                    let masked: Vec<u32> = solution
+                        .iter()
+                        .copied()
+                        .filter(|&v| self.filter.accepts(v))
+                        .collect();
+                    self.mirror = SolutionMirror::from_solution(&masked);
+                }
                 self.seq = *seq;
                 Ok(())
             }

@@ -13,6 +13,7 @@
 
 use crate::client::{NetClient, RemoteMirror, SubEvent, Subscription};
 use crate::error::NetError;
+use crate::proto::SubFilter;
 use dynamis_graph::Update;
 use dynamis_obs::Histogram;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
@@ -43,6 +44,13 @@ pub struct LoadConfig {
     pub batch: usize,
     /// Deterministic stream seed.
     pub seed: u64,
+    /// Subscription filter exercised by every odd-indexed subscriber
+    /// (even-indexed ones stay unfiltered, so both paths run side by
+    /// side). [`SubFilter::All`] leaves every subscriber unfiltered.
+    pub filter: SubFilter,
+    /// Seed every subscriber from a snapshot cold-start
+    /// ([`NetClient::bootstrap`]) instead of replaying from sequence 0.
+    pub bootstrap: bool,
 }
 
 impl Default for LoadConfig {
@@ -55,6 +63,8 @@ impl Default for LoadConfig {
             vertices: 10_000,
             batch: 16,
             seed: 42,
+            filter: SubFilter::All,
+            bootstrap: false,
         }
     }
 }
@@ -110,6 +120,21 @@ pub struct LoadReport {
     pub mirror_errors: u64,
     /// Final broadcast-log head.
     pub final_head: u64,
+    /// Subscribers that ran with a non-trivial filter.
+    pub filtered_subscribers: usize,
+    /// Out-of-filter vertices delivered to filtered subscribers (a
+    /// server masking bug; must be 0).
+    pub out_of_filter: u64,
+    /// Snapshot cold-starts performed (one per subscriber when
+    /// [`LoadConfig::bootstrap`] is set).
+    pub bootstraps: u64,
+    /// Median round-trip of `Busy` sheds, microseconds. Sheds are
+    /// accounted in their own histogram — `busy_retries` counts them,
+    /// this times them — and never pollute the service-time
+    /// percentiles above.
+    pub busy_p50_us: u64,
+    /// Worst observed `Busy` round-trip.
+    pub busy_max_us: u64,
 }
 
 impl LoadReport {
@@ -123,7 +148,9 @@ impl LoadReport {
                 "\"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}, ",
                 "\"sub_events\": {}, \"sub_checkpoints\": {}, \"gaps\": {}, ",
                 "\"lost_deltas\": {}, \"reconnects\": {}, ",
-                "\"verified_mirrors\": {}, \"mirror_errors\": {}, \"final_head\": {}}}"
+                "\"verified_mirrors\": {}, \"mirror_errors\": {}, \"final_head\": {}, ",
+                "\"filtered_subscribers\": {}, \"out_of_filter\": {}, ",
+                "\"bootstraps\": {}, \"busy_p50_us\": {}, \"busy_max_us\": {}}}"
             ),
             self.subscribers,
             self.writers,
@@ -144,7 +171,12 @@ impl LoadReport {
             self.reconnects,
             self.verified_mirrors,
             self.mirror_errors,
-            self.final_head
+            self.final_head,
+            self.filtered_subscribers,
+            self.out_of_filter,
+            self.bootstraps,
+            self.busy_p50_us,
+            self.busy_max_us
         )
     }
 }
@@ -152,10 +184,12 @@ impl LoadReport {
 struct SubState {
     sub: Subscription,
     global_idx: usize,
+    filter: SubFilter,
     last_seq: u64,
     events: u64,
     checkpoints: u64,
     gaps: u64,
+    out_of_filter: u64,
     closed: bool,
     verifier: Option<RemoteMirror>,
     verifier_errors: u64,
@@ -169,7 +203,21 @@ struct PoolSummary {
     lost: u64,
     reconnects: u64,
     mirror_errors: u64,
-    verifier_solutions: Vec<(u64, Vec<u32>)>,
+    out_of_filter: u64,
+    bootstraps: u64,
+    filtered: usize,
+    verifier_solutions: Vec<(u64, Vec<u32>, SubFilter)>,
+}
+
+/// The filter one subscriber runs with: odd global indices take the
+/// configured filter, even ones stay unfiltered, so a filtered run
+/// exercises both hub paths side by side.
+fn filter_for(cfg_filter: SubFilter, global_idx: usize) -> SubFilter {
+    if cfg_filter.is_all() || global_idx.is_multiple_of(2) {
+        SubFilter::All
+    } else {
+        cfg_filter
+    }
 }
 
 struct WriterSummary {
@@ -192,11 +240,12 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, NetError> {
         let addr = cfg.addr.clone();
         let head = Arc::clone(&final_head);
         let start_idx = global;
+        let (filter, bootstrap) = (cfg.filter, cfg.bootstrap);
         global += count;
         pool_joins.push(
             thread::Builder::new()
                 .name("net-load-subs".into())
-                .spawn(move || pool_thread(&addr, start_idx, count, &head))
+                .spawn(move || pool_thread(&addr, start_idx, count, filter, bootstrap, &head))
                 .expect("failed to spawn subscriber pool thread"),
         );
     }
@@ -204,8 +253,11 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, NetError> {
     // --- writers ----------------------------------------------------------
     // One lock-free histogram shared by every writer: each call records
     // a few relaxed atomic adds, and the percentiles fall out of the
-    // merged snapshot (no Vec growth, no sort).
+    // merged snapshot (no Vec growth, no sort). Busy sheds go into
+    // their own histogram — a shed's round trip measures the backoff
+    // path, not service time, and must never poison the percentiles.
     let latency_us = Arc::new(Histogram::new());
+    let busy_us = Arc::new(Histogram::new());
     let per_writer = cfg.updates / cfg.writers.max(1);
     let started = Instant::now();
     let mut writer_joins = Vec::new();
@@ -218,10 +270,11 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, NetError> {
         };
         let (vertices, batch, seed) = (cfg.vertices, cfg.batch.max(1), cfg.seed + w as u64);
         let lat = Arc::clone(&latency_us);
+        let busy = Arc::clone(&busy_us);
         writer_joins.push(
             thread::Builder::new()
                 .name("net-load-writer".into())
-                .spawn(move || writer_thread(&addr, n, vertices, batch, seed, &lat))
+                .spawn(move || writer_thread(&addr, n, vertices, batch, seed, &lat, &busy))
                 .expect("failed to spawn writer thread"),
         );
     }
@@ -245,6 +298,9 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, NetError> {
     report.p95_us = lat.quantile(0.95);
     report.p99_us = lat.quantile(0.99);
     report.max_us = lat.max;
+    let busy = busy_us.snapshot();
+    report.busy_p50_us = busy.quantile(0.50);
+    report.busy_max_us = busy.max;
 
     // --- drain: wait for the queue to empty, then release the pools ------
     let mut probe = NetClient::connect(&cfg.addr)?;
@@ -270,10 +326,20 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, NetError> {
         report.lost_deltas += p.lost;
         report.reconnects += p.reconnects;
         report.mirror_errors += p.mirror_errors;
-        for (seq, solution) in p.verifier_solutions {
+        report.out_of_filter += p.out_of_filter;
+        report.bootstraps += p.bootstraps;
+        report.filtered_subscribers += p.filtered;
+        for (seq, solution, filter) in p.verifier_solutions {
             if seq == head {
                 let (snap_seq, snap) = probe.snapshot()?;
-                if snap_seq == seq && snap == solution {
+                // A filtered verifier mirrors only its subset: compare
+                // against the snapshot intersected with the filter.
+                let expected: Vec<u32> = if filter.is_all() {
+                    snap
+                } else {
+                    snap.into_iter().filter(|&v| filter.accepts(v)).collect()
+                };
+                if snap_seq == seq && expected == solution {
                     report.verified_mirrors += 1;
                 }
             }
@@ -286,26 +352,47 @@ fn pool_thread(
     addr: &str,
     start_idx: usize,
     count: usize,
+    cfg_filter: SubFilter,
+    bootstrap: bool,
     final_head: &AtomicU64,
 ) -> Result<PoolSummary, NetError> {
+    let mut summary = PoolSummary::default();
     let mut subs = Vec::with_capacity(count);
     for i in 0..count {
         let global_idx = start_idx + i;
-        let sub = connect_sub(addr, 0)?;
-        sub.set_nonblocking(true)?;
+        let filter = filter_for(cfg_filter, global_idx);
+        let start = connect_sub(addr, 0, filter, bootstrap)?;
+        start.sub.set_nonblocking(true)?;
+        if !filter.is_all() {
+            summary.filtered += 1;
+        }
+        let mut verifier = (global_idx < VERIFIERS).then(|| RemoteMirror::filtered(filter));
+        if let (Some(m), Some((seq, solution))) = (verifier.as_mut(), start.checkpoint.as_ref()) {
+            // Seed the verifying mirror exactly the way a production
+            // cold-start would: apply the bootstrap checkpoint, then
+            // let the stream continue from its sequence number.
+            m.apply_event(&SubEvent::Checkpoint {
+                seq: *seq,
+                solution: solution.clone(),
+            })?;
+        }
+        if start.checkpoint.is_some() {
+            summary.bootstraps += 1;
+        }
         subs.push(SubState {
-            sub,
+            sub: start.sub,
             global_idx,
-            last_seq: 0,
+            filter,
+            last_seq: start.seq,
             events: 0,
             checkpoints: 0,
             gaps: 0,
+            out_of_filter: 0,
             closed: false,
-            verifier: (global_idx < VERIFIERS).then(RemoteMirror::new),
+            verifier,
             verifier_errors: 0,
         });
     }
-    let mut summary = PoolSummary::default();
     let mut drain_deadline: Option<Instant> = None;
     loop {
         let target = final_head.load(Ordering::SeqCst);
@@ -314,11 +401,12 @@ fn pool_thread(
         for st in subs.iter_mut() {
             if st.closed {
                 // Reconnect and resume from the last applied sequence —
-                // the production recovery path for a shed subscriber.
-                match connect_sub(addr, st.last_seq) {
-                    Ok(sub) => {
-                        let _ = sub.set_nonblocking(true);
-                        st.sub = sub;
+                // the production recovery path for a shed subscriber
+                // (same filter; no re-bootstrap, resume carries state).
+                match connect_sub(addr, st.last_seq, st.filter, false) {
+                    Ok(start) => {
+                        let _ = start.sub.set_nonblocking(true);
+                        st.sub = start.sub;
                         st.closed = false;
                         summary.reconnects += 1;
                     }
@@ -332,14 +420,37 @@ fn pool_thread(
             let res = st.sub.poll_events(|ev| {
                 st.events += 1;
                 match &ev {
-                    SubEvent::Delta { seq, .. } => {
-                        if *seq != st.last_seq + 1 {
-                            st.gaps += 1;
+                    SubEvent::Delta { seq, delta } => {
+                        if st.filter.is_all() {
+                            // Unfiltered streams are strictly contiguous.
+                            if *seq != st.last_seq + 1 {
+                                st.gaps += 1;
+                            }
+                        } else {
+                            // Filtered streams legitimately skip the
+                            // sequence numbers of suppressed entries,
+                            // but must stay strictly increasing and
+                            // inside the filter.
+                            if *seq <= st.last_seq {
+                                st.gaps += 1;
+                            }
+                            for &v in delta.entered.iter().chain(delta.left.iter()) {
+                                if !st.filter.accepts(v) {
+                                    st.out_of_filter += 1;
+                                }
+                            }
                         }
                         st.last_seq = *seq;
                     }
-                    SubEvent::Checkpoint { seq, .. } => {
+                    SubEvent::Checkpoint { seq, solution } => {
                         st.checkpoints += 1;
+                        if !st.filter.is_all() {
+                            for &v in solution {
+                                if !st.filter.accepts(v) {
+                                    st.out_of_filter += 1;
+                                }
+                            }
+                        }
                         st.last_seq = *seq;
                     }
                 }
@@ -376,21 +487,56 @@ fn pool_thread(
         summary.gaps += st.gaps;
         summary.lost += target.saturating_sub(st.last_seq);
         summary.mirror_errors += st.verifier_errors;
+        summary.out_of_filter += st.out_of_filter;
         if let Some(m) = st.verifier {
             let _ = st.global_idx;
-            summary.verifier_solutions.push((m.seq(), m.solution()));
+            summary
+                .verifier_solutions
+                .push((m.seq(), m.solution(), st.filter));
         }
     }
     Ok(summary)
 }
 
-fn connect_sub(addr: &str, after_seq: u64) -> Result<Subscription, NetError> {
+/// A freshly established subscription: the stream itself, the sequence
+/// number it starts after, and (when cold-started) the bootstrap
+/// checkpoint used to seed it.
+struct SubStart {
+    sub: Subscription,
+    seq: u64,
+    checkpoint: Option<(u64, Vec<u32>)>,
+}
+
+fn connect_sub(
+    addr: &str,
+    after_seq: u64,
+    filter: SubFilter,
+    bootstrap: bool,
+) -> Result<SubStart, NetError> {
     // The session cap (or a full accept backlog during a 10k-connection
     // ramp) answers Busy: back off briefly and retry a few times.
     let mut tries = 0;
     loop {
-        match NetClient::connect(addr).and_then(|c| c.subscribe(after_seq)) {
-            Ok(sub) => return Ok(sub),
+        let attempt = (|| {
+            let mut client = NetClient::connect(addr)?;
+            let (resume, checkpoint) = if bootstrap {
+                // Snapshot cold-start: seed from the server's base
+                // checkpoint and subscribe right after it — no replay
+                // from sequence 0.
+                let (seq, members) = client.bootstrap()?;
+                (seq, Some((seq, members)))
+            } else {
+                (after_seq, None)
+            };
+            let sub = client.subscribe_filtered(resume, filter)?;
+            Ok(SubStart {
+                sub,
+                seq: resume,
+                checkpoint,
+            })
+        })();
+        match attempt {
+            Ok(start) => return Ok(start),
             Err(e) => {
                 tries += 1;
                 if tries > 50 {
@@ -402,6 +548,20 @@ fn connect_sub(addr: &str, after_seq: u64) -> Result<Subscription, NetError> {
     }
 }
 
+/// Routes one writer round-trip sample into the right histogram: a
+/// successful call feeds the service-time percentiles, a `Busy` shed
+/// feeds the separate shed histogram. Keeping the routing in one
+/// place pins the invariant that shed round trips (which measure the
+/// backoff path, not service time) can never leak into the latency
+/// percentiles the report advertises.
+fn record_rtt(shed: bool, us: u64, latency_us: &Histogram, busy_us: &Histogram) {
+    if shed {
+        busy_us.record(us);
+    } else {
+        latency_us.record(us);
+    }
+}
+
 fn writer_thread(
     addr: &str,
     n: usize,
@@ -409,6 +569,7 @@ fn writer_thread(
     batch: usize,
     seed: u64,
     latency_us: &Histogram,
+    busy_us: &Histogram,
 ) -> Result<WriterSummary, NetError> {
     let mut client = NetClient::connect(addr)?;
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -441,7 +602,7 @@ fn writer_thread(
             let t = Instant::now();
             match client.apply_batch(updates.clone()) {
                 Ok(verdicts) => {
-                    latency_us.record(t.elapsed().as_micros() as u64);
+                    record_rtt(false, t.elapsed().as_micros() as u64, latency_us, busy_us);
                     for v in verdicts {
                         match v {
                             Ok(_) => out.applied += 1,
@@ -451,6 +612,7 @@ fn writer_thread(
                     break;
                 }
                 Err(NetError::Busy { .. }) => {
+                    record_rtt(true, t.elapsed().as_micros() as u64, latency_us, busy_us);
                     out.busy += 1;
                     thread::sleep(Duration::from_millis(1));
                 }
@@ -494,5 +656,37 @@ mod tests {
             );
         }
         assert_eq!(snap.max, *exact.last().unwrap(), "max is tracked exactly");
+    }
+
+    /// Pins the Busy-shed accounting split: shed round trips go to
+    /// their own histogram and never inflate the latency percentiles,
+    /// no matter how slow the backoff path is.
+    #[test]
+    fn busy_samples_never_enter_latency_histogram() {
+        let latency = Histogram::new();
+        let busy = Histogram::new();
+        for _ in 0..100 {
+            record_rtt(false, 100, &latency, &busy);
+        }
+        for _ in 0..100 {
+            // Sheds an order of magnitude slower than real service
+            // time — exactly the samples that used to poison p99.
+            record_rtt(true, 50_000, &latency, &busy);
+        }
+        let lat = latency.snapshot();
+        let shed = busy.snapshot();
+        assert_eq!(lat.count, 100);
+        assert_eq!(shed.count, 100);
+        assert_eq!(lat.max, 100, "no shed sample reached the latency histogram");
+        assert!(lat.quantile(0.99) < 50_000);
+        assert!(shed.max >= 50_000);
+    }
+
+    #[test]
+    fn filter_assignment_alternates_only_when_filtering() {
+        let f = SubFilter::Shard { id: 0, of: 2 };
+        assert!(filter_for(f, 0).is_all());
+        assert_eq!(filter_for(f, 1), f);
+        assert!(filter_for(SubFilter::All, 1).is_all());
     }
 }

@@ -1,14 +1,14 @@
-//! The server: a TCP acceptor, thread-per-connection sessions, and one
-//! fan-out hub thread that owns every subscription socket.
+//! The server: a TCP acceptor, thread-per-connection sessions, and a
+//! pool of fan-out hub workers that own every subscription socket.
 //!
 //! ```text
 //!            accept            Hello / requests
 //!  clients ─────────► acceptor ───► session threads ──► IngestHandle / ReaderHandle
-//!                                        │ Subscribe
+//!                                        │ Subscribe (round-robin)
 //!                                        ▼ (socket handoff)
-//!                                   hub thread ──► SharedLog::tail_after
-//!                                        │  encode once, write to every
-//!                                        ▼  caught-up subscriber
+//!                              hub workers 0..N ──► SharedLog::tail_after
+//!                                        │  encode once (shared frame
+//!                                        ▼  cache), write per worker
 //!                                  subscription sockets (10k+)
 //! ```
 //!
@@ -17,30 +17,48 @@
 //! (one atomic load when caught up), updates go through the non-
 //! blocking ingest path behind the [`Admission`] gate. A `Subscribe`
 //! converts the connection: the session replies, hands the socket to
-//! the hub, and exits — so ten thousand subscribers cost ten thousand
-//! sockets owned by *one* thread, not ten thousand threads.
+//! one of the hub workers (round-robin), and exits — so ten thousand
+//! subscribers cost ten thousand sockets owned by [`NetConfig::hubs`]
+//! threads, not ten thousand threads.
 //!
-//! The hub encodes each new log entry once per round into a shared
-//! byte blob and writes that blob to every caught-up subscriber;
-//! stragglers (new joins, resumed sessions, post-checkpoint rebuilds)
-//! take a per-subscriber [`SharedLog::tail_after`] path until they
-//! reach the hub's position. A subscriber that cannot absorb writes
-//! within the write timeout is dropped — it reconnects and resumes
-//! from its last applied sequence number, losing nothing.
+//! Each hub worker tails the log independently, but every entry is
+//! encoded **once** process-wide: workers pull complete frames from a
+//! shared seq-keyed cache, so adding workers multiplies write
+//! bandwidth (blocking writes overlap across workers) without
+//! multiplying encode work. Caught-up unfiltered subscribers ride a
+//! per-round blob of cached frames; stragglers, filtered subscribers,
+//! and post-checkpoint rebuilds take a per-subscriber
+//! [`SharedLog::tail_after`] path until they reach the worker's
+//! position. A subscriber that cannot absorb writes within the write
+//! timeout is dropped — it reconnects and resumes from its last
+//! applied sequence number, losing nothing. A subscriber that *can*
+//! absorb writes but keeps falling further behind (a slow crawl inside
+//! the log window) is force-reseeded with a fresh checkpoint after
+//! [`NetConfig::straggler_rounds`] consecutive saturated rounds rather
+//! than being allowed to lag forever.
+//!
+//! Filtered subscriptions ([`SubFilter`]) are masked hub-side: deltas
+//! are intersected with the filter, entries that mask to empty are
+//! suppressed (coalesced into one empty position-marker delta per
+//! round so the subscriber's sequence number still tracks the head),
+//! and checkpoint reseeds are masked the same way.
 
 use crate::admission::Admission;
 use crate::frame::{read_frame, write_frame, FrameBuffer};
 use crate::proto::{
-    decode_request, encode_response, Request, Response, ERR_MALFORMED, ERR_ORDER, ERR_SHUTDOWN,
-    ERR_VERSION, PROTO_VERSION,
+    decode_request, encode_response, Request, Response, SubFilter, ERR_MALFORMED, ERR_ORDER,
+    ERR_SHUTDOWN, ERR_VERSION, PROTO_VERSION,
 };
+use dynamis_core::SolutionDelta;
 use dynamis_obs::{Gauge, Stage};
 use dynamis_serve::{
-    IngestHandle, LogTail, ReaderHandle, ServeError, ServiceHandle, ServiceStats, SharedLog,
+    IngestHandle, LogTail, ReaderHandle, SeqEntry, ServeError, ServiceHandle, ServiceStats,
+    SharedLog,
 };
+use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -67,6 +85,20 @@ pub struct NetConfig {
     /// How long shutdown keeps flushing subscribers toward the final
     /// log head before giving up on the stragglers.
     pub flush_timeout: Duration,
+    /// Fan-out hub workers. Subscribers are assigned round-robin at
+    /// `Subscribe`; each worker tails the log independently, sharing
+    /// the encode-once frame cache, so blocking subscriber writes
+    /// overlap across workers. 0 is treated as 1.
+    pub hubs: usize,
+    /// Consecutive saturated straggler rounds (a full `sub_batch`
+    /// advance that still leaves the subscriber more than `sub_batch`
+    /// behind the head) before the hub force-reseeds the subscriber
+    /// with a fresh checkpoint instead of letting it crawl forever.
+    /// 0 disables forced reseeds.
+    pub straggler_rounds: u32,
+    /// Maximum solution members per [`Response::BootstrapChunk`] frame
+    /// when streaming a snapshot cold-start. 0 is treated as 1.
+    pub bootstrap_chunk: usize,
 }
 
 impl Default for NetConfig {
@@ -80,6 +112,10 @@ impl Default for NetConfig {
             poll: Duration::from_millis(1),
             write_timeout: Duration::from_secs(2),
             flush_timeout: Duration::from_secs(30),
+            hubs: 1,
+            straggler_rounds: 16,
+            // 64Ki members = 256 KiB payloads, far under the frame cap.
+            bootstrap_chunk: 1 << 16,
         }
     }
 }
@@ -121,8 +157,8 @@ struct NetCounters {
 
 /// Cached telemetry handles for the net layer: one latency stage per
 /// request type (gated timers — see [`dynamis_obs::Stage`]), the hub's
-/// encode/write stages, and the fan-out lag gauges the hub refreshes
-/// each progressing round.
+/// encode/write stages, and the fan-out lag gauges the hub workers
+/// refresh each progressing round.
 struct NetObs {
     req_hello: Stage,
     req_apply: Stage,
@@ -134,6 +170,7 @@ struct NetObs {
     req_subscribe: Stage,
     req_ping: Stage,
     req_metrics: Stage,
+    req_bootstrap: Stage,
     hub_encode: Stage,
     sub_write: Stage,
     lag_max: Arc<Gauge>,
@@ -154,6 +191,7 @@ impl NetObs {
             req_subscribe: Stage::global("net_req_subscribe_ns"),
             req_ping: Stage::global("net_req_ping_ns"),
             req_metrics: Stage::global("net_req_metrics_ns"),
+            req_bootstrap: Stage::global("net_req_bootstrap_ns"),
             hub_encode: Stage::global("net_hub_encode_ns"),
             sub_write: Stage::global("net_sub_write_ns"),
             lag_max: g.gauge("net_sub_lag_max"),
@@ -174,8 +212,63 @@ impl NetObs {
             Request::Subscribe { .. } => &self.req_subscribe,
             Request::Ping => &self.req_ping,
             Request::Metrics => &self.req_metrics,
+            Request::Bootstrap => &self.req_bootstrap,
         }
     }
+}
+
+/// Encode-once frame cache shared by every hub worker: complete frames
+/// (length prefix + payload) keyed by entry sequence number, so N
+/// workers tailing the same log encode each delta exactly once.
+/// Bounded to the log's retained window — anything older would come
+/// back as a checkpoint anyway, never as an entry.
+struct FrameCache {
+    frames: Mutex<BTreeMap<u64, Arc<Vec<u8>>>>,
+    cap: usize,
+}
+
+impl FrameCache {
+    fn new(cap: usize) -> FrameCache {
+        FrameCache {
+            frames: Mutex::new(BTreeMap::new()),
+            cap: cap.max(1),
+        }
+    }
+
+    /// The complete wire frame for `e`, encoding it on first request.
+    /// Encoding happens outside the lock; a racing worker's insert
+    /// wins and the loser adopts it (the bytes are identical).
+    fn frame_for(&self, e: &SeqEntry) -> Arc<Vec<u8>> {
+        if let Some(f) = self.frames.lock().unwrap().get(&e.seq) {
+            return Arc::clone(f);
+        }
+        let mut payload = Vec::new();
+        encode_response(
+            &Response::Delta {
+                seq: e.seq,
+                delta: e.delta.clone(),
+            },
+            &mut payload,
+        );
+        let mut frame = Vec::with_capacity(payload.len() + 4);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let mut g = self.frames.lock().unwrap();
+        let f = Arc::clone(g.entry(e.seq).or_insert_with(|| Arc::new(frame)));
+        while g.len() > self.cap {
+            g.pop_first();
+        }
+        f
+    }
+}
+
+/// Per-hub-worker fan-out lag aggregate, folded into the global
+/// `net_sub_lag_max` / `net_sub_lag_mean` gauges after each refresh.
+#[derive(Default)]
+struct HubLag {
+    max: AtomicU64,
+    sum: AtomicU64,
+    count: AtomicU64,
 }
 
 struct Shared {
@@ -187,6 +280,13 @@ struct Shared {
     obs: NetObs,
     cfg: NetConfig,
     stop: AtomicBool,
+    frames: FrameCache,
+    hub_lag: Vec<HubLag>,
+    /// Round-robin cursor for assigning new subscribers to hub workers.
+    rr: AtomicUsize,
+    /// Process-wide subscriber id source: ids name the per-subscriber
+    /// lag gauges, so they must be unique *across* hub workers.
+    next_sub_id: AtomicU64,
 }
 
 impl Shared {
@@ -201,19 +301,41 @@ impl Shared {
         s.mean_sub_lag = self.obs.lag_mean.get();
         s
     }
+
+    /// Folds every worker's lag slot into the global gauges.
+    fn refresh_lag_gauges(&self) {
+        let mut max = 0u64;
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for slot in &self.hub_lag {
+            max = max.max(slot.max.load(Ordering::Relaxed));
+            sum += slot.sum.load(Ordering::Relaxed);
+            count += slot.count.load(Ordering::Relaxed);
+        }
+        self.obs.lag_max.set(max);
+        self.obs.lag_mean.set(sum.checked_div(count).unwrap_or(0));
+    }
 }
 
-/// A subscription socket owned by the hub, positioned at `seq`.
+/// A subscription socket owned by a hub worker, positioned at `seq`.
 struct Sub {
     stream: TcpStream,
     seq: u64,
+    /// Vertex subset this subscriber streams; deltas are masked against
+    /// it before writing.
+    filter: SubFilter,
+    /// Consecutive saturated straggler rounds (see
+    /// [`NetConfig::straggler_rounds`]).
+    behind: u32,
     /// Per-subscriber lag gauge, installed by the hub (None until
     /// handoff completes); unregisters itself when the sub drops.
     lag: Option<SubLag>,
 }
 
 /// A registered `net_sub_lag_<id>` gauge. Registered at hub install,
-/// unregistered on drop, so the registry tracks *live* subscribers.
+/// unregistered on drop, so the registry tracks *live* subscribers —
+/// every drop path (write failure, timeout drop, shutdown flush)
+/// releases the gauge through this destructor.
 struct SubLag {
     name: String,
     gauge: Arc<Gauge>,
@@ -233,7 +355,7 @@ impl Drop for SubLag {
     }
 }
 
-/// Entry point: binds a listener and spawns the acceptor + hub.
+/// Entry point: binds a listener and spawns the acceptor + hub workers.
 pub struct NetServer;
 
 impl NetServer {
@@ -248,6 +370,8 @@ impl NetServer {
     ) -> io::Result<NetServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let hubs_n = cfg.hubs.max(1);
+        let window = backend.log.window();
         let shared = Arc::new(Shared {
             ingest: backend.ingest,
             log: backend.log,
@@ -257,23 +381,34 @@ impl NetServer {
             obs: NetObs::new(),
             cfg,
             stop: AtomicBool::new(false),
+            frames: FrameCache::new(window),
+            hub_lag: (0..hubs_n).map(|_| HubLag::default()).collect(),
+            rr: AtomicUsize::new(0),
+            next_sub_id: AtomicU64::new(0),
         });
-        let (sub_tx, sub_rx) = mpsc::channel::<Sub>();
-        let hub_shared = Arc::clone(&shared);
-        let hub = thread::Builder::new()
-            .name("dynamis-net-hub".into())
-            .spawn(move || hub_loop(&hub_shared, sub_rx))
-            .expect("failed to spawn net hub thread");
+        let mut sub_txs = Vec::with_capacity(hubs_n);
+        let mut hubs = Vec::with_capacity(hubs_n);
+        for i in 0..hubs_n {
+            let (tx, rx) = mpsc::channel::<Sub>();
+            sub_txs.push(tx);
+            let hub_shared = Arc::clone(&shared);
+            hubs.push(
+                thread::Builder::new()
+                    .name(format!("dynamis-net-hub-{i}"))
+                    .spawn(move || hub_loop(&hub_shared, rx, i))
+                    .expect("failed to spawn net hub thread"),
+            );
+        }
         let acc_shared = Arc::clone(&shared);
         let acceptor = thread::Builder::new()
             .name("dynamis-net-accept".into())
-            .spawn(move || accept_loop(listener, &acc_shared, sub_tx))
+            .spawn(move || accept_loop(listener, &acc_shared, sub_txs))
             .expect("failed to spawn net acceptor thread");
         Ok(NetServerHandle {
             local_addr,
             shared,
             acceptor,
-            hub,
+            hubs,
         })
     }
 }
@@ -285,7 +420,7 @@ pub struct NetServerHandle {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
     acceptor: JoinHandle<()>,
-    hub: JoinHandle<()>,
+    hubs: Vec<JoinHandle<()>>,
 }
 
 impl NetServerHandle {
@@ -311,11 +446,13 @@ impl NetServerHandle {
         // Unblock the acceptor with a throwaway connection.
         let _ = TcpStream::connect(self.local_addr);
         let _ = self.acceptor.join();
-        let _ = self.hub.join();
+        for hub in self.hubs {
+            let _ = hub.join();
+        }
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: &Arc<Shared>, sub_tx: mpsc::Sender<Sub>) {
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>, sub_txs: Vec<mpsc::Sender<Sub>>) {
     let mut sessions: Vec<JoinHandle<()>> = Vec::new();
     loop {
         let stream = match listener.accept() {
@@ -340,10 +477,10 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>, sub_tx: mpsc::Sender
             continue;
         }
         let s = Arc::clone(shared);
-        let tx = sub_tx.clone();
+        let txs = sub_txs.clone();
         match thread::Builder::new()
             .name("dynamis-net-session".into())
-            .spawn(move || session_loop(stream, &s, tx))
+            .spawn(move || session_loop(stream, &s, txs))
         {
             Ok(j) => sessions.push(j),
             // The stream died with the unspawned closure; all we can
@@ -351,7 +488,7 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>, sub_tx: mpsc::Sender
             Err(_) => shared.admission.count_shed(),
         }
     }
-    drop(sub_tx);
+    drop(sub_txs);
     for j in sessions {
         let _ = j.join();
     }
@@ -380,7 +517,7 @@ fn send(stream: &mut TcpStream, resp: &Response, payload: &mut Vec<u8>, out: &mu
     stream.write_all(out).is_ok()
 }
 
-fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>, sub_tx: mpsc::Sender<Sub>) {
+fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>, sub_txs: Vec<mpsc::Sender<Sub>>) {
     shared.counters.sessions.fetch_add(1, Ordering::Relaxed);
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.cfg.poll.max(Duration::from_millis(20))));
@@ -533,7 +670,7 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>, sub_tx: mpsc::Sende
                     }
                 }
                 Request::Stats => Response::Stats(Box::new(shared.stats())),
-                Request::Subscribe { after_seq } => {
+                Request::Subscribe { after_seq, filter } => {
                     let ok = send(
                         &mut stream,
                         &Response::Subscribed {
@@ -543,17 +680,21 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>, sub_tx: mpsc::Sende
                         &mut out,
                     );
                     if ok {
-                        // Convert the connection: the hub owns the
-                        // socket from here; this session thread ends.
+                        // Convert the connection: a hub worker (chosen
+                        // round-robin) owns the socket from here; this
+                        // session thread ends.
                         let _ = stream.set_read_timeout(None);
                         shared
                             .counters
                             .subscriptions
                             .fetch_add(1, Ordering::Relaxed);
-                        if sub_tx
+                        let hub = shared.rr.fetch_add(1, Ordering::Relaxed) % sub_txs.len();
+                        if sub_txs[hub]
                             .send(Sub {
                                 stream,
                                 seq: after_seq,
+                                filter,
+                                behind: 0,
                                 lag: None,
                             })
                             .is_err()
@@ -570,6 +711,17 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>, sub_tx: mpsc::Sende
                 }
                 Request::Ping => Response::Pong,
                 Request::Metrics => Response::Metrics(Box::new(dynamis_obs::global().snapshot())),
+                Request::Bootstrap => {
+                    // Multi-frame answer: meta, then length-capped
+                    // membership chunks; afterwards the session stays
+                    // in request/response (the client subscribes next,
+                    // usually with `after_seq = meta.seq`).
+                    if !stream_bootstrap(shared, &mut stream, &mut payload, &mut out) {
+                        break 'session;
+                    }
+                    shared.obs.req_bootstrap.end(t_req);
+                    continue;
+                }
             };
             let is_shutdown = matches!(resp, Response::Error { code, .. } if code == ERR_SHUTDOWN);
             let sent = send(&mut stream, &resp, &mut payload, &mut out);
@@ -594,6 +746,47 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>, sub_tx: mpsc::Sende
     shared.counters.sessions.fetch_sub(1, Ordering::Relaxed);
 }
 
+/// Streams the log's base checkpoint (the newest durable checkpoint
+/// after a recovered restart, in broadcast numbering) as one
+/// `BootstrapMeta` plus length-capped `BootstrapChunk` frames. The CRC
+/// is the durable layer's checksum over the members' little-endian
+/// bytes, verified by the client after reassembly. Returns false if a
+/// write failed (the session closes).
+fn stream_bootstrap(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    payload: &mut Vec<u8>,
+    out: &mut Vec<u8>,
+) -> bool {
+    let (seq, members) = shared.log.base_checkpoint();
+    let mut bytes = Vec::with_capacity(members.len() * 4);
+    for &v in &members {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    let crc = dynamis_durable::format::crc32(&bytes);
+    let chunk = shared.cfg.bootstrap_chunk.max(1);
+    let chunks = members.len().div_ceil(chunk) as u32;
+    let meta = Response::BootstrapMeta {
+        seq,
+        members: members.len() as u64,
+        chunks,
+        crc,
+    };
+    if !send(stream, &meta, payload, out) {
+        return false;
+    }
+    for (index, slice) in members.chunks(chunk).enumerate() {
+        let frame = Response::BootstrapChunk {
+            index: index as u32,
+            members: slice.to_vec(),
+        };
+        if !send(stream, &frame, payload, out) {
+            return false;
+        }
+    }
+    true
+}
+
 fn shutdown_error() -> Response {
     Response::Error {
         code: ERR_SHUTDOWN,
@@ -601,22 +794,53 @@ fn shutdown_error() -> Response {
     }
 }
 
+/// Keeps only the vertices `filter` accepts. The trivial filter
+/// passes the vector through untouched.
+fn mask_solution(mut solution: Vec<u32>, filter: SubFilter) -> Vec<u32> {
+    if !filter.is_all() {
+        solution.retain(|&v| filter.accepts(v));
+    }
+    solution
+}
+
+/// Intersects one delta with a subscriber's filter (stats carry over
+/// unchanged — they describe the engine's work, not the subset).
+fn mask_delta(delta: &SolutionDelta, filter: SubFilter) -> SolutionDelta {
+    SolutionDelta {
+        entered: delta
+            .entered
+            .iter()
+            .copied()
+            .filter(|&v| filter.accepts(v))
+            .collect(),
+        left: delta
+            .left
+            .iter()
+            .copied()
+            .filter(|&v| filter.accepts(v))
+            .collect(),
+        stats: delta.stats,
+    }
+}
+
 /// Installs a freshly handed-off subscriber: socket options plus its
-/// per-subscriber lag gauge (`net_sub_lag_<id>`).
-fn install_sub(shared: &Shared, mut sub: Sub, next_id: &mut u64) -> Sub {
+/// per-subscriber lag gauge (`net_sub_lag_<id>`, unique across hub
+/// workers).
+fn install_sub(shared: &Shared, mut sub: Sub) -> Sub {
     let _ = sub.stream.set_nodelay(true);
     let _ = sub.stream.set_write_timeout(Some(shared.cfg.write_timeout));
-    *next_id += 1;
-    sub.lag = Some(SubLag::new(*next_id));
+    let id = shared.next_sub_id.fetch_add(1, Ordering::Relaxed) + 1;
+    sub.lag = Some(SubLag::new(id));
     sub
 }
 
-/// The fan-out hub: one thread owning every subscription socket.
-fn hub_loop(shared: &Arc<Shared>, sub_rx: mpsc::Receiver<Sub>) {
+/// One fan-out hub worker: owns the subscription sockets assigned to
+/// it, tails the log independently of its siblings, and shares the
+/// encode-once frame cache with them.
+fn hub_loop(shared: &Arc<Shared>, sub_rx: mpsc::Receiver<Sub>, hub_idx: usize) {
     let mut subs: Vec<Sub> = Vec::new();
-    let mut hub_seq = 0u64; // newest seq encoded into the shared blob
-    let mut next_id = 0u64; // per-subscriber lag-gauge id source
-    let mut blob = Vec::new(); // this round's frames, encoded once
+    let mut hub_seq = 0u64; // newest seq assembled into the shared blob
+    let mut blob = Vec::new(); // this round's frames (cache-encoded)
     let mut payload = Vec::new();
     let mut scratch = Vec::new();
     loop {
@@ -626,14 +850,16 @@ fn hub_loop(shared: &Arc<Shared>, sub_rx: mpsc::Receiver<Sub>) {
         loop {
             match sub_rx.try_recv() {
                 Ok(sub) => {
-                    subs.push(install_sub(shared, sub, &mut next_id));
+                    subs.push(install_sub(shared, sub));
                     roster_changed = true;
                 }
                 Err(mpsc::TryRecvError::Empty) => break,
                 Err(mpsc::TryRecvError::Disconnected) => break,
             }
         }
-        // Encode this round's new entries once, into one write blob.
+        // Assemble this round's new entries into one write blob; the
+        // frames come from the shared cache, so across N workers each
+        // entry is encoded once.
         let blob_start = hub_seq;
         blob.clear();
         let t_encode = shared.obs.hub_encode.begin();
@@ -641,15 +867,8 @@ fn hub_loop(shared: &Arc<Shared>, sub_rx: mpsc::Receiver<Sub>) {
             LogTail::UpToDate => {}
             LogTail::Entries(entries) => {
                 for e in &entries {
-                    encode_response(
-                        &Response::Delta {
-                            seq: e.seq,
-                            delta: e.delta.clone(),
-                        },
-                        &mut payload,
-                    );
-                    blob.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-                    blob.extend_from_slice(&payload);
+                    let frame = shared.frames.frame_for(e);
+                    blob.extend_from_slice(&frame);
                     hub_seq = e.seq;
                 }
             }
@@ -659,7 +878,7 @@ fn hub_loop(shared: &Arc<Shared>, sub_rx: mpsc::Receiver<Sub>) {
                 // straggling subscriber gets its own checkpoint below.
                 dynamis_obs::event(
                     "checkpoint_reseed",
-                    format!("hub jumped from seq {hub_seq} to {seq}"),
+                    format!("hub {hub_idx} jumped from seq {hub_seq} to {seq}"),
                 );
                 hub_seq = seq;
             }
@@ -668,8 +887,10 @@ fn hub_loop(shared: &Arc<Shared>, sub_rx: mpsc::Receiver<Sub>) {
         let mut progressed = !blob.is_empty();
         let before = subs.len();
         subs.retain_mut(|sub| {
-            if sub.seq == blob_start && !blob.is_empty() {
-                // Caught-up fast path: one pre-encoded write.
+            if sub.seq == blob_start && !blob.is_empty() && sub.filter.is_all() {
+                // Caught-up fast path: one pre-encoded write. Filtered
+                // subscribers never ride it — their bytes are masked
+                // per-subscriber below.
                 let t = shared.obs.sub_write.begin();
                 let wrote = sub.stream.write_all(&blob);
                 shared.obs.sub_write.end(t);
@@ -681,9 +902,11 @@ fn hub_loop(shared: &Arc<Shared>, sub_rx: mpsc::Receiver<Sub>) {
                     return false;
                 }
                 sub.seq = hub_seq;
+                sub.behind = 0;
                 return true;
             }
             if sub.seq == hub_seq {
+                sub.behind = 0;
                 return true;
             }
             // Straggler path: advance this subscriber individually.
@@ -716,12 +939,11 @@ fn hub_loop(shared: &Arc<Shared>, sub_rx: mpsc::Receiver<Sub>) {
                 max = max.max(lag);
                 sum += lag;
             }
-            shared.obs.lag_max.set(max);
-            shared.obs.lag_mean.set(if subs.is_empty() {
-                0
-            } else {
-                sum / subs.len() as u64
-            });
+            let slot = &shared.hub_lag[hub_idx];
+            slot.max.store(max, Ordering::Relaxed);
+            slot.sum.store(sum, Ordering::Relaxed);
+            slot.count.store(subs.len() as u64, Ordering::Relaxed);
+            shared.refresh_lag_gauges();
         }
         if stopping {
             // Final flush: push every subscriber to the final head,
@@ -750,6 +972,11 @@ fn hub_loop(shared: &Arc<Shared>, sub_rx: mpsc::Receiver<Sub>) {
                 .counters
                 .subscriptions
                 .fetch_sub(n, Ordering::Relaxed);
+            let slot = &shared.hub_lag[hub_idx];
+            slot.max.store(0, Ordering::Relaxed);
+            slot.sum.store(0, Ordering::Relaxed);
+            slot.count.store(0, Ordering::Relaxed);
+            shared.refresh_lag_gauges();
             return;
         }
         if !progressed {
@@ -757,7 +984,7 @@ fn hub_loop(shared: &Arc<Shared>, sub_rx: mpsc::Receiver<Sub>) {
             // tick (new log entries are detected next round).
             match sub_rx.recv_timeout(shared.cfg.poll) {
                 Ok(sub) => {
-                    subs.push(install_sub(shared, sub, &mut next_id));
+                    subs.push(install_sub(shared, sub));
                 }
                 Err(mpsc::RecvTimeoutError::Timeout) => {}
                 Err(mpsc::RecvTimeoutError::Disconnected) => {
@@ -776,34 +1003,111 @@ fn hub_loop(shared: &Arc<Shared>, sub_rx: mpsc::Receiver<Sub>) {
 /// Advances one straggling subscriber by up to `sub_batch` entries (or
 /// one checkpoint). `Ok(true)` if anything was sent; `Err(())` drops
 /// the subscriber (write failure — it can reconnect and resume).
+///
+/// Two slow-consumer regimes end in a checkpoint here: falling *out of
+/// the log window* (the log itself answers with `Checkpoint`), and the
+/// subtler bounded crawl — a subscriber absorbing exactly `sub_batch`
+/// entries per round while the writer outruns it, which stays inside
+/// the window forever without ever catching up. The `behind` counter
+/// detects the crawl: after [`NetConfig::straggler_rounds`] consecutive
+/// saturated rounds that leave the subscriber more than `sub_batch`
+/// behind the head, the hub folds the log into a fresh checkpoint
+/// ([`SharedLog::snapshot_at_head`]) and reseeds the subscriber at the
+/// head in one write instead of letting it crawl forever.
 fn advance_sub(
     shared: &Shared,
     sub: &mut Sub,
     payload: &mut Vec<u8>,
     out: &mut Vec<u8>,
 ) -> Result<bool, ()> {
+    let k = shared.cfg.straggler_rounds;
+    if k > 0 && sub.behind >= k {
+        let (seq, solution) = shared.log.snapshot_at_head();
+        sub.behind = 0;
+        if seq > sub.seq {
+            dynamis_obs::event(
+                "straggler_reseed",
+                format!(
+                    "subscriber force-reseeded from seq {} to {seq} after {k} saturated rounds",
+                    sub.seq
+                ),
+            );
+            let solution = mask_solution(solution, sub.filter);
+            write_one(
+                shared,
+                sub,
+                &Response::Checkpoint { seq, solution },
+                payload,
+                out,
+            )?;
+            sub.seq = seq;
+            return Ok(true);
+        }
+    }
     match shared.log.tail_after(sub.seq, shared.cfg.sub_batch) {
-        LogTail::UpToDate => Ok(false),
+        LogTail::UpToDate => {
+            sub.behind = 0;
+            Ok(false)
+        }
         LogTail::Entries(entries) => {
+            let saturated = entries.len() >= shared.cfg.sub_batch;
             out.clear();
             let mut last = sub.seq;
-            for e in &entries {
-                encode_response(
-                    &Response::Delta {
-                        seq: e.seq,
-                        delta: e.delta.clone(),
-                    },
-                    payload,
-                );
-                out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-                out.extend_from_slice(payload);
-                last = e.seq;
+            if sub.filter.is_all() {
+                for e in &entries {
+                    let frame = shared.frames.frame_for(e);
+                    out.extend_from_slice(&frame);
+                    last = e.seq;
+                }
+            } else {
+                // Filtered path: mask each delta, suppress entries that
+                // mask to empty, and coalesce the suppressed tail into
+                // one empty position-marker delta so the subscriber's
+                // sequence number still tracks the head.
+                let mut wrote_through = sub.seq;
+                for e in &entries {
+                    last = e.seq;
+                    let masked = mask_delta(&e.delta, sub.filter);
+                    if masked.is_empty() {
+                        continue;
+                    }
+                    encode_response(
+                        &Response::Delta {
+                            seq: e.seq,
+                            delta: masked,
+                        },
+                        payload,
+                    );
+                    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                    out.extend_from_slice(payload);
+                    wrote_through = e.seq;
+                }
+                if wrote_through < last {
+                    encode_response(
+                        &Response::Delta {
+                            seq: last,
+                            delta: SolutionDelta::default(),
+                        },
+                        payload,
+                    );
+                    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                    out.extend_from_slice(payload);
+                }
             }
             let t = shared.obs.sub_write.begin();
             let wrote = sub.stream.write_all(out);
             shared.obs.sub_write.end(t);
             wrote.map_err(|_| ())?;
             sub.seq = last;
+            // Crawl detection: a saturated advance that still leaves
+            // the subscriber more than a batch behind means the writer
+            // is outrunning it.
+            if saturated && shared.log.head().saturating_sub(sub.seq) > shared.cfg.sub_batch as u64
+            {
+                sub.behind = sub.behind.saturating_add(1);
+            } else {
+                sub.behind = 0;
+            }
             Ok(true)
         }
         LogTail::Checkpoint { seq, solution } => {
@@ -811,16 +1115,37 @@ fn advance_sub(
                 "checkpoint_reseed",
                 format!("subscriber reseeded from seq {} to {seq}", sub.seq),
             );
-            encode_response(&Response::Checkpoint { seq, solution }, payload);
-            out.clear();
-            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-            out.extend_from_slice(payload);
-            let t = shared.obs.sub_write.begin();
-            let wrote = sub.stream.write_all(out);
-            shared.obs.sub_write.end(t);
-            wrote.map_err(|_| ())?;
+            let solution = mask_solution(solution, sub.filter);
+            write_one(
+                shared,
+                sub,
+                &Response::Checkpoint { seq, solution },
+                payload,
+                out,
+            )?;
             sub.seq = seq;
+            sub.behind = 0;
             Ok(true)
         }
     }
+}
+
+/// Encodes and writes one response frame to a subscriber, charging the
+/// write stage. `Err(())` means the write failed and the subscriber
+/// should be dropped.
+fn write_one(
+    shared: &Shared,
+    sub: &mut Sub,
+    resp: &Response,
+    payload: &mut Vec<u8>,
+    out: &mut Vec<u8>,
+) -> Result<(), ()> {
+    encode_response(resp, payload);
+    out.clear();
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let t = shared.obs.sub_write.begin();
+    let wrote = sub.stream.write_all(out);
+    shared.obs.sub_write.end(t);
+    wrote.map_err(|_| ())
 }

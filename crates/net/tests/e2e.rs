@@ -28,6 +28,7 @@ fn loopback_load_run_loses_nothing_and_shuts_down_cleanly() {
         vertices: 2_000,
         batch: 8,
         seed: 99,
+        ..LoadConfig::default()
     };
     let report = dynamis_net::load::run(&cfg).unwrap();
 

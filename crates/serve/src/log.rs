@@ -150,6 +150,45 @@ impl SharedLog {
         self.head.store(seq, Ordering::Release);
     }
 
+    /// Maximum entries retained before the oldest fold into the base
+    /// checkpoint — the catch-up horizon a straggling consumer has.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The log's base checkpoint: the oldest state it can serve — the
+    /// fold of everything that aged out of the window, or the installed
+    /// recovery checkpoint on a restarted service. The sequence number
+    /// is in *broadcast* numbering, so it is a valid
+    /// `tail_after`/`Subscribe` resume point: a consumer seeded from
+    /// this state streams entries from `seq + 1` with no gap. This is
+    /// what a snapshot cold-start serves instead of replaying from 0.
+    pub fn base_checkpoint(&self) -> (u64, Vec<u32>) {
+        let g = self.inner.lock().unwrap();
+        (g.base_seq, g.base.solution())
+    }
+
+    /// Full membership at the current head: the base checkpoint with
+    /// every retained entry folded in. O(window) — meant for rare
+    /// reseeds of a hopeless straggler, not per-query reads (those go
+    /// through a `ReaderHandle`). The lock is held only to clone the
+    /// base and the entry `Arc`s; folding happens outside it.
+    pub fn snapshot_at_head(&self) -> (u64, Vec<u32>) {
+        let (mut m, head, entries) = {
+            let g = self.inner.lock().unwrap();
+            (
+                g.base.clone(),
+                g.head,
+                g.entries.iter().cloned().collect::<Vec<_>>(),
+            )
+        };
+        for e in &entries {
+            m.apply(&e.delta)
+                .expect("log entries are sequential and exact");
+        }
+        (head, m.solution())
+    }
+
     /// The entries a consumer at `seq` has not yet seen, up to `max` of
     /// them — or the checkpoint, if `seq` fell behind the retained
     /// window. This is the subscription-stream primitive: a network

@@ -586,7 +586,7 @@ fn cmd_net_serve(args: &[String]) -> Result<(), String> {
         (None, None, None, None, None, None);
     let (mut addr, mut max_sessions, mut shed_high, mut shed_low, mut metrics) =
         (None, None, None, None, None);
-    let (mut data_dir, mut wal_sync, mut checkpoint_every) = (None, None, None);
+    let (mut data_dir, mut wal_sync, mut checkpoint_every, mut hubs) = (None, None, None, None);
     let positional = parse_flags(
         args,
         &mut [
@@ -604,6 +604,7 @@ fn cmd_net_serve(args: &[String]) -> Result<(), String> {
             ("data-dir", &mut data_dir),
             ("wal-sync", &mut wal_sync),
             ("checkpoint-every", &mut checkpoint_every),
+            ("hubs", &mut hubs),
         ],
     )?;
     if !positional.is_empty() {
@@ -637,6 +638,7 @@ fn cmd_net_serve(args: &[String]) -> Result<(), String> {
         "shed-high",
     )? as u64;
     net_cfg.shed_low = parse(shed_low.as_deref(), net_cfg.shed_low as usize, "shed-low")? as u64;
+    net_cfg.hubs = parse(hubs.as_deref(), net_cfg.hubs, "hubs")?.max(1);
 
     // Durable mode: recover (or initialize) the directory *before* the
     // service spawns — the recovered sequence number re-bases the
@@ -841,6 +843,7 @@ fn cmd_recover(args: &[String]) -> Result<(), String> {
 fn cmd_net_load(args: &[String]) -> Result<(), String> {
     let (mut addr, mut subscribers, mut writers, mut updates) = (None, None, None, None);
     let (mut vertices, mut batch, mut seed, mut json) = (None, None, None, None);
+    let (mut filter, mut bootstrap) = (None, None);
     let positional = parse_flags(
         args,
         &mut [
@@ -852,6 +855,8 @@ fn cmd_net_load(args: &[String]) -> Result<(), String> {
             ("batch", &mut batch),
             ("seed", &mut seed),
             ("json", &mut json),
+            ("filter", &mut filter),
+            ("bootstrap", &mut bootstrap),
         ],
     )?;
     if !positional.is_empty() {
@@ -872,6 +877,10 @@ fn cmd_net_load(args: &[String]) -> Result<(), String> {
         vertices: parse(vertices.as_deref(), d.vertices as usize, "vertices")? as u32,
         batch: parse(batch.as_deref(), d.batch, "batch")?,
         seed: parse(seed.as_deref(), d.seed as usize, "seed")? as u64,
+        filter: filter
+            .as_deref()
+            .map_or(Ok(dynamis::net::SubFilter::All), str::parse)?,
+        bootstrap: bootstrap.as_deref() == Some("true"),
     };
     let report = dynamis::net::load::run(&cfg).map_err(|e| format!("load run: {e}"))?;
     if json.as_deref() == Some("true") {
@@ -895,9 +904,21 @@ fn cmd_net_load(args: &[String]) -> Result<(), String> {
             report.mirror_errors,
             report.verified_mirrors
         );
+        if report.filtered_subscribers > 0 || report.bootstraps > 0 {
+            println!(
+                "scale-out: {} filtered subscribers ({} out-of-filter), {} bootstraps, busy RTT p50 {} µs / max {} µs",
+                report.filtered_subscribers,
+                report.out_of_filter,
+                report.bootstraps,
+                report.busy_p50_us,
+                report.busy_max_us
+            );
+        }
     }
-    if report.gaps + report.lost_deltas + report.mirror_errors > 0 {
-        return Err("delta stream integrity violated (gaps/lost/mirror errors)".into());
+    if report.gaps + report.lost_deltas + report.mirror_errors + report.out_of_filter > 0 {
+        return Err(
+            "delta stream integrity violated (gaps/lost/mirror errors/out-of-filter)".into(),
+        );
     }
     Ok(())
 }
